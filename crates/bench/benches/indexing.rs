@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the query-acceleration indices: brute-force
+//! scan vs triple filter-verify vs closure-tree, on a molecule
+//! collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vqi_graph::generate::{chain, cycle};
+use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::Graph;
+use vqi_index::{ClosureTree, TripleIndex};
+
+fn collection() -> Vec<Graph> {
+    vqi_datasets::aids_like(vqi_datasets::MoleculeParams {
+        count: 300,
+        seed: 42,
+        ..Default::default()
+    })
+}
+
+fn queries() -> Vec<Graph> {
+    vec![
+        chain(4, 0, 0),  // common carbon chain
+        cycle(6, 0, 0),  // benzene-like ring
+        chain(3, 2, 0),  // oxygen-bearing fragment
+        cycle(5, 0, 1),  // ring with a double bond
+    ]
+}
+
+fn bench_indices(c: &mut Criterion) {
+    let gs = collection();
+    let qs = queries();
+    let triple = TripleIndex::build(gs.iter().enumerate());
+    let ctree = ClosureTree::bulk_load(gs.iter().enumerate(), 8);
+
+    let mut group = c.benchmark_group("subgraph_search_300_molecules");
+    group.sample_size(20);
+    group.bench_function("brute_force", |b| {
+        b.iter(|| {
+            for q in &qs {
+                let hits: Vec<usize> = gs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| {
+                        is_subgraph_isomorphic(q, g, MatchOptions::with_wildcards())
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                black_box(hits);
+            }
+        })
+    });
+    group.bench_function("triple_filter_verify", |b| {
+        b.iter(|| {
+            for q in &qs {
+                black_box(triple.search(q, |id| &gs[id]));
+            }
+        })
+    });
+    group.bench_function("closure_tree", |b| {
+        b.iter(|| {
+            for q in &qs {
+                black_box(ctree.search(q, |id| &gs[id]));
+            }
+        })
+    });
+    group.finish();
+
+    let mut build = c.benchmark_group("index_build_300_molecules");
+    build.sample_size(10);
+    build.bench_function("triple", |b| {
+        b.iter(|| black_box(TripleIndex::build(gs.iter().enumerate())))
+    });
+    build.bench_function("ctree_fanout8", |b| {
+        b.iter(|| black_box(ClosureTree::bulk_load(gs.iter().enumerate(), 8)))
+    });
+    build.finish();
+}
+
+criterion_group!(benches, bench_indices);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark of pattern maintenance: MIDAS batch updates vs
+//! re-running CATAPULT from scratch (the comparison behind experiment
+//! E4, at micro-benchmark precision).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use midas::{Midas, MidasConfig};
+use std::hint::black_box;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::{BatchUpdate, GraphCollection};
+
+fn base_collection() -> GraphCollection {
+    GraphCollection::new(vqi_datasets::aids_like(vqi_datasets::MoleculeParams {
+        count: 60,
+        seed: 21,
+        ..Default::default()
+    }))
+}
+
+fn drift_batch() -> Vec<vqi_graph::Graph> {
+    (0..12)
+        .map(|i| {
+            if i % 2 == 0 {
+                vqi_graph::generate::clique(4 + i % 2, 3, 0)
+            } else {
+                vqi_graph::generate::star(5 + i % 3, 4, 0)
+            }
+        })
+        .collect()
+}
+
+fn bench_midas_update(c: &mut Criterion) {
+    let budget = PatternBudget::new(5, 4, 7);
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(10);
+    group.bench_function("midas_batch_update", |b| {
+        b.iter_batched(
+            || {
+                Midas::bootstrap(base_collection(), budget, MidasConfig::default())
+            },
+            |mut m| {
+                black_box(m.apply_update(BatchUpdate::adding(drift_batch())));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("catapult_rerun", |b| {
+        // the from-scratch alternative on the post-update collection
+        let mut col = base_collection();
+        col.apply(BatchUpdate::adding(drift_batch()));
+        b.iter(|| {
+            black_box(catapult::Catapult::default().run_with_state(&col, &budget))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_midas_update);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of end-to-end pattern selection: CATAPULT on
+//! collections, TATTOO on networks, the modular pipeline, and the random
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::GraphRepository;
+use vqi_core::selector::{PatternSelector, RandomSelector};
+
+fn bench_catapult(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catapult");
+    group.sample_size(10);
+    for count in [30usize, 60] {
+        let repo = GraphRepository::collection(vqi_datasets::aids_like(
+            vqi_datasets::MoleculeParams {
+                count,
+                seed: 7,
+                ..Default::default()
+            },
+        ));
+        let budget = PatternBudget::new(6, 4, 7);
+        group.bench_with_input(BenchmarkId::new("select", count), &repo, |b, repo| {
+            b.iter(|| black_box(catapult::Catapult::default().select(repo, &budget)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tattoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tattoo");
+    group.sample_size(10);
+    for nodes in [300usize, 800] {
+        let repo = GraphRepository::network(vqi_datasets::dblp_like(nodes, 9));
+        let budget = PatternBudget::new(6, 4, 6);
+        group.bench_with_input(BenchmarkId::new("select", nodes), &repo, |b, repo| {
+            b.iter(|| black_box(tattoo::Tattoo::default().select(repo, &budget)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_modular_and_random(c: &mut Criterion) {
+    let repo = GraphRepository::collection(vqi_datasets::aids_like(
+        vqi_datasets::MoleculeParams {
+            count: 40,
+            seed: 11,
+            ..Default::default()
+        },
+    ));
+    let budget = PatternBudget::new(6, 4, 7);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("modular_standard", |b| {
+        b.iter(|| {
+            black_box(vqi_modular::ModularPipeline::standard().select(&repo, &budget))
+        })
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| black_box(RandomSelector::new(3).select(&repo, &budget)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_catapult, bench_tattoo, bench_modular_and_random);
+criterion_main!(benches);

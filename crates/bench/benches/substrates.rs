@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the hot substrates: subgraph
+//! isomorphism, truss decomposition, graphlet counting, canonical codes,
+//! and graph closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vqi_graph::canon::canonical_code;
+use vqi_graph::generate as gen;
+use vqi_graph::graphlet::{count_graphlets, sample_graphlets};
+use vqi_graph::iso::{count_embeddings, is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::truss::trussness;
+use vqi_mining::closure::closure_of;
+
+fn bench_subgraph_iso(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let target = gen::barabasi_albert(500, 3, 0, &mut rng);
+    let mut group = c.benchmark_group("subgraph_iso");
+    for size in [3usize, 4, 5, 6] {
+        let pattern = gen::chain(size, 0, 0);
+        group.bench_with_input(BenchmarkId::new("chain_exists", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(is_subgraph_isomorphic(
+                    &pattern,
+                    &target,
+                    MatchOptions::default(),
+                ))
+            })
+        });
+    }
+    let tri = gen::cycle(3, 0, 0);
+    group.bench_function("triangle_count_capped", |b| {
+        b.iter(|| {
+            black_box(count_embeddings(
+                &tri,
+                &target,
+                MatchOptions {
+                    max_embeddings: 1000,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_truss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truss");
+    for nodes in [200usize, 500, 1000] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = gen::barabasi_albert(nodes, 4, 0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("trussness", nodes), &g, |b, g| {
+            b.iter(|| black_box(trussness(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graphlets(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = gen::erdos_renyi(60, 0.1, 0, &mut rng);
+    let mut group = c.benchmark_group("graphlets");
+    group.bench_function("exact_esu_60n", |b| {
+        b.iter(|| black_box(count_graphlets(&g)))
+    });
+    group.bench_function("rand_esu_60n_p05", |b| {
+        let mut r = SmallRng::seed_from_u64(4);
+        b.iter(|| black_box(sample_graphlets(&g, 0.5, &mut r)))
+    });
+    group.finish();
+}
+
+fn bench_canon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical_code");
+    for size in [5usize, 8, 12] {
+        let g = gen::cycle(size, 1, 0);
+        group.bench_with_input(BenchmarkId::new("cycle", size), &g, |b, g| {
+            b.iter(|| black_box(canonical_code(g)))
+        });
+    }
+    let k = gen::clique(10, 0, 0);
+    group.bench_function("clique_10_twin_pruned", |b| {
+        b.iter(|| black_box(canonical_code(&k)))
+    });
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let graphs: Vec<_> = (0..10)
+        .map(|i| gen::chain(8 + i % 4, 1, 0))
+        .collect();
+    let refs: Vec<&vqi_graph::Graph> = graphs.iter().collect();
+    c.bench_function("closure_of_10_chains", |b| {
+        b.iter(|| black_box(closure_of(&refs)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_subgraph_iso,
+    bench_truss,
+    bench_graphlets,
+    bench_canon,
+    bench_closure
+);
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! A1 — ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **score-weight ablation** (CATAPULT): zeroing the diversity weight
+//!    should lower achieved diversity; zeroing the cognitive-load weight
+//!    should raise the selected patterns' mean load;
+//! 2. **truss threshold sensitivity** (TATTOO): how the `G_T`/`G_O`
+//!    split and the selection move with `k`;
+//! 3. **walk-budget sensitivity** (CATAPULT): more candidate walks buy
+//!    coverage with diminishing returns;
+//! 4. **twin-pruning effect** (canonical codes): search-budget
+//!    consumption with and without highly symmetric inputs.
+
+use bench::{print_table, time_ms, write_json};
+use catapult::candidates::WalkParams;
+use catapult::{Catapult, CatapultConfig};
+use serde::Serialize;
+use tattoo::{Tattoo, TattooConfig};
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::GraphRepository;
+use vqi_core::score::{evaluate, QualityWeights};
+use vqi_core::selector::PatternSelector;
+use vqi_datasets::{aids_like, dblp_like, MoleculeParams};
+use vqi_graph::canon::canonical_code_budgeted;
+use vqi_graph::generate as gen;
+
+#[derive(Serialize)]
+struct WeightRow {
+    config: &'static str,
+    coverage: f64,
+    diversity: f64,
+    cognitive_load: f64,
+}
+
+fn weight_ablation() -> Vec<WeightRow> {
+    let repo = GraphRepository::collection(aids_like(MoleculeParams {
+        count: 100,
+        seed: 71,
+        ..Default::default()
+    }));
+    let budget = PatternBudget::new(6, 4, 8);
+    let configs: Vec<(&'static str, QualityWeights)> = vec![
+        ("default (0.5/0.5)", QualityWeights::default()),
+        ("no diversity term", QualityWeights { diversity: 0.0, cognitive: 0.5 }),
+        ("no cognitive term", QualityWeights { diversity: 0.5, cognitive: 0.0 }),
+        ("coverage only", QualityWeights { diversity: 0.0, cognitive: 0.0 }),
+    ];
+    let mut rows = Vec::new();
+    for (name, weights) in configs {
+        let cat = Catapult::new(CatapultConfig {
+            weights,
+            ..Default::default()
+        });
+        let set = cat.select(&repo, &budget);
+        let q = evaluate(&set, &repo, QualityWeights::default());
+        rows.push(WeightRow {
+            config: name,
+            coverage: q.coverage,
+            diversity: q.diversity,
+            cognitive_load: q.cognitive_load,
+        });
+    }
+    rows
+}
+
+#[derive(Serialize)]
+struct TrussRow {
+    k: u32,
+    infested_pct: f64,
+    coverage: f64,
+    diversity: f64,
+}
+
+fn truss_ablation() -> Vec<TrussRow> {
+    let net = dblp_like(1_000, 72);
+    let budget = PatternBudget::new(6, 4, 6);
+    let mut rows = Vec::new();
+    for k in [3u32, 4, 5] {
+        let d = vqi_graph::truss::decompose(&net, k);
+        let t = Tattoo::new(TattooConfig {
+            truss_k: k,
+            ..Default::default()
+        });
+        let set = t.run(&net, &budget);
+        let repo = GraphRepository::network(net.clone());
+        let q = evaluate(&set, &repo, QualityWeights::default());
+        rows.push(TrussRow {
+            k,
+            infested_pct: 100.0 * d.infested_edges.len() as f64 / net.edge_count() as f64,
+            coverage: q.coverage,
+            diversity: q.diversity,
+        });
+    }
+    rows
+}
+
+#[derive(Serialize)]
+struct WalkRow {
+    walks_per_csg: usize,
+    coverage: f64,
+    select_ms: f64,
+}
+
+fn walk_ablation() -> Vec<WalkRow> {
+    let repo = GraphRepository::collection(aids_like(MoleculeParams {
+        count: 80,
+        seed: 73,
+        ..Default::default()
+    }));
+    let budget = PatternBudget::new(6, 4, 8);
+    let mut rows = Vec::new();
+    for walks in [10usize, 30, 60, 120] {
+        let cat = Catapult::new(CatapultConfig {
+            walks: WalkParams {
+                walks_per_csg: walks,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let (set, ms) = time_ms(|| cat.select(&repo, &budget));
+        let q = evaluate(&set, &repo, QualityWeights::default());
+        rows.push(WalkRow {
+            walks_per_csg: walks,
+            coverage: q.coverage,
+            select_ms: ms,
+        });
+    }
+    rows
+}
+
+#[derive(Serialize)]
+struct CanonRow {
+    input: &'static str,
+    nodes: usize,
+    truncated: bool,
+    ms: f64,
+}
+
+fn canon_ablation() -> Vec<CanonRow> {
+    // symmetric inputs are the worst case for the ordering search; twin
+    // pruning keeps them inside tiny budgets
+    let inputs: Vec<(&'static str, vqi_graph::Graph)> = vec![
+        ("clique-12", gen::clique(12, 0, 0)),
+        ("star-20", gen::star(20, 0, 0)),
+        ("cycle-16", gen::cycle(16, 0, 0)),
+        ("petal(4,3)", gen::petal(4, 3, 0, 0)),
+    ];
+    let mut rows = Vec::new();
+    for (name, g) in inputs {
+        let (code, ms) = time_ms(|| canonical_code_budgeted(&g, 200_000));
+        rows.push(CanonRow {
+            input: name,
+            nodes: g.node_count(),
+            truncated: code.is_truncated(),
+            ms,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let w = weight_ablation();
+    print_table(
+        "A1.1: CATAPULT score-weight ablation (achieved quality of selection)",
+        &["config", "coverage", "diversity", "cogload"],
+        &w.iter()
+            .map(|r| {
+                vec![
+                    r.config.to_string(),
+                    format!("{:.3}", r.coverage),
+                    format!("{:.3}", r.diversity),
+                    format!("{:.3}", r.cognitive_load),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // shape: dropping the diversity term cannot increase diversity
+    let default_div = w[0].diversity;
+    let no_div = w[1].diversity;
+    assert!(
+        no_div <= default_div + 0.05,
+        "diversity term inactive? {no_div} vs {default_div}"
+    );
+
+    let t = truss_ablation();
+    print_table(
+        "A1.2: TATTOO truss-threshold sensitivity",
+        &["k", "G_T edges %", "coverage", "diversity"],
+        &t.iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    format!("{:.1}%", r.infested_pct),
+                    format!("{:.3}", r.coverage),
+                    format!("{:.3}", r.diversity),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        t.windows(2).all(|p| p[1].infested_pct <= p[0].infested_pct),
+        "G_T must shrink as k grows"
+    );
+
+    let wk = walk_ablation();
+    print_table(
+        "A1.3: CATAPULT walk-budget sensitivity",
+        &["walks/CSG", "coverage", "ms"],
+        &wk.iter()
+            .map(|r| {
+                vec![
+                    r.walks_per_csg.to_string(),
+                    format!("{:.3}", r.coverage),
+                    format!("{:.0}", r.select_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let c = canon_ablation();
+    print_table(
+        "A1.4: canonical codes on symmetric inputs (twin pruning active)",
+        &["input", "n", "truncated", "ms"],
+        &c.iter()
+            .map(|r| {
+                vec![
+                    r.input.to_string(),
+                    r.nodes.to_string(),
+                    r.truncated.to_string(),
+                    format!("{:.2}", r.ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        c.iter().all(|r| !r.truncated),
+        "symmetric inputs must fit the budget thanks to twin pruning"
+    );
+
+    write_json("a1_weight_ablation", &w);
+    write_json("a1_truss_ablation", &t);
+    write_json("a1_walk_ablation", &wk);
+    write_json("a1_canon_ablation", &c);
+}

@@ -1,0 +1,116 @@
+//! E11 (extension, §2.5 "data-driven VQI maintenance for large
+//! networks") — the open problem, measured: localized TATTOO maintenance
+//! vs re-running TATTOO from scratch as the network evolves through edge
+//! batches. Shape: maintenance is faster than reruns and the maintained
+//! set never scores worse than the stale one.
+
+use bench::{print_table, time_ms, write_json};
+use serde::Serialize;
+use tattoo::maintain::{EdgeBatch, MaintainConfig, NetworkMaintainer};
+use tattoo::Tattoo;
+use vqi_core::budget::PatternBudget;
+use vqi_datasets::dblp_like;
+
+#[derive(Serialize)]
+struct Row {
+    batch: usize,
+    churn_pct: f64,
+    kind: String,
+    maintain_ms: f64,
+    rerun_ms: f64,
+    speedup: f64,
+    swaps: usize,
+    score_after: f64,
+}
+
+/// A batch that appends hubs and wires random leaf cycles (structural
+/// drift), sized to the requested churn.
+fn drift_batch(m: &NetworkMaintainer, target_edges: usize, label: u32) -> EdgeBatch {
+    let mut batch = EdgeBatch::default();
+    let base = m.network.node_count() as u32;
+    let mut next = base;
+    let mut edges = 0usize;
+    while edges < target_edges {
+        // one star of 6 leaves plus a closing cycle among the leaves
+        let hub = next;
+        batch.node_additions.push(label);
+        next += 1;
+        let mut leaves = Vec::new();
+        for _ in 0..6 {
+            batch.node_additions.push(label);
+            leaves.push(next);
+            next += 1;
+        }
+        for &l in &leaves {
+            batch.edge_additions.push((hub, l, 0));
+            edges += 1;
+        }
+        for w in leaves.windows(2) {
+            batch.edge_additions.push((w[0], w[1], 0));
+            edges += 1;
+        }
+    }
+    batch
+}
+
+fn main() {
+    let net = dblp_like(1_200, 99);
+    let budget = PatternBudget::new(6, 4, 6);
+    let initial = Tattoo::default().run(&net, &budget);
+    let mut maintainer =
+        NetworkMaintainer::new(net, initial, budget, MaintainConfig::default());
+
+    let mut rows = Vec::new();
+    for (batch_no, churn_target) in [0.01f64, 0.05, 0.10, 0.05].iter().enumerate() {
+        let target_edges =
+            (maintainer.network.edge_count() as f64 * churn_target) as usize;
+        let batch = drift_batch(&maintainer, target_edges.max(1), 20 + batch_no as u32);
+        let pre_score = maintainer.score();
+        let (report, maintain_ms) = time_ms(|| maintainer.apply_batch(batch));
+        let post_score = maintainer.score();
+        assert!(
+            post_score >= pre_score - 0.25,
+            "score cratered: {pre_score:.3} -> {post_score:.3}"
+        );
+
+        let (_, rerun_ms) = time_ms(|| {
+            Tattoo::default().run(&maintainer.network, &budget)
+        });
+
+        rows.push(Row {
+            batch: batch_no,
+            churn_pct: 100.0 * report.churn,
+            kind: format!("{:?}", report.modification),
+            maintain_ms,
+            rerun_ms,
+            speedup: rerun_ms / maintain_ms.max(1e-9),
+            swaps: report.swaps,
+            score_after: post_score,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.batch.to_string(),
+                format!("{:.1}%", r.churn_pct),
+                r.kind.clone(),
+                format!("{:.0}", r.maintain_ms),
+                format!("{:.0}", r.rerun_ms),
+                format!("{:.1}x", r.speedup),
+                r.swaps.to_string(),
+                format!("{:.3}", r.score_after),
+            ]
+        })
+        .collect();
+    print_table(
+        "E11: network pattern maintenance vs TATTOO rerun (1200-node base)",
+        &["batch", "churn", "kind", "maintain ms", "rerun ms", "speedup", "swaps", "score"],
+        &table,
+    );
+    write_json("e11_network_maintenance", &rows);
+
+    let mean: f64 = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    println!("mean speedup over rerun: {mean:.1}x");
+}

@@ -1,0 +1,113 @@
+//! E1 — query formulation efficiency on a graph collection
+//! (reproduces the usability claim of §2.3 for CATAPULT: data-driven
+//! VQIs need fewer steps and less time than manual VQIs, with the gap
+//! widening as queries grow).
+
+use bench::{print_table, write_json};
+use catapult::Catapult;
+use serde::Serialize;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::GraphRepository;
+use vqi_core::selector::RandomSelector;
+use vqi_core::vqi::VisualQueryInterface;
+use vqi_datasets::{aids_like, MoleculeParams};
+use vqi_sim::cost::ActionCosts;
+use vqi_sim::usability::evaluate_interface;
+use vqi_sim::workload::{sample_queries, WorkloadParams};
+
+#[derive(Serialize)]
+struct Row {
+    query_size: usize,
+    catapult_steps: f64,
+    catapult_time: f64,
+    random_steps: f64,
+    random_time: f64,
+    manual_steps: f64,
+    manual_time: f64,
+    catapult_errors: f64,
+    manual_errors: f64,
+}
+
+fn main() {
+    let graphs = aids_like(MoleculeParams {
+        count: 200,
+        seed: 101,
+        ..Default::default()
+    });
+    let repo = GraphRepository::collection(graphs);
+    let budget = PatternBudget::new(8, 4, 8);
+    let catapult = VisualQueryInterface::data_driven(&repo, &Catapult::default(), &budget);
+    let random =
+        VisualQueryInterface::data_driven(&repo, &RandomSelector::new(3), &budget);
+    let manual = VisualQueryInterface::manual(
+        repo.node_labels().into_iter().collect(),
+        repo.edge_labels().into_iter().collect(),
+        vec![],
+    );
+    let costs = ActionCosts::default();
+
+    let mut rows = Vec::new();
+    for query_size in [4usize, 6, 8, 10, 12] {
+        let queries = sample_queries(
+            &repo,
+            &WorkloadParams {
+                count: 20,
+                sizes: vec![query_size],
+                seed: 500 + query_size as u64,
+            },
+        );
+        let c = evaluate_interface(&catapult, &queries, &costs);
+        let r = evaluate_interface(&random, &queries, &costs);
+        let m = evaluate_interface(&manual, &queries, &costs);
+        rows.push(Row {
+            query_size,
+            catapult_steps: c.mean_steps,
+            catapult_time: c.mean_time,
+            random_steps: r.mean_steps,
+            random_time: r.mean_time,
+            manual_steps: m.mean_steps,
+            manual_time: m.mean_time,
+            catapult_errors: c.mean_errors,
+            manual_errors: m.mean_errors,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.query_size.to_string(),
+                format!("{:.2}", r.catapult_steps),
+                format!("{:.1}", r.catapult_time),
+                format!("{:.2}", r.random_steps),
+                format!("{:.1}", r.random_time),
+                format!("{:.2}", r.manual_steps),
+                format!("{:.1}", r.manual_time),
+                format!("{:.2}", r.catapult_errors),
+                format!("{:.2}", r.manual_errors),
+            ]
+        })
+        .collect();
+    print_table(
+        "E1: mean formulation steps / modeled time (s) on a 200-compound collection",
+        &["|Q|", "cat steps", "cat t", "rnd steps", "rnd t", "man steps", "man t", "cat err", "man err"],
+        &table,
+    );
+    write_json("e1_formulation_collection", &rows);
+
+    // shape assertions: data-driven <= manual, gap grows with |Q|
+    for r in &rows {
+        assert!(
+            r.catapult_steps <= r.manual_steps,
+            "|Q|={}: catapult {} > manual {}",
+            r.query_size,
+            r.catapult_steps,
+            r.manual_steps
+        );
+    }
+    let gap_small = rows[0].manual_steps - rows[0].catapult_steps;
+    let gap_large = rows.last().unwrap().manual_steps - rows.last().unwrap().catapult_steps;
+    println!(
+        "step gap at |Q|=4: {gap_small:.2}, at |Q|=12: {gap_large:.2} (expected to widen)"
+    );
+}

@@ -1,0 +1,88 @@
+//! E2 — query formulation efficiency on a large network (reproduces the
+//! §2.3 usability claim for TATTOO vs manual VQIs).
+
+use bench::{print_table, write_json};
+use serde::Serialize;
+use tattoo::Tattoo;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::GraphRepository;
+use vqi_core::vqi::VisualQueryInterface;
+use vqi_datasets::dblp_like;
+use vqi_sim::cost::ActionCosts;
+use vqi_sim::usability::evaluate_interface;
+use vqi_sim::workload::{sample_queries, WorkloadParams};
+
+#[derive(Serialize)]
+struct Row {
+    query_size: usize,
+    tattoo_steps: f64,
+    tattoo_time: f64,
+    manual_steps: f64,
+    manual_time: f64,
+    patterns_per_query: f64,
+}
+
+fn main() {
+    let net = dblp_like(3_000, 42);
+    let repo = GraphRepository::network(net);
+    let budget = PatternBudget::new(10, 4, 8);
+    let tattoo = VisualQueryInterface::data_driven(&repo, &Tattoo::default(), &budget);
+    let manual = VisualQueryInterface::manual(
+        repo.node_labels().into_iter().collect(),
+        repo.edge_labels().into_iter().collect(),
+        vec![],
+    );
+    let costs = ActionCosts::default();
+
+    let mut rows = Vec::new();
+    for query_size in [4usize, 6, 8, 10] {
+        let queries = sample_queries(
+            &repo,
+            &WorkloadParams {
+                count: 15,
+                sizes: vec![query_size],
+                seed: 900 + query_size as u64,
+            },
+        );
+        let t = evaluate_interface(&tattoo, &queries, &costs);
+        let m = evaluate_interface(&manual, &queries, &costs);
+        rows.push(Row {
+            query_size,
+            tattoo_steps: t.mean_steps,
+            tattoo_time: t.mean_time,
+            manual_steps: m.mean_steps,
+            manual_time: m.mean_time,
+            patterns_per_query: t.mean_patterns_used,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.query_size.to_string(),
+                format!("{:.2}", r.tattoo_steps),
+                format!("{:.1}", r.tattoo_time),
+                format!("{:.2}", r.manual_steps),
+                format!("{:.1}", r.manual_time),
+                format!("{:.2}", r.patterns_per_query),
+            ]
+        })
+        .collect();
+    print_table(
+        "E2: formulation on a 3000-node coauthorship network",
+        &["|Q|", "tattoo steps", "tattoo t", "man steps", "man t", "patterns/q"],
+        &table,
+    );
+    write_json("e2_formulation_network", &rows);
+
+    for r in &rows {
+        assert!(
+            r.tattoo_steps <= r.manual_steps,
+            "|Q|={}: tattoo {} > manual {}",
+            r.query_size,
+            r.tattoo_steps,
+            r.manual_steps
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! E4 — maintenance efficiency and effectiveness (§2.4): MIDAS batch
+//! maintenance vs re-running CATAPULT from scratch, across batch sizes.
+//! Shape: MIDAS is several times faster, and the maintained set's
+//! quality on the updated repository is ≥ the stale set's.
+
+use bench::{print_table, time_ms, write_json};
+use catapult::Catapult;
+use midas::{Midas, MidasConfig};
+use serde::Serialize;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::{BatchUpdate, GraphCollection, GraphRepository};
+use vqi_core::score::evaluate;
+use vqi_datasets::{aids_like, MoleculeParams};
+
+#[derive(Serialize)]
+struct Row {
+    batch_pct: usize,
+    modification: String,
+    midas_ms: f64,
+    rerun_ms: f64,
+    speedup: f64,
+    stale_score: f64,
+    maintained_score: f64,
+    swaps: usize,
+}
+
+fn main() {
+    let base_count = 120usize;
+    let budget = PatternBudget::new(6, 4, 7);
+    let mut rows = Vec::new();
+
+    for batch_pct in [5usize, 10, 25, 50] {
+        let initial = aids_like(MoleculeParams {
+            count: base_count,
+            seed: 400,
+            ..Default::default()
+        });
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial),
+            budget,
+            MidasConfig::default(),
+        );
+        let stale = m.patterns.clone();
+
+        // a structurally drifting batch: cliques + stars (ring systems
+        // and hub compounds the original repository lacked)
+        let n_add = base_count * batch_pct / 100;
+        let batch: Vec<vqi_graph::Graph> = (0..n_add)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vqi_graph::generate::clique(4 + i % 2, 3, 0)
+                } else {
+                    vqi_graph::generate::star(5 + i % 3, 4, 0)
+                }
+            })
+            .collect();
+
+        let (report, midas_ms) = time_ms(|| m.apply_update(BatchUpdate::adding(batch)));
+        let (_, rerun_ms) = time_ms(|| {
+            Catapult::default().run_with_state(&m.collection, &budget)
+        });
+
+        let repo = GraphRepository::Collection(m.collection.clone());
+        let w = Default::default();
+        let stale_score = evaluate(&stale, &repo, w).score;
+        let maintained_score = evaluate(&m.patterns, &repo, w).score;
+        assert!(
+            maintained_score >= stale_score - 1e-9,
+            "quality guarantee violated at {batch_pct}%"
+        );
+
+        rows.push(Row {
+            batch_pct,
+            modification: format!("{:?}", report.modification),
+            midas_ms,
+            rerun_ms,
+            speedup: rerun_ms / midas_ms.max(1e-9),
+            stale_score,
+            maintained_score,
+            swaps: report.swaps,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.batch_pct),
+                r.modification.clone(),
+                format!("{:.1}", r.midas_ms),
+                format!("{:.1}", r.rerun_ms),
+                format!("{:.1}x", r.speedup),
+                format!("{:.3}", r.stale_score),
+                format!("{:.3}", r.maintained_score),
+                r.swaps.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E4: MIDAS maintenance vs CATAPULT rerun (120-compound base)",
+        &["batch", "kind", "midas ms", "rerun ms", "speedup", "stale", "maintained", "swaps"],
+        &table,
+    );
+    write_json("e4_maintenance", &rows);
+
+    let mean_speedup: f64 =
+        rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    println!("mean speedup: {mean_speedup:.1}x (paper shape: maintenance ≫ rerun)");
+}

@@ -1,0 +1,87 @@
+//! E7 — Berlyne's inverted-U (§2.1, §2.5): pleasantness of pattern
+//! drawings peaks at moderate visual complexity. We sweep pattern
+//! size/density, lay each pattern out, compute visual complexity and the
+//! Berlyne pleasantness, and check the curve rises then falls.
+
+use bench::{print_table, write_json};
+use serde::Serialize;
+use vqi_core::aesthetics::{berlyne_pleasantness, visual_complexity};
+use vqi_core::layout::{force_directed, LayoutParams};
+use vqi_graph::generate as gen;
+use vqi_graph::Graph;
+
+#[derive(Serialize)]
+struct Row {
+    stimulus: String,
+    nodes: usize,
+    edges: usize,
+    crossings: usize,
+    complexity: f64,
+    pleasantness: f64,
+}
+
+fn main() {
+    // a complexity ladder from trivial to hairball
+    let stimuli: Vec<(String, Graph)> = vec![
+        ("edge".into(), gen::chain(2, 0, 0)),
+        ("2-path".into(), gen::chain(3, 0, 0)),
+        ("triangle".into(), gen::cycle(3, 0, 0)),
+        ("4-star".into(), gen::star(4, 0, 0)),
+        ("5-cycle".into(), gen::cycle(5, 0, 0)),
+        ("petal(3,2)".into(), gen::petal(3, 2, 0, 0)),
+        ("flower(3,4)".into(), gen::flower(3, 4, 0, 0)),
+        ("K5".into(), gen::clique(5, 0, 0)),
+        ("K7".into(), gen::clique(7, 0, 0)),
+        ("K9".into(), gen::clique(9, 0, 0)),
+    ];
+
+    // Berlyne optimum: tuned to a "moderate" pattern (a 5-cycle)
+    let moderate = gen::cycle(5, 0, 0);
+    let layout = force_directed(&moderate, LayoutParams::default());
+    let optimum = visual_complexity(&moderate, &layout).complexity;
+    let sigma = 1.0;
+
+    let mut rows = Vec::new();
+    for (name, g) in &stimuli {
+        let layout = force_directed(g, LayoutParams::default());
+        let vc = visual_complexity(g, &layout);
+        rows.push(Row {
+            stimulus: name.clone(),
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            crossings: vc.crossings,
+            complexity: vc.complexity,
+            pleasantness: berlyne_pleasantness(vc.complexity, optimum, sigma),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stimulus.clone(),
+                r.nodes.to_string(),
+                r.edges.to_string(),
+                r.crossings.to_string(),
+                format!("{:.2}", r.complexity),
+                format!("{:.3}", r.pleasantness),
+            ]
+        })
+        .collect();
+    print_table(
+        "E7: visual complexity vs Berlyne pleasantness (optimum at 5-cycle)",
+        &["stimulus", "n", "m", "crossings", "complexity", "pleasantness"],
+        &table,
+    );
+    write_json("e7_aesthetics", &rows);
+
+    // inverted-U shape: the peak is interior, ends are below it
+    let peak = rows
+        .iter()
+        .map(|r| r.pleasantness)
+        .fold(f64::MIN, f64::max);
+    let first = rows.first().unwrap().pleasantness;
+    let last = rows.last().unwrap().pleasantness;
+    assert!(peak > first && peak > last, "curve is not inverted-U");
+    println!("inverted-U confirmed: ends {first:.3} / {last:.3}, peak {peak:.3}");
+}

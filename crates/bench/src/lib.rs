@@ -1,0 +1,94 @@
+//! Shared support for the experiment harnesses.
+//!
+//! Every `exp_*` binary prints a human-readable table to stdout and
+//! writes the same rows as JSON under `target/experiments/` so
+//! EXPERIMENTS.md can be regenerated mechanically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&headers));
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+    println!();
+}
+
+/// Directory for machine-readable experiment outputs.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes a serializable record as `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(&path, json).expect("write experiment json");
+    println!("(wrote {})", path.display());
+}
+
+/// Milliseconds elapsed by `f`, with the result.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()]],
+        );
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (v, ms) = time_ms(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn json_write_round_trips() {
+        write_json("selftest", &vec![1, 2, 3]);
+        let text =
+            std::fs::read_to_string(experiments_dir().join("selftest.json")).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Candidate-pattern generation by weighted random walks over CSGs.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use vqi_core::budget::PatternBudget;
+use vqi_graph::canon::{canonical_code, CanonicalCode};
+use vqi_graph::traversal::is_connected;
+use vqi_graph::{Graph, NodeId};
+use vqi_mining::closure::ClusterSummaryGraph;
+
+/// A candidate pattern with its origin.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The candidate pattern graph (a connected subgraph of a CSG).
+    pub graph: Graph,
+    /// Canonical code for dedup.
+    pub code: CanonicalCode,
+    /// Index of the CSG it came from.
+    pub csg_index: usize,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkParams {
+    /// Number of walks attempted per CSG.
+    pub walks_per_csg: usize,
+    /// Maximum walk steps before giving up on reaching the target size.
+    pub max_steps: usize,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        WalkParams {
+            walks_per_csg: 60,
+            max_steps: 64,
+        }
+    }
+}
+
+/// Runs one weighted random walk on `csg` until `target` distinct nodes
+/// are visited (or the step budget runs out) and returns the induced
+/// subgraph on the visited nodes, if connected and budget-admissible.
+fn walk_candidate<R: Rng>(
+    csg: &ClusterSummaryGraph,
+    target: usize,
+    max_steps: usize,
+    rng: &mut R,
+) -> Option<Graph> {
+    let g = &csg.closure.graph;
+    if g.node_count() < target || target == 0 {
+        return None;
+    }
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    // start biased toward heavy nodes: pick the endpoint of a weighted edge
+    let start = if g.edge_count() > 0 {
+        let total: f64 = csg.closure.edge_weights.iter().sum();
+        let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = NodeId(0);
+        for e in g.edges() {
+            let w = csg.closure.edge_weights[e.index()];
+            if x < w {
+                let (u, v) = g.endpoints(e);
+                chosen = if rng.gen_bool(0.5) { u } else { v };
+                break;
+            }
+            x -= w;
+        }
+        chosen
+    } else {
+        *nodes.choose(rng)?
+    };
+    let mut visited = vec![false; g.node_count()];
+    let mut order = vec![start];
+    visited[start.index()] = true;
+    let mut cur = start;
+    let weight = |e: vqi_graph::EdgeId| csg.closure.edge_weights[e.index()];
+    for _ in 0..max_steps {
+        if order.len() == target {
+            break;
+        }
+        match vqi_graph::traversal::weighted_step(g, cur, &weight, rng) {
+            Some((next, _)) => {
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    order.push(next);
+                }
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    if order.len() != target {
+        return None;
+    }
+    let (sub, _) = g.induced_subgraph(&order);
+    if is_connected(&sub) {
+        Some(sub)
+    } else {
+        None
+    }
+}
+
+/// Generates deduplicated candidates from all CSGs.
+pub fn generate_candidates<R: Rng>(
+    csgs: &[ClusterSummaryGraph],
+    budget: &PatternBudget,
+    params: WalkParams,
+    rng: &mut R,
+) -> Vec<Candidate> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (ci, csg) in csgs.iter().enumerate() {
+        for _ in 0..params.walks_per_csg {
+            let target = rng.gen_range(budget.min_size..=budget.max_size);
+            if let Some(sub) = walk_candidate(csg, target, params.max_steps, rng) {
+                if !budget.admits(&sub) {
+                    continue;
+                }
+                let code = canonical_code(&sub);
+                if seen.insert(code.clone()) {
+                    out.push(Candidate {
+                        graph: sub,
+                        code,
+                        csg_index: ci,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vqi_graph::generate::{chain, cycle, star};
+    use vqi_mining::closure::ClusterSummaryGraph;
+
+    fn sample_csgs() -> Vec<ClusterSummaryGraph> {
+        let graphs = [chain(8, 1, 0), cycle(7, 1, 0), star(7, 1, 0)];
+        vec![
+            ClusterSummaryGraph::build(&[0, 1], |i| &graphs[i]).unwrap(),
+            ClusterSummaryGraph::build(&[2], |i| &graphs[i]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn candidates_are_connected_and_sized() {
+        let csgs = sample_csgs();
+        let budget = PatternBudget::new(5, 4, 6);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let cands = generate_candidates(&csgs, &budget, WalkParams::default(), &mut rng);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(is_connected(&c.graph));
+            assert!(budget.admits(&c.graph), "size {}", c.graph.node_count());
+            assert!(c.csg_index < csgs.len());
+        }
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let csgs = sample_csgs();
+        let budget = PatternBudget::new(5, 4, 5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cands = generate_candidates(&csgs, &budget, WalkParams::default(), &mut rng);
+        let mut codes: Vec<&CanonicalCode> = cands.iter().map(|c| &c.code).collect();
+        let before = codes.len();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(before, codes.len());
+    }
+
+    #[test]
+    fn too_small_csg_yields_nothing() {
+        let graphs = [chain(2, 1, 0)];
+        let csgs = vec![ClusterSummaryGraph::build(&[0], |i| &graphs[i]).unwrap()];
+        let budget = PatternBudget::new(5, 4, 6);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cands = generate_candidates(&csgs, &budget, WalkParams::default(), &mut rng);
+        assert!(cands.is_empty());
+    }
+}

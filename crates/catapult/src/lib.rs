@@ -1,0 +1,30 @@
+//! CATAPULT — data-driven selection of canned patterns for a large
+//! collection of small/medium data graphs (Huang et al., SIGMOD 2019, as
+//! surveyed in §2.3 of the tutorial).
+//!
+//! The pipeline has three steps:
+//!
+//! 1. **Cluster** the collection by frequent-subtree feature similarity
+//!    ([`vqi_mining::fst`] + [`vqi_mining::cluster`]);
+//! 2. **Summarize** each cluster into a *cluster summary graph* (CSG) by
+//!    iterated graph closure ([`vqi_mining::closure`]), so that every
+//!    member graph embeds in its cluster's CSG;
+//! 3. **Select** canned patterns greedily: candidates are proposed by
+//!    weighted random walks over the CSGs (edge weights = how many
+//!    members contributed the edge), and the candidate maximizing the
+//!    *pattern score* — marginal coverage + diversity against the already
+//!    selected set − cognitive load — is taken until the budget is filled
+//!    or candidates run out.
+//!
+//! [`Catapult::run_with_state`] additionally returns the intermediate
+//! artifacts (feature space, clustering, CSGs, candidate pool), which
+//! MIDAS maintains incrementally instead of recomputing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod pipeline;
+pub mod select;
+
+pub use pipeline::{Catapult, CatapultConfig, CatapultState};

@@ -1,0 +1,269 @@
+//! The end-to-end CATAPULT pipeline.
+
+use crate::candidates::{generate_candidates, WalkParams};
+use crate::select::{greedy_select, score_candidates};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::PatternSet;
+use vqi_core::repo::{GraphCollection, GraphRepository};
+use vqi_core::score::QualityWeights;
+use vqi_core::selector::PatternSelector;
+use vqi_mining::closure::ClusterSummaryGraph;
+use vqi_mining::cluster::{k_medoids, Clustering, DistanceMatrix};
+use vqi_mining::features::{cosine_distance, FeatureSpace};
+use vqi_mining::fst::{mine_frequent_subtrees, MineParams};
+
+/// CATAPULT configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CatapultConfig {
+    /// Minimum support for frequent-subtree features, as a fraction of
+    /// the collection size.
+    pub min_support_frac: f64,
+    /// Maximum feature-tree size in nodes.
+    pub max_feature_nodes: usize,
+    /// Number of clusters; `None` picks `⌈√(n/2)⌉`.
+    pub clusters: Option<usize>,
+    /// k-medoids iterations.
+    pub cluster_iters: usize,
+    /// Random-walk candidate generation parameters.
+    pub walks: WalkParams,
+    /// Score weights.
+    pub weights: QualityWeights,
+    /// RNG seed (whole pipeline is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for CatapultConfig {
+    fn default() -> Self {
+        CatapultConfig {
+            min_support_frac: 0.1,
+            max_feature_nodes: 4,
+            clusters: None,
+            cluster_iters: 15,
+            walks: WalkParams::default(),
+            weights: QualityWeights::default(),
+            seed: 0xCA7A,
+        }
+    }
+}
+
+/// Intermediate pipeline artifacts, kept so MIDAS can maintain them.
+#[derive(Debug)]
+pub struct CatapultState {
+    /// Feature space over mined frequent subtrees.
+    pub feature_space: FeatureSpace,
+    /// Feature vectors of the live graphs, aligned with `graph_ids`.
+    pub feature_vectors: Vec<Vec<f64>>,
+    /// The live graph ids the clustering refers to.
+    pub graph_ids: Vec<usize>,
+    /// The clustering over positions of `graph_ids`.
+    pub clustering: Clustering,
+    /// One CSG per non-empty cluster.
+    pub csgs: Vec<ClusterSummaryGraph>,
+}
+
+/// The CATAPULT selector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Catapult {
+    /// Configuration.
+    pub config: CatapultConfig,
+}
+
+impl Catapult {
+    /// A selector with the given configuration.
+    pub fn new(config: CatapultConfig) -> Self {
+        Catapult { config }
+    }
+
+    /// Runs the pipeline on a collection, returning the selected patterns
+    /// and all intermediate state.
+    pub fn run_with_state(
+        &self,
+        collection: &GraphCollection,
+        budget: &PatternBudget,
+    ) -> (PatternSet, CatapultState) {
+        let cfg = &self.config;
+        let graph_ids = collection.ids();
+        let n = graph_ids.len();
+        let graphs: Vec<vqi_graph::Graph> = graph_ids
+            .iter()
+            .map(|&id| collection.get(id).expect("live id").clone())
+            .collect();
+
+        // step 0: mine features
+        let min_support = ((cfg.min_support_frac * n as f64).ceil() as usize).max(1);
+        let mined = mine_frequent_subtrees(
+            &graphs,
+            MineParams {
+                min_support,
+                max_nodes: cfg.max_feature_nodes,
+            },
+        );
+        let dfs: Vec<usize> = mined.iter().map(|t| t.support()).collect();
+        let trees: Vec<vqi_graph::Graph> = mined.into_iter().map(|t| t.tree).collect();
+        let feature_space = FeatureSpace::with_idf(trees, &dfs, n.max(1));
+        let feature_vectors = feature_space.vectors(&graphs);
+
+        // step 1: cluster by feature distance
+        let k = cfg
+            .clusters
+            .unwrap_or_else(|| ((n as f64 / 2.0).sqrt().ceil() as usize).max(1));
+        let dist = DistanceMatrix::from_fn(n, |i, j| {
+            cosine_distance(&feature_vectors[i], &feature_vectors[j])
+        });
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let clustering = k_medoids(&dist, k, cfg.cluster_iters, &mut rng);
+
+        // step 2: summarize clusters into CSGs
+        let mut csgs = Vec::new();
+        for members in clustering.clusters() {
+            if members.is_empty() {
+                continue;
+            }
+            let member_ids: Vec<usize> = members.iter().map(|&pos| graph_ids[pos]).collect();
+            if let Some(csg) =
+                ClusterSummaryGraph::build(&member_ids, |id| collection.get(id).expect("live id"))
+            {
+                csgs.push(csg);
+            }
+        }
+
+        // step 3: walk candidates, then greedy selection by pattern score
+        let cands = generate_candidates(&csgs, budget, cfg.walks, &mut rng);
+        let (scored, ids) = score_candidates(cands, collection);
+        let patterns = greedy_select(scored, ids.len(), budget, cfg.weights);
+
+        (
+            patterns,
+            CatapultState {
+                feature_space,
+                feature_vectors,
+                graph_ids,
+                clustering,
+                csgs,
+            },
+        )
+    }
+}
+
+impl Catapult {
+    /// Applies the clustering-based pipeline to a large network by
+    /// decomposing it into ego-networks (radius-1 induced neighborhoods,
+    /// capped at `EGO_CAP` neighbors) and treating those as the
+    /// collection. This is how a clustering-based selector must view a
+    /// network — one substructure per node — and is exactly the
+    /// "prohibitively expensive" regime §2.3 describes: the pairwise
+    /// similarity matrix and per-cluster closures grow super-linearly
+    /// with the node count. Experiment E6 measures this against TATTOO.
+    pub fn run_on_network(&self, g: &vqi_graph::Graph, budget: &PatternBudget) -> PatternSet {
+        const EGO_CAP: usize = 20;
+        let egos: Vec<vqi_graph::Graph> = g
+            .nodes()
+            .map(|v| {
+                let mut nodes = vec![v];
+                nodes.extend(g.neighbors(v).map(|(u, _)| u).take(EGO_CAP));
+                g.induced_subgraph(&nodes).0
+            })
+            .collect();
+        self.run_with_state(&GraphCollection::new(egos), budget).0
+    }
+}
+
+impl PatternSelector for Catapult {
+    fn name(&self) -> &'static str {
+        "catapult"
+    }
+
+    fn select(&self, repo: &GraphRepository, budget: &PatternBudget) -> PatternSet {
+        match repo {
+            GraphRepository::Collection(c) => self.run_with_state(c, budget).0,
+            GraphRepository::Network(g) => self.run_on_network(g, budget),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_core::score::{evaluate, QualityWeights};
+    use vqi_graph::generate::{chain, cycle, star};
+    use vqi_graph::traversal::is_connected;
+
+    fn molecule_like() -> Vec<vqi_graph::Graph> {
+        // three structural families
+        let mut graphs = Vec::new();
+        for i in 0..6 {
+            graphs.push(chain(5 + i % 3, 1, 0));
+            graphs.push(cycle(5 + i % 2, 2, 0));
+            graphs.push(star(4 + i % 3, 3, 0));
+        }
+        graphs
+    }
+
+    #[test]
+    fn pipeline_fills_budget_with_valid_patterns() {
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(5, 4, 6);
+        let (set, state) = Catapult::default().run_with_state(&col, &budget);
+        assert!(!set.is_empty(), "should select patterns");
+        assert!(set.len() <= 5);
+        for p in set.patterns() {
+            assert!(budget.admits(&p.graph));
+            assert!(is_connected(&p.graph));
+            assert!(p.provenance.starts_with("catapult:csg"));
+        }
+        assert!(!state.csgs.is_empty());
+        assert_eq!(state.feature_vectors.len(), col.len());
+    }
+
+    #[test]
+    fn every_selected_pattern_covers_something() {
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(5, 4, 6);
+        let (set, _) = Catapult::default().run_with_state(&col, &budget);
+        for p in set.patterns() {
+            let cov = vqi_core::score::pattern_coverage(&p.graph, &col);
+            assert!(cov > 0.0, "pattern {} covers nothing", p.id.0);
+        }
+    }
+
+    #[test]
+    fn beats_random_selection_on_quality() {
+        use vqi_core::selector::{PatternSelector, RandomSelector};
+        let graphs = molecule_like();
+        let repo = GraphRepository::collection(graphs);
+        let budget = PatternBudget::new(5, 4, 6);
+        let w = QualityWeights::default();
+        let cat_set = Catapult::default().select(&repo, &budget);
+        let rnd_set = RandomSelector::new(5).select(&repo, &budget);
+        let cat_q = evaluate(&cat_set, &repo, w);
+        let rnd_q = evaluate(&rnd_set, &repo, w);
+        assert!(
+            cat_q.score >= rnd_q.score,
+            "catapult {:.3} < random {:.3}",
+            cat_q.score,
+            rnd_q.score
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        let (a, _) = Catapult::default().run_with_state(&col, &budget);
+        let (b, _) = Catapult::default().run_with_state(&col, &budget);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.patterns().iter().zip(b.patterns()) {
+            assert_eq!(pa.code, pb.code);
+        }
+    }
+
+    #[test]
+    fn empty_collection_yields_empty_set() {
+        let col = GraphCollection::new(vec![]);
+        let (set, state) = Catapult::default().run_with_state(&col, &PatternBudget::default());
+        assert!(set.is_empty());
+        assert!(state.csgs.is_empty());
+    }
+}

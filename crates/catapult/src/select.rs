@@ -1,0 +1,228 @@
+//! Greedy pattern selection driven by the pattern score.
+//!
+//! Each candidate is scored against the already-selected set:
+//!
+//! ```text
+//! score(p | S) = cov_gain(p, S) / |D|
+//!              + w_div · (1 − max_{q ∈ S} sim(p, q))
+//!              − w_cog · cl(p)
+//! ```
+//!
+//! where `cov_gain` is the number of live data graphs covered by `p` but
+//! by no member of `S`. The best-scoring admissible candidate is selected
+//! until the budget count is reached, no candidate remains, or every
+//! remaining candidate scores non-positively with zero gain.
+
+use crate::candidates::Candidate;
+use rayon::prelude::*;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::{PatternKind, PatternSet};
+use vqi_core::repo::GraphCollection;
+use vqi_core::score::{cognitive_load, covers, QualityWeights};
+use vqi_graph::mcs::mcs_similarity;
+
+/// A candidate plus its coverage bitset over the live graphs.
+#[derive(Debug, Clone)]
+pub struct ScoredCandidate {
+    /// The candidate.
+    pub candidate: Candidate,
+    /// `coverage[i]` = candidate covers `graph_ids[i]`.
+    pub coverage: Vec<bool>,
+    /// Cached cognitive load.
+    pub cognitive_load: f64,
+}
+
+/// Computes coverage bitsets for all candidates in parallel. Candidates
+/// that occur in no live graph are dropped: closure graphs over-generalize
+/// (the union of two members can contain subgraphs present in neither),
+/// and a pattern that matches nothing would only mislead users.
+pub fn score_candidates(
+    candidates: Vec<Candidate>,
+    collection: &GraphCollection,
+) -> (Vec<ScoredCandidate>, Vec<usize>) {
+    let graph_ids = collection.ids();
+    let scored: Vec<ScoredCandidate> = candidates
+        .into_par_iter()
+        .filter_map(|c| {
+            let coverage: Vec<bool> = graph_ids
+                .iter()
+                .map(|&id| covers(&c.graph, collection.get(id).expect("live id")))
+                .collect();
+            if !coverage.iter().any(|&b| b) {
+                return None;
+            }
+            let cl = cognitive_load(&c.graph);
+            Some(ScoredCandidate {
+                candidate: c,
+                coverage,
+                cognitive_load: cl,
+            })
+        })
+        .collect();
+    (scored, graph_ids)
+}
+
+/// Greedy selection of up to `budget.count` patterns from scored
+/// candidates.
+pub fn greedy_select(
+    mut candidates: Vec<ScoredCandidate>,
+    n_graphs: usize,
+    budget: &PatternBudget,
+    weights: QualityWeights,
+) -> PatternSet {
+    let mut set = PatternSet::new();
+    if n_graphs == 0 {
+        return set;
+    }
+    let mut covered = vec![false; n_graphs];
+    let mut selected_graphs: Vec<vqi_graph::Graph> = Vec::new();
+    while set.len() < budget.count && !candidates.is_empty() {
+        let scores: Vec<f64> = candidates
+            .par_iter()
+            .map(|c| {
+                let gain = c
+                    .coverage
+                    .iter()
+                    .zip(covered.iter())
+                    .filter(|(&cv, &done)| cv && !done)
+                    .count() as f64
+                    / n_graphs as f64;
+                let div = if selected_graphs.is_empty() {
+                    1.0
+                } else {
+                    1.0 - selected_graphs
+                        .iter()
+                        .map(|q| mcs_similarity(&c.candidate.graph, q))
+                        .fold(0.0f64, f64::max)
+                };
+                gain + weights.diversity * div - weights.cognitive * c.cognitive_load
+            })
+            .collect();
+        let (best_idx, &best_score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .expect("candidates nonempty");
+        // stop when the best candidate neither covers anything new nor
+        // improves the set score
+        let best_gain = candidates[best_idx]
+            .coverage
+            .iter()
+            .zip(covered.iter())
+            .any(|(&cv, &done)| cv && !done);
+        if best_score <= 0.0 && !best_gain {
+            break;
+        }
+        let chosen = candidates.swap_remove(best_idx);
+        for (i, &cv) in chosen.coverage.iter().enumerate() {
+            if cv {
+                covered[i] = true;
+            }
+        }
+        let provenance = format!("catapult:csg{}", chosen.candidate.csg_index);
+        if set
+            .insert(chosen.candidate.graph.clone(), PatternKind::Canned, provenance)
+            .is_ok()
+        {
+            selected_graphs.push(chosen.candidate.graph);
+        }
+        let _ = best_score;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::Candidate;
+    use vqi_core::repo::GraphCollection;
+    use vqi_graph::canon::canonical_code;
+    use vqi_graph::generate::{chain, clique, cycle, star};
+    use vqi_graph::Graph;
+
+    fn cand(g: Graph) -> Candidate {
+        Candidate {
+            code: canonical_code(&g),
+            graph: g,
+            csg_index: 0,
+        }
+    }
+
+    fn collection() -> GraphCollection {
+        GraphCollection::new(vec![
+            chain(6, 1, 0),
+            chain(5, 1, 0),
+            cycle(5, 2, 0),
+            star(5, 3, 0),
+        ])
+    }
+
+    #[test]
+    fn greedy_prefers_coverage() {
+        let col = collection();
+        // candidate A covers the two chains; candidate B covers nothing
+        let a = cand(chain(4, 1, 0));
+        let b = cand(clique(4, 9, 9));
+        let (scored, ids) = score_candidates(vec![a, b], &col);
+        let set = greedy_select(
+            scored,
+            ids.len(),
+            &vqi_core::PatternBudget::new(1, 4, 6),
+            Default::default(),
+        );
+        assert_eq!(set.len(), 1);
+        assert!(set.contains_isomorphic(&chain(4, 1, 0)));
+    }
+
+    #[test]
+    fn greedy_builds_diverse_sets() {
+        let col = collection();
+        let cands = vec![
+            cand(chain(4, 1, 0)),  // covers chains
+            cand(chain(5, 1, 0)),  // also covers chains (redundant)
+            cand(cycle(4, 2, 0)),  // covers nothing (cycle5 has no c4... non-induced: C4 ⊄ C5)
+            cand(star(4, 3, 0)),   // covers the star
+        ];
+        let (scored, ids) = score_candidates(cands, &col);
+        let set = greedy_select(
+            scored,
+            ids.len(),
+            &vqi_core::PatternBudget::new(2, 4, 6),
+            Default::default(),
+        );
+        assert_eq!(set.len(), 2);
+        // the redundant second chain must not be picked before the star
+        assert!(set.contains_isomorphic(&star(4, 3, 0)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let col = GraphCollection::new(vec![]);
+        let (scored, ids) = score_candidates(vec![], &col);
+        let set = greedy_select(
+            scored,
+            ids.len(),
+            &vqi_core::PatternBudget::default(),
+            Default::default(),
+        );
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn budget_count_limits_selection() {
+        let col = collection();
+        let cands = vec![
+            cand(chain(4, 1, 0)),
+            cand(cycle(4, 2, 0)),
+            cand(star(4, 3, 0)),
+        ];
+        let (scored, ids) = score_candidates(cands, &col);
+        let set = greedy_select(
+            scored,
+            ids.len(),
+            &vqi_core::PatternBudget::new(1, 4, 6),
+            Default::default(),
+        );
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the CATAPULT pipeline over random molecule
+//! collections.
+
+use catapult::pipeline::{Catapult, CatapultConfig};
+use proptest::prelude::*;
+use vqi_core::selector::PatternSelector;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::GraphCollection;
+use vqi_core::score::pattern_coverage;
+use vqi_datasets::{aids_like, MoleculeParams};
+use vqi_graph::traversal::is_connected;
+
+proptest! {
+    // the pipeline is heavy; keep the case count modest
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any random collection and any sane budget, CATAPULT's output
+    /// satisfies the selection contract: within budget, connected,
+    /// deduplicated (by construction), and every pattern occurs.
+    #[test]
+    fn selection_contract(
+        seed in 0u64..1_000,
+        count in 10usize..40,
+        k in 2usize..6,
+        min_size in 4usize..6,
+        span in 0usize..3,
+    ) {
+        let graphs = aids_like(MoleculeParams {
+            count,
+            seed,
+            ..Default::default()
+        });
+        let col = GraphCollection::new(graphs);
+        let budget = PatternBudget::new(k, min_size, min_size + span);
+        let (set, state) = Catapult::new(CatapultConfig {
+            seed,
+            ..Default::default()
+        })
+        .run_with_state(&col, &budget);
+
+        prop_assert!(set.len() <= k);
+        for p in set.patterns() {
+            prop_assert!(budget.admits(&p.graph), "size {}", p.size());
+            prop_assert!(is_connected(&p.graph));
+            prop_assert!(
+                pattern_coverage(&p.graph, &col) > 0.0,
+                "selected pattern occurs nowhere"
+            );
+        }
+        // pipeline artifacts are consistent
+        prop_assert_eq!(state.feature_vectors.len(), col.len());
+        prop_assert_eq!(state.graph_ids.len(), col.len());
+        let members: usize = state.csgs.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(members, col.len(), "CSGs must partition the collection");
+    }
+
+    /// Increasing the pattern budget never decreases achieved coverage.
+    #[test]
+    fn coverage_monotone_in_budget(seed in 0u64..200) {
+        let graphs = aids_like(MoleculeParams {
+            count: 25,
+            seed,
+            ..Default::default()
+        });
+        let col = GraphCollection::new(graphs);
+        let repo = vqi_core::repo::GraphRepository::Collection(col);
+        let small = Catapult::default().select(&repo, &PatternBudget::new(2, 4, 6));
+        let large = Catapult::default().select(&repo, &PatternBudget::new(6, 4, 6));
+        let cov = |set: &vqi_core::PatternSet| {
+            let graphs: Vec<&vqi_graph::Graph> = set.graphs().collect();
+            vqi_core::score::set_coverage(&graphs, &repo)
+        };
+        prop_assert!(cov(&large) >= cov(&small) - 1e-9);
+    }
+}

@@ -1,0 +1,501 @@
+//! MIDAS state and the batch-maintenance procedure.
+
+use crate::swap::{multi_scan_swap, SwapCandidate, SwapStats};
+use catapult::candidates::{generate_candidates, WalkParams};
+use catapult::pipeline::{Catapult, CatapultConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::Serialize;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::PatternSet;
+use vqi_core::repo::{BatchUpdate, GraphCollection};
+use vqi_core::score::{covers, QualityWeights};
+use vqi_graph::graphlet::{collection_distribution, euclidean_distance, GRAPHLET_CLASSES};
+use vqi_graph::Graph;
+use vqi_mining::closure::ClusterSummaryGraph;
+use vqi_mining::features::{cosine_distance, FeatureSpace};
+use vqi_mining::fct::FctIndex;
+use vqi_mining::fst::MineParams;
+
+/// MIDAS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MidasConfig {
+    /// GFD Euclidean-distance threshold separating minor from major
+    /// modifications.
+    pub drift_threshold: f64,
+    /// Maximum feature distance at which a new graph joins an existing
+    /// cluster; farther graphs found new clusters.
+    pub assign_threshold: f64,
+    /// FCT mining parameters (support is absolute).
+    pub mine: MineParams,
+    /// Candidate-walk parameters for major modifications.
+    pub walks: WalkParams,
+    /// Swap scans per maintenance pass.
+    pub swap_scans: usize,
+    /// Score weights (must match the bootstrap selection's weights).
+    pub weights: QualityWeights,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MidasConfig {
+    fn default() -> Self {
+        MidasConfig {
+            drift_threshold: 0.05,
+            assign_threshold: 0.4,
+            mine: MineParams {
+                min_support: 2,
+                max_nodes: 4,
+            },
+            walks: WalkParams::default(),
+            swap_scans: 8,
+            weights: QualityWeights::default(),
+            seed: 0x314DA5,
+        }
+    }
+}
+
+/// Kind of modification a batch caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Modification {
+    /// GFD drift below threshold: clusters/CSGs refreshed, patterns kept.
+    Minor,
+    /// GFD drift at/above threshold: pattern maintenance ran.
+    Major,
+}
+
+/// Report of one maintenance pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct MaintenanceReport {
+    /// Minor or major.
+    pub modification: Modification,
+    /// Euclidean distance between the old and new GFDs.
+    pub gfd_distance: f64,
+    /// Number of accepted pattern swaps.
+    pub swaps: usize,
+    /// Candidates considered by the swapping strategy.
+    pub candidates_considered: usize,
+    /// Candidates removed by coverage-based pruning.
+    pub candidates_pruned: usize,
+    /// Clusters whose membership changed (CSG rebuilt).
+    pub clusters_touched: usize,
+}
+
+/// One maintained cluster.
+#[derive(Debug, Clone)]
+struct ClusterInfo {
+    /// Live member graph ids.
+    members: Vec<usize>,
+    /// Graph id of the representative (medoid).
+    medoid: usize,
+}
+
+/// The MIDAS maintainer: owns the collection snapshot and all derived
+/// state.
+pub struct Midas {
+    config: MidasConfig,
+    budget: PatternBudget,
+    /// The maintained repository.
+    pub collection: GraphCollection,
+    fct: FctIndex,
+    feature_space: FeatureSpace,
+    clusters: Vec<ClusterInfo>,
+    csgs: Vec<Option<ClusterSummaryGraph>>,
+    /// The maintained canned pattern set.
+    pub patterns: PatternSet,
+    pattern_bitsets: Vec<Vec<bool>>,
+    gfd: [f64; GRAPHLET_CLASSES],
+}
+
+impl Midas {
+    /// Bootstraps MIDAS from an initial collection: runs a CATAPULT
+    /// selection (with FCT features) and derives all maintainable state.
+    pub fn bootstrap(
+        collection: GraphCollection,
+        budget: PatternBudget,
+        config: MidasConfig,
+    ) -> Self {
+        // initial selection via CATAPULT
+        let cat = Catapult::new(CatapultConfig {
+            max_feature_nodes: config.mine.max_nodes,
+            seed: config.seed,
+            weights: config.weights,
+            walks: config.walks,
+            ..Default::default()
+        });
+        let (patterns, state) = cat.run_with_state(&collection, &budget);
+
+        // FCT index over the same collection
+        let graphs: Vec<Graph> = state
+            .graph_ids
+            .iter()
+            .map(|&id| collection.get(id).expect("live").clone())
+            .collect();
+        let fct = FctIndex::build(&graphs, config.mine);
+        let feature_space = FeatureSpace::new(
+            fct.closed_trees()
+                .iter()
+                .map(|t| t.tree.tree.clone())
+                .collect(),
+        );
+
+        // clusters from the CATAPULT state
+        let clusters: Vec<ClusterInfo> = state
+            .clustering
+            .clusters()
+            .into_iter()
+            .filter(|m| !m.is_empty())
+            .map(|members| {
+                let ids: Vec<usize> = members.iter().map(|&pos| state.graph_ids[pos]).collect();
+                ClusterInfo {
+                    medoid: ids[0],
+                    members: ids,
+                }
+            })
+            .collect();
+        let csgs: Vec<Option<ClusterSummaryGraph>> = clusters
+            .iter()
+            .map(|c| {
+                ClusterSummaryGraph::build(&c.members, |id| collection.get(id).expect("live"))
+            })
+            .collect();
+
+        let gfd = collection_distribution(collection.iter().map(|(_, g)| g));
+        let pattern_bitsets = Self::bitsets_for(&patterns, &collection);
+
+        Midas {
+            config,
+            budget,
+            collection,
+            fct,
+            feature_space,
+            clusters,
+            csgs,
+            patterns,
+            pattern_bitsets,
+            gfd,
+        }
+    }
+
+    fn bitsets_for(patterns: &PatternSet, collection: &GraphCollection) -> Vec<Vec<bool>> {
+        let ids = collection.ids();
+        patterns
+            .patterns()
+            .par_iter()
+            .map(|p| {
+                ids.iter()
+                    .map(|&id| covers(&p.graph, collection.get(id).expect("live")))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The current graphlet frequency distribution.
+    pub fn gfd(&self) -> [f64; GRAPHLET_CLASSES] {
+        self.gfd
+    }
+
+    /// Number of maintained clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Applies a batch update to the repository and maintains the pattern
+    /// set per the MIDAS procedure.
+    pub fn apply_update(&mut self, update: BatchUpdate) -> MaintenanceReport {
+        let removed = update.removals.clone();
+        let added_graphs = update.additions.clone();
+        let new_ids = self.collection.apply(update);
+
+        // 1. FCT maintenance
+        let added_pairs: Vec<(usize, &Graph)> = new_ids
+            .iter()
+            .map(|&id| (id, self.collection.get(id).expect("just added")))
+            .collect();
+        let collection_ref = &self.collection;
+        self.fct
+            .apply_batch(&added_pairs, &removed, |id| {
+                collection_ref.get(id).expect("live id")
+            });
+        self.feature_space = FeatureSpace::new(
+            self.fct
+                .closed_trees()
+                .iter()
+                .map(|t| t.tree.tree.clone())
+                .collect(),
+        );
+
+        // 2. cluster maintenance: drop removed members, assign additions
+        let mut touched: Vec<usize> = Vec::new();
+        for (ci, cluster) in self.clusters.iter_mut().enumerate() {
+            let before = cluster.members.len();
+            cluster.members.retain(|m| !removed.contains(m));
+            if cluster.members.len() != before {
+                touched.push(ci);
+                if !cluster.members.contains(&cluster.medoid) {
+                    if let Some(&first) = cluster.members.first() {
+                        cluster.medoid = first;
+                    }
+                }
+            }
+        }
+        self.clusters.retain(|c| !c.members.is_empty());
+
+        for (&id, g) in new_ids.iter().zip(added_graphs.iter()) {
+            let vec_new = self.feature_space.vector(g);
+            let assigned = self
+                .clusters
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| {
+                    let medoid_graph = self.collection.get(c.medoid).expect("live medoid");
+                    let vec_medoid = self.feature_space.vector(medoid_graph);
+                    (ci, cosine_distance(&vec_new, &vec_medoid))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            match assigned {
+                Some((ci, d)) if d <= self.config.assign_threshold => {
+                    self.clusters[ci].members.push(id);
+                    touched.push(ci);
+                }
+                _ => {
+                    self.clusters.push(ClusterInfo {
+                        members: vec![id],
+                        medoid: id,
+                    });
+                    touched.push(self.clusters.len() - 1);
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // 3. rebuild CSGs of touched clusters (and resize the csg list)
+        self.csgs.resize(self.clusters.len(), None);
+        self.csgs.truncate(self.clusters.len());
+        let collection_ref = &self.collection;
+        for &ci in &touched {
+            if ci < self.clusters.len() {
+                self.csgs[ci] = ClusterSummaryGraph::build(&self.clusters[ci].members, |id| {
+                    collection_ref.get(id).expect("live id")
+                });
+            }
+        }
+        // clusters may have shrunk: rebuild any CSG now out of sync
+        for (ci, c) in self.clusters.iter().enumerate() {
+            if self.csgs[ci].is_none() {
+                self.csgs[ci] = ClusterSummaryGraph::build(&c.members, |id| {
+                    collection_ref.get(id).expect("live id")
+                });
+            }
+        }
+
+        // 4. GFD drift decides minor vs major
+        let new_gfd = collection_distribution(self.collection.iter().map(|(_, g)| g));
+        let gfd_distance = euclidean_distance(&self.gfd, &new_gfd);
+        self.gfd = new_gfd;
+
+        // bitsets must reflect the updated collection in either case
+        self.pattern_bitsets = Self::bitsets_for(&self.patterns, &self.collection);
+
+        if gfd_distance < self.config.drift_threshold {
+            return MaintenanceReport {
+                modification: Modification::Minor,
+                gfd_distance,
+                swaps: 0,
+                candidates_considered: 0,
+                candidates_pruned: 0,
+                clusters_touched: touched.len(),
+            };
+        }
+
+        // 5. major: candidates from touched CSGs, then multi-scan swapping
+        let touched_csgs: Vec<ClusterSummaryGraph> = touched
+            .iter()
+            .filter_map(|&ci| self.csgs.get(ci).and_then(|c| c.clone()))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x5A5A);
+        let walk_cands =
+            generate_candidates(&touched_csgs, &self.budget, self.config.walks, &mut rng);
+        let ids = self.collection.ids();
+        let swap_cands: Vec<SwapCandidate> = walk_cands
+            .into_par_iter()
+            .filter_map(|c| {
+                let coverage: Vec<bool> = ids
+                    .iter()
+                    .map(|&id| covers(&c.graph, collection_ref.get(id).expect("live")))
+                    .collect();
+                if coverage.iter().any(|&b| b) {
+                    Some(SwapCandidate {
+                        graph: c.graph,
+                        coverage,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let stats: SwapStats = multi_scan_swap(
+            &mut self.patterns,
+            &mut self.pattern_bitsets,
+            swap_cands,
+            ids.len(),
+            self.config.swap_scans,
+            self.config.weights,
+        );
+
+        MaintenanceReport {
+            modification: Modification::Major,
+            gfd_distance,
+            swaps: stats.swaps,
+            candidates_considered: stats.considered,
+            candidates_pruned: stats.pruned,
+            clusters_touched: touched.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_core::repo::GraphRepository;
+    use vqi_core::score::evaluate;
+    use vqi_graph::generate::{chain, clique, cycle, star};
+
+    fn initial_graphs() -> Vec<Graph> {
+        let mut v = Vec::new();
+        for i in 0..5 {
+            v.push(chain(5 + i % 2, 1, 0));
+            v.push(cycle(5 + i % 2, 2, 0));
+        }
+        v
+    }
+
+    fn budget() -> PatternBudget {
+        PatternBudget::new(4, 4, 6)
+    }
+
+    #[test]
+    fn bootstrap_builds_state() {
+        let m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        assert!(m.cluster_count() > 0);
+        assert!(!m.patterns.is_empty());
+        assert_eq!(m.pattern_bitsets.len(), m.patterns.len());
+        let sum: f64 = m.gfd().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_batch_is_minor() {
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        // one more chain: structurally nothing new
+        let report = m.apply_update(BatchUpdate::adding(vec![chain(5, 1, 0)]));
+        assert_eq!(report.modification, Modification::Minor);
+        assert_eq!(report.swaps, 0);
+    }
+
+    #[test]
+    fn structural_shift_is_major() {
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        // flood the repository with cliques and stars: GFD shifts hard
+        let mut batch = Vec::new();
+        for _ in 0..10 {
+            batch.push(clique(5, 3, 0));
+            batch.push(star(6, 4, 0));
+        }
+        let report = m.apply_update(BatchUpdate::adding(batch));
+        assert_eq!(report.modification, Modification::Major);
+    }
+
+    #[test]
+    fn quality_never_decreases_on_major_update() {
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let stale = m.patterns.clone();
+        let mut batch = Vec::new();
+        for i in 0..12 {
+            batch.push(clique(4 + i % 2, 3, 0));
+            batch.push(star(5 + i % 3, 4, 0));
+        }
+        let report = m.apply_update(BatchUpdate::adding(batch));
+        assert_eq!(report.modification, Modification::Major);
+        let repo = GraphRepository::Collection(m.collection.clone());
+        let w = m.config.weights;
+        let stale_q = evaluate(&stale, &repo, w);
+        let fresh_q = evaluate(&m.patterns, &repo, w);
+        assert!(
+            fresh_q.score >= stale_q.score - 1e-9,
+            "maintained {:.4} < stale {:.4}",
+            fresh_q.score,
+            stale_q.score
+        );
+    }
+
+    #[test]
+    fn bootstrap_empty_then_grow() {
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(vec![]),
+            budget(),
+            MidasConfig::default(),
+        );
+        assert_eq!(m.cluster_count(), 0);
+        assert!(m.patterns.is_empty());
+        // growing from empty assigns everything to fresh clusters
+        let report = m.apply_update(BatchUpdate::adding(vec![
+            chain(5, 1, 0),
+            chain(6, 1, 0),
+            cycle(5, 2, 0),
+        ]));
+        assert_eq!(m.collection.len(), 3);
+        assert!(m.cluster_count() > 0);
+        assert!(report.clusters_touched > 0);
+    }
+
+    #[test]
+    fn removals_update_clusters() {
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let before = m.collection.len();
+        let report = m.apply_update(BatchUpdate::removing(vec![0, 2]));
+        assert_eq!(m.collection.len(), before - 2);
+        assert!(report.clusters_touched > 0);
+    }
+
+    #[test]
+    fn maintained_patterns_still_occur() {
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let mut batch = Vec::new();
+        for _ in 0..10 {
+            batch.push(clique(5, 3, 0));
+        }
+        m.apply_update(BatchUpdate::adding(batch));
+        for p in m.patterns.patterns() {
+            let cov = vqi_core::score::pattern_coverage(&p.graph, &m.collection);
+            assert!(cov > 0.0, "pattern {} no longer occurs", p.id.0);
+        }
+    }
+}

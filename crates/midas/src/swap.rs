@@ -1,0 +1,322 @@
+//! The multi-scan swapping strategy.
+//!
+//! Given the current canned patterns and a pool of fresh candidates from
+//! new/modified CSGs, each scan tries to replace one existing pattern
+//! with one candidate. A swap is accepted only if
+//!
+//! 1. the covered-graph union does **not shrink** (progressive coverage),
+//!    and
+//! 2. the combined set score (coverage + diversity − cognitive load)
+//!    strictly improves.
+//!
+//! Candidates are pruned cheaply before the expensive checks: if a
+//! candidate's total coverage count cannot exceed the weakest pattern's
+//! sole contribution, no swap involving it can grow the union. The two
+//! supporting indices are the pattern → covered-graph bitsets and the
+//! graph → covering-pattern counts.
+
+use vqi_core::pattern::PatternSet;
+use vqi_core::score::{cognitive_load, diversity, QualityWeights};
+use vqi_graph::mcs::mcs_similarity;
+use vqi_graph::Graph;
+
+/// A fresh candidate with its coverage bitset over the live graphs.
+#[derive(Debug, Clone)]
+pub struct SwapCandidate {
+    /// Candidate pattern graph.
+    pub graph: Graph,
+    /// `coverage[i]` = candidate covers live graph position `i`.
+    pub coverage: Vec<bool>,
+}
+
+/// Outcome counters of one maintenance pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwapStats {
+    /// Accepted swaps.
+    pub swaps: usize,
+    /// Candidates considered.
+    pub considered: usize,
+    /// Candidates eliminated by coverage-based pruning.
+    pub pruned: usize,
+    /// Scans executed.
+    pub scans: usize,
+}
+
+/// Computes the set score of `pattern_graphs` with coverage measured by
+/// the union of `bitsets`.
+fn score_of(
+    pattern_graphs: &[&Graph],
+    bitsets: &[Vec<bool>],
+    n_graphs: usize,
+    weights: QualityWeights,
+) -> f64 {
+    if n_graphs == 0 || pattern_graphs.is_empty() {
+        return 0.0;
+    }
+    let covered = (0..n_graphs)
+        .filter(|&i| bitsets.iter().any(|b| b[i]))
+        .count();
+    let coverage = covered as f64 / n_graphs as f64;
+    let div = diversity(pattern_graphs);
+    let cl = pattern_graphs
+        .iter()
+        .map(|g| cognitive_load(g))
+        .sum::<f64>()
+        / pattern_graphs.len() as f64;
+    coverage + weights.diversity * div - weights.cognitive * cl
+}
+
+/// Runs up to `scans` swap scans over (`patterns`, `pattern_bitsets`)
+/// with the given candidates. Mutates both in place so they stay aligned.
+/// Returns the statistics.
+#[allow(clippy::ptr_arg)] // callers hold a Vec; bitsets are replaced whole
+pub fn multi_scan_swap(
+    patterns: &mut PatternSet,
+    pattern_bitsets: &mut Vec<Vec<bool>>,
+    mut candidates: Vec<SwapCandidate>,
+    n_graphs: usize,
+    scans: usize,
+    weights: QualityWeights,
+) -> SwapStats {
+    let mut stats = SwapStats::default();
+    if n_graphs == 0 || patterns.is_empty() {
+        return stats;
+    }
+    // drop candidates isomorphic to current patterns up front
+    candidates.retain(|c| !patterns.contains_isomorphic(&c.graph));
+    stats.considered = candidates.len();
+
+    for _ in 0..scans {
+        stats.scans += 1;
+        let mut improved = false;
+
+        // index 2: graph -> number of covering patterns
+        let mut cover_count = vec![0usize; n_graphs];
+        for b in pattern_bitsets.iter() {
+            for (i, &v) in b.iter().enumerate() {
+                if v {
+                    cover_count[i] += 1;
+                }
+            }
+        }
+        let union: usize = cover_count.iter().filter(|&&c| c > 0).count();
+        // weakest sole contribution among current patterns (pruning bound)
+        let min_sole = pattern_bitsets
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .enumerate()
+                    .filter(|(i, &v)| v && cover_count[*i] == 1)
+                    .count()
+            })
+            .min()
+            .unwrap_or(0);
+
+        let current_score = {
+            let graphs: Vec<&Graph> = patterns.graphs().collect();
+            score_of(&graphs, pattern_bitsets, n_graphs, weights)
+        };
+
+        let mut best: Option<(f64, usize, usize)> = None; // (score, cand, pat)
+        for (ci, cand) in candidates.iter().enumerate() {
+            let cand_cov = cand.coverage.iter().filter(|&&v| v).count();
+            // coverage-based pruning: this candidate cannot restore even
+            // the weakest pattern's sole coverage, so the union would
+            // shrink for every possible swap — skip all score checks
+            if cand_cov < min_sole {
+                stats.pruned += 1;
+                continue;
+            }
+            for pi in 0..pattern_bitsets.len() {
+                // progressive-coverage check via the two indices
+                let lost = pattern_bitsets[pi]
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, &v)| v && cover_count[*i] == 1 && !cand.coverage[*i])
+                    .count();
+                let gained = cand
+                    .coverage
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, &v)| v && cover_count[*i] == 0)
+                    .count();
+                if gained < lost {
+                    continue; // union would shrink
+                }
+                let _ = union;
+                // full score check on the hypothetical set
+                let mut graphs: Vec<&Graph> = patterns.graphs().collect();
+                graphs[pi] = &cand.graph;
+                let mut bitsets: Vec<Vec<bool>> = pattern_bitsets.clone();
+                bitsets[pi] = cand.coverage.clone();
+                let new_score = score_of(&graphs, &bitsets, n_graphs, weights);
+                if new_score > current_score + 1e-12
+                    && best.is_none_or(|(s, _, _)| new_score > s)
+                {
+                    best = Some((new_score, ci, pi));
+                }
+            }
+        }
+        if let Some((_, ci, pi)) = best {
+            let cand = candidates.swap_remove(ci);
+            if patterns
+                .replace(pi, cand.graph.clone(), "midas:swap")
+                .is_ok()
+            {
+                pattern_bitsets[pi] = cand.coverage;
+                stats.swaps += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    stats
+}
+
+/// Similarity guard used when proposing candidates: a candidate nearly
+/// identical to an existing pattern cannot add diversity.
+pub fn too_similar(candidate: &Graph, patterns: &PatternSet, threshold: f64) -> bool {
+    patterns
+        .graphs()
+        .any(|p| mcs_similarity(candidate, p) >= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_core::pattern::PatternKind;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    fn set_of(graphs: Vec<Graph>) -> (PatternSet, Vec<Vec<bool>>) {
+        let mut set = PatternSet::new();
+        for g in graphs {
+            set.insert(g, PatternKind::Canned, "init").unwrap();
+        }
+        (set, vec![])
+    }
+
+    #[test]
+    fn accepts_strictly_better_swap() {
+        // pattern A covers 1 of 4 graphs; candidate covers 3 of 4
+        let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
+        let mut bitsets = vec![vec![true, false, false, false]];
+        let cand = SwapCandidate {
+            graph: star(3, 2, 0),
+            coverage: vec![true, true, true, false],
+        };
+        let stats = multi_scan_swap(
+            &mut set,
+            &mut bitsets,
+            vec![cand],
+            4,
+            3,
+            QualityWeights::default(),
+        );
+        assert_eq!(stats.swaps, 1);
+        assert!(set.contains_isomorphic(&star(3, 2, 0)));
+        assert_eq!(bitsets[0], vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn rejects_coverage_shrinking_swap() {
+        let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
+        let mut bitsets = vec![vec![true, true, false, false]];
+        // candidate is more "diverse" but halves coverage
+        let cand = SwapCandidate {
+            graph: cycle(4, 3, 0),
+            coverage: vec![true, false, false, false],
+        };
+        let stats = multi_scan_swap(
+            &mut set,
+            &mut bitsets,
+            vec![cand],
+            4,
+            3,
+            QualityWeights {
+                diversity: 10.0, // even huge diversity weight cannot force it
+                cognitive: 0.0,
+            },
+        );
+        assert_eq!(stats.swaps, 0);
+        assert!(set.contains_isomorphic(&chain(4, 1, 0)));
+    }
+
+    #[test]
+    fn pruning_skips_hopeless_candidates() {
+        let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
+        let mut bitsets = vec![vec![true, true, true, true]];
+        let cand = SwapCandidate {
+            graph: cycle(4, 3, 0),
+            coverage: vec![false, false, false, false],
+        };
+        let stats = multi_scan_swap(
+            &mut set,
+            &mut bitsets,
+            vec![cand],
+            4,
+            3,
+            QualityWeights::default(),
+        );
+        assert_eq!(stats.swaps, 0);
+        assert!(stats.pruned >= 1, "zero-coverage candidate should be pruned");
+    }
+
+    #[test]
+    fn isomorphic_candidates_are_ignored() {
+        let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
+        let mut bitsets = vec![vec![true, false]];
+        let cand = SwapCandidate {
+            graph: chain(4, 1, 0),
+            coverage: vec![true, true],
+        };
+        let stats = multi_scan_swap(
+            &mut set,
+            &mut bitsets,
+            vec![cand],
+            2,
+            3,
+            QualityWeights::default(),
+        );
+        assert_eq!(stats.considered, 0);
+        assert_eq!(stats.swaps, 0);
+    }
+
+    #[test]
+    fn multiple_scans_chain_improvements() {
+        // two patterns, two candidates that each improve one slot
+        let (mut set, _) = set_of(vec![chain(4, 1, 0), chain(5, 1, 0)]);
+        let mut bitsets = vec![
+            vec![true, false, false, false],
+            vec![true, false, false, false],
+        ];
+        let cands = vec![
+            SwapCandidate {
+                graph: star(3, 2, 0),
+                coverage: vec![true, true, false, false],
+            },
+            SwapCandidate {
+                graph: cycle(4, 3, 0),
+                coverage: vec![false, false, true, true],
+            },
+        ];
+        let stats = multi_scan_swap(
+            &mut set,
+            &mut bitsets,
+            cands,
+            4,
+            5,
+            QualityWeights::default(),
+        );
+        assert_eq!(stats.swaps, 2, "both improving swaps should land");
+        assert!(stats.scans >= 2);
+    }
+
+    #[test]
+    fn similarity_guard() {
+        let (set, _) = set_of(vec![chain(4, 1, 0)]);
+        assert!(too_similar(&chain(4, 1, 0), &set, 0.99));
+        assert!(!too_similar(&cycle(4, 3, 0), &set, 0.5));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of MIDAS: the quality guarantee and state
+//! consistency under random batch streams.
+
+use midas::{Midas, MidasConfig};
+use proptest::prelude::*;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::{BatchUpdate, GraphCollection, GraphRepository};
+use vqi_core::score::{evaluate, pattern_coverage};
+use vqi_datasets::{aids_like, MoleculeParams};
+use vqi_graph::generate as gen;
+use vqi_graph::Graph;
+
+/// A random structural batch: mixes of cliques, stars, cycles with fresh
+/// labels so the GFD can drift.
+fn arb_batch() -> impl Strategy<Value = Vec<Graph>> {
+    proptest::collection::vec((0usize..3, 4usize..7, 3u32..7), 3..15).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(kind, size, label)| match kind {
+                0 => gen::clique(size, label, 0),
+                1 => gen::star(size, label, 0),
+                _ => gen::cycle(size, label, 0),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// After any stream of batches, (a) the maintained pattern set scores
+    /// at least as well as the stale set on the updated repository,
+    /// (b) every maintained pattern still occurs, and (c) internal state
+    /// stays aligned.
+    #[test]
+    fn maintenance_guarantees(
+        seed in 0u64..300,
+        batches in proptest::collection::vec(arb_batch(), 1..3),
+        remove_some in any::<bool>(),
+    ) {
+        let initial = aids_like(MoleculeParams {
+            count: 25,
+            seed,
+            ..Default::default()
+        });
+        let budget = PatternBudget::new(4, 4, 6);
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial),
+            budget,
+            MidasConfig::default(),
+        );
+        for (i, additions) in batches.into_iter().enumerate() {
+            let stale = m.patterns.clone();
+            let removals = if remove_some && i == 0 {
+                vec![0, 1]
+            } else {
+                vec![]
+            };
+            m.apply_update(BatchUpdate { additions, removals });
+
+            let repo = GraphRepository::Collection(m.collection.clone());
+            let w = Default::default();
+            let fresh_q = evaluate(&m.patterns, &repo, w);
+            let stale_q = evaluate(&stale, &repo, w);
+            prop_assert!(
+                fresh_q.score >= stale_q.score - 1e-9,
+                "batch {i}: maintained {:.4} < stale {:.4}",
+                fresh_q.score,
+                stale_q.score
+            );
+            for p in m.patterns.patterns() {
+                prop_assert!(
+                    pattern_coverage(&p.graph, &m.collection) > 0.0,
+                    "batch {i}: maintained pattern occurs nowhere"
+                );
+            }
+            prop_assert!(m.cluster_count() > 0);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of TATTOO: shape classification and the
+//! selection contract on random networks.
+
+use proptest::prelude::*;
+use tattoo::topology::{classify, TopologyClass};
+use tattoo::{Tattoo, TattooConfig};
+use vqi_core::budget::PatternBudget;
+use vqi_core::score::set_coverage_network;
+use vqi_datasets::{networks, NetworkParams};
+use vqi_graph::generate as gen;
+use vqi_graph::traversal::is_connected;
+use vqi_graph::Graph;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Constructed motifs classify as themselves for any parameters.
+    #[test]
+    fn motifs_classify_correctly(
+        n in 3usize..10,
+        leaves in 3usize..8,
+        paths in 3usize..5,
+        inner in 1usize..3,
+        petals in 2usize..4,
+        clen in 4usize..6,
+    ) {
+        prop_assert_eq!(classify(&gen::chain(n, 0, 0)), TopologyClass::Chain);
+        prop_assert_eq!(classify(&gen::star(leaves, 0, 0)), TopologyClass::Star);
+        let expected_cycle = if n == 3 {
+            TopologyClass::TriangleCluster
+        } else {
+            TopologyClass::Cycle
+        };
+        prop_assert_eq!(classify(&gen::cycle(n, 0, 0)), expected_cycle);
+        prop_assert_eq!(classify(&gen::petal(paths, inner, 0, 0)), TopologyClass::Petal);
+        prop_assert_eq!(classify(&gen::flower(petals, clen, 0, 0)), TopologyClass::Flower);
+        if n >= 3 {
+            prop_assert_eq!(
+                classify(&gen::clique(n.max(3), 0, 0)),
+                TopologyClass::TriangleCluster
+            );
+        }
+    }
+
+    /// Classification is invariant under node permutation.
+    #[test]
+    fn classification_is_invariant(paths in 2usize..4, inner in 1usize..3) {
+        let g = gen::petal(paths, inner, 0, 0);
+        let n = g.node_count();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        prop_assert_eq!(classify(&g), classify(&g.permuted(&perm)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The selection contract on random networks: budget respected,
+    /// connected patterns, positive edge coverage.
+    #[test]
+    fn selection_contract(seed in 0u64..500, nodes in 100usize..300) {
+        let net = networks::network(NetworkParams {
+            nodes,
+            seed,
+            ..Default::default()
+        });
+        let budget = PatternBudget::new(5, 4, 6);
+        let set = Tattoo::new(TattooConfig {
+            seed,
+            ..Default::default()
+        })
+        .run(&net, &budget);
+        prop_assert!(set.len() <= 5);
+        prop_assert!(!set.is_empty());
+        for p in set.patterns() {
+            prop_assert!(budget.admits(&p.graph));
+            prop_assert!(is_connected(&p.graph));
+        }
+        let graphs: Vec<&Graph> = set.graphs().collect();
+        prop_assert!(set_coverage_network(&graphs, &net) > 0.0);
+    }
+}

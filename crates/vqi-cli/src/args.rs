@@ -1,0 +1,108 @@
+//! Minimal flag parser (no external dependency): `--key value` pairs and
+//! one positional subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or validating arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                args.options.insert(key.to_string(), value);
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument '{tok}'")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError(format!("missing required --{key}")))
+    }
+
+    /// An optional string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} has invalid value '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(toks: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(toks.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["construct", "--selector", "tattoo", "--count", "5"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("construct"));
+        assert_eq!(a.require("selector").unwrap(), "tattoo");
+        assert_eq!(a.parse_or::<usize>("count", 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["evaluate"]).unwrap();
+        assert_eq!(a.get_or("selector", "catapult"), "catapult");
+        assert_eq!(a.parse_or::<usize>("count", 6).unwrap(), 6);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["x", "--flag"]).is_err());
+        assert!(parse(&["x", "y"]).is_err());
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(a.parse_or::<usize>("n", 0).is_err());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = parse(&[]).unwrap();
+        assert!(a.command.is_none());
+    }
+}

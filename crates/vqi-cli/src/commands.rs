@@ -1,0 +1,328 @@
+//! The CLI subcommands.
+
+use crate::args::{ArgError, Args};
+use catapult::Catapult;
+use tattoo::Tattoo;
+use vqi_core::budget::PatternBudget;
+use vqi_core::render::{ascii_summary, svg_graph, svg_interface};
+use vqi_core::repo::GraphRepository;
+use vqi_core::score::{evaluate, QualityWeights};
+use vqi_core::selector::{PatternSelector, RandomSelector};
+use vqi_core::vqi::VisualQueryInterface;
+use vqi_graph::io::{parse_transactions, write_transactions};
+use vqi_graph::Graph;
+use vqi_modular::ModularPipeline;
+
+/// Runs one subcommand; returns the text to print.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_deref() {
+        Some("construct") => construct(args),
+        Some("evaluate") => evaluate_cmd(args),
+        Some("dataset") => dataset(args),
+        Some("render") => render(args),
+        Some("show") => show(args),
+        Some("search") => search(args),
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(ArgError(format!(
+            "unknown command '{other}'; try 'vqi help'"
+        ))),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "vqi — data-driven visual query interfaces for graphs
+
+USAGE:
+  vqi construct --input FILE [--selector catapult|aurora|tattoo|modular|random]
+                [--count K] [--min-size N] [--max-size M]
+                [--network true] [--svg OUT.svg] [--save OUT.vqi]
+  vqi evaluate  --input FILE [--selector ...] [--count K] [...]
+  vqi dataset   --kind aids|pubchem|dblp|social --out FILE
+                [--size N] [--seed S]
+  vqi render    --input FILE --out OUT.svg
+  vqi show      --load FILE.vqi [--svg OUT.svg]
+  vqi search    --input FILE --query QFILE [--index none|triple|ctree]
+
+Input files use the classic graph-transaction text format
+(t # / v <id> <label> / e <u> <v> <label>). With --network true the
+first graph of the file is treated as one large network; otherwise the
+file is a collection of data graphs.
+"
+    .to_string()
+}
+
+fn load_repo(args: &Args) -> Result<GraphRepository, ArgError> {
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let graphs =
+        parse_transactions(&text).map_err(|e| ArgError(format!("parse error in {path}: {e}")))?;
+    if graphs.is_empty() {
+        return Err(ArgError(format!("{path} contains no graphs")));
+    }
+    let network: bool = args.parse_or("network", false)?;
+    Ok(if network {
+        GraphRepository::network(graphs.into_iter().next().expect("nonempty"))
+    } else {
+        GraphRepository::collection(graphs)
+    })
+}
+
+fn budget(args: &Args) -> Result<PatternBudget, ArgError> {
+    let count = args.parse_or("count", 6usize)?;
+    let min_size = args.parse_or("min-size", 4usize)?;
+    let max_size = args.parse_or("max-size", 8usize)?;
+    if min_size < 2 || min_size > max_size {
+        return Err(ArgError("invalid size range".into()));
+    }
+    Ok(PatternBudget::new(count, min_size, max_size))
+}
+
+fn selector(args: &Args) -> Result<Box<dyn PatternSelector>, ArgError> {
+    Ok(match args.get_or("selector", "catapult") {
+        "catapult" => Box::new(Catapult::default()),
+        "aurora" => Box::new(aurora::Aurora::default()),
+        "tattoo" => Box::new(Tattoo::default()),
+        "modular" => Box::new(ModularPipeline::standard()),
+        "random" => Box::new(RandomSelector::new(args.parse_or("seed", 0u64)?)),
+        other => return Err(ArgError(format!("unknown selector '{other}'"))),
+    })
+}
+
+fn construct(args: &Args) -> Result<String, ArgError> {
+    let repo = load_repo(args)?;
+    let budget = budget(args)?;
+    let sel = selector(args)?;
+    let vqi = VisualQueryInterface::data_driven(&repo, sel.as_ref(), &budget);
+    if let Some(path) = args.options.get("svg") {
+        std::fs::write(path, svg_interface(&vqi))
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = args.options.get("save") {
+        std::fs::write(path, vqi_core::persist::save_interface(&vqi))
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(ascii_summary(&vqi))
+}
+
+fn evaluate_cmd(args: &Args) -> Result<String, ArgError> {
+    let repo = load_repo(args)?;
+    let budget = budget(args)?;
+    let sel = selector(args)?;
+    let set = sel.select(&repo, &budget);
+    let q = evaluate(&set, &repo, QualityWeights::default());
+    serde_json::to_string_pretty(&q).map_err(|e| ArgError(format!("serialize: {e}")))
+}
+
+fn dataset(args: &Args) -> Result<String, ArgError> {
+    let kind = args.require("kind")?.to_string();
+    let out = args.require("out")?.to_string();
+    let size = args.parse_or("size", 100usize)?;
+    let seed = args.parse_or("seed", 1u64)?;
+    let graphs: Vec<Graph> = match kind.as_str() {
+        "aids" => vqi_datasets_aids(size, seed),
+        "pubchem" => vqi_datasets::pubchem_like(size, seed),
+        "dblp" => vec![vqi_datasets::dblp_like(size, seed)],
+        "social" => vec![vqi_datasets::social_like(size, seed)],
+        other => return Err(ArgError(format!("unknown dataset kind '{other}'"))),
+    };
+    let n = graphs.len();
+    std::fs::write(&out, write_transactions(&graphs))
+        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    Ok(format!("wrote {n} graph(s) to {out}\n"))
+}
+
+fn vqi_datasets_aids(size: usize, seed: u64) -> Vec<Graph> {
+    vqi_datasets::aids_like(vqi_datasets::MoleculeParams {
+        count: size,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn render(args: &Args) -> Result<String, ArgError> {
+    let path = args.require("input")?;
+    let out = args.require("out")?.to_string();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let graphs =
+        parse_transactions(&text).map_err(|e| ArgError(format!("parse error: {e}")))?;
+    let g = graphs
+        .first()
+        .ok_or_else(|| ArgError("no graphs in input".into()))?;
+    std::fs::write(&out, svg_graph(g, Default::default()))
+        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    Ok(format!("rendered {} to {out}\n", g.summary()))
+}
+
+/// Reloads a saved interface and prints (or renders) it.
+fn show(args: &Args) -> Result<String, ArgError> {
+    let path = args.require("load")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let vqi = vqi_core::persist::load_interface(&text)
+        .map_err(|e| ArgError(format!("cannot load {path}: {e}")))?;
+    if let Some(out) = args.options.get("svg") {
+        std::fs::write(out, svg_interface(&vqi))
+            .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    }
+    Ok(ascii_summary(&vqi))
+}
+
+/// Subgraph search over a collection file with a chosen index.
+fn search(args: &Args) -> Result<String, ArgError> {
+    let repo_path = args.require("input")?;
+    let query_path = args.require("query")?;
+    let repo_text = std::fs::read_to_string(repo_path)
+        .map_err(|e| ArgError(format!("cannot read {repo_path}: {e}")))?;
+    let graphs = parse_transactions(&repo_text)
+        .map_err(|e| ArgError(format!("parse error in {repo_path}: {e}")))?;
+    let query_text = std::fs::read_to_string(query_path)
+        .map_err(|e| ArgError(format!("cannot read {query_path}: {e}")))?;
+    let query = vqi_graph::io::parse_graph(&query_text)
+        .map_err(|e| ArgError(format!("parse error in {query_path}: {e}")))?;
+    let t0 = std::time::Instant::now();
+    let hits: Vec<usize> = match args.get_or("index", "triple") {
+        "none" => {
+            use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+            graphs
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    is_subgraph_isomorphic(&query, g, MatchOptions::with_wildcards())
+                })
+                .map(|(i, _)| i)
+                .collect()
+        }
+        "triple" => vqi_index::TripleIndex::build(graphs.iter().enumerate())
+            .search(&query, |id| &graphs[id]),
+        "ctree" => {
+            vqi_index::ClosureTree::bulk_load(graphs.iter().enumerate(), 8)
+                .search(&query, |id| &graphs[id])
+                .0
+        }
+        other => return Err(ArgError(format!("unknown index '{other}'"))),
+    };
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    Ok(format!(
+        "{} match(es) in {:.1} ms (index: {}): {:?}\n",
+        hits.len(),
+        ms,
+        args.get_or("index", "triple"),
+        hits
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(toks: &[&str]) -> Args {
+        Args::parse(toks.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("vqi_cli_test_{name}"))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&args(&[])).unwrap().contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn dataset_then_construct_then_evaluate() {
+        let file = tmp("aids.txt");
+        let out = run(&args(&[
+            "dataset", "--kind", "aids", "--out", &file, "--size", "30", "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("30 graph(s)"));
+
+        let svg = tmp("vqi.svg");
+        let summary = run(&args(&[
+            "construct", "--input", &file, "--selector", "random", "--count", "4",
+            "--min-size", "4", "--max-size", "6", "--svg", &svg,
+        ]))
+        .unwrap();
+        assert!(summary.contains("canned"));
+        assert!(std::fs::read_to_string(&svg).unwrap().contains("Pattern Panel"));
+
+        let eval = run(&args(&[
+            "evaluate", "--input", &file, "--selector", "random", "--count", "4",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&eval).unwrap();
+        assert!(v.get("coverage").is_some());
+    }
+
+    #[test]
+    fn network_mode_and_render() {
+        let file = tmp("net.txt");
+        run(&args(&[
+            "dataset", "--kind", "dblp", "--out", &file, "--size", "120",
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "construct", "--input", &file, "--selector", "tattoo", "--network", "true",
+            "--count", "3", "--min-size", "4", "--max-size", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("tattoo"));
+
+        let svg = tmp("net.svg");
+        let r = run(&args(&["render", "--input", &file, "--out", &svg])).unwrap();
+        assert!(r.contains("rendered"));
+        assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+    }
+
+    #[test]
+    fn save_and_show_round_trip() {
+        let file = tmp("save_src.txt");
+        run(&args(&["dataset", "--kind", "aids", "--out", &file, "--size", "20"])).unwrap();
+        let saved = tmp("iface.vqi");
+        run(&args(&[
+            "construct", "--input", &file, "--selector", "random", "--count", "3",
+            "--min-size", "4", "--max-size", "5", "--save", &saved,
+        ]))
+        .unwrap();
+        let shown = run(&args(&["show", "--load", &saved])).unwrap();
+        assert!(shown.contains("random"));
+        assert!(shown.contains("canned"));
+    }
+
+    #[test]
+    fn search_finds_matches_with_every_index() {
+        let file = tmp("search_repo.txt");
+        run(&args(&["dataset", "--kind", "aids", "--out", &file, "--size", "25"])).unwrap();
+        // query: a 3-carbon chain, ubiquitous in molecules
+        let qfile = tmp("search_query.txt");
+        let q = vqi_graph::generate::chain(3, 0, 0);
+        std::fs::write(&qfile, vqi_graph::io::write_graph(&q, 0)).unwrap();
+        let mut results = Vec::new();
+        for index in ["none", "triple", "ctree"] {
+            let out = run(&args(&[
+                "search", "--input", &file, "--query", &qfile, "--index", index,
+            ]))
+            .unwrap();
+            results.push(out.split(" match").next().unwrap().to_string());
+        }
+        assert_eq!(results[0], results[1], "triple index changed results");
+        assert_eq!(results[0], results[2], "ctree changed results");
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(run(&args(&["construct", "--input", "/nonexistent/x.txt"])).is_err());
+        assert!(run(&args(&["dataset", "--kind", "nope", "--out", "/tmp/x"])).is_err());
+        let file = tmp("bad.txt");
+        std::fs::write(&file, "garbage line\n").unwrap();
+        assert!(run(&args(&["construct", "--input", &file])).is_err());
+    }
+}

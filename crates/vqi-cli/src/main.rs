@@ -1,0 +1,24 @@
+//! `vqi` — construct, evaluate, and render data-driven visual query
+//! interfaces from the command line. Run `vqi help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Aesthetic metrics and Berlyne's inverted-U pleasantness model.
+//!
+//! HCI studies cited by the tutorial (§2.1, §2.5) link interface
+//! aesthetics to *visual complexity*: edge crossings, node crowding, and
+//! clutter make a drawing hard to parse, and Berlyne's experimental
+//! aesthetics predicts pleasantness peaks at *moderate* complexity — the
+//! inverted-U curve. These metrics operate on a [`Layout`] so they apply
+//! to pattern thumbnails, the query canvas, and result renderings alike.
+
+use crate::layout::{Layout, Point};
+use serde::Serialize;
+use vqi_graph::Graph;
+
+/// Counts proper pairwise edge crossings in a drawing (shared endpoints
+/// are not crossings).
+pub fn edge_crossings(g: &Graph, layout: &Layout) -> usize {
+    let segs: Vec<(Point, Point, u32, u32)> = g
+        .edges()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            (
+                layout.positions[u.index()],
+                layout.positions[v.index()],
+                u.0,
+                v.0,
+            )
+        })
+        .collect();
+    let mut crossings = 0;
+    for i in 0..segs.len() {
+        for j in (i + 1)..segs.len() {
+            let (a1, a2, u1, v1) = segs[i];
+            let (b1, b2, u2, v2) = segs[j];
+            if u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2 {
+                continue; // shared endpoint
+            }
+            if segments_intersect(a1, a2, b1, b2) {
+                crossings += 1;
+            }
+        }
+    }
+    crossings
+}
+
+fn orient(p: Point, q: Point, r: Point) -> f64 {
+    (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+}
+
+fn segments_intersect(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
+    let d1 = orient(a1, a2, b1);
+    let d2 = orient(a1, a2, b2);
+    let d3 = orient(b1, b2, a1);
+    let d4 = orient(b1, b2, a2);
+    (d1 * d2 < 0.0) && (d3 * d4 < 0.0)
+}
+
+/// Fraction of node pairs closer than `min_dist` (crowding measure).
+pub fn node_crowding(layout: &Layout, min_dist: f64) -> f64 {
+    let n = layout.positions.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut close = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs += 1;
+            if layout.positions[i].distance(&layout.positions[j]) < min_dist {
+                close += 1;
+            }
+        }
+    }
+    close as f64 / pairs as f64
+}
+
+/// Visual-complexity metrics of one drawing.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct VisualComplexity {
+    /// Proper edge crossings.
+    pub crossings: usize,
+    /// Crossings per edge (clutter).
+    pub clutter: f64,
+    /// Node crowding in `[0, 1]`.
+    pub crowding: f64,
+    /// Element count term (nodes + edges, log-scaled).
+    pub element_load: f64,
+    /// Combined scalar complexity (≥ 0).
+    pub complexity: f64,
+}
+
+/// Computes visual complexity of `g` drawn at `layout`. The combined
+/// scalar is `element_load + 2·clutter + crowding`: more elements, more
+/// crossings per edge, and more crowding all read as "more complex".
+pub fn visual_complexity(g: &Graph, layout: &Layout) -> VisualComplexity {
+    let crossings = edge_crossings(g, layout);
+    let clutter = if g.edge_count() == 0 {
+        0.0
+    } else {
+        crossings as f64 / g.edge_count() as f64
+    };
+    let min_dist = (layout.width.min(layout.height)) / 12.0;
+    let crowding = node_crowding(layout, min_dist);
+    let element_load = ((1 + g.node_count() + g.edge_count()) as f64).ln();
+    let complexity = element_load + 2.0 * clutter + crowding;
+    VisualComplexity {
+        crossings,
+        clutter,
+        crowding,
+        element_load,
+        complexity,
+    }
+}
+
+/// Berlyne's inverted-U: pleasantness of a stimulus with complexity `c`
+/// peaks at `optimum` and decays as a Gaussian with width `sigma`.
+/// Returns a value in `(0, 1]`.
+pub fn berlyne_pleasantness(complexity: f64, optimum: f64, sigma: f64) -> f64 {
+    let z = (complexity - optimum) / sigma;
+    (-0.5 * z * z).exp()
+}
+
+/// Aesthetic summary of a whole interface: mean pattern-thumbnail
+/// pleasantness, where each thumbnail is laid out independently.
+pub fn panel_pleasantness(patterns: &[&Graph], optimum: f64, sigma: f64) -> f64 {
+    if patterns.is_empty() {
+        return berlyne_pleasantness(0.0, optimum, sigma);
+    }
+    let total: f64 = patterns
+        .iter()
+        .map(|p| {
+            let layout = crate::layout::force_directed(p, crate::layout::LayoutParams::default());
+            berlyne_pleasantness(visual_complexity(p, &layout).complexity, optimum, sigma)
+        })
+        .sum();
+    total / patterns.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{circular, force_directed, LayoutParams};
+    use vqi_graph::generate::{chain, clique, cycle};
+
+    #[test]
+    fn no_crossings_in_convex_cycle() {
+        let g = cycle(6, 0, 0);
+        let l = circular(&g, 100.0, 100.0);
+        assert_eq!(edge_crossings(&g, &l), 0);
+    }
+
+    #[test]
+    fn k4_on_circle_has_one_crossing() {
+        let g = clique(4, 0, 0);
+        let l = circular(&g, 100.0, 100.0);
+        // the two diagonals of the square cross once
+        assert_eq!(edge_crossings(&g, &l), 1);
+    }
+
+    #[test]
+    fn k5_circular_crossings() {
+        let g = clique(5, 0, 0);
+        let l = circular(&g, 100.0, 100.0);
+        // K5 on a convex polygon has C(5, 4) = 5 crossings
+        assert_eq!(edge_crossings(&g, &l), 5);
+    }
+
+    #[test]
+    fn shared_endpoints_do_not_cross() {
+        let g = chain(3, 0, 0);
+        let l = circular(&g, 100.0, 100.0);
+        assert_eq!(edge_crossings(&g, &l), 0);
+    }
+
+    #[test]
+    fn crowding_detects_overlap() {
+        let tight = Layout {
+            positions: vec![Point { x: 0.0, y: 0.0 }, Point { x: 0.1, y: 0.0 }],
+            width: 100.0,
+            height: 100.0,
+        };
+        assert_eq!(node_crowding(&tight, 5.0), 1.0);
+        let loose = Layout {
+            positions: vec![Point { x: 0.0, y: 0.0 }, Point { x: 50.0, y: 0.0 }],
+            width: 100.0,
+            height: 100.0,
+        };
+        assert_eq!(node_crowding(&loose, 5.0), 0.0);
+    }
+
+    #[test]
+    fn complexity_grows_with_size() {
+        let small = cycle(3, 0, 0);
+        let big = clique(8, 0, 0);
+        let ls = force_directed(&small, LayoutParams::default());
+        let lb = force_directed(&big, LayoutParams::default());
+        let cs = visual_complexity(&small, &ls).complexity;
+        let cb = visual_complexity(&big, &lb).complexity;
+        assert!(cb > cs, "{cb} > {cs}");
+    }
+
+    #[test]
+    fn berlyne_is_inverted_u() {
+        let opt = 3.0;
+        let s = 1.5;
+        let low = berlyne_pleasantness(0.5, opt, s);
+        let mid = berlyne_pleasantness(3.0, opt, s);
+        let high = berlyne_pleasantness(8.0, opt, s);
+        assert!(mid > low, "peak beats low complexity");
+        assert!(mid > high, "peak beats high complexity");
+        assert!((mid - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panel_pleasantness_prefers_moderate_patterns() {
+        let tiny = chain(2, 0, 0);
+        let moderate = cycle(5, 0, 0);
+        let hairball = clique(9, 0, 0);
+        // optimum tuned near the moderate pattern's complexity
+        let l = force_directed(&moderate, LayoutParams::default());
+        let opt = visual_complexity(&moderate, &l).complexity;
+        let p_tiny = panel_pleasantness(&[&tiny], opt, 0.8);
+        let p_mod = panel_pleasantness(&[&moderate], opt, 0.8);
+        let p_hair = panel_pleasantness(&[&hairball], opt, 0.8);
+        assert!(p_mod > p_tiny);
+        assert!(p_mod > p_hair);
+    }
+}

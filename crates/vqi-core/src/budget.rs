@@ -1,0 +1,81 @@
+//! Selection budgets.
+//!
+//! A data-driven VQI is constructed "consistent with a budget" (§2.2):
+//! the display has room for only so many patterns, and patterns outside a
+//! size range are either trivial (too small to save formulation steps) or
+//! cognitively overwhelming (too large to interpret at a glance).
+
+use serde::{Deserialize, Serialize};
+use vqi_graph::Graph;
+
+/// Budget for canned-pattern selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternBudget {
+    /// Number of canned patterns to display.
+    pub count: usize,
+    /// Minimum pattern size in nodes (strictly above the basic-pattern
+    /// bound `z`).
+    pub min_size: usize,
+    /// Maximum pattern size in nodes.
+    pub max_size: usize,
+}
+
+impl PatternBudget {
+    /// A budget of `count` patterns between `min_size` and `max_size`
+    /// nodes. Panics on an empty size range or zero sizes.
+    pub fn new(count: usize, min_size: usize, max_size: usize) -> Self {
+        assert!(min_size >= 2, "patterns below 2 nodes carry no edges");
+        assert!(min_size <= max_size, "empty size range");
+        PatternBudget {
+            count,
+            min_size,
+            max_size,
+        }
+    }
+
+    /// True if `g`'s node count lies in the budget range.
+    pub fn admits(&self, g: &Graph) -> bool {
+        (self.min_size..=self.max_size).contains(&g.node_count())
+    }
+}
+
+impl Default for PatternBudget {
+    /// The defaults used throughout the tutorial's examples: 10 canned
+    /// patterns of 4–12 nodes (canned means larger than `z = 3`).
+    fn default() -> Self {
+        PatternBudget::new(10, 4, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::chain;
+
+    #[test]
+    fn admits_checks_range() {
+        let b = PatternBudget::new(5, 4, 8);
+        assert!(!b.admits(&chain(3, 0, 0)));
+        assert!(b.admits(&chain(4, 0, 0)));
+        assert!(b.admits(&chain(8, 0, 0)));
+        assert!(!b.admits(&chain(9, 0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty size range")]
+    fn rejects_inverted_range() {
+        PatternBudget::new(5, 8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2 nodes")]
+    fn rejects_tiny_min() {
+        PatternBudget::new(5, 1, 4);
+    }
+
+    #[test]
+    fn default_is_canned_sized() {
+        let b = PatternBudget::default();
+        assert!(b.min_size > 3, "canned patterns exceed z = 3");
+    }
+}

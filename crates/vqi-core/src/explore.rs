@@ -1,0 +1,227 @@
+//! Exploratory search support: data-driven extension suggestions.
+//!
+//! PICASSO and VIIQ (both demonstrated in the tutorial's §2.1 survey)
+//! assist bottom-up users by *suggesting* how the current query fragment
+//! can grow: given what is on the canvas, which one-edge extensions
+//! actually occur in the repository, and how often? [`suggest_extensions`]
+//! answers that by enumerating embeddings of the fragment and tallying
+//! the labeled edges leaving each embedding's image, ranked by frequency.
+//! Suggestions therefore can never lead the user into an unsatisfiable
+//! query — the data-driven property transplanted to interaction.
+
+use crate::repo::GraphRepository;
+use crate::score::coverage_match_options;
+use serde::Serialize;
+use vqi_graph::iso::{enumerate_embeddings, MatchOptions};
+use vqi_graph::{Graph, Label};
+use std::collections::HashMap;
+
+/// One suggested extension of the current query fragment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Extension {
+    /// Fragment node the new edge attaches to.
+    pub attach_to: u32,
+    /// Label of the new neighbor node.
+    pub node_label: Label,
+    /// Label of the connecting edge.
+    pub edge_label: Label,
+    /// In how many distinct repository contexts this extension occurs
+    /// (graphs for a collection; embeddings for a network, capped).
+    pub support: usize,
+}
+
+/// Options for suggestion generation.
+#[derive(Debug, Clone, Copy)]
+pub struct SuggestOptions {
+    /// Maximum suggestions returned.
+    pub top_k: usize,
+    /// Embedding cap per graph.
+    pub max_embeddings: usize,
+}
+
+impl Default for SuggestOptions {
+    fn default() -> Self {
+        SuggestOptions {
+            top_k: 8,
+            max_embeddings: 200,
+        }
+    }
+}
+
+fn tally(
+    fragment: &Graph,
+    target: &Graph,
+    opts: &SuggestOptions,
+    counts: &mut HashMap<(u32, Label, Label), usize>,
+    per_graph: bool,
+) {
+    let match_opts = MatchOptions {
+        max_embeddings: opts.max_embeddings,
+        ..coverage_match_options()
+    };
+    let mut seen_this_graph: std::collections::HashSet<(u32, Label, Label)> =
+        std::collections::HashSet::new();
+    enumerate_embeddings(fragment, target, match_opts, |mapping| {
+        let image: std::collections::HashSet<u32> = mapping.iter().map(|n| n.0).collect();
+        for (qi, &tn) in mapping.iter().enumerate() {
+            for (nbr, e) in target.neighbors(tn) {
+                if image.contains(&nbr.0) {
+                    continue; // internal edge, not an extension
+                }
+                let key = (
+                    qi as u32,
+                    target.node_label(nbr),
+                    target.edge_label(e),
+                );
+                if per_graph {
+                    if seen_this_graph.insert(key) {
+                        *counts.entry(key).or_insert(0) += 1;
+                    }
+                } else {
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        true
+    });
+}
+
+/// Suggests the top-k one-edge extensions of `fragment` that occur in
+/// `repo`, ranked by support (desc), with deterministic tie-breaking.
+pub fn suggest_extensions(
+    fragment: &Graph,
+    repo: &GraphRepository,
+    opts: SuggestOptions,
+) -> Vec<Extension> {
+    if fragment.node_count() == 0 {
+        return vec![];
+    }
+    let mut counts: HashMap<(u32, Label, Label), usize> = HashMap::new();
+    match repo {
+        GraphRepository::Collection(c) => {
+            for (_, g) in c.iter() {
+                tally(fragment, g, &opts, &mut counts, true);
+            }
+        }
+        GraphRepository::Network(g) => {
+            tally(fragment, g, &opts, &mut counts, false);
+        }
+    }
+    let mut out: Vec<Extension> = counts
+        .into_iter()
+        .map(|((attach_to, node_label, edge_label), support)| Extension {
+            attach_to,
+            node_label,
+            edge_label,
+            support,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(a.attach_to.cmp(&b.attach_to))
+            .then(a.node_label.cmp(&b.node_label))
+            .then(a.edge_label.cmp(&b.edge_label))
+    });
+    out.truncate(opts.top_k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, star};
+    use vqi_graph::NodeId;
+
+    fn repo() -> GraphRepository {
+        // three stars with label-7 centers and label-1 leaves, one chain
+        GraphRepository::collection(vec![
+            star(4, 1, 0).permuted(&[0, 1, 2, 3, 4]), // center gets label set below
+            star(3, 1, 0),
+            chain(3, 2, 9),
+        ])
+    }
+
+    #[test]
+    fn suggestions_reflect_repository_structure() {
+        let mut graphs = vec![star(4, 1, 0), star(3, 1, 0)];
+        for g in &mut graphs {
+            g.set_node_label(NodeId(0), 7); // centers labeled 7
+        }
+        let repo = GraphRepository::collection(graphs);
+        // fragment: a single label-7 node
+        let mut frag = Graph::new();
+        frag.add_node(7);
+        let sugg = suggest_extensions(&frag, &repo, SuggestOptions::default());
+        assert!(!sugg.is_empty());
+        // the dominant extension: attach a label-1 node via label-0 edge
+        assert_eq!(sugg[0].attach_to, 0);
+        assert_eq!(sugg[0].node_label, 1);
+        assert_eq!(sugg[0].edge_label, 0);
+        assert_eq!(sugg[0].support, 2, "occurs in both graphs");
+    }
+
+    #[test]
+    fn suggestions_never_invent_structure() {
+        let repo = repo();
+        let mut frag = Graph::new();
+        frag.add_node(2);
+        let sugg = suggest_extensions(&frag, &repo, SuggestOptions::default());
+        for s in &sugg {
+            // every suggested (node label, edge label) must exist in data
+            assert!(s.node_label == 2);
+            assert_eq!(s.edge_label, 9);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_fragment_suggests_nothing() {
+        let repo = repo();
+        let mut frag = Graph::new();
+        frag.add_node(99);
+        assert!(suggest_extensions(&frag, &repo, SuggestOptions::default()).is_empty());
+        assert!(suggest_extensions(&Graph::new(), &repo, SuggestOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates_and_orders() {
+        let repo = repo();
+        let mut frag = Graph::new();
+        frag.add_node(1);
+        let all = suggest_extensions(
+            &frag,
+            &repo,
+            SuggestOptions {
+                top_k: 100,
+                ..Default::default()
+            },
+        );
+        let top1 = suggest_extensions(
+            &frag,
+            &repo,
+            SuggestOptions {
+                top_k: 1,
+                ..Default::default()
+            },
+        );
+        assert!(top1.len() <= 1);
+        if !all.is_empty() {
+            assert_eq!(top1[0], all[0]);
+            for pair in all.windows(2) {
+                assert!(pair[0].support >= pair[1].support);
+            }
+        }
+    }
+
+    #[test]
+    fn network_mode_counts_embeddings() {
+        let net = star(5, 1, 0);
+        let repo = GraphRepository::network(net);
+        let mut frag = Graph::new();
+        frag.add_node(1);
+        let sugg = suggest_extensions(&frag, &repo, SuggestOptions::default());
+        assert!(!sugg.is_empty());
+        // the center sees 5 leaf extensions; each leaf sees the center
+        assert!(sugg[0].support >= 5);
+    }
+}

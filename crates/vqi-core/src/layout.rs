@@ -1,0 +1,222 @@
+//! Deterministic force-directed layout.
+//!
+//! The aesthetics work the tutorial points to (§2.5) needs node positions
+//! to quantify visual complexity, so the headless VQI carries a real
+//! layout engine: Fruchterman–Reingold with a fixed iteration schedule
+//! and a seeded initial placement, making layouts — and every metric
+//! computed from them — reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vqi_graph::Graph;
+
+/// A 2-D position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A computed layout: one position per node, inside `[0, width] ×
+/// [0, height]`.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Node positions indexed by node id.
+    pub positions: Vec<Point>,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+}
+
+/// Layout parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutParams {
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Simulation iterations.
+    pub iterations: usize,
+    /// RNG seed for the initial placement.
+    pub seed: u64,
+}
+
+impl Default for LayoutParams {
+    fn default() -> Self {
+        LayoutParams {
+            width: 200.0,
+            height: 200.0,
+            iterations: 120,
+            seed: 7,
+        }
+    }
+}
+
+/// Computes a Fruchterman–Reingold layout of `g`.
+pub fn force_directed(g: &Graph, params: LayoutParams) -> Layout {
+    let n = g.node_count();
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut pos: Vec<Point> = (0..n)
+        .map(|_| Point {
+            x: rng.gen_range(0.0..params.width),
+            y: rng.gen_range(0.0..params.height),
+        })
+        .collect();
+    if n <= 1 {
+        if n == 1 {
+            pos[0] = Point {
+                x: params.width / 2.0,
+                y: params.height / 2.0,
+            };
+        }
+        return Layout {
+            positions: pos,
+            width: params.width,
+            height: params.height,
+        };
+    }
+    let area = params.width * params.height;
+    let k = (area / n as f64).sqrt();
+    let mut temperature = params.width / 8.0;
+    let cool = temperature / params.iterations as f64;
+    let mut disp = vec![(0.0f64, 0.0f64); n];
+    for _ in 0..params.iterations {
+        for d in disp.iter_mut() {
+            *d = (0.0, 0.0);
+        }
+        // repulsive forces between all pairs
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i].x - pos[j].x;
+                let dy = pos[i].y - pos[j].y;
+                let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+                let force = k * k / dist;
+                let (fx, fy) = (dx / dist * force, dy / dist * force);
+                disp[i].0 += fx;
+                disp[i].1 += fy;
+                disp[j].0 -= fx;
+                disp[j].1 -= fy;
+            }
+        }
+        // attractive forces along edges
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let (i, j) = (u.index(), v.index());
+            let dx = pos[i].x - pos[j].x;
+            let dy = pos[i].y - pos[j].y;
+            let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+            let force = dist * dist / k;
+            let (fx, fy) = (dx / dist * force, dy / dist * force);
+            disp[i].0 -= fx;
+            disp[i].1 -= fy;
+            disp[j].0 += fx;
+            disp[j].1 += fy;
+        }
+        // apply displacement limited by temperature, clamp to canvas
+        for i in 0..n {
+            let (dx, dy) = disp[i];
+            let len = (dx * dx + dy * dy).sqrt().max(0.01);
+            let step = len.min(temperature);
+            pos[i].x = (pos[i].x + dx / len * step).clamp(0.0, params.width);
+            pos[i].y = (pos[i].y + dy / len * step).clamp(0.0, params.height);
+        }
+        temperature = (temperature - cool).max(0.01);
+    }
+    Layout {
+        positions: pos,
+        width: params.width,
+        height: params.height,
+    }
+}
+
+/// A simple deterministic circular layout (reference/baseline for the
+/// aesthetics ablation: usually more crossings than force-directed).
+pub fn circular(g: &Graph, width: f64, height: f64) -> Layout {
+    let n = g.node_count();
+    let cx = width / 2.0;
+    let cy = height / 2.0;
+    let r = width.min(height) * 0.4;
+    let positions = (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+            Point {
+                x: cx + r * theta.cos(),
+                y: cy + r * theta.sin(),
+            }
+        })
+        .collect();
+    Layout {
+        positions,
+        width,
+        height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    #[test]
+    fn layout_covers_all_nodes_in_bounds() {
+        let g = cycle(8, 0, 0);
+        let l = force_directed(&g, LayoutParams::default());
+        assert_eq!(l.positions.len(), 8);
+        for p in &l.positions {
+            assert!(p.x >= 0.0 && p.x <= l.width);
+            assert!(p.y >= 0.0 && p.y <= l.height);
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let g = star(5, 0, 0);
+        let a = force_directed(&g, LayoutParams::default());
+        let b = force_directed(&g, LayoutParams::default());
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn layout_separates_nodes() {
+        let g = chain(5, 0, 0);
+        let l = force_directed(&g, LayoutParams::default());
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert!(
+                    l.positions[i].distance(&l.positions[j]) > 1.0,
+                    "nodes {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_layouts() {
+        let l = force_directed(&Graph::new(), LayoutParams::default());
+        assert!(l.positions.is_empty());
+        let mut g = Graph::new();
+        g.add_node(0);
+        let l1 = force_directed(&g, LayoutParams::default());
+        assert_eq!(l1.positions.len(), 1);
+    }
+
+    #[test]
+    fn circular_layout_on_circle() {
+        let g = cycle(4, 0, 0);
+        let l = circular(&g, 100.0, 100.0);
+        let c = Point { x: 50.0, y: 50.0 };
+        for p in &l.positions {
+            assert!((p.distance(&c) - 40.0).abs() < 1e-9);
+        }
+    }
+}

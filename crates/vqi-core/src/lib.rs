@@ -1,0 +1,47 @@
+//! Core model of a data-driven visual query interface (VQI).
+//!
+//! A VQI is built from four panels (§2.1 of the tutorial):
+//!
+//! * the **Attribute Panel** lists the node/edge labels of the underlying
+//!   repository — trivially data-driven;
+//! * the **Pattern Panel** holds *basic* patterns (edge, 2-path,
+//!   triangle) plus *canned* patterns mined from the data — the hard,
+//!   NP-hard-to-populate part that CATAPULT/TATTOO/MIDAS exist for;
+//! * the **Query Panel** is where users compose queries (edge-at-a-time
+//!   or pattern-at-a-time);
+//! * the **Results Panel** shows matches of the query in the repository.
+//!
+//! This crate owns the vocabulary shared by every selection system:
+//! patterns and deduplicated pattern sets ([`pattern`]), selection
+//! budgets ([`budget`]), the repository abstraction ([`repo`]), the
+//! coverage / diversity / cognitive-load quality measures ([`score`]),
+//! the selector interface ([`selector`]), the panel and interface model
+//! ([`panel`], [`vqi`]), query composition ([`query`]), query evaluation
+//! ([`results`]), and the presentation layer ([`layout`], [`aesthetics`],
+//! [`render`]) that makes the headless "GUI" observable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aesthetics;
+pub mod budget;
+pub mod explore;
+pub mod layout;
+pub mod panel;
+pub mod persist;
+pub mod optimize;
+pub mod pattern;
+pub mod query;
+pub mod render;
+pub mod repo;
+pub mod results;
+pub mod score;
+pub mod selector;
+pub mod summary;
+pub mod vqi;
+
+pub use budget::PatternBudget;
+pub use pattern::{Pattern, PatternId, PatternKind, PatternSet};
+pub use repo::{BatchUpdate, GraphRepository};
+pub use selector::PatternSelector;
+pub use vqi::VisualQueryInterface;

@@ -1,0 +1,96 @@
+//! The four panels of a visual query interface.
+
+use crate::pattern::PatternSet;
+use crate::query::QueryBuilder;
+use crate::repo::GraphRepository;
+use crate::results::QueryResults;
+use vqi_graph::Label;
+
+/// The Attribute Panel: node and edge labels available for query
+/// construction. In a data-driven VQI this is populated by traversing the
+/// repository; in a manual VQI it is hard-coded by the developer.
+#[derive(Debug, Clone, Default)]
+pub struct AttributePanel {
+    /// Sorted distinct node labels.
+    pub node_labels: Vec<Label>,
+    /// Sorted distinct edge labels.
+    pub edge_labels: Vec<Label>,
+}
+
+impl AttributePanel {
+    /// Populates the panel from a repository (the data-driven path).
+    pub fn from_repository(repo: &GraphRepository) -> Self {
+        AttributePanel {
+            node_labels: repo.node_labels().into_iter().collect(),
+            edge_labels: repo.edge_labels().into_iter().collect(),
+        }
+    }
+
+    /// A hard-coded panel (the manual path).
+    pub fn manual(node_labels: Vec<Label>, edge_labels: Vec<Label>) -> Self {
+        let mut p = AttributePanel {
+            node_labels,
+            edge_labels,
+        };
+        p.node_labels.sort_unstable();
+        p.node_labels.dedup();
+        p.edge_labels.sort_unstable();
+        p.edge_labels.dedup();
+        p
+    }
+
+    /// True if `label` is offered as a node label.
+    pub fn has_node_label(&self, label: Label) -> bool {
+        self.node_labels.binary_search(&label).is_ok()
+    }
+
+    /// True if `label` is offered as an edge label.
+    pub fn has_edge_label(&self, label: Label) -> bool {
+        self.edge_labels.binary_search(&label).is_ok()
+    }
+}
+
+/// The Pattern Panel: basic plus canned patterns.
+#[derive(Debug, Clone, Default)]
+pub struct PatternPanel {
+    /// The deduplicated pattern set on display.
+    pub patterns: PatternSet,
+}
+
+/// The Query Panel: the in-progress visual query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryPanel {
+    /// The editable query state.
+    pub query: QueryBuilder,
+}
+
+/// The Results Panel: matches of the last executed query.
+#[derive(Debug, Clone, Default)]
+pub struct ResultsPanel {
+    /// Results of the most recent run, if any.
+    pub results: Option<QueryResults>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, star};
+
+    #[test]
+    fn attribute_panel_from_repo_is_sorted() {
+        let repo = GraphRepository::collection(vec![chain(3, 9, 2), star(3, 1, 5)]);
+        let p = AttributePanel::from_repository(&repo);
+        assert_eq!(p.node_labels, vec![1, 9]);
+        assert_eq!(p.edge_labels, vec![2, 5]);
+        assert!(p.has_node_label(9));
+        assert!(!p.has_node_label(3));
+        assert!(p.has_edge_label(5));
+    }
+
+    #[test]
+    fn manual_panel_dedups() {
+        let p = AttributePanel::manual(vec![3, 1, 3], vec![2, 2]);
+        assert_eq!(p.node_labels, vec![1, 3]);
+        assert_eq!(p.edge_labels, vec![2]);
+    }
+}

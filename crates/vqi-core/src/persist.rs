@@ -1,0 +1,213 @@
+//! Plug-and-play persistence: save and load constructed interfaces.
+//!
+//! The tutorial's "plug-and-play" vision (§2.2, [7], [49]) implies a VQI
+//! built over one data source can be shipped, versioned, and reloaded
+//! without re-running selection. This module serializes everything
+//! data-dependent — the Attribute Panel and the Pattern Panel — into a
+//! single self-describing text document: a JSON header plus the patterns
+//! in the same classic transaction format the repository loaders use, so
+//! a saved VQI is diffable and hand-editable.
+
+use crate::panel::{AttributePanel, PatternPanel};
+use crate::pattern::{PatternKind, PatternSet};
+use crate::vqi::{ConstructionMode, VisualQueryInterface};
+use serde::{Deserialize, Serialize};
+use vqi_graph::io::{parse_transactions, write_transactions};
+use vqi_graph::Label;
+
+/// The serializable header of a saved interface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SavedHeader {
+    format_version: u32,
+    mode: String,
+    selector: String,
+    node_labels: Vec<Label>,
+    edge_labels: Vec<Label>,
+    kinds: Vec<String>,
+    provenances: Vec<String>,
+}
+
+/// Errors from saving/loading.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Header (de)serialization failed.
+    Header(String),
+    /// Pattern graph section failed to parse.
+    Patterns(String),
+    /// Structural mismatch (header vs pattern count, bad kind, …).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Header(e) => write!(f, "header: {e}"),
+            PersistError::Patterns(e) => write!(f, "patterns: {e}"),
+            PersistError::Inconsistent(e) => write!(f, "inconsistent document: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+const SEPARATOR: &str = "---PATTERNS---";
+
+/// Serializes an interface to the portable text document.
+pub fn save_interface(vqi: &VisualQueryInterface) -> String {
+    let header = SavedHeader {
+        format_version: 1,
+        mode: format!("{:?}", vqi.mode),
+        selector: vqi.selector_name.clone(),
+        node_labels: vqi.attributes.node_labels.clone(),
+        edge_labels: vqi.attributes.edge_labels.clone(),
+        kinds: vqi
+            .pattern_set()
+            .patterns()
+            .iter()
+            .map(|p| format!("{:?}", p.kind))
+            .collect(),
+        provenances: vqi
+            .pattern_set()
+            .patterns()
+            .iter()
+            .map(|p| p.provenance.clone())
+            .collect(),
+    };
+    let graphs: Vec<vqi_graph::Graph> =
+        vqi.pattern_set().graphs().cloned().collect();
+    format!(
+        "{}\n{SEPARATOR}\n{}",
+        serde_json::to_string_pretty(&header).expect("header serializes"),
+        write_transactions(&graphs)
+    )
+}
+
+/// Loads an interface previously written by [`save_interface`]. The
+/// Query and Results panels start empty (they are user-session state).
+pub fn load_interface(text: &str) -> Result<VisualQueryInterface, PersistError> {
+    let (head, tail) = text
+        .split_once(SEPARATOR)
+        .ok_or_else(|| PersistError::Inconsistent("missing pattern separator".into()))?;
+    let header: SavedHeader =
+        serde_json::from_str(head).map_err(|e| PersistError::Header(e.to_string()))?;
+    if header.format_version != 1 {
+        return Err(PersistError::Inconsistent(format!(
+            "unsupported format version {}",
+            header.format_version
+        )));
+    }
+    let graphs =
+        parse_transactions(tail).map_err(|e| PersistError::Patterns(e.to_string()))?;
+    if graphs.len() != header.kinds.len() || graphs.len() != header.provenances.len() {
+        return Err(PersistError::Inconsistent(format!(
+            "{} graphs vs {} kinds / {} provenances",
+            graphs.len(),
+            header.kinds.len(),
+            header.provenances.len()
+        )));
+    }
+    let mut patterns = PatternSet::new();
+    for ((g, kind), prov) in graphs
+        .into_iter()
+        .zip(header.kinds.iter())
+        .zip(header.provenances.iter())
+    {
+        let kind = match kind.as_str() {
+            "Basic" => PatternKind::Basic,
+            "Canned" => PatternKind::Canned,
+            other => {
+                return Err(PersistError::Inconsistent(format!(
+                    "unknown pattern kind '{other}'"
+                )))
+            }
+        };
+        patterns
+            .insert(g, kind, prov.clone())
+            .map_err(|e| PersistError::Inconsistent(e.to_string()))?;
+    }
+    let mode = match header.mode.as_str() {
+        "DataDriven" => ConstructionMode::DataDriven,
+        "Manual" => ConstructionMode::Manual,
+        other => {
+            return Err(PersistError::Inconsistent(format!(
+                "unknown mode '{other}'"
+            )))
+        }
+    };
+    Ok(VisualQueryInterface {
+        mode,
+        selector_name: header.selector,
+        attributes: AttributePanel {
+            node_labels: header.node_labels,
+            edge_labels: header.edge_labels,
+        },
+        patterns: PatternPanel { patterns },
+        query: Default::default(),
+        results: Default::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::PatternBudget;
+    use crate::repo::GraphRepository;
+    use crate::selector::RandomSelector;
+    use vqi_graph::generate::{chain, cycle};
+
+    fn sample() -> VisualQueryInterface {
+        let repo = GraphRepository::collection(vec![chain(8, 1, 0), cycle(6, 2, 3)]);
+        VisualQueryInterface::data_driven(
+            &repo,
+            &RandomSelector::new(11),
+            &PatternBudget::new(4, 4, 6),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let vqi = sample();
+        let text = save_interface(&vqi);
+        let loaded = load_interface(&text).expect("loads");
+        assert_eq!(loaded.mode, vqi.mode);
+        assert_eq!(loaded.selector_name, vqi.selector_name);
+        assert_eq!(loaded.attributes.node_labels, vqi.attributes.node_labels);
+        assert_eq!(loaded.attributes.edge_labels, vqi.attributes.edge_labels);
+        assert_eq!(loaded.pattern_set().len(), vqi.pattern_set().len());
+        for (a, b) in loaded
+            .pattern_set()
+            .patterns()
+            .iter()
+            .zip(vqi.pattern_set().patterns())
+        {
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.provenance, b.provenance);
+        }
+    }
+
+    #[test]
+    fn manual_interfaces_round_trip_too() {
+        let vqi = VisualQueryInterface::manual(vec![1, 2], vec![0], vec![cycle(4, 1, 0)]);
+        let loaded = load_interface(&save_interface(&vqi)).unwrap();
+        assert_eq!(loaded.mode, ConstructionMode::Manual);
+        assert_eq!(loaded.pattern_set().canned().count(), 1);
+        assert_eq!(loaded.pattern_set().basic().count(), 3);
+    }
+
+    #[test]
+    fn corrupted_documents_are_rejected() {
+        assert!(load_interface("not a document").is_err());
+        let vqi = sample();
+        let text = save_interface(&vqi);
+        // break the header
+        let broken = text.replacen("format_version", "fmt", 1);
+        assert!(load_interface(&broken).is_err());
+        // break the pattern section
+        let broken2 = text.replace("v 0", "vx 0");
+        assert!(load_interface(&broken2).is_err());
+        // version bump is rejected
+        let broken3 = text.replace("\"format_version\": 1", "\"format_version\": 9");
+        assert!(load_interface(&broken3).is_err());
+    }
+}

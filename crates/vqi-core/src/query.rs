@@ -1,0 +1,357 @@
+//! Visual query composition.
+//!
+//! Users build a query graph in the Query Panel through atomic actions:
+//! adding a node, adding an edge, dropping a whole pattern from the
+//! Pattern Panel (pattern-at-a-time mode), merging a pattern node with an
+//! existing query node, or relabeling. The number of actions is the
+//! *formulation step count*, the primary performance measure of the
+//! usability studies summarized in §2.3–2.4; the HCI literature the
+//! tutorial cites (Shneiderman & Plaisant) predicts user frustration when
+//! many small atomic actions are needed for one higher-level task, which
+//! is exactly what canned patterns amortize.
+
+use std::collections::BTreeMap;
+use vqi_graph::{Graph, Label, NodeId};
+
+/// Handle to a node in a [`QueryBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QNode(pub usize);
+
+/// One atomic user action in the Query Panel.
+#[derive(Debug, Clone)]
+pub enum EditOp {
+    /// Place a new node with a label (drag from Attribute Panel).
+    AddNode {
+        /// The node label.
+        label: Label,
+    },
+    /// Connect two existing nodes.
+    AddEdge {
+        /// First endpoint.
+        a: QNode,
+        /// Second endpoint.
+        b: QNode,
+        /// The edge label.
+        label: Label,
+    },
+    /// Drop a pattern from the Pattern Panel into the canvas as a
+    /// disjoint component (pattern-at-a-time mode).
+    AddPattern {
+        /// The pattern graph to instantiate.
+        pattern: Graph,
+    },
+    /// Fuse node `merge` into node `keep` (connecting a dropped pattern
+    /// to the existing query).
+    MergeNodes {
+        /// Node that survives.
+        keep: QNode,
+        /// Node that is absorbed.
+        merge: QNode,
+    },
+    /// Change a node's label.
+    SetNodeLabel {
+        /// Target node.
+        node: QNode,
+        /// New label.
+        label: Label,
+    },
+    /// Change an edge's label.
+    SetEdgeLabel {
+        /// First endpoint.
+        a: QNode,
+        /// Second endpoint.
+        b: QNode,
+        /// New label.
+        label: Label,
+    },
+}
+
+/// Errors from applying an edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Referenced node does not exist (or was merged away).
+    UnknownNode,
+    /// Edge endpoints are equal or the edge already exists.
+    InvalidEdge,
+    /// Referenced edge does not exist.
+    UnknownEdge,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownNode => write!(f, "unknown query node"),
+            QueryError::InvalidEdge => write!(f, "invalid or duplicate edge"),
+            QueryError::UnknownEdge => write!(f, "unknown query edge"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// An editable query graph. Unlike [`Graph`] (append-only), the builder
+/// supports node merging, which pattern-at-a-time composition needs.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    /// `labels[i]` = label of node `i`; `None` once merged away.
+    labels: Vec<Option<Label>>,
+    /// Edges keyed by normalized endpoint pair.
+    edges: BTreeMap<(usize, usize), Label>,
+    /// Number of edits applied.
+    steps: usize,
+}
+
+fn key(a: usize, b: usize) -> (usize, usize) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl QueryBuilder {
+    /// An empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of atomic edits applied so far (the step count).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if `n` refers to a live node.
+    pub fn is_live(&self, n: QNode) -> bool {
+        self.labels.get(n.0).is_some_and(|l| l.is_some())
+    }
+
+    /// Applies one edit. On success returns the nodes created (empty for
+    /// most ops; one for `AddNode`; all pattern nodes for `AddPattern`).
+    pub fn apply(&mut self, op: &EditOp) -> Result<Vec<QNode>, QueryError> {
+        let created = match op {
+            EditOp::AddNode { label } => {
+                self.labels.push(Some(*label));
+                vec![QNode(self.labels.len() - 1)]
+            }
+            EditOp::AddEdge { a, b, label } => {
+                if !self.is_live(*a) || !self.is_live(*b) {
+                    return Err(QueryError::UnknownNode);
+                }
+                if a == b || self.edges.contains_key(&key(a.0, b.0)) {
+                    return Err(QueryError::InvalidEdge);
+                }
+                self.edges.insert(key(a.0, b.0), *label);
+                vec![]
+            }
+            EditOp::AddPattern { pattern } => {
+                let base = self.labels.len();
+                let mut created = Vec::with_capacity(pattern.node_count());
+                for v in pattern.nodes() {
+                    self.labels.push(Some(pattern.node_label(v)));
+                    created.push(QNode(base + v.index()));
+                }
+                for e in pattern.edges() {
+                    let (u, v) = pattern.endpoints(e);
+                    self.edges
+                        .insert(key(base + u.index(), base + v.index()), pattern.edge_label(e));
+                }
+                created
+            }
+            EditOp::MergeNodes { keep, merge } => {
+                if !self.is_live(*keep) || !self.is_live(*merge) || keep == merge {
+                    return Err(QueryError::UnknownNode);
+                }
+                // move merge's edges onto keep (existing edges win)
+                let moved: Vec<((usize, usize), Label)> = self
+                    .edges
+                    .iter()
+                    .filter(|((a, b), _)| *a == merge.0 || *b == merge.0)
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                for (k_old, label) in moved {
+                    self.edges.remove(&k_old);
+                    let other = if k_old.0 == merge.0 { k_old.1 } else { k_old.0 };
+                    if other != keep.0 {
+                        self.edges.entry(key(keep.0, other)).or_insert(label);
+                    }
+                }
+                self.labels[merge.0] = None;
+                vec![]
+            }
+            EditOp::SetNodeLabel { node, label } => {
+                if !self.is_live(*node) {
+                    return Err(QueryError::UnknownNode);
+                }
+                self.labels[node.0] = Some(*label);
+                vec![]
+            }
+            EditOp::SetEdgeLabel { a, b, label } => {
+                match self.edges.get_mut(&key(a.0, b.0)) {
+                    Some(l) => *l = *label,
+                    None => return Err(QueryError::UnknownEdge),
+                }
+                vec![]
+            }
+        };
+        self.steps += 1;
+        Ok(created)
+    }
+
+    /// Materializes the query as a compact [`Graph`] (live nodes densely
+    /// renumbered in id order). Also returns the mapping from builder
+    /// node index to graph node.
+    pub fn to_graph(&self) -> (Graph, BTreeMap<usize, NodeId>) {
+        let mut g = Graph::new();
+        let mut map = BTreeMap::new();
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Some(label) = l {
+                map.insert(i, g.add_node(*label));
+            }
+        }
+        for (&(a, b), &label) in &self.edges {
+            g.add_edge(map[&a], map[&b], label);
+        }
+        (g, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{cycle, star};
+    use vqi_graph::iso::are_isomorphic;
+
+    #[test]
+    fn edge_at_a_time_builds_triangle() {
+        let mut q = QueryBuilder::new();
+        let a = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let b = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let c = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        q.apply(&EditOp::AddEdge { a, b, label: 0 }).unwrap();
+        q.apply(&EditOp::AddEdge { a: b, b: c, label: 0 }).unwrap();
+        q.apply(&EditOp::AddEdge { a, b: c, label: 0 }).unwrap();
+        assert_eq!(q.steps(), 6);
+        let (g, _) = q.to_graph();
+        assert!(are_isomorphic(&g, &cycle(3, 1, 0)));
+    }
+
+    #[test]
+    fn pattern_at_a_time_is_one_step() {
+        let mut q = QueryBuilder::new();
+        q.apply(&EditOp::AddPattern {
+            pattern: cycle(3, 1, 0),
+        })
+        .unwrap();
+        assert_eq!(q.steps(), 1);
+        let (g, _) = q.to_graph();
+        assert!(are_isomorphic(&g, &cycle(3, 1, 0)));
+    }
+
+    #[test]
+    fn merge_connects_pattern_to_query() {
+        // build a star, then merge a triangle's corner onto a leaf
+        let mut q = QueryBuilder::new();
+        let nodes = q
+            .apply(&EditOp::AddPattern {
+                pattern: star(2, 1, 0),
+            })
+            .unwrap();
+        let leaf = nodes[1];
+        let tri = q
+            .apply(&EditOp::AddPattern {
+                pattern: cycle(3, 1, 0),
+            })
+            .unwrap();
+        q.apply(&EditOp::MergeNodes {
+            keep: leaf,
+            merge: tri[0],
+        })
+        .unwrap();
+        let (g, _) = q.to_graph();
+        // star(2) has 3 nodes; triangle has 3; merged -> 5 nodes, 5 edges
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(vqi_graph::traversal::is_connected(&g));
+        assert_eq!(q.steps(), 3);
+    }
+
+    #[test]
+    fn merge_drops_duplicate_edges() {
+        let mut q = QueryBuilder::new();
+        let a = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let b = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let c = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        q.apply(&EditOp::AddEdge { a, b, label: 0 }).unwrap();
+        q.apply(&EditOp::AddEdge { a, b: c, label: 0 }).unwrap();
+        // merging b into c: edge a-b becomes a-c, which already exists
+        q.apply(&EditOp::MergeNodes { keep: c, merge: b }).unwrap();
+        let (g, _) = q.to_graph();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut q = QueryBuilder::new();
+        let a = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        assert_eq!(
+            q.apply(&EditOp::AddEdge {
+                a,
+                b: QNode(9),
+                label: 0
+            }),
+            Err(QueryError::UnknownNode)
+        );
+        assert_eq!(
+            q.apply(&EditOp::AddEdge { a, b: a, label: 0 }),
+            Err(QueryError::InvalidEdge)
+        );
+        assert_eq!(
+            q.apply(&EditOp::SetEdgeLabel {
+                a,
+                b: QNode(9),
+                label: 0
+            }),
+            Err(QueryError::UnknownEdge)
+        );
+        // failed edits do not count as steps
+        assert_eq!(q.steps(), 1);
+    }
+
+    #[test]
+    fn relabeling_works() {
+        let mut q = QueryBuilder::new();
+        let a = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let b = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        q.apply(&EditOp::AddEdge { a, b, label: 0 }).unwrap();
+        q.apply(&EditOp::SetNodeLabel { node: a, label: 9 }).unwrap();
+        q.apply(&EditOp::SetEdgeLabel { a, b, label: 5 }).unwrap();
+        let (g, map) = q.to_graph();
+        assert_eq!(g.node_label(map[&a.0]), 9);
+        assert_eq!(g.edge_label(vqi_graph::EdgeId(0)), 5);
+    }
+
+    #[test]
+    fn merged_nodes_are_dead() {
+        let mut q = QueryBuilder::new();
+        let a = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let b = q.apply(&EditOp::AddNode { label: 2 }).unwrap()[0];
+        q.apply(&EditOp::MergeNodes { keep: a, merge: b }).unwrap();
+        assert!(!q.is_live(b));
+        assert_eq!(q.node_count(), 1);
+        assert_eq!(
+            q.apply(&EditOp::SetNodeLabel { node: b, label: 3 }),
+            Err(QueryError::UnknownNode)
+        );
+    }
+}

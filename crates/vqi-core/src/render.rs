@@ -1,0 +1,299 @@
+//! Headless rendering of graphs and whole interfaces.
+//!
+//! Real GUI toolkits are out of scope for a library reproduction (see
+//! DESIGN.md §3), so the "screen" is SVG: every pattern thumbnail, the
+//! query canvas, and the four-panel interface can be rendered to a
+//! standalone SVG document, and a terse ASCII summary supports terminal
+//! inspection and golden tests.
+
+use crate::layout::{force_directed, Layout, LayoutParams};
+use crate::vqi::VisualQueryInterface;
+use std::fmt::Write;
+use vqi_graph::graph::WILDCARD_LABEL;
+use vqi_graph::{Graph, Label};
+
+fn label_text(l: Label) -> String {
+    if l == WILDCARD_LABEL {
+        "*".to_string()
+    } else {
+        l.to_string()
+    }
+}
+
+/// Renders `g` at `layout` as an SVG fragment (no document wrapper),
+/// offset by `(dx, dy)`.
+pub fn svg_graph_fragment(g: &Graph, layout: &Layout, dx: f64, dy: f64) -> String {
+    let mut out = String::new();
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let p = layout.positions[u.index()];
+        let q = layout.positions[v.index()];
+        writeln!(
+            out,
+            r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#555" stroke-width="1.2"/>"##,
+            p.x + dx,
+            p.y + dy,
+            q.x + dx,
+            q.y + dy
+        )
+        .unwrap();
+        let (mx, my) = ((p.x + q.x) / 2.0 + dx, (p.y + q.y) / 2.0 + dy);
+        writeln!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="7" fill="#999">{}</text>"##,
+            mx,
+            my,
+            label_text(g.edge_label(e))
+        )
+        .unwrap();
+    }
+    for n in g.nodes() {
+        let p = layout.positions[n.index()];
+        writeln!(
+            out,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="7" fill="#4a90d9" stroke="#1f4e79"/>"##,
+            p.x + dx,
+            p.y + dy
+        )
+        .unwrap();
+        writeln!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="8" text-anchor="middle" fill="#fff">{}</text>"##,
+            p.x + dx,
+            p.y + dy + 3.0,
+            label_text(g.node_label(n))
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders a single graph as a standalone SVG document.
+pub fn svg_graph(g: &Graph, params: LayoutParams) -> String {
+    let layout = force_directed(g, params);
+    let mut out = String::new();
+    writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"##,
+        layout.width, layout.height, layout.width, layout.height
+    )
+    .unwrap();
+    out.push_str(&svg_graph_fragment(g, &layout, 0.0, 0.0));
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the four panels of an interface as one SVG document: the
+/// Attribute Panel (top-left), the Pattern Panel as a thumbnail grid
+/// (left), the Query Panel (top-right), and the Results Panel summary
+/// (bottom-right).
+pub fn svg_interface(vqi: &VisualQueryInterface) -> String {
+    let panel_w = 420.0;
+    let panel_h = 320.0;
+    let width = panel_w * 2.0;
+    let height = panel_h * 2.0;
+    let mut out = String::new();
+    writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"##
+    )
+    .unwrap();
+    // frames and titles
+    let frames = [
+        (0.0, 0.0, "Attribute Panel"),
+        (0.0, panel_h, "Pattern Panel"),
+        (panel_w, 0.0, "Query Panel"),
+        (panel_w, panel_h, "Results Panel"),
+    ];
+    for (x, y, title) in frames {
+        writeln!(
+            out,
+            r##"<rect x="{x:.0}" y="{y:.0}" width="{panel_w:.0}" height="{panel_h:.0}" fill="none" stroke="#333"/>"##
+        )
+        .unwrap();
+        writeln!(
+            out,
+            r##"<text x="{:.0}" y="{:.0}" font-size="14" fill="#111">{title}</text>"##,
+            x + 8.0,
+            y + 18.0
+        )
+        .unwrap();
+    }
+    // attribute panel content
+    let nl: Vec<String> = vqi
+        .attributes
+        .node_labels
+        .iter()
+        .map(|&l| label_text(l))
+        .collect();
+    let el: Vec<String> = vqi
+        .attributes
+        .edge_labels
+        .iter()
+        .map(|&l| label_text(l))
+        .collect();
+    writeln!(
+        out,
+        r##"<text x="8" y="40" font-size="11" fill="#333">node labels: {}</text>"##,
+        nl.join(", ")
+    )
+    .unwrap();
+    writeln!(
+        out,
+        r##"<text x="8" y="58" font-size="11" fill="#333">edge labels: {}</text>"##,
+        el.join(", ")
+    )
+    .unwrap();
+    // pattern panel: thumbnails in a grid
+    let thumb = 100.0;
+    let cols = (panel_w / thumb) as usize;
+    for (i, p) in vqi.pattern_set().patterns().iter().enumerate() {
+        let col = i % cols;
+        let row = i / cols;
+        let x = col as f64 * thumb + 4.0;
+        let y = panel_h + 24.0 + row as f64 * thumb;
+        if y + thumb > height {
+            break; // display space exhausted, like a real panel
+        }
+        let layout = force_directed(
+            &p.graph,
+            LayoutParams {
+                width: thumb - 12.0,
+                height: thumb - 12.0,
+                ..Default::default()
+            },
+        );
+        writeln!(
+            out,
+            r##"<rect x="{x:.0}" y="{y:.0}" width="{:.0}" height="{:.0}" fill="none" stroke="#bbb"/>"##,
+            thumb - 8.0,
+            thumb - 8.0
+        )
+        .unwrap();
+        out.push_str(&svg_graph_fragment(&p.graph, &layout, x + 4.0, y + 4.0));
+    }
+    // query panel content
+    let (qg, _) = vqi.query.query.to_graph();
+    if qg.node_count() > 0 {
+        let layout = force_directed(
+            &qg,
+            LayoutParams {
+                width: panel_w - 40.0,
+                height: panel_h - 60.0,
+                ..Default::default()
+            },
+        );
+        out.push_str(&svg_graph_fragment(&qg, &layout, panel_w + 20.0, 40.0));
+    }
+    // results panel summary
+    let summary = match &vqi.results.results {
+        None => "no query executed".to_string(),
+        Some(r) => format!("{} result(s)", r.len()),
+    };
+    writeln!(
+        out,
+        r##"<text x="{:.0}" y="{:.0}" font-size="12" fill="#333">{summary}</text>"##,
+        panel_w + 8.0,
+        panel_h + 40.0
+    )
+    .unwrap();
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A terse ASCII summary of an interface (for logs and golden tests).
+pub fn ascii_summary(vqi: &VisualQueryInterface) -> String {
+    let mut out = String::new();
+    writeln!(out, "=== VQI ({:?}, selector={}) ===", vqi.mode, vqi.selector_name).unwrap();
+    writeln!(
+        out,
+        "attributes: {} node labels, {} edge labels",
+        vqi.attributes.node_labels.len(),
+        vqi.attributes.edge_labels.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "patterns: {} basic + {} canned",
+        vqi.pattern_set().basic().count(),
+        vqi.pattern_set().canned().count()
+    )
+    .unwrap();
+    for p in vqi.pattern_set().patterns() {
+        writeln!(
+            out,
+            "  [{}] {:?} n={} m={} ({})",
+            p.id.0,
+            p.kind,
+            p.size(),
+            p.edge_count(),
+            p.provenance
+        )
+        .unwrap();
+    }
+    let (qg, _) = vqi.query.query.to_graph();
+    writeln!(out, "query: n={} m={} steps={}", qg.node_count(), qg.edge_count(), vqi.query.query.steps()).unwrap();
+    writeln!(
+        out,
+        "results: {}",
+        match &vqi.results.results {
+            None => "none".to_string(),
+            Some(r) => format!("{}", r.len()),
+        }
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::PatternBudget;
+    use crate::repo::GraphRepository;
+    use crate::selector::RandomSelector;
+    use vqi_graph::generate::{chain, cycle};
+
+    fn sample_vqi() -> VisualQueryInterface {
+        let repo = GraphRepository::collection(vec![chain(6, 1, 0), cycle(5, 1, 0)]);
+        VisualQueryInterface::data_driven(
+            &repo,
+            &RandomSelector::new(1),
+            &PatternBudget::new(3, 4, 5),
+        )
+    }
+
+    #[test]
+    fn svg_graph_is_well_formed() {
+        let svg = svg_graph(&cycle(4, 1, 2), LayoutParams::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert_eq!(svg.matches("<line").count(), 4);
+    }
+
+    #[test]
+    fn wildcard_labels_render_as_star() {
+        let g = chain(2, vqi_graph::graph::WILDCARD_LABEL, 0);
+        let svg = svg_graph(&g, LayoutParams::default());
+        assert!(svg.contains(">*</text>"));
+    }
+
+    #[test]
+    fn interface_svg_has_all_panels() {
+        let vqi = sample_vqi();
+        let svg = svg_interface(&vqi);
+        for title in ["Attribute Panel", "Pattern Panel", "Query Panel", "Results Panel"] {
+            assert!(svg.contains(title), "missing {title}");
+        }
+        assert!(svg.contains("node labels: 1"));
+    }
+
+    #[test]
+    fn ascii_summary_reports_counts() {
+        let vqi = sample_vqi();
+        let s = ascii_summary(&vqi);
+        assert!(s.contains("3 basic"));
+        assert!(s.contains("results: none"));
+        assert!(s.contains("steps=0"));
+    }
+}

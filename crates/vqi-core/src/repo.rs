@@ -1,0 +1,245 @@
+//! The graph repository a VQI is constructed over.
+//!
+//! Two regimes, matching the split in the literature (§2.3): a
+//! *collection* of many small/medium data graphs (chemical compounds,
+//! protein structures — CATAPULT's setting) or a single *large network*
+//! (social/biological networks — TATTOO's setting). Collections support
+//! the batch updates MIDAS maintains pattern sets under: graph ids are
+//! stable, removals leave tombstones, and every batch is recorded.
+
+use std::collections::BTreeSet;
+use vqi_graph::{Graph, Label};
+
+/// A batch update to a collection (MIDAS operates on batches, not unit
+/// updates, because real repositories are updated periodically).
+#[derive(Debug, Clone, Default)]
+pub struct BatchUpdate {
+    /// Graphs to add.
+    pub additions: Vec<Graph>,
+    /// Ids of graphs to remove.
+    pub removals: Vec<usize>,
+}
+
+impl BatchUpdate {
+    /// An update that only adds graphs.
+    pub fn adding(additions: Vec<Graph>) -> Self {
+        BatchUpdate {
+            additions,
+            removals: vec![],
+        }
+    }
+
+    /// An update that only removes graph ids.
+    pub fn removing(removals: Vec<usize>) -> Self {
+        BatchUpdate {
+            additions: vec![],
+            removals,
+        }
+    }
+
+    /// True if the update changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.additions.is_empty() && self.removals.is_empty()
+    }
+}
+
+/// A collection of data graphs with stable ids and tombstoned removal.
+#[derive(Debug, Clone, Default)]
+pub struct GraphCollection {
+    slots: Vec<Option<Graph>>,
+}
+
+impl GraphCollection {
+    /// Builds a collection; graph `i` receives id `i`.
+    pub fn new(graphs: Vec<Graph>) -> Self {
+        GraphCollection {
+            slots: graphs.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Number of live graphs.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if no live graphs remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The graph with id `id`, if live.
+    pub fn get(&self, id: usize) -> Option<&Graph> {
+        self.slots.get(id).and_then(|s| s.as_ref())
+    }
+
+    /// Iterates `(id, &graph)` over live graphs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Graph)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|g| (i, g)))
+    }
+
+    /// Live graph ids.
+    pub fn ids(&self) -> Vec<usize> {
+        self.iter().map(|(i, _)| i).collect()
+    }
+
+    /// Applies a batch update; returns the ids assigned to the additions.
+    /// Removing an unknown or dead id is a no-op.
+    pub fn apply(&mut self, update: BatchUpdate) -> Vec<usize> {
+        for id in update.removals {
+            if let Some(slot) = self.slots.get_mut(id) {
+                *slot = None;
+            }
+        }
+        let mut assigned = Vec::with_capacity(update.additions.len());
+        for g in update.additions {
+            assigned.push(self.slots.len());
+            self.slots.push(Some(g));
+        }
+        assigned
+    }
+
+    /// Total edges across live graphs.
+    pub fn total_edges(&self) -> usize {
+        self.iter().map(|(_, g)| g.edge_count()).sum()
+    }
+}
+
+/// The repository behind a VQI.
+#[derive(Debug, Clone)]
+pub enum GraphRepository {
+    /// Many small/medium data graphs.
+    Collection(GraphCollection),
+    /// One large network.
+    Network(Graph),
+}
+
+impl GraphRepository {
+    /// Wraps a list of data graphs.
+    pub fn collection(graphs: Vec<Graph>) -> Self {
+        GraphRepository::Collection(GraphCollection::new(graphs))
+    }
+
+    /// Wraps a single large network.
+    pub fn network(g: Graph) -> Self {
+        GraphRepository::Network(g)
+    }
+
+    /// All distinct node labels (Attribute Panel content).
+    pub fn node_labels(&self) -> BTreeSet<Label> {
+        let mut out = BTreeSet::new();
+        match self {
+            GraphRepository::Collection(c) => {
+                for (_, g) in c.iter() {
+                    out.extend(g.nodes().map(|v| g.node_label(v)));
+                }
+            }
+            GraphRepository::Network(g) => {
+                out.extend(g.nodes().map(|v| g.node_label(v)));
+            }
+        }
+        out
+    }
+
+    /// All distinct edge labels (Attribute Panel content).
+    pub fn edge_labels(&self) -> BTreeSet<Label> {
+        let mut out = BTreeSet::new();
+        match self {
+            GraphRepository::Collection(c) => {
+                for (_, g) in c.iter() {
+                    out.extend(g.edges().map(|e| g.edge_label(e)));
+                }
+            }
+            GraphRepository::Network(g) => {
+                out.extend(g.edges().map(|e| g.edge_label(e)));
+            }
+        }
+        out
+    }
+
+    /// Number of data graphs (1 for a network).
+    pub fn graph_count(&self) -> usize {
+        match self {
+            GraphRepository::Collection(c) => c.len(),
+            GraphRepository::Network(_) => 1,
+        }
+    }
+
+    /// Total edge count.
+    pub fn total_edges(&self) -> usize {
+        match self {
+            GraphRepository::Collection(c) => c.total_edges(),
+            GraphRepository::Network(g) => g.edge_count(),
+        }
+    }
+
+    /// The collection, if this is one.
+    pub fn as_collection(&self) -> Option<&GraphCollection> {
+        match self {
+            GraphRepository::Collection(c) => Some(c),
+            GraphRepository::Network(_) => None,
+        }
+    }
+
+    /// The network, if this is one.
+    pub fn as_network(&self) -> Option<&Graph> {
+        match self {
+            GraphRepository::Network(g) => Some(g),
+            GraphRepository::Collection(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    #[test]
+    fn collection_ids_are_stable() {
+        let mut c = GraphCollection::new(vec![chain(3, 1, 0), star(3, 2, 0), cycle(3, 3, 0)]);
+        assert_eq!(c.len(), 3);
+        c.apply(BatchUpdate::removing(vec![1]));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_none());
+        assert!(c.get(0).is_some());
+        assert!(c.get(2).is_some());
+        let new_ids = c.apply(BatchUpdate::adding(vec![chain(4, 4, 0)]));
+        assert_eq!(new_ids, vec![3]);
+        assert_eq!(c.ids(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn removing_unknown_ids_is_noop() {
+        let mut c = GraphCollection::new(vec![chain(3, 1, 0)]);
+        c.apply(BatchUpdate::removing(vec![99, 0, 0]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn attribute_panel_labels() {
+        let repo = GraphRepository::collection(vec![chain(3, 1, 7), star(3, 2, 8)]);
+        let nl = repo.node_labels();
+        assert_eq!(nl.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        let el = repo.edge_labels();
+        assert_eq!(el.into_iter().collect::<Vec<_>>(), vec![7, 8]);
+    }
+
+    #[test]
+    fn network_accessors() {
+        let repo = GraphRepository::network(cycle(5, 1, 2));
+        assert_eq!(repo.graph_count(), 1);
+        assert_eq!(repo.total_edges(), 5);
+        assert!(repo.as_network().is_some());
+        assert!(repo.as_collection().is_none());
+    }
+
+    #[test]
+    fn batch_update_helpers() {
+        assert!(BatchUpdate::default().is_empty());
+        assert!(!BatchUpdate::adding(vec![chain(2, 0, 0)]).is_empty());
+        assert!(!BatchUpdate::removing(vec![0]).is_empty());
+    }
+}

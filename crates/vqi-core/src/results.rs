@@ -1,0 +1,168 @@
+//! Query evaluation: what fills the Results Panel.
+
+use crate::repo::GraphRepository;
+use crate::score::coverage_match_options;
+use serde::Serialize;
+use vqi_graph::iso::{count_embeddings, find_embeddings, MatchOptions};
+use vqi_graph::{Graph, NodeId};
+
+/// One match of the query in a collection graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct CollectionMatch {
+    /// Id of the data graph containing the query.
+    pub graph_id: usize,
+    /// Number of embeddings found (capped).
+    pub embeddings: usize,
+}
+
+/// Results of running a query against a repository.
+#[derive(Debug, Clone, Serialize)]
+pub enum QueryResults {
+    /// Per-graph matches for a collection.
+    Collection {
+        /// Graphs containing at least one embedding.
+        matches: Vec<CollectionMatch>,
+        /// Number of live graphs examined.
+        examined: usize,
+    },
+    /// Embeddings into a single network.
+    Network {
+        /// Node mappings (query node index → network node), capped.
+        embeddings: Vec<Vec<NodeId>>,
+        /// Whether the enumeration hit its cap.
+        truncated: bool,
+    },
+}
+
+impl QueryResults {
+    /// Number of result entries (matching graphs or embeddings).
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResults::Collection { matches, .. } => matches.len(),
+            QueryResults::Network { embeddings, .. } => embeddings.len(),
+        }
+    }
+
+    /// True if the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Options for result enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct ResultOptions {
+    /// Maximum embeddings per graph (collection) or in total (network).
+    pub max_embeddings: usize,
+}
+
+impl Default for ResultOptions {
+    fn default() -> Self {
+        ResultOptions {
+            max_embeddings: 100,
+        }
+    }
+}
+
+/// Runs `query` against `repo`.
+pub fn run_query(query: &Graph, repo: &GraphRepository, opts: ResultOptions) -> QueryResults {
+    let match_opts = MatchOptions {
+        max_embeddings: opts.max_embeddings,
+        ..coverage_match_options()
+    };
+    match repo {
+        GraphRepository::Collection(c) => {
+            let mut matches = Vec::new();
+            let mut examined = 0usize;
+            for (id, g) in c.iter() {
+                examined += 1;
+                let n = count_embeddings(query, g, match_opts);
+                if n > 0 {
+                    matches.push(CollectionMatch {
+                        graph_id: id,
+                        embeddings: n,
+                    });
+                }
+            }
+            QueryResults::Collection { matches, examined }
+        }
+        GraphRepository::Network(g) => {
+            let embeddings = find_embeddings(query, g, match_opts);
+            let truncated = embeddings.len() >= opts.max_embeddings;
+            QueryResults::Network {
+                embeddings,
+                truncated,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, clique, cycle, star};
+
+    #[test]
+    fn collection_results_list_matching_graphs() {
+        let repo = GraphRepository::collection(vec![
+            chain(4, 1, 0),
+            cycle(4, 1, 0),
+            star(3, 2, 0),
+        ]);
+        let q = chain(3, 1, 0);
+        let r = run_query(&q, &repo, ResultOptions::default());
+        match r {
+            QueryResults::Collection { matches, examined } => {
+                assert_eq!(examined, 3);
+                let ids: Vec<usize> = matches.iter().map(|m| m.graph_id).collect();
+                assert_eq!(ids, vec![0, 1]);
+                assert!(matches.iter().all(|m| m.embeddings > 0));
+            }
+            _ => panic!("expected collection results"),
+        }
+    }
+
+    #[test]
+    fn network_results_enumerate_embeddings() {
+        let repo = GraphRepository::network(clique(4, 1, 0));
+        let q = cycle(3, 1, 0);
+        let r = run_query(&q, &repo, ResultOptions::default());
+        match r {
+            QueryResults::Network {
+                embeddings,
+                truncated,
+            } => {
+                // 4 triangles * 6 automorphisms
+                assert_eq!(embeddings.len(), 24);
+                assert!(!truncated);
+            }
+            _ => panic!("expected network results"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_flagged() {
+        let repo = GraphRepository::network(clique(8, 1, 0));
+        let q = cycle(3, 1, 0);
+        let r = run_query(&q, &repo, ResultOptions { max_embeddings: 5 });
+        match r {
+            QueryResults::Network {
+                embeddings,
+                truncated,
+            } => {
+                assert_eq!(embeddings.len(), 5);
+                assert!(truncated);
+            }
+            _ => panic!("expected network results"),
+        }
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let repo = GraphRepository::collection(vec![chain(3, 1, 0)]);
+        let q = cycle(3, 9, 0);
+        let r = run_query(&q, &repo, ResultOptions::default());
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

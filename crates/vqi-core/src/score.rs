@@ -1,0 +1,372 @@
+//! Coverage, diversity, and cognitive-load measures for pattern sets.
+//!
+//! The tutorial (§2.3) names three desiderata for canned patterns and all
+//! three are quantified here:
+//!
+//! * **coverage** — a pattern `p` covers a graph `G` if `G` contains a
+//!   subgraph isomorphic to `p`; a set should cover as much of the
+//!   repository as possible. For collections we measure the fraction of
+//!   data graphs covered by at least one pattern; for networks the
+//!   fraction of edges touched by some embedding of some pattern.
+//! * **diversity** — patterns should be structurally diverse:
+//!   `div(P) = 1 − mean pairwise MCS similarity`.
+//! * **cognitive load** — a per-pattern effort estimate that grows with
+//!   size and connectedness: `cl(p) = ½·min(1, n/12) + ½·min(1, d̄/6)`
+//!   where `n` is the node count and `d̄` the average degree. Basic
+//!   patterns score low; hairballs score near 1.
+//!
+//! The combined *pattern set score* is
+//! `coverage + w_div · diversity − w_cog · mean cognitive load`, the form
+//! maximized greedily by CATAPULT and TATTOO and preserved by MIDAS.
+
+use crate::pattern::PatternSet;
+use crate::repo::{GraphCollection, GraphRepository};
+use rayon::prelude::*;
+use serde::Serialize;
+use vqi_graph::iso::{covered_edges, is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::{mcs, Graph};
+
+/// Matching options used for coverage: non-induced, wildcard-aware (basic
+/// patterns and CSG-derived patterns carry wildcards), bounded.
+pub fn coverage_match_options() -> MatchOptions {
+    MatchOptions {
+        induced: false,
+        wildcard: true,
+        max_embeddings: 10_000,
+        max_states: 2_000_000,
+    }
+}
+
+/// Weights for the combined score.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QualityWeights {
+    /// Weight of the diversity term.
+    pub diversity: f64,
+    /// Weight of the cognitive-load penalty.
+    pub cognitive: f64,
+}
+
+impl Default for QualityWeights {
+    fn default() -> Self {
+        QualityWeights {
+            diversity: 0.5,
+            cognitive: 0.5,
+        }
+    }
+}
+
+/// Cognitive load of a single pattern, in `[0, 1]`.
+pub fn cognitive_load(p: &Graph) -> f64 {
+    let n = p.node_count() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let avg_deg = 2.0 * p.edge_count() as f64 / n;
+    0.5 * (n / 12.0).min(1.0) + 0.5 * (avg_deg / 6.0).min(1.0)
+}
+
+/// Mean cognitive load of a set of pattern graphs (0 for an empty set).
+pub fn mean_cognitive_load<'a, I: IntoIterator<Item = &'a Graph>>(patterns: I) -> f64 {
+    let loads: Vec<f64> = patterns.into_iter().map(cognitive_load).collect();
+    if loads.is_empty() {
+        0.0
+    } else {
+        loads.iter().sum::<f64>() / loads.len() as f64
+    }
+}
+
+/// Structural diversity of a set of pattern graphs: `1 − mean pairwise
+/// MCS similarity`. Sets with at most one pattern are maximally diverse.
+pub fn diversity(patterns: &[&Graph]) -> f64 {
+    let k = patterns.len();
+    if k <= 1 {
+        return 1.0;
+    }
+    let pairs: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
+        .collect();
+    let total: f64 = pairs
+        .par_iter()
+        .map(|&(i, j)| mcs::mcs_similarity(patterns[i], patterns[j]))
+        .sum();
+    1.0 - total / pairs.len() as f64
+}
+
+/// True if pattern `p` covers data graph `g`.
+pub fn covers(p: &Graph, g: &Graph) -> bool {
+    is_subgraph_isomorphic(p, g, coverage_match_options())
+}
+
+/// Fraction of live collection graphs containing `p`.
+pub fn pattern_coverage(p: &Graph, collection: &GraphCollection) -> f64 {
+    let ids = collection.ids();
+    if ids.is_empty() {
+        return 0.0;
+    }
+    let hits: usize = ids
+        .par_iter()
+        .filter(|&&id| covers(p, collection.get(id).expect("live id")))
+        .count();
+    hits as f64 / ids.len() as f64
+}
+
+/// Fraction of live collection graphs covered by at least one pattern.
+pub fn set_coverage_collection(patterns: &[&Graph], collection: &GraphCollection) -> f64 {
+    let ids = collection.ids();
+    if ids.is_empty() || patterns.is_empty() {
+        return 0.0;
+    }
+    let hits: usize = ids
+        .par_iter()
+        .filter(|&&id| {
+            let g = collection.get(id).expect("live id");
+            patterns.iter().any(|p| covers(p, g))
+        })
+        .count();
+    hits as f64 / ids.len() as f64
+}
+
+/// Fraction of network edges touched by some embedding of some pattern.
+pub fn set_coverage_network(patterns: &[&Graph], network: &Graph) -> f64 {
+    if network.edge_count() == 0 || patterns.is_empty() {
+        return 0.0;
+    }
+    let per_pattern: Vec<Vec<vqi_graph::EdgeId>> = patterns
+        .par_iter()
+        .map(|p| covered_edges(p, network, coverage_match_options()))
+        .collect();
+    let mut covered = vec![false; network.edge_count()];
+    for edges in per_pattern {
+        for e in edges {
+            covered[e.index()] = true;
+        }
+    }
+    covered.iter().filter(|&&c| c).count() as f64 / network.edge_count() as f64
+}
+
+/// Coverage of a pattern set against either repository kind.
+pub fn set_coverage(patterns: &[&Graph], repo: &GraphRepository) -> f64 {
+    match repo {
+        GraphRepository::Collection(c) => set_coverage_collection(patterns, c),
+        GraphRepository::Network(g) => set_coverage_network(patterns, g),
+    }
+}
+
+/// A full quality evaluation of a pattern set.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QualityReport {
+    /// Repository coverage in `[0, 1]`.
+    pub coverage: f64,
+    /// Structural diversity in `[0, 1]`.
+    pub diversity: f64,
+    /// Mean cognitive load in `[0, 1]`.
+    pub cognitive_load: f64,
+    /// Combined score under the weights used.
+    pub score: f64,
+}
+
+/// Evaluates the canned patterns of `set` against `repo`.
+pub fn evaluate(set: &PatternSet, repo: &GraphRepository, weights: QualityWeights) -> QualityReport {
+    let graphs: Vec<&Graph> = set.canned().map(|p| &p.graph).collect();
+    evaluate_graphs(&graphs, repo, weights)
+}
+
+/// Evaluates raw pattern graphs against `repo`.
+///
+/// ```
+/// use vqi_core::repo::GraphRepository;
+/// use vqi_core::score::{evaluate_graphs, QualityWeights};
+/// use vqi_graph::generate::{chain, cycle};
+///
+/// let repo = GraphRepository::collection(vec![chain(5, 1, 0), cycle(4, 1, 0)]);
+/// let p = chain(3, 1, 0);
+/// let report = evaluate_graphs(&[&p], &repo, QualityWeights::default());
+/// assert_eq!(report.coverage, 1.0); // the 3-chain occurs in both graphs
+/// ```
+pub fn evaluate_graphs(
+    patterns: &[&Graph],
+    repo: &GraphRepository,
+    weights: QualityWeights,
+) -> QualityReport {
+    let coverage = set_coverage(patterns, repo);
+    let div = diversity(patterns);
+    let cl = mean_cognitive_load(patterns.iter().copied());
+    QualityReport {
+        coverage,
+        diversity: div,
+        cognitive_load: cl,
+        score: coverage + weights.diversity * div - weights.cognitive * cl,
+    }
+}
+
+/// Per-pattern coverage bitsets over a collection — the index MIDAS uses
+/// for coverage-based pruning during pattern swapping.
+#[derive(Debug, Clone)]
+pub struct CoverageIndex {
+    /// `bitsets[p][i]` = pattern `p` covers the graph at position `i` of
+    /// `graph_ids`.
+    pub bitsets: Vec<Vec<bool>>,
+    /// The live graph ids the positions refer to.
+    pub graph_ids: Vec<usize>,
+}
+
+impl CoverageIndex {
+    /// Builds the index for `patterns` over the live graphs of
+    /// `collection`.
+    pub fn build(patterns: &[&Graph], collection: &GraphCollection) -> Self {
+        let graph_ids = collection.ids();
+        let bitsets: Vec<Vec<bool>> = patterns
+            .par_iter()
+            .map(|p| {
+                graph_ids
+                    .iter()
+                    .map(|&id| covers(p, collection.get(id).expect("live id")))
+                    .collect()
+            })
+            .collect();
+        CoverageIndex { bitsets, graph_ids }
+    }
+
+    /// Number of graphs covered by the union of all patterns.
+    pub fn union_count(&self) -> usize {
+        if self.bitsets.is_empty() {
+            return 0;
+        }
+        (0..self.graph_ids.len())
+            .filter(|&i| self.bitsets.iter().any(|b| b[i]))
+            .count()
+    }
+
+    /// Number of graphs covered by the union excluding pattern `skip`.
+    pub fn union_count_without(&self, skip: usize) -> usize {
+        (0..self.graph_ids.len())
+            .filter(|&i| {
+                self.bitsets
+                    .iter()
+                    .enumerate()
+                    .any(|(p, b)| p != skip && b[i])
+            })
+            .count()
+    }
+
+    /// How many graphs `candidate` covers that the current union misses.
+    pub fn marginal_gain(&self, candidate: &[bool]) -> usize {
+        (0..self.graph_ids.len())
+            .filter(|&i| candidate[i] && !self.bitsets.iter().any(|b| b[i]))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternKind;
+    use vqi_graph::generate::{chain, clique, cycle, star};
+
+    fn collection() -> GraphCollection {
+        GraphCollection::new(vec![
+            chain(5, 1, 0),
+            cycle(4, 1, 0),
+            star(4, 1, 0),
+            clique(4, 2, 0),
+        ])
+    }
+
+    #[test]
+    fn cognitive_load_ordering() {
+        let edge = chain(2, 0, 0);
+        let tri = cycle(3, 0, 0);
+        let k6 = clique(6, 0, 0);
+        let cl_edge = cognitive_load(&edge);
+        let cl_tri = cognitive_load(&tri);
+        let cl_k6 = cognitive_load(&k6);
+        assert!(cl_edge < cl_tri, "{cl_edge} < {cl_tri}");
+        assert!(cl_tri < cl_k6, "{cl_tri} < {cl_k6}");
+        assert!((0.0..=1.0).contains(&cl_k6));
+        assert_eq!(cognitive_load(&Graph::new()), 0.0);
+    }
+
+    #[test]
+    fn diversity_extremes() {
+        let a = chain(4, 1, 0);
+        let b = chain(4, 1, 0);
+        assert!(diversity(&[&a, &b]).abs() < 1e-12, "identical patterns");
+        let c = clique(4, 9, 9);
+        assert!((diversity(&[&a, &c]) - 1.0).abs() < 1e-12, "disjoint labels");
+        assert_eq!(diversity(&[&a]), 1.0);
+        assert_eq!(diversity(&[]), 1.0);
+    }
+
+    #[test]
+    fn pattern_coverage_counts_graphs() {
+        let col = collection();
+        // a 1-labeled edge occurs in the first three graphs
+        let edge = chain(2, 1, 0);
+        assert!((pattern_coverage(&edge, &col) - 0.75).abs() < 1e-12);
+        // a triangle of label 2 occurs only in the clique
+        let tri = cycle(3, 2, 0);
+        assert!((pattern_coverage(&tri, &col) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_coverage_collection_unions() {
+        let col = collection();
+        let edge1 = chain(2, 1, 0);
+        let tri2 = cycle(3, 2, 0);
+        let both = [&edge1, &tri2];
+        assert!((set_coverage_collection(&both, &col) - 1.0).abs() < 1e-12);
+        assert_eq!(set_coverage_collection(&[], &col), 0.0);
+    }
+
+    #[test]
+    fn wildcard_basic_patterns_cover_everything() {
+        let col = collection();
+        let basics = crate::pattern::default_basic_patterns();
+        let graphs: Vec<&Graph> = basics.graphs().collect();
+        assert!((set_coverage_collection(&graphs, &col) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_coverage_counts_edges() {
+        // K4 with a pendant chain of 2 edges
+        let mut g = clique(4, 1, 0);
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        g.add_edge(vqi_graph::NodeId(0), a, 0);
+        g.add_edge(a, b, 0);
+        let tri = cycle(3, 1, 0);
+        // triangles cover the 6 clique edges out of 8
+        let cov = set_coverage_network(&[&tri], &g);
+        assert!((cov - 6.0 / 8.0).abs() < 1e-12, "got {cov}");
+    }
+
+    #[test]
+    fn evaluate_combines_terms() {
+        let repo = GraphRepository::Collection(collection());
+        let mut set = PatternSet::new();
+        set.insert(chain(2, 1, 0), PatternKind::Canned, "t").unwrap();
+        set.insert(cycle(3, 2, 0), PatternKind::Canned, "t").unwrap();
+        let w = QualityWeights::default();
+        let r = evaluate(&set, &repo, w);
+        assert!((r.coverage - 1.0).abs() < 1e-12);
+        assert!(r.diversity > 0.9);
+        assert!(r.cognitive_load > 0.0);
+        let expected = r.coverage + w.diversity * r.diversity - w.cognitive * r.cognitive_load;
+        assert!((r.score - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_index_marginals() {
+        let col = collection();
+        let edge1 = chain(2, 1, 0);
+        let idx = CoverageIndex::build(&[&edge1], &col);
+        assert_eq!(idx.union_count(), 3);
+        assert_eq!(idx.union_count_without(0), 0);
+        // candidate covering only the clique (position 3)
+        let cand = vec![false, false, false, true];
+        assert_eq!(idx.marginal_gain(&cand), 1);
+        // candidate covering already-covered graphs gains nothing
+        let cand2 = vec![true, true, false, false];
+        assert_eq!(idx.marginal_gain(&cand2), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The pattern-selector interface and reference baselines.
+//!
+//! CATAPULT, TATTOO, MIDAS, and the modular pipeline all plug into a VQI
+//! through [`PatternSelector`]: given a repository and a budget, produce
+//! the canned patterns for the Pattern Panel. The baselines here —
+//! random connected subgraphs and most-frequent-subtree top-k — are the
+//! comparison points the quality experiments (E3) report against.
+
+use crate::budget::PatternBudget;
+use crate::pattern::{PatternKind, PatternSet};
+use crate::repo::GraphRepository;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use vqi_graph::traversal::sample_connected_subgraph;
+use vqi_graph::Graph;
+
+/// A strategy for populating the Pattern Panel from a repository.
+pub trait PatternSelector {
+    /// Short name for reports and provenance strings.
+    fn name(&self) -> &'static str;
+
+    /// Selects at most `budget.count` canned patterns, each within the
+    /// budget's size range, from `repo`.
+    fn select(&self, repo: &GraphRepository, budget: &PatternBudget) -> PatternSet;
+}
+
+/// Baseline: uniformly random connected subgraphs sampled from the
+/// repository, deduplicated by isomorphism. Ignores coverage, diversity,
+/// and cognitive load entirely — the floor any data-driven selector must
+/// beat.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSelector {
+    /// RNG seed (selection is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl RandomSelector {
+    /// A selector with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSelector { seed }
+    }
+}
+
+impl PatternSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&self, repo: &GraphRepository, budget: &PatternBudget) -> PatternSet {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut set = PatternSet::new();
+        let sources: Vec<&Graph> = match repo {
+            GraphRepository::Collection(c) => c.iter().map(|(_, g)| g).collect(),
+            GraphRepository::Network(g) => vec![g],
+        };
+        if sources.is_empty() {
+            return set;
+        }
+        let attempts = budget.count * 50;
+        for _ in 0..attempts {
+            if set.len() >= budget.count {
+                break;
+            }
+            let &src = sources.choose(&mut rng).expect("nonempty");
+            let size = rand::Rng::gen_range(&mut rng, budget.min_size..=budget.max_size);
+            if let Some((sub, _)) = sample_connected_subgraph(src, size, 5, &mut rng) {
+                // ignore duplicates and keep sampling
+                let _ = set.insert(sub, PatternKind::Canned, "random");
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{barabasi_albert, chain, cycle, star};
+    use vqi_graph::traversal::is_connected;
+
+    #[test]
+    fn random_selector_respects_budget() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let net = barabasi_albert(200, 3, 1, &mut rng);
+        let repo = GraphRepository::network(net);
+        let budget = PatternBudget::new(6, 4, 6);
+        let set = RandomSelector::new(1).select(&repo, &budget);
+        assert!(set.len() <= 6);
+        assert!(!set.is_empty());
+        for p in set.patterns() {
+            assert!(budget.admits(&p.graph), "size {} out of range", p.size());
+            assert!(is_connected(&p.graph));
+            assert_eq!(p.kind, PatternKind::Canned);
+        }
+    }
+
+    #[test]
+    fn random_selector_on_collection() {
+        let repo = GraphRepository::collection(vec![
+            chain(8, 1, 0),
+            cycle(6, 1, 0),
+            star(7, 1, 0),
+        ]);
+        let set = RandomSelector::new(2).select(&repo, &PatternBudget::new(4, 4, 5));
+        assert!(!set.is_empty());
+        for p in set.patterns() {
+            assert!(p.size() >= 4 && p.size() <= 5);
+        }
+    }
+
+    #[test]
+    fn random_selector_is_deterministic() {
+        let repo = GraphRepository::collection(vec![chain(10, 1, 0), cycle(8, 1, 0)]);
+        let budget = PatternBudget::new(3, 4, 5);
+        let a = RandomSelector::new(42).select(&repo, &budget);
+        let b = RandomSelector::new(42).select(&repo, &budget);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.patterns().iter().zip(b.patterns()) {
+            assert_eq!(pa.code, pb.code);
+        }
+    }
+
+    #[test]
+    fn empty_repo_yields_empty_set() {
+        let repo = GraphRepository::collection(vec![]);
+        let set = RandomSelector::new(0).select(&repo, &PatternBudget::default());
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Pattern-based graph summarization (§2.5, "Beyond VQIs").
+//!
+//! The tutorial's closing observation: canned patterns have high
+//! coverage, high diversity, and low cognitive load, so they make good
+//! building blocks for *visualization-friendly graph summaries* — unlike
+//! classical topological summaries, every supernode is a shape an end
+//! user already recognizes from the Pattern Panel.
+//!
+//! [`summarize`] greedily packs node-disjoint embeddings of the patterns
+//! (largest pattern first) and contracts each instance into a supernode;
+//! leftover nodes become singletons. The summary graph keeps one edge
+//! between supernodes whenever any member edge crossed them.
+
+use crate::pattern::PatternSet;
+use crate::score::coverage_match_options;
+use serde::Serialize;
+use vqi_graph::graph::WILDCARD_LABEL;
+use vqi_graph::iso::{enumerate_embeddings, MatchOptions};
+use vqi_graph::{Graph, NodeId};
+
+/// One supernode of a summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct SuperNode {
+    /// Index of the pattern this supernode instantiates (into the
+    /// pattern set used for summarization), or `None` for singletons.
+    pub pattern: Option<usize>,
+    /// Original node ids contracted into this supernode.
+    pub members: Vec<u32>,
+}
+
+/// A pattern-based summary of a graph.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// The summary graph: one node per supernode. Pattern supernodes are
+    /// labeled [`WILDCARD_LABEL`]; singleton supernodes keep their
+    /// original node label. Structural identity lives in `supernodes`.
+    pub graph: Graph,
+    /// Supernode metadata, aligned with the summary graph's node ids.
+    pub supernodes: Vec<SuperNode>,
+    /// Fraction of original nodes absorbed into pattern supernodes.
+    pub node_coverage: f64,
+    /// `summary nodes / original nodes` (lower = more compression).
+    pub compression_ratio: f64,
+}
+
+/// Summarization options.
+#[derive(Debug, Clone, Copy)]
+pub struct SummaryOptions {
+    /// Embedding enumeration cap per pattern.
+    pub max_embeddings_per_pattern: usize,
+}
+
+impl Default for SummaryOptions {
+    fn default() -> Self {
+        SummaryOptions {
+            max_embeddings_per_pattern: 5_000,
+        }
+    }
+}
+
+/// Summarizes `g` with the canned patterns of `set`.
+pub fn summarize(g: &Graph, set: &PatternSet, opts: SummaryOptions) -> Summary {
+    let mut patterns: Vec<(usize, &Graph)> = set
+        .patterns()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, &p.graph))
+        .collect();
+    // big patterns first: they absorb the most nodes per supernode
+    patterns.sort_by_key(|(_, p)| std::cmp::Reverse((p.node_count(), p.edge_count())));
+
+    let mut used = vec![false; g.node_count()];
+    let mut assignments: Vec<(usize, Vec<NodeId>)> = Vec::new(); // (pattern idx, members)
+    for (pi, pattern) in &patterns {
+        if pattern.node_count() == 0 {
+            continue;
+        }
+        let match_opts = MatchOptions {
+            max_embeddings: opts.max_embeddings_per_pattern,
+            ..coverage_match_options()
+        };
+        let mut accepted: Vec<Vec<NodeId>> = Vec::new();
+        enumerate_embeddings(pattern, g, match_opts, |mapping| {
+            if mapping.iter().all(|t| !used[t.index()]) {
+                for t in mapping {
+                    used[t.index()] = true;
+                }
+                accepted.push(mapping.to_vec());
+            }
+            true
+        });
+        for members in accepted {
+            assignments.push((*pi, members));
+        }
+    }
+
+    // build the summary graph
+    let mut summary = Graph::new();
+    let mut supernodes = Vec::new();
+    let mut node_to_super = vec![u32::MAX; g.node_count()];
+    let mut absorbed = 0usize;
+    for (pi, members) in &assignments {
+        let sid = summary.add_node(WILDCARD_LABEL);
+        for m in members {
+            node_to_super[m.index()] = sid.0;
+        }
+        absorbed += members.len();
+        supernodes.push(SuperNode {
+            pattern: Some(*pi),
+            members: members.iter().map(|n| n.0).collect(),
+        });
+    }
+    for v in g.nodes() {
+        if node_to_super[v.index()] == u32::MAX {
+            let sid = summary.add_node(g.node_label(v));
+            node_to_super[v.index()] = sid.0;
+            supernodes.push(SuperNode {
+                pattern: None,
+                members: vec![v.0],
+            });
+        }
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let (su, sv) = (
+            NodeId(node_to_super[u.index()]),
+            NodeId(node_to_super[v.index()]),
+        );
+        if su != sv {
+            // duplicate edges are rejected by add_edge; keep the first label
+            let _ = summary.add_edge(su, sv, g.edge_label(e));
+        }
+    }
+
+    let n = g.node_count().max(1) as f64;
+    Summary {
+        compression_ratio: summary.node_count() as f64 / n,
+        node_coverage: absorbed as f64 / n,
+        graph: summary,
+        supernodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{PatternKind, PatternSet};
+    use vqi_graph::generate::{chain, clique, cycle};
+    use vqi_graph::iso::is_subgraph_isomorphic;
+
+    fn set_of(graphs: Vec<Graph>) -> PatternSet {
+        let mut set = PatternSet::new();
+        for g in graphs {
+            set.insert(g, PatternKind::Canned, "t").unwrap();
+        }
+        set
+    }
+
+    /// two disjoint triangles joined by a bridge edge
+    fn bowtie_bridge() -> Graph {
+        let mut g = cycle(3, 1, 0);
+        let base = g.node_count() as u32;
+        for _ in 0..3 {
+            g.add_node(1);
+        }
+        g.add_edge(NodeId(base), NodeId(base + 1), 0);
+        g.add_edge(NodeId(base + 1), NodeId(base + 2), 0);
+        g.add_edge(NodeId(base), NodeId(base + 2), 0);
+        g.add_edge(NodeId(0), NodeId(base), 0);
+        g
+    }
+
+    #[test]
+    fn triangles_contract_to_two_supernodes() {
+        let g = bowtie_bridge();
+        let set = set_of(vec![cycle(3, 1, 0)]);
+        let s = summarize(&g, &set, SummaryOptions::default());
+        assert_eq!(s.graph.node_count(), 2);
+        assert_eq!(s.graph.edge_count(), 1, "the bridge survives");
+        assert!((s.node_coverage - 1.0).abs() < 1e-12);
+        assert!((s.compression_ratio - 2.0 / 6.0).abs() < 1e-12);
+        assert!(s.supernodes.iter().all(|sn| sn.pattern == Some(0)));
+    }
+
+    #[test]
+    fn members_partition_the_graph() {
+        let g = bowtie_bridge();
+        let set = set_of(vec![cycle(3, 1, 0), chain(2, 1, 0)]);
+        let s = summarize(&g, &set, SummaryOptions::default());
+        let mut all: Vec<u32> = s
+            .supernodes
+            .iter()
+            .flat_map(|sn| sn.members.iter().copied())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..g.node_count() as u32).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn pattern_supernodes_really_contain_their_pattern() {
+        let g = bowtie_bridge();
+        let set = set_of(vec![cycle(3, 1, 0)]);
+        let s = summarize(&g, &set, SummaryOptions::default());
+        for sn in &s.supernodes {
+            if let Some(pi) = sn.pattern {
+                let members: Vec<NodeId> = sn.members.iter().map(|&m| NodeId(m)).collect();
+                let (sub, _) = g.induced_subgraph(&members);
+                assert!(is_subgraph_isomorphic(
+                    &set.patterns()[pi].graph,
+                    &sub,
+                    coverage_match_options()
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn no_patterns_gives_identity_summary() {
+        let g = chain(4, 1, 0);
+        let s = summarize(&g, &PatternSet::new(), SummaryOptions::default());
+        assert_eq!(s.graph.node_count(), 4);
+        assert_eq!(s.graph.edge_count(), 3);
+        assert_eq!(s.node_coverage, 0.0);
+        assert_eq!(s.compression_ratio, 1.0);
+    }
+
+    #[test]
+    fn bigger_patterns_are_preferred() {
+        // K4: both the triangle and the K4 pattern fit; K4 should win
+        let g = clique(4, 1, 0);
+        let set = set_of(vec![cycle(3, 1, 0), clique(4, 1, 0)]);
+        let s = summarize(&g, &set, SummaryOptions::default());
+        assert_eq!(s.graph.node_count(), 1);
+        let k4_idx = set
+            .patterns()
+            .iter()
+            .position(|p| p.size() == 4)
+            .unwrap();
+        assert_eq!(s.supernodes[0].pattern, Some(k4_idx));
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let s = summarize(&Graph::new(), &PatternSet::new(), SummaryOptions::default());
+        assert_eq!(s.graph.node_count(), 0);
+        assert!(s.supernodes.is_empty());
+    }
+}

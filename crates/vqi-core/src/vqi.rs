@@ -1,0 +1,187 @@
+//! The assembled visual query interface.
+//!
+//! [`VisualQueryInterface::data_driven`] is the headline of the tutorial:
+//! point it at any repository with any [`PatternSelector`] and a budget,
+//! and every data-dependent panel populates itself — no hard-coding, and
+//! therefore portability across data sources for free (§2.2).
+//! [`VisualQueryInterface::manual`] models the classical counterpart: the
+//! developer hard-codes the attribute list and ships only the basic
+//! patterns (or whatever fixed set they thought of), which is exactly why
+//! manual VQIs age badly as the repository evolves.
+
+use crate::budget::PatternBudget;
+use crate::panel::{AttributePanel, PatternPanel, QueryPanel, ResultsPanel};
+use crate::pattern::{default_basic_patterns, PatternKind, PatternSet};
+use crate::query::{EditOp, QueryError};
+use crate::repo::GraphRepository;
+use crate::results::{run_query, QueryResults, ResultOptions};
+use crate::selector::PatternSelector;
+use vqi_graph::{Graph, Label};
+
+/// How the interface was constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstructionMode {
+    /// Panels populated automatically from the repository.
+    DataDriven,
+    /// Panels hard-coded at build time.
+    Manual,
+}
+
+/// A complete (headless) visual query interface.
+#[derive(Debug, Clone)]
+pub struct VisualQueryInterface {
+    /// How this VQI was built.
+    pub mode: ConstructionMode,
+    /// Name of the selector that populated the Pattern Panel.
+    pub selector_name: String,
+    /// The Attribute Panel.
+    pub attributes: AttributePanel,
+    /// The Pattern Panel.
+    pub patterns: PatternPanel,
+    /// The Query Panel.
+    pub query: QueryPanel,
+    /// The Results Panel.
+    pub results: ResultsPanel,
+}
+
+impl VisualQueryInterface {
+    /// Constructs a data-driven VQI: attributes from the repository,
+    /// basic patterns, and canned patterns chosen by `selector` within
+    /// `budget`.
+    pub fn data_driven(
+        repo: &GraphRepository,
+        selector: &dyn PatternSelector,
+        budget: &PatternBudget,
+    ) -> Self {
+        let mut patterns = default_basic_patterns();
+        let canned = selector.select(repo, budget);
+        for p in canned.patterns() {
+            // selectors return fresh sets; duplicates with basic patterns
+            // are impossible by size, but stay defensive
+            let _ = patterns.insert(p.graph.clone(), PatternKind::Canned, p.provenance.clone());
+        }
+        VisualQueryInterface {
+            mode: ConstructionMode::DataDriven,
+            selector_name: selector.name().to_string(),
+            attributes: AttributePanel::from_repository(repo),
+            patterns: PatternPanel { patterns },
+            query: QueryPanel::default(),
+            results: ResultsPanel::default(),
+        }
+    }
+
+    /// Constructs a manual VQI: hard-coded attribute labels, basic
+    /// patterns only (plus any developer-supplied canned patterns).
+    pub fn manual(
+        node_labels: Vec<Label>,
+        edge_labels: Vec<Label>,
+        extra_patterns: Vec<Graph>,
+    ) -> Self {
+        let mut patterns = default_basic_patterns();
+        for g in extra_patterns {
+            let _ = patterns.insert(g, PatternKind::Canned, "manual");
+        }
+        VisualQueryInterface {
+            mode: ConstructionMode::Manual,
+            selector_name: "manual".to_string(),
+            attributes: AttributePanel::manual(node_labels, edge_labels),
+            patterns: PatternPanel { patterns },
+            query: QueryPanel::default(),
+            results: ResultsPanel::default(),
+        }
+    }
+
+    /// The pattern set on display.
+    pub fn pattern_set(&self) -> &PatternSet {
+        &self.patterns.patterns
+    }
+
+    /// Applies one edit to the Query Panel.
+    pub fn edit(&mut self, op: &EditOp) -> Result<(), QueryError> {
+        self.query.query.apply(op).map(|_| ())
+    }
+
+    /// Executes the current query against `repo`, filling the Results
+    /// Panel and returning a reference to the results.
+    pub fn execute(&mut self, repo: &GraphRepository, opts: ResultOptions) -> &QueryResults {
+        let (query_graph, _) = self.query.query.to_graph();
+        self.results.results = Some(run_query(&query_graph, repo, opts));
+        self.results.results.as_ref().expect("just set")
+    }
+
+    /// Replaces the canned patterns with `new_set` (used by maintenance).
+    /// Basic patterns are preserved.
+    pub fn refresh_patterns(&mut self, new_set: PatternSet) {
+        let mut patterns = default_basic_patterns();
+        for p in new_set.patterns() {
+            let _ = patterns.insert(p.graph.clone(), PatternKind::Canned, p.provenance.clone());
+        }
+        self.patterns = PatternPanel { patterns };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::EditOp;
+    use crate::selector::RandomSelector;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    fn repo() -> GraphRepository {
+        GraphRepository::collection(vec![chain(6, 1, 0), cycle(5, 1, 0), star(5, 2, 0)])
+    }
+
+    #[test]
+    fn data_driven_populates_panels() {
+        let repo = repo();
+        let vqi = VisualQueryInterface::data_driven(
+            &repo,
+            &RandomSelector::new(3),
+            &PatternBudget::new(4, 4, 5),
+        );
+        assert_eq!(vqi.mode, ConstructionMode::DataDriven);
+        assert_eq!(vqi.attributes.node_labels, vec![1, 2]);
+        assert_eq!(vqi.pattern_set().basic().count(), 3);
+        assert!(vqi.pattern_set().canned().count() > 0);
+        assert_eq!(vqi.selector_name, "random");
+    }
+
+    #[test]
+    fn manual_has_only_given_content() {
+        let vqi = VisualQueryInterface::manual(vec![1], vec![0], vec![]);
+        assert_eq!(vqi.mode, ConstructionMode::Manual);
+        assert_eq!(vqi.pattern_set().canned().count(), 0);
+        assert_eq!(vqi.pattern_set().basic().count(), 3);
+    }
+
+    #[test]
+    fn edit_and_execute_round_trip() {
+        let repo = repo();
+        let mut vqi = VisualQueryInterface::manual(vec![1], vec![0], vec![]);
+        let a = vqi.query.query.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let b = vqi.query.query.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        vqi.edit(&EditOp::AddEdge { a, b, label: 0 }).unwrap();
+        let results = vqi.execute(&repo, ResultOptions::default());
+        // a 1-1 edge occurs in the chain and the cycle
+        assert_eq!(results.len(), 2);
+        assert!(vqi.results.results.is_some());
+    }
+
+    #[test]
+    fn refresh_replaces_canned_keeps_basic() {
+        let repo = repo();
+        let mut vqi = VisualQueryInterface::data_driven(
+            &repo,
+            &RandomSelector::new(3),
+            &PatternBudget::new(4, 4, 5),
+        );
+        let mut fresh = PatternSet::new();
+        fresh
+            .insert(star(4, 2, 0), PatternKind::Canned, "new")
+            .unwrap();
+        vqi.refresh_patterns(fresh);
+        assert_eq!(vqi.pattern_set().basic().count(), 3);
+        assert_eq!(vqi.pattern_set().canned().count(), 1);
+        assert!(vqi.pattern_set().contains_isomorphic(&star(4, 2, 0)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the core VQI model.
+
+use proptest::prelude::*;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::{PatternKind, PatternSet};
+use vqi_core::query::{EditOp, QNode, QueryBuilder};
+use vqi_core::repo::{BatchUpdate, GraphCollection};
+use vqi_core::score::{cognitive_load, diversity, evaluate_graphs, QualityWeights};
+use vqi_graph::iso::are_isomorphic;
+use vqi_graph::{Graph, NodeId};
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let labels = proptest::collection::vec(0u32..3, n);
+        (labels, parents).prop_map(move |(nl, ps)| {
+            let mut g = Graph::new();
+            let nodes: Vec<NodeId> = nl.iter().map(|&l| g.add_node(l)).collect();
+            for (i, p) in ps.iter().enumerate() {
+                g.add_edge(nodes[i + 1], nodes[*p], (i % 2) as u32);
+            }
+            g
+        })
+    })
+}
+
+/// A random (possibly failing) edit operation over a small id space.
+fn arb_op() -> impl Strategy<Value = EditOp> {
+    prop_oneof![
+        (0u32..4).prop_map(|label| EditOp::AddNode { label }),
+        (0usize..8, 0usize..8, 0u32..3).prop_map(|(a, b, label)| EditOp::AddEdge {
+            a: QNode(a),
+            b: QNode(b),
+            label,
+        }),
+        arb_connected(4).prop_map(|pattern| EditOp::AddPattern { pattern }),
+        (0usize..8, 0usize..8).prop_map(|(keep, merge)| EditOp::MergeNodes {
+            keep: QNode(keep),
+            merge: QNode(merge),
+        }),
+        (0usize..8, 0u32..4).prop_map(|(n, label)| EditOp::SetNodeLabel {
+            node: QNode(n),
+            label,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The query builder never panics on arbitrary op sequences, and its
+    /// materialized graph stays consistent with its counters.
+    #[test]
+    fn query_builder_is_total(ops in proptest::collection::vec(arb_op(), 0..25)) {
+        let mut q = QueryBuilder::new();
+        let mut applied = 0usize;
+        for op in &ops {
+            if q.apply(op).is_ok() {
+                applied += 1;
+            }
+        }
+        prop_assert_eq!(q.steps(), applied);
+        let (g, _) = q.to_graph();
+        prop_assert_eq!(g.node_count(), q.node_count());
+        prop_assert_eq!(g.edge_count(), q.edge_count());
+    }
+
+    /// Pattern sets accept each isomorphism class once, in any insertion
+    /// order.
+    #[test]
+    fn pattern_set_insertion_order_irrelevant(
+        graphs in proptest::collection::vec(arb_connected(5), 1..6)
+    ) {
+        let mut fwd = PatternSet::new();
+        for g in &graphs {
+            let _ = fwd.insert(g.clone(), PatternKind::Canned, "p");
+        }
+        let mut rev = PatternSet::new();
+        for g in graphs.iter().rev() {
+            let _ = rev.insert(g.clone(), PatternKind::Canned, "p");
+        }
+        prop_assert_eq!(fwd.len(), rev.len());
+        // same set of codes
+        let mut cf: Vec<_> = fwd.patterns().iter().map(|p| p.code.clone()).collect();
+        let mut cr: Vec<_> = rev.patterns().iter().map(|p| p.code.clone()).collect();
+        cf.sort();
+        cr.sort();
+        prop_assert_eq!(cf, cr);
+    }
+
+    /// Quality measures stay in their documented ranges.
+    #[test]
+    fn quality_measures_bounded(graphs in proptest::collection::vec(arb_connected(6), 1..5)) {
+        let col = GraphCollection::new(graphs.clone());
+        let repo = vqi_core::repo::GraphRepository::Collection(col);
+        let patterns: Vec<&Graph> = graphs.iter().collect();
+        let q = evaluate_graphs(&patterns, &repo, QualityWeights::default());
+        prop_assert!((0.0..=1.0).contains(&q.coverage));
+        prop_assert!((0.0..=1.0).contains(&q.diversity));
+        prop_assert!((0.0..=1.0).contains(&q.cognitive_load));
+        for g in &graphs {
+            let cl = cognitive_load(g);
+            prop_assert!((0.0..=1.0).contains(&cl));
+        }
+        prop_assert!((0.0..=1.0).contains(&diversity(&patterns)));
+    }
+
+    /// Repository batch updates preserve id arithmetic: live count =
+    /// previous + additions − effective removals, and fresh ids never
+    /// collide with existing ones.
+    #[test]
+    fn collection_update_arithmetic(
+        initial in proptest::collection::vec(arb_connected(4), 1..6),
+        removals in proptest::collection::vec(0usize..10, 0..4),
+        additions in proptest::collection::vec(arb_connected(4), 0..4),
+    ) {
+        let mut col = GraphCollection::new(initial.clone());
+        let before_ids = col.ids();
+        let mut effective: Vec<usize> = removals
+            .iter()
+            .copied()
+            .filter(|r| before_ids.contains(r))
+            .collect();
+        effective.sort_unstable();
+        effective.dedup();
+        let n_add = additions.len();
+        let new_ids = col.apply(BatchUpdate {
+            additions,
+            removals: removals.clone(),
+        });
+        prop_assert_eq!(new_ids.len(), n_add);
+        for id in &new_ids {
+            prop_assert!(!before_ids.contains(id), "fresh id reused");
+        }
+        prop_assert_eq!(
+            col.len(),
+            before_ids.len() - effective.len() + n_add
+        );
+    }
+
+    /// Budget admission agrees with the raw size check.
+    #[test]
+    fn budget_admission(g in arb_connected(9), min in 2usize..5, extra in 0usize..5) {
+        let budget = PatternBudget::new(3, min, min + extra);
+        prop_assert_eq!(
+            budget.admits(&g),
+            (min..=min + extra).contains(&g.node_count())
+        );
+    }
+
+    /// Replaying AddPattern reproduces the pattern exactly.
+    #[test]
+    fn add_pattern_is_faithful(g in arb_connected(6)) {
+        let mut q = QueryBuilder::new();
+        q.apply(&EditOp::AddPattern { pattern: g.clone() }).unwrap();
+        let (out, _) = q.to_graph();
+        prop_assert!(are_isomorphic(&out, &g));
+    }
+}

@@ -1,0 +1,253 @@
+//! Molecule-like data-graph collections.
+//!
+//! Chemical-compound repositories (AIDS antiviral screen, PubChem,
+//! eMolecules) are the canonical CATAPULT workload: thousands of small
+//! sparse graphs built from fused rings and chains, with a heavily skewed
+//! atom alphabet (mostly carbon) and a handful of bond types. The
+//! generator reproduces those regime features:
+//!
+//! * each molecule is 0–3 fused 5/6-rings plus pendant chains;
+//! * atom labels: C 70 %, N 12 %, O 12 %, S 4 %, Cl 2 %
+//!   (labels 0–4 in that order);
+//! * bond labels: single 80 %, double 18 %, triple 2 % (labels 0–2);
+//! * every molecule is connected.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vqi_graph::{Graph, Label, NodeId};
+
+/// Atom label constants.
+pub mod atoms {
+    /// Carbon.
+    pub const C: u32 = 0;
+    /// Nitrogen.
+    pub const N: u32 = 1;
+    /// Oxygen.
+    pub const O: u32 = 2;
+    /// Sulfur.
+    pub const S: u32 = 3;
+    /// Chlorine.
+    pub const CL: u32 = 4;
+}
+
+/// Bond label constants.
+pub mod bonds {
+    /// Single bond.
+    pub const SINGLE: u32 = 0;
+    /// Double bond.
+    pub const DOUBLE: u32 = 1;
+    /// Triple bond.
+    pub const TRIPLE: u32 = 2;
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MoleculeParams {
+    /// Number of molecules.
+    pub count: usize,
+    /// Maximum fused rings per molecule.
+    pub max_rings: usize,
+    /// Maximum pendant chains per molecule.
+    pub max_chains: usize,
+    /// Maximum pendant-chain length.
+    pub max_chain_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MoleculeParams {
+    fn default() -> Self {
+        MoleculeParams {
+            count: 100,
+            max_rings: 3,
+            max_chains: 4,
+            max_chain_len: 4,
+            seed: 0xD47A,
+        }
+    }
+}
+
+fn atom_label<R: Rng>(rng: &mut R) -> Label {
+    let x: f64 = rng.gen();
+    if x < 0.70 {
+        atoms::C
+    } else if x < 0.82 {
+        atoms::N
+    } else if x < 0.94 {
+        atoms::O
+    } else if x < 0.98 {
+        atoms::S
+    } else {
+        atoms::CL
+    }
+}
+
+fn bond_label<R: Rng>(rng: &mut R) -> Label {
+    let x: f64 = rng.gen();
+    if x < 0.80 {
+        bonds::SINGLE
+    } else if x < 0.98 {
+        bonds::DOUBLE
+    } else {
+        bonds::TRIPLE
+    }
+}
+
+/// Generates one molecule.
+pub fn molecule<R: Rng>(params: &MoleculeParams, rng: &mut R) -> Graph {
+    let mut g = Graph::new();
+    let rings = rng.gen_range(0..=params.max_rings);
+    let mut ring_atoms: Vec<NodeId> = Vec::new();
+    for r in 0..rings {
+        let len = if rng.gen_bool(0.6) { 6 } else { 5 };
+        if r == 0 || ring_atoms.is_empty() {
+            // fresh ring
+            let first = g.add_node(atom_label(rng));
+            let mut prev = first;
+            let mut atoms_in_ring = vec![first];
+            for _ in 1..len {
+                let v = g.add_node(atom_label(rng));
+                g.add_edge(prev, v, bond_label(rng));
+                atoms_in_ring.push(v);
+                prev = v;
+            }
+            g.add_edge(prev, first, bond_label(rng));
+            ring_atoms.extend(atoms_in_ring);
+        } else {
+            // fuse to an existing ring edge: share two adjacent atoms
+            let share_idx = rng.gen_range(0..ring_atoms.len());
+            let a = ring_atoms[share_idx];
+            let b = g
+                .neighbors(a)
+                .map(|(v, _)| v)
+                .next()
+                .unwrap_or(ring_atoms[0]);
+            let mut prev = a;
+            let mut added = Vec::new();
+            for _ in 0..(len - 2) {
+                let v = g.add_node(atom_label(rng));
+                g.add_edge(prev, v, bond_label(rng));
+                added.push(v);
+                prev = v;
+            }
+            g.add_edge(prev, b, bond_label(rng));
+            ring_atoms.extend(added);
+        }
+    }
+    if g.node_count() == 0 {
+        // acyclic molecule: start from a single atom
+        g.add_node(atom_label(rng));
+    }
+    // pendant chains
+    let chains = rng.gen_range(0..=params.max_chains);
+    for _ in 0..chains {
+        let attach_to = NodeId(rng.gen_range(0..g.node_count() as u32));
+        let len = rng.gen_range(1..=params.max_chain_len);
+        let mut prev = attach_to;
+        for _ in 0..len {
+            let v = g.add_node(atom_label(rng));
+            g.add_edge(prev, v, bond_label(rng));
+            prev = v;
+        }
+    }
+    g
+}
+
+/// An AIDS-like collection: `params.count` molecules.
+pub fn aids_like(params: MoleculeParams) -> Vec<Graph> {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    (0..params.count).map(|_| molecule(&params, &mut rng)).collect()
+}
+
+/// A PubChem-like collection: larger molecules, more rings and chains.
+pub fn pubchem_like(count: usize, seed: u64) -> Vec<Graph> {
+    aids_like(MoleculeParams {
+        count,
+        max_rings: 4,
+        max_chains: 6,
+        max_chain_len: 5,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::traversal::is_connected;
+
+    #[test]
+    fn molecules_are_connected_and_labeled() {
+        let graphs = aids_like(MoleculeParams {
+            count: 50,
+            ..Default::default()
+        });
+        assert_eq!(graphs.len(), 50);
+        for g in &graphs {
+            assert!(g.node_count() >= 1);
+            assert!(is_connected(g), "disconnected molecule {}", g.summary());
+            for v in g.nodes() {
+                assert!(g.node_label(v) <= atoms::CL);
+            }
+            for e in g.edges() {
+                assert!(g.edge_label(e) <= bonds::TRIPLE);
+            }
+        }
+    }
+
+    #[test]
+    fn carbon_dominates() {
+        let graphs = aids_like(MoleculeParams {
+            count: 100,
+            ..Default::default()
+        });
+        let mut carbon = 0usize;
+        let mut total = 0usize;
+        for g in &graphs {
+            for v in g.nodes() {
+                total += 1;
+                if g.node_label(v) == atoms::C {
+                    carbon += 1;
+                }
+            }
+        }
+        let frac = carbon as f64 / total as f64;
+        assert!(frac > 0.6 && frac < 0.8, "carbon fraction {frac}");
+    }
+
+    #[test]
+    fn ring_systems_produce_cycles() {
+        let graphs = aids_like(MoleculeParams {
+            count: 100,
+            ..Default::default()
+        });
+        let with_cycle = graphs
+            .iter()
+            .filter(|g| g.edge_count() >= g.node_count())
+            .count();
+        assert!(with_cycle > 30, "only {with_cycle} cyclic molecules");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = aids_like(MoleculeParams::default());
+        let b = aids_like(MoleculeParams::default());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.node_count(), y.node_count());
+            assert_eq!(x.edge_count(), y.edge_count());
+        }
+    }
+
+    #[test]
+    fn pubchem_like_is_bigger_on_average() {
+        let small = aids_like(MoleculeParams {
+            count: 80,
+            seed: 1,
+            ..Default::default()
+        });
+        let big = pubchem_like(80, 1);
+        let avg = |gs: &[Graph]| {
+            gs.iter().map(|g| g.node_count()).sum::<usize>() as f64 / gs.len() as f64
+        };
+        assert!(avg(&big) > avg(&small));
+    }
+}

@@ -1,0 +1,317 @@
+//! Random-graph generators and canonical motif shapes.
+//!
+//! Two kinds of constructors live here:
+//!
+//! * random models — Erdős–Rényi `G(n, p)`, Barabási–Albert preferential
+//!   attachment, and uniform random trees — standing in for the
+//!   proprietary large networks (DBLP, Twitter, …) used by the surveyed
+//!   systems (see DESIGN.md §3);
+//! * deterministic motifs — chain, star, cycle, petal, flower, clique —
+//!   the topology classes TATTOO derives from real-world query-log
+//!   analyses and uses to guide candidate generation.
+
+use crate::graph::{Graph, Label, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)` with all nodes labeled `label` and all edges
+/// labeled 0. Use [`assign_labels`] afterwards for richer labelings.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, label: Label, rng: &mut R) -> Graph {
+    let mut g = Graph::with_capacity(n, (p * (n * n) as f64 / 2.0) as usize);
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(label)).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(nodes[i], nodes[j], 0);
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique of
+/// `m + 1` nodes, then each new node attaches to `m` distinct existing
+/// nodes chosen proportionally to degree. Produces the heavy-tailed degree
+/// distributions typical of social and citation networks.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, label: Label, rng: &mut R) -> Graph {
+    assert!(m >= 1, "m must be at least 1");
+    let seed = m + 1;
+    assert!(n >= seed, "need at least m + 1 nodes");
+    let mut g = Graph::with_capacity(n, n * m);
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let nodes: Vec<NodeId> = (0..seed).map(|_| g.add_node(label)).collect();
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            g.add_edge(nodes[i], nodes[j], 0);
+            endpoints.push(nodes[i]);
+            endpoints.push(nodes[j]);
+        }
+    }
+    for _ in seed..n {
+        let v = g.add_node(label);
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let &t = endpoints
+                .choose(rng)
+                .expect("endpoint pool is never empty");
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            g.add_edge(v, t, 0);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// A uniformly random labeled tree on `n` nodes via a random Prüfer-like
+/// attachment (each new node attaches to a uniformly random earlier node).
+pub fn random_tree<R: Rng>(n: usize, label: Label, rng: &mut R) -> Graph {
+    let mut g = Graph::with_capacity(n, n.saturating_sub(1));
+    if n == 0 {
+        return g;
+    }
+    let mut nodes = vec![g.add_node(label)];
+    for _ in 1..n {
+        let v = g.add_node(label);
+        let &parent = nodes.choose(rng).expect("nonempty");
+        g.add_edge(v, parent, 0);
+        nodes.push(v);
+    }
+    g
+}
+
+/// Assigns node labels drawn from `0..node_labels` and edge labels from
+/// `0..edge_labels` with a Zipf-like skew (`s = 1`): label `i` has weight
+/// `1 / (i + 1)`, matching the skewed label frequencies of real attribute
+/// panels.
+pub fn assign_labels<R: Rng>(g: &mut Graph, node_labels: u32, edge_labels: u32, rng: &mut R) {
+    let pick = |k: u32, rng: &mut R| -> Label {
+        if k <= 1 {
+            return 0;
+        }
+        let total: f64 = (0..k).map(|i| 1.0 / (i + 1) as f64).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for i in 0..k {
+            let w = 1.0 / (i + 1) as f64;
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        k - 1
+    };
+    for n in g.nodes().collect::<Vec<_>>() {
+        let l = pick(node_labels, rng);
+        g.set_node_label(n, l);
+    }
+    for e in g.edges().collect::<Vec<_>>() {
+        let l = pick(edge_labels, rng);
+        g.set_edge_label(e, l);
+    }
+}
+
+/// A chain (path) of `n ≥ 1` nodes.
+pub fn chain(n: usize, node_label: Label, edge_label: Label) -> Graph {
+    let mut g = Graph::with_capacity(n, n.saturating_sub(1));
+    if n == 0 {
+        return g;
+    }
+    let mut prev = g.add_node(node_label);
+    for _ in 1..n {
+        let cur = g.add_node(node_label);
+        g.add_edge(prev, cur, edge_label);
+        prev = cur;
+    }
+    g
+}
+
+/// A star with `leaves` leaves (total `leaves + 1` nodes).
+pub fn star(leaves: usize, node_label: Label, edge_label: Label) -> Graph {
+    let mut g = Graph::with_capacity(leaves + 1, leaves);
+    let center = g.add_node(node_label);
+    for _ in 0..leaves {
+        let leaf = g.add_node(node_label);
+        g.add_edge(center, leaf, edge_label);
+    }
+    g
+}
+
+/// A cycle of `n ≥ 3` nodes.
+pub fn cycle(n: usize, node_label: Label, edge_label: Label) -> Graph {
+    assert!(n >= 3, "cycles need at least 3 nodes");
+    let mut g = Graph::with_capacity(n, n);
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(node_label)).collect();
+    for i in 0..n {
+        g.add_edge(nodes[i], nodes[(i + 1) % n], edge_label);
+    }
+    g
+}
+
+/// A clique on `n` nodes.
+pub fn clique(n: usize, node_label: Label, edge_label: Label) -> Graph {
+    let mut g = Graph::with_capacity(n, n * (n - 1) / 2);
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(node_label)).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(nodes[i], nodes[j], edge_label);
+        }
+    }
+    g
+}
+
+/// A *petal*: two endpoint nodes joined by `paths ≥ 2` internally-disjoint
+/// paths, each with `inner ≥ 1` internal nodes. (With `paths = 2` and
+/// `inner = 1` this is a 4-cycle.)
+pub fn petal(paths: usize, inner: usize, node_label: Label, edge_label: Label) -> Graph {
+    assert!(paths >= 2 && inner >= 1, "petal needs ≥2 paths and ≥1 inner node");
+    let mut g = Graph::new();
+    let s = g.add_node(node_label);
+    let t = g.add_node(node_label);
+    for _ in 0..paths {
+        let mut prev = s;
+        for _ in 0..inner {
+            let mid = g.add_node(node_label);
+            g.add_edge(prev, mid, edge_label);
+            prev = mid;
+        }
+        g.add_edge(prev, t, edge_label);
+    }
+    g
+}
+
+/// A *flower*: a center node with `petals ≥ 1` cycles of length
+/// `cycle_len ≥ 3` all sharing the center.
+pub fn flower(petals: usize, cycle_len: usize, node_label: Label, edge_label: Label) -> Graph {
+    assert!(petals >= 1 && cycle_len >= 3, "flower needs ≥1 petal of length ≥3");
+    let mut g = Graph::new();
+    let center = g.add_node(node_label);
+    for _ in 0..petals {
+        let mut prev = center;
+        for _ in 0..(cycle_len - 1) {
+            let v = g.add_node(node_label);
+            g.add_edge(prev, v, edge_label);
+            prev = v;
+        }
+        g.add_edge(prev, center, edge_label);
+    }
+    g
+}
+
+/// A triangle with a pendant path of `tail` extra nodes.
+pub fn tailed_triangle(tail: usize, node_label: Label, edge_label: Label) -> Graph {
+    let mut g = cycle(3, node_label, edge_label);
+    let mut prev = NodeId(0);
+    for _ in 0..tail {
+        let v = g.add_node(node_label);
+        g.add_edge(prev, v, edge_label);
+        prev = v;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let empty = erdos_renyi(10, 0.0, 0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, 0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100;
+        let m = 3;
+        let g = barabasi_albert(n, m, 0, &mut rng);
+        assert_eq!(g.node_count(), n);
+        // seed clique C(4,2)=6 edges + (n - 4) * 3
+        assert_eq!(g.edge_count(), 6 + (n - m - 1) * m);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barabasi_albert_has_hubs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = barabasi_albert(500, 2, 0, &mut rng);
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        // preferential attachment produces hubs far above the mean (~4)
+        assert!(max_deg > 15, "max degree {max_deg}");
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for n in [1usize, 2, 10, 50] {
+            let g = random_tree(n, 0, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn assign_labels_in_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut g = clique(8, 0, 0);
+        assign_labels(&mut g, 4, 3, &mut rng);
+        for n in g.nodes() {
+            assert!(g.node_label(n) < 4);
+        }
+        for e in g.edges() {
+            assert!(g.edge_label(e) < 3);
+        }
+    }
+
+    #[test]
+    fn assign_labels_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut g = erdos_renyi(400, 0.02, 0, &mut rng);
+        assign_labels(&mut g, 5, 1, &mut rng);
+        let count0 = g.nodes().filter(|&n| g.node_label(n) == 0).count();
+        let count4 = g.nodes().filter(|&n| g.node_label(n) == 4).count();
+        assert!(count0 > count4, "label 0 ({count0}) should beat label 4 ({count4})");
+    }
+
+    #[test]
+    fn motif_shapes() {
+        let c = chain(5, 1, 2);
+        assert_eq!((c.node_count(), c.edge_count()), (5, 4));
+        let s = star(4, 1, 2);
+        assert_eq!((s.node_count(), s.edge_count()), (5, 4));
+        assert_eq!(s.degree(NodeId(0)), 4);
+        let cy = cycle(6, 1, 2);
+        assert_eq!((cy.node_count(), cy.edge_count()), (6, 6));
+        let k = clique(5, 1, 2);
+        assert_eq!(k.edge_count(), 10);
+        let p = petal(3, 2, 1, 2);
+        // 2 hubs + 3 paths * 2 inner = 8 nodes; 3 paths * 3 edges = 9 edges
+        assert_eq!((p.node_count(), p.edge_count()), (8, 9));
+        assert!(is_connected(&p));
+        let f = flower(3, 4, 1, 2);
+        // center + 3 * 3 = 10 nodes; 3 * 4 = 12 edges
+        assert_eq!((f.node_count(), f.edge_count()), (10, 12));
+        assert!(is_connected(&f));
+        let t = tailed_triangle(2, 1, 2);
+        assert_eq!((t.node_count(), t.edge_count()), (5, 5));
+    }
+
+    #[test]
+    fn petal_with_two_paths_is_cycle() {
+        use crate::iso::are_isomorphic;
+        let p = petal(2, 1, 0, 0);
+        let c = cycle(4, 0, 0);
+        assert!(are_isomorphic(&p, &c));
+    }
+}

@@ -1,0 +1,492 @@
+//! Core labeled, undirected graph type.
+//!
+//! Graphs here are simple (no self-loops, no parallel edges), undirected,
+//! and labeled on both nodes and edges. Construction is append-only:
+//! systems that need deletion (e.g. repository maintenance) operate at the
+//! granularity of whole graphs or derive subgraphs instead of mutating in
+//! place, which keeps indices stable and the representation compact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node identifier, dense in `0..graph.node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// An edge identifier, dense in `0..graph.edge_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Compact label type. Applications intern their label strings elsewhere;
+/// the substrate only compares labels for equality.
+pub type Label = u32;
+
+/// A wildcard label that matches any label under wildcard-aware matching.
+///
+/// Closure graphs (cluster summary graphs) insert dummy vertices/edges with
+/// this special label so that every constituent graph remains represented.
+pub const WILDCARD_LABEL: Label = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub(crate) struct EdgeData {
+    pub u: NodeId,
+    pub v: NodeId,
+    pub label: Label,
+}
+
+/// An undirected, simple, labeled graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    node_labels: Vec<Label>,
+    edges: Vec<EdgeData>,
+    /// adjacency: for each node, (neighbor, edge id) pairs.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph {
+            node_labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            adj: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Adds a node with the given label and returns its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = NodeId(self.node_labels.len() as u32);
+        self.node_labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` nodes all carrying `label`; returns the id of the first.
+    pub fn add_nodes(&mut self, n: usize, label: Label) -> NodeId {
+        let first = NodeId(self.node_labels.len() as u32);
+        for _ in 0..n {
+            self.add_node(label);
+        }
+        first
+    }
+
+    /// Adds an undirected edge `u -- v` with the given label.
+    ///
+    /// Returns `None` (and leaves the graph unchanged) for self-loops,
+    /// out-of-range endpoints, or duplicate edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, label: Label) -> Option<EdgeId> {
+        if u == v
+            || u.index() >= self.node_labels.len()
+            || v.index() >= self.node_labels.len()
+            || self.has_edge(u, v)
+        {
+            return None;
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData { u, v, label });
+        self.adj[u.index()].push((v, id));
+        self.adj[v.index()].push((u, id));
+        Some(id)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_labels.is_empty()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_labels.len() as u32).map(NodeId)
+    }
+
+    /// All edge ids.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// The label of `n`. Panics if out of range.
+    #[inline]
+    pub fn node_label(&self, n: NodeId) -> Label {
+        self.node_labels[n.index()]
+    }
+
+    /// The label of edge `e`. Panics if out of range.
+    #[inline]
+    pub fn edge_label(&self, e: EdgeId) -> Label {
+        self.edges[e.index()].label
+    }
+
+    /// The endpoints `(u, v)` of edge `e`, with `u < v` not guaranteed.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let d = &self.edges[e.index()];
+        (d.u, d.v)
+    }
+
+    /// Neighbors of `n` with the connecting edge ids.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[n.index()].iter().copied()
+    }
+
+    /// Degree of `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// True if an edge `u -- v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // scan the smaller adjacency list
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a.index()].iter().any(|&(n, _)| n == b)
+    }
+
+    /// The edge id between `u` and `v`, if any.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a.index()]
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, e)| e)
+    }
+
+    /// Replaces the label of node `n`.
+    pub fn set_node_label(&mut self, n: NodeId, label: Label) {
+        self.node_labels[n.index()] = label;
+    }
+
+    /// Replaces the label of edge `e`.
+    pub fn set_edge_label(&mut self, e: EdgeId, label: Label) {
+        self.edges[e.index()].label = label;
+    }
+
+    /// The multiset of node labels.
+    pub fn node_label_multiset(&self) -> Vec<Label> {
+        let mut v = self.node_labels.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// The multiset of edge labels.
+    pub fn edge_label_multiset(&self) -> Vec<Label> {
+        let mut v: Vec<Label> = self.edges.iter().map(|e| e.label).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Edge density `2m / (n (n-1))`; zero for graphs with < 2 nodes.
+    pub fn density(&self) -> f64 {
+        let n = self.node_count() as f64;
+        if n < 2.0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / (n * (n - 1.0))
+        }
+    }
+
+    /// Builds the subgraph induced by `nodes`.
+    ///
+    /// Returns the subgraph and, for each new node id `i`, the original node
+    /// id it came from (`mapping[i]`). Nodes are renumbered densely in the
+    /// order given; duplicate input nodes are ignored after the first.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut index = vec![u32::MAX; self.node_count()];
+        let mut mapping = Vec::with_capacity(nodes.len());
+        let mut g = Graph::with_capacity(nodes.len(), nodes.len());
+        for &n in nodes {
+            if index[n.index()] == u32::MAX {
+                index[n.index()] = g.add_node(self.node_label(n)).0;
+                mapping.push(n);
+            }
+        }
+        for &n in &mapping {
+            for (m, e) in self.neighbors(n) {
+                if index[m.index()] != u32::MAX && n < m {
+                    g.add_edge(
+                        NodeId(index[n.index()]),
+                        NodeId(index[m.index()]),
+                        self.edge_label(e),
+                    );
+                }
+            }
+        }
+        (g, mapping)
+    }
+
+    /// Builds the subgraph consisting of exactly `edge_ids` (plus their
+    /// endpoints). Returns the subgraph and the node mapping back to `self`.
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> (Graph, Vec<NodeId>) {
+        let mut index = vec![u32::MAX; self.node_count()];
+        let mut mapping = Vec::new();
+        let mut g = Graph::new();
+        let intern = |g: &mut Graph,
+                          mapping: &mut Vec<NodeId>,
+                          index: &mut Vec<u32>,
+                          n: NodeId,
+                          label: Label| {
+            if index[n.index()] == u32::MAX {
+                index[n.index()] = g.add_node(label).0;
+                mapping.push(n);
+            }
+            NodeId(index[n.index()])
+        };
+        for &e in edge_ids {
+            let (u, v) = self.endpoints(e);
+            let nu = intern(&mut g, &mut mapping, &mut index, u, self.node_label(u));
+            let nv = intern(&mut g, &mut mapping, &mut index, v, self.node_label(v));
+            g.add_edge(nu, nv, self.edge_label(e));
+        }
+        (g, mapping)
+    }
+
+    /// Returns a copy of this graph with node ids permuted by `perm`
+    /// (`perm[old] = new`). Used by permutation-invariance tests.
+    pub fn permuted(&self, perm: &[usize]) -> Graph {
+        assert_eq!(perm.len(), self.node_count());
+        let mut g = Graph::with_capacity(self.node_count(), self.edge_count());
+        let mut labels = vec![0 as Label; self.node_count()];
+        for n in self.nodes() {
+            labels[perm[n.index()]] = self.node_label(n);
+        }
+        for l in labels {
+            g.add_node(l);
+        }
+        for e in self.edges() {
+            let (u, v) = self.endpoints(e);
+            g.add_edge(
+                NodeId(perm[u.index()] as u32),
+                NodeId(perm[v.index()] as u32),
+                self.edge_label(e),
+            );
+        }
+        g
+    }
+
+    /// A short human-readable summary, e.g. `Graph(n=5, m=6)`.
+    pub fn summary(&self) -> String {
+        format!("Graph(n={}, m={})", self.node_count(), self.edge_count())
+    }
+}
+
+/// Convenience builder for small graphs in tests and examples.
+///
+/// ```
+/// use vqi_graph::graph::GraphBuilder;
+/// let g = GraphBuilder::new()
+///     .nodes(&[0, 0, 1])
+///     .edge(0, 1, 7)
+///     .edge(1, 2, 7)
+///     .build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    g: Graph,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one node per label.
+    pub fn nodes(mut self, labels: &[Label]) -> Self {
+        for &l in labels {
+            self.g.add_node(l);
+        }
+        self
+    }
+
+    /// Adds an edge by raw indices. Panics on invalid or duplicate edges so
+    /// test graphs can't silently drop structure.
+    pub fn edge(mut self, u: u32, v: u32, label: Label) -> Self {
+        self.g
+            .add_edge(NodeId(u), NodeId(v), label)
+            .expect("GraphBuilder::edge: invalid or duplicate edge");
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Graph {
+        self.g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        GraphBuilder::new()
+            .nodes(&[1, 2, 3])
+            .edge(0, 1, 10)
+            .edge(1, 2, 11)
+            .build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let g = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_label(NodeId(0)), 1);
+        assert_eq!(g.edge_label(EdgeId(1)), 11);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = path3();
+        assert!(g.add_edge(NodeId(0), NodeId(0), 0).is_none());
+        assert!(g.add_edge(NodeId(0), NodeId(1), 99).is_none());
+        assert!(g.add_edge(NodeId(1), NodeId(0), 99).is_none());
+        assert!(g.add_edge(NodeId(0), NodeId(9), 0).is_none());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_between_finds_edge() {
+        let g = path3();
+        assert_eq!(g.edge_between(NodeId(2), NodeId(1)), Some(EdgeId(1)));
+        assert_eq!(g.edge_between(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = GraphBuilder::new()
+            .nodes(&[0, 0, 0, 0])
+            .edge(0, 1, 1)
+            .edge(1, 2, 1)
+            .edge(2, 3, 1)
+            .edge(3, 0, 1)
+            .edge(0, 2, 2)
+            .build();
+        let (sub, mapping) = g.induced_subgraph(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 3); // 0-1, 1-2, 0-2
+        assert_eq!(mapping, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // duplicate inputs are deduped
+        let (sub2, _) = g.induced_subgraph(&[NodeId(0), NodeId(0), NodeId(1)]);
+        assert_eq!(sub2.node_count(), 2);
+        assert_eq!(sub2.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_subgraph_collects_endpoints() {
+        let g = GraphBuilder::new()
+            .nodes(&[5, 6, 7])
+            .edge(0, 1, 1)
+            .edge(1, 2, 2)
+            .build();
+        let (sub, mapping) = g.edge_subgraph(&[EdgeId(1)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.edge_label(EdgeId(0)), 2);
+        assert_eq!(mapping.len(), 2);
+        let labels: Vec<Label> = mapping.iter().map(|&n| g.node_label(n)).collect();
+        assert_eq!(labels, vec![6, 7]);
+    }
+
+    #[test]
+    fn density_of_triangle_is_one() {
+        let g = GraphBuilder::new()
+            .nodes(&[0, 0, 0])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .build();
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let g = path3();
+        let p = g.permuted(&[2, 0, 1]);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.edge_count(), 2);
+        // old node 0 (label 1) is now node 2
+        assert_eq!(p.node_label(NodeId(2)), 1);
+        assert!(p.has_edge(NodeId(2), NodeId(0))); // old 0-1
+        assert!(p.has_edge(NodeId(0), NodeId(1))); // old 1-2
+    }
+
+    #[test]
+    fn label_multisets_are_sorted() {
+        let g = GraphBuilder::new()
+            .nodes(&[9, 1, 5])
+            .edge(0, 1, 3)
+            .edge(1, 2, 1)
+            .build();
+        assert_eq!(g.node_label_multiset(), vec![1, 5, 9]);
+        assert_eq!(g.edge_label_multiset(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Connected-graphlet enumeration and graphlet frequency distributions.
+//!
+//! MIDAS detects how much a repository changed by comparing the *graphlet
+//! frequency distribution* (GFD) of the repository before and after a
+//! batch update: a large Euclidean distance between the distributions
+//! signals a "major" modification that warrants pattern maintenance.
+//!
+//! Graphlets here are the 8 connected unlabeled graphs on 3 and 4 nodes:
+//!
+//! | index | graphlet |
+//! |---|---|
+//! | 0 | path P3 |
+//! | 1 | triangle K3 |
+//! | 2 | path P4 |
+//! | 3 | star S4 (claw) |
+//! | 4 | cycle C4 |
+//! | 5 | tailed triangle |
+//! | 6 | diamond |
+//! | 7 | clique K4 |
+//!
+//! Enumeration uses the ESU algorithm (Wernicke's FANMOD); sampling uses
+//! RAND-ESU, which descends each branch with a per-depth probability and
+//! reweights counts by the inverse product, giving unbiased estimates.
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Number of tracked graphlet classes.
+pub const GRAPHLET_CLASSES: usize = 8;
+
+/// Raw graphlet counts (possibly fractional when estimated by sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GraphletCounts {
+    /// Counts per class, indexed per the module-level table.
+    pub counts: [f64; GRAPHLET_CLASSES],
+}
+
+impl GraphletCounts {
+    /// Sum of all counts.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise accumulation (for repository-level distributions).
+    pub fn add(&mut self, other: &GraphletCounts) {
+        for i in 0..GRAPHLET_CLASSES {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// The normalized frequency distribution; all zeros if no graphlets.
+    pub fn distribution(&self) -> [f64; GRAPHLET_CLASSES] {
+        let total = self.total();
+        let mut d = [0.0; GRAPHLET_CLASSES];
+        if total > 0.0 {
+            for (out, c) in d.iter_mut().zip(self.counts.iter()) {
+                *out = c / total;
+            }
+        }
+        d
+    }
+}
+
+/// Euclidean distance between two distributions (MIDAS's drift measure).
+pub fn euclidean_distance(a: &[f64; GRAPHLET_CLASSES], b: &[f64; GRAPHLET_CLASSES]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Classifies a connected induced subgraph on `nodes` (3 or 4 nodes) into
+/// its graphlet class index.
+fn classify(g: &Graph, nodes: &[NodeId]) -> usize {
+    let k = nodes.len();
+    let mut edges = 0usize;
+    let mut degs = [0usize; 4];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if g.has_edge(nodes[i], nodes[j]) {
+                edges += 1;
+                degs[i] += 1;
+                degs[j] += 1;
+            }
+        }
+    }
+    let maxd = *degs[..k].iter().max().unwrap();
+    match (k, edges) {
+        (3, 2) => 0,                       // P3
+        (3, 3) => 1,                       // K3
+        (4, 3) if maxd == 3 => 3,          // star
+        (4, 3) => 2,                       // P4
+        (4, 4) if maxd == 3 => 5,          // tailed triangle
+        (4, 4) => 4,                       // C4
+        (4, 5) => 6,                       // diamond
+        (4, 6) => 7,                       // K4
+        _ => unreachable!("disconnected or wrong-size subgraph"),
+    }
+}
+
+/// Runs the (RAND-)ESU recursion for every root node. When `probs` is
+/// `Some`, each branch at depth `d` descends with probability `probs[d]`
+/// and visited subgraphs carry the inverse probability product as weight.
+fn esu<F: FnMut(&[NodeId], f64), R: Rng>(
+    g: &Graph,
+    k: usize,
+    probs: Option<&[f64]>,
+    rng: &mut R,
+    mut visit: F,
+) {
+    if k == 0 || g.node_count() < k {
+        return;
+    }
+    // blocked[u]: u is in the subgraph or already in some extension set
+    let mut blocked = vec![false; g.node_count()];
+    for v in g.nodes() {
+        let mut sub = vec![v];
+        let ext: Vec<NodeId> = g.neighbors(v).map(|(u, _)| u).filter(|&u| u > v).collect();
+        blocked[v.index()] = true;
+        for &u in &ext {
+            blocked[u.index()] = true;
+        }
+        extend(g, v, &mut sub, ext, k, &mut blocked, &mut visit, 1.0, probs, rng);
+        blocked[v.index()] = false;
+        for u in g.neighbors(v).map(|(u, _)| u) {
+            blocked[u.index()] = false;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend<F: FnMut(&[NodeId], f64), R: Rng>(
+    g: &Graph,
+    root: NodeId,
+    sub: &mut Vec<NodeId>,
+    ext: Vec<NodeId>,
+    k: usize,
+    blocked: &mut Vec<bool>,
+    visit: &mut F,
+    weight: f64,
+    probs: Option<&[f64]>,
+    rng: &mut R,
+) {
+    if sub.len() == k {
+        visit(sub, weight);
+        return;
+    }
+    let depth = sub.len();
+    let mut remaining = ext;
+    while let Some(w) = remaining.pop() {
+        let mut branch_weight = weight;
+        if let Some(p) = probs {
+            let pd = p.get(depth).copied().unwrap_or(1.0);
+            if pd < 1.0 {
+                if !rng.gen_bool(pd.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                branch_weight /= pd;
+            }
+        }
+        // extension' = remaining ∪ exclusive neighbors of w (greater than root)
+        let newly: Vec<NodeId> = g
+            .neighbors(w)
+            .map(|(u, _)| u)
+            .filter(|&u| u > root && !blocked[u.index()])
+            .collect();
+        let mut next_ext = remaining.clone();
+        next_ext.extend_from_slice(&newly);
+        sub.push(w);
+        for &u in &newly {
+            blocked[u.index()] = true;
+        }
+        extend(
+            g,
+            root,
+            sub,
+            next_ext,
+            k,
+            blocked,
+            visit,
+            branch_weight,
+            probs,
+            rng,
+        );
+        for &u in &newly {
+            blocked[u.index()] = false;
+        }
+        sub.pop();
+    }
+}
+
+/// ESU enumeration of all connected induced subgraphs with exactly `k`
+/// nodes; `visit` receives each node set once.
+pub fn enumerate_connected_subgraphs<F: FnMut(&[NodeId])>(g: &Graph, k: usize, mut visit: F) {
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    esu(g, k, None, &mut rng, |nodes, _| visit(nodes));
+}
+
+/// Exact graphlet counts of `g` (sizes 3 and 4).
+pub fn count_graphlets(g: &Graph) -> GraphletCounts {
+    let mut counts = GraphletCounts::default();
+    enumerate_connected_subgraphs(g, 3, |nodes| {
+        counts.counts[classify(g, nodes)] += 1.0;
+    });
+    enumerate_connected_subgraphs(g, 4, |nodes| {
+        counts.counts[classify(g, nodes)] += 1.0;
+    });
+    counts
+}
+
+/// RAND-ESU estimate of graphlet counts. `retention` in `(0, 1]` is the
+/// per-depth descent probability (1.0 reproduces exact counts); smaller
+/// values trade accuracy for speed on large networks.
+pub fn sample_graphlets<R: Rng>(g: &Graph, retention: f64, rng: &mut R) -> GraphletCounts {
+    let mut counts = GraphletCounts::default();
+    for k in [3usize, 4] {
+        let probs = vec![retention; k];
+        esu(g, k, Some(&probs), rng, |nodes, weight| {
+            counts.counts[classify(g, nodes)] += weight;
+        });
+    }
+    counts
+}
+
+/// Exact graphlet frequency distribution of a single graph.
+pub fn graphlet_distribution(g: &Graph) -> [f64; GRAPHLET_CLASSES] {
+    count_graphlets(g).distribution()
+}
+
+/// Aggregate graphlet frequency distribution of a collection of graphs
+/// (counts summed before normalizing, as MIDAS computes the GFD of `D`).
+pub fn collection_distribution<'a, I: IntoIterator<Item = &'a Graph>>(
+    graphs: I,
+) -> [f64; GRAPHLET_CLASSES] {
+    let mut total = GraphletCounts::default();
+    for g in graphs {
+        total.add(&count_graphlets(g));
+    }
+    total.distribution()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn clique(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(0)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(nodes[i], nodes[j], 0);
+            }
+        }
+        g
+    }
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = g.add_node(0);
+        for _ in 1..n {
+            let cur = g.add_node(0);
+            g.add_edge(prev, cur, 0);
+            prev = cur;
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let c = count_graphlets(&clique(3));
+        assert_eq!(c.counts[1], 1.0);
+        assert_eq!(c.counts[0], 0.0);
+        assert_eq!(c.total(), 1.0);
+    }
+
+    #[test]
+    fn k4_counts() {
+        let c = count_graphlets(&clique(4));
+        // K4 contains 4 triangles, 0 P3... wait: induced 3-subsets of K4
+        // are all triangles (4 of them), and the single 4-set is K4.
+        assert_eq!(c.counts[1], 4.0);
+        assert_eq!(c.counts[0], 0.0);
+        assert_eq!(c.counts[7], 1.0);
+        assert_eq!(c.total(), 5.0);
+    }
+
+    #[test]
+    fn path_counts() {
+        let c = count_graphlets(&path(4));
+        // P4 contains 2 induced P3s and 1 induced P4
+        assert_eq!(c.counts[0], 2.0);
+        assert_eq!(c.counts[2], 1.0);
+        assert_eq!(c.total(), 3.0);
+    }
+
+    #[test]
+    fn star_counts() {
+        // S4: center 0, leaves 1..3
+        let g = GraphBuilder::new()
+            .nodes(&[0; 4])
+            .edge(0, 1, 0)
+            .edge(0, 2, 0)
+            .edge(0, 3, 0)
+            .build();
+        let c = count_graphlets(&g);
+        assert_eq!(c.counts[0], 3.0); // each pair of leaves + center
+        assert_eq!(c.counts[3], 1.0); // the star itself
+    }
+
+    #[test]
+    fn cycle4_counts() {
+        let g = GraphBuilder::new()
+            .nodes(&[0; 4])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 3, 0)
+            .edge(3, 0, 0)
+            .build();
+        let c = count_graphlets(&g);
+        assert_eq!(c.counts[4], 1.0);
+        assert_eq!(c.counts[0], 4.0);
+    }
+
+    #[test]
+    fn diamond_and_tailed_triangle() {
+        let diamond = GraphBuilder::new()
+            .nodes(&[0; 4])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .edge(1, 3, 0)
+            .edge(2, 3, 0)
+            .build();
+        assert_eq!(count_graphlets(&diamond).counts[6], 1.0);
+        let tailed = GraphBuilder::new()
+            .nodes(&[0; 4])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .edge(2, 3, 0)
+            .build();
+        assert_eq!(count_graphlets(&tailed).counts[5], 1.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let g = clique(5);
+        let d = graphlet_distribution(&g);
+        let sum: f64 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // empty graph: all zeros
+        let z = graphlet_distribution(&Graph::new());
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn distribution_is_permutation_invariant() {
+        let g = GraphBuilder::new()
+            .nodes(&[0; 5])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 0, 0)
+            .edge(2, 3, 0)
+            .edge(3, 4, 0)
+            .build();
+        let h = g.permuted(&[4, 2, 0, 3, 1]);
+        assert_eq!(graphlet_distribution(&g), graphlet_distribution(&h));
+    }
+
+    #[test]
+    fn esu_enumerates_each_subgraph_once() {
+        let g = clique(5);
+        let mut count = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        enumerate_connected_subgraphs(&g, 3, |nodes| {
+            count += 1;
+            let mut key: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+            key.sort_unstable();
+            assert!(seen.insert(key), "duplicate subgraph");
+        });
+        // C(5,3) = 10 connected triples in a clique
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn sampling_with_full_retention_is_exact() {
+        let g = clique(5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let exact = count_graphlets(&g);
+        let sampled = sample_graphlets(&g, 1.0, &mut rng);
+        assert_eq!(exact.counts, sampled.counts);
+    }
+
+    #[test]
+    fn sampling_is_roughly_unbiased() {
+        // moderately dense ER-ish graph
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..30).map(|_| g.add_node(0)).collect();
+        let mut rng = SmallRng::seed_from_u64(5);
+        use rand::Rng;
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                if rng.gen_bool(0.2) {
+                    g.add_edge(nodes[i], nodes[j], 0);
+                }
+            }
+        }
+        let exact = count_graphlets(&g).total();
+        let mut est_sum = 0.0;
+        let runs = 30;
+        for s in 0..runs {
+            let mut r = SmallRng::seed_from_u64(1000 + s);
+            est_sum += sample_graphlets(&g, 0.7, &mut r).total();
+        }
+        let est = est_sum / runs as f64;
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.15, "estimate {est} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
+    fn euclidean_distance_properties() {
+        let a = [0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(euclidean_distance(&a, &a), 0.0);
+        assert!((euclidean_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collection_distribution_aggregates() {
+        let graphs = [clique(3), path(3)];
+        let d = collection_distribution(graphs.iter());
+        // one triangle + one P3 -> 50/50
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Line-oriented graph-transaction text format.
+//!
+//! This is the `t # / v / e` format used by classic graph-mining datasets
+//! (AIDS, PubChem exports, gSpan inputs):
+//!
+//! ```text
+//! t # 0
+//! v 0 3
+//! v 1 5
+//! e 0 1 2
+//! t # 1
+//! ...
+//! ```
+//!
+//! `v <id> <label>` declares node `<id>` (ids must be dense and in
+//! order), `e <u> <v> <label>` declares an undirected edge. Parsing is
+//! strict: malformed lines produce descriptive errors rather than silently
+//! skewing a dataset.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt;
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a multi-graph transaction file into a list of graphs.
+pub fn parse_transactions(input: &str) -> Result<Vec<Graph>, ParseError> {
+    let mut graphs = Vec::new();
+    let mut current: Option<Graph> = None;
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("t") => {
+                if let Some(g) = current.take() {
+                    graphs.push(g);
+                }
+                current = Some(Graph::new());
+            }
+            Some("v") => {
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "'v' before any 't' header"))?;
+                let id: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing node id"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid node id"))?;
+                let label: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing node label"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid node label"))?;
+                if id as usize != g.node_count() {
+                    return Err(err(
+                        lineno,
+                        format!("node id {id} out of order (expected {})", g.node_count()),
+                    ));
+                }
+                g.add_node(label);
+            }
+            Some("e") => {
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "'e' before any 't' header"))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing edge source"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid edge source"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing edge target"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid edge target"))?;
+                let label: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing edge label"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid edge label"))?;
+                g.add_edge(NodeId(u), NodeId(v), label)
+                    .ok_or_else(|| err(lineno, format!("invalid or duplicate edge {u}-{v}")))?;
+            }
+            Some(other) => {
+                return Err(err(lineno, format!("unknown record type '{other}'")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    if let Some(g) = current.take() {
+        graphs.push(g);
+    }
+    Ok(graphs)
+}
+
+/// Parses a single graph; errors if the input contains more than one.
+pub fn parse_graph(input: &str) -> Result<Graph, ParseError> {
+    let graphs = parse_transactions(input)?;
+    match graphs.len() {
+        1 => Ok(graphs.into_iter().next().unwrap()),
+        n => Err(err(0, format!("expected exactly 1 graph, found {n}"))),
+    }
+}
+
+/// Serializes graphs to the transaction format.
+pub fn write_transactions(graphs: &[Graph]) -> String {
+    let mut out = String::new();
+    for (i, g) in graphs.iter().enumerate() {
+        write_graph_into(g, i, &mut out);
+    }
+    out
+}
+
+/// Serializes a single graph with transaction id `id`.
+pub fn write_graph(g: &Graph, id: usize) -> String {
+    let mut out = String::new();
+    write_graph_into(g, id, &mut out);
+    out
+}
+
+fn write_graph_into(g: &Graph, id: usize, out: &mut String) {
+    use std::fmt::Write;
+    writeln!(out, "t # {id}").unwrap();
+    for n in g.nodes() {
+        writeln!(out, "v {} {}", n.0, g.node_label(n)).unwrap();
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        writeln!(out, "e {} {} {}", u.0, v.0, g.edge_label(e)).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{cycle, star};
+    use crate::iso::are_isomorphic;
+
+    #[test]
+    fn round_trip_single() {
+        let g = cycle(5, 3, 7);
+        let text = write_graph(&g, 0);
+        let parsed = parse_graph(&text).unwrap();
+        assert!(are_isomorphic(&g, &parsed));
+    }
+
+    #[test]
+    fn round_trip_many() {
+        let graphs = vec![cycle(4, 1, 2), star(3, 5, 6), cycle(3, 0, 0)];
+        let text = write_transactions(&graphs);
+        let parsed = parse_transactions(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for (a, b) in graphs.iter().zip(parsed.iter()) {
+            assert!(are_isomorphic(a, b));
+        }
+    }
+
+    #[test]
+    fn parses_reference_snippet() {
+        let text = "t # 0\nv 0 3\nv 1 5\ne 0 1 2\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_label(NodeId(0)), 3);
+        assert_eq!(g.edge_label(crate::graph::EdgeId(0)), 2);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header comment\n\nt # 0\nv 0 1\n\n# mid comment\nv 1 1\ne 0 1 0\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_transactions("v 0 1\n").is_err()); // v before t
+        assert!(parse_transactions("t # 0\nv 1 1\n").is_err()); // out of order
+        assert!(parse_transactions("t # 0\nv 0\n").is_err()); // missing label
+        assert!(parse_transactions("t # 0\nx 0 0\n").is_err()); // bad record
+        assert!(parse_transactions("t # 0\nv 0 1\nv 1 1\ne 0 1 0\ne 0 1 0\n").is_err());
+        let e = parse_transactions("t # 0\nv 0 1\ne 0 5 0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn multiple_graphs_error_for_parse_graph() {
+        let text = "t # 0\nv 0 1\nt # 1\nv 0 1\n";
+        assert!(parse_graph(text).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_no_graphs() {
+        assert_eq!(parse_transactions("").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,519 @@
+//! VF2-style (sub)graph isomorphism with wildcard-label support.
+//!
+//! The pattern-selection systems use this module in three ways:
+//!
+//! * **coverage** — does canned pattern `p` occur in data graph `G`, and
+//!   which edges of `G` do its embeddings touch;
+//! * **results panel** — enumerate matches of a user query;
+//! * **closure semantics** — cluster summary graphs carry
+//!   [`WILDCARD_LABEL`](crate::graph::WILDCARD_LABEL) dummies that must
+//!   match any label.
+//!
+//! The matcher is a classic VF2 backtracking search with a
+//! most-constrained-first ordering of pattern nodes, label/degree
+//! filtering, and an optional work budget so that adversarial inputs
+//! degrade to "truncated" rather than "hung".
+
+use crate::graph::{EdgeId, Graph, Label, NodeId, WILDCARD_LABEL};
+
+/// Options controlling a matching run.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchOptions {
+    /// Require induced embeddings (non-edges of the pattern must map to
+    /// non-edges of the target). Subgraph *query* matching is non-induced.
+    pub induced: bool,
+    /// Treat [`WILDCARD_LABEL`] (on either side) as matching any label.
+    pub wildcard: bool,
+    /// Stop after this many embeddings have been reported.
+    pub max_embeddings: usize,
+    /// Backtracking-state budget; the search stops (possibly incomplete)
+    /// once this many candidate pairs have been examined.
+    pub max_states: u64,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            induced: false,
+            wildcard: false,
+            max_embeddings: usize::MAX,
+            max_states: 50_000_000,
+        }
+    }
+}
+
+impl MatchOptions {
+    /// Non-induced matching with wildcards enabled (closure-graph cover
+    /// semantics).
+    pub fn with_wildcards() -> Self {
+        MatchOptions {
+            wildcard: true,
+            ..Default::default()
+        }
+    }
+
+    /// Induced matching (used for isomorphism checks).
+    pub fn induced() -> Self {
+        MatchOptions {
+            induced: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[inline]
+fn labels_compatible(p: Label, t: Label, wildcard: bool) -> bool {
+    p == t || (wildcard && (p == WILDCARD_LABEL || t == WILDCARD_LABEL))
+}
+
+/// The result of an embedding enumeration: whether the search space was
+/// exhausted and how many embeddings were reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// False if the state budget or the embedding cap stopped the search.
+    pub complete: bool,
+    /// Number of embeddings reported to the visitor.
+    pub embeddings: usize,
+}
+
+struct Vf2<'a, F: FnMut(&[NodeId]) -> bool> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    opts: MatchOptions,
+    /// pattern-node visit order
+    order: Vec<NodeId>,
+    /// mapping pattern -> target (u32::MAX = unmapped)
+    core_p: Vec<u32>,
+    /// reverse mapping target -> pattern
+    core_t: Vec<u32>,
+    states: u64,
+    found: usize,
+    /// visitor; returns false to stop the whole search
+    visit: F,
+}
+
+/// Computes a matching order for pattern nodes: start from the
+/// highest-degree node of each component, then repeatedly take the
+/// unvisited node with the most already-ordered neighbors (ties broken by
+/// degree). Connected prefixes keep candidate sets small.
+fn matching_order(pattern: &Graph) -> Vec<NodeId> {
+    let n = pattern.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        // seed: unplaced node with max degree
+        let seed = pattern
+            .nodes()
+            .filter(|v| !placed[v.index()])
+            .max_by_key(|&v| pattern.degree(v))
+            .expect("some node unplaced");
+        placed[seed.index()] = true;
+        order.push(seed);
+        loop {
+            let mut best: Option<(usize, usize, NodeId)> = None;
+            for v in pattern.nodes() {
+                if placed[v.index()] {
+                    continue;
+                }
+                let connected = pattern
+                    .neighbors(v)
+                    .filter(|(m, _)| placed[m.index()])
+                    .count();
+                if connected == 0 {
+                    continue;
+                }
+                let key = (connected, pattern.degree(v), v);
+                if best.is_none_or(|b| (b.0, b.1, b.2) < key) {
+                    best = Some(key);
+                }
+            }
+            match best {
+                Some((_, _, v)) => {
+                    placed[v.index()] = true;
+                    order.push(v);
+                }
+                None => break, // component exhausted; reseed
+            }
+        }
+    }
+    order
+}
+
+impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
+    fn new(pattern: &'a Graph, target: &'a Graph, opts: MatchOptions, visit: F) -> Self {
+        Vf2 {
+            pattern,
+            target,
+            opts,
+            order: matching_order(pattern),
+            core_p: vec![u32::MAX; pattern.node_count()],
+            core_t: vec![u32::MAX; target.node_count()],
+            states: 0,
+            found: 0,
+            visit,
+        }
+    }
+
+    fn feasible(&self, p: NodeId, t: NodeId) -> bool {
+        if !labels_compatible(
+            self.pattern.node_label(p),
+            self.target.node_label(t),
+            self.opts.wildcard,
+        ) {
+            return false;
+        }
+        if self.pattern.degree(p) > self.target.degree(t) {
+            return false;
+        }
+        // edges to already-mapped pattern neighbors must exist with
+        // compatible labels
+        for (q, pe) in self.pattern.neighbors(p) {
+            let tq = self.core_p[q.index()];
+            if tq == u32::MAX {
+                continue;
+            }
+            match self.target.edge_between(t, NodeId(tq)) {
+                Some(te) => {
+                    if !labels_compatible(
+                        self.pattern.edge_label(pe),
+                        self.target.edge_label(te),
+                        self.opts.wildcard,
+                    ) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        if self.opts.induced {
+            // mapped pattern nodes NOT adjacent to p must map to targets
+            // not adjacent to t
+            for (tn, _) in self.target.neighbors(t) {
+                let pq = self.core_t[tn.index()];
+                if pq != u32::MAX && !self.pattern.has_edge(p, NodeId(pq)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns false if the search should stop entirely.
+    fn search(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            self.found += 1;
+            let mapping: Vec<NodeId> = self.core_p.iter().map(|&t| NodeId(t)).collect();
+            if !(self.visit)(&mapping) || self.found >= self.opts.max_embeddings {
+                return false;
+            }
+            return true;
+        }
+        let p = self.order[depth];
+        // candidate targets: neighbors of the image of a mapped pattern
+        // neighbor, or every unmapped target node if p starts a component
+        let anchor = self
+            .pattern
+            .neighbors(p)
+            .find(|(q, _)| self.core_p[q.index()] != u32::MAX)
+            .map(|(q, _)| NodeId(self.core_p[q.index()]));
+        let candidates: Vec<NodeId> = match anchor {
+            Some(a) => self
+                .target
+                .neighbors(a)
+                .map(|(t, _)| t)
+                .filter(|t| self.core_t[t.index()] == u32::MAX)
+                .collect(),
+            None => self
+                .target
+                .nodes()
+                .filter(|t| self.core_t[t.index()] == u32::MAX)
+                .collect(),
+        };
+        for t in candidates {
+            self.states += 1;
+            if self.states > self.opts.max_states {
+                return false;
+            }
+            if self.feasible(p, t) {
+                self.core_p[p.index()] = t.0;
+                self.core_t[t.index()] = p.0;
+                let cont = self.search(depth + 1);
+                self.core_p[p.index()] = u32::MAX;
+                self.core_t[t.index()] = u32::MAX;
+                if !cont {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Enumerates embeddings of `pattern` into `target`, invoking `visit` with
+/// each mapping (`mapping[p.index()]` = target node). The visitor returns
+/// `false` to stop early.
+pub fn enumerate_embeddings<F: FnMut(&[NodeId]) -> bool>(
+    pattern: &Graph,
+    target: &Graph,
+    opts: MatchOptions,
+    visit: F,
+) -> SearchOutcome {
+    if pattern.node_count() == 0 {
+        return SearchOutcome {
+            complete: true,
+            embeddings: 0,
+        };
+    }
+    if pattern.node_count() > target.node_count() || pattern.edge_count() > target.edge_count() {
+        return SearchOutcome {
+            complete: true,
+            embeddings: 0,
+        };
+    }
+    let mut vf2 = Vf2::new(pattern, target, opts, visit);
+    let complete = vf2.search(0);
+    SearchOutcome {
+        complete,
+        embeddings: vf2.found,
+    }
+}
+
+/// Collects up to `opts.max_embeddings` embeddings as mapping vectors.
+pub fn find_embeddings(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    enumerate_embeddings(pattern, target, opts, |m| {
+        out.push(m.to_vec());
+        true
+    });
+    out
+}
+
+/// Finds one embedding if any exists.
+pub fn find_embedding(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Option<Vec<NodeId>> {
+    let mut out = None;
+    enumerate_embeddings(pattern, target, opts, |m| {
+        out = Some(m.to_vec());
+        false
+    });
+    out
+}
+
+/// True if `pattern` is subgraph-isomorphic to `target`.
+///
+/// ```
+/// use vqi_graph::generate::{chain, cycle};
+/// use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+///
+/// let path = chain(3, 0, 0);
+/// let hexagon = cycle(6, 0, 0);
+/// assert!(is_subgraph_isomorphic(&path, &hexagon, MatchOptions::default()));
+/// assert!(!is_subgraph_isomorphic(&hexagon, &path, MatchOptions::default()));
+/// ```
+pub fn is_subgraph_isomorphic(pattern: &Graph, target: &Graph, opts: MatchOptions) -> bool {
+    find_embedding(pattern, target, opts).is_some()
+}
+
+/// Counts embeddings (up to `opts.max_embeddings`).
+pub fn count_embeddings(pattern: &Graph, target: &Graph, opts: MatchOptions) -> usize {
+    enumerate_embeddings(pattern, target, opts, |_| true).embeddings
+}
+
+/// True if `a` and `b` are isomorphic as labeled graphs.
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.node_count() != b.node_count()
+        || a.edge_count() != b.edge_count()
+        || a.node_label_multiset() != b.node_label_multiset()
+        || a.edge_label_multiset() != b.edge_label_multiset()
+    {
+        return false;
+    }
+    is_subgraph_isomorphic(a, b, MatchOptions::induced())
+}
+
+/// The set of target edge ids touched by any embedding of `pattern`
+/// (deduplicated, sorted). Enumeration is capped by `opts`; with the
+/// default caps this is exact for the small patterns used in practice.
+pub fn covered_edges(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Vec<EdgeId> {
+    let mut covered = vec![false; target.edge_count()];
+    enumerate_embeddings(pattern, target, opts, |mapping| {
+        for e in pattern.edges() {
+            let (u, v) = pattern.endpoints(e);
+            if let Some(te) = target.edge_between(mapping[u.index()], mapping[v.index()]) {
+                covered[te.index()] = true;
+            }
+        }
+        true
+    });
+    covered
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| EdgeId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn triangle(l: Label) -> Graph {
+        GraphBuilder::new()
+            .nodes(&[l, l, l])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .build()
+    }
+
+    fn path(n: usize, l: Label) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = g.add_node(l);
+        for _ in 1..n {
+            let cur = g.add_node(l);
+            g.add_edge(prev, cur, 0);
+            prev = cur;
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_in_triangle() {
+        let t = triangle(5);
+        assert!(is_subgraph_isomorphic(&t, &t, MatchOptions::default()));
+        // 6 automorphisms
+        assert_eq!(count_embeddings(&t, &t, MatchOptions::default()), 6);
+    }
+
+    #[test]
+    fn path_in_triangle_non_induced_only() {
+        let p = path(3, 5);
+        let t = triangle(5);
+        assert!(is_subgraph_isomorphic(&p, &t, MatchOptions::default()));
+        // induced P3 does not exist in a triangle
+        assert!(!is_subgraph_isomorphic(&p, &t, MatchOptions::induced()));
+    }
+
+    #[test]
+    fn labels_block_matches() {
+        let p = triangle(1);
+        let t = triangle(2);
+        assert!(!is_subgraph_isomorphic(&p, &t, MatchOptions::default()));
+        // wildcard pattern matches anything
+        let mut w = triangle(WILDCARD_LABEL);
+        w.set_edge_label(EdgeId(0), WILDCARD_LABEL);
+        assert!(is_subgraph_isomorphic(
+            &w,
+            &t,
+            MatchOptions::with_wildcards()
+        ));
+        assert!(!is_subgraph_isomorphic(&w, &t, MatchOptions::default()));
+    }
+
+    #[test]
+    fn edge_labels_must_match() {
+        let p = GraphBuilder::new().nodes(&[0, 0]).edge(0, 1, 7).build();
+        let t = GraphBuilder::new().nodes(&[0, 0]).edge(0, 1, 8).build();
+        assert!(!is_subgraph_isomorphic(&p, &t, MatchOptions::default()));
+        let t2 = GraphBuilder::new().nodes(&[0, 0]).edge(0, 1, 7).build();
+        assert!(is_subgraph_isomorphic(&p, &t2, MatchOptions::default()));
+    }
+
+    #[test]
+    fn bigger_pattern_never_matches() {
+        let p = path(4, 0);
+        let t = path(3, 0);
+        assert!(!is_subgraph_isomorphic(&p, &t, MatchOptions::default()));
+    }
+
+    #[test]
+    fn empty_pattern_has_no_embeddings() {
+        let t = triangle(0);
+        assert_eq!(count_embeddings(&Graph::new(), &t, MatchOptions::default()), 0);
+    }
+
+    #[test]
+    fn disconnected_pattern_matches() {
+        // two isolated labeled nodes as pattern
+        let mut p = Graph::new();
+        p.add_node(1);
+        p.add_node(2);
+        let mut t = Graph::new();
+        let a = t.add_node(1);
+        let b = t.add_node(2);
+        t.add_edge(a, b, 0);
+        assert!(is_subgraph_isomorphic(&p, &t, MatchOptions::default()));
+        // induced: the two images must not be adjacent -> fails here
+        assert!(!is_subgraph_isomorphic(&p, &t, MatchOptions::induced()));
+    }
+
+    #[test]
+    fn embedding_mappings_are_valid() {
+        let p = path(3, 5);
+        let t = triangle(5);
+        for m in find_embeddings(&p, &t, MatchOptions::default()) {
+            assert_eq!(m.len(), 3);
+            for e in p.edges() {
+                let (u, v) = p.endpoints(e);
+                assert!(t.has_edge(m[u.index()], m[v.index()]));
+            }
+        }
+    }
+
+    #[test]
+    fn covered_edges_of_triangle_pattern() {
+        // target: triangle plus a pendant edge; a triangle pattern covers
+        // exactly the triangle edges
+        let mut t = triangle(5);
+        let x = t.add_node(5);
+        t.add_edge(NodeId(0), x, 0);
+        let covered = covered_edges(&triangle(5), &t, MatchOptions::default());
+        assert_eq!(covered, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+    }
+
+    #[test]
+    fn isomorphism_is_permutation_invariant() {
+        let g = GraphBuilder::new()
+            .nodes(&[1, 2, 3, 4])
+            .edge(0, 1, 9)
+            .edge(1, 2, 8)
+            .edge(2, 3, 7)
+            .edge(3, 0, 6)
+            .build();
+        let h = g.permuted(&[3, 1, 0, 2]);
+        assert!(are_isomorphic(&g, &h));
+        // changing one edge label breaks it
+        let mut h2 = h.clone();
+        h2.set_edge_label(EdgeId(0), 99);
+        assert!(!are_isomorphic(&g, &h2));
+    }
+
+    #[test]
+    fn max_embeddings_caps_enumeration() {
+        let t = triangle(0);
+        let opts = MatchOptions {
+            max_embeddings: 2,
+            ..Default::default()
+        };
+        assert_eq!(count_embeddings(&t, &t, opts), 2);
+    }
+
+    #[test]
+    fn state_budget_truncates() {
+        let p = path(6, 0);
+        let mut t = Graph::new();
+        // a 20-clique with uniform labels: many embeddings
+        let nodes: Vec<NodeId> = (0..20).map(|_| t.add_node(0)).collect();
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                t.add_edge(nodes[i], nodes[j], 0);
+            }
+        }
+        let opts = MatchOptions {
+            max_states: 100,
+            ..Default::default()
+        };
+        let out = enumerate_embeddings(&p, &t, opts, |_| true);
+        assert!(!out.complete);
+    }
+}

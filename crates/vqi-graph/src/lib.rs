@@ -1,0 +1,41 @@
+//! Labeled-graph substrate for data-driven visual query interfaces.
+//!
+//! This crate provides everything the pattern-selection systems
+//! (CATAPULT, TATTOO, MIDAS) need from a graph library, implemented from
+//! scratch:
+//!
+//! * [`graph::Graph`] — an undirected, node- and edge-labeled graph with
+//!   append-only construction and cheap subgraph extraction;
+//! * [`iso`] — VF2-style subgraph-isomorphism search with wildcard labels,
+//!   embedding enumeration, and coverage helpers;
+//! * [`canon`] — canonical codes for small graphs (pattern deduplication);
+//! * [`truss`] — k-truss decomposition and the truss-infested /
+//!   truss-oblivious split used by TATTOO;
+//! * [`graphlet`] — exact and sampled connected-graphlet counting (ESU /
+//!   RAND-ESU) and graphlet frequency distributions used by MIDAS;
+//! * [`traversal`] — BFS/DFS, components, weighted random walks, and
+//!   connected-subgraph sampling;
+//! * [`generate`] — random-graph generators and the small "motif" shapes
+//!   (chain, star, cycle, petal, flower) that mirror real query-log
+//!   topologies;
+//! * [`mcs`] — maximum-common-edge-subgraph search (exact with a node
+//!   budget, plus a greedy fallback) for diversity measures;
+//! * [`io`] — a line-oriented text format compatible with the classic
+//!   `t # / v / e` graph-transaction files;
+//! * [`metrics`] — simple structural statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canon;
+pub mod generate;
+pub mod graph;
+pub mod graphlet;
+pub mod io;
+pub mod iso;
+pub mod mcs;
+pub mod metrics;
+pub mod traversal;
+pub mod truss;
+
+pub use graph::{EdgeId, Graph, Label, NodeId, WILDCARD_LABEL};

@@ -1,0 +1,131 @@
+//! Structural statistics used across the selection systems.
+
+use crate::graph::Graph;
+use std::collections::HashMap;
+
+/// Average degree (`2m / n`); zero for the empty graph.
+pub fn average_degree(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / g.node_count() as f64
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Global clustering coefficient: `3 * triangles / open-and-closed triads`.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let supports = crate::truss::edge_supports(g);
+    let triangles: u64 = supports.iter().map(|&s| s as u64).sum::<u64>() / 3;
+    let triads: u64 = g
+        .nodes()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if triads == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / triads as f64
+    }
+}
+
+/// Frequencies of node labels.
+pub fn node_label_frequencies(g: &Graph) -> HashMap<u32, usize> {
+    let mut f = HashMap::new();
+    for v in g.nodes() {
+        *f.entry(g.node_label(v)).or_insert(0) += 1;
+    }
+    f
+}
+
+/// Frequencies of edge labels.
+pub fn edge_label_frequencies(g: &Graph) -> HashMap<u32, usize> {
+    let mut f = HashMap::new();
+    for e in g.edges() {
+        *f.entry(g.edge_label(e)).or_insert(0) += 1;
+    }
+    f
+}
+
+/// Aggregated label statistics over a collection of graphs: for each node
+/// label, the number of graphs in which it occurs.
+pub fn label_document_frequencies<'a, I: IntoIterator<Item = &'a Graph>>(
+    graphs: I,
+) -> HashMap<u32, usize> {
+    let mut df = HashMap::new();
+    for g in graphs {
+        let mut labels: Vec<u32> = g.nodes().map(|v| g.node_label(v)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        for l in labels {
+            *df.entry(l).or_insert(0) += 1;
+        }
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{chain, clique, star};
+
+    #[test]
+    fn average_degree_of_cycle() {
+        let g = crate::generate::cycle(7, 0, 0);
+        assert!((average_degree(&g) - 2.0).abs() < 1e-12);
+        assert_eq!(average_degree(&Graph::new()), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_of_star() {
+        let g = star(4, 0, 0);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((clustering_coefficient(&clique(5, 0, 0)) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&chain(5, 0, 0)), 0.0);
+        assert_eq!(clustering_coefficient(&Graph::new()), 0.0);
+    }
+
+    #[test]
+    fn label_frequencies() {
+        let mut g = Graph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        g.add_edge(a, b, 9);
+        g.add_edge(b, c, 9);
+        let nf = node_label_frequencies(&g);
+        assert_eq!(nf[&1], 2);
+        assert_eq!(nf[&2], 1);
+        let ef = edge_label_frequencies(&g);
+        assert_eq!(ef[&9], 2);
+    }
+
+    #[test]
+    fn document_frequencies() {
+        let g1 = star(2, 1, 0);
+        let g2 = chain(3, 2, 0);
+        let mut g3 = Graph::new();
+        g3.add_node(1);
+        g3.add_node(2);
+        let df = label_document_frequencies([&g1, &g2, &g3]);
+        assert_eq!(df[&1], 2);
+        assert_eq!(df[&2], 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Traversals, connectivity, and random-walk utilities.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Nodes reachable from `start`, in BFS order.
+pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for (m, _) in g.neighbors(n) {
+            if !seen[m.index()] {
+                seen[m.index()] = true;
+                queue.push_back(m);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start`, in DFS preorder (deterministic: neighbors
+/// visited in adjacency order).
+pub fn dfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        order.push(n);
+        // push in reverse so the first neighbor is processed first
+        let nbrs: Vec<NodeId> = g.neighbors(n).map(|(m, _)| m).collect();
+        for m in nbrs.into_iter().rev() {
+            if !seen[m.index()] {
+                stack.push(m);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components as lists of nodes; singleton nodes form their own
+/// components. Components are ordered by their smallest node id.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.node_count()];
+    let mut comps = Vec::new();
+    for n in g.nodes() {
+        if !seen[n.index()] {
+            let comp = bfs_order(g, n);
+            for &c in &comp {
+                seen[c.index()] = true;
+            }
+            comps.push(comp);
+        }
+    }
+    comps
+}
+
+/// True if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    bfs_order(g, NodeId(0)).len() == g.node_count()
+}
+
+/// Shortest path length (in edges) from `a` to `b`, or `None` if not
+/// reachable.
+pub fn shortest_path_len(g: &Graph, a: NodeId, b: NodeId) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[a.index()] = 0;
+    queue.push_back(a);
+    while let Some(n) = queue.pop_front() {
+        for (m, _) in g.neighbors(n) {
+            if dist[m.index()] == usize::MAX {
+                dist[m.index()] = dist[n.index()] + 1;
+                if m == b {
+                    return Some(dist[m.index()]);
+                }
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// One step of a weighted random walk: picks the next `(neighbor, edge)`
+/// from `n` with probability proportional to `weight(edge)`.
+///
+/// Returns `None` if `n` has no neighbors or all weights are zero.
+pub fn weighted_step<R: Rng, W: Fn(EdgeId) -> f64>(
+    g: &Graph,
+    n: NodeId,
+    weight: &W,
+    rng: &mut R,
+) -> Option<(NodeId, EdgeId)> {
+    let nbrs: Vec<(NodeId, EdgeId)> = g.neighbors(n).collect();
+    if nbrs.is_empty() {
+        return None;
+    }
+    let weights: Vec<f64> = nbrs.iter().map(|&(_, e)| weight(e).max(0.0)).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return Some(nbrs[i]);
+        }
+        x -= w;
+    }
+    Some(*nbrs.last().unwrap())
+}
+
+/// A weighted random walk of at most `steps` edge traversals starting at
+/// `start`. Returns the sequence of traversed edge ids (possibly shorter
+/// than `steps` if the walk gets stuck).
+pub fn weighted_random_walk<R: Rng, W: Fn(EdgeId) -> f64>(
+    g: &Graph,
+    start: NodeId,
+    steps: usize,
+    weight: &W,
+    rng: &mut R,
+) -> Vec<EdgeId> {
+    let mut cur = start;
+    let mut walk = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        match weighted_step(g, cur, weight, rng) {
+            Some((next, e)) => {
+                walk.push(e);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    walk
+}
+
+/// Samples a random connected set of exactly `size` nodes containing
+/// `start` by randomized BFS frontier expansion. Returns `None` if the
+/// component of `start` has fewer than `size` nodes.
+pub fn sample_connected_nodes<R: Rng>(
+    g: &Graph,
+    start: NodeId,
+    size: usize,
+    rng: &mut R,
+) -> Option<Vec<NodeId>> {
+    if size == 0 {
+        return Some(Vec::new());
+    }
+    let mut chosen = vec![false; g.node_count()];
+    let mut result = vec![start];
+    chosen[start.index()] = true;
+    let mut frontier: Vec<NodeId> = g
+        .neighbors(start)
+        .map(|(m, _)| m)
+        .filter(|m| !chosen[m.index()])
+        .collect();
+    while result.len() < size {
+        frontier.retain(|m| !chosen[m.index()]);
+        frontier.sort_unstable();
+        frontier.dedup();
+        if frontier.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..frontier.len());
+        let next = frontier.swap_remove(i);
+        chosen[next.index()] = true;
+        result.push(next);
+        for (m, _) in g.neighbors(next) {
+            if !chosen[m.index()] {
+                frontier.push(m);
+            }
+        }
+    }
+    Some(result)
+}
+
+/// Samples a connected subgraph of exactly `size` nodes rooted at a random
+/// node. Retries up to `attempts` times; returns the induced subgraph and
+/// the node mapping back to `g`.
+pub fn sample_connected_subgraph<R: Rng>(
+    g: &Graph,
+    size: usize,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<(Graph, Vec<NodeId>)> {
+    if g.node_count() < size || size == 0 {
+        return None;
+    }
+    let all: Vec<NodeId> = g.nodes().collect();
+    for _ in 0..attempts {
+        let &start = all.choose(rng)?;
+        if let Some(nodes) = sample_connected_nodes(g, start, size, rng) {
+            return Some(g.induced_subgraph(&nodes));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_triangles() -> Graph {
+        // nodes 0-2 triangle, nodes 3-5 triangle, disconnected
+        GraphBuilder::new()
+            .nodes(&[0; 6])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .edge(3, 4, 0)
+            .edge(4, 5, 0)
+            .edge(3, 5, 0)
+            .build()
+    }
+
+    #[test]
+    fn bfs_visits_component_only() {
+        let g = two_triangles();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&NodeId(0)));
+        assert!(!order.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn dfs_visits_all_reachable() {
+        let g = two_triangles();
+        let order = dfs_order(&g, NodeId(3));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], NodeId(3));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let g = two_triangles();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 6);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_connected(&Graph::new()));
+        let mut g = Graph::new();
+        g.add_node(0);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn shortest_paths() {
+        let g = GraphBuilder::new()
+            .nodes(&[0; 4])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 3, 0)
+            .build();
+        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(3)), Some(3));
+        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(0)), Some(0));
+        let h = two_triangles();
+        assert_eq!(shortest_path_len(&h, NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn weighted_walk_respects_zero_weights() {
+        let g = GraphBuilder::new()
+            .nodes(&[0; 3])
+            .edge(0, 1, 0)
+            .edge(0, 2, 0)
+            .build();
+        let mut rng = SmallRng::seed_from_u64(42);
+        // only edge 1 (0-2) has weight
+        let w = |e: EdgeId| if e == EdgeId(1) { 1.0 } else { 0.0 };
+        for _ in 0..20 {
+            let step = weighted_step(&g, NodeId(0), &w, &mut rng).unwrap();
+            assert_eq!(step.1, EdgeId(1));
+        }
+        // all weights zero: walk is stuck
+        let z = |_: EdgeId| 0.0;
+        assert!(weighted_step(&g, NodeId(0), &z, &mut rng).is_none());
+        assert!(weighted_random_walk(&g, NodeId(0), 5, &z, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn walk_length_bounded() {
+        let g = two_triangles();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let walk = weighted_random_walk(&g, NodeId(0), 10, &|_| 1.0, &mut rng);
+        assert_eq!(walk.len(), 10);
+    }
+
+    #[test]
+    fn sample_connected_nodes_is_connected() {
+        let g = two_triangles();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let nodes = sample_connected_nodes(&g, NodeId(0), 3, &mut rng).unwrap();
+        assert_eq!(nodes.len(), 3);
+        let (sub, _) = g.induced_subgraph(&nodes);
+        assert!(is_connected(&sub));
+        // asking for more than the component holds fails
+        assert!(sample_connected_nodes(&g, NodeId(0), 4, &mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_connected_subgraph_size() {
+        let g = two_triangles();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (sub, mapping) = sample_connected_subgraph(&g, 2, 50, &mut rng).unwrap();
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(mapping.len(), 2);
+        assert!(is_connected(&sub));
+        assert!(sample_connected_subgraph(&g, 7, 10, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,312 @@
+//! k-truss decomposition.
+//!
+//! The *k-truss* of a graph is the maximal subgraph in which every edge is
+//! contained in at least `k - 2` triangles of the subgraph. The
+//! *trussness* of an edge is the largest `k` for which the edge survives
+//! in the k-truss. TATTOO uses the decomposition to split a large network
+//! into a dense *truss-infested* region `G_T` (edges with trussness ≥ k,
+//! i.e. triangle-rich) and a sparse *truss-oblivious* region `G_O` (the
+//! remaining edges), mirroring the triangle-like vs. non-triangle-like
+//! substructures observed in real query logs.
+//!
+//! Implemented with the standard peeling algorithm: compute edge supports
+//! (triangle counts), then repeatedly remove the edge of minimum support,
+//! decrementing the supports of the edges it formed triangles with.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Per-edge triangle counts ("support").
+pub fn edge_supports(g: &Graph) -> Vec<u32> {
+    let mut support = vec![0u32; g.edge_count()];
+    // mark[] trick: for each node u, mark neighbors, then for each
+    // neighbor v > u, count common neighbors w with v
+    let mut mark = vec![u32::MAX; g.node_count()];
+    for u in g.nodes() {
+        for (v, e) in g.neighbors(u) {
+            mark[v.index()] = e.0;
+        }
+        for (v, uv) in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            for (w, vw) in g.neighbors(v) {
+                if w <= v {
+                    continue;
+                }
+                let uw = mark[w.index()];
+                if uw != u32::MAX && w != u {
+                    support[uv.index()] += 1;
+                    support[vw.index()] += 1;
+                    support[uw as usize] += 1;
+                }
+            }
+        }
+        for (v, _) in g.neighbors(u) {
+            mark[v.index()] = u32::MAX;
+        }
+    }
+    support
+}
+
+/// The trussness of every edge: the largest `k` such that the edge belongs
+/// to the k-truss. Edges in no triangle have trussness 2.
+pub fn trussness(g: &Graph) -> Vec<u32> {
+    let m = g.edge_count();
+    let mut support = edge_supports(g);
+    let mut truss = vec![0u32; m];
+    let mut removed = vec![false; m];
+
+    // bucket queue over supports
+    let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<EdgeId>> = vec![Vec::new(); max_sup + 1];
+    for e in g.edges() {
+        buckets[support[e.index()] as usize].push(e);
+    }
+    let mut k = 2u32;
+    let mut processed = 0usize;
+    let mut cursor = 0usize;
+    while processed < m {
+        // find the lowest non-empty bucket at or below the current level
+        let mut e_opt = None;
+        while cursor < buckets.len() {
+            // lazily skip stale entries (support decreased since insertion)
+            while let Some(&e) = buckets[cursor].last() {
+                if removed[e.index()] || support[e.index()] as usize != cursor {
+                    buckets[cursor].pop();
+                } else {
+                    break;
+                }
+            }
+            if buckets[cursor].is_empty() {
+                cursor += 1;
+            } else {
+                e_opt = Some(buckets[cursor].pop().unwrap());
+                break;
+            }
+        }
+        let e = match e_opt {
+            Some(e) => e,
+            None => break,
+        };
+        let sup_e = support[e.index()];
+        k = k.max(sup_e + 2);
+        truss[e.index()] = k;
+        removed[e.index()] = true;
+        processed += 1;
+
+        // decrement supports of edges forming triangles with e
+        let (u, v) = g.endpoints(e);
+        let (a, b) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        for (w, aw) in g.neighbors(a) {
+            if removed[aw.index()] || w == b {
+                continue;
+            }
+            if let Some(bw) = g.edge_between(b, w) {
+                if removed[bw.index()] {
+                    continue;
+                }
+                for &f in &[aw, bw] {
+                    if support[f.index()] > 0 {
+                        support[f.index()] -= 1;
+                        let s = support[f.index()] as usize;
+                        buckets[s].push(f);
+                        if s < cursor {
+                            cursor = s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    truss
+}
+
+/// The decomposition TATTOO operates on.
+#[derive(Debug, Clone)]
+pub struct TrussDecomposition {
+    /// Trussness per edge of the original graph.
+    pub trussness: Vec<u32>,
+    /// Threshold used for the split.
+    pub k: u32,
+    /// Edges of the truss-infested region (trussness ≥ k).
+    pub infested_edges: Vec<EdgeId>,
+    /// Edges of the truss-oblivious region (trussness < k).
+    pub oblivious_edges: Vec<EdgeId>,
+}
+
+impl TrussDecomposition {
+    /// Materializes the truss-infested region `G_T` as a graph, returning
+    /// it with the node mapping back to the original graph.
+    pub fn infested_graph(&self, g: &Graph) -> (Graph, Vec<NodeId>) {
+        g.edge_subgraph(&self.infested_edges)
+    }
+
+    /// Materializes the truss-oblivious region `G_O`.
+    pub fn oblivious_graph(&self, g: &Graph) -> (Graph, Vec<NodeId>) {
+        g.edge_subgraph(&self.oblivious_edges)
+    }
+}
+
+/// Splits `g` into truss-infested (trussness ≥ k) and truss-oblivious
+/// regions. `k = 3` separates "in at least one triangle of the 3-truss"
+/// from the rest and is TATTOO's default.
+///
+/// ```
+/// use vqi_graph::generate::{clique, chain};
+/// use vqi_graph::truss::decompose;
+/// use vqi_graph::NodeId;
+///
+/// // a K4 with a pendant edge: the clique is 4-truss, the tail is not
+/// let mut g = clique(4, 0, 0);
+/// let tail = g.add_node(0);
+/// g.add_edge(NodeId(0), tail, 0);
+/// let d = decompose(&g, 3);
+/// assert_eq!(d.infested_edges.len(), 6);
+/// assert_eq!(d.oblivious_edges.len(), 1);
+/// ```
+pub fn decompose(g: &Graph, k: u32) -> TrussDecomposition {
+    let t = trussness(g);
+    let mut infested = Vec::new();
+    let mut oblivious = Vec::new();
+    for e in g.edges() {
+        if t[e.index()] >= k {
+            infested.push(e);
+        } else {
+            oblivious.push(e);
+        }
+    }
+    TrussDecomposition {
+        trussness: t,
+        k,
+        infested_edges: infested,
+        oblivious_edges: oblivious,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn clique(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(0)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(nodes[i], nodes[j], 0);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn supports_of_triangle() {
+        let g = clique(3);
+        assert_eq!(edge_supports(&g), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn supports_of_path_are_zero() {
+        let g = GraphBuilder::new()
+            .nodes(&[0; 3])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .build();
+        assert_eq!(edge_supports(&g), vec![0, 0]);
+    }
+
+    #[test]
+    fn trussness_of_clique_is_n() {
+        for n in [3usize, 4, 5, 6] {
+            let g = clique(n);
+            let t = trussness(&g);
+            assert!(
+                t.iter().all(|&x| x == n as u32),
+                "K{n} trussness {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trussness_of_tree_is_two() {
+        let g = GraphBuilder::new()
+            .nodes(&[0; 5])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(1, 3, 0)
+            .edge(3, 4, 0)
+            .build();
+        assert!(trussness(&g).iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn mixed_graph_trussness() {
+        // K4 (nodes 0-3) with a pendant path 3-4-5
+        let mut g = clique(4);
+        let n4 = g.add_node(0);
+        let n5 = g.add_node(0);
+        g.add_edge(NodeId(3), n4, 0);
+        g.add_edge(n4, n5, 0);
+        let t = trussness(&g);
+        // 6 clique edges are 4-truss, 2 path edges are 2-truss
+        assert_eq!(t.iter().filter(|&&x| x == 4).count(), 6);
+        assert_eq!(t.iter().filter(|&&x| x == 2).count(), 2);
+    }
+
+    #[test]
+    fn decompose_partitions_edges() {
+        let mut g = clique(4);
+        let n4 = g.add_node(0);
+        g.add_edge(NodeId(0), n4, 0);
+        let d = decompose(&g, 3);
+        assert_eq!(
+            d.infested_edges.len() + d.oblivious_edges.len(),
+            g.edge_count()
+        );
+        let mut all: Vec<EdgeId> = d
+            .infested_edges
+            .iter()
+            .chain(d.oblivious_edges.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), g.edge_count());
+        assert_eq!(d.infested_edges.len(), 6);
+        assert_eq!(d.oblivious_edges.len(), 1);
+        let (gt, _) = d.infested_graph(&g);
+        assert_eq!(gt.node_count(), 4);
+        let (go, _) = d.oblivious_graph(&g);
+        assert_eq!(go.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_decomposes() {
+        let g = Graph::new();
+        let d = decompose(&g, 3);
+        assert!(d.infested_edges.is_empty());
+        assert!(d.oblivious_edges.is_empty());
+    }
+
+    #[test]
+    fn two_triangles_sharing_edge() {
+        // diamond: 4 nodes, 5 edges, the shared edge is in 2 triangles
+        let g = GraphBuilder::new()
+            .nodes(&[0; 4])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .edge(1, 3, 0)
+            .edge(2, 3, 0)
+            .build();
+        let s = edge_supports(&g);
+        // edge 1-2 (id 1) supports 2 triangles
+        assert_eq!(s[1], 2);
+        let t = trussness(&g);
+        assert!(t.iter().all(|&x| x == 3), "diamond is a 3-truss: {t:?}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the graph substrate.
+
+use proptest::prelude::*;
+use vqi_graph::graph::{Graph, NodeId};
+use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::metrics::{average_degree, degree_histogram};
+use vqi_graph::traversal::{bfs_order, connected_components, dfs_order};
+use vqi_graph::truss::{decompose, edge_supports, trussness};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec(proptest::bool::weighted(0.45), n * (n - 1) / 2);
+        let labels = proptest::collection::vec(0u32..4, n);
+        (labels, edges).prop_map(move |(nl, es)| {
+            let mut g = Graph::new();
+            let nodes: Vec<NodeId> = nl.iter().map(|&l| g.add_node(l)).collect();
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if es[idx] {
+                        g.add_edge(nodes[i], nodes[j], 0);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A graph is always subgraph-isomorphic to itself (non-induced and
+    /// induced).
+    #[test]
+    fn self_embedding(g in arb_graph(8)) {
+        prop_assert!(is_subgraph_isomorphic(&g, &g, MatchOptions::default()));
+        prop_assert!(is_subgraph_isomorphic(&g, &g, MatchOptions::induced()));
+    }
+
+    /// Induced subgraphs embed induced into the original.
+    #[test]
+    fn induced_subgraph_embeds(g in arb_graph(8), keep in proptest::collection::vec(any::<bool>(), 8)) {
+        let nodes: Vec<NodeId> = g
+            .nodes()
+            .filter(|v| keep.get(v.index()).copied().unwrap_or(false))
+            .collect();
+        prop_assume!(!nodes.is_empty());
+        let (sub, mapping) = g.induced_subgraph(&nodes);
+        prop_assert_eq!(sub.node_count(), nodes.len());
+        prop_assert!(is_subgraph_isomorphic(&sub, &g, MatchOptions::induced()));
+        // mapping preserves labels
+        for v in sub.nodes() {
+            prop_assert_eq!(sub.node_label(v), g.node_label(mapping[v.index()]));
+        }
+    }
+
+    /// BFS and DFS from the same start visit exactly the same node set.
+    #[test]
+    fn bfs_dfs_agree_on_reachability(g in arb_graph(9)) {
+        let start = NodeId(0);
+        let mut b = bfs_order(&g, start);
+        let mut d = dfs_order(&g, start);
+        b.sort_unstable();
+        d.sort_unstable();
+        prop_assert_eq!(b, d);
+    }
+
+    /// Components partition the node set.
+    #[test]
+    fn components_partition(g in arb_graph(9)) {
+        let comps = connected_components(&g);
+        let mut all: Vec<NodeId> = comps.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<NodeId> = g.nodes().collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Edge supports sum to 3 × (number of triangles): each triangle
+    /// contributes one support unit to each of its three edges.
+    #[test]
+    fn supports_count_triangles(g in arb_graph(8)) {
+        let total: u32 = edge_supports(&g).iter().sum();
+        prop_assert_eq!(total % 3, 0, "support sum must be divisible by 3");
+    }
+
+    /// k-trusses are nested: edges of the (k+1)-truss are a subset of the
+    /// k-truss edges.
+    #[test]
+    fn trusses_are_nested(g in arb_graph(9)) {
+        let d3 = decompose(&g, 3);
+        let d4 = decompose(&g, 4);
+        let set3: std::collections::HashSet<_> = d3.infested_edges.iter().collect();
+        for e in &d4.infested_edges {
+            prop_assert!(set3.contains(e), "4-truss edge missing from 3-truss");
+        }
+    }
+
+    /// Trussness is at least 2 everywhere and at most max support + 2.
+    #[test]
+    fn trussness_bounds(g in arb_graph(9)) {
+        let t = trussness(&g);
+        let s = edge_supports(&g);
+        let max_s = s.iter().copied().max().unwrap_or(0);
+        for &x in &t {
+            prop_assert!(x >= 2);
+            prop_assert!(x <= max_s + 2);
+        }
+    }
+
+    /// Degree histogram is consistent with average degree.
+    #[test]
+    fn degree_histogram_consistent(g in arb_graph(9)) {
+        let hist = degree_histogram(&g);
+        let total_nodes: usize = hist.iter().sum();
+        prop_assert_eq!(total_nodes, g.node_count());
+        let sum_deg: usize = hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        prop_assert_eq!(sum_deg, 2 * g.edge_count());
+        let avg = average_degree(&g);
+        prop_assert!((avg - sum_deg as f64 / g.node_count() as f64).abs() < 1e-12);
+    }
+
+    /// Non-induced matching is weaker than induced: every induced
+    /// embedding is also a non-induced one.
+    #[test]
+    fn induced_implies_non_induced(p in arb_graph(5), t in arb_graph(7)) {
+        if is_subgraph_isomorphic(&p, &t, MatchOptions::induced()) {
+            prop_assert!(is_subgraph_isomorphic(&p, &t, MatchOptions::default()));
+        }
+    }
+
+    /// Permutation preserves subgraph relations.
+    #[test]
+    fn permutation_preserves_matching(p in arb_graph(5), t in arb_graph(7)) {
+        let n = t.node_count();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let tp = t.permuted(&perm);
+        prop_assert_eq!(
+            is_subgraph_isomorphic(&p, &t, MatchOptions::default()),
+            is_subgraph_isomorphic(&p, &tp, MatchOptions::default())
+        );
+    }
+}

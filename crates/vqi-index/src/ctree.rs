@@ -1,0 +1,322 @@
+//! The closure-tree: a hierarchy of closure graphs over a collection.
+//!
+//! Every internal node holds the closure of its children, so every
+//! descendant graph (wildcard-)embeds in it. Subgraph search descends
+//! from the root and prunes any subtree whose closure cannot host the
+//! query — sound because embeddings compose: if the query embeds in a
+//! leaf graph and the leaf embeds in an ancestor closure, the query
+//! embeds in that closure too, so a failed closure test certifies the
+//! whole subtree empty.
+//!
+//! Bulk loading orders leaves by greedy edge-triple similarity (similar
+//! graphs share closure structure, keeping closures tight) and packs
+//! them `fanout` at a time, level by level.
+
+use crate::triple::triples_of;
+use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::Graph;
+use vqi_mining::closure::{closure_of, ClosureGraph};
+
+/// One tree node.
+#[derive(Debug, Clone)]
+struct CTreeNode {
+    /// The closure covering everything below (for a leaf: the graph
+    /// itself).
+    closure: ClosureGraph,
+    /// Child node indices (empty for leaves).
+    children: Vec<usize>,
+    /// External graph id (leaves only).
+    graph_id: Option<usize>,
+}
+
+/// A bulk-loaded closure-tree.
+#[derive(Debug, Clone)]
+pub struct ClosureTree {
+    nodes: Vec<CTreeNode>,
+    root: Option<usize>,
+    fanout: usize,
+}
+
+/// Statistics of one pruned search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Closure tests performed.
+    pub closure_tests: usize,
+    /// Subtrees pruned by a failed closure test.
+    pub pruned_subtrees: usize,
+    /// Leaves reached (verification candidates).
+    pub candidates: usize,
+}
+
+fn closure_match_options() -> MatchOptions {
+    MatchOptions {
+        induced: false,
+        wildcard: true,
+        max_embeddings: 1,
+        max_states: 500_000,
+    }
+}
+
+impl ClosureTree {
+    /// Bulk-loads a tree with the given fanout (≥ 2) over `(id, graph)`
+    /// pairs.
+    pub fn bulk_load<'a, I: IntoIterator<Item = (usize, &'a Graph)>>(
+        graphs: I,
+        fanout: usize,
+    ) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let items: Vec<(usize, &Graph)> = graphs.into_iter().collect();
+        let mut tree = ClosureTree {
+            nodes: Vec::new(),
+            root: None,
+            fanout,
+        };
+        if items.is_empty() {
+            return tree;
+        }
+        // order leaves by greedy triple-overlap chaining so siblings are
+        // structurally similar (tight closures prune better)
+        let order = similarity_order(&items);
+        let mut level: Vec<usize> = Vec::with_capacity(items.len());
+        for &pos in &order {
+            let (id, g) = items[pos];
+            tree.nodes.push(CTreeNode {
+                closure: ClosureGraph::from_graph(g),
+                children: vec![],
+                graph_id: Some(id),
+            });
+            level.push(tree.nodes.len() - 1);
+        }
+        // pack levels until a single root remains
+        while level.len() > 1 {
+            let mut next: Vec<usize> = Vec::new();
+            for chunk in level.chunks(fanout) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                let member_graphs: Vec<&Graph> = chunk
+                    .iter()
+                    .map(|&ni| &tree.nodes[ni].closure.graph)
+                    .collect();
+                let closure = closure_of(&member_graphs).expect("nonempty chunk");
+                tree.nodes.push(CTreeNode {
+                    closure,
+                    children: chunk.to_vec(),
+                    graph_id: None,
+                });
+                next.push(tree.nodes.len() - 1);
+            }
+            level = next;
+        }
+        tree.root = level.first().copied();
+        tree
+    }
+
+    /// Number of indexed graphs (leaves).
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.graph_id.is_some()).count()
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Tree height (0 for empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn depth(tree: &ClosureTree, n: usize) -> usize {
+            1 + tree.nodes[n]
+                .children
+                .iter()
+                .map(|&c| depth(tree, c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.root.map_or(0, |r| depth(self, r))
+    }
+
+    /// The configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Returns candidate leaf ids after closure pruning, with stats.
+    pub fn candidates(&self, query: &Graph) -> (Vec<usize>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return (out, stats);
+        };
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni];
+            stats.closure_tests += 1;
+            if !is_subgraph_isomorphic(query, &node.closure.graph, closure_match_options()) {
+                stats.pruned_subtrees += 1;
+                continue;
+            }
+            match node.graph_id {
+                Some(id) => {
+                    stats.candidates += 1;
+                    out.push(id);
+                }
+                None => stack.extend(node.children.iter().copied()),
+            }
+        }
+        out.sort_unstable();
+        (out, stats)
+    }
+
+    /// Full search: candidate leaves verified against the actual graphs
+    /// via `lookup`. Returns sorted matching ids and the stats.
+    pub fn search<'a, F: Fn(usize) -> &'a Graph + Sync>(
+        &self,
+        query: &Graph,
+        lookup: F,
+    ) -> (Vec<usize>, SearchStats) {
+        use rayon::prelude::*;
+        let (cands, stats) = self.candidates(query);
+        let mut out: Vec<usize> = cands
+            .into_par_iter()
+            .filter(|&id| {
+                is_subgraph_isomorphic(query, lookup(id), MatchOptions::with_wildcards())
+            })
+            .collect();
+        out.sort_unstable();
+        (out, stats)
+    }
+}
+
+/// Greedy similarity chaining: start at item 0, repeatedly append the
+/// unused item sharing the most edge triples with the last one. Falls
+/// back to input order for big collections (quadratic cost).
+fn similarity_order(items: &[(usize, &Graph)]) -> Vec<usize> {
+    let n = items.len();
+    if n > 1_500 {
+        return (0..n).collect();
+    }
+    let triple_sets: Vec<std::collections::HashSet<crate::triple::Triple>> = items
+        .iter()
+        .map(|(_, g)| triples_of(g).into_keys().collect())
+        .collect();
+    let mut used = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur = 0usize;
+    used[0] = true;
+    order.push(0);
+    for _ in 1..n {
+        let best = (0..n)
+            .filter(|&i| !used[i])
+            .max_by_key(|&i| {
+                triple_sets[cur]
+                    .intersection(&triple_sets[i])
+                    .count()
+            })
+            .expect("unused item exists");
+        used[best] = true;
+        order.push(best);
+        cur = best;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    fn collection() -> Vec<Graph> {
+        let mut v = Vec::new();
+        for i in 0..6 {
+            v.push(chain(5 + i % 3, 1, 0));
+            v.push(cycle(4 + i % 2, 2, 0));
+            v.push(star(3 + i % 3, 3, 0));
+        }
+        v
+    }
+
+    fn tree(gs: &[Graph], fanout: usize) -> ClosureTree {
+        ClosureTree::bulk_load(gs.iter().enumerate(), fanout)
+    }
+
+    #[test]
+    fn bulk_load_structure() {
+        let gs = collection();
+        let t = tree(&gs, 4);
+        assert_eq!(t.len(), gs.len());
+        assert!(t.height() >= 2);
+        assert_eq!(t.fanout(), 4);
+        assert!(!t.is_empty());
+        let empty = ClosureTree::bulk_load(std::iter::empty(), 4);
+        assert!(empty.is_empty());
+        assert_eq!(empty.height(), 0);
+    }
+
+    #[test]
+    fn search_matches_brute_force() {
+        let gs = collection();
+        let t = tree(&gs, 3);
+        for q in [chain(3, 1, 0), cycle(4, 2, 0), star(3, 3, 0), chain(2, 9, 9)] {
+            let (found, _) = t.search(&q, |id| &gs[id]);
+            let truth: Vec<usize> = gs
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    is_subgraph_isomorphic(&q, g, MatchOptions::with_wildcards())
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(found, truth, "query {}", q.summary());
+        }
+    }
+
+    #[test]
+    fn pruning_actually_happens() {
+        let gs = collection();
+        let t = tree(&gs, 3);
+        // a label-3 star query cannot live in the label-1/2 subtrees
+        let q = star(3, 3, 0);
+        let (_, stats) = t.candidates(&q);
+        assert!(
+            stats.pruned_subtrees > 0,
+            "no pruning: {stats:?} (similarity packing should separate labels)"
+        );
+        // fewer candidates than leaves
+        assert!(stats.candidates < gs.len());
+    }
+
+    #[test]
+    fn unmatchable_query_prunes_at_root() {
+        let gs = collection();
+        let t = tree(&gs, 4);
+        let q = chain(2, 77, 77);
+        let (cands, stats) = t.candidates(&q);
+        assert!(cands.is_empty());
+        assert_eq!(stats.closure_tests, 1, "root test alone suffices");
+        assert_eq!(stats.pruned_subtrees, 1);
+    }
+
+    #[test]
+    fn single_graph_tree() {
+        let gs = vec![cycle(5, 1, 0)];
+        let t = tree(&gs, 4);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let (found, _) = t.search(&chain(3, 1, 0), |id| &gs[id]);
+        assert_eq!(found, vec![0]);
+    }
+
+    #[test]
+    fn fanout_two_builds_deeper_trees() {
+        let gs = collection();
+        let wide = tree(&gs, 9);
+        let deep = tree(&gs, 2);
+        assert!(deep.height() > wide.height());
+        // both answer identically
+        let q = cycle(4, 2, 0);
+        let (a, _) = wide.search(&q, |id| &gs[id]);
+        let (b, _) = deep.search(&q, |id| &gs[id]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,30 @@
+//! Query-acceleration indices for graph collections.
+//!
+//! Subgraph search over a collection follows the classic
+//! **filter-verify** paradigm: cheap features prune graphs that cannot
+//! contain the query, and VF2 verifies the survivors. Two indices are
+//! provided:
+//!
+//! * [`triple`] — an inverted index over labeled edge triples
+//!   `(node label, edge label, node label)` with multiset counts: a
+//!   graph can contain the query only if it contains every query triple
+//!   at least as often. Near-zero build cost, strong pruning on labeled
+//!   data.
+//! * [`ctree`] — a **closure-tree** (He & Singh, ICDE 2006 — reference
+//!   [22] of the tutorial, and the origin of CATAPULT's cluster summary
+//!   graphs): a hierarchy of closure graphs over the collection. A query
+//!   that does not (wildcard-)embed in an internal node's closure cannot
+//!   embed in any leaf below it, so whole subtrees prune at once.
+//!
+//! Both indices are *sound* (never prune a true match — enforced by the
+//! property suite) and *effective* (measured in `bench`'s `indexing`
+//! micro-benchmarks and tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctree;
+pub mod triple;
+
+pub use ctree::ClosureTree;
+pub use triple::TripleIndex;

@@ -1,0 +1,209 @@
+//! Labeled-edge-triple inverted index (filter-verify).
+
+use std::collections::HashMap;
+use vqi_graph::graph::WILDCARD_LABEL;
+use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::{Graph, Label};
+
+/// A normalized labeled edge triple `(min end label, edge label, max end
+/// label)`.
+pub type Triple = (Label, Label, Label);
+
+/// Extracts the triple multiset of a graph.
+pub fn triples_of(g: &Graph) -> HashMap<Triple, usize> {
+    let mut out = HashMap::new();
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let (a, b) = {
+            let lu = g.node_label(u);
+            let lv = g.node_label(v);
+            if lu <= lv {
+                (lu, lv)
+            } else {
+                (lv, lu)
+            }
+        };
+        *out.entry((a, g.edge_label(e), b)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// An inverted triple index over a collection of graphs.
+#[derive(Debug, Clone, Default)]
+pub struct TripleIndex {
+    /// Per-graph triple multisets, keyed by external graph id.
+    per_graph: HashMap<usize, HashMap<Triple, usize>>,
+}
+
+impl TripleIndex {
+    /// Builds the index over `(id, graph)` pairs.
+    pub fn build<'a, I: IntoIterator<Item = (usize, &'a Graph)>>(graphs: I) -> Self {
+        TripleIndex {
+            per_graph: graphs
+                .into_iter()
+                .map(|(id, g)| (id, triples_of(g)))
+                .collect(),
+        }
+    }
+
+    /// Number of indexed graphs.
+    pub fn len(&self) -> usize {
+        self.per_graph.len()
+    }
+
+    /// True if no graphs are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.per_graph.is_empty()
+    }
+
+    /// Adds or replaces one graph.
+    pub fn insert(&mut self, id: usize, g: &Graph) {
+        self.per_graph.insert(id, triples_of(g));
+    }
+
+    /// Removes one graph.
+    pub fn remove(&mut self, id: usize) {
+        self.per_graph.remove(&id);
+    }
+
+    /// True if the indexed graph `id` *may* contain `query`: it has
+    /// every non-wildcard query triple at least as often. Queries whose
+    /// triples involve [`WILDCARD_LABEL`] skip those triples (they
+    /// constrain nothing), so wildcard patterns are never filtered.
+    pub fn may_contain(&self, id: usize, query: &Graph) -> bool {
+        let Some(have) = self.per_graph.get(&id) else {
+            return false;
+        };
+        for (t, need) in triples_of(query) {
+            if t.0 == WILDCARD_LABEL || t.1 == WILDCARD_LABEL || t.2 == WILDCARD_LABEL {
+                continue;
+            }
+            if have.get(&t).copied().unwrap_or(0) < need {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Ids surviving the filter, sorted.
+    pub fn filter(&self, query: &Graph) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .per_graph
+            .keys()
+            .copied()
+            .filter(|&id| self.may_contain(id, query))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Full filter-verify search: returns the sorted ids of graphs in
+    /// `lookup` that actually contain `query`.
+    pub fn search<'a, F: Fn(usize) -> &'a Graph + Sync>(
+        &self,
+        query: &Graph,
+        lookup: F,
+    ) -> Vec<usize> {
+        use rayon::prelude::*;
+        let candidates = self.filter(query);
+        let mut out: Vec<usize> = candidates
+            .into_par_iter()
+            .filter(|&id| {
+                is_subgraph_isomorphic(query, lookup(id), MatchOptions::with_wildcards())
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    fn graphs() -> Vec<Graph> {
+        vec![chain(5, 1, 0), cycle(4, 1, 0), star(4, 2, 3), chain(3, 2, 3)]
+    }
+
+    fn index(gs: &[Graph]) -> TripleIndex {
+        TripleIndex::build(gs.iter().enumerate())
+    }
+
+    #[test]
+    fn triples_are_normalized() {
+        let mut g = Graph::new();
+        let a = g.add_node(9);
+        let b = g.add_node(1);
+        g.add_edge(a, b, 5);
+        let t = triples_of(&g);
+        assert_eq!(t.get(&(1, 5, 9)), Some(&1));
+    }
+
+    #[test]
+    fn filter_prunes_impossible_graphs() {
+        let gs = graphs();
+        let idx = index(&gs);
+        // a (2)-[3]-(2) edge exists only in graphs 2 and 3
+        let q = chain(2, 2, 3);
+        assert_eq!(idx.filter(&q), vec![2, 3]);
+        // an unseen label prunes everything
+        let q2 = chain(2, 99, 0);
+        assert!(idx.filter(&q2).is_empty());
+    }
+
+    #[test]
+    fn multiset_counts_matter() {
+        let gs = graphs();
+        let idx = index(&gs);
+        // three (1)-[0]-(1) edges exist in the 5-chain and the 4-cycle,
+        // but a query needing four such edges only fits the cycle
+        let q3 = chain(4, 1, 0); // 3 triples
+        assert_eq!(idx.filter(&q3), vec![0, 1]);
+        let q4 = chain(5, 1, 0); // 4 triples
+        assert_eq!(idx.filter(&q4), vec![0, 1]); // cycle(4) also has 4 edges
+        let q5 = chain(6, 1, 0); // 5 triples: neither has 5 such edges
+        assert!(idx.filter(&q5).is_empty());
+    }
+
+    #[test]
+    fn filter_is_sound_wrt_verification() {
+        let gs = graphs();
+        let idx = index(&gs);
+        for q in [chain(3, 1, 0), cycle(3, 1, 0), star(3, 2, 3)] {
+            let verified = idx.search(&q, |id| &gs[id]);
+            // brute force ground truth
+            let truth: Vec<usize> = gs
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    is_subgraph_isomorphic(&q, g, MatchOptions::with_wildcards())
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(verified, truth, "query {}", q.summary());
+        }
+    }
+
+    #[test]
+    fn wildcards_bypass_the_filter() {
+        let gs = graphs();
+        let idx = index(&gs);
+        let q = chain(2, vqi_graph::graph::WILDCARD_LABEL, vqi_graph::graph::WILDCARD_LABEL);
+        // every graph has an edge, none may be filtered
+        assert_eq!(idx.filter(&q).len(), gs.len());
+    }
+
+    #[test]
+    fn updates_work() {
+        let gs = graphs();
+        let mut idx = index(&gs);
+        idx.remove(0);
+        assert_eq!(idx.len(), 3);
+        let q = chain(4, 1, 0);
+        assert_eq!(idx.filter(&q), vec![1]);
+        let extra = chain(6, 1, 0);
+        idx.insert(9, &extra);
+        assert_eq!(idx.filter(&q), vec![1, 9]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based soundness tests: the indices never change search
+//! results relative to brute force.
+
+use proptest::prelude::*;
+use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::{Graph, NodeId};
+use vqi_index::{ClosureTree, TripleIndex};
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let labels = proptest::collection::vec(0u32..3, n);
+        let elabels = proptest::collection::vec(0u32..2, n - 1);
+        (labels, parents, elabels).prop_map(move |(nl, ps, el)| {
+            let mut g = Graph::new();
+            let nodes: Vec<NodeId> = nl.iter().map(|&l| g.add_node(l)).collect();
+            for (i, p) in ps.iter().enumerate() {
+                g.add_edge(nodes[i + 1], nodes[*p], el[i]);
+            }
+            g
+        })
+    })
+}
+
+fn brute_force(query: &Graph, gs: &[Graph]) -> Vec<usize> {
+    gs.iter()
+        .enumerate()
+        .filter(|(_, g)| is_subgraph_isomorphic(query, g, MatchOptions::with_wildcards()))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Triple-index search equals brute force for any collection/query.
+    #[test]
+    fn triple_index_is_sound_and_complete(
+        gs in proptest::collection::vec(arb_connected(6), 1..8),
+        q in arb_connected(4),
+    ) {
+        let idx = TripleIndex::build(gs.iter().enumerate());
+        let found = idx.search(&q, |id| &gs[id]);
+        prop_assert_eq!(found, brute_force(&q, &gs));
+    }
+
+    /// Closure-tree search equals brute force for any collection/query
+    /// and any fanout.
+    #[test]
+    fn ctree_is_sound_and_complete(
+        gs in proptest::collection::vec(arb_connected(6), 1..8),
+        q in arb_connected(4),
+        fanout in 2usize..5,
+    ) {
+        let t = ClosureTree::bulk_load(gs.iter().enumerate(), fanout);
+        let (found, stats) = t.search(&q, |id| &gs[id]);
+        prop_assert_eq!(&found, &brute_force(&q, &gs));
+        prop_assert!(stats.candidates >= found.len());
+    }
+
+    /// The triple filter never rejects a true match (pure soundness, on
+    /// the filter alone).
+    #[test]
+    fn triple_filter_never_drops_matches(
+        gs in proptest::collection::vec(arb_connected(6), 1..8),
+        q in arb_connected(4),
+    ) {
+        let idx = TripleIndex::build(gs.iter().enumerate());
+        let filtered = idx.filter(&q);
+        for hit in brute_force(&q, &gs) {
+            prop_assert!(filtered.contains(&hit), "filter dropped true match {hit}");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Graph closure and cluster summary graphs (CSGs).
+//!
+//! A *closure graph* (He & Singh's closure-tree idea, as used by
+//! CATAPULT) integrates graphs of varying sizes into a single graph such
+//! that every vertex and edge of every constituent is represented:
+//! aligned vertices/edges whose labels disagree receive the special
+//! [`WILDCARD_LABEL`], and unaligned structure is appended. A *cluster
+//! summary graph* is the iterated closure over all graphs of a cluster.
+//!
+//! The key invariant (enforced by tests and relied on by candidate
+//! generation): **every constituent graph is subgraph-isomorphic to the
+//! closure under wildcard matching**. Edge weights record how many
+//! constituents contributed each edge, which CATAPULT's weighted random
+//! walks use to bias candidate patterns toward frequently shared
+//! structure.
+
+use vqi_graph::graph::WILDCARD_LABEL;
+use vqi_graph::{Graph, NodeId};
+
+/// A closure graph with per-edge contribution weights.
+#[derive(Debug, Clone)]
+pub struct ClosureGraph {
+    /// The closure structure (labels may be [`WILDCARD_LABEL`]).
+    pub graph: Graph,
+    /// `edge_weights[e]` = number of constituent graphs contributing edge `e`.
+    pub edge_weights: Vec<f64>,
+}
+
+impl ClosureGraph {
+    /// Wraps a single graph as a trivial closure (all weights 1).
+    pub fn from_graph(g: &Graph) -> Self {
+        ClosureGraph {
+            edge_weights: vec![1.0; g.edge_count()],
+            graph: g.clone(),
+        }
+    }
+}
+
+/// Greedy alignment of `b`'s nodes onto distinct nodes of `a`:
+/// `result[v] = Some(u)` maps b-node `v` to a-node `u`. Nodes of `b` are
+/// processed in decreasing degree order; each picks the unused a-node
+/// maximizing `3 · label-match + Σ (1 + edge-label-match)` over mapped
+/// neighbors with preserved edges, or stays unmapped when every candidate
+/// scores zero.
+pub fn align(a: &Graph, b: &Graph) -> Vec<Option<NodeId>> {
+    let mut mapping: Vec<Option<NodeId>> = vec![None; b.node_count()];
+    let mut used = vec![false; a.node_count()];
+    let mut order: Vec<NodeId> = b.nodes().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(b.degree(v)));
+    for v in order {
+        let mut best: Option<(f64, NodeId)> = None;
+        for u in a.nodes() {
+            if used[u.index()] {
+                continue;
+            }
+            let la = a.node_label(u);
+            let lb = b.node_label(v);
+            let label_score = if la == lb || la == WILDCARD_LABEL {
+                3.0
+            } else {
+                0.0
+            };
+            let mut edge_score = 0.0;
+            for (w, be) in b.neighbors(v) {
+                if let Some(iw) = mapping[w.index()] {
+                    if let Some(ae) = a.edge_between(u, iw) {
+                        edge_score += 1.0;
+                        let ela = a.edge_label(ae);
+                        if ela == b.edge_label(be) || ela == WILDCARD_LABEL {
+                            edge_score += 1.0;
+                        }
+                    }
+                }
+            }
+            // a candidate is eligible only if it shares the label or
+            // preserves at least one edge — mapping completely unrelated
+            // nodes would wildcard the closure for no compaction benefit
+            if label_score == 0.0 && edge_score == 0.0 {
+                continue;
+            }
+            // small degree-affinity tiebreak steers seeds (nodes with no
+            // mapped neighbors yet) toward structurally similar anchors
+            let score =
+                label_score + edge_score + 0.1 * (a.degree(u).min(b.degree(v)) as f64);
+            if best.is_none_or(|(s, bu)| score > s || (score == s && u < bu)) {
+                best = Some((score, u));
+            }
+        }
+        if let Some((_, u)) = best {
+            mapping[v.index()] = Some(u);
+            used[u.index()] = true;
+        }
+    }
+    mapping
+}
+
+/// Extends the closure `acc` with graph `b` (one fold step).
+pub fn closure_step(acc: &mut ClosureGraph, b: &Graph) {
+    let mapping = align(&acc.graph, b);
+    // materialize images, appending fresh nodes for unmapped b-nodes
+    let mut image: Vec<NodeId> = Vec::with_capacity(b.node_count());
+    for v in b.nodes() {
+        match mapping[v.index()] {
+            Some(u) => {
+                let la = acc.graph.node_label(u);
+                let lb = b.node_label(v);
+                if la != lb && la != WILDCARD_LABEL {
+                    acc.graph.set_node_label(u, WILDCARD_LABEL);
+                }
+                image.push(u);
+            }
+            None => image.push(acc.graph.add_node(b.node_label(v))),
+        }
+    }
+    for e in b.edges() {
+        let (u, v) = b.endpoints(e);
+        let (iu, iv) = (image[u.index()], image[v.index()]);
+        match acc.graph.edge_between(iu, iv) {
+            Some(ae) => {
+                let la = acc.graph.edge_label(ae);
+                if la != b.edge_label(e) && la != WILDCARD_LABEL {
+                    acc.graph.set_edge_label(ae, WILDCARD_LABEL);
+                }
+                acc.edge_weights[ae.index()] += 1.0;
+            }
+            None => {
+                acc.graph
+                    .add_edge(iu, iv, b.edge_label(e))
+                    .expect("distinct images");
+                acc.edge_weights.push(1.0);
+            }
+        }
+    }
+}
+
+/// The closure of a non-empty list of graphs: the largest graph seeds the
+/// accumulator and the rest fold in by decreasing size (larger graphs
+/// first produce tighter alignments). Returns `None` for an empty list.
+pub fn closure_of(graphs: &[&Graph]) -> Option<ClosureGraph> {
+    if graphs.is_empty() {
+        return None;
+    }
+    let mut order: Vec<&Graph> = graphs.to_vec();
+    order.sort_by_key(|g| std::cmp::Reverse((g.node_count(), g.edge_count())));
+    let mut acc = ClosureGraph::from_graph(order[0]);
+    for g in &order[1..] {
+        closure_step(&mut acc, g);
+    }
+    Some(acc)
+}
+
+/// A cluster summary graph: the closure of a cluster plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ClusterSummaryGraph {
+    /// The summary (closure) graph.
+    pub closure: ClosureGraph,
+    /// Ids of the member graphs (external collection indices).
+    pub members: Vec<usize>,
+}
+
+impl ClusterSummaryGraph {
+    /// Builds the CSG of `member_ids`, resolving graphs through `lookup`.
+    pub fn build<'a, F: Fn(usize) -> &'a Graph>(member_ids: &[usize], lookup: F) -> Option<Self> {
+        let graphs: Vec<&Graph> = member_ids.iter().map(|&i| lookup(i)).collect();
+        closure_of(&graphs).map(|closure| ClusterSummaryGraph {
+            closure,
+            members: member_ids.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, cycle, star};
+    use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+
+    fn covers(closure: &ClosureGraph, g: &Graph) -> bool {
+        is_subgraph_isomorphic(g, &closure.graph, MatchOptions::with_wildcards())
+    }
+
+    #[test]
+    fn closure_of_identical_graphs_is_the_graph() {
+        let g = cycle(4, 1, 2);
+        let c = closure_of(&[&g, &g, &g]).unwrap();
+        assert_eq!(c.graph.node_count(), 4);
+        assert_eq!(c.graph.edge_count(), 4);
+        // every edge contributed 3 times
+        assert!(c.edge_weights.iter().all(|&w| w == 3.0));
+        assert!(covers(&c, &g));
+    }
+
+    #[test]
+    fn closure_covers_all_constituents() {
+        let graphs = vec![chain(5, 1, 0), star(4, 1, 0), cycle(4, 1, 0), chain(3, 2, 0)];
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let c = closure_of(&refs).unwrap();
+        for g in &graphs {
+            assert!(covers(&c, g), "constituent {} not covered", g.summary());
+        }
+    }
+
+    #[test]
+    fn closure_smaller_than_disjoint_union() {
+        let graphs = [chain(5, 1, 0), chain(4, 1, 0), chain(3, 1, 0)];
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let c = closure_of(&refs).unwrap();
+        let union_nodes: usize = graphs.iter().map(|g| g.node_count()).sum();
+        assert!(c.graph.node_count() < union_nodes);
+        // shared chains align perfectly
+        assert_eq!(c.graph.node_count(), 5);
+        assert_eq!(c.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn conflicting_labels_become_wildcards() {
+        let a = chain(2, 1, 5);
+        let b = chain(2, 1, 6); // same nodes, different edge label
+        let mut acc = ClosureGraph::from_graph(&a);
+        closure_step(&mut acc, &b);
+        assert_eq!(acc.graph.edge_count(), 1);
+        assert_eq!(
+            acc.graph.edge_label(vqi_graph::EdgeId(0)),
+            WILDCARD_LABEL
+        );
+        assert!(covers(&acc, &a));
+        assert!(covers(&acc, &b));
+    }
+
+    #[test]
+    fn unaligned_structure_is_appended() {
+        let a = chain(3, 1, 0);
+        let b = chain(3, 9, 9); // nothing aligns (different labels)
+        let mut acc = ClosureGraph::from_graph(&a);
+        closure_step(&mut acc, &b);
+        assert!(covers(&acc, &a));
+        assert!(covers(&acc, &b));
+        assert_eq!(acc.graph.node_count(), 6);
+    }
+
+    #[test]
+    fn empty_list_has_no_closure() {
+        assert!(closure_of(&[]).is_none());
+    }
+
+    #[test]
+    fn edge_weights_track_contributions() {
+        let a = chain(3, 1, 0); // edges: 0-1, 1-2
+        let b = chain(2, 1, 0); // one edge, aligns with part of a
+        let c = closure_of(&[&a, &b]).unwrap();
+        assert_eq!(c.edge_weights.len(), c.graph.edge_count());
+        let total: f64 = c.edge_weights.iter().sum();
+        // 2 edges from a + 1 contribution from b
+        assert_eq!(total, 3.0);
+        assert!(c.edge_weights.contains(&2.0));
+    }
+
+    #[test]
+    fn csg_build_records_members() {
+        let graphs = [chain(3, 1, 0), star(3, 1, 0), cycle(3, 1, 0)];
+        let csg = ClusterSummaryGraph::build(&[0, 2], |i| &graphs[i]).unwrap();
+        assert_eq!(csg.members, vec![0, 2]);
+        assert!(covers(&csg.closure, &graphs[0]));
+        assert!(covers(&csg.closure, &graphs[2]));
+    }
+
+    #[test]
+    fn alignment_prefers_matching_labels() {
+        let mut a = Graph::new();
+        let x = a.add_node(1);
+        let y = a.add_node(2);
+        a.add_edge(x, y, 0);
+        let mut b = Graph::new();
+        let p = b.add_node(2);
+        let q = b.add_node(1);
+        b.add_edge(p, q, 0);
+        let m = align(&a, &b);
+        assert_eq!(m[p.index()], Some(y));
+        assert_eq!(m[q.index()], Some(x));
+    }
+}

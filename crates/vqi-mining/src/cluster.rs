@@ -1,0 +1,288 @@
+//! Clustering of data graphs by pairwise distance.
+//!
+//! CATAPULT's first step partitions the collection into clusters of
+//! structurally similar graphs. Two algorithms are provided behind one
+//! result type:
+//!
+//! * [`k_medoids`] — PAM-style alternation between assignment and medoid
+//!   update; deterministic given the seed;
+//! * [`leader`] — single-pass threshold clustering (each item joins the
+//!   first leader within `threshold`, else becomes a new leader), the
+//!   cheap choice for incremental maintenance.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Dense symmetric distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix by evaluating `f(i, j)` for all `i < j` in
+    /// parallel. `f` must be symmetric with `f(i, i) = 0`.
+    pub fn from_fn<F: Fn(usize, usize) -> f64 + Sync>(n: usize, f: F) -> Self {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let vals: Vec<f64> = pairs.par_iter().map(|&(i, j)| f(i, j)).collect();
+        let mut d = vec![0.0; n * n];
+        for (&(i, j), &v) in pairs.iter().zip(vals.iter()) {
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+}
+
+/// A clustering of `n` items.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// `assignments[i]` = cluster index of item `i`.
+    pub assignments: Vec<usize>,
+    /// Representative item per cluster (medoid or leader).
+    pub representatives: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Items per cluster, in item order.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.cluster_count()];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            out[c].push(i);
+        }
+        out
+    }
+
+    /// Total distance of items to their cluster representative.
+    pub fn cost(&self, dist: &DistanceMatrix) -> f64 {
+        self.assignments
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| dist.get(i, self.representatives[c]))
+            .sum()
+    }
+}
+
+/// PAM-style k-medoids. `k` is clamped to the number of items; empty input
+/// yields an empty clustering.
+pub fn k_medoids<R: Rng>(
+    dist: &DistanceMatrix,
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> Clustering {
+    let n = dist.len();
+    if n == 0 || k == 0 {
+        return Clustering {
+            assignments: vec![],
+            representatives: vec![],
+        };
+    }
+    let k = k.min(n);
+    let mut medoids: Vec<usize> = {
+        let mut items: Vec<usize> = (0..n).collect();
+        items.shuffle(rng);
+        items.truncate(k);
+        items
+    };
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iter {
+        // assignment step
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            *slot = medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap())
+                .map(|(ci, _)| ci)
+                .unwrap();
+        }
+        // medoid update step
+        let mut changed = false;
+        for (ci, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == ci).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ca: f64 = members.iter().map(|&m| dist.get(m, a)).sum();
+                    let cb: f64 = members.iter().map(|&m| dist.get(m, b)).sum();
+                    ca.partial_cmp(&cb).unwrap()
+                })
+                .unwrap();
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // final assignment against the settled medoids
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        *slot = medoids
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap())
+            .map(|(ci, _)| ci)
+            .unwrap();
+    }
+    Clustering {
+        assignments,
+        representatives: medoids,
+    }
+}
+
+/// Single-pass leader clustering: item `i` joins the first existing leader
+/// within `threshold` distance, otherwise founds a new cluster.
+pub fn leader(dist: &DistanceMatrix, threshold: f64) -> Clustering {
+    let n = dist.len();
+    let mut leaders: Vec<usize> = Vec::new();
+    let mut assignments = vec![0usize; n];
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        match leaders.iter().position(|&l| dist.get(i, l) <= threshold) {
+            Some(ci) => *slot = ci,
+            None => {
+                leaders.push(i);
+                *slot = leaders.len() - 1;
+            }
+        }
+    }
+    Clustering {
+        assignments,
+        representatives: leaders,
+    }
+}
+
+/// Assigns a *new* item (with distances to the representatives given by
+/// `dist_to_rep`) to its nearest cluster, or founds a new one if the
+/// nearest representative is farther than `threshold`. Used by MIDAS to
+/// place newly added graphs without re-clustering.
+pub fn assign_incremental<F: Fn(usize) -> f64>(
+    representatives: &[usize],
+    dist_to_rep: F,
+    threshold: f64,
+) -> Option<usize> {
+    representatives
+        .iter()
+        .enumerate()
+        .map(|(ci, _)| (ci, dist_to_rep(ci)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .filter(|&(_, d)| d <= threshold)
+        .map(|(ci, _)| ci)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Two well-separated 1-D blobs.
+    fn blob_matrix() -> DistanceMatrix {
+        let points: [f64; 6] = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        DistanceMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric() {
+        let d = blob_matrix();
+        for i in 0..d.len() {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..d.len() {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn k_medoids_separates_blobs() {
+        let d = blob_matrix();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let c = k_medoids(&d, 2, 20, &mut rng);
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[1], c.assignments[2]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+        assert_eq!(c.assignments[4], c.assignments[5]);
+        assert_ne!(c.assignments[0], c.assignments[3]);
+        assert!(c.cost(&d) < 1.0);
+    }
+
+    #[test]
+    fn k_medoids_edge_cases() {
+        let d = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let c = k_medoids(&d, 3, 5, &mut rng);
+        assert_eq!(c.cluster_count(), 0);
+        // k > n clamps
+        let d1 = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        let c1 = k_medoids(&d1, 5, 5, &mut rng);
+        assert_eq!(c1.cluster_count(), 2);
+    }
+
+    #[test]
+    fn leader_respects_threshold() {
+        let d = blob_matrix();
+        let c = leader(&d, 1.0);
+        assert_eq!(c.cluster_count(), 2);
+        let tight = leader(&d, 0.05);
+        assert!(tight.cluster_count() > 2);
+        let loose = leader(&d, 100.0);
+        assert_eq!(loose.cluster_count(), 1);
+    }
+
+    #[test]
+    fn leader_assignments_consistent() {
+        let d = blob_matrix();
+        let c = leader(&d, 1.0);
+        let clusters = c.clusters();
+        let total: usize = clusters.iter().map(|cl| cl.len()).sum();
+        assert_eq!(total, d.len());
+        for (ci, members) in clusters.iter().enumerate() {
+            for &m in members {
+                assert_eq!(c.assignments[m], ci);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_assignment() {
+        let reps = [0usize, 1];
+        // distances to reps: rep 0 -> 5.0, rep 1 -> 0.5
+        let assigned = assign_incremental(&reps, |ci| if ci == 0 { 5.0 } else { 0.5 }, 1.0);
+        assert_eq!(assigned, Some(1));
+        let none = assign_incremental(&reps, |_| 10.0, 1.0);
+        assert_eq!(none, None);
+        let empty: Option<usize> = assign_incremental(&[], |_| 0.0, 1.0);
+        assert_eq!(empty, None);
+    }
+}

@@ -1,0 +1,312 @@
+//! Frequent closed trees (FCT) with incremental maintenance.
+//!
+//! A frequent tree is *closed* if no frequent supertree has the same
+//! support. MIDAS replaces CATAPULT's raw frequent-subtree features with
+//! closed trees because closure is stable under small repository changes,
+//! so feature vectors — and therefore clusters — can be maintained
+//! incrementally instead of re-mined from scratch.
+//!
+//! [`FctIndex`] owns the mined trees together with their per-graph
+//! occurrence sets and supports batch updates: newly added graphs are
+//! probed against existing trees (and can promote previously infrequent
+//! candidates via a localized re-mine), removed graphs are dropped from
+//! all support sets, and closedness flags are recomputed.
+
+use crate::fst::{mine_frequent_subtrees, FrequentTree, MineParams};
+use std::collections::{HashMap, HashSet};
+use vqi_graph::canon::CanonicalCode;
+use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::Graph;
+
+/// A frequent tree plus its closedness flag.
+#[derive(Debug, Clone)]
+pub struct ClosedTree {
+    /// The underlying frequent tree.
+    pub tree: FrequentTree,
+    /// True if no frequent supertree has equal support.
+    pub closed: bool,
+}
+
+/// Mined frequent-closed-tree index over a graph collection, maintained
+/// under batch updates.
+#[derive(Debug)]
+pub struct FctIndex {
+    params: MineParams,
+    /// All frequent trees (closed and not), keyed by canonical code.
+    trees: HashMap<CanonicalCode, ClosedTree>,
+    /// Live graph ids (indices into the external collection).
+    live: HashSet<usize>,
+}
+
+impl FctIndex {
+    /// Mines the index from scratch. `graphs[i]` is graph id `i`.
+    pub fn build(graphs: &[Graph], params: MineParams) -> Self {
+        let mined = mine_frequent_subtrees(graphs, params);
+        let mut idx = FctIndex {
+            params,
+            trees: mined
+                .into_iter()
+                .map(|t| {
+                    (
+                        t.code.clone(),
+                        ClosedTree {
+                            tree: t,
+                            closed: true,
+                        },
+                    )
+                })
+                .collect(),
+            live: (0..graphs.len()).collect(),
+        };
+        idx.recompute_closedness();
+        idx
+    }
+
+    /// The mining parameters in force.
+    pub fn params(&self) -> MineParams {
+        self.params
+    }
+
+    /// All frequent trees, in deterministic (canonical-code) order.
+    pub fn frequent_trees(&self) -> Vec<&ClosedTree> {
+        let mut v: Vec<(&CanonicalCode, &ClosedTree)> = self.trees.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Only the closed trees, in deterministic order.
+    pub fn closed_trees(&self) -> Vec<&ClosedTree> {
+        self.frequent_trees()
+            .into_iter()
+            .filter(|t| t.closed)
+            .collect()
+    }
+
+    /// Number of live graphs covered by the index.
+    pub fn live_graphs(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Applies a batch update: `added` are (id, graph) pairs with fresh
+    /// ids, `removed` are ids to drop. `all_graphs` must resolve every
+    /// live id (including the added ones) to its graph.
+    pub fn apply_batch<'a, F>(&mut self, added: &[(usize, &'a Graph)], removed: &[usize], all_graphs: F)
+    where
+        F: Fn(usize) -> &'a Graph,
+    {
+        // 1. drop removed graphs from every support set
+        let removed_set: HashSet<usize> = removed.iter().copied().collect();
+        for id in removed {
+            self.live.remove(id);
+        }
+        for ct in self.trees.values_mut() {
+            ct.tree
+                .support_set
+                .retain(|gi| !removed_set.contains(gi));
+        }
+
+        // 2. probe added graphs against existing trees
+        for &(id, g) in added {
+            self.live.insert(id);
+            for ct in self.trees.values_mut() {
+                if is_subgraph_isomorphic(&ct.tree.tree, g, MatchOptions::default()) {
+                    ct.tree.support_set.push(id);
+                }
+            }
+        }
+
+        // 3. mine the added graphs alone to discover trees that may have
+        //    become frequent; count their support over the full collection
+        if !added.is_empty() {
+            let added_graphs: Vec<Graph> = added.iter().map(|(_, g)| (*g).clone()).collect();
+            let local = mine_frequent_subtrees(
+                &added_graphs,
+                MineParams {
+                    min_support: 1,
+                    max_nodes: self.params.max_nodes,
+                },
+            );
+            for cand in local {
+                if self.trees.contains_key(&cand.code) {
+                    continue;
+                }
+                let support_set: Vec<usize> = self
+                    .live
+                    .iter()
+                    .copied()
+                    .filter(|&gi| {
+                        is_subgraph_isomorphic(
+                            &cand.tree,
+                            all_graphs(gi),
+                            MatchOptions::default(),
+                        )
+                    })
+                    .collect();
+                if support_set.len() >= self.params.min_support {
+                    self.trees.insert(
+                        cand.code.clone(),
+                        ClosedTree {
+                            tree: FrequentTree {
+                                tree: cand.tree,
+                                code: cand.code,
+                                support_set,
+                            },
+                            closed: true,
+                        },
+                    );
+                }
+            }
+        }
+
+        // 4. evict trees that fell below the support threshold
+        let min_sup = self.params.min_support;
+        self.trees.retain(|_, ct| ct.tree.support() >= min_sup);
+
+        // 5. recompute closedness flags
+        self.recompute_closedness();
+    }
+
+    /// A tree is closed iff no other frequent tree strictly contains it
+    /// with equal support.
+    fn recompute_closedness(&mut self) {
+        let snapshot: Vec<(CanonicalCode, Graph, usize)> = self
+            .trees
+            .values()
+            .map(|ct| (ct.tree.code.clone(), ct.tree.tree.clone(), ct.tree.support()))
+            .collect();
+        for ct in self.trees.values_mut() {
+            let me_sup = ct.tree.support();
+            let me_size = ct.tree.size();
+            ct.closed = !snapshot.iter().any(|(code, tree, sup)| {
+                *sup == me_sup
+                    && tree.node_count() > me_size
+                    && *code != ct.tree.code
+                    && is_subgraph_isomorphic(&ct.tree.tree, tree, MatchOptions::default())
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, star};
+
+    fn params() -> MineParams {
+        MineParams {
+            min_support: 2,
+            max_nodes: 4,
+        }
+    }
+
+    #[test]
+    fn build_finds_closed_trees() {
+        let graphs = vec![chain(4, 1, 0), chain(3, 1, 0), star(3, 1, 0)];
+        let idx = FctIndex::build(&graphs, params());
+        let all = idx.frequent_trees();
+        let closed = idx.closed_trees();
+        assert!(!all.is_empty());
+        assert!(!closed.is_empty());
+        assert!(closed.len() <= all.len());
+        // the single-node label-1 tree occurs in all 3 graphs, but so does
+        // the 1-1 edge: the single node is NOT closed
+        let singleton = all
+            .iter()
+            .find(|t| t.tree.size() == 1)
+            .expect("singleton mined");
+        assert_eq!(singleton.tree.support(), 3);
+        assert!(!singleton.closed, "singleton dominated by the 1-1 edge");
+    }
+
+    #[test]
+    fn batch_add_updates_supports() {
+        let mut graphs = vec![chain(3, 1, 0), chain(4, 1, 0)];
+        let mut idx = FctIndex::build(&graphs, params());
+        let edge_support_before = idx
+            .frequent_trees()
+            .iter()
+            .find(|t| t.tree.size() == 2)
+            .unwrap()
+            .tree
+            .support();
+        assert_eq!(edge_support_before, 2);
+
+        graphs.push(chain(5, 1, 0));
+        let added_graph = graphs[2].clone();
+        let graphs_ref = graphs.clone();
+        idx.apply_batch(&[(2, &added_graph)], &[], |i| &graphs_ref[i]);
+        assert_eq!(idx.live_graphs(), 3);
+        let edge_support_after = idx
+            .frequent_trees()
+            .iter()
+            .find(|t| t.tree.size() == 2)
+            .unwrap()
+            .tree
+            .support();
+        assert_eq!(edge_support_after, 3);
+    }
+
+    #[test]
+    fn batch_add_discovers_new_trees() {
+        // initially only one star: claw not frequent
+        let mut graphs = vec![star(3, 7, 0), chain(3, 1, 0)];
+        let mut idx = FctIndex::build(&graphs, params());
+        let claw = star(3, 7, 0);
+        let claw_code = vqi_graph::canon::canonical_code(&claw);
+        assert!(idx
+            .frequent_trees()
+            .iter()
+            .all(|t| t.tree.code != claw_code));
+
+        // add a second star: claw becomes frequent
+        graphs.push(star(4, 7, 0));
+        let g = graphs[2].clone();
+        let graphs_ref = graphs.clone();
+        idx.apply_batch(&[(2, &g)], &[], |i| &graphs_ref[i]);
+        assert!(
+            idx.frequent_trees()
+                .iter()
+                .any(|t| t.tree.code == claw_code),
+            "claw should now be frequent"
+        );
+    }
+
+    #[test]
+    fn batch_remove_evicts_infrequent() {
+        let graphs = vec![star(3, 7, 0), star(3, 7, 0), chain(3, 1, 0)];
+        let mut idx = FctIndex::build(&graphs, params());
+        let n_before = idx.frequent_trees().len();
+        assert!(n_before > 0);
+        let graphs_ref = graphs.clone();
+        idx.apply_batch(&[], &[0], |i| &graphs_ref[i]);
+        // all label-7 trees supported by {0, 1} drop to support 1 -> evicted
+        assert!(idx
+            .frequent_trees()
+            .iter()
+            .all(|t| t.tree.support() >= 2));
+        assert!(idx.frequent_trees().len() < n_before);
+        assert_eq!(idx.live_graphs(), 2);
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        let graphs = vec![chain(3, 1, 0), star(3, 1, 0), chain(4, 1, 0)];
+        let mut idx = FctIndex::build(&graphs[..2], params());
+        let g = graphs[2].clone();
+        let graphs_ref = graphs.clone();
+        idx.apply_batch(&[(2, &g)], &[], |i| &graphs_ref[i]);
+
+        let rebuilt = FctIndex::build(&graphs, params());
+        let inc_codes: Vec<_> = idx
+            .frequent_trees()
+            .iter()
+            .map(|t| (t.tree.code.clone(), t.tree.support(), t.closed))
+            .collect();
+        let reb_codes: Vec<_> = rebuilt
+            .frequent_trees()
+            .iter()
+            .map(|t| (t.tree.code.clone(), t.tree.support(), t.closed))
+            .collect();
+        assert_eq!(inc_codes, reb_codes);
+    }
+}

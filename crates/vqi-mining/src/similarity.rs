@@ -1,0 +1,153 @@
+//! Graph-to-graph similarity measures.
+//!
+//! The modular pipeline (Tzanikos et al.) treats the similarity measure as
+//! a swappable module; this module provides the implementations shared by
+//! the pipelines: feature-vector cosine, labeled-edge-triple Jaccard, and
+//! an MCS-based measure (exact but slower).
+
+use crate::features::{cosine_similarity, FeatureSpace};
+use std::collections::HashSet;
+use vqi_graph::{mcs, Graph};
+
+/// A symmetric similarity in `[0, 1]` between labeled graphs.
+pub trait SimilarityMeasure: Send + Sync {
+    /// Similarity of `a` and `b`.
+    fn similarity(&self, a: &Graph, b: &Graph) -> f64;
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Jaccard similarity over the sets of labeled edge triples
+/// `(min(lu, lv), edge label, max(lu, lv))`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EdgeTripleJaccard;
+
+fn triples(g: &Graph) -> HashSet<(u32, u32, u32)> {
+    g.edges()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            let (a, b) = {
+                let lu = g.node_label(u);
+                let lv = g.node_label(v);
+                if lu <= lv {
+                    (lu, lv)
+                } else {
+                    (lv, lu)
+                }
+            };
+            (a, g.edge_label(e), b)
+        })
+        .collect()
+}
+
+impl SimilarityMeasure for EdgeTripleJaccard {
+    fn similarity(&self, a: &Graph, b: &Graph) -> f64 {
+        let ta = triples(a);
+        let tb = triples(b);
+        let inter = ta.intersection(&tb).count();
+        let union = ta.union(&tb).count();
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "edge-triple-jaccard"
+    }
+}
+
+/// Cosine similarity of feature vectors over a mined tree vocabulary.
+pub struct FeatureCosine {
+    space: FeatureSpace,
+}
+
+impl FeatureCosine {
+    /// Wraps a feature space.
+    pub fn new(space: FeatureSpace) -> Self {
+        FeatureCosine { space }
+    }
+}
+
+impl SimilarityMeasure for FeatureCosine {
+    fn similarity(&self, a: &Graph, b: &Graph) -> f64 {
+        cosine_similarity(&self.space.vector(a), &self.space.vector(b))
+    }
+
+    fn name(&self) -> &'static str {
+        "feature-cosine"
+    }
+}
+
+/// Maximum-common-subgraph similarity (exact within a search budget).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct McsSimilarity;
+
+impl SimilarityMeasure for McsSimilarity {
+    fn similarity(&self, a: &Graph, b: &Graph) -> f64 {
+        mcs::mcs_similarity(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "mcs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    #[test]
+    fn jaccard_identical() {
+        let g = cycle(4, 1, 2);
+        let m = EdgeTripleJaccard;
+        assert!((m.similarity(&g, &g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_disjoint() {
+        let a = chain(3, 1, 0);
+        let b = chain(3, 2, 0);
+        let m = EdgeTripleJaccard;
+        assert_eq!(m.similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let a = star(3, 1, 0);
+        let b = cycle(5, 1, 0);
+        let m = EdgeTripleJaccard;
+        let s = m.similarity(&a, &b);
+        assert_eq!(s, m.similarity(&b, &a));
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaccard_empty_graphs() {
+        let e = Graph::new();
+        let m = EdgeTripleJaccard;
+        assert_eq!(m.similarity(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn feature_cosine_works() {
+        let fs = FeatureSpace::new(vec![chain(2, 1, 0), chain(3, 1, 0)]);
+        let m = FeatureCosine::new(fs);
+        let a = chain(4, 1, 0);
+        let b = chain(5, 1, 0);
+        assert!((m.similarity(&a, &b) - 1.0).abs() < 1e-12);
+        let c = chain(3, 9, 0);
+        assert_eq!(m.similarity(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn mcs_measure_agrees_with_mcs_module() {
+        let a = chain(4, 0, 0);
+        let b = cycle(6, 0, 0);
+        let m = McsSimilarity;
+        assert_eq!(m.similarity(&a, &b), mcs::mcs_similarity(&a, &b));
+        assert_eq!(m.name(), "mcs");
+    }
+}

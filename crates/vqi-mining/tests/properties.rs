@@ -1,0 +1,177 @@
+//! Property-based tests of the mining substrate.
+
+use proptest::prelude::*;
+use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::traversal::is_connected;
+use vqi_graph::{Graph, NodeId};
+use vqi_mining::closure::closure_of;
+use vqi_mining::cluster::{k_medoids, leader, DistanceMatrix};
+use vqi_mining::fct::FctIndex;
+use vqi_mining::fst::{mine_frequent_subtrees, MineParams};
+
+/// A small random connected labeled graph (tree plus extra edges).
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let labels = proptest::collection::vec(0u32..3, n);
+        let extra = proptest::collection::vec(proptest::bool::weighted(0.2), n * (n - 1) / 2);
+        (labels, parents, extra).prop_map(move |(nl, ps, ex)| {
+            let mut g = Graph::new();
+            let nodes: Vec<NodeId> = nl.iter().map(|&l| g.add_node(l)).collect();
+            for (i, p) in ps.iter().enumerate() {
+                g.add_edge(nodes[i + 1], nodes[*p], 0);
+            }
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if ex[idx] {
+                        g.add_edge(nodes[i], nodes[j], 0);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mined frequent trees are trees, connected, meet support, and
+    /// genuinely occur in each graph of their support set.
+    #[test]
+    fn mined_trees_are_valid(graphs in proptest::collection::vec(arb_connected(6), 2..5)) {
+        let params = MineParams { min_support: 2, max_nodes: 3 };
+        for ft in mine_frequent_subtrees(&graphs, params) {
+            prop_assert!(is_connected(&ft.tree));
+            prop_assert_eq!(ft.tree.edge_count() + 1, ft.tree.node_count());
+            prop_assert!(ft.support() >= 2);
+            for &gi in &ft.support_set {
+                prop_assert!(is_subgraph_isomorphic(
+                    &ft.tree, &graphs[gi], MatchOptions::default()
+                ));
+            }
+        }
+    }
+
+    /// Raising min_support never grows the result set.
+    #[test]
+    fn support_threshold_is_monotone(graphs in proptest::collection::vec(arb_connected(5), 2..5)) {
+        let lo = mine_frequent_subtrees(&graphs, MineParams { min_support: 1, max_nodes: 3 });
+        let hi = mine_frequent_subtrees(&graphs, MineParams { min_support: 2, max_nodes: 3 });
+        prop_assert!(hi.len() <= lo.len());
+    }
+
+    /// Incremental FCT maintenance matches a full rebuild after a random
+    /// batch of additions.
+    #[test]
+    fn fct_incremental_matches_rebuild(
+        initial in proptest::collection::vec(arb_connected(5), 2..4),
+        added in proptest::collection::vec(arb_connected(5), 1..3),
+    ) {
+        let params = MineParams { min_support: 2, max_nodes: 3 };
+        let mut all = initial.clone();
+        all.extend(added.iter().cloned());
+
+        let mut idx = FctIndex::build(&initial, params);
+        let pairs: Vec<(usize, &Graph)> = added
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (initial.len() + i, g))
+            .collect();
+        idx.apply_batch(&pairs, &[], |i| &all[i]);
+
+        let rebuilt = FctIndex::build(&all, params);
+        let inc: Vec<_> = idx
+            .frequent_trees()
+            .iter()
+            .map(|t| (t.tree.code.clone(), t.tree.support(), t.closed))
+            .collect();
+        let reb: Vec<_> = rebuilt
+            .frequent_trees()
+            .iter()
+            .map(|t| (t.tree.code.clone(), t.tree.support(), t.closed))
+            .collect();
+        prop_assert_eq!(inc, reb);
+    }
+
+    /// Frequent subgraphs are connected, meet their support threshold,
+    /// and genuinely occur in every member of their support set.
+    #[test]
+    fn frequent_subgraphs_are_valid(
+        graphs in proptest::collection::vec(arb_connected(5), 2..5)
+    ) {
+        use vqi_mining::fsg::{mine_frequent_subgraphs, FsgParams};
+        let mined = mine_frequent_subgraphs(
+            &graphs,
+            FsgParams {
+                min_support: 2,
+                max_nodes: 4,
+                beam_width: 50,
+            },
+        );
+        for m in &mined {
+            prop_assert!(is_connected(&m.graph));
+            prop_assert!(m.support() >= 2);
+            for &gi in &m.support_set {
+                prop_assert!(is_subgraph_isomorphic(
+                    &m.graph, &graphs[gi], MatchOptions::default()
+                ));
+            }
+        }
+        // dedup by canonical code
+        let mut codes: Vec<_> = mined.iter().map(|m| m.code.clone()).collect();
+        let before = codes.len();
+        codes.sort();
+        codes.dedup();
+        prop_assert_eq!(before, codes.len());
+    }
+
+    /// Closure graphs cover all constituents, with edge weights aligned.
+    #[test]
+    fn closure_invariants(graphs in proptest::collection::vec(arb_connected(6), 1..5)) {
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let c = closure_of(&refs).unwrap();
+        prop_assert_eq!(c.edge_weights.len(), c.graph.edge_count());
+        let total: f64 = c.edge_weights.iter().sum();
+        let expect: usize = graphs.iter().map(|g| g.edge_count()).sum();
+        prop_assert!((total - expect as f64).abs() < 1e-9,
+            "weights {total} != contributed edges {expect}");
+        for g in &graphs {
+            prop_assert!(is_subgraph_isomorphic(
+                g, &c.graph, MatchOptions::with_wildcards()
+            ));
+        }
+    }
+
+    /// Clusterings assign every item to a valid cluster whose
+    /// representative is a member.
+    #[test]
+    fn clusterings_are_well_formed(
+        points in proptest::collection::vec(0.0f64..10.0, 3..12),
+        k in 1usize..4,
+    ) {
+        let d = DistanceMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs());
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        for c in [k_medoids(&d, k, 10, &mut rng), leader(&d, 1.0)] {
+            prop_assert_eq!(c.assignments.len(), points.len());
+            for &a in &c.assignments {
+                prop_assert!(a < c.cluster_count());
+            }
+            let clusters = c.clusters();
+            for (ci, members) in clusters.iter().enumerate() {
+                let rep = c.representatives[ci];
+                // a representative is either a member of its own cluster
+                // or indistinguishable (distance 0) from the one it
+                // landed in (possible with duplicate points)
+                if !members.is_empty() && !members.contains(&rep) {
+                    let landed = c.representatives[c.assignments[rep]];
+                    prop_assert!(d.get(rep, landed) == 0.0);
+                }
+            }
+            let total: usize = clusters.iter().map(|m| m.len()).sum();
+            prop_assert_eq!(total, points.len());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! A highly modular architecture for the canned-pattern selection problem
+//! (Tzanikos, Krommyda & Kantere, DEXA 2021, as surveyed in §2.3).
+//!
+//! The insight of that work is architectural rather than algorithmic: the
+//! selection problem decomposes into four independently swappable
+//! modules —
+//!
+//! 1. a **similarity** measure between data graphs,
+//! 2. a **clustering** of the collection under that similarity,
+//! 3. a **merger** that folds each cluster into one *continuous graph*,
+//! 4. an **extractor** that draws candidate patterns from the continuous
+//!    graphs —
+//!
+//! followed by a common greedy selection under the standard
+//! coverage/diversity/cognitive-load score. Each module is a trait here
+//! ([`stages`]), with at least two implementations, and
+//! [`pipeline::ModularPipeline`] composes any combination into a
+//! [`vqi_core::PatternSelector`]. Experiment E8 ablates the module
+//! choices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod stages;
+
+pub use pipeline::ModularPipeline;
+pub use stages::{
+    ClosureMerge, ClusteringStage, ExtractStage, KMedoidsStage, LeaderStage, MergeStage,
+    SampleExtract, UnionMerge, WalkExtract,
+};

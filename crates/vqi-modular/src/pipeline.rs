@@ -1,0 +1,270 @@
+//! Composition of the four stages into a [`PatternSelector`].
+
+use crate::stages::{ClusteringStage, ExtractStage, MergeStage};
+use rayon::prelude::*;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::{PatternKind, PatternSet};
+use vqi_core::repo::{GraphCollection, GraphRepository};
+use vqi_core::score::{cognitive_load, covers, QualityWeights};
+use vqi_core::selector::PatternSelector;
+use vqi_graph::canon::canonical_code;
+use vqi_graph::mcs::mcs_similarity;
+use vqi_graph::Graph;
+use vqi_mining::cluster::DistanceMatrix;
+use vqi_mining::similarity::SimilarityMeasure;
+
+/// A fully assembled modular pipeline.
+pub struct ModularPipeline {
+    /// Stage 1: graph similarity.
+    pub similarity: Box<dyn SimilarityMeasure>,
+    /// Stage 2: clustering.
+    pub clustering: Box<dyn ClusteringStage>,
+    /// Stage 3: cluster merging into continuous graphs.
+    pub merger: Box<dyn MergeStage>,
+    /// Stage 4: candidate extraction.
+    pub extractor: Box<dyn ExtractStage>,
+    /// Final-selection score weights.
+    pub weights: QualityWeights,
+}
+
+impl ModularPipeline {
+    /// The default assembly: edge-triple Jaccard similarity, k-medoids,
+    /// closure merge, weighted-walk extraction.
+    pub fn standard() -> Self {
+        ModularPipeline {
+            similarity: Box::new(crate::stages::EdgeTripleJaccard),
+            clustering: Box::new(crate::stages::KMedoidsStage::default()),
+            merger: Box::new(crate::stages::ClosureMerge),
+            extractor: Box::new(crate::stages::WalkExtract::default()),
+            weights: QualityWeights::default(),
+        }
+    }
+
+    /// A human-readable description of the assembly.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} / {} / {} / {}",
+            self.similarity.name(),
+            self.clustering.name(),
+            self.merger.name(),
+            self.extractor.name()
+        )
+    }
+
+    /// Runs the pipeline on a collection.
+    pub fn run(&self, collection: &GraphCollection, budget: &PatternBudget) -> PatternSet {
+        let ids = collection.ids();
+        let n = ids.len();
+        if n == 0 {
+            return PatternSet::new();
+        }
+        let graphs: Vec<&Graph> = ids
+            .iter()
+            .map(|&id| collection.get(id).expect("live id"))
+            .collect();
+
+        // stage 1 + 2: similarity -> distance -> clustering
+        let dist = DistanceMatrix::from_fn(n, |i, j| {
+            1.0 - self.similarity.similarity(graphs[i], graphs[j])
+        });
+        let clustering = self.clustering.cluster(&dist);
+
+        // stage 3: merge each cluster into a continuous graph
+        let merged: Vec<(Graph, Vec<f64>)> = clustering
+            .clusters()
+            .into_iter()
+            .filter(|m| !m.is_empty())
+            .map(|members| {
+                let cluster_graphs: Vec<&Graph> =
+                    members.iter().map(|&pos| graphs[pos]).collect();
+                self.merger.merge(&cluster_graphs)
+            })
+            .collect();
+
+        // stage 4: extract candidates
+        let mut candidates: Vec<Graph> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (cg, weights) in &merged {
+            for cand in self.extractor.extract(cg, weights, budget) {
+                let code = canonical_code(&cand);
+                if seen.insert(code) {
+                    candidates.push(cand);
+                }
+            }
+        }
+
+        // common final selection: greedy coverage/diversity/cognitive-load
+        let bitsets: Vec<(Graph, Vec<bool>, f64)> = candidates
+            .into_par_iter()
+            .filter_map(|c| {
+                let cov: Vec<bool> = ids
+                    .iter()
+                    .map(|&id| covers(&c, collection.get(id).expect("live")))
+                    .collect();
+                if cov.iter().any(|&b| b) {
+                    let cl = cognitive_load(&c);
+                    Some((c, cov, cl))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let mut set = PatternSet::new();
+        let mut pool = bitsets;
+        let mut covered = vec![false; n];
+        let mut chosen: Vec<Graph> = Vec::new();
+        while set.len() < budget.count && !pool.is_empty() {
+            let scores: Vec<f64> = pool
+                .par_iter()
+                .map(|(g, cov, cl)| {
+                    let gain = cov
+                        .iter()
+                        .zip(covered.iter())
+                        .filter(|(&c, &d)| c && !d)
+                        .count() as f64
+                        / n as f64;
+                    let div = if chosen.is_empty() {
+                        1.0
+                    } else {
+                        1.0 - chosen
+                            .iter()
+                            .map(|q| mcs_similarity(g, q))
+                            .fold(0.0f64, f64::max)
+                    };
+                    gain + self.weights.diversity * div - self.weights.cognitive * cl
+                })
+                .collect();
+            let (bi, &best) = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("nonempty");
+            let gains = pool[bi]
+                .1
+                .iter()
+                .zip(covered.iter())
+                .any(|(&c, &d)| c && !d);
+            if best <= 0.0 && !gains {
+                break;
+            }
+            let (g, cov, _) = pool.swap_remove(bi);
+            for (i, &c) in cov.iter().enumerate() {
+                if c {
+                    covered[i] = true;
+                }
+            }
+            let prov = format!("modular:{}", self.describe());
+            if set.insert(g.clone(), PatternKind::Canned, prov).is_ok() {
+                chosen.push(g);
+            }
+        }
+        set
+    }
+}
+
+impl PatternSelector for ModularPipeline {
+    fn name(&self) -> &'static str {
+        "modular"
+    }
+
+    fn select(&self, repo: &GraphRepository, budget: &PatternBudget) -> PatternSet {
+        match repo {
+            GraphRepository::Collection(c) => self.run(c, budget),
+            GraphRepository::Network(g) => {
+                let col = GraphCollection::new(vec![g.clone()]);
+                self.run(&col, budget)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::*;
+    use vqi_graph::generate::{chain, cycle, star};
+    use vqi_graph::traversal::is_connected;
+
+    fn collection() -> GraphCollection {
+        let mut graphs = Vec::new();
+        for i in 0..5 {
+            graphs.push(chain(5 + i % 3, 1, 0));
+            graphs.push(cycle(5 + i % 2, 2, 0));
+            graphs.push(star(4 + i % 2, 3, 0));
+        }
+        GraphCollection::new(graphs)
+    }
+
+    #[test]
+    fn standard_pipeline_selects_valid_patterns() {
+        let col = collection();
+        let budget = PatternBudget::new(5, 4, 6);
+        let set = ModularPipeline::standard().run(&col, &budget);
+        assert!(!set.is_empty());
+        for p in set.patterns() {
+            assert!(budget.admits(&p.graph));
+            assert!(is_connected(&p.graph));
+            assert!(p.provenance.starts_with("modular:"));
+        }
+    }
+
+    #[test]
+    fn every_assembly_combination_runs() {
+        let col = collection();
+        let budget = PatternBudget::new(3, 4, 5);
+        let sims: Vec<Box<dyn SimilarityMeasure>> = vec![
+            Box::new(EdgeTripleJaccard),
+            Box::new(McsSimilarity),
+        ];
+        for sim in sims {
+            for leader in [false, true] {
+                for union_merge in [false, true] {
+                    for sample in [false, true] {
+                        let p = ModularPipeline {
+                            similarity: match sim.name() {
+                                "mcs" => Box::new(McsSimilarity),
+                                _ => Box::new(EdgeTripleJaccard),
+                            },
+                            clustering: if leader {
+                                Box::new(LeaderStage::default())
+                            } else {
+                                Box::new(KMedoidsStage::default())
+                            },
+                            merger: if union_merge {
+                                Box::new(UnionMerge)
+                            } else {
+                                Box::new(ClosureMerge)
+                            },
+                            extractor: if sample {
+                                Box::new(SampleExtract::default())
+                            } else {
+                                Box::new(WalkExtract::default())
+                            },
+                            weights: QualityWeights::default(),
+                        };
+                        let set = p.run(&col, &budget);
+                        assert!(
+                            !set.is_empty(),
+                            "assembly {} selected nothing",
+                            p.describe()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn describe_names_all_stages() {
+        let d = ModularPipeline::standard().describe();
+        assert_eq!(d, "edge-triple-jaccard / k-medoids / closure / walk");
+    }
+
+    #[test]
+    fn empty_collection() {
+        let set = ModularPipeline::standard()
+            .run(&GraphCollection::new(vec![]), &PatternBudget::default());
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! The four swappable pipeline stages and their implementations.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vqi_core::budget::PatternBudget;
+use vqi_graph::traversal::{is_connected, sample_connected_subgraph, weighted_random_walk};
+use vqi_graph::{Graph, NodeId};
+use vqi_mining::closure::closure_of;
+use vqi_mining::cluster::{k_medoids, leader, Clustering, DistanceMatrix};
+
+// The similarity stage is [`vqi_mining::similarity::SimilarityMeasure`];
+// this module re-exports it for pipeline assembly convenience.
+pub use vqi_mining::similarity::{EdgeTripleJaccard, FeatureCosine, McsSimilarity, SimilarityMeasure};
+
+/// Stage 2: clustering of the collection under a distance matrix.
+pub trait ClusteringStage: Send + Sync {
+    /// Clusters `dist.len()` items.
+    fn cluster(&self, dist: &DistanceMatrix) -> Clustering;
+    /// Stage name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// PAM-style k-medoids clustering stage.
+#[derive(Debug, Clone, Copy)]
+pub struct KMedoidsStage {
+    /// Number of clusters; `None` picks `⌈√(n/2)⌉`.
+    pub k: Option<usize>,
+    /// Iterations.
+    pub iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMedoidsStage {
+    fn default() -> Self {
+        KMedoidsStage {
+            k: None,
+            iters: 15,
+            seed: 17,
+        }
+    }
+}
+
+impl ClusteringStage for KMedoidsStage {
+    fn cluster(&self, dist: &DistanceMatrix) -> Clustering {
+        let n = dist.len();
+        let k = self
+            .k
+            .unwrap_or_else(|| ((n as f64 / 2.0).sqrt().ceil() as usize).max(1));
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        k_medoids(dist, k, self.iters, &mut rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "k-medoids"
+    }
+}
+
+/// Single-pass leader clustering stage.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaderStage {
+    /// Join threshold (distance).
+    pub threshold: f64,
+}
+
+impl Default for LeaderStage {
+    fn default() -> Self {
+        LeaderStage { threshold: 0.5 }
+    }
+}
+
+impl ClusteringStage for LeaderStage {
+    fn cluster(&self, dist: &DistanceMatrix) -> Clustering {
+        leader(dist, self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "leader"
+    }
+}
+
+/// Stage 3: merging a cluster into one continuous graph.
+pub trait MergeStage: Send + Sync {
+    /// Merges the member graphs; returns the continuous graph and
+    /// per-edge weights (contribution counts where meaningful).
+    fn merge(&self, members: &[&Graph]) -> (Graph, Vec<f64>);
+    /// Stage name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Merge by iterated graph closure (CATAPULT-style CSG).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClosureMerge;
+
+impl MergeStage for ClosureMerge {
+    fn merge(&self, members: &[&Graph]) -> (Graph, Vec<f64>) {
+        match closure_of(members) {
+            Some(c) => (c.graph, c.edge_weights),
+            None => (Graph::new(), vec![]),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "closure"
+    }
+}
+
+/// Merge by disjoint union (no alignment; candidates stay literal).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnionMerge;
+
+impl MergeStage for UnionMerge {
+    fn merge(&self, members: &[&Graph]) -> (Graph, Vec<f64>) {
+        let mut g = Graph::new();
+        for m in members {
+            let base = g.node_count() as u32;
+            for v in m.nodes() {
+                g.add_node(m.node_label(v));
+            }
+            for e in m.edges() {
+                let (u, v) = m.endpoints(e);
+                g.add_edge(
+                    NodeId(base + u.0),
+                    NodeId(base + v.0),
+                    m.edge_label(e),
+                );
+            }
+        }
+        let w = vec![1.0; g.edge_count()];
+        (g, w)
+    }
+
+    fn name(&self) -> &'static str {
+        "union"
+    }
+}
+
+/// Stage 4: candidate extraction from a continuous graph.
+pub trait ExtractStage: Send + Sync {
+    /// Extracts budget-admissible connected candidates.
+    fn extract(
+        &self,
+        continuous: &Graph,
+        edge_weights: &[f64],
+        budget: &PatternBudget,
+    ) -> Vec<Graph>;
+    /// Stage name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Extraction by uniform connected-subgraph sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleExtract {
+    /// Sampling attempts.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SampleExtract {
+    fn default() -> Self {
+        SampleExtract {
+            samples: 80,
+            seed: 23,
+        }
+    }
+}
+
+impl ExtractStage for SampleExtract {
+    fn extract(
+        &self,
+        continuous: &Graph,
+        _edge_weights: &[f64],
+        budget: &PatternBudget,
+    ) -> Vec<Graph> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        for _ in 0..self.samples {
+            let size =
+                rand::Rng::gen_range(&mut rng, budget.min_size..=budget.max_size);
+            if let Some((sub, _)) = sample_connected_subgraph(continuous, size, 5, &mut rng) {
+                if budget.admits(&sub) && is_connected(&sub) {
+                    out.push(sub);
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "sample"
+    }
+}
+
+/// Extraction by weighted random walks (biased toward shared structure).
+#[derive(Debug, Clone, Copy)]
+pub struct WalkExtract {
+    /// Number of walks.
+    pub walks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkExtract {
+    fn default() -> Self {
+        WalkExtract {
+            walks: 80,
+            seed: 29,
+        }
+    }
+}
+
+impl ExtractStage for WalkExtract {
+    fn extract(
+        &self,
+        continuous: &Graph,
+        edge_weights: &[f64],
+        budget: &PatternBudget,
+    ) -> Vec<Graph> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let nodes: Vec<NodeId> = continuous
+            .nodes()
+            .filter(|&v| continuous.degree(v) > 0)
+            .collect();
+        if nodes.is_empty() {
+            return vec![];
+        }
+        let weight = |e: vqi_graph::EdgeId| edge_weights.get(e.index()).copied().unwrap_or(1.0);
+        let mut out = Vec::new();
+        for i in 0..self.walks {
+            let start = nodes[i % nodes.len()];
+            let target = rand::Rng::gen_range(&mut rng, budget.min_size..=budget.max_size);
+            let walk = weighted_random_walk(continuous, start, 3 * target, &weight, &mut rng);
+            let mut visited: Vec<NodeId> = Vec::new();
+            for e in &walk {
+                let (u, v) = continuous.endpoints(*e);
+                for n in [u, v] {
+                    if !visited.contains(&n) {
+                        visited.push(n);
+                    }
+                }
+                if visited.len() >= target {
+                    break;
+                }
+            }
+            if visited.len() == target {
+                let (sub, _) = continuous.induced_subgraph(&visited);
+                if budget.admits(&sub) && is_connected(&sub) {
+                    out.push(sub);
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, clique, cycle};
+
+    #[test]
+    fn kmedoids_stage_clusters() {
+        let d = DistanceMatrix::from_fn(4, |i, j| {
+            if (i < 2) == (j < 2) {
+                0.1
+            } else {
+                0.9
+            }
+        });
+        let c = KMedoidsStage {
+            k: Some(2),
+            ..Default::default()
+        }
+        .cluster(&d);
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_ne!(c.assignments[0], c.assignments[2]);
+    }
+
+    #[test]
+    fn leader_stage_clusters() {
+        let d = DistanceMatrix::from_fn(4, |i, j| {
+            if (i < 2) == (j < 2) {
+                0.1
+            } else {
+                0.9
+            }
+        });
+        let c = LeaderStage { threshold: 0.5 }.cluster(&d);
+        assert_eq!(c.cluster_count(), 2);
+    }
+
+    #[test]
+    fn union_merge_concatenates() {
+        let a = chain(3, 1, 0);
+        let b = cycle(3, 2, 0);
+        let (m, w) = UnionMerge.merge(&[&a, &b]);
+        assert_eq!(m.node_count(), 6);
+        assert_eq!(m.edge_count(), 5);
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn closure_merge_compacts() {
+        let a = chain(4, 1, 0);
+        let b = chain(4, 1, 0);
+        let (m, _) = ClosureMerge.merge(&[&a, &b]);
+        assert_eq!(m.node_count(), 4, "identical graphs align fully");
+    }
+
+    #[test]
+    fn extractors_respect_budget() {
+        let g = clique(10, 1, 0);
+        let budget = PatternBudget::new(8, 4, 5);
+        for cands in [
+            SampleExtract::default().extract(&g, &vec![1.0; g.edge_count()], &budget),
+            WalkExtract::default().extract(&g, &vec![1.0; g.edge_count()], &budget),
+        ] {
+            assert!(!cands.is_empty());
+            for c in &cands {
+                assert!(budget.admits(c));
+                assert!(is_connected(c));
+            }
+        }
+    }
+
+    #[test]
+    fn extractors_handle_empty_graphs() {
+        let budget = PatternBudget::default();
+        assert!(SampleExtract::default()
+            .extract(&Graph::new(), &[], &budget)
+            .is_empty());
+        assert!(WalkExtract::default()
+            .extract(&Graph::new(), &[], &budget)
+            .is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests of the modular pipeline: every stage assembly
+//! honors the selection contract on random collections.
+
+use proptest::prelude::*;
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::GraphCollection;
+use vqi_core::score::{pattern_coverage, QualityWeights};
+use vqi_graph::traversal::is_connected;
+use vqi_modular::{
+    ClosureMerge, KMedoidsStage, LeaderStage, ModularPipeline, SampleExtract, UnionMerge,
+    WalkExtract,
+};
+
+fn pipeline(ix: u8) -> ModularPipeline {
+    ModularPipeline {
+        similarity: Box::new(vqi_mining::similarity::EdgeTripleJaccard),
+        clustering: if ix & 1 == 0 {
+            Box::new(KMedoidsStage::default())
+        } else {
+            Box::new(LeaderStage::default())
+        },
+        merger: if ix & 2 == 0 {
+            Box::new(ClosureMerge)
+        } else {
+            Box::new(UnionMerge)
+        },
+        extractor: if ix & 4 == 0 {
+            Box::new(WalkExtract::default())
+        } else {
+            Box::new(SampleExtract::default())
+        },
+        weights: QualityWeights::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random molecule-like collections and any stage assembly, the
+    /// pipeline returns budget-admissible, connected, occurring patterns.
+    #[test]
+    fn assembly_contract(seed in 0u64..500, assembly in 0u8..8) {
+        let graphs = vqi_datasets::aids_like(vqi_datasets::MoleculeParams {
+            count: 20,
+            max_rings: 1,
+            max_chains: 2,
+            max_chain_len: 2,
+            seed,
+        });
+        let col = GraphCollection::new(graphs);
+        let budget = PatternBudget::new(4, 4, 6);
+        let set = pipeline(assembly).run(&col, &budget);
+        prop_assert!(set.len() <= 4);
+        for p in set.patterns() {
+            prop_assert!(budget.admits(&p.graph));
+            prop_assert!(is_connected(&p.graph));
+            prop_assert!(
+                pattern_coverage(&p.graph, &col) > 0.0,
+                "assembly {assembly}: non-occurring pattern selected"
+            );
+        }
+    }
+}

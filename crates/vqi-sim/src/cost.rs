@@ -1,0 +1,193 @@
+//! Keystroke-level cost model for atomic VQI actions.
+//!
+//! Constants follow the classic KLM operator estimates (pointing ≈ 1.1 s,
+//! button press ≈ 0.2 s, homing/drag ≈ 1.1 s) with an added per-item
+//! pattern-panel scan cost: browsing a longer Pattern Panel costs time,
+//! which is exactly the display-budget tension the tutorial describes —
+//! more patterns help coverage but hurt browsing.
+
+use serde::Serialize;
+use vqi_core::query::EditOp;
+
+/// Per-action time costs in seconds, plus the error model.
+///
+/// Error probabilities follow the HCI observation the tutorial cites:
+/// fine-grained atomic actions (placing nodes, wiring edges, picking
+/// labels) are individually error-prone, while dropping a prefabricated
+/// pattern is nearly error-free — so plans with fewer, coarser actions
+/// accumulate fewer expected slips. An expected error costs
+/// `error_correction` seconds of undo/redo.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ActionCosts {
+    /// Moving the pointer to a target.
+    pub point: f64,
+    /// Pressing/releasing a button.
+    pub click: f64,
+    /// Dragging an item onto the canvas.
+    pub drag: f64,
+    /// Choosing a label from the Attribute Panel.
+    pub label_pick: f64,
+    /// Visually scanning one Pattern Panel entry.
+    pub scan_per_pattern: f64,
+    /// Slip probability of a node placement.
+    pub err_node: f64,
+    /// Slip probability of an edge drag (endpoint mis-targeting).
+    pub err_edge: f64,
+    /// Slip probability of a label pick (wrong list entry).
+    pub err_label: f64,
+    /// Slip probability of a pattern drop or node merge.
+    pub err_pattern: f64,
+    /// Seconds to recover from one slip (undo + redo).
+    pub error_correction: f64,
+}
+
+impl Default for ActionCosts {
+    fn default() -> Self {
+        ActionCosts {
+            point: 1.1,
+            click: 0.2,
+            drag: 1.1,
+            label_pick: 1.2,
+            scan_per_pattern: 0.3,
+            err_node: 0.02,
+            err_edge: 0.04,
+            err_label: 0.03,
+            err_pattern: 0.01,
+            error_correction: 3.0,
+        }
+    }
+}
+
+impl ActionCosts {
+    /// Modeled time of one edit, given the number of patterns on display
+    /// (scanned when the user reaches for a pattern).
+    pub fn cost_of(&self, op: &EditOp, panel_patterns: usize) -> f64 {
+        match op {
+            EditOp::AddNode { .. } => self.point + self.click + self.label_pick,
+            EditOp::AddEdge { .. } => self.drag + self.label_pick,
+            EditOp::AddPattern { .. } => {
+                // expected scan of half the panel, then a drag
+                self.scan_per_pattern * (panel_patterns as f64 / 2.0).max(1.0) + self.drag
+            }
+            EditOp::MergeNodes { .. } => self.drag,
+            EditOp::SetNodeLabel { .. } | EditOp::SetEdgeLabel { .. } => {
+                self.point + self.click + self.label_pick
+            }
+        }
+    }
+
+    /// Expected number of slips for one edit.
+    pub fn error_of(&self, op: &EditOp) -> f64 {
+        match op {
+            EditOp::AddNode { .. } => self.err_node + self.err_label,
+            EditOp::AddEdge { .. } => self.err_edge + self.err_label,
+            EditOp::AddPattern { .. } | EditOp::MergeNodes { .. } => self.err_pattern,
+            EditOp::SetNodeLabel { .. } | EditOp::SetEdgeLabel { .. } => self.err_label,
+        }
+    }
+
+    /// Expected slips over a whole plan.
+    pub fn plan_errors(&self, ops: &[EditOp]) -> f64 {
+        ops.iter().map(|op| self.error_of(op)).sum()
+    }
+
+    /// Total modeled time of a plan, including expected error-correction
+    /// time.
+    pub fn plan_cost(&self, ops: &[EditOp], panel_patterns: usize) -> f64 {
+        let action_time: f64 = ops.iter().map(|op| self.cost_of(op, panel_patterns)).sum();
+        action_time + self.plan_errors(ops) * self.error_correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_core::query::QNode;
+    use vqi_graph::generate::cycle;
+
+    #[test]
+    fn node_and_edge_costs_are_positive() {
+        let c = ActionCosts::default();
+        assert!(c.cost_of(&EditOp::AddNode { label: 1 }, 0) > 0.0);
+        assert!(
+            c.cost_of(
+                &EditOp::AddEdge {
+                    a: QNode(0),
+                    b: QNode(1),
+                    label: 0
+                },
+                0
+            ) > 0.0
+        );
+    }
+
+    #[test]
+    fn pattern_cost_grows_with_panel_size() {
+        let c = ActionCosts::default();
+        let op = EditOp::AddPattern {
+            pattern: cycle(3, 0, 0),
+        };
+        assert!(c.cost_of(&op, 20) > c.cost_of(&op, 4));
+    }
+
+    #[test]
+    fn dropping_a_pattern_beats_rebuilding_it() {
+        // a 5-cycle: 5 AddNode + 5 AddEdge vs one AddPattern from a
+        // 10-pattern panel plus nothing else
+        let c = ActionCosts::default();
+        let edgewise: f64 = 5.0 * c.cost_of(&EditOp::AddNode { label: 0 }, 10)
+            + 5.0
+                * c.cost_of(
+                    &EditOp::AddEdge {
+                        a: QNode(0),
+                        b: QNode(1),
+                        label: 0,
+                    },
+                    10,
+                );
+        let patternwise = c.cost_of(
+            &EditOp::AddPattern {
+                pattern: cycle(5, 0, 0),
+            },
+            10,
+        );
+        assert!(patternwise < edgewise);
+    }
+
+    #[test]
+    fn plan_cost_sums_actions_and_errors() {
+        let c = ActionCosts::default();
+        let ops = vec![
+            EditOp::AddNode { label: 0 },
+            EditOp::AddNode { label: 0 },
+            EditOp::AddEdge {
+                a: QNode(0),
+                b: QNode(1),
+                label: 0,
+            },
+        ];
+        let total = c.plan_cost(&ops, 0);
+        let by_hand: f64 = ops.iter().map(|o| c.cost_of(o, 0)).sum::<f64>()
+            + c.plan_errors(&ops) * c.error_correction;
+        assert!((total - by_hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_actions_are_less_error_prone() {
+        let c = ActionCosts::default();
+        let pattern_op = EditOp::AddPattern {
+            pattern: cycle(5, 0, 0),
+        };
+        let edge_op = EditOp::AddEdge {
+            a: QNode(0),
+            b: QNode(1),
+            label: 0,
+        };
+        assert!(c.error_of(&pattern_op) < c.error_of(&edge_op));
+        // rebuilding a 5-cycle manually accumulates ~10 error-prone
+        // actions; one drop accumulates one near-error-free action
+        let manual: f64 = 5.0 * c.error_of(&EditOp::AddNode { label: 0 })
+            + 5.0 * c.error_of(&edge_op);
+        assert!(c.error_of(&pattern_op) < manual / 5.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulated users and usability evaluation.
+//!
+//! The usability studies the tutorial summarizes (§2.3–2.4) measured how
+//! long real users took to formulate subgraph queries on data-driven vs.
+//! manual VQIs, and in how many steps. Human participants are replaced
+//! here (DESIGN.md §3) by a deterministic simulated user:
+//!
+//! * [`cost`] — a keystroke-level model (KLM) pricing each atomic action
+//!   (point, click, drag, label pick, pattern-panel scan);
+//! * [`plan`] — a formulation planner producing the action sequence a
+//!   competent user would: *edge-at-a-time* uses only the Attribute
+//!   Panel; *pattern-at-a-time* greedily drops the largest useful canned
+//!   pattern, merges it into the canvas, and fills the rest edge-wise.
+//!   Plans are **sound**: replaying one reconstructs the target query
+//!   exactly (enforced by tests and the property suite);
+//! * [`workload`] — query generators that sample connected subgraphs
+//!   from the repository, so simulated queries are always satisfiable;
+//! * [`usability`] — study harness comparing two interfaces on a shared
+//!   workload (performance measures: steps and modeled time).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod plan;
+pub mod usability;
+pub mod workload;
+
+pub use cost::ActionCosts;
+pub use plan::{plan_edge_at_a_time, plan_with_patterns, FormulationPlan};
+pub use usability::{compare, evaluate_interface, StudyOutcome, UsabilityStats};

@@ -1,0 +1,348 @@
+//! Formulation planning: the action sequences a competent user produces.
+//!
+//! The planner's *pattern-at-a-time* mode mirrors how the usability
+//! studies describe pattern usage: the user scans the Pattern Panel for
+//! the largest pattern that maps onto a chunk of the query they have in
+//! mind, drops it (one action), fuses overlapping nodes, fixes up any
+//! wildcard or mismatched labels, and finishes the remainder
+//! edge-at-a-time. A pattern is only used when it strictly reduces the
+//! number of actions versus drawing the same chunk manually.
+//!
+//! Plans are sound by construction: [`FormulationPlan::replay`] applies
+//! the ops to a fresh [`QueryBuilder`] and the result is isomorphic to
+//! the target (DESIGN.md invariant 7).
+
+use vqi_core::pattern::PatternSet;
+use vqi_core::query::{EditOp, QNode, QueryBuilder};
+use vqi_graph::graph::WILDCARD_LABEL;
+use vqi_graph::iso::{enumerate_embeddings, MatchOptions};
+use vqi_graph::{Graph, NodeId};
+
+/// A planned sequence of atomic edits that reconstructs a target query.
+#[derive(Debug, Clone)]
+pub struct FormulationPlan {
+    /// The atomic edits, in order.
+    pub ops: Vec<EditOp>,
+    /// How many canned/basic patterns the plan drops onto the canvas.
+    pub patterns_used: usize,
+}
+
+impl FormulationPlan {
+    /// Number of atomic actions.
+    pub fn steps(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Replays the plan on a fresh builder and returns the resulting
+    /// query graph. Panics if any op fails (plans must be sound).
+    pub fn replay(&self) -> Graph {
+        let mut q = QueryBuilder::new();
+        for op in &self.ops {
+            q.apply(op).expect("plan ops are sound");
+        }
+        q.to_graph().0
+    }
+}
+
+/// Plans the target query edge-at-a-time (nodes first, then edges) —
+/// what a user of a pattern-less interface must do.
+pub fn plan_edge_at_a_time(target: &Graph) -> FormulationPlan {
+    let mut ops = Vec::with_capacity(target.node_count() + target.edge_count());
+    for v in target.nodes() {
+        ops.push(EditOp::AddNode {
+            label: target.node_label(v),
+        });
+    }
+    for e in target.edges() {
+        let (u, v) = target.endpoints(e);
+        ops.push(EditOp::AddEdge {
+            a: QNode(u.index()),
+            b: QNode(v.index()),
+            label: target.edge_label(e),
+        });
+    }
+    FormulationPlan {
+        ops,
+        patterns_used: 0,
+    }
+}
+
+/// Match options for fitting patterns onto the target query.
+fn fit_options() -> MatchOptions {
+    MatchOptions {
+        induced: false,
+        wildcard: true,
+        max_embeddings: 200,
+        max_states: 200_000,
+    }
+}
+
+/// One candidate placement of a pattern onto the target.
+struct Placement {
+    pattern_idx: usize,
+    /// `mapping[p]` = target node for pattern node `p`.
+    mapping: Vec<NodeId>,
+    /// Net step savings vs. drawing the same chunk manually.
+    savings: i64,
+}
+
+/// Evaluates one embedding: how many steps it saves.
+fn placement_savings(
+    pattern: &Graph,
+    mapping: &[NodeId],
+    target: &Graph,
+    placed: &[Option<QNode>],
+    edge_covered: &[bool],
+) -> i64 {
+    let mut new_nodes = 0i64;
+    let mut merges = 0i64;
+    let mut node_relabels = 0i64;
+    for p in pattern.nodes() {
+        let t = mapping[p.index()];
+        if placed[t.index()].is_some() {
+            merges += 1;
+        } else {
+            new_nodes += 1;
+            if pattern.node_label(p) != target.node_label(t) {
+                node_relabels += 1;
+            }
+        }
+    }
+    let mut new_edges = 0i64;
+    let mut edge_relabels = 0i64;
+    for e in pattern.edges() {
+        let (u, v) = pattern.endpoints(e);
+        let te = target
+            .edge_between(mapping[u.index()], mapping[v.index()])
+            .expect("embedding preserves edges");
+        if !edge_covered[te.index()] {
+            new_edges += 1;
+            if pattern.edge_label(e) != target.edge_label(te) {
+                edge_relabels += 1;
+            }
+        }
+    }
+    if new_edges == 0 && new_nodes == 0 {
+        return i64::MIN; // contributes nothing
+    }
+    let manual_steps = new_nodes + new_edges;
+    let pattern_steps = 1 + merges + node_relabels + edge_relabels;
+    manual_steps - pattern_steps
+}
+
+/// Plans the target query using the Pattern Panel where beneficial.
+pub fn plan_with_patterns(target: &Graph, patterns: &PatternSet) -> FormulationPlan {
+    let mut ops: Vec<EditOp> = Vec::new();
+    let mut patterns_used = 0usize;
+    let mut placed: Vec<Option<QNode>> = vec![None; target.node_count()];
+    let mut edge_covered = vec![false; target.edge_count()];
+    let mut next_builder_node = 0usize;
+
+    // sort patterns by decreasing size so ties favor bigger chunks
+    let mut order: Vec<usize> = (0..patterns.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(patterns.patterns()[i].graph.edge_count()));
+
+    loop {
+        let mut best: Option<Placement> = None;
+        for &pi in &order {
+            let pg = &patterns.patterns()[pi].graph;
+            if pg.edge_count() == 0 || pg.node_count() > target.node_count() {
+                continue;
+            }
+            enumerate_embeddings(pg, target, fit_options(), |mapping| {
+                let savings =
+                    placement_savings(pg, mapping, target, &placed, &edge_covered);
+                if savings > 0 && best.as_ref().is_none_or(|b| savings > b.savings) {
+                    best = Some(Placement {
+                        pattern_idx: pi,
+                        mapping: mapping.to_vec(),
+                        savings,
+                    });
+                }
+                true
+            });
+        }
+        let Some(p) = best else { break };
+        let pg = patterns.patterns()[p.pattern_idx].graph.clone();
+        // drop the pattern (one action); its nodes get sequential builder ids
+        let base = next_builder_node;
+        next_builder_node += pg.node_count();
+        ops.push(EditOp::AddPattern {
+            pattern: pg.clone(),
+        });
+        patterns_used += 1;
+        // merge overlapping nodes, record fresh ones
+        for pn in pg.nodes() {
+            let t = p.mapping[pn.index()];
+            let created = QNode(base + pn.index());
+            match placed[t.index()] {
+                Some(keep) => {
+                    ops.push(EditOp::MergeNodes {
+                        keep,
+                        merge: created,
+                    });
+                }
+                None => {
+                    placed[t.index()] = Some(created);
+                    let want = target.node_label(t);
+                    if pg.node_label(pn) != want {
+                        ops.push(EditOp::SetNodeLabel {
+                            node: created,
+                            label: want,
+                        });
+                    }
+                }
+            }
+        }
+        // fix edge labels of newly covered edges, then mark them covered
+        for pe in pg.edges() {
+            let (u, v) = pg.endpoints(pe);
+            let (tu, tv) = (p.mapping[u.index()], p.mapping[v.index()]);
+            let te = target.edge_between(tu, tv).expect("embedding edge");
+            if !edge_covered[te.index()] {
+                edge_covered[te.index()] = true;
+                let want = target.edge_label(te);
+                if pg.edge_label(pe) != want {
+                    ops.push(EditOp::SetEdgeLabel {
+                        a: placed[tu.index()].expect("placed"),
+                        b: placed[tv.index()].expect("placed"),
+                        label: want,
+                    });
+                }
+            }
+        }
+    }
+
+    // finish manually: remaining nodes, then remaining edges
+    for t in target.nodes() {
+        if placed[t.index()].is_none() {
+            placed[t.index()] = Some(QNode(next_builder_node));
+            next_builder_node += 1;
+            ops.push(EditOp::AddNode {
+                label: target.node_label(t),
+            });
+        }
+    }
+    for e in target.edges() {
+        if !edge_covered[e.index()] {
+            let (u, v) = target.endpoints(e);
+            ops.push(EditOp::AddEdge {
+                a: placed[u.index()].expect("all nodes placed"),
+                b: placed[v.index()].expect("all nodes placed"),
+                label: target.edge_label(e),
+            });
+        }
+    }
+    let _ = WILDCARD_LABEL; // semantic anchor: wildcards relabel above
+    FormulationPlan {
+        ops,
+        patterns_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_core::pattern::{default_basic_patterns, PatternKind};
+    use vqi_graph::generate::{chain, cycle, star};
+    use vqi_graph::iso::are_isomorphic;
+
+    fn canned(graphs: Vec<Graph>) -> PatternSet {
+        let mut set = default_basic_patterns();
+        for g in graphs {
+            set.insert(g, PatternKind::Canned, "test").unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn edge_at_a_time_is_sound() {
+        for target in [chain(5, 1, 2), cycle(6, 3, 4), star(4, 5, 6)] {
+            let plan = plan_edge_at_a_time(&target);
+            assert_eq!(plan.steps(), target.node_count() + target.edge_count());
+            assert!(are_isomorphic(&plan.replay(), &target));
+        }
+    }
+
+    #[test]
+    fn exact_pattern_is_one_drop() {
+        let target = cycle(5, 1, 0);
+        let set = canned(vec![cycle(5, 1, 0)]);
+        let plan = plan_with_patterns(&target, &set);
+        assert_eq!(plan.patterns_used, 1);
+        assert_eq!(plan.steps(), 1, "exact match needs a single action");
+        assert!(are_isomorphic(&plan.replay(), &target));
+    }
+
+    #[test]
+    fn pattern_plus_manual_completion() {
+        // target: 5-cycle with a pendant node
+        let mut target = cycle(5, 1, 0);
+        let x = target.add_node(2);
+        target.add_edge(NodeId(0), x, 7);
+        let set = canned(vec![cycle(5, 1, 0)]);
+        let plan = plan_with_patterns(&target, &set);
+        assert_eq!(plan.patterns_used, 1);
+        // 1 drop + AddNode + AddEdge = 3
+        assert_eq!(plan.steps(), 3);
+        assert!(are_isomorphic(&plan.replay(), &target));
+    }
+
+    #[test]
+    fn wildcard_basic_patterns_need_relabeling() {
+        let target = cycle(3, 9, 8);
+        let set = default_basic_patterns(); // includes wildcard triangle
+        let plan = plan_with_patterns(&target, &set);
+        assert!(are_isomorphic(&plan.replay(), &target));
+        // triangle drop (1) + 3 node relabels + 3 edge relabels = 7,
+        // beats 3 + 3 = 6 manual? it doesn't — the planner must choose
+        // manual construction here
+        assert!(plan.steps() <= 6);
+    }
+
+    #[test]
+    fn overlapping_patterns_merge() {
+        // target: two triangles sharing one node (bowtie)
+        let mut target = cycle(3, 1, 0);
+        let a = target.add_node(1);
+        let b = target.add_node(1);
+        target.add_edge(NodeId(0), a, 0);
+        target.add_edge(NodeId(0), b, 0);
+        target.add_edge(a, b, 0);
+        let set = canned(vec![cycle(3, 1, 0)]);
+        let plan = plan_with_patterns(&target, &set);
+        assert!(are_isomorphic(&plan.replay(), &target));
+        assert_eq!(plan.patterns_used, 2);
+        // 2 drops + 1 merge = 3 steps
+        assert_eq!(plan.steps(), 3);
+    }
+
+    #[test]
+    fn patterns_always_beat_or_match_edgewise() {
+        let targets = vec![chain(6, 1, 0), cycle(6, 1, 0), star(5, 1, 0)];
+        let set = canned(vec![chain(4, 1, 0), cycle(6, 1, 0), star(5, 1, 0)]);
+        for target in targets {
+            let manual = plan_edge_at_a_time(&target);
+            let assisted = plan_with_patterns(&target, &set);
+            assert!(
+                assisted.steps() <= manual.steps(),
+                "assisted {} > manual {} for {}",
+                assisted.steps(),
+                manual.steps(),
+                target.summary()
+            );
+            assert!(are_isomorphic(&assisted.replay(), &target));
+        }
+    }
+
+    #[test]
+    fn empty_pattern_set_degrades_to_manual() {
+        let target = chain(4, 1, 0);
+        let plan = plan_with_patterns(&target, &PatternSet::new());
+        assert_eq!(plan.patterns_used, 0);
+        assert_eq!(plan.steps(), plan_edge_at_a_time(&target).steps());
+        assert!(are_isomorphic(&plan.replay(), &target));
+    }
+
+    use vqi_graph::NodeId;
+}

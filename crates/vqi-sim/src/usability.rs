@@ -1,0 +1,232 @@
+//! The usability-study harness.
+//!
+//! Mirrors the evaluation methodology summarized in §2.3–2.4: a shared
+//! query workload is formulated on each interface by the simulated user,
+//! and the *performance measures* — formulation steps and modeled
+//! formulation time — are aggregated. (The papers' *preference measures*
+//! come from questionnaires and have no faithful simulation; the closest
+//! observable proxy, the fraction of queries where an interface needed
+//! fewer actions, is reported as `preferred_fraction`.)
+
+use crate::cost::ActionCosts;
+use crate::plan::{plan_with_patterns, FormulationPlan};
+use serde::Serialize;
+use vqi_core::vqi::VisualQueryInterface;
+use vqi_graph::Graph;
+
+/// Aggregated measures of one interface over a workload.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct UsabilityStats {
+    /// Mean formulation steps per query.
+    pub mean_steps: f64,
+    /// Mean modeled formulation time per query (seconds), including
+    /// expected error-correction time.
+    pub mean_time: f64,
+    /// Mean expected slips per query (the "errors" usability criterion).
+    pub mean_errors: f64,
+    /// Mean number of patterns used per query.
+    pub mean_patterns_used: f64,
+    /// Queries evaluated.
+    pub queries: usize,
+}
+
+/// Outcome of comparing interface A against interface B.
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyOutcome {
+    /// Stats for interface A.
+    pub a: UsabilityStats,
+    /// Stats for interface B.
+    pub b: UsabilityStats,
+    /// Fraction of queries where A needed strictly fewer steps than B
+    /// (ties excluded) — the preference proxy.
+    pub preferred_fraction: f64,
+    /// Modeled satisfaction of A (see [`satisfaction`]).
+    pub satisfaction_a: f64,
+    /// Modeled satisfaction of B.
+    pub satisfaction_b: f64,
+}
+
+/// A *preference measure* proxy (§2.3 separates quantifiable performance
+/// measures from questionnaire-based preference measures): satisfaction
+/// blends speed, accuracy, and the aesthetic pleasantness of the Pattern
+/// Panel — the three levers the tutorial says drive it (efficiency,
+/// errors, aesthetics). Each term lies in `(0, 1]`; the result is their
+/// mean.
+pub fn satisfaction(stats: &UsabilityStats, panel_pleasantness: f64) -> f64 {
+    let speed = 1.0 / (1.0 + stats.mean_time / 60.0);
+    let accuracy = 1.0 / (1.0 + stats.mean_errors);
+    (speed + accuracy + panel_pleasantness.clamp(0.0, 1.0)) / 3.0
+}
+
+/// Pleasantness of an interface's Pattern Panel under the Berlyne model
+/// with the default optimum (a moderate 5-cycle-like complexity).
+pub fn panel_pleasantness_of(vqi: &VisualQueryInterface) -> f64 {
+    let graphs: Vec<&vqi_graph::Graph> = vqi.pattern_set().graphs().collect();
+    vqi_core::aesthetics::panel_pleasantness(&graphs, 2.4, 1.5)
+}
+
+/// Plans every query on `vqi` and aggregates the measures.
+pub fn evaluate_interface(
+    vqi: &VisualQueryInterface,
+    queries: &[Graph],
+    costs: &ActionCosts,
+) -> UsabilityStats {
+    let panel = vqi.pattern_set().len();
+    let mut steps = 0usize;
+    let mut time = 0.0f64;
+    let mut errors = 0.0f64;
+    let mut used = 0usize;
+    for q in queries {
+        let plan: FormulationPlan = plan_with_patterns(q, vqi.pattern_set());
+        steps += plan.steps();
+        time += costs.plan_cost(&plan.ops, panel);
+        errors += costs.plan_errors(&plan.ops);
+        used += plan.patterns_used;
+    }
+    let n = queries.len().max(1) as f64;
+    UsabilityStats {
+        mean_steps: steps as f64 / n,
+        mean_time: time / n,
+        mean_errors: errors / n,
+        mean_patterns_used: used as f64 / n,
+        queries: queries.len(),
+    }
+}
+
+/// Compares two interfaces on a shared workload.
+pub fn compare(
+    a: &VisualQueryInterface,
+    b: &VisualQueryInterface,
+    queries: &[Graph],
+    costs: &ActionCosts,
+) -> StudyOutcome {
+    let stats_a = evaluate_interface(a, queries, costs);
+    let stats_b = evaluate_interface(b, queries, costs);
+    let mut a_wins = 0usize;
+    for q in queries {
+        let pa = plan_with_patterns(q, a.pattern_set()).steps();
+        let pb = plan_with_patterns(q, b.pattern_set()).steps();
+        if pa < pb {
+            a_wins += 1;
+        }
+    }
+    StudyOutcome {
+        satisfaction_a: satisfaction(&stats_a, panel_pleasantness_of(a)),
+        satisfaction_b: satisfaction(&stats_b, panel_pleasantness_of(b)),
+        a: stats_a,
+        b: stats_b,
+        preferred_fraction: a_wins as f64 / queries.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{sample_queries, WorkloadParams};
+    use vqi_core::budget::PatternBudget;
+    use vqi_core::repo::GraphRepository;
+    use vqi_core::selector::RandomSelector;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    fn repo() -> GraphRepository {
+        let mut graphs = Vec::new();
+        for i in 0..6 {
+            graphs.push(chain(7 + i % 3, 1, 0));
+            graphs.push(cycle(6 + i % 2, 1, 0));
+            graphs.push(star(6 + i % 2, 1, 0));
+        }
+        GraphRepository::collection(graphs)
+    }
+
+    #[test]
+    fn data_driven_beats_manual_on_steps() {
+        let repo = repo();
+        let dd = VisualQueryInterface::data_driven(
+            &repo,
+            &RandomSelector::new(2),
+            &PatternBudget::new(8, 4, 6),
+        );
+        let manual = VisualQueryInterface::manual(vec![1], vec![0], vec![]);
+        let queries = sample_queries(
+            &repo,
+            &WorkloadParams {
+                count: 15,
+                sizes: vec![4, 5, 6],
+                seed: 3,
+            },
+        );
+        assert!(!queries.is_empty());
+        let outcome = compare(&dd, &manual, &queries, &ActionCosts::default());
+        assert!(
+            outcome.a.mean_steps <= outcome.b.mean_steps,
+            "data-driven {} > manual {}",
+            outcome.a.mean_steps,
+            outcome.b.mean_steps
+        );
+        assert!(outcome.a.mean_patterns_used >= outcome.b.mean_patterns_used);
+        // the "errors" usability criterion: fewer, coarser actions mean
+        // fewer expected slips
+        assert!(
+            outcome.a.mean_errors <= outcome.b.mean_errors + 1e-9,
+            "data-driven errors {} > manual {}",
+            outcome.a.mean_errors,
+            outcome.b.mean_errors
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let repo = repo();
+        let manual = VisualQueryInterface::manual(vec![1], vec![0], vec![]);
+        let queries = sample_queries(&repo, &WorkloadParams::default());
+        let stats = evaluate_interface(&manual, &queries, &ActionCosts::default());
+        assert_eq!(stats.queries, queries.len());
+        assert!(stats.mean_steps > 0.0);
+        assert!(stats.mean_time > 0.0);
+    }
+
+    #[test]
+    fn satisfaction_rewards_speed_accuracy_aesthetics() {
+        let fast = UsabilityStats {
+            mean_steps: 5.0,
+            mean_time: 10.0,
+            mean_errors: 0.2,
+            mean_patterns_used: 1.0,
+            queries: 10,
+        };
+        let slow = UsabilityStats {
+            mean_time: 120.0,
+            ..fast
+        };
+        let sloppy = UsabilityStats {
+            mean_errors: 3.0,
+            ..fast
+        };
+        let p = 0.8;
+        assert!(satisfaction(&fast, p) > satisfaction(&slow, p));
+        assert!(satisfaction(&fast, p) > satisfaction(&sloppy, p));
+        assert!(satisfaction(&fast, 0.9) > satisfaction(&fast, 0.1));
+        let s = satisfaction(&fast, p);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn compare_reports_satisfaction() {
+        let repo = repo();
+        let manual = VisualQueryInterface::manual(vec![1], vec![0], vec![]);
+        let queries = sample_queries(&repo, &WorkloadParams::default());
+        let outcome = compare(&manual, &manual, &queries, &ActionCosts::default());
+        assert!((outcome.satisfaction_a - outcome.satisfaction_b).abs() < 1e-12);
+        assert!(outcome.satisfaction_a > 0.0);
+    }
+
+    #[test]
+    fn empty_workload_is_safe() {
+        let manual = VisualQueryInterface::manual(vec![1], vec![0], vec![]);
+        let stats = evaluate_interface(&manual, &[], &ActionCosts::default());
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.mean_steps, 0.0);
+        let outcome = compare(&manual, &manual, &[], &ActionCosts::default());
+        assert_eq!(outcome.preferred_fraction, 0.0);
+    }
+}

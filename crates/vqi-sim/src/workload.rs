@@ -1,0 +1,124 @@
+//! Query workload generation.
+//!
+//! Simulated users draw queries that actually exist in the repository
+//! (sampling connected subgraphs of data graphs / the network), matching
+//! how usability studies task participants with satisfiable queries.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use vqi_core::repo::GraphRepository;
+use vqi_graph::traversal::sample_connected_subgraph;
+use vqi_graph::Graph;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Number of queries to generate.
+    pub count: usize,
+    /// Query sizes (nodes) to draw from, uniformly.
+    pub sizes: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            count: 20,
+            sizes: vec![4, 6, 8],
+            seed: 0x4031,
+        }
+    }
+}
+
+/// Samples a workload of satisfiable queries from the repository.
+/// Queries that cannot be sampled at a requested size are skipped, so the
+/// result may be shorter than `params.count` on tiny repositories.
+pub fn sample_queries(repo: &GraphRepository, params: &WorkloadParams) -> Vec<Graph> {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let sources: Vec<&Graph> = match repo {
+        GraphRepository::Collection(c) => c.iter().map(|(_, g)| g).collect(),
+        GraphRepository::Network(g) => vec![g],
+    };
+    let mut out = Vec::with_capacity(params.count);
+    if sources.is_empty() || params.sizes.is_empty() {
+        return out;
+    }
+    let mut attempts = 0usize;
+    while out.len() < params.count && attempts < params.count * 20 {
+        attempts += 1;
+        let &src = sources.choose(&mut rng).expect("nonempty");
+        let &size = params.sizes.choose(&mut rng).expect("nonempty");
+        if let Some((sub, _)) = sample_connected_subgraph(src, size, 5, &mut rng) {
+            out.push(sub);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{barabasi_albert, chain, cycle};
+    use vqi_graph::iso::{is_subgraph_isomorphic, MatchOptions};
+    use vqi_graph::traversal::is_connected;
+
+    #[test]
+    fn queries_are_satisfiable_subgraphs() {
+        let graphs = vec![chain(10, 1, 0), cycle(9, 2, 0)];
+        let repo = GraphRepository::collection(graphs.clone());
+        let queries = sample_queries(
+            &repo,
+            &WorkloadParams {
+                count: 10,
+                sizes: vec![3, 4],
+                seed: 5,
+            },
+        );
+        assert!(!queries.is_empty());
+        for q in &queries {
+            assert!(is_connected(q));
+            assert!(
+                graphs
+                    .iter()
+                    .any(|g| is_subgraph_isomorphic(q, g, MatchOptions::default())),
+                "query not satisfiable"
+            );
+        }
+    }
+
+    #[test]
+    fn network_workload() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = barabasi_albert(100, 2, 1, &mut rng);
+        let repo = GraphRepository::network(net);
+        let queries = sample_queries(&repo, &WorkloadParams::default());
+        assert_eq!(queries.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let repo = GraphRepository::collection(vec![chain(12, 1, 0)]);
+        let p = WorkloadParams::default();
+        let a = sample_queries(&repo, &p);
+        let b = sample_queries(&repo, &p);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.node_count(), y.node_count());
+            assert_eq!(x.edge_count(), y.edge_count());
+        }
+    }
+
+    #[test]
+    fn empty_repo_or_sizes() {
+        let repo = GraphRepository::collection(vec![]);
+        assert!(sample_queries(&repo, &WorkloadParams::default()).is_empty());
+        let repo2 = GraphRepository::collection(vec![chain(5, 1, 0)]);
+        let p = WorkloadParams {
+            sizes: vec![],
+            ..Default::default()
+        };
+        assert!(sample_queries(&repo2, &p).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the simulated user: plan soundness and the
+//! pattern-assistance guarantee for arbitrary targets and pattern sets.
+
+use proptest::prelude::*;
+use vqi_core::pattern::{default_basic_patterns, PatternKind, PatternSet};
+use vqi_graph::iso::are_isomorphic;
+use vqi_graph::{Graph, NodeId};
+use vqi_sim::cost::ActionCosts;
+use vqi_sim::plan::{plan_edge_at_a_time, plan_with_patterns};
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let labels = proptest::collection::vec(0u32..3, n);
+        let extra = proptest::collection::vec(proptest::bool::weighted(0.25), n * (n - 1) / 2);
+        (labels, parents, extra).prop_map(move |(nl, ps, ex)| {
+            let mut g = Graph::new();
+            let nodes: Vec<NodeId> = nl.iter().map(|&l| g.add_node(l)).collect();
+            for (i, p) in ps.iter().enumerate() {
+                g.add_edge(nodes[i + 1], nodes[*p], 0);
+            }
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if ex[idx] {
+                        g.add_edge(nodes[i], nodes[j], 1);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plans with arbitrary pattern sets are sound and never worse than
+    /// manual formulation.
+    #[test]
+    fn plans_sound_and_helpful(
+        target in arb_connected(8),
+        pattern_graphs in proptest::collection::vec(arb_connected(5), 0..4),
+    ) {
+        let mut patterns = default_basic_patterns();
+        for g in pattern_graphs {
+            let _ = patterns.insert(g, PatternKind::Canned, "prop");
+        }
+        let manual = plan_edge_at_a_time(&target);
+        prop_assert!(are_isomorphic(&manual.replay(), &target));
+        let assisted = plan_with_patterns(&target, &patterns);
+        prop_assert!(are_isomorphic(&assisted.replay(), &target), "assisted plan unsound");
+        prop_assert!(assisted.steps() <= manual.steps());
+    }
+
+    /// Dropping the target itself as a pattern yields a 1-step plan.
+    #[test]
+    fn exact_pattern_shortcut(target in arb_connected(7)) {
+        let mut patterns = PatternSet::new();
+        patterns
+            .insert(target.clone(), PatternKind::Canned, "exact")
+            .unwrap();
+        let plan = plan_with_patterns(&target, &patterns);
+        prop_assert_eq!(plan.steps(), 1);
+        prop_assert_eq!(plan.patterns_used, 1);
+        prop_assert!(are_isomorphic(&plan.replay(), &target));
+    }
+
+    /// Modeled plan time is positive and additive in the ops (action
+    /// time plus expected error-correction time).
+    #[test]
+    fn times_are_additive(target in arb_connected(6)) {
+        let costs = ActionCosts::default();
+        let plan = plan_edge_at_a_time(&target);
+        let total = costs.plan_cost(&plan.ops, 5);
+        let by_parts: f64 = plan.ops.iter().map(|o| costs.cost_of(o, 5)).sum::<f64>()
+            + costs.plan_errors(&plan.ops) * costs.error_correction;
+        prop_assert!((total - by_parts).abs() < 1e-9);
+        prop_assert!(total > 0.0);
+        prop_assert!(costs.plan_errors(&plan.ops) > 0.0);
+    }
+}

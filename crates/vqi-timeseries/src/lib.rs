@@ -1,0 +1,39 @@
+//! Data-driven sketch-based query interfaces for time series — the
+//! "Beyond Graphs" direction of the tutorial's §2.5.
+//!
+//! Sketch-based querying of data series (Correll & Gleicher; Mannino &
+//! Abouzied; Lee et al. — all cited by the tutorial) suffers the same
+//! bottleneck as visual graph querying: users can't sketch a shape they
+//! don't know exists. The tutorial predicts that a *data-driven sketch
+//! panel* — canned shapes mined from the series the way canned patterns
+//! are mined from graphs — mitigates this. This crate implements that
+//! prediction end to end:
+//!
+//! * [`series`] — time-series storage, z-normalization, windowing,
+//!   synthetic generators with planted motifs;
+//! * [`motif`] — motif discovery via a (naive, early-abandoning) matrix
+//!   profile: for every window, the distance to its nearest
+//!   non-overlapping neighbor; motifs are the best-matching pairs;
+//! * [`shapes`] — data-driven **Shape Panel** selection with the exact
+//!   coverage / diversity / cognitive-load trinity of the graph side:
+//!   coverage = fraction of windows within `ε` of a shape, diversity =
+//!   1 − mean pairwise shape similarity, cognitive load = normalized
+//!   turning-point count;
+//! * [`sketch`] — sketch queries, their evaluation (top-k nearest
+//!   windows), and a stroke-level formulation cost model mirroring the
+//!   KLM model of `vqi-sim` (drawing from scratch = one stroke per
+//!   direction change; starting from a canned shape = one pick plus
+//!   amplitude adjustments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod motif;
+pub mod series;
+pub mod shapes;
+pub mod sketch;
+
+pub use motif::{matrix_profile, top_motifs, Motif};
+pub use series::TimeSeries;
+pub use shapes::{select_shapes, Shape, ShapeBudget, ShapePanel};
+pub use sketch::{match_sketch, sketch_cost, SketchMatch};

@@ -1,0 +1,188 @@
+//! Motif discovery via a naive matrix profile.
+//!
+//! The matrix profile of a series under window width `w` records, for
+//! every window, the distance to its nearest *non-trivially-overlapping*
+//! neighbor. Low profile values mark repeated structure — motifs — which
+//! are exactly the "representative objects" a data-driven sketch panel
+//! needs. The implementation is the straightforward `O(n²·w)` scan with
+//! early abandoning, parallelized over query windows; fine for the
+//! series sizes of the experiments (a full MASS/STOMP implementation is
+//! out of scope and orthogonal to the interface questions).
+
+use crate::series::{znormalize, TimeSeries};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// A discovered motif.
+#[derive(Debug, Clone, Serialize)]
+pub struct Motif {
+    /// Window offset of the first occurrence.
+    pub a: usize,
+    /// Window offset of its nearest neighbor.
+    pub b: usize,
+    /// Distance between the two z-normalized windows.
+    pub distance: f64,
+    /// Window width.
+    pub width: usize,
+}
+
+/// Computes the matrix profile: `(profile, profile_index)` where
+/// `profile[i]` is the distance from window `i` to its nearest neighbor
+/// at least `w/2` away, and `profile_index[i]` is that neighbor's offset.
+/// Returns empty vectors when fewer than two non-overlapping windows fit.
+pub fn matrix_profile(series: &TimeSeries, w: usize) -> (Vec<f64>, Vec<usize>) {
+    let n = series.window_count(w);
+    if n == 0 {
+        return (vec![], vec![]);
+    }
+    let exclusion = (w / 2).max(1);
+    let shapes: Vec<Vec<f64>> = (0..n)
+        .map(|i| znormalize(series.window(i, w).expect("in range")))
+        .collect();
+    let results: Vec<(f64, usize)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut best = (f64::INFINITY, usize::MAX);
+            for j in 0..n {
+                if i.abs_diff(j) < exclusion {
+                    continue;
+                }
+                // early abandoning squared-distance scan
+                let mut acc = 0.0;
+                let limit = best.0 * best.0;
+                for (x, y) in shapes[i].iter().zip(shapes[j].iter()) {
+                    acc += (x - y) * (x - y);
+                    if acc > limit {
+                        break;
+                    }
+                }
+                if acc <= limit {
+                    let d = acc.sqrt();
+                    if d < best.0 {
+                        best = (d, j);
+                    }
+                }
+            }
+            best
+        })
+        .collect();
+    let profile = results.iter().map(|r| r.0).collect();
+    let index = results.iter().map(|r| r.1).collect();
+    (profile, index)
+}
+
+/// Extracts the top-`k` motifs: repeatedly take the window with the
+/// lowest profile value, pair it with its nearest neighbor, and exclude
+/// both neighborhoods from further selection.
+pub fn top_motifs(series: &TimeSeries, w: usize, k: usize) -> Vec<Motif> {
+    let (profile, index) = matrix_profile(series, w);
+    let n = profile.len();
+    let mut blocked = vec![false; n];
+    let mut motifs = Vec::new();
+    let exclusion = (w / 2).max(1);
+    while motifs.len() < k {
+        let best = (0..n)
+            .filter(|&i| !blocked[i] && profile[i].is_finite() && !blocked[index[i]])
+            .min_by(|&a, &b| profile[a].partial_cmp(&profile[b]).expect("finite"));
+        let Some(i) = best else { break };
+        let j = index[i];
+        motifs.push(Motif {
+            a: i.min(j),
+            b: i.max(j),
+            distance: profile[i],
+            width: w,
+        });
+        for center in [i, j] {
+            let lo = center.saturating_sub(exclusion);
+            let hi = (center + exclusion).min(n - 1);
+            for b in &mut blocked[lo..=hi] {
+                *b = true;
+            }
+        }
+    }
+    motifs
+}
+
+/// The z-normalized shape of a motif's first occurrence.
+pub fn motif_shape(series: &TimeSeries, motif: &Motif) -> Vec<f64> {
+    znormalize(series.window(motif.a, motif.width).expect("in range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{synthetic_with_motifs, SyntheticParams};
+
+    #[test]
+    fn profile_finds_planted_motifs() {
+        let params = SyntheticParams {
+            len: 1_200,
+            motif_occurrences: 4,
+            motif_width: 40,
+            noise: 0.05,
+            seed: 3,
+        };
+        let (series, offsets) = synthetic_with_motifs(params);
+        let motifs = top_motifs(&series, params.motif_width, 1);
+        assert_eq!(motifs.len(), 1);
+        let m = &motifs[0];
+        // the best motif pair should land near two planted offsets
+        let near = |x: usize| offsets.iter().any(|&o| o.abs_diff(x) <= 5);
+        assert!(near(m.a) && near(m.b), "motif at {}/{} vs planted {:?}", m.a, m.b, offsets);
+    }
+
+    #[test]
+    fn profile_respects_exclusion_zone() {
+        let (series, _) = synthetic_with_motifs(SyntheticParams {
+            len: 400,
+            motif_width: 30,
+            motif_occurrences: 2,
+            noise: 0.1,
+            seed: 4,
+        });
+        let w = 30;
+        let (profile, index) = matrix_profile(&series, w);
+        for (i, &j) in index.iter().enumerate() {
+            if profile[i].is_finite() {
+                assert!(i.abs_diff(j) >= w / 2, "trivial match at {i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_motifs_do_not_overlap() {
+        let (series, _) = synthetic_with_motifs(SyntheticParams::default());
+        let w = 50;
+        let motifs = top_motifs(&series, w, 4);
+        assert!(motifs.len() >= 2);
+        for (x, y) in motifs.iter().zip(motifs.iter().skip(1)) {
+            assert!(x.distance <= y.distance, "motifs must come sorted by distance");
+        }
+        for i in 0..motifs.len() {
+            for j in (i + 1)..motifs.len() {
+                assert!(
+                    motifs[i].a.abs_diff(motifs[j].a) >= w / 2,
+                    "motif anchors overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = TimeSeries::new(vec![]);
+        assert!(matrix_profile(&empty, 10).0.is_empty());
+        assert!(top_motifs(&empty, 10, 3).is_empty());
+        let tiny = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        assert!(top_motifs(&tiny, 10, 3).is_empty());
+    }
+
+    #[test]
+    fn motif_shape_is_normalized() {
+        let (series, _) = synthetic_with_motifs(SyntheticParams::default());
+        let motifs = top_motifs(&series, 50, 1);
+        let shape = motif_shape(&series, &motifs[0]);
+        let mean: f64 = shape.iter().sum::<f64>() / shape.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Time-series storage, normalization, and synthetic generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A univariate time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Wraps raw values.
+    pub fn new(values: Vec<f64>) -> Self {
+        TimeSeries { values }
+    }
+
+    /// Length in samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The window starting at `start` with `w` samples, if in range.
+    pub fn window(&self, start: usize, w: usize) -> Option<&[f64]> {
+        self.values.get(start..start + w)
+    }
+
+    /// Number of windows of width `w`.
+    pub fn window_count(&self, w: usize) -> usize {
+        if w == 0 || self.values.len() < w {
+            0
+        } else {
+            self.values.len() - w + 1
+        }
+    }
+}
+
+/// Z-normalizes a window: zero mean, unit variance. Flat windows (zero
+/// variance) normalize to all zeros.
+pub fn znormalize(window: &[f64]) -> Vec<f64> {
+    let n = window.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mean = window.iter().sum::<f64>() / n as f64;
+    let var = window.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return vec![0.0; n];
+    }
+    window.iter().map(|x| (x - mean) / sd).collect()
+}
+
+/// Euclidean distance between two z-normalized shapes of equal length.
+pub fn shape_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "shapes must share a length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Distance between a z-normalized `shape` and the window of `series`
+/// starting at `start` (the window is z-normalized first).
+pub fn window_distance(series: &TimeSeries, start: usize, shape: &[f64]) -> f64 {
+    let w = series
+        .window(start, shape.len())
+        .expect("window in range");
+    shape_distance(&znormalize(w), shape)
+}
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticParams {
+    /// Series length.
+    pub len: usize,
+    /// Number of planted motif occurrences.
+    pub motif_occurrences: usize,
+    /// Motif width in samples.
+    pub motif_width: usize,
+    /// Noise amplitude.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            len: 2_000,
+            motif_occurrences: 6,
+            motif_width: 50,
+            noise: 0.15,
+            seed: 0x7E11,
+        }
+    }
+}
+
+/// A random-walk series with a planted sinusoidal-burst motif repeated at
+/// random non-overlapping offsets. Returns the series and the planted
+/// offsets (sorted).
+pub fn synthetic_with_motifs(params: SyntheticParams) -> (TimeSeries, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut values = Vec::with_capacity(params.len);
+    let mut level: f64 = 0.0;
+    for _ in 0..params.len {
+        level += rng.gen_range(-1.0..1.0) * 0.3;
+        values.push(level + rng.gen_range(-params.noise..params.noise));
+    }
+    // the planted shape: one-and-a-half sine periods with a spike
+    let w = params.motif_width;
+    let shape: Vec<f64> = (0..w)
+        .map(|i| {
+            let t = i as f64 / w as f64;
+            3.0 * (t * std::f64::consts::PI * 3.0).sin() + if i == w / 2 { 2.0 } else { 0.0 }
+        })
+        .collect();
+    let mut offsets = Vec::new();
+    let mut attempts = 0;
+    while offsets.len() < params.motif_occurrences && attempts < 1_000 {
+        attempts += 1;
+        if params.len <= w {
+            break;
+        }
+        let o = rng.gen_range(0..params.len - w);
+        if offsets.iter().all(|&p: &usize| p.abs_diff(o) >= w) {
+            offsets.push(o);
+        }
+    }
+    for &o in &offsets {
+        let base = values[o];
+        for i in 0..w {
+            values[o + i] = base + shape[i] + rng.gen_range(-params.noise..params.noise);
+        }
+    }
+    offsets.sort_unstable();
+    (TimeSeries::new(values), offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znormalize_properties() {
+        let z = znormalize(&[1.0, 2.0, 3.0, 4.0]);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+        // flat windows and empties are safe
+        assert_eq!(znormalize(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+        assert!(znormalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn znormalize_is_shift_and_scale_invariant() {
+        let a = znormalize(&[1.0, 3.0, 2.0, 5.0]);
+        let b = znormalize(&[10.0, 30.0, 20.0, 50.0]);
+        let c = znormalize(&[101.0, 103.0, 102.0, 105.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        for (x, y) in a.iter().zip(c.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn windows_and_counts() {
+        let s = TimeSeries::new((0..10).map(|i| i as f64).collect());
+        assert_eq!(s.window_count(3), 8);
+        assert_eq!(s.window(7, 3).unwrap(), &[7.0, 8.0, 9.0]);
+        assert!(s.window(8, 3).is_none());
+        assert_eq!(s.window_count(11), 0);
+        assert_eq!(s.window_count(0), 0);
+    }
+
+    #[test]
+    fn shape_distance_basics() {
+        let a = vec![0.0, 1.0, 0.0];
+        let b = vec![0.0, 1.0, 0.0];
+        assert_eq!(shape_distance(&a, &b), 0.0);
+        let c = vec![1.0, 1.0, 0.0];
+        assert!((shape_distance(&a, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_plants_motifs() {
+        let params = SyntheticParams::default();
+        let (series, offsets) = synthetic_with_motifs(params);
+        assert_eq!(series.len(), params.len);
+        assert_eq!(offsets.len(), params.motif_occurrences);
+        // planted occurrences are mutually close in shape space
+        let w = params.motif_width;
+        let first = znormalize(series.window(offsets[0], w).unwrap());
+        for &o in &offsets[1..] {
+            let other = znormalize(series.window(o, w).unwrap());
+            let d = shape_distance(&first, &other);
+            assert!(d < 3.0, "planted motifs too far apart: {d}");
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let (a, oa) = synthetic_with_motifs(SyntheticParams::default());
+        let (b, ob) = synthetic_with_motifs(SyntheticParams::default());
+        assert_eq!(a, b);
+        assert_eq!(oa, ob);
+    }
+}

@@ -1,0 +1,238 @@
+//! Data-driven Shape Panel selection — the coverage / diversity /
+//! cognitive-load trinity transplanted from graphs to series shapes.
+
+use crate::motif::{motif_shape, top_motifs};
+use crate::series::{shape_distance, window_distance, TimeSeries};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// A canned shape on the Shape Panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Shape {
+    /// The z-normalized shape values.
+    pub values: Vec<f64>,
+    /// Where it was mined from (window offset).
+    pub provenance: usize,
+}
+
+impl Shape {
+    /// Window width.
+    pub fn width(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Budget for shape selection.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeBudget {
+    /// Number of shapes to display.
+    pub count: usize,
+    /// Window width in samples.
+    pub width: usize,
+    /// A window is covered by a shape if within this distance.
+    pub epsilon: f64,
+}
+
+impl Default for ShapeBudget {
+    fn default() -> Self {
+        ShapeBudget {
+            count: 5,
+            width: 50,
+            epsilon: 3.0,
+        }
+    }
+}
+
+/// The populated Shape Panel with its quality report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShapePanel {
+    /// Selected shapes.
+    pub shapes: Vec<Shape>,
+    /// Fraction of series windows within `ε` of some shape.
+    pub coverage: f64,
+    /// `1 − mean pairwise similarity` of the shapes.
+    pub diversity: f64,
+    /// Mean normalized turning-point count.
+    pub cognitive_load: f64,
+}
+
+/// Cognitive load of a shape: the fraction of interior points that are
+/// direction changes (turning points). A monotone ramp scores 0; a
+/// zig-zag scores 1. Mirrors the "topologically complex patterns demand
+/// more effort" rationale on the graph side.
+pub fn shape_cognitive_load(values: &[f64]) -> f64 {
+    if values.len() < 3 {
+        return 0.0;
+    }
+    let mut turns = 0usize;
+    for w in values.windows(3) {
+        let d1 = w[1] - w[0];
+        let d2 = w[2] - w[1];
+        if d1 * d2 < 0.0 {
+            turns += 1;
+        }
+    }
+    turns as f64 / (values.len() - 2) as f64
+}
+
+/// Coverage bitset of one shape over all windows of the series.
+fn coverage_bits(series: &TimeSeries, shape: &[f64], epsilon: f64) -> Vec<bool> {
+    let n = series.window_count(shape.len());
+    (0..n)
+        .into_par_iter()
+        .map(|i| window_distance(series, i, shape) <= epsilon)
+        .collect()
+}
+
+/// Selects a Shape Panel from the series: candidates are the top motifs
+/// (3× the budget), greedily chosen by marginal window coverage +
+/// diversity − cognitive load, exactly like the graph-side selectors.
+pub fn select_shapes(series: &TimeSeries, budget: ShapeBudget) -> ShapePanel {
+    let candidates = top_motifs(series, budget.width, budget.count * 3);
+    let shapes: Vec<Shape> = candidates
+        .iter()
+        .map(|m| Shape {
+            values: motif_shape(series, m),
+            provenance: m.a,
+        })
+        .collect();
+    let bits: Vec<Vec<bool>> = shapes
+        .iter()
+        .map(|s| coverage_bits(series, &s.values, budget.epsilon))
+        .collect();
+    let n_windows = series.window_count(budget.width).max(1);
+
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; n_windows];
+    while chosen.len() < budget.count {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in shapes.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let gain = bits[i]
+                .iter()
+                .zip(covered.iter())
+                .filter(|(&c, &d)| c && !d)
+                .count() as f64
+                / n_windows as f64;
+            let div = if chosen.is_empty() {
+                1.0
+            } else {
+                let max_sim = chosen
+                    .iter()
+                    .map(|&j| {
+                        let d = shape_distance(&s.values, &shapes[j].values);
+                        // similarity: distance mapped to (0, 1]
+                        1.0 / (1.0 + d)
+                    })
+                    .fold(0.0f64, f64::max);
+                1.0 - max_sim
+            };
+            let score = gain + 0.5 * div - 0.5 * shape_cognitive_load(&s.values);
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        chosen.push(i);
+        for (c, &b) in covered.iter_mut().zip(bits[i].iter()) {
+            *c |= b;
+        }
+    }
+
+    let selected: Vec<Shape> = chosen.iter().map(|&i| shapes[i].clone()).collect();
+    let coverage = covered.iter().filter(|&&c| c).count() as f64 / n_windows as f64;
+    let diversity = if selected.len() <= 1 {
+        1.0
+    } else {
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..selected.len() {
+            for j in (i + 1)..selected.len() {
+                total += 1.0 / (1.0 + shape_distance(&selected[i].values, &selected[j].values));
+                pairs += 1;
+            }
+        }
+        1.0 - total / pairs as f64
+    };
+    let cognitive_load = if selected.is_empty() {
+        0.0
+    } else {
+        selected
+            .iter()
+            .map(|s| shape_cognitive_load(&s.values))
+            .sum::<f64>()
+            / selected.len() as f64
+    };
+    ShapePanel {
+        shapes: selected,
+        coverage,
+        diversity,
+        cognitive_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{synthetic_with_motifs, SyntheticParams};
+
+    fn series() -> TimeSeries {
+        synthetic_with_motifs(SyntheticParams::default()).0
+    }
+
+    #[test]
+    fn panel_selects_within_budget() {
+        let panel = select_shapes(&series(), ShapeBudget::default());
+        assert!(!panel.shapes.is_empty());
+        assert!(panel.shapes.len() <= 5);
+        for s in &panel.shapes {
+            assert_eq!(s.width(), 50);
+        }
+        assert!((0.0..=1.0).contains(&panel.coverage));
+        assert!((0.0..=1.0).contains(&panel.diversity));
+        assert!((0.0..=1.0).contains(&panel.cognitive_load));
+    }
+
+    #[test]
+    fn panel_covers_planted_motifs() {
+        let params = SyntheticParams {
+            noise: 0.05,
+            ..Default::default()
+        };
+        let (series, offsets) = synthetic_with_motifs(params);
+        let panel = select_shapes(
+            &series,
+            ShapeBudget {
+                count: 3,
+                width: params.motif_width,
+                epsilon: 3.0,
+            },
+        );
+        // at least one planted occurrence is within epsilon of a shape
+        let hit = offsets.iter().any(|&o| {
+            panel
+                .shapes
+                .iter()
+                .any(|s| crate::series::window_distance(&series, o, &s.values) <= 3.0)
+        });
+        assert!(hit, "no shape matches a planted motif");
+    }
+
+    #[test]
+    fn cognitive_load_ordering() {
+        let ramp: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let zigzag: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        assert_eq!(shape_cognitive_load(&ramp), 0.0);
+        assert!(shape_cognitive_load(&zigzag) > 0.9);
+        assert_eq!(shape_cognitive_load(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_series_panel() {
+        let panel = select_shapes(&TimeSeries::new(vec![]), ShapeBudget::default());
+        assert!(panel.shapes.is_empty());
+        assert_eq!(panel.coverage, 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Sketch queries: evaluation and formulation cost.
+//!
+//! A sketch query is a shape the user draws (or picks from the Shape
+//! Panel and adjusts). Evaluation returns the top-k nearest windows.
+//! Formulation cost mirrors the graph-side KLM model: free-hand drawing
+//! costs one stroke per direction segment of the intended shape, while
+//! starting from a canned shape costs one panel pick plus one adjustment
+//! per segment where the canned shape deviates from the intention.
+
+use crate::series::{window_distance, TimeSeries};
+use crate::shapes::{Shape, ShapePanel};
+use serde::Serialize;
+
+/// One match of a sketch in the series.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SketchMatch {
+    /// Window offset.
+    pub offset: usize,
+    /// Distance between the z-normalized window and the sketch.
+    pub distance: f64,
+}
+
+/// Finds the `k` nearest non-overlapping windows to a z-normalized
+/// sketch.
+pub fn match_sketch(series: &TimeSeries, sketch: &[f64], k: usize) -> Vec<SketchMatch> {
+    let w = sketch.len();
+    let n = series.window_count(w);
+    if n == 0 || w == 0 {
+        return vec![];
+    }
+    let mut all: Vec<SketchMatch> = (0..n)
+        .map(|i| SketchMatch {
+            offset: i,
+            distance: window_distance(series, i, sketch),
+        })
+        .collect();
+    all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+    // non-maximum suppression: drop overlapping windows
+    let mut out: Vec<SketchMatch> = Vec::new();
+    for m in all {
+        if out.len() >= k {
+            break;
+        }
+        if out.iter().all(|o| o.offset.abs_diff(m.offset) >= w / 2) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Number of monotone segments of a shape (direction changes + 1).
+pub fn segment_count(values: &[f64]) -> usize {
+    if values.len() < 2 {
+        return 0;
+    }
+    let mut segments = 1usize;
+    let mut dir = 0i8;
+    for w in values.windows(2) {
+        let d = (w[1] - w[0]).partial_cmp(&0.0).map_or(0i8, |o| match o {
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+        });
+        if d != 0 {
+            if dir != 0 && d != dir {
+                segments += 1;
+            }
+            dir = d;
+        }
+    }
+    segments
+}
+
+/// Costs of sketch formulation actions, in seconds.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SketchCosts {
+    /// Drawing one monotone stroke segment free-hand.
+    pub stroke: f64,
+    /// Visually scanning one Shape Panel entry.
+    pub scan_per_shape: f64,
+    /// Dragging a canned shape onto the canvas.
+    pub drag: f64,
+    /// Adjusting one deviating segment of a canned shape.
+    pub adjust: f64,
+}
+
+impl Default for SketchCosts {
+    fn default() -> Self {
+        SketchCosts {
+            stroke: 1.4,
+            scan_per_shape: 0.4,
+            drag: 1.1,
+            adjust: 0.9,
+        }
+    }
+}
+
+/// Modeled time to formulate the `intended` sketch.
+///
+/// Free-hand (no panel): one stroke per monotone segment. With a panel:
+/// scan half the panel, drag the best canned shape, then adjust the
+/// segments where the canned shape's direction profile deviates from the
+/// intention; falls back to free-hand when that is cheaper.
+pub fn sketch_cost(intended: &[f64], panel: Option<&ShapePanel>, costs: &SketchCosts) -> f64 {
+    let freehand = segment_count(intended) as f64 * costs.stroke;
+    let Some(panel) = panel else {
+        return freehand;
+    };
+    if panel.shapes.is_empty() {
+        return freehand;
+    }
+    let scan = costs.scan_per_shape * (panel.shapes.len() as f64 / 2.0).max(1.0);
+    let best = panel
+        .shapes
+        .iter()
+        .map(|s| canned_cost(intended, s, costs))
+        .fold(f64::INFINITY, f64::min);
+    (scan + best).min(freehand)
+}
+
+fn canned_cost(intended: &[f64], shape: &Shape, costs: &SketchCosts) -> f64 {
+    let deviating = deviating_segments(intended, &shape.values);
+    costs.drag + deviating as f64 * costs.adjust
+}
+
+/// Counts the monotone segments of `intended` whose direction disagrees
+/// with the canned shape over the same span (resampled by index ratio).
+pub fn deviating_segments(intended: &[f64], canned: &[f64]) -> usize {
+    if intended.len() < 2 || canned.len() < 2 {
+        return segment_count(intended);
+    }
+    let mut deviations = 0usize;
+    let scale = (canned.len() - 1) as f64 / (intended.len() - 1) as f64;
+    let mut i = 0usize;
+    while i + 1 < intended.len() {
+        // walk to the end of this monotone segment
+        let start = i;
+        let dir = (intended[i + 1] - intended[i]).signum();
+        while i + 1 < intended.len() && (intended[i + 1] - intended[i]).signum() == dir {
+            i += 1;
+        }
+        // compare against the canned shape's net direction on the span
+        let ca = ((start as f64) * scale).round() as usize;
+        let cb = ((i as f64) * scale).round() as usize;
+        let ca = ca.min(canned.len() - 1);
+        let cb = cb.min(canned.len() - 1);
+        let canned_dir = (canned[cb] - canned[ca]).signum();
+        if canned_dir != dir {
+            deviations += 1;
+        }
+        if start == i {
+            i += 1; // flat step, avoid stalling
+        }
+    }
+    deviations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{synthetic_with_motifs, znormalize, SyntheticParams};
+    use crate::shapes::{select_shapes, ShapeBudget};
+
+    #[test]
+    fn matching_finds_planted_occurrences() {
+        let params = SyntheticParams {
+            noise: 0.05,
+            ..Default::default()
+        };
+        let (series, offsets) = synthetic_with_motifs(params);
+        let sketch = znormalize(series.window(offsets[0], params.motif_width).unwrap());
+        let matches = match_sketch(&series, &sketch, params.motif_occurrences);
+        assert!(!matches.is_empty());
+        // the top match is (nearly) the source window itself
+        assert!(offsets.iter().any(|&o| o.abs_diff(matches[0].offset) <= 2));
+        // several planted occurrences are retrieved
+        let hits = matches
+            .iter()
+            .filter(|m| offsets.iter().any(|&o| o.abs_diff(m.offset) <= 5))
+            .count();
+        assert!(hits >= 2, "only {hits} planted occurrences retrieved");
+    }
+
+    #[test]
+    fn matches_are_sorted_and_non_overlapping() {
+        let (series, _) = synthetic_with_motifs(SyntheticParams::default());
+        let sketch = znormalize(series.window(100, 50).unwrap());
+        let matches = match_sketch(&series, &sketch, 5);
+        for pair in matches.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        for i in 0..matches.len() {
+            for j in (i + 1)..matches.len() {
+                assert!(matches[i].offset.abs_diff(matches[j].offset) >= 25);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_counting() {
+        assert_eq!(segment_count(&[0.0, 1.0, 2.0]), 1);
+        assert_eq!(segment_count(&[0.0, 1.0, 0.0]), 2);
+        assert_eq!(segment_count(&[0.0, 1.0, 0.0, 1.0]), 3);
+        assert_eq!(segment_count(&[1.0]), 0);
+    }
+
+    #[test]
+    fn panel_reduces_sketching_cost_for_known_shapes() {
+        let params = SyntheticParams {
+            noise: 0.05,
+            ..Default::default()
+        };
+        let (series, offsets) = synthetic_with_motifs(params);
+        let panel = select_shapes(
+            &series,
+            ShapeBudget {
+                count: 4,
+                width: params.motif_width,
+                epsilon: 3.0,
+            },
+        );
+        // the user intends to sketch the planted motif
+        let intended = znormalize(series.window(offsets[0], params.motif_width).unwrap());
+        let costs = SketchCosts::default();
+        let freehand = sketch_cost(&intended, None, &costs);
+        let assisted = sketch_cost(&intended, Some(&panel), &costs);
+        assert!(
+            assisted < freehand,
+            "assisted {assisted:.1}s !< freehand {freehand:.1}s"
+        );
+    }
+
+    #[test]
+    fn panel_never_hurts() {
+        let (series, _) = synthetic_with_motifs(SyntheticParams::default());
+        let panel = select_shapes(&series, ShapeBudget::default());
+        // a shape unrelated to the panel: a pure ramp
+        let ramp: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let costs = SketchCosts::default();
+        let freehand = sketch_cost(&ramp, None, &costs);
+        let assisted = sketch_cost(&ramp, Some(&panel), &costs);
+        assert!(assisted <= freehand + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sketches() {
+        let series = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        assert!(match_sketch(&series, &[], 3).is_empty());
+        assert!(match_sketch(&TimeSeries::new(vec![]), &[0.0, 1.0], 3).is_empty());
+        assert_eq!(sketch_cost(&[], None, &SketchCosts::default()), 0.0);
+    }
+}

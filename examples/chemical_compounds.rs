@@ -1,0 +1,72 @@
+//! Chemical-compound scenario: the CATAPULT workload.
+//!
+//! Compares three selectors (CATAPULT, the modular pipeline, random
+//! baseline) on an AIDS-like compound collection across pattern quality
+//! (coverage / diversity / cognitive load) and simulated-user usability
+//! (formulation steps and time), the comparison §2.3 of the tutorial
+//! summarizes.
+//!
+//! Run with: `cargo run --release --example chemical_compounds`
+
+use datadriven_vqi::core::selector::RandomSelector;
+use datadriven_vqi::core::score::evaluate;
+use datadriven_vqi::prelude::*;
+use datadriven_vqi::sim::usability::evaluate_interface;
+use datadriven_vqi::sim::workload::{sample_queries, WorkloadParams};
+
+fn main() {
+    let graphs = datadriven_vqi::datasets::aids_like(MoleculeParams {
+        count: 150,
+        seed: 11,
+        ..Default::default()
+    });
+    let repo = GraphRepository::collection(graphs);
+    let budget = PatternBudget::new(8, 4, 8);
+    let queries = sample_queries(
+        &repo,
+        &WorkloadParams {
+            count: 25,
+            sizes: vec![4, 6, 8],
+            seed: 21,
+        },
+    );
+    println!(
+        "collection: {} compounds | budget: {} patterns of {}-{} nodes | workload: {} queries\n",
+        repo.graph_count(),
+        budget.count,
+        budget.min_size,
+        budget.max_size,
+        queries.len()
+    );
+
+    let selectors: Vec<(&str, Box<dyn PatternSelector>)> = vec![
+        ("catapult", Box::new(Catapult::default())),
+        ("aurora", Box::new(datadriven_vqi::prelude::Aurora::default())),
+        ("modular", Box::new(ModularPipeline::standard())),
+        ("random", Box::new(RandomSelector::new(7))),
+    ];
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>8} {:>7} {:>11} {:>10}",
+        "selector", "coverage", "diversity", "cogload", "score", "mean steps", "mean time"
+    );
+    let manual = VisualQueryInterface::manual(
+        repo.node_labels().into_iter().collect(),
+        repo.edge_labels().into_iter().collect(),
+        vec![],
+    );
+    for (name, selector) in &selectors {
+        let vqi = VisualQueryInterface::data_driven(&repo, selector.as_ref(), &budget);
+        let q = evaluate(vqi.pattern_set(), &repo, Default::default());
+        let u = evaluate_interface(&vqi, &queries, &ActionCosts::default());
+        println!(
+            "{:<10} {:>9.3} {:>9.3} {:>8.3} {:>7.3} {:>11.2} {:>9.1}s",
+            name, q.coverage, q.diversity, q.cognitive_load, q.score, u.mean_steps, u.mean_time
+        );
+    }
+    let um = evaluate_interface(&manual, &queries, &ActionCosts::default());
+    println!(
+        "{:<10} {:>9} {:>9} {:>8} {:>7} {:>11.2} {:>9.1}s   (basic patterns only)",
+        "manual", "-", "-", "-", "-", um.mean_steps, um.mean_time
+    );
+}

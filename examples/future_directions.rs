@@ -1,0 +1,89 @@
+//! A tour of the paper's §2.5 future directions, implemented: exploratory
+//! extension suggestions, plug-and-play persistence, aesthetics-aware
+//! layout optimization, pattern-based summarization, and partitioned
+//! selection.
+//!
+//! Run with: `cargo run --release --example future_directions`
+
+use datadriven_vqi::core::aesthetics::visual_complexity;
+use datadriven_vqi::core::explore::{suggest_extensions, SuggestOptions};
+use datadriven_vqi::core::layout::{circular, force_directed, LayoutParams};
+use datadriven_vqi::core::optimize::{anneal_layout, layout_cost, AnnealParams, LayoutObjective};
+use datadriven_vqi::core::persist::{load_interface, save_interface};
+use datadriven_vqi::core::summary::{summarize, SummaryOptions};
+use datadriven_vqi::prelude::*;
+use tattoo::PartitionedTattoo;
+
+fn main() {
+    let net = datadriven_vqi::datasets::dblp_like(1_000, 17);
+    let repo = GraphRepository::network(net.clone());
+    let budget = PatternBudget::new(6, 4, 6);
+    let vqi = VisualQueryInterface::data_driven(&repo, &Tattoo::default(), &budget);
+
+    // 1. exploratory search: what can grow from a single hub node?
+    println!("--- exploratory extension suggestions (PICASSO/VIIQ style) ---");
+    let mut fragment = Graph::new();
+    fragment.add_node(0); // the most common label
+    for s in suggest_extensions(&fragment, &repo, SuggestOptions { top_k: 5, ..Default::default() }) {
+        println!(
+            "  extend node {} with a label-{} neighbor via label-{} edge (support {})",
+            s.attach_to, s.node_label, s.edge_label, s.support
+        );
+    }
+
+    // 2. plug-and-play persistence: ship the interface, reload it
+    println!("\n--- plug-and-play persistence ---");
+    let doc = save_interface(&vqi);
+    let reloaded = load_interface(&doc).expect("round trip");
+    println!(
+        "  saved {} bytes; reloaded interface has {} patterns, {} node labels",
+        doc.len(),
+        reloaded.pattern_set().len(),
+        reloaded.attributes.node_labels.len()
+    );
+
+    // 3. aesthetics-aware layout of the densest pattern
+    println!("\n--- aesthetics-aware layout optimization ---");
+    if let Some(p) = vqi
+        .pattern_set()
+        .canned()
+        .max_by_key(|p| p.edge_count())
+    {
+        let obj = LayoutObjective::default();
+        let bad = circular(&p.graph, 200.0, 200.0);
+        let fr = force_directed(&p.graph, LayoutParams::default());
+        let (best, _) = anneal_layout(&p.graph, &fr, &obj, AnnealParams::default());
+        println!(
+            "  densest pattern (n={}, m={}): cost circular={:.2} force-directed={:.2} annealed={:.2}",
+            p.size(),
+            p.edge_count(),
+            layout_cost(&p.graph, &bad, &obj),
+            layout_cost(&p.graph, &fr, &obj),
+            layout_cost(&p.graph, &best, &obj)
+        );
+        let vc = visual_complexity(&p.graph, &best);
+        println!("  annealed drawing: {} crossings, complexity {:.2}", vc.crossings, vc.complexity);
+    }
+
+    // 4. pattern-based summarization
+    println!("\n--- pattern-based graph summarization ---");
+    let s = summarize(&net, vqi.pattern_set(), SummaryOptions::default());
+    println!(
+        "  {} nodes -> {} supernodes (compression {:.1}%), {:.1}% of nodes absorbed into patterns",
+        net.node_count(),
+        s.graph.node_count(),
+        100.0 * s.compression_ratio,
+        100.0 * s.node_coverage
+    );
+
+    // 5. partitioned selection for massive networks
+    println!("\n--- partitioned (map/reduce-style) selection ---");
+    let parted = PartitionedTattoo::new(Default::default(), 4).run(&net, &budget);
+    let q = datadriven_vqi::core::score::evaluate(&parted, &repo, Default::default());
+    println!(
+        "  4-way partitioned selection: {} patterns, coverage {:.3}, score {:.3}",
+        parted.len(),
+        q.coverage,
+        q.score
+    );
+}

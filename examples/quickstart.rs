@@ -1,0 +1,64 @@
+//! Quickstart: construct a data-driven VQI over a molecule collection,
+//! formulate a query pattern-at-a-time, execute it, and render the
+//! interface to SVG.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use datadriven_vqi::core::render::{ascii_summary, svg_interface};
+use datadriven_vqi::core::results::ResultOptions;
+use datadriven_vqi::core::score::evaluate;
+use datadriven_vqi::prelude::*;
+use datadriven_vqi::sim::plan::{plan_edge_at_a_time, plan_with_patterns};
+
+fn main() {
+    // 1. a repository of 80 synthetic molecules (stands in for AIDS/PubChem)
+    let graphs = datadriven_vqi::datasets::aids_like(MoleculeParams {
+        count: 80,
+        ..Default::default()
+    });
+    println!(
+        "repository: {} data graphs, {} total edges",
+        graphs.len(),
+        graphs.iter().map(|g| g.edge_count()).sum::<usize>()
+    );
+    let repo = GraphRepository::collection(graphs);
+
+    // 2. data-driven construction with CATAPULT under a display budget
+    let budget = PatternBudget::new(6, 4, 8);
+    let mut vqi = VisualQueryInterface::data_driven(&repo, &Catapult::default(), &budget);
+    println!("\n{}", ascii_summary(&vqi));
+
+    // 3. quality of the canned patterns
+    let q = evaluate(vqi.pattern_set(), &repo, Default::default());
+    println!(
+        "pattern quality: coverage={:.2} diversity={:.2} cognitive-load={:.2} score={:.3}",
+        q.coverage, q.diversity, q.cognitive_load, q.score
+    );
+
+    // 4. a simulated user formulates a benzene-ring-with-tail query
+    let mut target = datadriven_vqi::graph::generate::cycle(6, 0, 0);
+    let tail = target.add_node(2);
+    target.add_edge(NodeId(0), tail, 0);
+    let manual_plan = plan_edge_at_a_time(&target);
+    let assisted_plan = plan_with_patterns(&target, vqi.pattern_set());
+    println!(
+        "\nformulating a {}-node query: edge-at-a-time = {} steps, with patterns = {} steps ({} pattern drop(s))",
+        target.node_count(),
+        manual_plan.steps(),
+        assisted_plan.steps(),
+        assisted_plan.patterns_used
+    );
+
+    // 5. execute the plan in the Query Panel and run it
+    for op in &assisted_plan.ops {
+        vqi.edit(op).expect("plans are sound");
+    }
+    let results = vqi.execute(&repo, ResultOptions::default());
+    println!("results panel: {} matching graph(s)", results.len());
+
+    // 6. render the full interface
+    let svg = svg_interface(&vqi);
+    let path = std::env::temp_dir().join("vqi_quickstart.svg");
+    std::fs::write(&path, svg).expect("svg written");
+    println!("interface rendered to {}", path.display());
+}

@@ -1,0 +1,98 @@
+//! "Beyond Graphs" scenario (§2.5): a data-driven sketch panel for time
+//! series. Mines motifs from a synthetic series, populates a Shape
+//! Panel, and shows a simulated analyst querying the series by sketch —
+//! free-hand vs panel-assisted.
+//!
+//! Run with: `cargo run --release --example timeseries_sketch`
+
+use datadriven_vqi::timeseries::series::{synthetic_with_motifs, znormalize, SyntheticParams};
+use datadriven_vqi::timeseries::shapes::{select_shapes, ShapeBudget};
+use datadriven_vqi::timeseries::sketch::{match_sketch, segment_count, sketch_cost, SketchCosts};
+
+fn spark(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (min, max) = values
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (max - min).max(1e-9);
+    values
+        .iter()
+        .step_by((values.len() / 40).max(1))
+        .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let params = SyntheticParams {
+        len: 3_000,
+        motif_occurrences: 7,
+        motif_width: 50,
+        noise: 0.12,
+        seed: 99,
+    };
+    let (series, planted) = synthetic_with_motifs(params);
+    println!(
+        "series: {} samples, {} planted motif occurrences at {:?}",
+        series.len(),
+        planted.len(),
+        planted
+    );
+
+    // data-driven Shape Panel
+    let panel = select_shapes(
+        &series,
+        ShapeBudget {
+            count: 5,
+            width: params.motif_width,
+            epsilon: 3.5,
+        },
+    );
+    println!(
+        "\nshape panel ({} shapes): coverage={:.3} diversity={:.3} cognitive load={:.3}",
+        panel.shapes.len(),
+        panel.coverage,
+        panel.diversity,
+        panel.cognitive_load
+    );
+    for (i, s) in panel.shapes.iter().enumerate() {
+        println!(
+            "  [{}] {}  (from offset {}, {} segments)",
+            i,
+            spark(&s.values),
+            s.provenance,
+            segment_count(&s.values)
+        );
+    }
+
+    // the analyst wants to find the recurring burst she half-remembers
+    let intended = znormalize(series.window(planted[0], params.motif_width).unwrap());
+    let costs = SketchCosts::default();
+    let freehand = sketch_cost(&intended, None, &costs);
+    let assisted = sketch_cost(&intended, Some(&panel), &costs);
+    println!(
+        "\nsketching the intended shape: free-hand {:.1}s, panel-assisted {:.1}s",
+        freehand, assisted
+    );
+
+    // run the query with the best panel shape
+    let best = &panel.shapes[0];
+    let matches = match_sketch(&series, &best.values, 8);
+    println!("\ntop matches of panel shape [0]:");
+    for m in &matches {
+        let hit = planted.iter().any(|&p| p.abs_diff(m.offset) <= 5);
+        println!(
+            "  offset {:>5}  distance {:.3}  {}",
+            m.offset,
+            m.distance,
+            if hit { "<- planted occurrence" } else { "" }
+        );
+    }
+    let hits = matches
+        .iter()
+        .filter(|m| planted.iter().any(|&p| p.abs_diff(m.offset) <= 5))
+        .count();
+    println!(
+        "\n{hits}/{} planted occurrences retrieved by the mined shape",
+        planted.len()
+    );
+}

@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: the full construct → formulate →
+//! execute workflow on both repository regimes, with every selector.
+
+use datadriven_vqi::core::render::{ascii_summary, svg_interface};
+use datadriven_vqi::core::results::{QueryResults, ResultOptions};
+use datadriven_vqi::core::score::evaluate;
+use datadriven_vqi::core::selector::RandomSelector;
+use datadriven_vqi::prelude::*;
+use datadriven_vqi::sim::plan::{plan_edge_at_a_time, plan_with_patterns};
+use datadriven_vqi::sim::workload::{sample_queries, WorkloadParams};
+use vqi_graph::iso::are_isomorphic;
+use vqi_graph::traversal::is_connected;
+
+fn molecule_repo() -> GraphRepository {
+    GraphRepository::collection(datadriven_vqi::datasets::aids_like(MoleculeParams {
+        count: 60,
+        seed: 77,
+        ..Default::default()
+    }))
+}
+
+fn network_repo() -> GraphRepository {
+    GraphRepository::network(datadriven_vqi::datasets::dblp_like(600, 7))
+}
+
+fn all_selectors() -> Vec<(&'static str, Box<dyn PatternSelector>)> {
+    vec![
+        ("catapult", Box::new(Catapult::default())),
+        ("tattoo", Box::new(Tattoo::default())),
+        ("modular", Box::new(ModularPipeline::standard())),
+        ("random", Box::new(RandomSelector::new(13))),
+    ]
+}
+
+#[test]
+fn every_selector_builds_a_valid_collection_vqi() {
+    let repo = molecule_repo();
+    let budget = PatternBudget::new(5, 4, 7);
+    for (name, sel) in all_selectors() {
+        let vqi = VisualQueryInterface::data_driven(&repo, sel.as_ref(), &budget);
+        assert_eq!(vqi.pattern_set().basic().count(), 3, "{name}: basics");
+        let canned: Vec<_> = vqi.pattern_set().canned().collect();
+        assert!(!canned.is_empty(), "{name}: no canned patterns");
+        for p in &canned {
+            assert!(budget.admits(&p.graph), "{name}: budget violated");
+            assert!(is_connected(&p.graph), "{name}: disconnected pattern");
+        }
+        // invariant 1: every canned pattern occurs in the repository
+        // (random baseline samples subgraphs, so it satisfies it too)
+        if let Some(col) = repo.as_collection() {
+            for p in &canned {
+                assert!(
+                    datadriven_vqi::core::score::pattern_coverage(&p.graph, col) > 0.0,
+                    "{name}: pattern occurs nowhere"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_selector_builds_a_valid_network_vqi() {
+    let repo = network_repo();
+    let budget = PatternBudget::new(5, 4, 6);
+    for (name, sel) in all_selectors() {
+        let vqi = VisualQueryInterface::data_driven(&repo, sel.as_ref(), &budget);
+        let canned = vqi.pattern_set().canned().count();
+        assert!(canned > 0, "{name}: no canned patterns on network");
+        let q = evaluate(vqi.pattern_set(), &repo, Default::default());
+        assert!(q.coverage > 0.0, "{name}: zero edge coverage");
+    }
+}
+
+#[test]
+fn formulate_and_execute_round_trip_collection() {
+    let repo = molecule_repo();
+    let budget = PatternBudget::new(6, 4, 7);
+    let mut vqi = VisualQueryInterface::data_driven(&repo, &Catapult::default(), &budget);
+    let queries = sample_queries(
+        &repo,
+        &WorkloadParams {
+            count: 5,
+            sizes: vec![4, 5],
+            seed: 3,
+        },
+    );
+    assert!(!queries.is_empty());
+    for target in &queries {
+        let plan = plan_with_patterns(target, vqi.pattern_set());
+        assert!(are_isomorphic(&plan.replay(), target), "plan unsound");
+        // drive the actual interface
+        let mut fresh = VisualQueryInterface::data_driven(&repo, &Catapult::default(), &budget);
+        for op in &plan.ops {
+            fresh.edit(op).expect("sound op");
+        }
+        let results = fresh.execute(&repo, ResultOptions::default());
+        // workload queries are sampled from the repo: must match
+        assert!(!results.is_empty(), "satisfiable query found nothing");
+        match results {
+            QueryResults::Collection { matches, .. } => {
+                assert!(matches.iter().all(|m| m.embeddings > 0));
+            }
+            _ => panic!("collection results expected"),
+        }
+    }
+    let _ = &mut vqi;
+}
+
+#[test]
+fn formulate_and_execute_round_trip_network() {
+    let repo = network_repo();
+    let budget = PatternBudget::new(5, 4, 6);
+    let mut vqi = VisualQueryInterface::data_driven(&repo, &Tattoo::default(), &budget);
+    let queries = sample_queries(
+        &repo,
+        &WorkloadParams {
+            count: 3,
+            sizes: vec![4],
+            seed: 9,
+        },
+    );
+    for target in &queries {
+        let plan = plan_with_patterns(target, vqi.pattern_set());
+        assert!(are_isomorphic(&plan.replay(), target));
+    }
+    // execute one query end to end
+    if let Some(target) = queries.first() {
+        let plan = plan_with_patterns(target, vqi.pattern_set());
+        for op in &plan.ops {
+            vqi.edit(op).expect("sound op");
+        }
+        let results = vqi.execute(&repo, ResultOptions { max_embeddings: 50 });
+        assert!(!results.is_empty());
+    }
+}
+
+#[test]
+fn assisted_plans_never_exceed_manual() {
+    let repo = molecule_repo();
+    let budget = PatternBudget::new(8, 4, 8);
+    let vqi = VisualQueryInterface::data_driven(&repo, &Catapult::default(), &budget);
+    let queries = sample_queries(
+        &repo,
+        &WorkloadParams {
+            count: 12,
+            sizes: vec![4, 6, 8],
+            seed: 17,
+        },
+    );
+    for target in &queries {
+        let manual = plan_edge_at_a_time(target);
+        let assisted = plan_with_patterns(target, vqi.pattern_set());
+        assert!(
+            assisted.steps() <= manual.steps(),
+            "assisted {} > manual {}",
+            assisted.steps(),
+            manual.steps()
+        );
+    }
+}
+
+#[test]
+fn renderers_produce_output_for_real_interfaces() {
+    let repo = molecule_repo();
+    let vqi = VisualQueryInterface::data_driven(
+        &repo,
+        &Catapult::default(),
+        &PatternBudget::new(4, 4, 6),
+    );
+    let svg = svg_interface(&vqi);
+    assert!(svg.contains("Pattern Panel"));
+    assert!(svg.matches("<circle").count() > 10);
+    let ascii = ascii_summary(&vqi);
+    assert!(ascii.contains("catapult"));
+}
+
+#[test]
+fn midas_maintains_across_a_stream_of_batches() {
+    use datadriven_vqi::core::repo::GraphCollection;
+    let initial = datadriven_vqi::datasets::aids_like(MoleculeParams {
+        count: 40,
+        seed: 5,
+        ..Default::default()
+    });
+    let budget = PatternBudget::new(5, 4, 7);
+    let mut midas = Midas::bootstrap(GraphCollection::new(initial), budget, MidasConfig::default());
+    for round in 0..3u32 {
+        let stale = midas.patterns.clone();
+        let batch = BatchUpdate::adding(
+            (0..15u32)
+                .map(|i| {
+                    datadriven_vqi::graph::generate::clique(
+                        4 + ((i + round) % 2) as usize,
+                        3 + round,
+                        0,
+                    )
+                })
+                .collect(),
+        );
+        midas.apply_update(batch);
+        let repo = GraphRepository::Collection(midas.collection.clone());
+        let w = Default::default();
+        let fresh = evaluate(&midas.patterns, &repo, w);
+        let old = evaluate(&stale, &repo, w);
+        assert!(
+            fresh.score >= old.score - 1e-9,
+            "round {round}: maintained {:.4} < stale {:.4}",
+            fresh.score,
+            old.score
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the DESIGN.md invariants, driven by random
+//! labeled graphs.
+
+use proptest::prelude::*;
+use vqi_graph::canon::canonical_code;
+use vqi_graph::graphlet::{graphlet_distribution, GRAPHLET_CLASSES};
+use vqi_graph::iso::{are_isomorphic, is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::truss::decompose;
+use vqi_graph::{Graph, NodeId};
+
+/// Strategy: a random labeled graph with up to `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec(proptest::bool::weighted(0.4), n * (n - 1) / 2);
+        let node_labels = proptest::collection::vec(0u32..3, n);
+        let edge_labels = proptest::collection::vec(0u32..2, n * (n - 1) / 2);
+        (node_labels, edges, edge_labels).prop_map(move |(nl, es, el)| {
+            let mut g = Graph::new();
+            let nodes: Vec<NodeId> = nl.iter().map(|&l| g.add_node(l)).collect();
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if es[idx] {
+                        g.add_edge(nodes[i], nodes[j], el[idx]);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a permutation of `0..n`.
+fn arb_perm(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant: canonical codes are permutation-invariant and equality
+    /// coincides with VF2 isomorphism.
+    #[test]
+    fn canonical_code_is_permutation_invariant(g in arb_graph(7)) {
+        let n = g.node_count();
+        let code = canonical_code(&g);
+        proptest!(|(perm in arb_perm(n))| {
+            let h = g.permuted(&perm);
+            prop_assert_eq!(&canonical_code(&h), &code);
+        });
+    }
+
+    /// Invariant 4: truss regions partition the edge set.
+    #[test]
+    fn truss_regions_partition_edges(g in arb_graph(10), k in 3u32..5) {
+        let d = decompose(&g, k);
+        prop_assert_eq!(
+            d.infested_edges.len() + d.oblivious_edges.len(),
+            g.edge_count()
+        );
+        let mut all: Vec<_> = d.infested_edges.iter()
+            .chain(d.oblivious_edges.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), g.edge_count());
+        // every infested edge has trussness >= k, every oblivious < k
+        for e in &d.infested_edges {
+            prop_assert!(d.trussness[e.index()] >= k);
+        }
+        for e in &d.oblivious_edges {
+            prop_assert!(d.trussness[e.index()] < k);
+        }
+    }
+
+    /// Invariant 6: graphlet frequency distributions sum to 1 (or are all
+    /// zero) and are permutation-invariant.
+    #[test]
+    fn gfd_is_a_distribution(g in arb_graph(8)) {
+        let d = graphlet_distribution(&g);
+        let sum: f64 = d.iter().sum();
+        prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        prop_assert_eq!(d.len(), GRAPHLET_CLASSES);
+        let n = g.node_count();
+        proptest!(|(perm in arb_perm(n))| {
+            let h = g.permuted(&perm);
+            let dh = graphlet_distribution(&h);
+            for (a, b) in d.iter().zip(dh.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        });
+    }
+
+    /// Invariant 5: closure graphs embed every constituent.
+    #[test]
+    fn closure_covers_constituents(
+        graphs in proptest::collection::vec(arb_graph(6), 2..5)
+    ) {
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let closure = vqi_mining::closure::closure_of(&refs).unwrap();
+        for g in &graphs {
+            prop_assert!(
+                is_subgraph_isomorphic(g, &closure.graph, MatchOptions::with_wildcards()),
+                "constituent not covered by closure"
+            );
+        }
+        prop_assert_eq!(closure.edge_weights.len(), closure.graph.edge_count());
+    }
+
+    /// Invariant 7: formulation plans are sound — replaying them yields
+    /// the target query exactly.
+    #[test]
+    fn plans_are_sound(target in arb_graph(7)) {
+        // edge-at-a-time always
+        let manual = vqi_sim::plan::plan_edge_at_a_time(&target);
+        prop_assert!(are_isomorphic(&manual.replay(), &target));
+        // pattern-at-a-time with the basic wildcard patterns
+        let basics = vqi_core::pattern::default_basic_patterns();
+        let assisted = vqi_sim::plan::plan_with_patterns(&target, &basics);
+        prop_assert!(are_isomorphic(&assisted.replay(), &target));
+        prop_assert!(assisted.steps() <= manual.steps());
+    }
+
+    /// Invariant 2: pattern sets never hold two isomorphic members.
+    #[test]
+    fn pattern_sets_dedup(graphs in proptest::collection::vec(arb_graph(5), 1..8)) {
+        use vqi_core::pattern::{PatternKind, PatternSet};
+        let mut set = PatternSet::new();
+        for g in &graphs {
+            let _ = set.insert(g.clone(), PatternKind::Canned, "prop");
+        }
+        let members: Vec<&Graph> = set.graphs().collect();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                prop_assert!(
+                    !are_isomorphic(members[i], members[j]),
+                    "isomorphic duplicates at {i}, {j}"
+                );
+            }
+        }
+    }
+
+    /// MCS similarity is symmetric, bounded, and 1 on identical graphs.
+    #[test]
+    fn mcs_similarity_properties(a in arb_graph(6), b in arb_graph(6)) {
+        let s_ab = vqi_graph::mcs::mcs_similarity(&a, &b);
+        let s_ba = vqi_graph::mcs::mcs_similarity(&b, &a);
+        prop_assert!((s_ab - s_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&s_ab));
+        if a.edge_count() > 0 {
+            prop_assert!((vqi_graph::mcs::mcs_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Text round-trip: io::write then io::parse preserves structure.
+    #[test]
+    fn io_round_trip(graphs in proptest::collection::vec(arb_graph(6), 1..5)) {
+        let text = vqi_graph::io::write_transactions(&graphs);
+        let parsed = vqi_graph::io::parse_transactions(&text).unwrap();
+        prop_assert_eq!(parsed.len(), graphs.len());
+        for (a, b) in graphs.iter().zip(parsed.iter()) {
+            prop_assert!(are_isomorphic(a, b));
+        }
+    }
+}
