@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Local CI: formatting, lints, tests. Run from the workspace root.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

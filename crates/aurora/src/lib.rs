@@ -76,8 +76,9 @@ impl Aurora {
             .iter()
             .map(|&id| collection.get(id).expect("live id").clone())
             .collect();
-        let min_support =
-            ((self.config.min_support_frac * n as f64).ceil() as usize).max(2).min(n);
+        let min_support = ((self.config.min_support_frac * n as f64).ceil() as usize)
+            .max(2)
+            .min(n);
         let mined = mine_frequent_subgraphs(
             &graphs,
             FsgParams {
@@ -105,11 +106,7 @@ impl Aurora {
                 .par_iter()
                 .map(|&ci| {
                     let c = &candidates[ci];
-                    let gain = c
-                        .support_set
-                        .iter()
-                        .filter(|&&pos| !covered[pos])
-                        .count() as f64
+                    let gain = c.support_set.iter().filter(|&&pos| !covered[pos]).count() as f64
                         / n as f64;
                     let div = if chosen_graphs.is_empty() {
                         1.0
@@ -129,10 +126,7 @@ impl Aurora {
                 .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
                 .expect("nonempty");
             let ci = available[best_pos];
-            let gains = candidates[ci]
-                .support_set
-                .iter()
-                .any(|&pos| !covered[pos]);
+            let gains = candidates[ci].support_set.iter().any(|&pos| !covered[pos]);
             if best <= 0.0 && !gains {
                 break;
             }

@@ -19,10 +19,10 @@ fn collection() -> Vec<Graph> {
 
 fn queries() -> Vec<Graph> {
     vec![
-        chain(4, 0, 0),  // common carbon chain
-        cycle(6, 0, 0),  // benzene-like ring
-        chain(3, 2, 0),  // oxygen-bearing fragment
-        cycle(5, 0, 1),  // ring with a double bond
+        chain(4, 0, 0), // common carbon chain
+        cycle(6, 0, 0), // benzene-like ring
+        chain(3, 2, 0), // oxygen-bearing fragment
+        cycle(5, 0, 1), // ring with a double bond
     ]
 }
 
@@ -40,9 +40,7 @@ fn bench_indices(c: &mut Criterion) {
                 let hits: Vec<usize> = gs
                     .iter()
                     .enumerate()
-                    .filter(|(_, g)| {
-                        is_subgraph_isomorphic(q, g, MatchOptions::with_wildcards())
-                    })
+                    .filter(|(_, g)| is_subgraph_isomorphic(q, g, MatchOptions::with_wildcards()))
                     .map(|(i, _)| i)
                     .collect();
                 black_box(hits);

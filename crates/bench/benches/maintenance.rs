@@ -34,9 +34,7 @@ fn bench_midas_update(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("midas_batch_update", |b| {
         b.iter_batched(
-            || {
-                Midas::bootstrap(base_collection(), budget, MidasConfig::default())
-            },
+            || Midas::bootstrap(base_collection(), budget, MidasConfig::default()),
             |mut m| {
                 black_box(m.apply_update(BatchUpdate::adding(drift_batch())));
             },
@@ -47,9 +45,7 @@ fn bench_midas_update(c: &mut Criterion) {
         // the from-scratch alternative on the post-update collection
         let mut col = base_collection();
         col.apply(BatchUpdate::adding(drift_batch()));
-        b.iter(|| {
-            black_box(catapult::Catapult::default().run_with_state(&col, &budget))
-        })
+        b.iter(|| black_box(catapult::Catapult::default().run_with_state(&col, &budget)))
     });
     group.finish();
 }

@@ -12,13 +12,12 @@ fn bench_catapult(c: &mut Criterion) {
     let mut group = c.benchmark_group("catapult");
     group.sample_size(10);
     for count in [30usize, 60] {
-        let repo = GraphRepository::collection(vqi_datasets::aids_like(
-            vqi_datasets::MoleculeParams {
+        let repo =
+            GraphRepository::collection(vqi_datasets::aids_like(vqi_datasets::MoleculeParams {
                 count,
                 seed: 7,
                 ..Default::default()
-            },
-        ));
+            }));
         let budget = PatternBudget::new(6, 4, 7);
         group.bench_with_input(BenchmarkId::new("select", count), &repo, |b, repo| {
             b.iter(|| black_box(catapult::Catapult::default().select(repo, &budget)))
@@ -41,20 +40,16 @@ fn bench_tattoo(c: &mut Criterion) {
 }
 
 fn bench_modular_and_random(c: &mut Criterion) {
-    let repo = GraphRepository::collection(vqi_datasets::aids_like(
-        vqi_datasets::MoleculeParams {
-            count: 40,
-            seed: 11,
-            ..Default::default()
-        },
-    ));
+    let repo = GraphRepository::collection(vqi_datasets::aids_like(vqi_datasets::MoleculeParams {
+        count: 40,
+        seed: 11,
+        ..Default::default()
+    }));
     let budget = PatternBudget::new(6, 4, 7);
     let mut group = c.benchmark_group("baselines");
     group.sample_size(10);
     group.bench_function("modular_standard", |b| {
-        b.iter(|| {
-            black_box(vqi_modular::ModularPipeline::standard().select(&repo, &budget))
-        })
+        b.iter(|| black_box(vqi_modular::ModularPipeline::standard().select(&repo, &budget)))
     });
     group.bench_function("random", |b| {
         b.iter(|| black_box(RandomSelector::new(3).select(&repo, &budget)))
@@ -62,5 +57,10 @@ fn bench_modular_and_random(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_catapult, bench_tattoo, bench_modular_and_random);
+criterion_group!(
+    benches,
+    bench_catapult,
+    bench_tattoo,
+    bench_modular_and_random
+);
 criterion_main!(benches);

@@ -87,9 +87,7 @@ fn bench_canon(c: &mut Criterion) {
 }
 
 fn bench_closure(c: &mut Criterion) {
-    let graphs: Vec<_> = (0..10)
-        .map(|i| gen::chain(8 + i % 4, 1, 0))
-        .collect();
+    let graphs: Vec<_> = (0..10).map(|i| gen::chain(8 + i % 4, 1, 0)).collect();
     let refs: Vec<&vqi_graph::Graph> = graphs.iter().collect();
     c.bench_function("closure_of_10_chains", |b| {
         b.iter(|| black_box(closure_of(&refs)))

@@ -40,9 +40,27 @@ fn weight_ablation() -> Vec<WeightRow> {
     let budget = PatternBudget::new(6, 4, 8);
     let configs: Vec<(&'static str, QualityWeights)> = vec![
         ("default (0.5/0.5)", QualityWeights::default()),
-        ("no diversity term", QualityWeights { diversity: 0.0, cognitive: 0.5 }),
-        ("no cognitive term", QualityWeights { diversity: 0.5, cognitive: 0.0 }),
-        ("coverage only", QualityWeights { diversity: 0.0, cognitive: 0.0 }),
+        (
+            "no diversity term",
+            QualityWeights {
+                diversity: 0.0,
+                cognitive: 0.5,
+            },
+        ),
+        (
+            "no cognitive term",
+            QualityWeights {
+                diversity: 0.5,
+                cognitive: 0.0,
+            },
+        ),
+        (
+            "coverage only",
+            QualityWeights {
+                diversity: 0.0,
+                cognitive: 0.0,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, weights) in configs {

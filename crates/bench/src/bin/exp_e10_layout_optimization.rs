@@ -75,7 +75,15 @@ fn main() {
         .collect();
     print_table(
         "E10: layout method ablation (aesthetic objective, lower cost is better)",
-        &["stimulus", "method", "crossings", "cost", "complexity", "pleasant", "ms"],
+        &[
+            "stimulus",
+            "method",
+            "crossings",
+            "cost",
+            "complexity",
+            "pleasant",
+            "ms",
+        ],
         &table,
     );
     write_json("e10_layout_optimization", &rows);

@@ -57,13 +57,11 @@ fn main() {
     let net = dblp_like(1_200, 99);
     let budget = PatternBudget::new(6, 4, 6);
     let initial = Tattoo::default().run(&net, &budget);
-    let mut maintainer =
-        NetworkMaintainer::new(net, initial, budget, MaintainConfig::default());
+    let mut maintainer = NetworkMaintainer::new(net, initial, budget, MaintainConfig::default());
 
     let mut rows = Vec::new();
     for (batch_no, churn_target) in [0.01f64, 0.05, 0.10, 0.05].iter().enumerate() {
-        let target_edges =
-            (maintainer.network.edge_count() as f64 * churn_target) as usize;
+        let target_edges = (maintainer.network.edge_count() as f64 * churn_target) as usize;
         let batch = drift_batch(&maintainer, target_edges.max(1), 20 + batch_no as u32);
         let pre_score = maintainer.score();
         let (report, maintain_ms) = time_ms(|| maintainer.apply_batch(batch));
@@ -73,9 +71,7 @@ fn main() {
             "score cratered: {pre_score:.3} -> {post_score:.3}"
         );
 
-        let (_, rerun_ms) = time_ms(|| {
-            Tattoo::default().run(&maintainer.network, &budget)
-        });
+        let (_, rerun_ms) = time_ms(|| Tattoo::default().run(&maintainer.network, &budget));
 
         rows.push(Row {
             batch: batch_no,
@@ -106,7 +102,16 @@ fn main() {
         .collect();
     print_table(
         "E11: network pattern maintenance vs TATTOO rerun (1200-node base)",
-        &["batch", "churn", "kind", "maintain ms", "rerun ms", "speedup", "swaps", "score"],
+        &[
+            "batch",
+            "churn",
+            "kind",
+            "maintain ms",
+            "rerun ms",
+            "speedup",
+            "swaps",
+            "score",
+        ],
         &table,
     );
     write_json("e11_network_maintenance", &rows);

@@ -111,7 +111,15 @@ fn main() {
         .collect();
     print_table(
         "E12: pattern-based summarization of an 800-node network",
-        &["patterns", "k", "summary n", "node cov", "compression", "mean |SN|", "canned frac"],
+        &[
+            "patterns",
+            "k",
+            "summary n",
+            "node cov",
+            "compression",
+            "mean |SN|",
+            "canned frac",
+        ],
         &table,
     );
     write_json("e12_summarization", &rows);

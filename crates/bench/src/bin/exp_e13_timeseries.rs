@@ -92,7 +92,15 @@ fn main() {
         .collect();
     print_table(
         "E13: data-driven sketch panel vs free-hand sketching (per-query time, s)",
-        &["noise", "coverage", "diversity", "freehand t", "assisted t", "hits", "mine ms"],
+        &[
+            "noise",
+            "coverage",
+            "diversity",
+            "freehand t",
+            "assisted t",
+            "hits",
+            "mine ms",
+        ],
         &table,
     );
     write_json("e13_timeseries", &rows);

@@ -8,7 +8,7 @@
 //! global. Shape: quality stays near the whole-graph baseline while the
 //! map phase shrinks with partition count.
 
-use bench::{print_table, time_ms, write_json};
+use bench::{enable_metrics, print_table, timed_ms, write_json, write_metrics_json};
 use serde::Serialize;
 use tattoo::{PartitionedTattoo, Tattoo, TattooConfig};
 use vqi_core::budget::PatternBudget;
@@ -28,6 +28,7 @@ struct Row {
 }
 
 fn main() {
+    enable_metrics();
     let net = social_like(4_000, 7);
     println!(
         "network: {} nodes, {} edges\n",
@@ -39,7 +40,7 @@ fn main() {
     let w = QualityWeights::default();
 
     let mut rows = Vec::new();
-    let (whole_set, whole_ms) = time_ms(|| Tattoo::default().run(&net, &budget));
+    let (whole_set, whole_ms) = timed_ms("e14.whole", || Tattoo::default().run(&net, &budget));
     let q = evaluate(&whole_set, &repo, w);
     rows.push(Row {
         configuration: "whole-graph tattoo".into(),
@@ -52,8 +53,12 @@ fn main() {
     });
     for parts in [2usize, 4, 8] {
         let sel = PartitionedTattoo::new(TattooConfig::default(), parts);
-        let (cands, map_ms) = time_ms(|| sel.map_candidates(&net, &budget));
-        let (set, reduce_ms) = time_ms(|| sel.reduce_select(cands, &net, &budget));
+        let (cands, map_ms) = timed_ms(&format!("e14.map.x{parts}"), || {
+            sel.map_candidates(&net, &budget)
+        });
+        let (set, reduce_ms) = timed_ms(&format!("e14.reduce.x{parts}"), || {
+            sel.reduce_select(cands, &net, &budget)
+        });
         let q = evaluate(&set, &repo, w);
         rows.push(Row {
             configuration: format!("partitioned x{parts}"),
@@ -89,10 +94,19 @@ fn main() {
         .collect();
     print_table(
         "E14: partitioned vs whole-graph selection (4000-node network)",
-        &["configuration", "parts", "map ms", "reduce ms", "total ms", "coverage", "score"],
+        &[
+            "configuration",
+            "parts",
+            "map ms",
+            "reduce ms",
+            "total ms",
+            "coverage",
+            "score",
+        ],
         &table,
     );
     write_json("e14_partitioned", &rows);
+    write_metrics_json("e14_partitioned");
 
     let whole_score = rows[0].score;
     for r in &rows[1..] {

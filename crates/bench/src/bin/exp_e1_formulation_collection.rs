@@ -37,8 +37,7 @@ fn main() {
     let repo = GraphRepository::collection(graphs);
     let budget = PatternBudget::new(8, 4, 8);
     let catapult = VisualQueryInterface::data_driven(&repo, &Catapult::default(), &budget);
-    let random =
-        VisualQueryInterface::data_driven(&repo, &RandomSelector::new(3), &budget);
+    let random = VisualQueryInterface::data_driven(&repo, &RandomSelector::new(3), &budget);
     let manual = VisualQueryInterface::manual(
         repo.node_labels().into_iter().collect(),
         repo.edge_labels().into_iter().collect(),
@@ -90,7 +89,17 @@ fn main() {
         .collect();
     print_table(
         "E1: mean formulation steps / modeled time (s) on a 200-compound collection",
-        &["|Q|", "cat steps", "cat t", "rnd steps", "rnd t", "man steps", "man t", "cat err", "man err"],
+        &[
+            "|Q|",
+            "cat steps",
+            "cat t",
+            "rnd steps",
+            "rnd t",
+            "man steps",
+            "man t",
+            "cat err",
+            "man err",
+        ],
         &table,
     );
     write_json("e1_formulation_collection", &rows);
@@ -107,7 +116,5 @@ fn main() {
     }
     let gap_small = rows[0].manual_steps - rows[0].catapult_steps;
     let gap_large = rows.last().unwrap().manual_steps - rows.last().unwrap().catapult_steps;
-    println!(
-        "step gap at |Q|=4: {gap_small:.2}, at |Q|=12: {gap_large:.2} (expected to widen)"
-    );
+    println!("step gap at |Q|=4: {gap_small:.2}, at |Q|=12: {gap_large:.2} (expected to widen)");
 }

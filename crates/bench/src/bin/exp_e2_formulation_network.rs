@@ -71,7 +71,14 @@ fn main() {
         .collect();
     print_table(
         "E2: formulation on a 3000-node coauthorship network",
-        &["|Q|", "tattoo steps", "tattoo t", "man steps", "man t", "patterns/q"],
+        &[
+            "|Q|",
+            "tattoo steps",
+            "tattoo t",
+            "man steps",
+            "man t",
+            "patterns/q",
+        ],
         &table,
     );
     write_json("e2_formulation_network", &rows);

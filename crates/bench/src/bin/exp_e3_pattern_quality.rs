@@ -3,8 +3,8 @@
 //! regimes (§2.3's "high coverage, high diversity, low cognitive load"
 //! desiderata).
 
-use bench::{print_table, time_ms, write_json};
 use aurora::Aurora;
+use bench::{print_table, time_ms, write_json};
 use catapult::Catapult;
 use serde::Serialize;
 use tattoo::Tattoo;
@@ -27,7 +27,12 @@ struct Row {
     select_ms: f64,
 }
 
-fn run(repo_name: &'static str, repo: &GraphRepository, budget: &PatternBudget, rows: &mut Vec<Row>) {
+fn run(
+    repo_name: &'static str,
+    repo: &GraphRepository,
+    budget: &PatternBudget,
+    rows: &mut Vec<Row>,
+) {
     let selectors: Vec<(String, Box<dyn PatternSelector>)> = vec![
         ("catapult".into(), Box::new(Catapult::default())),
         ("aurora".into(), Box::new(Aurora::default())),
@@ -58,7 +63,12 @@ fn main() {
         seed: 55,
         ..Default::default()
     }));
-    run("collection", &collection, &PatternBudget::new(8, 4, 8), &mut rows);
+    run(
+        "collection",
+        &collection,
+        &PatternBudget::new(8, 4, 8),
+        &mut rows,
+    );
     let network = GraphRepository::network(dblp_like(1_500, 56));
     run("network", &network, &PatternBudget::new(8, 4, 7), &mut rows);
 
@@ -79,7 +89,16 @@ fn main() {
         .collect();
     print_table(
         "E3: pattern-set quality by selector",
-        &["repo", "selector", "k", "coverage", "diversity", "cogload", "score", "ms"],
+        &[
+            "repo",
+            "selector",
+            "k",
+            "coverage",
+            "diversity",
+            "cogload",
+            "score",
+            "ms",
+        ],
         &table,
     );
     write_json("e3_pattern_quality", &rows);

@@ -3,7 +3,7 @@
 //! Shape: MIDAS is several times faster, and the maintained set's
 //! quality on the updated repository is ≥ the stale set's.
 
-use bench::{print_table, time_ms, write_json};
+use bench::{enable_metrics, print_table, timed_ms, write_json, write_metrics_json};
 use catapult::Catapult;
 use midas::{Midas, MidasConfig};
 use serde::Serialize;
@@ -25,6 +25,7 @@ struct Row {
 }
 
 fn main() {
+    enable_metrics();
     let base_count = 120usize;
     let budget = PatternBudget::new(6, 4, 7);
     let mut rows = Vec::new();
@@ -55,8 +56,10 @@ fn main() {
             })
             .collect();
 
-        let (report, midas_ms) = time_ms(|| m.apply_update(BatchUpdate::adding(batch)));
-        let (_, rerun_ms) = time_ms(|| {
+        let (report, midas_ms) = timed_ms(&format!("e4.midas.b{batch_pct}"), || {
+            m.apply_update(BatchUpdate::adding(batch))
+        });
+        let (_, rerun_ms) = timed_ms(&format!("e4.rerun.b{batch_pct}"), || {
             Catapult::default().run_with_state(&m.collection, &budget)
         });
 
@@ -98,12 +101,21 @@ fn main() {
         .collect();
     print_table(
         "E4: MIDAS maintenance vs CATAPULT rerun (120-compound base)",
-        &["batch", "kind", "midas ms", "rerun ms", "speedup", "stale", "maintained", "swaps"],
+        &[
+            "batch",
+            "kind",
+            "midas ms",
+            "rerun ms",
+            "speedup",
+            "stale",
+            "maintained",
+            "swaps",
+        ],
         &table,
     );
     write_json("e4_maintenance", &rows);
+    write_metrics_json("e4_maintenance");
 
-    let mean_speedup: f64 =
-        rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    let mean_speedup: f64 = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
     println!("mean speedup: {mean_speedup:.1}x (paper shape: maintenance ≫ rerun)");
 }

@@ -9,7 +9,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use tattoo::candidates::{extract_from_region, ExtractParams};
-use tattoo::select::{exhaustive_best, greedy_select, score_candidates, set_score, ScoredCandidate};
+use tattoo::select::{
+    exhaustive_best, greedy_select, score_candidates, set_score, ScoredCandidate,
+};
 use vqi_core::budget::PatternBudget;
 use vqi_core::score::QualityWeights;
 use vqi_datasets::dblp_like;
@@ -36,7 +38,9 @@ fn main() {
             &net,
             true,
             &budget,
-            ExtractParams { samples_per_size: 12 },
+            ExtractParams {
+                samples_per_size: 12,
+            },
             &mut rng,
         );
         cands.truncate(10); // keep the exhaustive search tractable
@@ -91,7 +95,10 @@ fn main() {
 
     let bound = 1.0 - 1.0 / std::f64::consts::E;
     let min_ratio = rows.iter().map(|r| r.ratio).fold(f64::MAX, f64::min);
-    println!("worst ratio: {min_ratio:.3}; 1-1/e = {bound:.3}; 1/e = {:.3}", 1.0 / std::f64::consts::E);
+    println!(
+        "worst ratio: {min_ratio:.3}; 1-1/e = {bound:.3}; 1/e = {:.3}",
+        1.0 / std::f64::consts::E
+    );
     assert!(
         min_ratio >= 1.0 / std::f64::consts::E,
         "ratio fell below the paper's 1/e bound"

@@ -5,7 +5,7 @@
 //! over the whole network treated as a one-graph collection) grows much
 //! faster than TATTOO's.
 
-use bench::{print_table, time_ms, write_json};
+use bench::{enable_metrics, print_table, timed_ms, write_json, write_metrics_json};
 use catapult::Catapult;
 use serde::Serialize;
 use tattoo::Tattoo;
@@ -24,14 +24,19 @@ struct Row {
 }
 
 fn main() {
+    enable_metrics();
     let budget = PatternBudget::new(6, 4, 6);
     let mut rows = Vec::new();
     for nodes in [250usize, 500, 1_000, 2_000] {
         let net = dblp_like(nodes, 77);
         let edges = net.edge_count();
         let repo = GraphRepository::network(net);
-        let (_, tattoo_ms) = time_ms(|| Tattoo::default().select(&repo, &budget));
-        let (_, catapult_ms) = time_ms(|| Catapult::default().select(&repo, &budget));
+        let (_, tattoo_ms) = timed_ms(&format!("e6.tattoo.n{nodes}"), || {
+            Tattoo::default().select(&repo, &budget)
+        });
+        let (_, catapult_ms) = timed_ms(&format!("e6.catapult.n{nodes}"), || {
+            Catapult::default().select(&repo, &budget)
+        });
         rows.push(Row {
             nodes,
             edges,
@@ -59,10 +64,14 @@ fn main() {
         &table,
     );
     write_json("e6_scalability", &rows);
+    write_metrics_json("e6_scalability");
 
     // shape: the gap grows with network size
     let first = rows.first().unwrap().ratio;
     let last = rows.last().unwrap().ratio;
-    println!("catapult/tattoo cost ratio: {first:.1}x at {} nodes -> {last:.1}x at {} nodes",
-        rows.first().unwrap().nodes, rows.last().unwrap().nodes);
+    println!(
+        "catapult/tattoo cost ratio: {first:.1}x at {} nodes -> {last:.1}x at {} nodes",
+        rows.first().unwrap().nodes,
+        rows.last().unwrap().nodes
+    );
 }

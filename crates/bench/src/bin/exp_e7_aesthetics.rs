@@ -70,16 +70,20 @@ fn main() {
         .collect();
     print_table(
         "E7: visual complexity vs Berlyne pleasantness (optimum at 5-cycle)",
-        &["stimulus", "n", "m", "crossings", "complexity", "pleasantness"],
+        &[
+            "stimulus",
+            "n",
+            "m",
+            "crossings",
+            "complexity",
+            "pleasantness",
+        ],
         &table,
     );
     write_json("e7_aesthetics", &rows);
 
     // inverted-U shape: the peak is interior, ends are below it
-    let peak = rows
-        .iter()
-        .map(|r| r.pleasantness)
-        .fold(f64::MIN, f64::max);
+    let peak = rows.iter().map(|r| r.pleasantness).fold(f64::MIN, f64::max);
     let first = rows.first().unwrap().pleasantness;
     let last = rows.last().unwrap().pleasantness;
     assert!(peak > first && peak > last, "curve is not inverted-U");

@@ -115,7 +115,10 @@ fn main() {
     );
     write_json("e8_modular_ablation", &rows);
 
-    assert!(rows.iter().all(|r| r.patterns > 0), "an assembly selected nothing");
+    assert!(
+        rows.iter().all(|r| r.patterns > 0),
+        "an assembly selected nothing"
+    );
     println!(
         "best assembly: {} (score {:.3}); worst: {} (score {:.3})",
         rows.first().unwrap().assembly,

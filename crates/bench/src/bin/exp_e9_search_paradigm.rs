@@ -99,7 +99,13 @@ fn main() {
         .collect();
     print_table(
         "E9: modeled time (s) by search paradigm",
-        &["|Q|", "top-down", "bottom-up+patterns", "bottom-up, no patterns", "graphs browsed"],
+        &[
+            "|Q|",
+            "top-down",
+            "bottom-up+patterns",
+            "bottom-up, no patterns",
+            "graphs browsed",
+        ],
         &table,
     );
     write_json("e9_search_paradigm", &rows);

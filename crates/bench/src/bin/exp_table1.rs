@@ -15,6 +15,8 @@ struct Row {
 }
 
 fn main() {
+    bench::enable_metrics();
+    let _t = vqi_observe::span("table1.generate");
     let rows = vec![
         Row {
             topic: "Introduction",
@@ -80,4 +82,6 @@ fn main() {
         &table,
     );
     bench::write_json("table1", &rows);
+    drop(_t);
+    bench::write_metrics_json("table1");
 }

@@ -42,8 +42,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// Directory for machine-readable experiment outputs.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }
@@ -63,17 +62,37 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Like [`time_ms`], but the measurement also lands in the
+/// `vqi-observe` registry as a span named `name`, so the experiment's
+/// reported number and the metrics snapshot come from the same clock.
+pub fn timed_ms<T>(name: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let (out, d) = vqi_observe::time(name, f);
+    (out, d.as_secs_f64() * 1e3)
+}
+
+/// Turns on metrics recording for an experiment binary and clears any
+/// leftovers, so each `exp_*` run starts from an empty registry.
+pub fn enable_metrics() {
+    vqi_observe::reset();
+    vqi_observe::set_enabled(true);
+}
+
+/// Writes the current metrics snapshot as
+/// `target/experiments/<name>_metrics.json` — the same JSON the CLI
+/// emits under `--metrics=json`.
+pub fn write_metrics_json(name: &str) {
+    let path = experiments_dir().join(format!("{name}_metrics.json"));
+    std::fs::write(&path, vqi_observe::snapshot().to_json()).expect("write metrics json");
+    println!("(wrote {})", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn table_prints_without_panic() {
-        print_table(
-            "t",
-            &["a", "long-header"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        print_table("t", &["a", "long-header"], &[vec!["1".into(), "2".into()]]);
     }
 
     #[test]
@@ -84,10 +103,31 @@ mod tests {
     }
 
     #[test]
+    fn timed_ms_records_a_span() {
+        enable_metrics();
+        let (v, ms) = timed_ms("benchtest.block", || 6 * 7);
+        vqi_observe::set_enabled(false);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+        let s = vqi_observe::snapshot();
+        assert!(s.spans.contains_key("benchtest.block"));
+        write_metrics_json("benchtest");
+        let text =
+            std::fs::read_to_string(experiments_dir().join("benchtest_metrics.json")).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(
+            parsed["spans"]["benchtest.block"]["count"]
+                .as_u64()
+                .unwrap()
+                >= 1
+        );
+        vqi_observe::reset();
+    }
+
+    #[test]
     fn json_write_round_trips() {
         write_json("selftest", &vec![1, 2, 3]);
-        let text =
-            std::fs::read_to_string(experiments_dir().join("selftest.json")).unwrap();
+        let text = std::fs::read_to_string(experiments_dir().join("selftest.json")).unwrap();
         let back: Vec<i32> = serde_json::from_str(&text).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
     }

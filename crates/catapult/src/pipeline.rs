@@ -83,6 +83,7 @@ impl Catapult {
         collection: &GraphCollection,
         budget: &PatternBudget,
     ) -> (PatternSet, CatapultState) {
+        let _run = vqi_observe::span("catapult.run");
         let cfg = &self.config;
         let graph_ids = collection.ids();
         let n = graph_ids.len();
@@ -90,49 +91,82 @@ impl Catapult {
             .iter()
             .map(|&id| collection.get(id).expect("live id").clone())
             .collect();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
         // step 0: mine features
-        let min_support = ((cfg.min_support_frac * n as f64).ceil() as usize).max(1);
-        let mined = mine_frequent_subtrees(
-            &graphs,
-            MineParams {
-                min_support,
-                max_nodes: cfg.max_feature_nodes,
-            },
-        );
-        let dfs: Vec<usize> = mined.iter().map(|t| t.support()).collect();
-        let trees: Vec<vqi_graph::Graph> = mined.into_iter().map(|t| t.tree).collect();
-        let feature_space = FeatureSpace::with_idf(trees, &dfs, n.max(1));
-        let feature_vectors = feature_space.vectors(&graphs);
+        let (feature_space, feature_vectors) = {
+            let _s = vqi_observe::span("catapult.mine");
+            let min_support = ((cfg.min_support_frac * n as f64).ceil() as usize).max(1);
+            let mined = mine_frequent_subtrees(
+                &graphs,
+                MineParams {
+                    min_support,
+                    max_nodes: cfg.max_feature_nodes,
+                },
+            );
+            let dfs: Vec<usize> = mined.iter().map(|t| t.support()).collect();
+            let trees: Vec<vqi_graph::Graph> = mined.into_iter().map(|t| t.tree).collect();
+            vqi_observe::incr("catapult.mine.features", trees.len() as u64);
+            let feature_space = FeatureSpace::with_idf(trees, &dfs, n.max(1));
+            let feature_vectors = feature_space.vectors(&graphs);
+            (feature_space, feature_vectors)
+        };
 
         // step 1: cluster by feature distance
-        let k = cfg
-            .clusters
-            .unwrap_or_else(|| ((n as f64 / 2.0).sqrt().ceil() as usize).max(1));
-        let dist = DistanceMatrix::from_fn(n, |i, j| {
-            cosine_distance(&feature_vectors[i], &feature_vectors[j])
-        });
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let clustering = k_medoids(&dist, k, cfg.cluster_iters, &mut rng);
+        let clustering = {
+            let _s = vqi_observe::span("catapult.cluster");
+            let k = cfg
+                .clusters
+                .unwrap_or_else(|| ((n as f64 / 2.0).sqrt().ceil() as usize).max(1));
+            let dist = DistanceMatrix::from_fn(n, |i, j| {
+                cosine_distance(&feature_vectors[i], &feature_vectors[j])
+            });
+            let clustering = k_medoids(&dist, k, cfg.cluster_iters, &mut rng);
+            vqi_observe::incr(
+                "catapult.cluster.nonempty",
+                clustering
+                    .clusters()
+                    .iter()
+                    .filter(|m| !m.is_empty())
+                    .count() as u64,
+            );
+            clustering
+        };
 
         // step 2: summarize clusters into CSGs
-        let mut csgs = Vec::new();
-        for members in clustering.clusters() {
-            if members.is_empty() {
-                continue;
+        let csgs = {
+            let _s = vqi_observe::span("catapult.csg_closure");
+            let mut csgs = Vec::new();
+            for members in clustering.clusters() {
+                if members.is_empty() {
+                    continue;
+                }
+                let member_ids: Vec<usize> = members.iter().map(|&pos| graph_ids[pos]).collect();
+                if let Some(csg) = ClusterSummaryGraph::build(&member_ids, |id| {
+                    collection.get(id).expect("live id")
+                }) {
+                    csgs.push(csg);
+                }
             }
-            let member_ids: Vec<usize> = members.iter().map(|&pos| graph_ids[pos]).collect();
-            if let Some(csg) =
-                ClusterSummaryGraph::build(&member_ids, |id| collection.get(id).expect("live id"))
-            {
-                csgs.push(csg);
-            }
-        }
+            vqi_observe::incr("catapult.csg.built", csgs.len() as u64);
+            csgs
+        };
 
         // step 3: walk candidates, then greedy selection by pattern score
-        let cands = generate_candidates(&csgs, budget, cfg.walks, &mut rng);
-        let (scored, ids) = score_candidates(cands, collection);
-        let patterns = greedy_select(scored, ids.len(), budget, cfg.weights);
+        let (scored, ids) = {
+            let _s = vqi_observe::span("catapult.walk");
+            let cands = generate_candidates(&csgs, budget, cfg.walks, &mut rng);
+            vqi_observe::incr("catapult.walk.candidates", cands.len() as u64);
+            let (scored, ids) = score_candidates(cands, collection);
+            vqi_observe::incr("catapult.walk.scored", scored.len() as u64);
+            (scored, ids)
+        };
+        let patterns = {
+            let _s = vqi_observe::span("catapult.greedy");
+            let patterns = greedy_select(scored, ids.len(), budget, cfg.weights);
+            vqi_observe::incr("catapult.greedy.selected", patterns.len() as u64);
+            patterns
+        };
 
         (
             patterns,

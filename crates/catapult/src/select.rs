@@ -121,7 +121,11 @@ pub fn greedy_select(
         }
         let provenance = format!("catapult:csg{}", chosen.candidate.csg_index);
         if set
-            .insert(chosen.candidate.graph.clone(), PatternKind::Canned, provenance)
+            .insert(
+                chosen.candidate.graph.clone(),
+                PatternKind::Canned,
+                provenance,
+            )
             .is_ok()
         {
             selected_graphs.push(chosen.candidate.graph);
@@ -178,10 +182,10 @@ mod tests {
     fn greedy_builds_diverse_sets() {
         let col = collection();
         let cands = vec![
-            cand(chain(4, 1, 0)),  // covers chains
-            cand(chain(5, 1, 0)),  // also covers chains (redundant)
-            cand(cycle(4, 2, 0)),  // covers nothing (cycle5 has no c4... non-induced: C4 ⊄ C5)
-            cand(star(4, 3, 0)),   // covers the star
+            cand(chain(4, 1, 0)), // covers chains
+            cand(chain(5, 1, 0)), // also covers chains (redundant)
+            cand(cycle(4, 2, 0)), // covers nothing (cycle5 has no c4... non-induced: C4 ⊄ C5)
+            cand(star(4, 3, 0)),  // covers the star
         ];
         let (scored, ids) = score_candidates(cands, &col);
         let set = greedy_select(

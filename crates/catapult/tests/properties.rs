@@ -3,10 +3,10 @@
 
 use catapult::pipeline::{Catapult, CatapultConfig};
 use proptest::prelude::*;
-use vqi_core::selector::PatternSelector;
 use vqi_core::budget::PatternBudget;
 use vqi_core::repo::GraphCollection;
 use vqi_core::score::pattern_coverage;
+use vqi_core::selector::PatternSelector;
 use vqi_datasets::{aids_like, MoleculeParams};
 use vqi_graph::traversal::is_connected;
 

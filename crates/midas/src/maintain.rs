@@ -14,8 +14,8 @@ use vqi_core::score::{covers, QualityWeights};
 use vqi_graph::graphlet::{collection_distribution, euclidean_distance, GRAPHLET_CLASSES};
 use vqi_graph::Graph;
 use vqi_mining::closure::ClusterSummaryGraph;
-use vqi_mining::features::{cosine_distance, FeatureSpace};
 use vqi_mining::fct::FctIndex;
+use vqi_mining::features::{cosine_distance, FeatureSpace};
 use vqi_mining::fst::MineParams;
 
 /// MIDAS configuration.
@@ -156,9 +156,7 @@ impl Midas {
             .collect();
         let csgs: Vec<Option<ClusterSummaryGraph>> = clusters
             .iter()
-            .map(|c| {
-                ClusterSummaryGraph::build(&c.members, |id| collection.get(id).expect("live"))
-            })
+            .map(|c| ClusterSummaryGraph::build(&c.members, |id| collection.get(id).expect("live")))
             .collect();
 
         let gfd = collection_distribution(collection.iter().map(|(_, g)| g));
@@ -204,20 +202,23 @@ impl Midas {
     /// Applies a batch update to the repository and maintains the pattern
     /// set per the MIDAS procedure.
     pub fn apply_update(&mut self, update: BatchUpdate) -> MaintenanceReport {
+        let _run = vqi_observe::span("midas.apply_update");
         let removed = update.removals.clone();
         let added_graphs = update.additions.clone();
         let new_ids = self.collection.apply(update);
+        vqi_observe::incr("midas.update.added", new_ids.len() as u64);
+        vqi_observe::incr("midas.update.removed", removed.len() as u64);
 
         // 1. FCT maintenance
+        let fct_span = vqi_observe::span("midas.fct_maintain");
         let added_pairs: Vec<(usize, &Graph)> = new_ids
             .iter()
             .map(|&id| (id, self.collection.get(id).expect("just added")))
             .collect();
         let collection_ref = &self.collection;
-        self.fct
-            .apply_batch(&added_pairs, &removed, |id| {
-                collection_ref.get(id).expect("live id")
-            });
+        self.fct.apply_batch(&added_pairs, &removed, |id| {
+            collection_ref.get(id).expect("live id")
+        });
         self.feature_space = FeatureSpace::new(
             self.fct
                 .closed_trees()
@@ -225,8 +226,10 @@ impl Midas {
                 .map(|t| t.tree.tree.clone())
                 .collect(),
         );
+        drop(fct_span);
 
         // 2. cluster maintenance: drop removed members, assign additions
+        let cluster_span = vqi_observe::span("midas.cluster_maintain");
         let mut touched: Vec<usize> = Vec::new();
         for (ci, cluster) in self.clusters.iter_mut().enumerate() {
             let before = cluster.members.len();
@@ -240,7 +243,35 @@ impl Midas {
                 }
             }
         }
-        self.clusters.retain(|c| !c.members.is_empty());
+        // Drop emptied clusters while keeping `csgs` and `touched`
+        // aligned with the surviving indices. A bare `retain` here used
+        // to shift every cluster after a removed one, so later CSG
+        // rebuilds (and the addition assignments below) indexed the
+        // wrong clusters.
+        if self.clusters.iter().any(|c| c.members.is_empty()) {
+            let mut old_to_new = vec![usize::MAX; self.clusters.len()];
+            let mut kept = 0usize;
+            for (old, c) in self.clusters.iter().enumerate() {
+                if !c.members.is_empty() {
+                    old_to_new[old] = kept;
+                    kept += 1;
+                }
+            }
+            self.clusters.retain(|c| !c.members.is_empty());
+            let old_csgs = std::mem::take(&mut self.csgs);
+            self.csgs = vec![None; kept];
+            for (old, csg) in old_csgs.into_iter().enumerate() {
+                let new = old_to_new.get(old).copied().unwrap_or(usize::MAX);
+                if new != usize::MAX {
+                    self.csgs[new] = csg;
+                }
+            }
+            touched = touched
+                .into_iter()
+                .filter_map(|old| old_to_new.get(old).copied())
+                .filter(|&new| new != usize::MAX)
+                .collect();
+        }
 
         for (&id, g) in new_ids.iter().zip(added_graphs.iter()) {
             let vec_new = self.feature_space.vector(g);
@@ -270,8 +301,11 @@ impl Midas {
         }
         touched.sort_unstable();
         touched.dedup();
+        drop(cluster_span);
+        vqi_observe::incr("midas.clusters.touched", touched.len() as u64);
 
         // 3. rebuild CSGs of touched clusters (and resize the csg list)
+        let csg_span = vqi_observe::span("midas.csg_rebuild");
         self.csgs.resize(self.clusters.len(), None);
         self.csgs.truncate(self.clusters.len());
         let collection_ref = &self.collection;
@@ -290,16 +324,21 @@ impl Midas {
                 });
             }
         }
+        drop(csg_span);
 
         // 4. GFD drift decides minor vs major
+        let gfd_span = vqi_observe::span("midas.gfd_drift");
         let new_gfd = collection_distribution(self.collection.iter().map(|(_, g)| g));
         let gfd_distance = euclidean_distance(&self.gfd, &new_gfd);
         self.gfd = new_gfd;
+        drop(gfd_span);
+        vqi_observe::gauge_set("midas.gfd_distance_e6", (gfd_distance * 1e6) as i64);
 
         // bitsets must reflect the updated collection in either case
         self.pattern_bitsets = Self::bitsets_for(&self.patterns, &self.collection);
 
         if gfd_distance < self.config.drift_threshold {
+            vqi_observe::incr("midas.drift.minor", 1);
             return MaintenanceReport {
                 modification: Modification::Minor,
                 gfd_distance,
@@ -310,7 +349,10 @@ impl Midas {
             };
         }
 
+        vqi_observe::incr("midas.drift.major", 1);
+
         // 5. major: candidates from touched CSGs, then multi-scan swapping
+        let cand_span = vqi_observe::span("midas.candidates");
         let touched_csgs: Vec<ClusterSummaryGraph> = touched
             .iter()
             .filter_map(|&ci| self.csgs.get(ci).and_then(|c| c.clone()))
@@ -336,7 +378,10 @@ impl Midas {
                 }
             })
             .collect();
+        drop(cand_span);
+        vqi_observe::incr("midas.candidates.viable", swap_cands.len() as u64);
 
+        let swap_span = vqi_observe::span("midas.swap");
         let stats: SwapStats = multi_scan_swap(
             &mut self.patterns,
             &mut self.pattern_bitsets,
@@ -345,6 +390,11 @@ impl Midas {
             self.config.swap_scans,
             self.config.weights,
         );
+        drop(swap_span);
+        vqi_observe::incr("midas.swap.accepted", stats.swaps as u64);
+        vqi_observe::incr("midas.swap.considered", stats.considered as u64);
+        vqi_observe::incr("midas.swap.pruned", stats.pruned as u64);
+        vqi_observe::incr("midas.swap.scans", stats.scans as u64);
 
         MaintenanceReport {
             modification: Modification::Major,

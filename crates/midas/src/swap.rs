@@ -150,9 +150,7 @@ pub fn multi_scan_swap(
                 let mut bitsets: Vec<Vec<bool>> = pattern_bitsets.clone();
                 bitsets[pi] = cand.coverage.clone();
                 let new_score = score_of(&graphs, &bitsets, n_graphs, weights);
-                if new_score > current_score + 1e-12
-                    && best.is_none_or(|(s, _, _)| new_score > s)
-                {
+                if new_score > current_score + 1e-12 && best.is_none_or(|(s, _, _)| new_score > s) {
                     best = Some((new_score, ci, pi));
                 }
             }
@@ -260,7 +258,10 @@ mod tests {
             QualityWeights::default(),
         );
         assert_eq!(stats.swaps, 0);
-        assert!(stats.pruned >= 1, "zero-coverage candidate should be pruned");
+        assert!(
+            stats.pruned >= 1,
+            "zero-coverage candidate should be pruned"
+        );
     }
 
     #[test]

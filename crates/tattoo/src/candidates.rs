@@ -89,8 +89,7 @@ fn stars<R: Rng>(
             .gen_range(budget.min_size..=budget.max_size)
             .saturating_sub(1)
             .min(region.degree(hub));
-        let mut nbr_edges: Vec<vqi_graph::EdgeId> =
-            region.neighbors(hub).map(|(_, e)| e).collect();
+        let mut nbr_edges: Vec<vqi_graph::EdgeId> = region.neighbors(hub).map(|(_, e)| e).collect();
         nbr_edges.shuffle(rng);
         nbr_edges.truncate(leaves_wanted);
         let (sub, _) = region.edge_subgraph(&nbr_edges);

@@ -297,8 +297,9 @@ impl NetworkMaintainer {
                                 || cbits[i]
                         })
                         .count();
-                    let union_now =
-                        (0..m).filter(|&i| self.bitsets.iter().any(|b| b[i])).count();
+                    let union_now = (0..m)
+                        .filter(|&i| self.bitsets.iter().any(|b| b[i]))
+                        .count();
                     if union_without < union_now {
                         continue;
                     }

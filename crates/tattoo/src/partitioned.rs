@@ -56,6 +56,7 @@ impl PartitionedTattoo {
     /// Splits node ids into `parts` contiguous chunks of a BFS order
     /// (covering all components), preserving locality.
     pub fn partition_nodes(&self, g: &Graph) -> Vec<Vec<NodeId>> {
+        let _s = vqi_observe::span("tattoo.partition");
         let mut order: Vec<NodeId> = Vec::with_capacity(g.node_count());
         let mut seen = vec![false; g.node_count()];
         for v in g.nodes() {
@@ -75,7 +76,9 @@ impl PartitionedTattoo {
     /// budget is divided across partitions so the aggregate extraction
     /// work matches whole-graph TATTOO's regardless of `parts`.
     pub fn map_candidates(&self, network: &Graph, budget: &PatternBudget) -> Vec<Candidate> {
+        let _map = vqi_observe::span("tattoo.map");
         let parts = self.partition_nodes(network);
+        vqi_observe::incr("tattoo.map.shards", parts.len() as u64);
         let per_part_extract = ExtractParams {
             samples_per_size: (self.config.extract.samples_per_size / parts.len().max(1)).max(4),
         };
@@ -83,13 +86,16 @@ impl PartitionedTattoo {
             .par_iter()
             .enumerate()
             .map(|(pi, nodes)| {
+                // per-shard wall time lands in the `tattoo.map.shard`
+                // histogram; the gauge tracks shards currently running
+                vqi_observe::gauge_add("tattoo.map.in_flight", 1);
+                let _shard = vqi_observe::span("tattoo.map.shard");
                 let (sub, _) = network.induced_subgraph(nodes);
                 let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
                 let d = decompose(&sub, self.config.truss_k);
                 let (gt, _) = d.infested_graph(&sub);
                 let (go, _) = d.oblivious_graph(&sub);
-                let mut cands =
-                    extract_from_region(&gt, true, budget, per_part_extract, &mut rng);
+                let mut cands = extract_from_region(&gt, true, budget, per_part_extract, &mut rng);
                 cands.extend(extract_from_region(
                     &go,
                     false,
@@ -97,6 +103,8 @@ impl PartitionedTattoo {
                     per_part_extract,
                     &mut rng,
                 ));
+                vqi_observe::incr("tattoo.map.candidates", cands.len() as u64);
+                vqi_observe::gauge_add("tattoo.map.in_flight", -1);
                 cands
             })
             .collect();
@@ -109,6 +117,7 @@ impl PartitionedTattoo {
                 }
             }
         }
+        vqi_observe::incr("tattoo.map.deduped", all.len() as u64);
         all
     }
 
@@ -120,6 +129,7 @@ impl PartitionedTattoo {
         network: &Graph,
         budget: &PatternBudget,
     ) -> PatternSet {
+        let _s = vqi_observe::span("tattoo.reduce");
         let scored: Vec<ScoredCandidate> = score_candidates(candidates, network);
         greedy_select(scored, network.edge_count(), budget, self.config.weights)
     }
@@ -135,8 +145,8 @@ impl PartitionedTattoo {
 mod tests {
     use super::*;
     use crate::Tattoo;
-    use vqi_core::score::{evaluate_graphs, QualityWeights};
     use vqi_core::repo::GraphRepository;
+    use vqi_core::score::{evaluate_graphs, QualityWeights};
     use vqi_datasets::dblp_like;
     use vqi_graph::traversal::is_connected;
 

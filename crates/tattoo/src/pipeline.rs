@@ -51,17 +51,45 @@ impl Tattoo {
 
     /// Runs the pipeline on a single network.
     pub fn run(&self, network: &Graph, budget: &PatternBudget) -> PatternSet {
+        let _run = vqi_observe::span("tattoo.run");
         let cfg = &self.config;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let d = decompose(network, cfg.truss_k);
-        let (gt, _) = d.infested_graph(network);
-        let (go, _) = d.oblivious_graph(network);
-        let mut cands = extract_from_region(&gt, true, budget, cfg.extract, &mut rng);
-        cands.extend(extract_from_region(&go, false, budget, cfg.extract, &mut rng));
-        // dedup across regions
-        let mut seen = std::collections::HashSet::new();
-        cands.retain(|c| seen.insert(c.code.clone()));
-        let scored = score_candidates(cands, network);
+        let (gt, go) = {
+            let _s = vqi_observe::span("tattoo.truss_decompose");
+            let d = decompose(network, cfg.truss_k);
+            let (gt, _) = d.infested_graph(network);
+            let (go, _) = d.oblivious_graph(network);
+            vqi_observe::incr("tattoo.truss.infested_edges", gt.edge_count() as u64);
+            vqi_observe::incr("tattoo.truss.oblivious_edges", go.edge_count() as u64);
+            (gt, go)
+        };
+        let cands = {
+            let _s = vqi_observe::span("tattoo.candidates");
+            let mut cands = extract_from_region(&gt, true, budget, cfg.extract, &mut rng);
+            cands.extend(extract_from_region(
+                &go,
+                false,
+                budget,
+                cfg.extract,
+                &mut rng,
+            ));
+            vqi_observe::incr("tattoo.candidates.generated", cands.len() as u64);
+            // dedup across regions
+            let mut seen = std::collections::HashSet::new();
+            cands.retain(|c| seen.insert(c.code.clone()));
+            vqi_observe::incr("tattoo.candidates.deduped", cands.len() as u64);
+            if vqi_observe::enabled() {
+                for c in &cands {
+                    vqi_observe::count!(format!("tattoo.candidates.class.{:?}", c.class), 1);
+                }
+            }
+            cands
+        };
+        let scored = {
+            let _s = vqi_observe::span("tattoo.score");
+            score_candidates(cands, network)
+        };
+        let _s = vqi_observe::span("tattoo.greedy");
         greedy_select(scored, network.edge_count(), budget, cfg.weights)
     }
 }

@@ -60,11 +60,7 @@ pub fn score_candidates(candidates: Vec<Candidate>, network: &Graph) -> Vec<Scor
 
 /// The full pattern-set score of a set of graphs (used by both the greedy
 /// and the exhaustive optimum so the comparison is apples-to-apples).
-pub fn set_score(
-    members: &[&ScoredCandidate],
-    total_edges: usize,
-    weights: QualityWeights,
-) -> f64 {
+pub fn set_score(members: &[&ScoredCandidate], total_edges: usize, weights: QualityWeights) -> f64 {
     if members.is_empty() {
         return 0.0;
     }
@@ -98,6 +94,7 @@ pub fn greedy_select(
     let mut covered = vec![false; total_edges];
     let mut selected: Vec<ScoredCandidate> = Vec::new();
     while set.len() < budget.count && !candidates.is_empty() {
+        vqi_observe::incr("tattoo.greedy.iterations", 1);
         let gains: Vec<f64> = candidates
             .par_iter()
             .map(|c| {
@@ -148,12 +145,17 @@ pub fn greedy_select(
             }
         );
         if set
-            .insert(chosen.candidate.graph.clone(), PatternKind::Canned, provenance)
+            .insert(
+                chosen.candidate.graph.clone(),
+                PatternKind::Canned,
+                provenance,
+            )
             .is_ok()
         {
             selected.push(chosen);
         }
     }
+    vqi_observe::incr("tattoo.greedy.selected", set.len() as u64);
     set
 }
 
@@ -180,10 +182,7 @@ pub fn exhaustive_best(
             .collect();
         let score = set_score(&members, total_edges, weights);
         if score > best.0 {
-            best = (
-                score,
-                (0..n).filter(|&i| mask & (1 << i) != 0).collect(),
-            );
+            best = (score, (0..n).filter(|&i| mask & (1 << i) != 0).collect());
         }
     }
     best
@@ -232,7 +231,7 @@ mod tests {
     fn greedy_covers_both_regions() {
         let net = network();
         let cands = vec![
-            cand(cycle(3, 1, 0), true), // covers the K4 edges
+            cand(cycle(3, 1, 0), true),  // covers the K4 edges
             cand(chain(4, 1, 0), false), // covers the path (and some clique edges)
         ];
         let scored = score_candidates(cands, &net);

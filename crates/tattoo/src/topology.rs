@@ -95,10 +95,7 @@ pub fn classify(g: &Graph) -> TopologyClass {
             // cycles share the single hub: every non-hub node has degree 2
             // in a flower
             let hub = hubs[0];
-            let ok = g
-                .nodes()
-                .filter(|&v| v != hub)
-                .all(|v| g.degree(v) <= 2);
+            let ok = g.nodes().filter(|&v| v != hub).all(|v| g.degree(v) <= 2);
             // flower hubs have even degree (each petal contributes 2)
             if ok && g.degree(hub).is_multiple_of(2) {
                 TopologyClass::Flower
@@ -132,10 +129,16 @@ mod tests {
         assert_eq!(classify(&gen::chain(5, 0, 0)), TopologyClass::Chain);
         assert_eq!(classify(&gen::star(4, 0, 0)), TopologyClass::Star);
         assert_eq!(classify(&gen::cycle(5, 0, 0)), TopologyClass::Cycle);
-        assert_eq!(classify(&gen::cycle(3, 0, 0)), TopologyClass::TriangleCluster);
+        assert_eq!(
+            classify(&gen::cycle(3, 0, 0)),
+            TopologyClass::TriangleCluster
+        );
         assert_eq!(classify(&gen::petal(3, 2, 0, 0)), TopologyClass::Petal);
         assert_eq!(classify(&gen::flower(3, 4, 0, 0)), TopologyClass::Flower);
-        assert_eq!(classify(&gen::clique(4, 0, 0)), TopologyClass::TriangleCluster);
+        assert_eq!(
+            classify(&gen::clique(4, 0, 0)),
+            TopologyClass::TriangleCluster
+        );
         assert_eq!(
             classify(&gen::tailed_triangle(2, 0, 0)),
             TopologyClass::TriangleCluster

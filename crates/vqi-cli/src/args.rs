@@ -1,5 +1,6 @@
-//! Minimal flag parser (no external dependency): `--key value` pairs and
-//! one positional subcommand.
+//! Minimal flag parser (no external dependency): `--key value` or
+//! `--key=value` pairs and one positional subcommand. `--metrics` is
+//! the one valueless flag (shorthand for `--metrics=table`).
 
 use std::collections::BTreeMap;
 
@@ -31,10 +32,18 @@ impl Args {
         let mut iter = raw.into_iter();
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
-                args.options.insert(key.to_string(), value);
+                if let Some((k, v)) = key.split_once('=') {
+                    args.options.insert(k.to_string(), v.to_string());
+                } else if key == "metrics" {
+                    // bare `--metrics` is shorthand for `--metrics=table`
+                    args.options
+                        .insert("metrics".to_string(), "table".to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                    args.options.insert(key.to_string(), value);
+                }
             } else if args.command.is_none() {
                 args.command = Some(tok);
             } else {
@@ -89,6 +98,25 @@ mod tests {
         let a = parse(&["evaluate"]).unwrap();
         assert_eq!(a.get_or("selector", "catapult"), "catapult");
         assert_eq!(a.parse_or::<usize>("count", 6).unwrap(), 6);
+    }
+
+    #[test]
+    fn equals_form_parses() {
+        let a = parse(&["construct", "--selector=tattoo", "--count=5"]).unwrap();
+        assert_eq!(a.require("selector").unwrap(), "tattoo");
+        assert_eq!(a.parse_or::<usize>("count", 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn metrics_flag_forms() {
+        let bare = parse(&["evaluate", "--metrics"]).unwrap();
+        assert_eq!(bare.get_or("metrics", "off"), "table");
+        let json = parse(&["evaluate", "--metrics=json"]).unwrap();
+        assert_eq!(json.get_or("metrics", "off"), "json");
+        // bare --metrics must not swallow a following option pair
+        let mixed = parse(&["evaluate", "--metrics", "--count", "3"]).unwrap();
+        assert_eq!(mixed.get_or("metrics", "off"), "table");
+        assert_eq!(mixed.parse_or::<usize>("count", 0).unwrap(), 3);
     }
 
     #[test]

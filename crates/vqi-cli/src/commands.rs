@@ -44,6 +44,11 @@ USAGE:
   vqi show      --load FILE.vqi [--svg OUT.svg]
   vqi search    --input FILE --query QFILE [--index none|triple|ctree]
 
+Any command also accepts --metrics[=table|json]: pipeline spans,
+counters, and gauges are recorded while the command runs and a
+snapshot is printed to stderr afterwards (stdout stays clean).
+Options may be written --key value or --key=value.
+
 Input files use the classic graph-transaction text format
 (t # / v <id> <label> / e <u> <v> <label>). With --network true the
 first graph of the file is treated as one large network; otherwise the
@@ -54,8 +59,8 @@ file is a collection of data graphs.
 
 fn load_repo(args: &Args) -> Result<GraphRepository, ArgError> {
     let path = args.require("input")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     let graphs =
         parse_transactions(&text).map_err(|e| ArgError(format!("parse error in {path}: {e}")))?;
     if graphs.is_empty() {
@@ -144,10 +149,9 @@ fn vqi_datasets_aids(size: usize, seed: u64) -> Vec<Graph> {
 fn render(args: &Args) -> Result<String, ArgError> {
     let path = args.require("input")?;
     let out = args.require("out")?.to_string();
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
-    let graphs =
-        parse_transactions(&text).map_err(|e| ArgError(format!("parse error: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let graphs = parse_transactions(&text).map_err(|e| ArgError(format!("parse error: {e}")))?;
     let g = graphs
         .first()
         .ok_or_else(|| ArgError("no graphs in input".into()))?;
@@ -159,8 +163,8 @@ fn render(args: &Args) -> Result<String, ArgError> {
 /// Reloads a saved interface and prints (or renders) it.
 fn show(args: &Args) -> Result<String, ArgError> {
     let path = args.require("load")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     let vqi = vqi_core::persist::load_interface(&text)
         .map_err(|e| ArgError(format!("cannot load {path}: {e}")))?;
     if let Some(out) = args.options.get("svg") {
@@ -189,9 +193,7 @@ fn search(args: &Args) -> Result<String, ArgError> {
             graphs
                 .iter()
                 .enumerate()
-                .filter(|(_, g)| {
-                    is_subgraph_isomorphic(&query, g, MatchOptions::with_wildcards())
-                })
+                .filter(|(_, g)| is_subgraph_isomorphic(&query, g, MatchOptions::with_wildcards()))
                 .map(|(i, _)| i)
                 .collect()
         }
@@ -247,15 +249,34 @@ mod tests {
 
         let svg = tmp("vqi.svg");
         let summary = run(&args(&[
-            "construct", "--input", &file, "--selector", "random", "--count", "4",
-            "--min-size", "4", "--max-size", "6", "--svg", &svg,
+            "construct",
+            "--input",
+            &file,
+            "--selector",
+            "random",
+            "--count",
+            "4",
+            "--min-size",
+            "4",
+            "--max-size",
+            "6",
+            "--svg",
+            &svg,
         ]))
         .unwrap();
         assert!(summary.contains("canned"));
-        assert!(std::fs::read_to_string(&svg).unwrap().contains("Pattern Panel"));
+        assert!(std::fs::read_to_string(&svg)
+            .unwrap()
+            .contains("Pattern Panel"));
 
         let eval = run(&args(&[
-            "evaluate", "--input", &file, "--selector", "random", "--count", "4",
+            "evaluate",
+            "--input",
+            &file,
+            "--selector",
+            "random",
+            "--count",
+            "4",
         ]))
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&eval).unwrap();
@@ -270,8 +291,19 @@ mod tests {
         ]))
         .unwrap();
         let out = run(&args(&[
-            "construct", "--input", &file, "--selector", "tattoo", "--network", "true",
-            "--count", "3", "--min-size", "4", "--max-size", "5",
+            "construct",
+            "--input",
+            &file,
+            "--selector",
+            "tattoo",
+            "--network",
+            "true",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
         ]))
         .unwrap();
         assert!(out.contains("tattoo"));
@@ -285,11 +317,25 @@ mod tests {
     #[test]
     fn save_and_show_round_trip() {
         let file = tmp("save_src.txt");
-        run(&args(&["dataset", "--kind", "aids", "--out", &file, "--size", "20"])).unwrap();
+        run(&args(&[
+            "dataset", "--kind", "aids", "--out", &file, "--size", "20",
+        ]))
+        .unwrap();
         let saved = tmp("iface.vqi");
         run(&args(&[
-            "construct", "--input", &file, "--selector", "random", "--count", "3",
-            "--min-size", "4", "--max-size", "5", "--save", &saved,
+            "construct",
+            "--input",
+            &file,
+            "--selector",
+            "random",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
+            "--save",
+            &saved,
         ]))
         .unwrap();
         let shown = run(&args(&["show", "--load", &saved])).unwrap();
@@ -300,7 +346,10 @@ mod tests {
     #[test]
     fn search_finds_matches_with_every_index() {
         let file = tmp("search_repo.txt");
-        run(&args(&["dataset", "--kind", "aids", "--out", &file, "--size", "25"])).unwrap();
+        run(&args(&[
+            "dataset", "--kind", "aids", "--out", &file, "--size", "25",
+        ]))
+        .unwrap();
         // query: a 3-carbon chain, ubiquitous in molecules
         let qfile = tmp("search_query.txt");
         let q = vqi_graph::generate::chain(3, 0, 0);
@@ -315,6 +364,104 @@ mod tests {
         }
         assert_eq!(results[0], results[1], "triple index changed results");
         assert_eq!(results[0], results[2], "ctree changed results");
+    }
+
+    #[test]
+    fn metrics_capture_every_pipeline() {
+        let col = tmp("metrics_col.txt");
+        run(&args(&[
+            "dataset", "--kind", "aids", "--out", &col, "--size", "20",
+        ]))
+        .unwrap();
+        let net = tmp("metrics_net.txt");
+        run(&args(&[
+            "dataset", "--kind", "dblp", "--out", &net, "--size", "100",
+        ]))
+        .unwrap();
+
+        vqi_observe::reset();
+        vqi_observe::set_enabled(true);
+        run(&args(&[
+            "construct",
+            "--input",
+            &col,
+            "--selector",
+            "catapult",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "construct",
+            "--input",
+            &col,
+            "--selector",
+            "modular",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "construct",
+            "--input",
+            &net,
+            "--selector",
+            "tattoo",
+            "--network",
+            "true",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
+        ]))
+        .unwrap();
+        // midas has no subcommand yet; drive its maintenance loop directly
+        {
+            use vqi_core::repo::{BatchUpdate, GraphCollection};
+            let graphs = vqi_datasets::aids_like(vqi_datasets::MoleculeParams {
+                count: 12,
+                seed: 3,
+                ..Default::default()
+            });
+            let mut m = midas::Midas::bootstrap(
+                GraphCollection::new(graphs),
+                PatternBudget::new(3, 4, 6),
+                midas::MidasConfig::default(),
+            );
+            m.apply_update(BatchUpdate::adding(vec![vqi_graph::generate::clique(
+                5, 3, 0,
+            )]));
+        }
+        vqi_observe::set_enabled(false);
+
+        let s = vqi_observe::snapshot();
+        for system in ["catapult", "tattoo", "midas", "modular"] {
+            assert!(
+                s.spans.keys().any(|k| k.starts_with(system)),
+                "no span from {system}: {:?}",
+                s.spans.keys().collect::<Vec<_>>()
+            );
+            assert!(
+                s.counters.keys().any(|k| k.starts_with(system)),
+                "no counter from {system}: {:?}",
+                s.counters.keys().collect::<Vec<_>>()
+            );
+        }
+        let json = s.to_json();
+        assert!(json.contains("\"catapult.run\""));
+        assert!(json.contains("\"spans\""));
+        assert!(!s.render_table().is_empty());
+        vqi_observe::reset();
     }
 
     #[test]

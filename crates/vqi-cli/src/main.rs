@@ -14,8 +14,28 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let metrics_mode = match parsed.options.get("metrics").map(|s| s.as_str()) {
+        None => None,
+        Some(m @ ("table" | "json")) => Some(m.to_string()),
+        Some(other) => {
+            eprintln!("error: --metrics must be 'table' or 'json', got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    if metrics_mode.is_some() {
+        vqi_observe::set_enabled(true);
+    }
     match commands::run(&parsed) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{out}");
+            // metrics go to stderr so stdout stays machine-parseable
+            // (e.g. `vqi evaluate` prints JSON on stdout)
+            match metrics_mode.as_deref() {
+                Some("json") => eprintln!("{}", vqi_observe::snapshot().to_json()),
+                Some(_) => eprint!("{}", vqi_observe::snapshot().render_table()),
+                None => {}
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -12,9 +12,9 @@
 use crate::repo::GraphRepository;
 use crate::score::coverage_match_options;
 use serde::Serialize;
+use std::collections::HashMap;
 use vqi_graph::iso::{enumerate_embeddings, MatchOptions};
 use vqi_graph::{Graph, Label};
-use std::collections::HashMap;
 
 /// One suggested extension of the current query fragment.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -68,11 +68,7 @@ fn tally(
                 if image.contains(&nbr.0) {
                     continue; // internal edge, not an extension
                 }
-                let key = (
-                    qi as u32,
-                    target.node_label(nbr),
-                    target.edge_label(e),
-                );
+                let key = (qi as u32, target.node_label(nbr), target.edge_label(e));
                 if per_graph {
                     if seen_this_graph.insert(key) {
                         *counts.entry(key).or_insert(0) += 1;

@@ -27,10 +27,10 @@ pub mod aesthetics;
 pub mod budget;
 pub mod explore;
 pub mod layout;
-pub mod panel;
-pub mod persist;
 pub mod optimize;
+pub mod panel;
 pub mod pattern;
+pub mod persist;
 pub mod query;
 pub mod render;
 pub mod repo;

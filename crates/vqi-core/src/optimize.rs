@@ -63,8 +63,8 @@ pub fn layout_cost(g: &Graph, layout: &Layout, obj: &LayoutObjective) -> f64 {
         if mean <= 0.0 {
             0.0
         } else {
-            let var = lengths.iter().map(|l| (l - mean).powi(2)).sum::<f64>()
-                / lengths.len() as f64;
+            let var =
+                lengths.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / lengths.len() as f64;
             var.sqrt() / mean
         }
     };
@@ -252,9 +252,12 @@ mod tests {
     #[test]
     fn arrangement_puts_simple_patterns_first() {
         let mut set = PatternSet::new();
-        set.insert(clique(7, 0, 0), PatternKind::Canned, "big").unwrap();
-        set.insert(chain(2, 0, 0), PatternKind::Canned, "small").unwrap();
-        set.insert(cycle(4, 0, 0), PatternKind::Canned, "mid").unwrap();
+        set.insert(clique(7, 0, 0), PatternKind::Canned, "big")
+            .unwrap();
+        set.insert(chain(2, 0, 0), PatternKind::Canned, "small")
+            .unwrap();
+        set.insert(cycle(4, 0, 0), PatternKind::Canned, "mid")
+            .unwrap();
         let order = arrange_panel(&set);
         assert_eq!(order.len(), 3);
         // the 2-chain (index 1) first, the clique (index 0) last

@@ -186,12 +186,24 @@ impl PatternSet {
 pub fn default_basic_patterns() -> PatternSet {
     let mut set = PatternSet::new();
     let w = WILDCARD_LABEL;
-    set.insert(vqi_graph::generate::chain(2, w, w), PatternKind::Basic, "basic:edge")
-        .expect("edge inserts");
-    set.insert(vqi_graph::generate::chain(3, w, w), PatternKind::Basic, "basic:2-path")
-        .expect("2-path inserts");
-    set.insert(vqi_graph::generate::cycle(3, w, w), PatternKind::Basic, "basic:triangle")
-        .expect("triangle inserts");
+    set.insert(
+        vqi_graph::generate::chain(2, w, w),
+        PatternKind::Basic,
+        "basic:edge",
+    )
+    .expect("edge inserts");
+    set.insert(
+        vqi_graph::generate::chain(3, w, w),
+        PatternKind::Basic,
+        "basic:2-path",
+    )
+    .expect("2-path inserts");
+    set.insert(
+        vqi_graph::generate::cycle(3, w, w),
+        PatternKind::Basic,
+        "basic:triangle",
+    )
+    .expect("triangle inserts");
     set
 }
 
@@ -243,8 +255,10 @@ mod tests {
     #[test]
     fn replace_swaps_pattern() {
         let mut set = PatternSet::new();
-        set.insert(chain(3, 1, 0), PatternKind::Canned, "old").unwrap();
-        set.insert(cycle(3, 1, 0), PatternKind::Canned, "keep").unwrap();
+        set.insert(chain(3, 1, 0), PatternKind::Canned, "old")
+            .unwrap();
+        set.insert(cycle(3, 1, 0), PatternKind::Canned, "keep")
+            .unwrap();
         set.replace(0, star(3, 1, 0), "new").unwrap();
         assert!(set.contains_isomorphic(&star(3, 1, 0)));
         assert!(!set.contains_isomorphic(&chain(3, 1, 0)));

@@ -73,8 +73,7 @@ pub fn save_interface(vqi: &VisualQueryInterface) -> String {
             .map(|p| p.provenance.clone())
             .collect(),
     };
-    let graphs: Vec<vqi_graph::Graph> =
-        vqi.pattern_set().graphs().cloned().collect();
+    let graphs: Vec<vqi_graph::Graph> = vqi.pattern_set().graphs().cloned().collect();
     format!(
         "{}\n{SEPARATOR}\n{}",
         serde_json::to_string_pretty(&header).expect("header serializes"),
@@ -96,8 +95,7 @@ pub fn load_interface(text: &str) -> Result<VisualQueryInterface, PersistError> 
             header.format_version
         )));
     }
-    let graphs =
-        parse_transactions(tail).map_err(|e| PersistError::Patterns(e.to_string()))?;
+    let graphs = parse_transactions(tail).map_err(|e| PersistError::Patterns(e.to_string()))?;
     if graphs.len() != header.kinds.len() || graphs.len() != header.provenances.len() {
         return Err(PersistError::Inconsistent(format!(
             "{} graphs vs {} kinds / {} provenances",

@@ -162,8 +162,10 @@ impl QueryBuilder {
                 }
                 for e in pattern.edges() {
                     let (u, v) = pattern.endpoints(e);
-                    self.edges
-                        .insert(key(base + u.index(), base + v.index()), pattern.edge_label(e));
+                    self.edges.insert(
+                        key(base + u.index(), base + v.index()),
+                        pattern.edge_label(e),
+                    );
                 }
                 created
             }
@@ -238,7 +240,12 @@ mod tests {
         let b = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
         let c = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
         q.apply(&EditOp::AddEdge { a, b, label: 0 }).unwrap();
-        q.apply(&EditOp::AddEdge { a: b, b: c, label: 0 }).unwrap();
+        q.apply(&EditOp::AddEdge {
+            a: b,
+            b: c,
+            label: 0,
+        })
+        .unwrap();
         q.apply(&EditOp::AddEdge { a, b: c, label: 0 }).unwrap();
         assert_eq!(q.steps(), 6);
         let (g, _) = q.to_graph();
@@ -334,7 +341,8 @@ mod tests {
         let a = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
         let b = q.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
         q.apply(&EditOp::AddEdge { a, b, label: 0 }).unwrap();
-        q.apply(&EditOp::SetNodeLabel { node: a, label: 9 }).unwrap();
+        q.apply(&EditOp::SetNodeLabel { node: a, label: 9 })
+            .unwrap();
         q.apply(&EditOp::SetEdgeLabel { a, b, label: 5 }).unwrap();
         let (g, map) = q.to_graph();
         assert_eq!(g.node_label(map[&a.0]), 9);

@@ -204,7 +204,12 @@ pub fn svg_interface(vqi: &VisualQueryInterface) -> String {
 /// A terse ASCII summary of an interface (for logs and golden tests).
 pub fn ascii_summary(vqi: &VisualQueryInterface) -> String {
     let mut out = String::new();
-    writeln!(out, "=== VQI ({:?}, selector={}) ===", vqi.mode, vqi.selector_name).unwrap();
+    writeln!(
+        out,
+        "=== VQI ({:?}, selector={}) ===",
+        vqi.mode, vqi.selector_name
+    )
+    .unwrap();
     writeln!(
         out,
         "attributes: {} node labels, {} edge labels",
@@ -232,7 +237,14 @@ pub fn ascii_summary(vqi: &VisualQueryInterface) -> String {
         .unwrap();
     }
     let (qg, _) = vqi.query.query.to_graph();
-    writeln!(out, "query: n={} m={} steps={}", qg.node_count(), qg.edge_count(), vqi.query.query.steps()).unwrap();
+    writeln!(
+        out,
+        "query: n={} m={} steps={}",
+        qg.node_count(),
+        qg.edge_count(),
+        vqi.query.query.steps()
+    )
+    .unwrap();
     writeln!(
         out,
         "results: {}",
@@ -282,7 +294,12 @@ mod tests {
     fn interface_svg_has_all_panels() {
         let vqi = sample_vqi();
         let svg = svg_interface(&vqi);
-        for title in ["Attribute Panel", "Pattern Panel", "Query Panel", "Results Panel"] {
+        for title in [
+            "Attribute Panel",
+            "Pattern Panel",
+            "Query Panel",
+            "Results Panel",
+        ] {
             assert!(svg.contains(title), "missing {title}");
         }
         assert!(svg.contains("node labels: 1"));

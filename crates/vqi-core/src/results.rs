@@ -104,11 +104,7 @@ mod tests {
 
     #[test]
     fn collection_results_list_matching_graphs() {
-        let repo = GraphRepository::collection(vec![
-            chain(4, 1, 0),
-            cycle(4, 1, 0),
-            star(3, 2, 0),
-        ]);
+        let repo = GraphRepository::collection(vec![chain(4, 1, 0), cycle(4, 1, 0), star(3, 2, 0)]);
         let q = chain(3, 1, 0);
         let r = run_query(&q, &repo, ResultOptions::default());
         match r {

@@ -166,7 +166,11 @@ pub struct QualityReport {
 }
 
 /// Evaluates the canned patterns of `set` against `repo`.
-pub fn evaluate(set: &PatternSet, repo: &GraphRepository, weights: QualityWeights) -> QualityReport {
+pub fn evaluate(
+    set: &PatternSet,
+    repo: &GraphRepository,
+    weights: QualityWeights,
+) -> QualityReport {
     let graphs: Vec<&Graph> = set.canned().map(|p| &p.graph).collect();
     evaluate_graphs(&graphs, repo, weights)
 }
@@ -292,7 +296,10 @@ mod tests {
         let b = chain(4, 1, 0);
         assert!(diversity(&[&a, &b]).abs() < 1e-12, "identical patterns");
         let c = clique(4, 9, 9);
-        assert!((diversity(&[&a, &c]) - 1.0).abs() < 1e-12, "disjoint labels");
+        assert!(
+            (diversity(&[&a, &c]) - 1.0).abs() < 1e-12,
+            "disjoint labels"
+        );
         assert_eq!(diversity(&[&a]), 1.0);
         assert_eq!(diversity(&[]), 1.0);
     }
@@ -344,8 +351,10 @@ mod tests {
     fn evaluate_combines_terms() {
         let repo = GraphRepository::Collection(collection());
         let mut set = PatternSet::new();
-        set.insert(chain(2, 1, 0), PatternKind::Canned, "t").unwrap();
-        set.insert(cycle(3, 2, 0), PatternKind::Canned, "t").unwrap();
+        set.insert(chain(2, 1, 0), PatternKind::Canned, "t")
+            .unwrap();
+        set.insert(cycle(3, 2, 0), PatternKind::Canned, "t")
+            .unwrap();
         let w = QualityWeights::default();
         let r = evaluate(&set, &repo, w);
         assert!((r.coverage - 1.0).abs() < 1e-12);

@@ -97,11 +97,7 @@ mod tests {
 
     #[test]
     fn random_selector_on_collection() {
-        let repo = GraphRepository::collection(vec![
-            chain(8, 1, 0),
-            cycle(6, 1, 0),
-            star(7, 1, 0),
-        ]);
+        let repo = GraphRepository::collection(vec![chain(8, 1, 0), cycle(6, 1, 0), star(7, 1, 0)]);
         let set = RandomSelector::new(2).select(&repo, &PatternBudget::new(4, 4, 5));
         assert!(!set.is_empty());
         for p in set.patterns() {

@@ -232,11 +232,7 @@ mod tests {
         let set = set_of(vec![cycle(3, 1, 0), clique(4, 1, 0)]);
         let s = summarize(&g, &set, SummaryOptions::default());
         assert_eq!(s.graph.node_count(), 1);
-        let k4_idx = set
-            .patterns()
-            .iter()
-            .position(|p| p.size() == 4)
-            .unwrap();
+        let k4_idx = set.patterns().iter().position(|p| p.size() == 4).unwrap();
         assert_eq!(s.supernodes[0].pattern, Some(k4_idx));
     }
 

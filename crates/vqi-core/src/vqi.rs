@@ -158,8 +158,16 @@ mod tests {
     fn edit_and_execute_round_trip() {
         let repo = repo();
         let mut vqi = VisualQueryInterface::manual(vec![1], vec![0], vec![]);
-        let a = vqi.query.query.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
-        let b = vqi.query.query.apply(&EditOp::AddNode { label: 1 }).unwrap()[0];
+        let a = vqi
+            .query
+            .query
+            .apply(&EditOp::AddNode { label: 1 })
+            .unwrap()[0];
+        let b = vqi
+            .query
+            .query
+            .apply(&EditOp::AddNode { label: 1 })
+            .unwrap()[0];
         vqi.edit(&EditOp::AddEdge { a, b, label: 0 }).unwrap();
         let results = vqi.execute(&repo, ResultOptions::default());
         // a 1-1 edge occurs in the chain and the cycle

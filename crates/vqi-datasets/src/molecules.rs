@@ -156,7 +156,9 @@ pub fn molecule<R: Rng>(params: &MoleculeParams, rng: &mut R) -> Graph {
 /// An AIDS-like collection: `params.count` molecules.
 pub fn aids_like(params: MoleculeParams) -> Vec<Graph> {
     let mut rng = SmallRng::seed_from_u64(params.seed);
-    (0..params.count).map(|_| molecule(&params, &mut rng)).collect()
+    (0..params.count)
+        .map(|_| molecule(&params, &mut rng))
+        .collect()
 }
 
 /// A PubChem-like collection: larger molecules, more rings and chains.

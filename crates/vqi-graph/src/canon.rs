@@ -205,7 +205,9 @@ impl<'a> CanonSearch<'a> {
             let end = start + chunk.len();
             if end <= b.len() {
                 use std::cmp::Ordering;
-                if chunk.as_slice().cmp(&b[start..end]) == Ordering::Greater { return }
+                if chunk.as_slice().cmp(&b[start..end]) == Ordering::Greater {
+                    return;
+                }
             }
         }
         // twin pruning: keep one representative per twin class

@@ -51,9 +51,7 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, label: Label, rng: &mut R) ->
         let v = g.add_node(label);
         let mut targets = Vec::with_capacity(m);
         while targets.len() < m {
-            let &t = endpoints
-                .choose(rng)
-                .expect("endpoint pool is never empty");
+            let &t = endpoints.choose(rng).expect("endpoint pool is never empty");
             if t != v && !targets.contains(&t) {
                 targets.push(t);
             }
@@ -167,7 +165,10 @@ pub fn clique(n: usize, node_label: Label, edge_label: Label) -> Graph {
 /// paths, each with `inner ≥ 1` internal nodes. (With `paths = 2` and
 /// `inner = 1` this is a 4-cycle.)
 pub fn petal(paths: usize, inner: usize, node_label: Label, edge_label: Label) -> Graph {
-    assert!(paths >= 2 && inner >= 1, "petal needs ≥2 paths and ≥1 inner node");
+    assert!(
+        paths >= 2 && inner >= 1,
+        "petal needs ≥2 paths and ≥1 inner node"
+    );
     let mut g = Graph::new();
     let s = g.add_node(node_label);
     let t = g.add_node(node_label);
@@ -186,7 +187,10 @@ pub fn petal(paths: usize, inner: usize, node_label: Label, edge_label: Label) -
 /// A *flower*: a center node with `petals ≥ 1` cycles of length
 /// `cycle_len ≥ 3` all sharing the center.
 pub fn flower(petals: usize, cycle_len: usize, node_label: Label, edge_label: Label) -> Graph {
-    assert!(petals >= 1 && cycle_len >= 3, "flower needs ≥1 petal of length ≥3");
+    assert!(
+        petals >= 1 && cycle_len >= 3,
+        "flower needs ≥1 petal of length ≥3"
+    );
     let mut g = Graph::new();
     let center = g.add_node(node_label);
     for _ in 0..petals {
@@ -281,7 +285,10 @@ mod tests {
         assign_labels(&mut g, 5, 1, &mut rng);
         let count0 = g.nodes().filter(|&n| g.node_label(n) == 0).count();
         let count4 = g.nodes().filter(|&n| g.node_label(n) == 4).count();
-        assert!(count0 > count4, "label 0 ({count0}) should beat label 4 ({count4})");
+        assert!(
+            count0 > count4,
+            "label 0 ({count0}) should beat label 4 ({count4})"
+        );
     }
 
     #[test]

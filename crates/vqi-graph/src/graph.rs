@@ -275,10 +275,10 @@ impl Graph {
         let mut mapping = Vec::new();
         let mut g = Graph::new();
         let intern = |g: &mut Graph,
-                          mapping: &mut Vec<NodeId>,
-                          index: &mut Vec<u32>,
-                          n: NodeId,
-                          label: Label| {
+                      mapping: &mut Vec<NodeId>,
+                      index: &mut Vec<u32>,
+                      n: NodeId,
+                      label: Label| {
             if index[n.index()] == u32::MAX {
                 index[n.index()] = g.add_node(label).0;
                 mapping.push(n);

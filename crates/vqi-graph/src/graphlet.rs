@@ -87,14 +87,14 @@ fn classify(g: &Graph, nodes: &[NodeId]) -> usize {
     }
     let maxd = *degs[..k].iter().max().unwrap();
     match (k, edges) {
-        (3, 2) => 0,                       // P3
-        (3, 3) => 1,                       // K3
-        (4, 3) if maxd == 3 => 3,          // star
-        (4, 3) => 2,                       // P4
-        (4, 4) if maxd == 3 => 5,          // tailed triangle
-        (4, 4) => 4,                       // C4
-        (4, 5) => 6,                       // diamond
-        (4, 6) => 7,                       // K4
+        (3, 2) => 0,              // P3
+        (3, 3) => 1,              // K3
+        (4, 3) if maxd == 3 => 3, // star
+        (4, 3) => 2,              // P4
+        (4, 4) if maxd == 3 => 5, // tailed triangle
+        (4, 4) => 4,              // C4
+        (4, 5) => 6,              // diamond
+        (4, 6) => 7,              // K4
         _ => unreachable!("disconnected or wrong-size subgraph"),
     }
 }
@@ -121,7 +121,18 @@ fn esu<F: FnMut(&[NodeId], f64), R: Rng>(
         for &u in &ext {
             blocked[u.index()] = true;
         }
-        extend(g, v, &mut sub, ext, k, &mut blocked, &mut visit, 1.0, probs, rng);
+        extend(
+            g,
+            v,
+            &mut sub,
+            ext,
+            k,
+            &mut blocked,
+            &mut visit,
+            1.0,
+            probs,
+            rng,
+        );
         blocked[v.index()] = false;
         for u in g.neighbors(v).map(|(u, _)| u) {
             blocked[u.index()] = false;

@@ -429,7 +429,10 @@ mod tests {
     #[test]
     fn empty_pattern_has_no_embeddings() {
         let t = triangle(0);
-        assert_eq!(count_embeddings(&Graph::new(), &t, MatchOptions::default()), 0);
+        assert_eq!(
+            count_embeddings(&Graph::new(), &t, MatchOptions::default()),
+            0
+        );
     }
 
     #[test]

@@ -224,10 +224,7 @@ mod tests {
         for n in [3usize, 4, 5, 6] {
             let g = clique(n);
             let t = trussness(&g);
-            assert!(
-                t.iter().all(|&x| x == n as u32),
-                "K{n} trussness {t:?}"
-            );
+            assert!(t.iter().all(|&x| x == n as u32), "K{n} trussness {t:?}");
         }
     }
 

@@ -179,9 +179,7 @@ impl ClosureTree {
         let (cands, stats) = self.candidates(query);
         let mut out: Vec<usize> = cands
             .into_par_iter()
-            .filter(|&id| {
-                is_subgraph_isomorphic(query, lookup(id), MatchOptions::with_wildcards())
-            })
+            .filter(|&id| is_subgraph_isomorphic(query, lookup(id), MatchOptions::with_wildcards()))
             .collect();
         out.sort_unstable();
         (out, stats)
@@ -208,11 +206,7 @@ fn similarity_order(items: &[(usize, &Graph)]) -> Vec<usize> {
     for _ in 1..n {
         let best = (0..n)
             .filter(|&i| !used[i])
-            .max_by_key(|&i| {
-                triple_sets[cur]
-                    .intersection(&triple_sets[i])
-                    .count()
-            })
+            .max_by_key(|&i| triple_sets[cur].intersection(&triple_sets[i]).count())
             .expect("unused item exists");
         used[best] = true;
         order.push(best);
@@ -257,14 +251,17 @@ mod tests {
     fn search_matches_brute_force() {
         let gs = collection();
         let t = tree(&gs, 3);
-        for q in [chain(3, 1, 0), cycle(4, 2, 0), star(3, 3, 0), chain(2, 9, 9)] {
+        for q in [
+            chain(3, 1, 0),
+            cycle(4, 2, 0),
+            star(3, 3, 0),
+            chain(2, 9, 9),
+        ] {
             let (found, _) = t.search(&q, |id| &gs[id]);
             let truth: Vec<usize> = gs
                 .iter()
                 .enumerate()
-                .filter(|(_, g)| {
-                    is_subgraph_isomorphic(&q, g, MatchOptions::with_wildcards())
-                })
+                .filter(|(_, g)| is_subgraph_isomorphic(&q, g, MatchOptions::with_wildcards()))
                 .map(|(i, _)| i)
                 .collect();
             assert_eq!(found, truth, "query {}", q.summary());

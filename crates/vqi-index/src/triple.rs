@@ -108,9 +108,7 @@ impl TripleIndex {
         let candidates = self.filter(query);
         let mut out: Vec<usize> = candidates
             .into_par_iter()
-            .filter(|&id| {
-                is_subgraph_isomorphic(query, lookup(id), MatchOptions::with_wildcards())
-            })
+            .filter(|&id| is_subgraph_isomorphic(query, lookup(id), MatchOptions::with_wildcards()))
             .collect();
         out.sort_unstable();
         out
@@ -123,7 +121,12 @@ mod tests {
     use vqi_graph::generate::{chain, cycle, star};
 
     fn graphs() -> Vec<Graph> {
-        vec![chain(5, 1, 0), cycle(4, 1, 0), star(4, 2, 3), chain(3, 2, 3)]
+        vec![
+            chain(5, 1, 0),
+            cycle(4, 1, 0),
+            star(4, 2, 3),
+            chain(3, 2, 3),
+        ]
     }
 
     fn index(gs: &[Graph]) -> TripleIndex {
@@ -176,9 +179,7 @@ mod tests {
             let truth: Vec<usize> = gs
                 .iter()
                 .enumerate()
-                .filter(|(_, g)| {
-                    is_subgraph_isomorphic(&q, g, MatchOptions::with_wildcards())
-                })
+                .filter(|(_, g)| is_subgraph_isomorphic(&q, g, MatchOptions::with_wildcards()))
                 .map(|(i, _)| i)
                 .collect();
             assert_eq!(verified, truth, "query {}", q.summary());
@@ -189,7 +190,11 @@ mod tests {
     fn wildcards_bypass_the_filter() {
         let gs = graphs();
         let idx = index(&gs);
-        let q = chain(2, vqi_graph::graph::WILDCARD_LABEL, vqi_graph::graph::WILDCARD_LABEL);
+        let q = chain(
+            2,
+            vqi_graph::graph::WILDCARD_LABEL,
+            vqi_graph::graph::WILDCARD_LABEL,
+        );
         // every graph has an edge, none may be filtered
         assert_eq!(idx.filter(&q).len(), gs.len());
     }

@@ -80,8 +80,7 @@ pub fn align(a: &Graph, b: &Graph) -> Vec<Option<NodeId>> {
             }
             // small degree-affinity tiebreak steers seeds (nodes with no
             // mapped neighbors yet) toward structurally similar anchors
-            let score =
-                label_score + edge_score + 0.1 * (a.degree(u).min(b.degree(v)) as f64);
+            let score = label_score + edge_score + 0.1 * (a.degree(u).min(b.degree(v)) as f64);
             if best.is_none_or(|(s, bu)| score > s || (score == s && u < bu)) {
                 best = Some((score, u));
             }
@@ -192,7 +191,12 @@ mod tests {
 
     #[test]
     fn closure_covers_all_constituents() {
-        let graphs = vec![chain(5, 1, 0), star(4, 1, 0), cycle(4, 1, 0), chain(3, 2, 0)];
+        let graphs = vec![
+            chain(5, 1, 0),
+            star(4, 1, 0),
+            cycle(4, 1, 0),
+            chain(3, 2, 0),
+        ];
         let refs: Vec<&Graph> = graphs.iter().collect();
         let c = closure_of(&refs).unwrap();
         for g in &graphs {
@@ -219,10 +223,7 @@ mod tests {
         let mut acc = ClosureGraph::from_graph(&a);
         closure_step(&mut acc, &b);
         assert_eq!(acc.graph.edge_count(), 1);
-        assert_eq!(
-            acc.graph.edge_label(vqi_graph::EdgeId(0)),
-            WILDCARD_LABEL
-        );
+        assert_eq!(acc.graph.edge_label(vqi_graph::EdgeId(0)), WILDCARD_LABEL);
         assert!(covers(&acc, &a));
         assert!(covers(&acc, &b));
     }

@@ -90,8 +90,12 @@ impl FctIndex {
     /// Applies a batch update: `added` are (id, graph) pairs with fresh
     /// ids, `removed` are ids to drop. `all_graphs` must resolve every
     /// live id (including the added ones) to its graph.
-    pub fn apply_batch<'a, F>(&mut self, added: &[(usize, &'a Graph)], removed: &[usize], all_graphs: F)
-    where
+    pub fn apply_batch<'a, F>(
+        &mut self,
+        added: &[(usize, &'a Graph)],
+        removed: &[usize],
+        all_graphs: F,
+    ) where
         F: Fn(usize) -> &'a Graph,
     {
         // 1. drop removed graphs from every support set
@@ -100,9 +104,7 @@ impl FctIndex {
             self.live.remove(id);
         }
         for ct in self.trees.values_mut() {
-            ct.tree
-                .support_set
-                .retain(|gi| !removed_set.contains(gi));
+            ct.tree.support_set.retain(|gi| !removed_set.contains(gi));
         }
 
         // 2. probe added graphs against existing trees
@@ -135,11 +137,7 @@ impl FctIndex {
                     .iter()
                     .copied()
                     .filter(|&gi| {
-                        is_subgraph_isomorphic(
-                            &cand.tree,
-                            all_graphs(gi),
-                            MatchOptions::default(),
-                        )
+                        is_subgraph_isomorphic(&cand.tree, all_graphs(gi), MatchOptions::default())
                     })
                     .collect();
                 if support_set.len() >= self.params.min_support {
@@ -172,7 +170,13 @@ impl FctIndex {
         let snapshot: Vec<(CanonicalCode, Graph, usize)> = self
             .trees
             .values()
-            .map(|ct| (ct.tree.code.clone(), ct.tree.tree.clone(), ct.tree.support()))
+            .map(|ct| {
+                (
+                    ct.tree.code.clone(),
+                    ct.tree.tree.clone(),
+                    ct.tree.support(),
+                )
+            })
             .collect();
         for ct in self.trees.values_mut() {
             let me_sup = ct.tree.support();
@@ -280,10 +284,7 @@ mod tests {
         let graphs_ref = graphs.clone();
         idx.apply_batch(&[], &[0], |i| &graphs_ref[i]);
         // all label-7 trees supported by {0, 1} drop to support 1 -> evicted
-        assert!(idx
-            .frequent_trees()
-            .iter()
-            .all(|t| t.tree.support() >= 2));
+        assert!(idx.frequent_trees().iter().all(|t| t.tree.support() >= 2));
         assert!(idx.frequent_trees().len() < n_before);
         assert_eq!(idx.live_graphs(), 2);
     }

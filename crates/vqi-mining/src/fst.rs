@@ -146,7 +146,7 @@ pub fn mine_frequent_subtrees(graphs: &[Graph], params: MineParams) -> Vec<Frequ
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vqi_graph::generate::{chain, star, cycle};
+    use vqi_graph::generate::{chain, cycle, star};
 
     fn collection() -> Vec<Graph> {
         vec![
@@ -208,12 +208,11 @@ mod tests {
         // every supertree in the output has support <= some subtree: check
         // globally that larger trees never have larger support than the
         // maximum support of smaller trees
-        let max_by_size: HashMap<usize, usize> =
-            trees.iter().fold(HashMap::new(), |mut m, t| {
-                let e = m.entry(t.size()).or_insert(0);
-                *e = (*e).max(t.support());
-                m
-            });
+        let max_by_size: HashMap<usize, usize> = trees.iter().fold(HashMap::new(), |mut m, t| {
+            let e = m.entry(t.size()).or_insert(0);
+            *e = (*e).max(t.support());
+            m
+        });
         for size in 2..=4 {
             if let (Some(&small), Some(&big)) =
                 (max_by_size.get(&(size - 1)), max_by_size.get(&size))

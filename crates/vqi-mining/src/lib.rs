@@ -24,7 +24,7 @@
 pub mod closure;
 pub mod cluster;
 pub mod fct;
-pub mod fsg;
 pub mod features;
+pub mod fsg;
 pub mod fst;
 pub mod similarity;

@@ -53,6 +53,7 @@ impl ModularPipeline {
 
     /// Runs the pipeline on a collection.
     pub fn run(&self, collection: &GraphCollection, budget: &PatternBudget) -> PatternSet {
+        let _run = vqi_observe::span("modular.run");
         let ids = collection.ids();
         let n = ids.len();
         if n == 0 {
@@ -64,24 +65,40 @@ impl ModularPipeline {
             .collect();
 
         // stage 1 + 2: similarity -> distance -> clustering
-        let dist = DistanceMatrix::from_fn(n, |i, j| {
-            1.0 - self.similarity.similarity(graphs[i], graphs[j])
-        });
-        let clustering = self.clustering.cluster(&dist);
+        let dist = {
+            let _s = vqi_observe::span!("modular.similarity.{}", self.similarity.name());
+            DistanceMatrix::from_fn(n, |i, j| {
+                1.0 - self.similarity.similarity(graphs[i], graphs[j])
+            })
+        };
+        let clustering = {
+            let _s = vqi_observe::span!("modular.cluster.{}", self.clustering.name());
+            self.clustering.cluster(&dist)
+        };
+        vqi_observe::incr(
+            "modular.clusters",
+            clustering
+                .clusters()
+                .iter()
+                .filter(|m| !m.is_empty())
+                .count() as u64,
+        );
 
         // stage 3: merge each cluster into a continuous graph
+        let merge_span = vqi_observe::span!("modular.merge.{}", self.merger.name());
         let merged: Vec<(Graph, Vec<f64>)> = clustering
             .clusters()
             .into_iter()
             .filter(|m| !m.is_empty())
             .map(|members| {
-                let cluster_graphs: Vec<&Graph> =
-                    members.iter().map(|&pos| graphs[pos]).collect();
+                let cluster_graphs: Vec<&Graph> = members.iter().map(|&pos| graphs[pos]).collect();
                 self.merger.merge(&cluster_graphs)
             })
             .collect();
+        drop(merge_span);
 
         // stage 4: extract candidates
+        let extract_span = vqi_observe::span!("modular.extract.{}", self.extractor.name());
         let mut candidates: Vec<Graph> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for (cg, weights) in &merged {
@@ -92,8 +109,11 @@ impl ModularPipeline {
                 }
             }
         }
+        drop(extract_span);
+        vqi_observe::incr("modular.candidates", candidates.len() as u64);
 
         // common final selection: greedy coverage/diversity/cognitive-load
+        let _select = vqi_observe::span("modular.select");
         let bitsets: Vec<(Graph, Vec<bool>, f64)> = candidates
             .into_par_iter()
             .filter_map(|c| {
@@ -159,6 +179,7 @@ impl ModularPipeline {
                 chosen.push(g);
             }
         }
+        vqi_observe::incr("modular.selected", set.len() as u64);
         set
     }
 }
@@ -213,10 +234,8 @@ mod tests {
     fn every_assembly_combination_runs() {
         let col = collection();
         let budget = PatternBudget::new(3, 4, 5);
-        let sims: Vec<Box<dyn SimilarityMeasure>> = vec![
-            Box::new(EdgeTripleJaccard),
-            Box::new(McsSimilarity),
-        ];
+        let sims: Vec<Box<dyn SimilarityMeasure>> =
+            vec![Box::new(EdgeTripleJaccard), Box::new(McsSimilarity)];
         for sim in sims {
             for leader in [false, true] {
                 for union_merge in [false, true] {

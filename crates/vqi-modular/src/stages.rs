@@ -10,7 +10,9 @@ use vqi_mining::cluster::{k_medoids, leader, Clustering, DistanceMatrix};
 
 // The similarity stage is [`vqi_mining::similarity::SimilarityMeasure`];
 // this module re-exports it for pipeline assembly convenience.
-pub use vqi_mining::similarity::{EdgeTripleJaccard, FeatureCosine, McsSimilarity, SimilarityMeasure};
+pub use vqi_mining::similarity::{
+    EdgeTripleJaccard, FeatureCosine, McsSimilarity, SimilarityMeasure,
+};
 
 /// Stage 2: clustering of the collection under a distance matrix.
 pub trait ClusteringStage: Send + Sync {
@@ -119,11 +121,7 @@ impl MergeStage for UnionMerge {
             }
             for e in m.edges() {
                 let (u, v) = m.endpoints(e);
-                g.add_edge(
-                    NodeId(base + u.0),
-                    NodeId(base + v.0),
-                    m.edge_label(e),
-                );
+                g.add_edge(NodeId(base + u.0), NodeId(base + v.0), m.edge_label(e));
             }
         }
         let w = vec![1.0; g.edge_count()];
@@ -176,8 +174,7 @@ impl ExtractStage for SampleExtract {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut out = Vec::new();
         for _ in 0..self.samples {
-            let size =
-                rand::Rng::gen_range(&mut rng, budget.min_size..=budget.max_size);
+            let size = rand::Rng::gen_range(&mut rng, budget.min_size..=budget.max_size);
             if let Some((sub, _)) = sample_connected_subgraph(continuous, size, 5, &mut rng) {
                 if budget.admits(&sub) && is_connected(&sub) {
                     out.push(sub);
@@ -265,13 +262,7 @@ mod tests {
 
     #[test]
     fn kmedoids_stage_clusters() {
-        let d = DistanceMatrix::from_fn(4, |i, j| {
-            if (i < 2) == (j < 2) {
-                0.1
-            } else {
-                0.9
-            }
-        });
+        let d = DistanceMatrix::from_fn(4, |i, j| if (i < 2) == (j < 2) { 0.1 } else { 0.9 });
         let c = KMedoidsStage {
             k: Some(2),
             ..Default::default()
@@ -284,13 +275,7 @@ mod tests {
 
     #[test]
     fn leader_stage_clusters() {
-        let d = DistanceMatrix::from_fn(4, |i, j| {
-            if (i < 2) == (j < 2) {
-                0.1
-            } else {
-                0.9
-            }
-        });
+        let d = DistanceMatrix::from_fn(4, |i, j| if (i < 2) == (j < 2) { 0.1 } else { 0.9 });
         let c = LeaderStage { threshold: 0.5 }.cluster(&d);
         assert_eq!(c.cluster_count(), 2);
     }

@@ -1,0 +1,181 @@
+//! A minimal JSON emitter.
+//!
+//! The crate is dependency-free by default, so snapshot export cannot
+//! assume `serde_json`; this module covers the handful of JSON shapes a
+//! [`MetricsReport`](crate::MetricsReport) needs (string keys, integer
+//! and float values, nested objects and arrays). With the `serde`
+//! feature enabled the same types also derive `Serialize`.
+
+/// Escapes `s` as the body of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats `v` as a JSON number (finite floats only; non-finite values
+/// become `null`, which JSON has no float encoding for).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // shortest round-trippable form is overkill for metrics; three
+        // decimals keeps snapshots diffable
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.3}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An append-only JSON object/array writer with fixed two-space
+/// indentation.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    depth: usize,
+    /// Whether the current container already has one entry.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn newline(&mut self) {
+        self.buf.push('\n');
+        for _ in 0..self.depth {
+            self.buf.push_str("  ");
+        }
+    }
+
+    fn pre_entry(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+        if !self.needs_comma.is_empty() {
+            self.newline();
+        }
+    }
+
+    /// Opens an object, optionally keyed (inside another object).
+    pub fn open_object(&mut self, key: Option<&str>) {
+        self.pre_entry();
+        if let Some(k) = key {
+            self.buf.push_str(&format!("\"{}\": ", escape(k)));
+        }
+        self.buf.push('{');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn close_object(&mut self) {
+        let had_entries = self.needs_comma.pop().unwrap_or(false);
+        self.depth = self.depth.saturating_sub(1);
+        if had_entries {
+            self.newline();
+        }
+        self.buf.push('}');
+    }
+
+    /// Writes `"key": <raw>` where `raw` is already valid JSON.
+    pub fn raw_field(&mut self, key: &str, raw: &str) {
+        self.pre_entry();
+        self.buf.push_str(&format!("\"{}\": {raw}", escape(key)));
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, v: u64) {
+        self.raw_field(key, &v.to_string());
+    }
+
+    /// Writes a signed integer field.
+    pub fn i64_field(&mut self, key: &str, v: i64) {
+        self.raw_field(key, &v.to_string());
+    }
+
+    /// Writes a float field.
+    pub fn f64_field(&mut self, key: &str, v: f64) {
+        self.raw_field(key, &number(v));
+    }
+
+    /// Writes a string field.
+    pub fn str_field(&mut self, key: &str, v: &str) {
+        self.raw_field(key, &format!("\"{}\"", escape(v)));
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain.name"), "plain.name");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(3.25), "3.250");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn writer_produces_wellformed_nesting() {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.u64_field("a", 1);
+        w.open_object(Some("nested"));
+        w.str_field("k", "v\"q");
+        w.close_object();
+        w.i64_field("b", -2);
+        w.close_object();
+        let s = w.finish();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\"nested\": {"));
+        assert!(s.contains("\"k\": \"v\\\"q\""));
+        // balanced braces
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn empty_object_has_no_dangling_comma() {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.open_object(Some("empty"));
+        w.close_object();
+        w.close_object();
+        let s = w.finish();
+        assert!(s.contains("\"empty\": {}"));
+        assert!(!s.contains(",}"));
+    }
+}

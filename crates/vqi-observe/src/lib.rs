@@ -1,0 +1,201 @@
+//! `vqi-observe` — spans, counters, and stage-level metrics for the
+//! pattern-selection pipelines.
+//!
+//! Every pipeline in this workspace (CATAPULT, TATTOO, MIDAS, the
+//! modular assembly) reports into one global, thread-safe
+//! [`Registry`]: named [`Counter`]s and [`Gauge`]s, log-scale
+//! [`Histogram`]s, and wall-time spans that also maintain a
+//! parent/child trace tree. Snapshots export as an aligned text table
+//! or JSON via [`MetricsReport`].
+//!
+//! Recording is **off by default** and gated by one relaxed atomic
+//! load, so instrumented hot paths cost nothing measurable until
+//! [`set_enabled`]`(true)` (the CLI's `--metrics` flag, the `exp_*`
+//! harnesses, or a test) turns them on.
+//!
+//! Metric names follow `<system>.<phase>.<metric>` — e.g.
+//! `tattoo.truss_decompose` (a span), `catapult.walk.candidates` (a
+//! counter), `tattoo.map.in_flight` (a gauge).
+//!
+//! ```
+//! vqi_observe::set_enabled(true);
+//! {
+//!     let _span = vqi_observe::span("demo.phase");
+//!     vqi_observe::incr("demo.phase.items", 3);
+//! }
+//! let report = vqi_observe::snapshot();
+//! assert_eq!(report.counters["demo.phase.items"], 3);
+//! assert_eq!(report.spans["demo.phase"].count, 1);
+//! vqi_observe::set_enabled(false);
+//! ```
+//!
+//! The crate is intentionally dependency-free (`std` only); the
+//! optional `serde` feature adds `Serialize` derives to the snapshot
+//! types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+pub mod json;
+mod registry;
+mod report;
+mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::Registry;
+pub use report::{fmt_ns, MetricsReport, TraceNode};
+pub use span::SpanGuard;
+
+/// Whether the global registry is recording.
+#[inline]
+pub fn enabled() -> bool {
+    Registry::global().is_enabled()
+}
+
+/// Turns recording on or off globally.
+pub fn set_enabled(on: bool) {
+    Registry::global().set_enabled(on);
+}
+
+/// Opens a wall-time span; the returned guard records into the
+/// histogram named `name` (and the trace tree) when dropped. A no-op
+/// guard is returned while recording is disabled.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    SpanGuard::enter(name)
+}
+
+/// [`span`] taking deferred format arguments: the name is only
+/// materialized when recording is enabled. Prefer the [`span!`] macro.
+#[inline]
+pub fn span_fmt(args: std::fmt::Arguments<'_>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    SpanGuard::enter(&args.to_string())
+}
+
+/// Adds `by` to the counter named `name` (no-op while disabled).
+#[inline]
+pub fn incr(name: &str, by: u64) {
+    if enabled() {
+        Registry::global().counter(name).add(by);
+    }
+}
+
+/// Adds `delta` to the gauge named `name` (no-op while disabled).
+#[inline]
+pub fn gauge_add(name: &str, delta: i64) {
+    if enabled() {
+        Registry::global().gauge(name).add(delta);
+    }
+}
+
+/// Sets the gauge named `name` (no-op while disabled).
+#[inline]
+pub fn gauge_set(name: &str, value: i64) {
+    if enabled() {
+        Registry::global().gauge(name).set(value);
+    }
+}
+
+/// Records `value` into the log-scale histogram named `name` (no-op
+/// while disabled).
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        Registry::global().histogram(name).record(value);
+    }
+}
+
+/// Times `f` under a span named `name`. The duration is always
+/// returned (for harnesses that print timings); it is additionally
+/// recorded into the registry when enabled — so experiment output and
+/// metrics come from the same clock and cannot drift apart.
+pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let guard = span(name);
+    let out = f();
+    drop(guard);
+    (out, start.elapsed())
+}
+
+/// A point-in-time snapshot of the global registry.
+pub fn snapshot() -> MetricsReport {
+    Registry::global().snapshot()
+}
+
+/// Clears every metric in the global registry.
+pub fn reset() {
+    Registry::global().reset();
+}
+
+/// Opens a span with a formatted name, deferring the formatting until
+/// recording is known to be enabled:
+///
+/// ```
+/// let stage = "cluster";
+/// let _span = vqi_observe::span!("modular.{stage}");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($($arg:tt)*) => {
+        $crate::span_fmt(::std::format_args!($($arg)*))
+    };
+}
+
+/// Increments a counter whose name may be a formatted expression; the
+/// name expression is only evaluated while recording is enabled:
+///
+/// ```
+/// vqi_observe::count!(format!("demo.class.{}", 3), 1);
+/// ```
+#[macro_export]
+macro_rules! count {
+    ($name:expr, $by:expr) => {
+        if $crate::enabled() {
+            $crate::incr(::std::convert::AsRef::<str>::as_ref(&$name), $by as u64);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disabled_instruments_record_nothing() {
+        super::set_enabled(false);
+        super::incr("libtest.disabled.counter", 7);
+        super::observe("libtest.disabled.hist", 7);
+        super::gauge_add("libtest.disabled.gauge", 7);
+        let s = super::snapshot();
+        assert!(!s.counters.contains_key("libtest.disabled.counter"));
+        assert!(!s.values.contains_key("libtest.disabled.hist"));
+        assert!(!s.gauges.contains_key("libtest.disabled.gauge"));
+    }
+
+    #[test]
+    fn time_returns_duration_even_when_disabled() {
+        super::set_enabled(false);
+        let (v, d) = super::time("libtest.timed", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+        assert!(!super::snapshot().spans.contains_key("libtest.timed"));
+    }
+
+    #[test]
+    fn count_macro_defers_name_construction() {
+        super::set_enabled(true);
+        super::count!(format!("libtest.class.{}", 2), 2);
+        super::count!("libtest.plain", 1);
+        super::set_enabled(false);
+        let s = super::snapshot();
+        assert_eq!(s.counters["libtest.class.2"], 2);
+        assert_eq!(s.counters["libtest.plain"], 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! The global metric registry.
+//!
+//! One process-wide [`Registry`] owns every named counter, gauge,
+//! histogram, span histogram, and trace-tree node. Handles are `Arc`s,
+//! so the maps are only touched on first registration (read-mostly
+//! `RwLock`); the hot path of every instrument is a relaxed atomic on
+//! the handle itself.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use crate::report::{MetricsReport, TraceNode};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Aggregated statistics of one trace-tree path.
+#[derive(Debug, Default)]
+pub struct TreeStat {
+    /// Number of times the path was entered.
+    pub count: AtomicU64,
+    /// Total nanoseconds spent on the path (children included).
+    pub total_ns: AtomicU64,
+}
+
+/// A named-metric registry. Usually accessed through [`Registry::global`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    /// User-value histograms (counts, sizes, scores scaled to integers).
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    /// Span wall-time histograms, keyed by span name, in nanoseconds.
+    spans: RwLock<HashMap<String, Arc<Histogram>>>,
+    /// Parent/child trace aggregates, keyed by `/`-joined span paths.
+    tree: RwLock<HashMap<String, Arc<TreeStat>>>,
+}
+
+fn lookup<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("registry lock").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("registry lock");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// A fresh, disabled registry (tests; production code uses
+    /// [`Registry::global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Whether recording is on. Every free-function instrument checks
+    /// this first, so a disabled registry costs one relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        lookup(&self.counters, name)
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        lookup(&self.gauges, name)
+    }
+
+    /// The value histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        lookup(&self.histograms, name)
+    }
+
+    /// The span-duration histogram registered under `name`.
+    pub fn span_histogram(&self, name: &str) -> Arc<Histogram> {
+        lookup(&self.spans, name)
+    }
+
+    /// Records one completed span occurrence on the trace tree.
+    pub fn record_tree(&self, path: &str, ns: u64) {
+        let stat = lookup(&self.tree, path);
+        stat.count.fetch_add(1, Ordering::Relaxed);
+        stat.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time report of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsReport {
+        let mut report = MetricsReport::default();
+        for (k, v) in self.counters.read().expect("registry lock").iter() {
+            report.counters.insert(k.clone(), v.get());
+        }
+        for (k, v) in self.gauges.read().expect("registry lock").iter() {
+            report.gauges.insert(k.clone(), v.get());
+        }
+        for (k, v) in self.histograms.read().expect("registry lock").iter() {
+            if v.count() > 0 {
+                report.values.insert(k.clone(), v.snapshot());
+            }
+        }
+        for (k, v) in self.spans.read().expect("registry lock").iter() {
+            if v.count() > 0 {
+                report.spans.insert(k.clone(), v.snapshot());
+            }
+        }
+        for (k, v) in self.tree.read().expect("registry lock").iter() {
+            report.trace.insert(
+                k.clone(),
+                TraceNode {
+                    count: v.count.load(Ordering::Relaxed),
+                    total_ns: v.total_ns.load(Ordering::Relaxed),
+                },
+            );
+        }
+        report
+    }
+
+    /// Clears every registered metric (the names stay registered).
+    pub fn reset(&self) {
+        for v in self.counters.read().expect("registry lock").values() {
+            v.reset();
+        }
+        for v in self.gauges.read().expect("registry lock").values() {
+            v.reset();
+        }
+        for v in self.histograms.read().expect("registry lock").values() {
+            v.reset();
+        }
+        for v in self.spans.read().expect("registry lock").values() {
+            v.reset();
+        }
+        for v in self.tree.read().expect("registry lock").values() {
+            v.count.store(0, Ordering::Relaxed);
+            v.total_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        r.counter("a.b.c").add(2);
+        r.counter("a.b.c").add(3);
+        assert_eq!(r.counter("a.b.c").get(), 5);
+        assert!(Arc::ptr_eq(&r.counter("a.b.c"), &r.counter("a.b.c")));
+    }
+
+    #[test]
+    fn snapshot_collects_all_kinds() {
+        let r = Registry::new();
+        r.counter("sys.phase.count").inc();
+        r.gauge("sys.phase.inflight").set(3);
+        r.histogram("sys.phase.size").record(17);
+        r.span_histogram("sys.phase").record(1_000);
+        r.record_tree("sys.phase", 1_000);
+        let s = r.snapshot();
+        assert_eq!(s.counters["sys.phase.count"], 1);
+        assert_eq!(s.gauges["sys.phase.inflight"], 3);
+        assert_eq!(s.values["sys.phase.size"].count, 1);
+        assert_eq!(s.spans["sys.phase"].count, 1);
+        assert_eq!(s.trace["sys.phase"].total_ns, 1_000);
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted_from_snapshots() {
+        let r = Registry::new();
+        let _ = r.histogram("never.recorded");
+        assert!(r.snapshot().values.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_values_keeps_names() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.add(9);
+        r.histogram("h").record(4);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(r.snapshot().values.len(), 0);
+    }
+
+    #[test]
+    fn enabled_flag_round_trips() {
+        let r = Registry::new();
+        assert!(!r.is_enabled());
+        r.set_enabled(true);
+        assert!(r.is_enabled());
+        r.set_enabled(false);
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn concurrent_registration_and_increment() {
+        let r = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        r.counter(&format!("c.{}", i % 10)).inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = r.snapshot().counters.values().sum();
+        assert_eq!(total, 8_000);
+    }
+}

@@ -1,0 +1,291 @@
+//! Snapshot types and exporters.
+//!
+//! A [`MetricsReport`] is a point-in-time copy of the registry, cheap
+//! to clone and safe to hold across further recording. It renders as a
+//! human-readable table ([`MetricsReport::render_table`]) or as JSON
+//! ([`MetricsReport::to_json`]); with the `serde` feature it also
+//! derives `Serialize` for embedding into larger documents.
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot};
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// Aggregate of one trace-tree path (`parent/child` span nesting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct TraceNode {
+    /// Times the path was entered.
+    pub count: u64,
+    /// Total nanoseconds on the path, children included.
+    pub total_ns: u64,
+}
+
+/// A point-in-time snapshot of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct MetricsReport {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// User-value histograms by name (unit defined by the call site).
+    pub values: BTreeMap<String, HistogramSnapshot>,
+    /// Span wall-time histograms by span name, in nanoseconds.
+    pub spans: BTreeMap<String, HistogramSnapshot>,
+    /// Trace tree keyed by `/`-joined span paths.
+    pub trace: BTreeMap<String, TraceNode>,
+}
+
+/// Formats nanoseconds as a compact human duration.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+impl MetricsReport {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.values.is_empty()
+            && self.spans.is_empty()
+            && self.trace.is_empty()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("== metrics ==\n");
+        if self.is_empty() {
+            out.push_str("(nothing recorded; is the registry enabled?)\n");
+            return out;
+        }
+        let name_w = self
+            .spans
+            .keys()
+            .chain(self.values.keys())
+            .chain(self.counters.keys())
+            .chain(self.gauges.keys())
+            .map(|k| k.len())
+            .chain(self.trace.keys().map(|k| display_depth_len(k)))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "spans (wall time)\n{:<name_w$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                "name", "count", "mean", "p50", "p90", "max"
+            ));
+            for (name, h) in &self.spans {
+                out.push_str(&format!(
+                    "{name:<name_w$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                    h.count,
+                    fmt_ns(h.mean()),
+                    fmt_ns(h.quantile(0.5) as f64),
+                    fmt_ns(h.quantile(0.9) as f64),
+                    fmt_ns(h.max as f64),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("counters\n{:<name_w$}  {:>12}\n", "name", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<name_w$}  {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("gauges\n{:<name_w$}  {:>12}\n", "name", "value"));
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<name_w$}  {v:>12}\n"));
+            }
+        }
+        if !self.values.is_empty() {
+            out.push_str(&format!(
+                "value histograms\n{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
+                "name", "count", "mean", "p50", "max"
+            ));
+            for (name, h) in &self.values {
+                out.push_str(&format!(
+                    "{name:<name_w$}  {:>8}  {:>12.1}  {:>12}  {:>12}\n",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.max,
+                ));
+            }
+        }
+        if !self.trace.is_empty() {
+            out.push_str(&format!(
+                "trace tree\n{:<name_w$}  {:>8}  {:>10}\n",
+                "path", "count", "total"
+            ));
+            for (path, node) in &self.trace {
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                let indented = format!("{}{leaf}", "  ".repeat(depth));
+                out.push_str(&format!(
+                    "{indented:<name_w$}  {:>8}  {:>10}\n",
+                    node.count,
+                    fmt_ns(node.total_ns as f64),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as a self-contained JSON document (no
+    /// external serializer needed).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+
+        w.open_object(Some("counters"));
+        for (k, v) in &self.counters {
+            w.u64_field(k, *v);
+        }
+        w.close_object();
+
+        w.open_object(Some("gauges"));
+        for (k, v) in &self.gauges {
+            w.i64_field(k, *v);
+        }
+        w.close_object();
+
+        w.open_object(Some("spans"));
+        for (k, h) in &self.spans {
+            histogram_json(&mut w, k, h, "ns");
+        }
+        w.close_object();
+
+        w.open_object(Some("values"));
+        for (k, h) in &self.values {
+            histogram_json(&mut w, k, h, "");
+        }
+        w.close_object();
+
+        w.open_object(Some("trace"));
+        for (k, node) in &self.trace {
+            w.open_object(Some(k));
+            w.u64_field("count", node.count);
+            w.u64_field("total_ns", node.total_ns);
+            w.close_object();
+        }
+        w.close_object();
+
+        w.close_object();
+        w.finish()
+    }
+}
+
+/// Width of a trace path rendered with two-space indentation.
+fn display_depth_len(path: &str) -> usize {
+    let depth = path.matches('/').count();
+    let leaf = path.rsplit('/').next().unwrap_or(path);
+    2 * depth + leaf.len()
+}
+
+fn histogram_json(w: &mut JsonWriter, key: &str, h: &HistogramSnapshot, unit: &str) {
+    let f = |base: &str| {
+        if unit.is_empty() {
+            base.to_string()
+        } else {
+            format!("{base}_{unit}")
+        }
+    };
+    w.open_object(Some(key));
+    w.u64_field("count", h.count);
+    w.u64_field(&f("sum"), h.sum);
+    w.u64_field(&f("min"), h.min);
+    w.u64_field(&f("max"), h.max);
+    w.f64_field(&f("mean"), h.mean());
+    w.u64_field(&f("p50"), h.quantile(0.5));
+    w.u64_field(&f("p90"), h.quantile(0.9));
+    w.u64_field(&f("p99"), h.quantile(0.99));
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(b, &n)| format!("[{}, {n}]", bucket_upper_bound(b)))
+        .collect();
+    w.raw_field("buckets", &format!("[{}]", buckets.join(", ")));
+    w.close_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample_report() -> MetricsReport {
+        let mut r = MetricsReport::default();
+        r.counters.insert("catapult.walk.candidates".into(), 120);
+        r.gauges.insert("tattoo.map.in_flight".into(), 0);
+        let h = Histogram::new();
+        for v in [1_000_000u64, 2_000_000, 4_000_000] {
+            h.record(v);
+        }
+        r.spans.insert("catapult.mine".into(), h.snapshot());
+        r.trace.insert(
+            "catapult.run".into(),
+            TraceNode {
+                count: 1,
+                total_ns: 9_000_000,
+            },
+        );
+        r.trace.insert(
+            "catapult.run/catapult.mine".into(),
+            TraceNode {
+                count: 3,
+                total_ns: 7_000_000,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn table_contains_all_sections() {
+        let t = sample_report().render_table();
+        assert!(t.contains("spans (wall time)"));
+        assert!(t.contains("catapult.mine"));
+        assert!(t.contains("counters"));
+        assert!(t.contains("catapult.walk.candidates"));
+        assert!(t.contains("trace tree"));
+        // nested path renders indented under its parent leaf name
+        assert!(t.contains("\n  catapult.mine"), "indented child:\n{t}");
+    }
+
+    #[test]
+    fn empty_report_renders_hint() {
+        let t = MetricsReport::default().render_table();
+        assert!(t.contains("nothing recorded"));
+    }
+
+    #[test]
+    fn json_is_structured_and_balanced() {
+        let j = sample_report().to_json();
+        assert!(j.contains("\"counters\""));
+        assert!(j.contains("\"catapult.walk.candidates\": 120"));
+        assert!(j.contains("\"spans\""));
+        assert!(j.contains("\"p50_ns\""));
+        assert!(j.contains("\"trace\""));
+        assert!(j.contains("\"total_ns\": 9000000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.5ms");
+        assert_eq!(fmt_ns(3_200_000_000.0), "3.20s");
+    }
+}

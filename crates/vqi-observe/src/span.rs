@@ -1,0 +1,168 @@
+//! Lightweight wall-time spans.
+//!
+//! [`span`](crate::span) returns a guard; when the guard drops — on
+//! normal scope exit *or* during unwinding — the elapsed wall time is
+//! recorded into the span's log-scale histogram (keyed by the span
+//! name) and onto the trace tree (keyed by the `/`-joined path of
+//! enclosing spans on this thread). With metrics disabled the guard is
+//! a no-op `None` and entering costs one relaxed load.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Full paths of the spans currently open on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A live span; records on drop.
+#[derive(Debug)]
+#[must_use = "a span records when the guard drops; bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: String,
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// A disabled, no-op guard.
+    pub(crate) fn noop() -> Self {
+        SpanGuard { inner: None }
+    }
+
+    /// Opens a span on the global registry (the public entry point is
+    /// [`crate::span`], which checks the enabled flag first).
+    pub(crate) fn enter(name: &str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        SpanGuard {
+            inner: Some(SpanInner {
+                name: name.to_string(),
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Wall time since the span opened (zero for a no-op guard).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.inner
+            .as_ref()
+            .map(|s| s.start.elapsed())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let registry = Registry::global();
+        registry.span_histogram(&inner.name).record(ns);
+        registry.record_tree(&inner.path, ns);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // guards drop LIFO in well-formed code; scan from the end so
+            // an out-of-order drop still removes the right entry
+            if let Some(pos) = stack.iter().rposition(|p| p == &inner.path) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Tests toggle the global enabled flag; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn span_records_histogram_and_tree() {
+        let _l = lock();
+        Registry::global().set_enabled(true);
+        {
+            let _outer = crate::span("spantest.outer");
+            let _inner = crate::span("spantest.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        Registry::global().set_enabled(false);
+        let s = Registry::global().snapshot();
+        assert_eq!(s.spans["spantest.outer"].count, 1);
+        assert_eq!(s.spans["spantest.inner"].count, 1);
+        assert!(s.spans["spantest.inner"].max >= 1_000_000, "slept >= 1ms");
+        assert!(s.trace.contains_key("spantest.outer/spantest.inner"));
+        assert!(
+            s.trace["spantest.outer"].total_ns >= s.trace["spantest.outer/spantest.inner"].total_ns
+        );
+    }
+
+    #[test]
+    fn disabled_span_is_noop() {
+        let _l = lock();
+        Registry::global().set_enabled(false);
+        {
+            let g = crate::span("spantest.disabled");
+            assert_eq!(g.elapsed(), std::time::Duration::ZERO);
+        }
+        let s = Registry::global().snapshot();
+        assert!(!s.spans.contains_key("spantest.disabled"));
+    }
+
+    #[test]
+    fn span_records_during_unwinding() {
+        let _l = lock();
+        Registry::global().set_enabled(true);
+        let result = std::panic::catch_unwind(|| {
+            let _g = crate::span("spantest.unwind");
+            panic!("boom");
+        });
+        Registry::global().set_enabled(false);
+        assert!(result.is_err());
+        let s = Registry::global().snapshot();
+        assert_eq!(s.spans["spantest.unwind"].count, 1);
+        // the unwound span must not linger on the stack
+        SPAN_STACK.with(|st| {
+            assert!(st.borrow().iter().all(|p| !p.contains("spantest.unwind")));
+        });
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parentless_path() {
+        let _l = lock();
+        Registry::global().set_enabled(true);
+        {
+            let _a = crate::span("spantest.sib");
+        }
+        {
+            let _b = crate::span("spantest.sib");
+        }
+        Registry::global().set_enabled(false);
+        let s = Registry::global().snapshot();
+        assert_eq!(s.spans["spantest.sib"].count, 2);
+        assert_eq!(s.trace["spantest.sib"].count, 2);
+    }
+}

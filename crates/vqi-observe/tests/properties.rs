@@ -1,0 +1,126 @@
+//! Property-based tests of the observability substrate: histogram
+//! merge forms a commutative monoid, quantiles respect bounds, and
+//! concurrent recording from `rayon` fan-out loses nothing.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use vqi_observe::{Histogram, HistogramSnapshot, Registry};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..20),
+        b in proptest::collection::vec(any::<u64>(), 0..20),
+        c in proptest::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_with_identity(
+        a in proptest::collection::vec(any::<u64>(), 0..20),
+        b in proptest::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa.clone());
+        prop_assert_eq!(HistogramSnapshot::empty().merge(&sa), sa);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(0u64..1_000_000, 0..30),
+        b in proptest::collection::vec(0u64..1_000_000, 0..30),
+    ) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let both: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&both));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_within_bounds(
+        values in proptest::collection::vec(any::<u64>(), 1..50),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..6),
+    ) {
+        let s = snapshot_of(&values);
+        let mut sorted = qs.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut last = 0u64;
+        for q in sorted {
+            let e = s.quantile(q);
+            prop_assert!(e >= s.min && e <= s.max);
+            prop_assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn snapshot_count_matches_bucket_mass(
+        values in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let s = snapshot_of(&values);
+        prop_assert_eq!(s.count as usize, values.len());
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        if let Some(&max) = values.iter().max() {
+            prop_assert_eq!(s.max, max);
+            prop_assert_eq!(s.min, *values.iter().min().unwrap());
+        }
+    }
+}
+
+#[test]
+fn rayon_counter_increments_sum_exactly() {
+    // a fresh registry, not the global one, so parallel test binaries
+    // cannot interfere
+    let r = Registry::new();
+    let n = 100_000u64;
+    (0..n).into_par_iter().for_each(|i| {
+        r.counter("obs.par.count").inc();
+        r.counter("obs.par.weighted").add(i % 7);
+        r.histogram("obs.par.hist").record(i);
+    });
+    let s = r.snapshot();
+    assert_eq!(s.counters["obs.par.count"], n);
+    assert_eq!(
+        s.counters["obs.par.weighted"],
+        (0..n).map(|i| i % 7).sum::<u64>()
+    );
+    assert_eq!(s.values["obs.par.hist"].count, n);
+    assert_eq!(s.values["obs.par.hist"].min, 0);
+    assert_eq!(s.values["obs.par.hist"].max, n - 1);
+}
+
+#[test]
+fn rayon_sharded_merge_equals_global_recording() {
+    // shard-local histograms reduced in arbitrary order must equal one
+    // histogram that saw every value (the partitioned-TATTOO pattern)
+    let values: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+    let global = snapshot_of(&values);
+    let merged = values
+        .par_chunks(97)
+        .map(snapshot_of)
+        .reduce(HistogramSnapshot::empty, |a, b| a.merge(&b));
+    assert_eq!(global, merged);
+}
+
+#[test]
+fn span_guards_record_on_rayon_threads() {
+    vqi_observe::set_enabled(true);
+    (0..64u64).into_par_iter().for_each(|_| {
+        let _s = vqi_observe::span("obs.par.shard");
+    });
+    vqi_observe::set_enabled(false);
+    let s = vqi_observe::snapshot();
+    assert_eq!(s.spans["obs.par.shard"].count, 64);
+}

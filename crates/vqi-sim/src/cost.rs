@@ -186,8 +186,8 @@ mod tests {
         assert!(c.error_of(&pattern_op) < c.error_of(&edge_op));
         // rebuilding a 5-cycle manually accumulates ~10 error-prone
         // actions; one drop accumulates one near-error-free action
-        let manual: f64 = 5.0 * c.error_of(&EditOp::AddNode { label: 0 })
-            + 5.0 * c.error_of(&edge_op);
+        let manual: f64 =
+            5.0 * c.error_of(&EditOp::AddNode { label: 0 }) + 5.0 * c.error_of(&edge_op);
         assert!(c.error_of(&pattern_op) < manual / 5.0);
     }
 }

@@ -150,8 +150,7 @@ pub fn plan_with_patterns(target: &Graph, patterns: &PatternSet) -> FormulationP
                 continue;
             }
             enumerate_embeddings(pg, target, fit_options(), |mapping| {
-                let savings =
-                    placement_savings(pg, mapping, target, &placed, &edge_covered);
+                let savings = placement_savings(pg, mapping, target, &placed, &edge_covered);
                 if savings > 0 && best.as_ref().is_none_or(|b| savings > b.savings) {
                     best = Some(Placement {
                         pattern_idx: pi,
@@ -234,10 +233,7 @@ pub fn plan_with_patterns(target: &Graph, patterns: &PatternSet) -> FormulationP
         }
     }
     let _ = WILDCARD_LABEL; // semantic anchor: wildcards relabel above
-    FormulationPlan {
-        ops,
-        patterns_used,
-    }
+    FormulationPlan { ops, patterns_used }
 }
 
 #[cfg(test)]

@@ -128,7 +128,13 @@ mod tests {
         let m = &motifs[0];
         // the best motif pair should land near two planted offsets
         let near = |x: usize| offsets.iter().any(|&o| o.abs_diff(x) <= 5);
-        assert!(near(m.a) && near(m.b), "motif at {}/{} vs planted {:?}", m.a, m.b, offsets);
+        assert!(
+            near(m.a) && near(m.b),
+            "motif at {}/{} vs planted {:?}",
+            m.a,
+            m.b,
+            offsets
+        );
     }
 
     #[test]
@@ -156,7 +162,10 @@ mod tests {
         let motifs = top_motifs(&series, w, 4);
         assert!(motifs.len() >= 2);
         for (x, y) in motifs.iter().zip(motifs.iter().skip(1)) {
-            assert!(x.distance <= y.distance, "motifs must come sorted by distance");
+            assert!(
+                x.distance <= y.distance,
+                "motifs must come sorted by distance"
+            );
         }
         for i in 0..motifs.len() {
             for j in (i + 1)..motifs.len() {

@@ -75,9 +75,7 @@ pub fn shape_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Distance between a z-normalized `shape` and the window of `series`
 /// starting at `start` (the window is z-normalized first).
 pub fn window_distance(series: &TimeSeries, start: usize, shape: &[f64]) -> f64 {
-    let w = series
-        .window(start, shape.len())
-        .expect("window in range");
+    let w = series.window(start, shape.len()).expect("window in range");
     shape_distance(&znormalize(w), shape)
 }
 

@@ -223,7 +223,9 @@ mod tests {
     #[test]
     fn cognitive_load_ordering() {
         let ramp: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let zigzag: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let zigzag: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         assert_eq!(shape_cognitive_load(&ramp), 0.0);
         assert!(shape_cognitive_load(&zigzag) > 0.9);
         assert_eq!(shape_cognitive_load(&[1.0]), 0.0);

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example chemical_compounds`
 
-use datadriven_vqi::core::selector::RandomSelector;
 use datadriven_vqi::core::score::evaluate;
+use datadriven_vqi::core::selector::RandomSelector;
 use datadriven_vqi::prelude::*;
 use datadriven_vqi::sim::usability::evaluate_interface;
 use datadriven_vqi::sim::workload::{sample_queries, WorkloadParams};
@@ -41,7 +41,10 @@ fn main() {
 
     let selectors: Vec<(&str, Box<dyn PatternSelector>)> = vec![
         ("catapult", Box::new(Catapult::default())),
-        ("aurora", Box::new(datadriven_vqi::prelude::Aurora::default())),
+        (
+            "aurora",
+            Box::new(datadriven_vqi::prelude::Aurora::default()),
+        ),
         ("modular", Box::new(ModularPipeline::standard())),
         ("random", Box::new(RandomSelector::new(7))),
     ];

@@ -51,10 +51,7 @@ fn main() {
                     .collect(),
             ),
         ),
-        (
-            "deletions",
-            BatchUpdate::removing((0..10).collect()),
-        ),
+        ("deletions", BatchUpdate::removing((0..10).collect())),
         (
             "star influx",
             BatchUpdate::adding(
@@ -84,8 +81,7 @@ fn main() {
 
         // the from-scratch alternative MIDAS exists to avoid
         let t1 = Instant::now();
-        let (rerun_set, _) =
-            Catapult::default().run_with_state(&midas.collection, &budget);
+        let (rerun_set, _) = Catapult::default().run_with_state(&midas.collection, &budget);
         let rerun_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         println!(

@@ -24,7 +24,14 @@ fn main() {
     println!("--- exploratory extension suggestions (PICASSO/VIIQ style) ---");
     let mut fragment = Graph::new();
     fragment.add_node(0); // the most common label
-    for s in suggest_extensions(&fragment, &repo, SuggestOptions { top_k: 5, ..Default::default() }) {
+    for s in suggest_extensions(
+        &fragment,
+        &repo,
+        SuggestOptions {
+            top_k: 5,
+            ..Default::default()
+        },
+    ) {
         println!(
             "  extend node {} with a label-{} neighbor via label-{} edge (support {})",
             s.attach_to, s.node_label, s.edge_label, s.support
@@ -44,11 +51,7 @@ fn main() {
 
     // 3. aesthetics-aware layout of the densest pattern
     println!("\n--- aesthetics-aware layout optimization ---");
-    if let Some(p) = vqi
-        .pattern_set()
-        .canned()
-        .max_by_key(|p| p.edge_count())
-    {
+    if let Some(p) = vqi.pattern_set().canned().max_by_key(|p| p.edge_count()) {
         let obj = LayoutObjective::default();
         let bad = circular(&p.graph, 200.0, 200.0);
         let fr = force_directed(&p.graph, LayoutParams::default());
@@ -62,7 +65,10 @@ fn main() {
             layout_cost(&p.graph, &best, &obj)
         );
         let vc = visual_complexity(&p.graph, &best);
-        println!("  annealed drawing: {} crossings, complexity {:.2}", vc.crossings, vc.complexity);
+        println!(
+            "  annealed drawing: {} crossings, complexity {:.2}",
+            vc.crossings, vc.complexity
+        );
     }
 
     // 4. pattern-based summarization

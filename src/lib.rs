@@ -59,16 +59,17 @@ pub use tattoo;
 pub use vqi_core as core;
 pub use vqi_datasets as datasets;
 pub use vqi_graph as graph;
+pub use vqi_index as index;
 pub use vqi_mining as mining;
 pub use vqi_modular as modular;
+pub use vqi_observe as observe;
 pub use vqi_sim as sim;
-pub use vqi_index as index;
 pub use vqi_timeseries as timeseries;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use aurora::{Aurora, AuroraConfig};
-pub use catapult::{Catapult, CatapultConfig};
+    pub use catapult::{Catapult, CatapultConfig};
     pub use midas::{Midas, MidasConfig, Modification};
     pub use tattoo::{Tattoo, TattooConfig};
     pub use vqi_core::{

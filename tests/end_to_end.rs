@@ -183,7 +183,11 @@ fn midas_maintains_across_a_stream_of_batches() {
         ..Default::default()
     });
     let budget = PatternBudget::new(5, 4, 7);
-    let mut midas = Midas::bootstrap(GraphCollection::new(initial), budget, MidasConfig::default());
+    let mut midas = Midas::bootstrap(
+        GraphCollection::new(initial),
+        budget,
+        MidasConfig::default(),
+    );
     for round in 0..3u32 {
         let stale = midas.patterns.clone();
         let batch = BatchUpdate::adding(
