@@ -1,5 +1,15 @@
 #!/usr/bin/env sh
 # Local CI: formatting, lints, tests. Run from the workspace root.
+#
+# Offline fallback: when the crates.io registry mirror is unreachable
+# (cargo dies resolving dependencies before compiling anything), run
+#
+#     sh scripts/offline/build.sh
+#
+# instead. It builds the workspace with bare rustc against the stub
+# dependencies in scripts/offline/stubs/ and runs each crate's unit
+# tests (minus the few that depend on real rand streams or real
+# serde_json — see the skip lists in that script).
 set -eu
 
 echo "== cargo fmt --check =="
@@ -8,7 +18,19 @@ cargo fmt --all --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy, per-crate (hot-path crates) =="
+for crate in vqi-graph vqi-core catapult tattoo midas vqi-modular bench; do
+    cargo clippy -p "$crate" --all-targets -- -D warnings
+done
+
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== consistency tests (cache + incremental greedy vs reference) =="
+cargo test -q -p vqi-graph cache
+cargo test -q -p vqi-core bitset
+cargo test -q -p catapult incremental_greedy_matches_reference
+cargo test -q -p tattoo incremental_greedy_matches_reference
+cargo test -q -p midas swap_outcome_is_identical_with_and_without_the_kernel_cache
 
 echo "CI OK"

@@ -8,7 +8,7 @@
 //! global. Shape: quality stays near the whole-graph baseline while the
 //! map phase shrinks with partition count.
 
-use bench::{enable_metrics, print_table, timed_ms, write_json, write_metrics_json};
+use bench::{enable_metrics, print_cache_stats, print_table, timed_ms, write_json, write_metrics_json};
 use serde::Serialize;
 use tattoo::{PartitionedTattoo, Tattoo, TattooConfig};
 use vqi_core::budget::PatternBudget;
@@ -106,6 +106,7 @@ fn main() {
         &table,
     );
     write_json("e14_partitioned", &rows);
+    print_cache_stats();
     write_metrics_json("e14_partitioned");
 
     let whole_score = rows[0].score;

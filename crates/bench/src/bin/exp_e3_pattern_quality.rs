@@ -4,7 +4,7 @@
 //! desiderata).
 
 use aurora::Aurora;
-use bench::{print_table, time_ms, write_json};
+use bench::{enable_metrics, print_cache_stats, print_table, time_ms, write_json, write_metrics_json};
 use catapult::Catapult;
 use serde::Serialize;
 use tattoo::Tattoo;
@@ -57,6 +57,7 @@ fn run(
 }
 
 fn main() {
+    enable_metrics();
     let mut rows = Vec::new();
     let collection = GraphRepository::collection(aids_like(MoleculeParams {
         count: 150,
@@ -102,6 +103,8 @@ fn main() {
         &table,
     );
     write_json("e3_pattern_quality", &rows);
+    print_cache_stats();
+    write_metrics_json("e3_pattern_quality");
 
     // shape: the regime-appropriate data-driven selector beats random
     for repo in ["collection", "network"] {

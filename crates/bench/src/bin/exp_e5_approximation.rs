@@ -4,7 +4,7 @@
 //! greedy/OPT ratio; the shape claim is that it sits at or above 1−1/e
 //! (and far above the paper's conservative 1/e bound).
 
-use bench::{print_table, write_json};
+use bench::{enable_metrics, print_cache_stats, print_table, write_json, write_metrics_json};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -27,6 +27,7 @@ struct Row {
 }
 
 fn main() {
+    enable_metrics();
     let weights = QualityWeights::default();
     let mut rows = Vec::new();
 
@@ -92,6 +93,8 @@ fn main() {
         &table,
     );
     write_json("e5_approximation", &rows);
+    print_cache_stats();
+    write_metrics_json("e5_approximation");
 
     let bound = 1.0 - 1.0 / std::f64::consts::E;
     let min_ratio = rows.iter().map(|r| r.ratio).fold(f64::MAX, f64::min);

@@ -12,22 +12,31 @@
 //! by no member of `S`. The best-scoring admissible candidate is selected
 //! until the budget count is reached, no candidate remains, or every
 //! remaining candidate scores non-positively with zero gain.
+//!
+//! The loop is *incremental*: each candidate carries a running
+//! `max_{q ∈ S} sim(p, q)` that is updated only against the pattern
+//! selected in the previous round, so each round costs one MCS call per
+//! surviving candidate instead of `|S|` calls. Because
+//! `max(a ∪ {b}) = max(max(a), b)` this is bit-for-bit identical to
+//! recomputing the maximum over the whole selected set every round.
 
 use crate::candidates::Candidate;
 use rayon::prelude::*;
+use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
 use vqi_core::repo::GraphCollection;
-use vqi_core::score::{cognitive_load, covers, QualityWeights};
-use vqi_graph::mcs::mcs_similarity;
+use vqi_core::score::{cognitive_load, covers_cached, QualityWeights};
+use vqi_graph::canon::canonical_code;
+use vqi_graph::cache::mcs_similarity_cached;
 
 /// A candidate plus its coverage bitset over the live graphs.
 #[derive(Debug, Clone)]
 pub struct ScoredCandidate {
     /// The candidate.
     pub candidate: Candidate,
-    /// `coverage[i]` = candidate covers `graph_ids[i]`.
-    pub coverage: Vec<bool>,
+    /// Bit `i` set = candidate covers `graph_ids[i]`.
+    pub coverage: BitSet,
     /// Cached cognitive load.
     pub cognitive_load: f64,
 }
@@ -44,11 +53,15 @@ pub fn score_candidates(
     let scored: Vec<ScoredCandidate> = candidates
         .into_par_iter()
         .filter_map(|c| {
-            let coverage: Vec<bool> = graph_ids
-                .iter()
-                .map(|&id| covers(&c.graph, collection.get(id).expect("live id")))
-                .collect();
-            if !coverage.iter().any(|&b| b) {
+            let mut coverage = BitSet::new(graph_ids.len());
+            for (pos, &id) in graph_ids.iter().enumerate() {
+                let g = collection.get(id).expect("live id");
+                let token = collection.token(id).expect("live id");
+                if covers_cached(&c.graph, &c.code, g, token) {
+                    coverage.set(pos);
+                }
+            }
+            if !coverage.any() {
                 return None;
             }
             let cl = cognitive_load(&c.graph);
@@ -74,51 +87,35 @@ pub fn greedy_select(
     if n_graphs == 0 {
         return set;
     }
-    let mut covered = vec![false; n_graphs];
-    let mut selected_graphs: Vec<vqi_graph::Graph> = Vec::new();
+    let mut covered = BitSet::new(n_graphs);
+    // running max similarity of candidate i to the selected set; 0.0
+    // while the set is empty so `1.0 - max_sim` reproduces the
+    // full-diversity score of the first round
+    let mut max_sim: Vec<f64> = vec![0.0; candidates.len()];
     while set.len() < budget.count && !candidates.is_empty() {
-        let scores: Vec<f64> = candidates
-            .par_iter()
-            .map(|c| {
-                let gain = c
-                    .coverage
-                    .iter()
-                    .zip(covered.iter())
-                    .filter(|(&cv, &done)| cv && !done)
-                    .count() as f64
-                    / n_graphs as f64;
-                let div = if selected_graphs.is_empty() {
-                    1.0
-                } else {
-                    1.0 - selected_graphs
-                        .iter()
-                        .map(|q| mcs_similarity(&c.candidate.graph, q))
-                        .fold(0.0f64, f64::max)
-                };
+        let scores: Vec<f64> = (0..candidates.len())
+            .into_par_iter()
+            .map(|i| {
+                let c = &candidates[i];
+                let gain = c.coverage.count_and_not(&covered) as f64 / n_graphs as f64;
+                let div = 1.0 - max_sim[i];
                 gain + weights.diversity * div - weights.cognitive * c.cognitive_load
             })
             .collect();
         let (best_idx, &best_score) = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("candidates nonempty");
         // stop when the best candidate neither covers anything new nor
         // improves the set score
-        let best_gain = candidates[best_idx]
-            .coverage
-            .iter()
-            .zip(covered.iter())
-            .any(|(&cv, &done)| cv && !done);
+        let best_gain = candidates[best_idx].coverage.any_and_not(&covered);
         if best_score <= 0.0 && !best_gain {
             break;
         }
         let chosen = candidates.swap_remove(best_idx);
-        for (i, &cv) in chosen.coverage.iter().enumerate() {
-            if cv {
-                covered[i] = true;
-            }
-        }
+        max_sim.swap_remove(best_idx);
+        covered.union_with(&chosen.coverage);
         let provenance = format!("catapult:csg{}", chosen.candidate.csg_index);
         if set
             .insert(
@@ -128,9 +125,26 @@ pub fn greedy_select(
             )
             .is_ok()
         {
-            selected_graphs.push(chosen.candidate.graph);
+            // fold the newly selected pattern into every survivor's
+            // running maximum — the only MCS work of the round
+            let new_graph = chosen.candidate.graph;
+            let new_code = canonical_code(&new_graph);
+            vqi_observe::incr("catapult.greedy.sim_calls", candidates.len() as u64);
+            let sims: Vec<f64> = candidates
+                .par_iter()
+                .map(|c| {
+                    mcs_similarity_cached(
+                        &c.candidate.graph,
+                        &c.candidate.code,
+                        &new_graph,
+                        &new_code,
+                    )
+                })
+                .collect();
+            for (m, s) in max_sim.iter_mut().zip(sims) {
+                *m = f64::max(*m, s);
+            }
         }
-        let _ = best_score;
     }
     set
 }
@@ -142,6 +156,7 @@ mod tests {
     use vqi_core::repo::GraphCollection;
     use vqi_graph::canon::canonical_code;
     use vqi_graph::generate::{chain, clique, cycle, star};
+    use vqi_graph::mcs::mcs_similarity;
     use vqi_graph::Graph;
 
     fn cand(g: Graph) -> Candidate {
@@ -159,6 +174,69 @@ mod tests {
             cycle(5, 2, 0),
             star(5, 3, 0),
         ])
+    }
+
+    /// The pre-incremental greedy loop: full per-round recomputation of
+    /// every candidate's max similarity to the selected set. Kept as the
+    /// reference the incremental implementation must match exactly.
+    fn reference_greedy(
+        mut candidates: Vec<ScoredCandidate>,
+        n_graphs: usize,
+        budget: &PatternBudget,
+        weights: QualityWeights,
+    ) -> PatternSet {
+        let mut set = PatternSet::new();
+        if n_graphs == 0 {
+            return set;
+        }
+        let mut covered = vec![false; n_graphs];
+        let mut selected_graphs: Vec<Graph> = Vec::new();
+        while set.len() < budget.count && !candidates.is_empty() {
+            let scores: Vec<f64> = candidates
+                .iter()
+                .map(|c| {
+                    let gain = (0..n_graphs)
+                        .filter(|&i| c.coverage.get(i) && !covered[i])
+                        .count() as f64
+                        / n_graphs as f64;
+                    let div = if selected_graphs.is_empty() {
+                        1.0
+                    } else {
+                        1.0 - selected_graphs
+                            .iter()
+                            .map(|q| mcs_similarity(&c.candidate.graph, q))
+                            .fold(0.0f64, f64::max)
+                    };
+                    gain + weights.diversity * div - weights.cognitive * c.cognitive_load
+                })
+                .collect();
+            let (best_idx, &best_score) = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("candidates nonempty");
+            let best_gain = (0..n_graphs)
+                .any(|i| candidates[best_idx].coverage.get(i) && !covered[i]);
+            if best_score <= 0.0 && !best_gain {
+                break;
+            }
+            let chosen = candidates.swap_remove(best_idx);
+            for i in chosen.coverage.ones() {
+                covered[i] = true;
+            }
+            let provenance = format!("catapult:csg{}", chosen.candidate.csg_index);
+            if set
+                .insert(
+                    chosen.candidate.graph.clone(),
+                    PatternKind::Canned,
+                    provenance,
+                )
+                .is_ok()
+            {
+                selected_graphs.push(chosen.candidate.graph);
+            }
+        }
+        set
     }
 
     #[test]
@@ -228,5 +306,93 @@ mod tests {
             Default::default(),
         );
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn incremental_greedy_matches_reference() {
+        let col = GraphCollection::new(vec![
+            chain(6, 1, 0),
+            chain(5, 1, 0),
+            cycle(5, 2, 0),
+            cycle(6, 2, 0),
+            star(5, 3, 0),
+            star(6, 3, 0),
+            clique(4, 2, 0),
+        ]);
+        let cands = vec![
+            cand(chain(4, 1, 0)),
+            cand(chain(5, 1, 0)),
+            cand(cycle(5, 2, 0)),
+            cand(star(4, 3, 0)),
+            cand(star(5, 3, 0)),
+            cand(clique(3, 2, 0)),
+            cand(clique(4, 2, 0)),
+        ];
+        for count in 1..=5 {
+            let (scored, ids) = score_candidates(cands.clone(), &col);
+            let budget = vqi_core::PatternBudget::new(count, 3, 7);
+            let incremental =
+                greedy_select(scored.clone(), ids.len(), &budget, Default::default());
+            let reference = reference_greedy(scored, ids.len(), &budget, Default::default());
+            assert_eq!(incremental.len(), reference.len(), "count {count}");
+            for p in reference.patterns() {
+                assert!(
+                    incremental.contains_isomorphic(&p.graph),
+                    "count {count}: reference pick missing from incremental set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_do_not_panic_and_pick_deterministically() {
+        let col = collection();
+        let cands = vec![
+            cand(chain(4, 1, 0)),
+            cand(star(4, 3, 0)),
+            cand(chain(5, 1, 0)),
+        ];
+        // infinite weights make every score inf - inf = NaN after the
+        // first pick; total_cmp orders NaN deterministically instead of
+        // panicking like the old partial_cmp().expect(...)
+        let weights = QualityWeights {
+            diversity: f64::INFINITY,
+            cognitive: f64::INFINITY,
+        };
+        let (scored, ids) = score_candidates(cands, &col);
+        let a = greedy_select(
+            scored.clone(),
+            ids.len(),
+            &vqi_core::PatternBudget::new(2, 3, 6),
+            weights,
+        );
+        let b = greedy_select(scored, ids.len(), &vqi_core::PatternBudget::new(2, 3, 6), weights);
+        assert_eq!(a.len(), b.len());
+        for p in a.patterns() {
+            assert!(b.contains_isomorphic(&p.graph));
+        }
+    }
+
+    #[test]
+    fn tied_scores_pick_deterministically() {
+        let col = GraphCollection::new(vec![chain(5, 1, 0), chain(6, 1, 0)]);
+        // two isomorphic-score candidates: identical coverage, identical
+        // cognitive load — the tie must break the same way every run
+        let cands = vec![cand(chain(4, 1, 0)), cand(chain(4, 1, 0))];
+        let (scored, ids) = score_candidates(cands, &col);
+        let a = greedy_select(
+            scored.clone(),
+            ids.len(),
+            &vqi_core::PatternBudget::new(1, 3, 6),
+            Default::default(),
+        );
+        let b = greedy_select(
+            scored,
+            ids.len(),
+            &vqi_core::PatternBudget::new(1, 3, 6),
+            Default::default(),
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
     }
 }

@@ -7,10 +7,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::Serialize;
+use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::PatternSet;
 use vqi_core::repo::{BatchUpdate, GraphCollection};
-use vqi_core::score::{covers, QualityWeights};
+use vqi_core::score::{covers_cached, QualityWeights};
 use vqi_graph::graphlet::{collection_distribution, euclidean_distance, GRAPHLET_CLASSES};
 use vqi_graph::Graph;
 use vqi_mining::closure::ClusterSummaryGraph;
@@ -104,7 +105,7 @@ pub struct Midas {
     csgs: Vec<Option<ClusterSummaryGraph>>,
     /// The maintained canned pattern set.
     pub patterns: PatternSet,
-    pattern_bitsets: Vec<Vec<bool>>,
+    pattern_bitsets: Vec<BitSet>,
     gfd: [f64; GRAPHLET_CLASSES],
 }
 
@@ -176,15 +177,24 @@ impl Midas {
         }
     }
 
-    fn bitsets_for(patterns: &PatternSet, collection: &GraphCollection) -> Vec<Vec<bool>> {
+    /// Coverage bitsets of every pattern over the live collection. Runs
+    /// through the kernel cache: graphs surviving a batch keep their
+    /// cache tokens, so only (pattern, new graph) pairs cost a search.
+    fn bitsets_for(patterns: &PatternSet, collection: &GraphCollection) -> Vec<BitSet> {
         let ids = collection.ids();
         patterns
             .patterns()
             .par_iter()
             .map(|p| {
-                ids.iter()
-                    .map(|&id| covers(&p.graph, collection.get(id).expect("live")))
-                    .collect()
+                let mut bits = BitSet::new(ids.len());
+                for (pos, &id) in ids.iter().enumerate() {
+                    let g = collection.get(id).expect("live");
+                    let token = collection.token(id).expect("live");
+                    if covers_cached(&p.graph, &p.code, g, token) {
+                        bits.set(pos);
+                    }
+                }
+                bits
             })
             .collect()
     }
@@ -284,7 +294,7 @@ impl Midas {
                     let vec_medoid = self.feature_space.vector(medoid_graph);
                     (ci, cosine_distance(&vec_new, &vec_medoid))
                 })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             match assigned {
                 Some((ci, d)) if d <= self.config.assign_threshold => {
                     self.clusters[ci].members.push(id);
@@ -364,11 +374,15 @@ impl Midas {
         let swap_cands: Vec<SwapCandidate> = walk_cands
             .into_par_iter()
             .filter_map(|c| {
-                let coverage: Vec<bool> = ids
-                    .iter()
-                    .map(|&id| covers(&c.graph, collection_ref.get(id).expect("live")))
-                    .collect();
-                if coverage.iter().any(|&b| b) {
+                let mut coverage = BitSet::new(ids.len());
+                for (pos, &id) in ids.iter().enumerate() {
+                    let g = collection_ref.get(id).expect("live");
+                    let token = collection_ref.token(id).expect("live");
+                    if covers_cached(&c.graph, &c.code, g, token) {
+                        coverage.set(pos);
+                    }
+                }
+                if coverage.any() {
                     Some(SwapCandidate {
                         graph: c.graph,
                         coverage,

@@ -12,11 +12,13 @@
 //! Candidates are pruned cheaply before the expensive checks: if a
 //! candidate's total coverage count cannot exceed the weakest pattern's
 //! sole contribution, no swap involving it can grow the union. The two
-//! supporting indices are the pattern → covered-graph bitsets and the
-//! graph → covering-pattern counts.
+//! supporting indices — pattern → sole-coverage bitsets and the
+//! once/multiply-covered partition — are computed word-parallel with
+//! [`BitSet`] algebra instead of per-graph counting loops.
 
+use vqi_core::bitset::BitSet;
 use vqi_core::pattern::PatternSet;
-use vqi_core::score::{cognitive_load, diversity, QualityWeights};
+use vqi_core::score::{set_score_bitsets, QualityWeights};
 use vqi_graph::mcs::mcs_similarity;
 use vqi_graph::Graph;
 
@@ -25,8 +27,8 @@ use vqi_graph::Graph;
 pub struct SwapCandidate {
     /// Candidate pattern graph.
     pub graph: Graph,
-    /// `coverage[i]` = candidate covers live graph position `i`.
-    pub coverage: Vec<bool>,
+    /// Bit `i` set = candidate covers live graph position `i`.
+    pub coverage: BitSet,
 }
 
 /// Outcome counters of one maintenance pass.
@@ -42,37 +44,13 @@ pub struct SwapStats {
     pub scans: usize,
 }
 
-/// Computes the set score of `pattern_graphs` with coverage measured by
-/// the union of `bitsets`.
-fn score_of(
-    pattern_graphs: &[&Graph],
-    bitsets: &[Vec<bool>],
-    n_graphs: usize,
-    weights: QualityWeights,
-) -> f64 {
-    if n_graphs == 0 || pattern_graphs.is_empty() {
-        return 0.0;
-    }
-    let covered = (0..n_graphs)
-        .filter(|&i| bitsets.iter().any(|b| b[i]))
-        .count();
-    let coverage = covered as f64 / n_graphs as f64;
-    let div = diversity(pattern_graphs);
-    let cl = pattern_graphs
-        .iter()
-        .map(|g| cognitive_load(g))
-        .sum::<f64>()
-        / pattern_graphs.len() as f64;
-    coverage + weights.diversity * div - weights.cognitive * cl
-}
-
 /// Runs up to `scans` swap scans over (`patterns`, `pattern_bitsets`)
 /// with the given candidates. Mutates both in place so they stay aligned.
 /// Returns the statistics.
 #[allow(clippy::ptr_arg)] // callers hold a Vec; bitsets are replaced whole
 pub fn multi_scan_swap(
     patterns: &mut PatternSet,
-    pattern_bitsets: &mut Vec<Vec<bool>>,
+    pattern_bitsets: &mut Vec<BitSet>,
     mut candidates: Vec<SwapCandidate>,
     n_graphs: usize,
     scans: usize,
@@ -90,36 +68,30 @@ pub fn multi_scan_swap(
         stats.scans += 1;
         let mut improved = false;
 
-        // index 2: graph -> number of covering patterns
-        let mut cover_count = vec![0usize; n_graphs];
+        // partition the graphs by how many patterns cover them:
+        // `any` = covered at least once, `multi` = at least twice,
+        // `once` = exactly once — all in O(words · patterns)
+        let mut any = BitSet::new(n_graphs);
+        let mut multi = BitSet::new(n_graphs);
         for b in pattern_bitsets.iter() {
-            for (i, &v) in b.iter().enumerate() {
-                if v {
-                    cover_count[i] += 1;
-                }
-            }
+            multi.or_and(&any, b);
+            any.union_with(b);
         }
-        let union: usize = cover_count.iter().filter(|&&c| c > 0).count();
+        let once = any.and_not(&multi);
+        // sole[pi] = graphs only pattern pi covers
+        let sole: Vec<BitSet> = pattern_bitsets.iter().map(|b| b.and(&once)).collect();
         // weakest sole contribution among current patterns (pruning bound)
-        let min_sole = pattern_bitsets
-            .iter()
-            .map(|b| {
-                b.iter()
-                    .enumerate()
-                    .filter(|(i, &v)| v && cover_count[*i] == 1)
-                    .count()
-            })
-            .min()
-            .unwrap_or(0);
+        let min_sole = sole.iter().map(BitSet::count_ones).min().unwrap_or(0);
 
         let current_score = {
             let graphs: Vec<&Graph> = patterns.graphs().collect();
-            score_of(&graphs, pattern_bitsets, n_graphs, weights)
+            let bitsets: Vec<&BitSet> = pattern_bitsets.iter().collect();
+            set_score_bitsets(&graphs, &bitsets, n_graphs, weights)
         };
 
         let mut best: Option<(f64, usize, usize)> = None; // (score, cand, pat)
         for (ci, cand) in candidates.iter().enumerate() {
-            let cand_cov = cand.coverage.iter().filter(|&&v| v).count();
+            let cand_cov = cand.coverage.count_ones();
             // coverage-based pruning: this candidate cannot restore even
             // the weakest pattern's sole coverage, so the union would
             // shrink for every possible swap — skip all score checks
@@ -127,29 +99,21 @@ pub fn multi_scan_swap(
                 stats.pruned += 1;
                 continue;
             }
+            // graphs newly covered by the candidate, independent of which
+            // pattern it would replace
+            let gained = cand.coverage.count_and_not(&any);
             for pi in 0..pattern_bitsets.len() {
-                // progressive-coverage check via the two indices
-                let lost = pattern_bitsets[pi]
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, &v)| v && cover_count[*i] == 1 && !cand.coverage[*i])
-                    .count();
-                let gained = cand
-                    .coverage
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, &v)| v && cover_count[*i] == 0)
-                    .count();
+                // progressive-coverage check via the sole-coverage index
+                let lost = sole[pi].count_and_not(&cand.coverage);
                 if gained < lost {
                     continue; // union would shrink
                 }
-                let _ = union;
                 // full score check on the hypothetical set
                 let mut graphs: Vec<&Graph> = patterns.graphs().collect();
                 graphs[pi] = &cand.graph;
-                let mut bitsets: Vec<Vec<bool>> = pattern_bitsets.clone();
-                bitsets[pi] = cand.coverage.clone();
-                let new_score = score_of(&graphs, &bitsets, n_graphs, weights);
+                let mut bit_refs: Vec<&BitSet> = pattern_bitsets.iter().collect();
+                bit_refs[pi] = &cand.coverage;
+                let new_score = set_score_bitsets(&graphs, &bit_refs, n_graphs, weights);
                 if new_score > current_score + 1e-12 && best.is_none_or(|(s, _, _)| new_score > s) {
                     best = Some((new_score, ci, pi));
                 }
@@ -187,7 +151,7 @@ mod tests {
     use vqi_core::pattern::PatternKind;
     use vqi_graph::generate::{chain, cycle, star};
 
-    fn set_of(graphs: Vec<Graph>) -> (PatternSet, Vec<Vec<bool>>) {
+    fn set_of(graphs: Vec<Graph>) -> (PatternSet, Vec<BitSet>) {
         let mut set = PatternSet::new();
         for g in graphs {
             set.insert(g, PatternKind::Canned, "init").unwrap();
@@ -199,10 +163,10 @@ mod tests {
     fn accepts_strictly_better_swap() {
         // pattern A covers 1 of 4 graphs; candidate covers 3 of 4
         let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
-        let mut bitsets = vec![vec![true, false, false, false]];
+        let mut bitsets = vec![BitSet::from_bools(&[true, false, false, false])];
         let cand = SwapCandidate {
             graph: star(3, 2, 0),
-            coverage: vec![true, true, true, false],
+            coverage: BitSet::from_bools(&[true, true, true, false]),
         };
         let stats = multi_scan_swap(
             &mut set,
@@ -214,17 +178,17 @@ mod tests {
         );
         assert_eq!(stats.swaps, 1);
         assert!(set.contains_isomorphic(&star(3, 2, 0)));
-        assert_eq!(bitsets[0], vec![true, true, true, false]);
+        assert_eq!(bitsets[0], BitSet::from_bools(&[true, true, true, false]));
     }
 
     #[test]
     fn rejects_coverage_shrinking_swap() {
         let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
-        let mut bitsets = vec![vec![true, true, false, false]];
+        let mut bitsets = vec![BitSet::from_bools(&[true, true, false, false])];
         // candidate is more "diverse" but halves coverage
         let cand = SwapCandidate {
             graph: cycle(4, 3, 0),
-            coverage: vec![true, false, false, false],
+            coverage: BitSet::from_bools(&[true, false, false, false]),
         };
         let stats = multi_scan_swap(
             &mut set,
@@ -244,10 +208,10 @@ mod tests {
     #[test]
     fn pruning_skips_hopeless_candidates() {
         let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
-        let mut bitsets = vec![vec![true, true, true, true]];
+        let mut bitsets = vec![BitSet::from_bools(&[true, true, true, true])];
         let cand = SwapCandidate {
             graph: cycle(4, 3, 0),
-            coverage: vec![false, false, false, false],
+            coverage: BitSet::from_bools(&[false, false, false, false]),
         };
         let stats = multi_scan_swap(
             &mut set,
@@ -267,10 +231,10 @@ mod tests {
     #[test]
     fn isomorphic_candidates_are_ignored() {
         let (mut set, _) = set_of(vec![chain(4, 1, 0)]);
-        let mut bitsets = vec![vec![true, false]];
+        let mut bitsets = vec![BitSet::from_bools(&[true, false])];
         let cand = SwapCandidate {
             graph: chain(4, 1, 0),
-            coverage: vec![true, true],
+            coverage: BitSet::from_bools(&[true, true]),
         };
         let stats = multi_scan_swap(
             &mut set,
@@ -289,17 +253,17 @@ mod tests {
         // two patterns, two candidates that each improve one slot
         let (mut set, _) = set_of(vec![chain(4, 1, 0), chain(5, 1, 0)]);
         let mut bitsets = vec![
-            vec![true, false, false, false],
-            vec![true, false, false, false],
+            BitSet::from_bools(&[true, false, false, false]),
+            BitSet::from_bools(&[true, false, false, false]),
         ];
         let cands = vec![
             SwapCandidate {
                 graph: star(3, 2, 0),
-                coverage: vec![true, true, false, false],
+                coverage: BitSet::from_bools(&[true, true, false, false]),
             },
             SwapCandidate {
                 graph: cycle(4, 3, 0),
-                coverage: vec![false, false, true, true],
+                coverage: BitSet::from_bools(&[false, false, true, true]),
             },
         ];
         let stats = multi_scan_swap(
@@ -312,6 +276,47 @@ mod tests {
         );
         assert_eq!(stats.swaps, 2, "both improving swaps should land");
         assert!(stats.scans >= 2);
+    }
+
+    #[test]
+    fn swap_outcome_is_identical_with_and_without_the_kernel_cache() {
+        let build = || {
+            let (mut set, _) = set_of(vec![chain(4, 1, 0), chain(5, 1, 0)]);
+            let mut bitsets = vec![
+                BitSet::from_bools(&[true, false, false, false]),
+                BitSet::from_bools(&[true, false, false, false]),
+            ];
+            let cands = vec![
+                SwapCandidate {
+                    graph: star(3, 2, 0),
+                    coverage: BitSet::from_bools(&[true, true, false, false]),
+                },
+                SwapCandidate {
+                    graph: cycle(4, 3, 0),
+                    coverage: BitSet::from_bools(&[false, false, true, true]),
+                },
+            ];
+            let stats = multi_scan_swap(
+                &mut set,
+                &mut bitsets,
+                cands,
+                4,
+                5,
+                QualityWeights::default(),
+            );
+            (set, bitsets, stats.swaps)
+        };
+        vqi_graph::cache::set_enabled(true);
+        let (set_on, bits_on, swaps_on) = build();
+        vqi_graph::cache::set_enabled(false);
+        let (set_off, bits_off, swaps_off) = build();
+        vqi_graph::cache::set_enabled(true);
+        assert_eq!(swaps_on, swaps_off);
+        assert_eq!(bits_on, bits_off);
+        assert_eq!(set_on.len(), set_off.len());
+        for p in set_on.patterns() {
+            assert!(set_off.contains_isomorphic(&p.graph));
+        }
     }
 
     #[test]

@@ -25,10 +25,12 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::Serialize;
+use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::PatternSet;
-use vqi_core::score::{cognitive_load, coverage_match_options, diversity, QualityWeights};
-use vqi_graph::iso::covered_edges;
+use vqi_core::score::{coverage_match_options, set_score_bitsets, QualityWeights};
+use vqi_graph::cache::{covered_edges_cached, mint_target_token};
+use vqi_graph::canon::CanonicalCode;
 use vqi_graph::truss::decompose;
 use vqi_graph::{Graph, Label, NodeId};
 
@@ -119,26 +121,18 @@ pub struct NetworkMaintainer {
     /// The maintained canned patterns.
     pub patterns: PatternSet,
     /// Covered-edge bitsets per pattern, over the current network.
-    bitsets: Vec<Vec<bool>>,
+    bitsets: Vec<BitSet>,
+    /// Kernel-cache token of the current network build; reminted on
+    /// every rebuild so stale cached embeddings can never be replayed.
+    network_token: u64,
 }
 
-fn bitset_for(p: &Graph, network: &Graph) -> Vec<bool> {
-    let mut bits = vec![false; network.edge_count()];
-    for e in covered_edges(p, network, coverage_match_options()) {
-        bits[e.index()] = true;
+fn bitset_for(p: &Graph, code: &CanonicalCode, network: &Graph, token: u64) -> BitSet {
+    let mut bits = BitSet::new(network.edge_count());
+    for e in covered_edges_cached(p, code, network, token, coverage_match_options()) {
+        bits.set(e.index());
     }
     bits
-}
-
-fn set_score(patterns: &[&Graph], bitsets: &[Vec<bool>], m: usize, w: QualityWeights) -> f64 {
-    if m == 0 || patterns.is_empty() {
-        return 0.0;
-    }
-    let covered = (0..m).filter(|&i| bitsets.iter().any(|b| b[i])).count();
-    let coverage = covered as f64 / m as f64;
-    let div = diversity(patterns);
-    let cl = patterns.iter().map(|g| cognitive_load(g)).sum::<f64>() / patterns.len() as f64;
-    coverage + w.diversity * div - w.cognitive * cl
 }
 
 impl NetworkMaintainer {
@@ -150,10 +144,11 @@ impl NetworkMaintainer {
         budget: PatternBudget,
         config: MaintainConfig,
     ) -> Self {
+        let network_token = mint_target_token();
         let bitsets = patterns
             .patterns()
             .par_iter()
-            .map(|p| bitset_for(&p.graph, &network))
+            .map(|p| bitset_for(&p.graph, &p.code, &network, network_token))
             .collect();
         NetworkMaintainer {
             config,
@@ -161,15 +156,17 @@ impl NetworkMaintainer {
             network,
             patterns,
             bitsets,
+            network_token,
         }
     }
 
     /// Current pattern-set score on the current network.
     pub fn score(&self) -> f64 {
         let graphs: Vec<&Graph> = self.patterns.graphs().collect();
-        set_score(
+        let bitsets: Vec<&BitSet> = self.bitsets.iter().collect();
+        set_score_bitsets(
             &graphs,
-            &self.bitsets,
+            &bitsets,
             self.network.edge_count(),
             self.config.weights,
         )
@@ -215,15 +212,18 @@ impl NetworkMaintainer {
             }
         }
         self.network = next;
+        self.network_token = mint_target_token();
         touched.sort_unstable();
         touched.dedup();
 
         // 2. bitsets must reflect the new network in either case
+        let token = self.network_token;
+        let network_ref = &self.network;
         self.bitsets = self
             .patterns
             .patterns()
             .par_iter()
-            .map(|p| bitset_for(&p.graph, &self.network))
+            .map(|p| bitset_for(&p.graph, &p.code, network_ref, token))
             .collect();
 
         if churn < self.config.churn_threshold || touched.is_empty() {
@@ -265,11 +265,11 @@ impl NetworkMaintainer {
 
         // 5. coverage of candidates over the WHOLE network, then swaps
         let network = &self.network;
-        let scored: Vec<(Graph, Vec<bool>)> = cands
+        let scored: Vec<(Graph, BitSet)> = cands
             .into_par_iter()
             .filter_map(|c| {
-                let bits = bitset_for(&c.graph, network);
-                if bits.iter().any(|&b| b) {
+                let bits = bitset_for(&c.graph, &c.code, network, token);
+                if bits.any() {
                     Some((c.graph, bits))
                 } else {
                     None
@@ -283,31 +283,34 @@ impl NetworkMaintainer {
         let mut swaps = 0usize;
         for _ in 0..self.config.swap_scans {
             let graphs: Vec<&Graph> = self.patterns.graphs().collect();
-            let current = set_score(&graphs, &self.bitsets, m, w);
+            let bit_refs_now: Vec<&BitSet> = self.bitsets.iter().collect();
+            let current = set_score_bitsets(&graphs, &bit_refs_now, m, w);
+            // partition edges into covered-once / covered-multiply so the
+            // progressive-coverage precheck is a popcount, not an O(m·k)
+            // union recount per (candidate, pattern) pair
+            let mut any = BitSet::new(m);
+            let mut multi = BitSet::new(m);
+            for b in &self.bitsets {
+                multi.or_and(&any, b);
+                any.union_with(b);
+            }
+            let once = any.and_not(&multi);
+            let sole: Vec<BitSet> = self.bitsets.iter().map(|b| b.and(&once)).collect();
             let mut best: Option<(f64, usize, usize)> = None;
             for (ci, (cg, cbits)) in pool.iter().enumerate() {
+                let gained = cbits.count_and_not(&any);
                 for pi in 0..self.bitsets.len() {
-                    // progressive-coverage precheck
-                    let union_without: usize = (0..m)
-                        .filter(|&i| {
-                            self.bitsets
-                                .iter()
-                                .enumerate()
-                                .any(|(q, b)| q != pi && b[i])
-                                || cbits[i]
-                        })
-                        .count();
-                    let union_now = (0..m)
-                        .filter(|&i| self.bitsets.iter().any(|b| b[i]))
-                        .count();
-                    if union_without < union_now {
+                    // the union shrinks iff the candidate gains fewer
+                    // edges than it loses of pattern pi's sole coverage
+                    let lost = sole[pi].count_and_not(cbits);
+                    if gained < lost {
                         continue;
                     }
                     let mut graphs2: Vec<&Graph> = self.patterns.graphs().collect();
                     graphs2[pi] = cg;
-                    let mut bits2 = self.bitsets.clone();
-                    bits2[pi] = cbits.clone();
-                    let score = set_score(&graphs2, &bits2, m, w);
+                    let mut bit_refs: Vec<&BitSet> = self.bitsets.iter().collect();
+                    bit_refs[pi] = cbits;
+                    let score = set_score_bitsets(&graphs2, &bit_refs, m, w);
                     if score > current + 1e-12 && best.is_none_or(|(s, _, _)| score > s) {
                         best = Some((score, ci, pi));
                     }
@@ -395,15 +398,16 @@ mod tests {
         assert!(report.touched_nodes > 0);
 
         // quality guarantee: maintained >= stale on the new network
-        let stale_bits: Vec<Vec<bool>> = stale_patterns
+        let stale_bits: Vec<BitSet> = stale_patterns
             .patterns()
             .iter()
-            .map(|p| super::bitset_for(&p.graph, &m.network))
+            .map(|p| super::bitset_for(&p.graph, &p.code, &m.network, m.network_token))
             .collect();
         let stale_graphs: Vec<&Graph> = stale_patterns.graphs().collect();
-        let stale_score = super::set_score(
+        let stale_refs: Vec<&BitSet> = stale_bits.iter().collect();
+        let stale_score = set_score_bitsets(
             &stale_graphs,
-            &stale_bits,
+            &stale_refs,
             m.network.edge_count(),
             MaintainConfig::default().weights,
         );

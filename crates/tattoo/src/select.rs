@@ -14,14 +14,22 @@
 //! cognitive-load corrections the paper proves a `1/e` bound for its
 //! variant. [`exhaustive_best`] brute-forces the optimum on small
 //! instances so the bench can report the ratio actually achieved.
+//!
+//! Like CATAPULT's loop, the greedy here is *incremental*: each
+//! candidate keeps a running `max` similarity to the selected set that
+//! is folded forward one selected pattern at a time, which is exactly
+//! equal to recomputing the maximum from scratch each round.
 
 use crate::candidates::Candidate;
 use rayon::prelude::*;
+use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
-use vqi_core::score::{cognitive_load, coverage_match_options, diversity, QualityWeights};
+use vqi_core::score::{
+    cognitive_load, coverage_match_options, set_score_bitsets, QualityWeights,
+};
+use vqi_graph::cache::mcs_similarity_cached;
 use vqi_graph::iso::covered_edges;
-use vqi_graph::mcs::mcs_similarity;
 use vqi_graph::Graph;
 
 /// A candidate with its covered-edge bitset over the network.
@@ -30,7 +38,7 @@ pub struct ScoredCandidate {
     /// The candidate.
     pub candidate: Candidate,
     /// Bits over network edge ids.
-    pub covered: Vec<bool>,
+    pub covered: BitSet,
     /// Cached cognitive load.
     pub cognitive_load: f64,
 }
@@ -45,9 +53,9 @@ pub fn score_candidates(candidates: Vec<Candidate>, network: &Graph) -> Vec<Scor
             if edges.is_empty() {
                 return None;
             }
-            let mut covered = vec![false; network.edge_count()];
+            let mut covered = BitSet::new(network.edge_count());
             for e in edges {
-                covered[e.index()] = true;
+                covered.set(e.index());
             }
             Some(ScoredCandidate {
                 cognitive_load: cognitive_load(&c.graph),
@@ -60,23 +68,12 @@ pub fn score_candidates(candidates: Vec<Candidate>, network: &Graph) -> Vec<Scor
 
 /// The full pattern-set score of a set of graphs (used by both the greedy
 /// and the exhaustive optimum so the comparison is apples-to-apples).
+/// An empty network or empty member set scores 0 — same convention as
+/// [`greedy_select`], which selects nothing from an empty network.
 pub fn set_score(members: &[&ScoredCandidate], total_edges: usize, weights: QualityWeights) -> f64 {
-    if members.is_empty() {
-        return 0.0;
-    }
-    let mut covered = vec![false; total_edges];
-    for m in members {
-        for (i, &b) in m.covered.iter().enumerate() {
-            if b {
-                covered[i] = true;
-            }
-        }
-    }
-    let coverage = covered.iter().filter(|&&b| b).count() as f64 / total_edges.max(1) as f64;
     let graphs: Vec<&Graph> = members.iter().map(|m| &m.candidate.graph).collect();
-    let div = diversity(&graphs);
-    let cl = members.iter().map(|m| m.cognitive_load).sum::<f64>() / members.len() as f64;
-    coverage + weights.diversity * div - weights.cognitive * cl
+    let bitsets: Vec<&BitSet> = members.iter().map(|m| &m.covered).collect();
+    set_score_bitsets(&graphs, &bitsets, total_edges, weights)
 }
 
 /// Greedy selection of up to `budget.count` candidates maximizing the
@@ -91,50 +88,33 @@ pub fn greedy_select(
     if total_edges == 0 {
         return set;
     }
-    let mut covered = vec![false; total_edges];
-    let mut selected: Vec<ScoredCandidate> = Vec::new();
+    let mut covered = BitSet::new(total_edges);
+    // running max similarity of candidate i to the selected set (0.0
+    // while empty, reproducing the full-diversity first round)
+    let mut max_sim: Vec<f64> = vec![0.0; candidates.len()];
     while set.len() < budget.count && !candidates.is_empty() {
         vqi_observe::incr("tattoo.greedy.iterations", 1);
-        let gains: Vec<f64> = candidates
-            .par_iter()
-            .map(|c| {
-                let gain = c
-                    .covered
-                    .iter()
-                    .zip(covered.iter())
-                    .filter(|(&cv, &done)| cv && !done)
-                    .count() as f64
-                    / total_edges as f64;
-                let div = if selected.is_empty() {
-                    1.0
-                } else {
-                    1.0 - selected
-                        .iter()
-                        .map(|s| mcs_similarity(&c.candidate.graph, &s.candidate.graph))
-                        .fold(0.0f64, f64::max)
-                };
+        let gains: Vec<f64> = (0..candidates.len())
+            .into_par_iter()
+            .map(|i| {
+                let c = &candidates[i];
+                let gain = c.covered.count_and_not(&covered) as f64 / total_edges as f64;
+                let div = 1.0 - max_sim[i];
                 gain + weights.diversity * div - weights.cognitive * c.cognitive_load
             })
             .collect();
         let (best_idx, &best) = gains
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("nonempty");
-        let gains_anything = candidates[best_idx]
-            .covered
-            .iter()
-            .zip(covered.iter())
-            .any(|(&cv, &done)| cv && !done);
+        let gains_anything = candidates[best_idx].covered.any_and_not(&covered);
         if best <= 0.0 && !gains_anything {
             break;
         }
         let chosen = candidates.swap_remove(best_idx);
-        for (i, &cv) in chosen.covered.iter().enumerate() {
-            if cv {
-                covered[i] = true;
-            }
-        }
+        max_sim.swap_remove(best_idx);
+        covered.union_with(&chosen.covered);
         let provenance = format!(
             "tattoo:{:?}:{}",
             chosen.candidate.class,
@@ -152,7 +132,21 @@ pub fn greedy_select(
             )
             .is_ok()
         {
-            selected.push(chosen);
+            vqi_observe::incr("tattoo.greedy.sim_calls", candidates.len() as u64);
+            let sims: Vec<f64> = candidates
+                .par_iter()
+                .map(|c| {
+                    mcs_similarity_cached(
+                        &c.candidate.graph,
+                        &c.candidate.code,
+                        &chosen.candidate.graph,
+                        &chosen.candidate.code,
+                    )
+                })
+                .collect();
+            for (m, s) in max_sim.iter_mut().zip(sims) {
+                *m = f64::max(*m, s);
+            }
         }
     }
     vqi_observe::incr("tattoo.greedy.selected", set.len() as u64);
@@ -194,6 +188,7 @@ mod tests {
     use crate::topology::classify;
     use vqi_graph::canon::canonical_code;
     use vqi_graph::generate::{chain, clique, cycle, star};
+    use vqi_graph::mcs::mcs_similarity;
 
     fn cand(g: Graph, from_truss: bool) -> Candidate {
         Candidate {
@@ -214,6 +209,71 @@ mod tests {
             prev = v;
         }
         g
+    }
+
+    /// The pre-incremental greedy: recomputes every candidate's max
+    /// similarity to the whole selected set each round. The incremental
+    /// loop must match it exactly.
+    fn reference_greedy(
+        mut candidates: Vec<ScoredCandidate>,
+        total_edges: usize,
+        budget: &PatternBudget,
+        weights: QualityWeights,
+    ) -> PatternSet {
+        let mut set = PatternSet::new();
+        if total_edges == 0 {
+            return set;
+        }
+        let mut covered = BitSet::new(total_edges);
+        let mut selected: Vec<ScoredCandidate> = Vec::new();
+        while set.len() < budget.count && !candidates.is_empty() {
+            let gains: Vec<f64> = candidates
+                .iter()
+                .map(|c| {
+                    let gain = c.covered.count_and_not(&covered) as f64 / total_edges as f64;
+                    let div = if selected.is_empty() {
+                        1.0
+                    } else {
+                        1.0 - selected
+                            .iter()
+                            .map(|s| mcs_similarity(&c.candidate.graph, &s.candidate.graph))
+                            .fold(0.0f64, f64::max)
+                    };
+                    gain + weights.diversity * div - weights.cognitive * c.cognitive_load
+                })
+                .collect();
+            let (best_idx, &best) = gains
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("nonempty");
+            let gains_anything = candidates[best_idx].covered.any_and_not(&covered);
+            if best <= 0.0 && !gains_anything {
+                break;
+            }
+            let chosen = candidates.swap_remove(best_idx);
+            covered.union_with(&chosen.covered);
+            let provenance = format!(
+                "tattoo:{:?}:{}",
+                chosen.candidate.class,
+                if chosen.candidate.from_truss_region {
+                    "G_T"
+                } else {
+                    "G_O"
+                }
+            );
+            if set
+                .insert(
+                    chosen.candidate.graph.clone(),
+                    PatternKind::Canned,
+                    provenance,
+                )
+                .is_ok()
+            {
+                selected.push(chosen);
+            }
+        }
+        set
     }
 
     #[test]
@@ -284,6 +344,62 @@ mod tests {
     }
 
     #[test]
+    fn incremental_greedy_matches_reference() {
+        let net = network();
+        let cands = vec![
+            cand(cycle(3, 1, 0), true),
+            cand(chain(4, 1, 0), false),
+            cand(chain(5, 1, 0), false),
+            cand(star(3, 1, 0), false),
+            cand(star(4, 1, 0), false),
+            cand(chain(3, 1, 0), false),
+        ];
+        for count in 1..=4 {
+            let scored = score_candidates(cands.clone(), &net);
+            let budget = PatternBudget::new(count, 3, 6);
+            let weights = QualityWeights::default();
+            let incremental =
+                greedy_select(scored.clone(), net.edge_count(), &budget, weights);
+            let reference = reference_greedy(scored, net.edge_count(), &budget, weights);
+            assert_eq!(incremental.len(), reference.len(), "count {count}");
+            for p in reference.patterns() {
+                assert!(
+                    incremental.contains_isomorphic(&p.graph),
+                    "count {count}: reference pick missing from incremental set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_do_not_panic() {
+        let net = network();
+        let cands = vec![
+            cand(cycle(3, 1, 0), true),
+            cand(chain(4, 1, 0), false),
+            cand(star(3, 1, 0), false),
+        ];
+        let scored = score_candidates(cands, &net);
+        // inf − inf = NaN marginal scores after the first pick; the old
+        // partial_cmp().expect("finite") panicked here
+        let weights = QualityWeights {
+            diversity: f64::INFINITY,
+            cognitive: f64::INFINITY,
+        };
+        let a = greedy_select(
+            scored.clone(),
+            net.edge_count(),
+            &PatternBudget::new(2, 3, 6),
+            weights,
+        );
+        let b = greedy_select(scored, net.edge_count(), &PatternBudget::new(2, 3, 6), weights);
+        assert_eq!(a.len(), b.len());
+        for p in a.patterns() {
+            assert!(b.contains_isomorphic(&p.graph));
+        }
+    }
+
+    #[test]
     fn empty_network_selects_nothing() {
         let set = greedy_select(
             vec![],
@@ -292,5 +408,21 @@ mod tests {
             QualityWeights::default(),
         );
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn empty_network_set_score_is_zero() {
+        // unified convention: empty repository scores 0 (the old
+        // total_edges.max(1) denominator could produce a positive score
+        // for an empty network)
+        let net = network();
+        let scored = score_candidates(vec![cand(cycle(3, 1, 0), true)], &net);
+        let members: Vec<&ScoredCandidate> = scored.iter().collect();
+        // members carry bitsets sized to the real network; an empty
+        // network has no candidates at all, so score the empty repo with
+        // an empty member list
+        assert_eq!(set_score(&[], 0, QualityWeights::default()), 0.0);
+        assert_eq!(set_score(&[], net.edge_count(), QualityWeights::default()), 0.0);
+        assert!(set_score(&members, net.edge_count(), QualityWeights::default()) > 0.0);
     }
 }

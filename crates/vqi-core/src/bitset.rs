@@ -1,0 +1,258 @@
+//! A packed fixed-length bitset for coverage bookkeeping.
+//!
+//! Every selection and maintenance loop tracks "which repository units
+//! (data graphs or network edges) does this pattern cover" as a bitset.
+//! `Vec<bool>` spends a byte per bit and forces element-at-a-time loops;
+//! [`BitSet`] packs 64 units per word so the hot operations of the greedy
+//! and swap loops — marginal gain (`|c \ covered|`), union, and the
+//! sole-coverage computations of MIDAS's pruning — run word-parallel.
+//!
+//! Invariant: bits at positions `>= len` are always zero, so popcounts
+//! never need tail masking. All binary operations require equal lengths.
+
+/// A fixed-length set of bits packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An all-zeros bitset of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a bitset from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut s = BitSet::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.set(i);
+            }
+        }
+        s
+    }
+
+    /// Number of bits (set or not).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at position `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets the bit at position `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// True if any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `self |= a & b` — used to accumulate multiply-covered bits.
+    pub fn or_and(&mut self, a: &BitSet, b: &BitSet) {
+        assert_eq!(self.len, a.len, "bitset length mismatch");
+        assert_eq!(self.len, b.len, "bitset length mismatch");
+        for ((w, &x), &y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *w |= x & y;
+        }
+    }
+
+    /// `self & other` as a new bitset.
+    pub fn and(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// `self & !other` as a new bitset.
+    pub fn and_not(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| a & !b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// `|self & other|`.
+    pub fn count_and(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self & !other|` — the marginal gain of `self` over `other`.
+    pub fn count_and_not(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if `self & !other` has any set bit.
+    pub fn any_and_not(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & !b != 0)
+    }
+
+    /// Iterates the positions of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random boolean vectors for model testing.
+    fn model(len: usize, seed: u64) -> Vec<bool> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_counts_match_bool_model() {
+        for len in [0usize, 1, 63, 64, 65, 130, 200] {
+            let a = model(len, len as u64 + 1);
+            let s = BitSet::from_bools(&a);
+            assert_eq!(s.len(), len);
+            for (i, &b) in a.iter().enumerate() {
+                assert_eq!(s.get(i), b, "bit {i} of len {len}");
+            }
+            assert_eq!(s.count_ones(), a.iter().filter(|&&b| b).count());
+            assert_eq!(s.any(), a.iter().any(|&b| b));
+            let ones: Vec<usize> = s.ones().collect();
+            let expect: Vec<usize> = (0..len).filter(|&i| a[i]).collect();
+            assert_eq!(ones, expect);
+        }
+    }
+
+    #[test]
+    fn binary_ops_match_bool_model() {
+        for len in [1usize, 64, 100, 129] {
+            let a = model(len, 7);
+            let b = model(len, 13);
+            let sa = BitSet::from_bools(&a);
+            let sb = BitSet::from_bools(&b);
+
+            let and_expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x && y).collect();
+            assert_eq!(sa.and(&sb), BitSet::from_bools(&and_expect));
+            let and_not_expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x && !y).collect();
+            assert_eq!(sa.and_not(&sb), BitSet::from_bools(&and_not_expect));
+            assert_eq!(
+                sa.count_and(&sb),
+                and_expect.iter().filter(|&&x| x).count()
+            );
+            assert_eq!(
+                sa.count_and_not(&sb),
+                and_not_expect.iter().filter(|&&x| x).count()
+            );
+            assert_eq!(sa.any_and_not(&sb), and_not_expect.iter().any(|&x| x));
+
+            let mut u = sa.clone();
+            u.union_with(&sb);
+            let or_expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x || y).collect();
+            assert_eq!(u, BitSet::from_bools(&or_expect));
+
+            let c = model(len, 29);
+            let mut acc = BitSet::from_bools(&c);
+            acc.or_and(&sa, &sb);
+            let or_and_expect: Vec<bool> = c
+                .iter()
+                .zip(and_expect.iter())
+                .map(|(&x, &y)| x || y)
+                .collect();
+            assert_eq!(acc, BitSet::from_bools(&or_and_expect));
+        }
+    }
+
+    #[test]
+    fn set_updates_bits() {
+        let mut s = BitSet::new(70);
+        assert!(!s.any());
+        s.set(0);
+        s.set(69);
+        assert!(s.get(0) && s.get(69) && !s.get(35));
+        assert_eq!(s.count_ones(), 2);
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 69]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitSet::new(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = BitSet::new(10).count_and_not(&BitSet::new(11));
+    }
+}

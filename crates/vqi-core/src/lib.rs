@@ -13,8 +13,9 @@
 //!
 //! This crate owns the vocabulary shared by every selection system:
 //! patterns and deduplicated pattern sets ([`pattern`]), selection
-//! budgets ([`budget`]), the repository abstraction ([`repo`]), the
-//! coverage / diversity / cognitive-load quality measures ([`score`]),
+//! budgets ([`budget`]), the repository abstraction ([`repo`]), packed
+//! coverage bitsets ([`bitset`]), the coverage / diversity /
+//! cognitive-load quality measures ([`score`]),
 //! the selector interface ([`selector`]), the panel and interface model
 //! ([`panel`], [`vqi`]), query composition ([`query`]), query evaluation
 //! ([`results`]), and the presentation layer ([`layout`], [`aesthetics`],
@@ -24,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod aesthetics;
+pub mod bitset;
 pub mod budget;
 pub mod explore;
 pub mod layout;
@@ -40,6 +42,7 @@ pub mod selector;
 pub mod summary;
 pub mod vqi;
 
+pub use bitset::BitSet;
 pub use budget::PatternBudget;
 pub use pattern::{Pattern, PatternId, PatternKind, PatternSet};
 pub use repo::{BatchUpdate, GraphRepository};

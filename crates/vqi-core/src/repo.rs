@@ -44,16 +44,28 @@ impl BatchUpdate {
 }
 
 /// A collection of data graphs with stable ids and tombstoned removal.
+///
+/// Each stored graph also carries a process-unique *cache token* (minted
+/// by [`vqi_graph::cache::mint_target_token`]) identifying that immutable
+/// graph in the global kernel cache. Tokens are minted per insertion, so
+/// clones that diverge via [`GraphCollection::apply`] never reuse a token
+/// for a different graph.
 #[derive(Debug, Clone, Default)]
 pub struct GraphCollection {
     slots: Vec<Option<Graph>>,
+    tokens: Vec<u64>,
 }
 
 impl GraphCollection {
     /// Builds a collection; graph `i` receives id `i`.
     pub fn new(graphs: Vec<Graph>) -> Self {
+        let tokens = graphs
+            .iter()
+            .map(|_| vqi_graph::cache::mint_target_token())
+            .collect();
         GraphCollection {
             slots: graphs.into_iter().map(Some).collect(),
+            tokens,
         }
     }
 
@@ -70,6 +82,11 @@ impl GraphCollection {
     /// The graph with id `id`, if live.
     pub fn get(&self, id: usize) -> Option<&Graph> {
         self.slots.get(id).and_then(|s| s.as_ref())
+    }
+
+    /// The kernel-cache token of the graph with id `id`, if live.
+    pub fn token(&self, id: usize) -> Option<u64> {
+        self.get(id).map(|_| self.tokens[id])
     }
 
     /// Iterates `(id, &graph)` over live graphs.
@@ -97,6 +114,7 @@ impl GraphCollection {
         for g in update.additions {
             assigned.push(self.slots.len());
             self.slots.push(Some(g));
+            self.tokens.push(vqi_graph::cache::mint_target_token());
         }
         assigned
     }
@@ -209,6 +227,23 @@ mod tests {
         let new_ids = c.apply(BatchUpdate::adding(vec![chain(4, 4, 0)]));
         assert_eq!(new_ids, vec![3]);
         assert_eq!(c.ids(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn tokens_are_per_insertion_and_divergence_safe() {
+        let c1 = GraphCollection::new(vec![chain(3, 1, 0), star(3, 2, 0)]);
+        let mut c2 = c1.clone();
+        // shared history: same graphs, same tokens
+        assert_eq!(c1.token(0), c2.token(0));
+        // divergent appends mint fresh tokens, never colliding
+        let mut c3 = c1.clone();
+        c2.apply(BatchUpdate::adding(vec![cycle(4, 1, 0)]));
+        c3.apply(BatchUpdate::adding(vec![chain(9, 9, 0)]));
+        assert_ne!(c2.token(2), c3.token(2));
+        // dead ids have no token
+        c2.apply(BatchUpdate::removing(vec![0]));
+        assert!(c2.token(0).is_none());
+        assert!(c2.token(1).is_some());
     }
 
     #[test]

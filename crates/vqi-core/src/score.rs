@@ -19,10 +19,13 @@
 //! `coverage + w_div · diversity − w_cog · mean cognitive load`, the form
 //! maximized greedily by CATAPULT and TATTOO and preserved by MIDAS.
 
+use crate::bitset::BitSet;
 use crate::pattern::PatternSet;
 use crate::repo::{GraphCollection, GraphRepository};
 use rayon::prelude::*;
 use serde::Serialize;
+use vqi_graph::cache;
+use vqi_graph::canon::{canonical_code, CanonicalCode};
 use vqi_graph::iso::{covered_edges, is_subgraph_isomorphic, MatchOptions};
 use vqi_graph::{mcs, Graph};
 
@@ -55,6 +58,39 @@ impl Default for QualityWeights {
     }
 }
 
+/// The combined pattern-set score shared by every selector and
+/// maintainer: `coverage + w_div · diversity − w_cog · cognitive load`.
+/// This is the single definition of the formula; CATAPULT, TATTOO,
+/// MIDAS, and the modular pipeline all route through it.
+pub fn combined_score(coverage: f64, diversity: f64, cognitive_load: f64, w: QualityWeights) -> f64 {
+    coverage + w.diversity * diversity - w.cognitive * cognitive_load
+}
+
+/// Full set score from pattern graphs and their coverage bitsets over
+/// `total` repository units (data graphs of a collection, or edges of a
+/// network). An empty repository or an empty pattern set scores 0 — the
+/// unified empty-repository convention (previously TATTOO divided by
+/// `total.max(1)` while its greedy loop returned early, giving empty
+/// repositories two different scores).
+pub fn set_score_bitsets(
+    patterns: &[&Graph],
+    bitsets: &[&BitSet],
+    total: usize,
+    w: QualityWeights,
+) -> f64 {
+    if total == 0 || patterns.is_empty() {
+        return 0.0;
+    }
+    let mut union = BitSet::new(total);
+    for b in bitsets {
+        union.union_with(b);
+    }
+    let coverage = union.count_ones() as f64 / total as f64;
+    let div = diversity(patterns);
+    let cl = patterns.iter().map(|g| cognitive_load(g)).sum::<f64>() / patterns.len() as f64;
+    combined_score(coverage, div, cl, w)
+}
+
 /// Cognitive load of a single pattern, in `[0, 1]`.
 pub fn cognitive_load(p: &Graph) -> f64 {
     let n = p.node_count() as f64;
@@ -85,10 +121,22 @@ pub fn diversity(patterns: &[&Graph]) -> f64 {
     let pairs: Vec<(usize, usize)> = (0..k)
         .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
         .collect();
-    let total: f64 = pairs
-        .par_iter()
-        .map(|&(i, j)| mcs::mcs_similarity(patterns[i], patterns[j]))
-        .sum();
+    let total: f64 = if cache::enabled() {
+        // canonical codes are cheap for pattern-sized graphs and turn the
+        // quadratic MCS bill into cache hits across repeated evaluations
+        let codes: Vec<CanonicalCode> = patterns.par_iter().map(|g| canonical_code(g)).collect();
+        pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                cache::mcs_similarity_cached(patterns[i], &codes[i], patterns[j], &codes[j])
+            })
+            .sum()
+    } else {
+        pairs
+            .par_iter()
+            .map(|&(i, j)| mcs::mcs_similarity(patterns[i], patterns[j]))
+            .sum()
+    };
     1.0 - total / pairs.len() as f64
 }
 
@@ -97,15 +145,26 @@ pub fn covers(p: &Graph, g: &Graph) -> bool {
     is_subgraph_isomorphic(p, g, coverage_match_options())
 }
 
+/// Memoized [`covers`] for callers that already hold the pattern's
+/// canonical code and the target's cache token (see
+/// [`crate::repo::GraphCollection::token`]).
+pub fn covers_cached(p: &Graph, code: &CanonicalCode, g: &Graph, token: u64) -> bool {
+    cache::is_subgraph_isomorphic_cached(p, code, g, token, coverage_match_options())
+}
+
 /// Fraction of live collection graphs containing `p`.
 pub fn pattern_coverage(p: &Graph, collection: &GraphCollection) -> f64 {
     let ids = collection.ids();
     if ids.is_empty() {
         return 0.0;
     }
+    let code = canonical_code(p);
     let hits: usize = ids
         .par_iter()
-        .filter(|&&id| covers(p, collection.get(id).expect("live id")))
+        .filter(|&&id| {
+            let g = collection.get(id).expect("live id");
+            covers_cached(p, &code, g, collection.token(id).expect("live id"))
+        })
         .count();
     hits as f64 / ids.len() as f64
 }
@@ -116,11 +175,16 @@ pub fn set_coverage_collection(patterns: &[&Graph], collection: &GraphCollection
     if ids.is_empty() || patterns.is_empty() {
         return 0.0;
     }
+    let codes: Vec<CanonicalCode> = patterns.par_iter().map(|p| canonical_code(p)).collect();
     let hits: usize = ids
         .par_iter()
         .filter(|&&id| {
             let g = collection.get(id).expect("live id");
-            patterns.iter().any(|p| covers(p, g))
+            let token = collection.token(id).expect("live id");
+            patterns
+                .iter()
+                .zip(codes.iter())
+                .any(|(p, code)| covers_cached(p, code, g, token))
         })
         .count();
     hits as f64 / ids.len() as f64
@@ -199,7 +263,7 @@ pub fn evaluate_graphs(
         coverage,
         diversity: div,
         cognitive_load: cl,
-        score: coverage + weights.diversity * div - weights.cognitive * cl,
+        score: combined_score(coverage, div, cl, weights),
     }
 }
 
@@ -207,25 +271,31 @@ pub fn evaluate_graphs(
 /// for coverage-based pruning during pattern swapping.
 #[derive(Debug, Clone)]
 pub struct CoverageIndex {
-    /// `bitsets[p][i]` = pattern `p` covers the graph at position `i` of
-    /// `graph_ids`.
-    pub bitsets: Vec<Vec<bool>>,
+    /// `bitsets[p]` has bit `i` set iff pattern `p` covers the graph at
+    /// position `i` of `graph_ids`.
+    pub bitsets: Vec<BitSet>,
     /// The live graph ids the positions refer to.
     pub graph_ids: Vec<usize>,
 }
 
 impl CoverageIndex {
     /// Builds the index for `patterns` over the live graphs of
-    /// `collection`.
+    /// `collection`, through the kernel cache.
     pub fn build(patterns: &[&Graph], collection: &GraphCollection) -> Self {
         let graph_ids = collection.ids();
-        let bitsets: Vec<Vec<bool>> = patterns
+        let codes: Vec<CanonicalCode> = patterns.par_iter().map(|p| canonical_code(p)).collect();
+        let bitsets: Vec<BitSet> = patterns
             .par_iter()
-            .map(|p| {
-                graph_ids
-                    .iter()
-                    .map(|&id| covers(p, collection.get(id).expect("live id")))
-                    .collect()
+            .zip(codes.par_iter())
+            .map(|(p, code)| {
+                let mut bits = BitSet::new(graph_ids.len());
+                for (pos, &id) in graph_ids.iter().enumerate() {
+                    let g = collection.get(id).expect("live id");
+                    if covers_cached(p, code, g, collection.token(id).expect("live id")) {
+                        bits.set(pos);
+                    }
+                }
+                bits
             })
             .collect();
         CoverageIndex { bitsets, graph_ids }
@@ -233,31 +303,31 @@ impl CoverageIndex {
 
     /// Number of graphs covered by the union of all patterns.
     pub fn union_count(&self) -> usize {
-        if self.bitsets.is_empty() {
-            return 0;
+        let mut union = BitSet::new(self.graph_ids.len());
+        for b in &self.bitsets {
+            union.union_with(b);
         }
-        (0..self.graph_ids.len())
-            .filter(|&i| self.bitsets.iter().any(|b| b[i]))
-            .count()
+        union.count_ones()
     }
 
     /// Number of graphs covered by the union excluding pattern `skip`.
     pub fn union_count_without(&self, skip: usize) -> usize {
-        (0..self.graph_ids.len())
-            .filter(|&i| {
-                self.bitsets
-                    .iter()
-                    .enumerate()
-                    .any(|(p, b)| p != skip && b[i])
-            })
-            .count()
+        let mut union = BitSet::new(self.graph_ids.len());
+        for (p, b) in self.bitsets.iter().enumerate() {
+            if p != skip {
+                union.union_with(b);
+            }
+        }
+        union.count_ones()
     }
 
     /// How many graphs `candidate` covers that the current union misses.
-    pub fn marginal_gain(&self, candidate: &[bool]) -> usize {
-        (0..self.graph_ids.len())
-            .filter(|&i| candidate[i] && !self.bitsets.iter().any(|b| b[i]))
-            .count()
+    pub fn marginal_gain(&self, candidate: &BitSet) -> usize {
+        let mut union = BitSet::new(self.graph_ids.len());
+        for b in &self.bitsets {
+            union.union_with(b);
+        }
+        candidate.count_and_not(&union)
     }
 }
 
@@ -372,10 +442,10 @@ mod tests {
         assert_eq!(idx.union_count(), 3);
         assert_eq!(idx.union_count_without(0), 0);
         // candidate covering only the clique (position 3)
-        let cand = vec![false, false, false, true];
+        let cand = BitSet::from_bools(&[false, false, false, true]);
         assert_eq!(idx.marginal_gain(&cand), 1);
         // candidate covering already-covered graphs gains nothing
-        let cand2 = vec![true, true, false, false];
+        let cand2 = BitSet::from_bools(&[true, true, false, false]);
         assert_eq!(idx.marginal_gain(&cand2), 0);
     }
 }

@@ -1,0 +1,363 @@
+//! Memoization of the expensive graph kernels.
+//!
+//! The selection and maintenance loops call the same three kernels over
+//! and over on the same inputs: [`mcs::mcs_similarity`] (every diversity
+//! term, every greedy round), [`iso::is_subgraph_isomorphic`] (coverage
+//! of a pattern over a data graph), and [`iso::covered_edges`] (coverage
+//! of a pattern over a network). All three are *isomorphism-invariant in
+//! the pattern*, so results can be keyed by [`CanonicalCode`] instead of
+//! by graph identity:
+//!
+//! * `mcs` — keyed by the unordered pair of canonical codes;
+//! * `covers` / `covered_edges` — keyed by (pattern code, target token,
+//!   match options), where a *target token* is a process-unique `u64`
+//!   minted per stored graph ([`mint_target_token`]). Tokens, not raw
+//!   collection ids, because ids are only unique within one collection
+//!   while the cache is global.
+//!
+//! Equal canonical codes imply isomorphic graphs even when a code is
+//! truncated (truncation only weakens the *collision* guarantee), so a
+//! hit never conflates distinct graphs. Bit-exact replay of an uncached
+//! run additionally relies on the kernel being isomorphism-invariant,
+//! which holds whenever the bounded searches run to completion — true
+//! for all pattern-sized inputs in this workspace; a kernel stopped by
+//! its state budget could in principle return different bounds for
+//! differently-ordered isomorphic inputs.
+//!
+//! Each kernel's memo is sharded (16 ways), capacity-bounded with FIFO
+//! eviction, and instrumented: counters `cache.<kernel>.hit`,
+//! `cache.<kernel>.miss`, and `cache.<kernel>.evict` land in the
+//! `vqi-observe` registry when metrics are enabled. Values are computed
+//! *outside* the shard lock, so a race can at worst duplicate a
+//! computation, never block other shards on it.
+
+use crate::canon::CanonicalCode;
+use crate::graph::{EdgeId, Graph};
+use crate::iso::{self, MatchOptions};
+use crate::mcs;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+const SHARDS: usize = 16;
+
+/// A sharded, capacity-bounded memo table for one kernel.
+pub struct Memo<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    shard_capacity: usize,
+    hit_name: String,
+    miss_name: String,
+    evict_name: String,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
+    /// A memo named `kernel` (for metrics) holding at most `capacity`
+    /// entries across all shards.
+    pub fn new(kernel: &str, capacity: usize) -> Self {
+        Memo {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            shard_capacity: (capacity / SHARDS).max(1),
+            hit_name: format!("cache.{kernel}.hit"),
+            miss_name: format!("cache.{kernel}.miss"),
+            evict_name: format!("cache.{kernel}.evict"),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the memoized value for `key`, computing and storing it on
+    /// a miss. `compute` runs outside the shard lock.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard_of(&key);
+        {
+            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = guard.map.get(&key) {
+                vqi_observe::incr(&self.hit_name, 1);
+                return v.clone();
+            }
+        }
+        vqi_observe::incr(&self.miss_name, 1);
+        let value = compute();
+        let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        if !guard.map.contains_key(&key) {
+            if guard.map.len() >= self.shard_capacity {
+                if let Some(oldest) = guard.order.pop_front() {
+                    guard.map.remove(&oldest);
+                    vqi_observe::incr(&self.evict_name, 1);
+                }
+            }
+            guard.order.push_back(key.clone());
+            guard.map.insert(key, value.clone());
+        }
+        value
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.map.clear();
+            guard.order.clear();
+        }
+    }
+
+    /// Current number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
+            .sum()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Hashable fingerprint of the [`MatchOptions`] that affect a result.
+type OptsKey = (bool, bool, usize, u64);
+
+fn opts_key(o: MatchOptions) -> OptsKey {
+    (o.induced, o.wildcard, o.max_embeddings, o.max_states)
+}
+
+/// The process-wide memo tables for the three graph kernels.
+pub struct GraphKernelCache {
+    /// MCS similarity keyed by the unordered canonical-code pair.
+    pub mcs: Memo<(CanonicalCode, CanonicalCode), f64>,
+    /// Subgraph-isomorphism existence keyed by (pattern code, target
+    /// token, options).
+    pub covers: Memo<(CanonicalCode, u64, OptsKey), bool>,
+    /// Covered-edge lists keyed like `covers`. Smaller capacity: entries
+    /// hold edge lists, not single words.
+    pub covered_edges: Memo<(CanonicalCode, u64, OptsKey), Vec<EdgeId>>,
+}
+
+static CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// True while the kernel caches are consulted (default). Disabling makes
+/// every `*_cached` entry point compute directly; results are identical
+/// either way.
+pub fn enabled() -> bool {
+    CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the kernel caches on or off globally.
+pub fn set_enabled(on: bool) {
+    CACHE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Mints a process-unique token identifying one immutable target graph.
+/// Collections mint one per stored graph; network maintainers mint one
+/// per network rebuild.
+pub fn mint_target_token() -> u64 {
+    NEXT_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The global kernel cache.
+pub fn global() -> &'static GraphKernelCache {
+    static CACHE: OnceLock<GraphKernelCache> = OnceLock::new();
+    CACHE.get_or_init(|| GraphKernelCache {
+        mcs: Memo::new("mcs", 1 << 16),
+        covers: Memo::new("covers", 1 << 16),
+        covered_edges: Memo::new("covered_edges", 1 << 11),
+    })
+}
+
+/// Clears all three kernel memos.
+pub fn clear() {
+    let c = global();
+    c.mcs.clear();
+    c.covers.clear();
+    c.covered_edges.clear();
+}
+
+/// Memoized [`mcs::mcs_similarity`]. Callers pass the canonical codes
+/// they already hold; the key is the unordered code pair (the measure is
+/// symmetric).
+pub fn mcs_similarity_cached(
+    a: &Graph,
+    code_a: &CanonicalCode,
+    b: &Graph,
+    code_b: &CanonicalCode,
+) -> f64 {
+    if !enabled() {
+        return mcs::mcs_similarity(a, b);
+    }
+    let key = if code_a <= code_b {
+        (code_a.clone(), code_b.clone())
+    } else {
+        (code_b.clone(), code_a.clone())
+    };
+    global()
+        .mcs
+        .get_or_insert_with(key, || mcs::mcs_similarity(a, b))
+}
+
+/// Memoized [`iso::is_subgraph_isomorphic`] for a pattern against one
+/// tokenized target graph.
+pub fn is_subgraph_isomorphic_cached(
+    pattern: &Graph,
+    code: &CanonicalCode,
+    target: &Graph,
+    target_token: u64,
+    opts: MatchOptions,
+) -> bool {
+    if !enabled() {
+        return iso::is_subgraph_isomorphic(pattern, target, opts);
+    }
+    global()
+        .covers
+        .get_or_insert_with((code.clone(), target_token, opts_key(opts)), || {
+            iso::is_subgraph_isomorphic(pattern, target, opts)
+        })
+}
+
+/// Memoized [`iso::covered_edges`] for a pattern against one tokenized
+/// target graph.
+pub fn covered_edges_cached(
+    pattern: &Graph,
+    code: &CanonicalCode,
+    target: &Graph,
+    target_token: u64,
+    opts: MatchOptions,
+) -> Vec<EdgeId> {
+    if !enabled() {
+        return iso::covered_edges(pattern, target, opts);
+    }
+    global()
+        .covered_edges
+        .get_or_insert_with((code.clone(), target_token, opts_key(opts)), || {
+            iso::covered_edges(pattern, target, opts)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonical_code;
+    use crate::generate::{assign_labels, chain, clique, cycle, erdos_renyi, star};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn random_graph(n: usize, p: f64, node_labels: u32, edge_labels: u32, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = erdos_renyi(n, p, 0, &mut rng);
+        assign_labels(&mut g, node_labels, edge_labels, &mut rng);
+        g
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let a = mint_target_token();
+        let b = mint_target_token();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memo_returns_computed_value_and_hits_after_miss() {
+        let memo: Memo<u64, u64> = Memo::new("test_roundtrip", 64);
+        let mut computes = 0;
+        let v = memo.get_or_insert_with(7, || {
+            computes += 1;
+            7 * 3
+        });
+        assert_eq!(v, 21);
+        let v2 = memo.get_or_insert_with(7, || {
+            computes += 1;
+            0 // would be wrong; must not be called
+        });
+        assert_eq!(v2, 21);
+        assert_eq!(computes, 1);
+    }
+
+    #[test]
+    fn eviction_bounds_capacity_and_stays_correct() {
+        // capacity 16 across 16 shards = 1 entry per shard
+        let memo: Memo<u64, u64> = Memo::new("test_evict", 16);
+        for k in 0..200u64 {
+            assert_eq!(memo.get_or_insert_with(k, || k * 2), k * 2);
+        }
+        assert!(memo.len() <= 16, "memo grew past capacity: {}", memo.len());
+        // evicted keys recompute to the same value
+        for k in 0..200u64 {
+            assert_eq!(memo.get_or_insert_with(k, || k * 2), k * 2);
+        }
+    }
+
+    #[test]
+    fn memoized_mcs_equals_direct() {
+        let graphs: Vec<Graph> = (0..6u64)
+            .map(|i| random_graph(4 + (i as usize) % 3, 0.5, 2, 1, 99 + i))
+            .chain([chain(4, 1, 0), cycle(5, 2, 0), star(4, 3, 0), clique(4, 1, 0)])
+            .collect();
+        let codes: Vec<CanonicalCode> = graphs.iter().map(canonical_code).collect();
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                let direct = mcs::mcs_similarity(&graphs[i], &graphs[j]);
+                // both the miss and the subsequent hit must agree
+                for _ in 0..2 {
+                    let cached =
+                        mcs_similarity_cached(&graphs[i], &codes[i], &graphs[j], &codes[j]);
+                    assert_eq!(cached, direct, "pair ({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_covers_and_edges_equal_direct() {
+        let opts = MatchOptions::with_wildcards();
+        let targets: Vec<(Graph, u64)> = (0..4u64)
+            .map(|i| (random_graph(8, 0.35, 3, 2, 500 + i), mint_target_token()))
+            .collect();
+        let patterns = [chain(3, 1, 0), cycle(3, 2, 1), star(3, 0, 0), chain(2, 2, 2)];
+        for p in &patterns {
+            let code = canonical_code(p);
+            for (t, token) in &targets {
+                let direct = iso::is_subgraph_isomorphic(p, t, opts);
+                let direct_edges = iso::covered_edges(p, t, opts);
+                for _ in 0..2 {
+                    assert_eq!(
+                        is_subgraph_isomorphic_cached(p, &code, t, *token, opts),
+                        direct
+                    );
+                    assert_eq!(covered_edges_cached(p, &code, t, *token, opts), direct_edges);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_bypasses_the_cache() {
+        let a = chain(4, 5, 0);
+        let b = cycle(4, 5, 0);
+        let (ca, cb) = (canonical_code(&a), canonical_code(&b));
+        let direct = mcs::mcs_similarity(&a, &b);
+        set_enabled(false);
+        let off = mcs_similarity_cached(&a, &ca, &b, &cb);
+        set_enabled(true);
+        let on = mcs_similarity_cached(&a, &ca, &b, &cb);
+        assert_eq!(off, direct);
+        assert_eq!(on, direct);
+    }
+}

@@ -20,6 +20,8 @@
 //!   topologies;
 //! * [`mcs`] — maximum-common-edge-subgraph search (exact with a node
 //!   budget, plus a greedy fallback) for diversity measures;
+//! * [`cache`] — sharded, capacity-bounded memoization of the expensive
+//!   kernels (MCS similarity, coverage) keyed by canonical codes;
 //! * [`io`] — a line-oriented text format compatible with the classic
 //!   `t # / v / e` graph-transaction files;
 //! * [`metrics`] — simple structural statistics.
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod canon;
 pub mod generate;
 pub mod graph;

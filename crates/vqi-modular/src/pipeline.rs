@@ -5,10 +5,11 @@ use rayon::prelude::*;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
 use vqi_core::repo::{GraphCollection, GraphRepository};
-use vqi_core::score::{cognitive_load, covers, QualityWeights};
+use vqi_core::bitset::BitSet;
+use vqi_core::score::{cognitive_load, covers_cached, QualityWeights};
 use vqi_core::selector::PatternSelector;
-use vqi_graph::canon::canonical_code;
-use vqi_graph::mcs::mcs_similarity;
+use vqi_graph::cache::mcs_similarity_cached;
+use vqi_graph::canon::{canonical_code, CanonicalCode};
 use vqi_graph::Graph;
 use vqi_mining::cluster::DistanceMatrix;
 use vqi_mining::similarity::SimilarityMeasure;
@@ -99,13 +100,13 @@ impl ModularPipeline {
 
         // stage 4: extract candidates
         let extract_span = vqi_observe::span!("modular.extract.{}", self.extractor.name());
-        let mut candidates: Vec<Graph> = Vec::new();
+        let mut candidates: Vec<(Graph, CanonicalCode)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for (cg, weights) in &merged {
             for cand in self.extractor.extract(cg, weights, budget) {
                 let code = canonical_code(&cand);
-                if seen.insert(code) {
-                    candidates.push(cand);
+                if seen.insert(code.clone()) {
+                    candidates.push((cand, code));
                 }
             }
         }
@@ -114,16 +115,20 @@ impl ModularPipeline {
 
         // common final selection: greedy coverage/diversity/cognitive-load
         let _select = vqi_observe::span("modular.select");
-        let bitsets: Vec<(Graph, Vec<bool>, f64)> = candidates
+        let bitsets: Vec<(Graph, CanonicalCode, BitSet, f64)> = candidates
             .into_par_iter()
-            .filter_map(|c| {
-                let cov: Vec<bool> = ids
-                    .iter()
-                    .map(|&id| covers(&c, collection.get(id).expect("live")))
-                    .collect();
-                if cov.iter().any(|&b| b) {
+            .filter_map(|(c, code)| {
+                let mut cov = BitSet::new(ids.len());
+                for (pos, &id) in ids.iter().enumerate() {
+                    let g = collection.get(id).expect("live");
+                    let token = collection.token(id).expect("live");
+                    if covers_cached(&c, &code, g, token) {
+                        cov.set(pos);
+                    }
+                }
+                if cov.any() {
                     let cl = cognitive_load(&c);
-                    Some((c, cov, cl))
+                    Some((c, code, cov, cl))
                 } else {
                     None
                 }
@@ -132,51 +137,43 @@ impl ModularPipeline {
 
         let mut set = PatternSet::new();
         let mut pool = bitsets;
-        let mut covered = vec![false; n];
-        let mut chosen: Vec<Graph> = Vec::new();
+        let mut covered = BitSet::new(n);
+        // incremental greedy: running max similarity to the chosen set,
+        // folded forward one selection at a time (identical to a full
+        // per-round recomputation of the maximum)
+        let mut max_sim: Vec<f64> = vec![0.0; pool.len()];
         while set.len() < budget.count && !pool.is_empty() {
-            let scores: Vec<f64> = pool
-                .par_iter()
-                .map(|(g, cov, cl)| {
-                    let gain = cov
-                        .iter()
-                        .zip(covered.iter())
-                        .filter(|(&c, &d)| c && !d)
-                        .count() as f64
-                        / n as f64;
-                    let div = if chosen.is_empty() {
-                        1.0
-                    } else {
-                        1.0 - chosen
-                            .iter()
-                            .map(|q| mcs_similarity(g, q))
-                            .fold(0.0f64, f64::max)
-                    };
+            let scores: Vec<f64> = (0..pool.len())
+                .into_par_iter()
+                .map(|i| {
+                    let (_, _, cov, cl) = &pool[i];
+                    let gain = cov.count_and_not(&covered) as f64 / n as f64;
+                    let div = 1.0 - max_sim[i];
                     gain + self.weights.diversity * div - self.weights.cognitive * cl
                 })
                 .collect();
             let (bi, &best) = scores
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .expect("nonempty");
-            let gains = pool[bi]
-                .1
-                .iter()
-                .zip(covered.iter())
-                .any(|(&c, &d)| c && !d);
+            let gains = pool[bi].2.any_and_not(&covered);
             if best <= 0.0 && !gains {
                 break;
             }
-            let (g, cov, _) = pool.swap_remove(bi);
-            for (i, &c) in cov.iter().enumerate() {
-                if c {
-                    covered[i] = true;
-                }
-            }
+            let (g, code, cov, _) = pool.swap_remove(bi);
+            max_sim.swap_remove(bi);
+            covered.union_with(&cov);
             let prov = format!("modular:{}", self.describe());
             if set.insert(g.clone(), PatternKind::Canned, prov).is_ok() {
-                chosen.push(g);
+                vqi_observe::incr("modular.greedy.sim_calls", pool.len() as u64);
+                let sims: Vec<f64> = pool
+                    .par_iter()
+                    .map(|(pg, pcode, _, _)| mcs_similarity_cached(pg, pcode, &g, &code))
+                    .collect();
+                for (ms, s) in max_sim.iter_mut().zip(sims) {
+                    *ms = f64::max(*ms, s);
+                }
             }
         }
         vqi_observe::incr("modular.selected", set.len() as u64);

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `rand` crate, used only by
+//! `scripts/offline/build.sh` when the crates.io mirror is unreachable.
+//!
+//! It implements exactly the API surface this workspace touches
+//! (`SmallRng`, `StepRng`, `SeedableRng`, `Rng::{gen, gen_range,
+//! gen_bool}`, `seq::SliceRandom::{choose, shuffle}`) over a
+//! SplitMix64 generator. Streams differ from the real `rand` crate, so
+//! tests asserting exact random sequences are skipped by the harness;
+//! properties and seeds-for-determinism behave the same.
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling from a range type.
+pub trait SampleRange<T> {
+    /// Samples one value.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Types producible by `Rng::gen`.
+pub trait Standard {
+    /// Generates one value.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+
+    /// A value of a `Standard`-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Small fast PRNG (SplitMix64 here; PCG in the real crate).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+
+    /// Mock generators for tests.
+    pub mod mock {
+        /// Deterministic arithmetic-progression generator.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            v: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            /// Starts at `initial`, increasing by `step` per call.
+            pub fn new(initial: u64, step: u64) -> Self {
+                StepRng { v: initial, step }
+            }
+        }
+
+        impl crate::RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.step);
+                out
+            }
+        }
+    }
+}
+
+/// Slice sampling helpers.
+pub mod seq {
+    /// Random element choice and shuffling for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: crate::RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: crate::RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: crate::RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.next_u64() as usize % self.len())
+            }
+        }
+
+        fn shuffle<R: crate::RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.next_u64() as usize % (i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points the
+//! workspace uses, executed sequentially. `par_iter`/`into_par_iter`
+//! return the corresponding *standard* iterators, so every std
+//! `Iterator` combinator behaves identically (minus the parallelism).
+//! Used only by `scripts/offline/build.sh` when the crates.io mirror is
+//! unreachable.
+
+/// Sequential re-exports of the parallel-iterator traits.
+pub mod prelude {
+    /// `into_par_iter()` for every `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in: plain `into_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` for every collection iterable by reference.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Sequential stand-in: plain `iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for every collection iterable by mut reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Sequential stand-in: plain `iter_mut`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_chunks()` for slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in: plain `chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+}
+
+/// Sequential `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}

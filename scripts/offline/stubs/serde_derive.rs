@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde_derive`: emits marker-trait impls for
+//! the stub `serde` crate (whose `Serialize`/`Deserialize` traits have
+//! no items). No actual serialization code is generated. Used only by
+//! `scripts/offline/build.sh` when the crates.io mirror is unreachable.
+//!
+//! Supports non-generic structs and enums, which is all this workspace
+//! derives.
+
+extern crate proc_macro;
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the item a `struct`/`enum` definition declares.
+fn item_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("offline serde_derive: no struct/enum name found");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
