@@ -33,4 +33,13 @@ cargo test -q -p catapult incremental_greedy_matches_reference
 cargo test -q -p tattoo incremental_greedy_matches_reference
 cargo test -q -p midas swap_outcome_is_identical_with_and_without_the_kernel_cache
 
+echo "== kernel consistency tests (indexed/bounded kernels vs naive) =="
+cargo test -q -p vqi-graph indexed_matching_is_answer_identical_to_naive
+cargo test -q -p vqi-graph bounded_fold_is_bit_identical_to_exact_fold
+cargo test -q -p vqi-graph bounded_cached_folds_identically_and_keeps_entries_exact
+cargo test -q -p catapult bound_and_skip_changes_no_selection
+cargo test -q -p tattoo bound_and_skip_changes_no_selection
+cargo test -q -p vqi-modular bound_and_skip_changes_no_selection
+cargo test -q -p midas similarity_guard_matches_exact_path
+
 echo "CI OK"

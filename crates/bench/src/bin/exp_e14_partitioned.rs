@@ -8,7 +8,9 @@
 //! global. Shape: quality stays near the whole-graph baseline while the
 //! map phase shrinks with partition count.
 
-use bench::{enable_metrics, print_cache_stats, print_table, timed_ms, write_json, write_metrics_json};
+use bench::{
+    enable_metrics, print_cache_stats, print_table, timed_ms, write_json, write_metrics_json,
+};
 use serde::Serialize;
 use tattoo::{PartitionedTattoo, Tattoo, TattooConfig};
 use vqi_core::budget::PatternBudget;

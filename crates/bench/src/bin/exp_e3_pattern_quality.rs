@@ -4,7 +4,9 @@
 //! desiderata).
 
 use aurora::Aurora;
-use bench::{enable_metrics, print_cache_stats, print_table, time_ms, write_json, write_metrics_json};
+use bench::{
+    enable_metrics, print_cache_stats, print_table, time_ms, write_json, write_metrics_json,
+};
 use catapult::Catapult;
 use serde::Serialize;
 use tattoo::Tattoo;

@@ -5,7 +5,9 @@
 //! over the whole network treated as a one-graph collection) grows much
 //! faster than TATTOO's.
 
-use bench::{enable_metrics, print_cache_stats, print_table, timed_ms, write_json, write_metrics_json};
+use bench::{
+    enable_metrics, print_cache_stats, print_table, timed_ms, write_json, write_metrics_json,
+};
 use catapult::Catapult;
 use serde::Serialize;
 use tattoo::Tattoo;

@@ -1,0 +1,230 @@
+//! Kernel microbenchmark — naive vs label-indexed matching kernels.
+//!
+//! Three sections, each asserting the indexed path is answer-identical
+//! to the naive one before reporting timings:
+//!
+//! 1. **coverage** — `covered_edges` of patterns sampled from a
+//!    DBLP-like network, naive vs [`GraphIndex`]-backed (the one-off
+//!    index build is timed separately and included in the indexed
+//!    total, so the comparison is end-to-end honest);
+//! 2. **iso** — `is_subgraph_isomorphic` of molecular motifs over a
+//!    PubChem-like collection, naive vs per-graph indexes;
+//! 3. **mcs fold** — the greedy diversity fold (running max similarity
+//!    per candidate) computed with exact `mcs_similarity` vs the
+//!    threshold-seeded `mcs_similarity_bounded`, asserting the final
+//!    running maxima are bit-identical.
+//!
+//! Writes `BENCH_kernels.json` at the repository root. The JSON is
+//! hand-rolled (flat, three objects) so the binary also builds under
+//! the offline stub toolchain, whose `serde_json` cannot serialize.
+
+use bench::{enable_metrics, print_table, time_ms};
+use vqi_core::score::coverage_match_options;
+use vqi_datasets::{dblp_like, pubchem_like};
+use vqi_graph::generate::{chain, clique, cycle, star};
+use vqi_graph::index::GraphIndex;
+use vqi_graph::iso::{
+    count_embeddings, count_embeddings_indexed, covered_edges, covered_edges_indexed,
+};
+use vqi_graph::mcs::{mcs_similarity, mcs_similarity_bounded};
+use vqi_graph::{Graph, NodeId};
+
+/// Patterns sampled from `g` itself (guaranteed to occur): each seed
+/// node plus up to three neighbors, as an induced subgraph.
+fn sampled_patterns(g: &Graph, seeds: usize) -> Vec<Graph> {
+    let n = g.node_count() as u32;
+    let mut out = Vec::new();
+    for k in 0..seeds as u32 {
+        let v = NodeId((k * 97 + 13) % n);
+        let mut nodes = vec![v];
+        nodes.extend(g.neighbors(v).map(|(u, _)| u).take(3));
+        nodes.sort_unstable();
+        nodes.dedup();
+        let (sub, _) = g.induced_subgraph(&nodes);
+        if sub.edge_count() > 0 {
+            out.push(sub);
+        }
+    }
+    out
+}
+
+fn section_coverage() -> (f64, f64, f64) {
+    let net = dblp_like(1_200, 7);
+    let mut patterns = sampled_patterns(&net, 8);
+    // label alphabets the network does not use: the fingerprint check
+    // rejects these without a single VF2 state
+    patterns.push(chain(4, 99, 9));
+    patterns.push(clique(4, 77, 7));
+    let opts = coverage_match_options();
+    let reps = 10;
+
+    // warm up both paths once so neither side pays first-touch costs
+    let warm_idx = GraphIndex::build(&net);
+    for p in &patterns {
+        covered_edges(p, &net, opts);
+        covered_edges_indexed(p, &net, &warm_idx, opts);
+    }
+
+    let (naive, naive_ms) = time_ms(|| {
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = patterns
+                .iter()
+                .map(|p| covered_edges(p, &net, opts))
+                .collect::<Vec<_>>();
+        }
+        last
+    });
+    let (idx, build_ms) = time_ms(|| GraphIndex::build(&net));
+    let (indexed, match_ms) = time_ms(|| {
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = patterns
+                .iter()
+                .map(|p| covered_edges_indexed(p, &net, &idx, opts))
+                .collect::<Vec<_>>();
+        }
+        last
+    });
+    assert_eq!(naive, indexed, "indexed coverage diverged from naive");
+    (naive_ms, build_ms + match_ms, build_ms)
+}
+
+fn section_iso() -> (f64, f64) {
+    // counting *all* embeddings (not just deciding occurrence) is the
+    // shape of `covered_edges`' inner loop and cannot short-circuit on
+    // the first match, so candidate filtering and signature pruning
+    // carry the full weight here
+    let molecules = pubchem_like(300, 11);
+    let mut patterns: Vec<Graph> = molecules
+        .iter()
+        .take(10)
+        .flat_map(|m| sampled_patterns(m, 2))
+        .collect();
+    patterns.push(cycle(5, 99, 9)); // infeasible everywhere
+    let opts = coverage_match_options();
+
+    let (naive, naive_ms) = time_ms(|| {
+        patterns
+            .iter()
+            .map(|p| molecules.iter().map(|m| count_embeddings(p, m, opts)).sum())
+            .collect::<Vec<usize>>()
+    });
+    let (counts, indexed_ms) = time_ms(|| {
+        let indexes: Vec<GraphIndex> = molecules.iter().map(GraphIndex::build).collect();
+        patterns
+            .iter()
+            .map(|p| {
+                molecules
+                    .iter()
+                    .zip(&indexes)
+                    .map(|(m, ix)| count_embeddings_indexed(p, m, ix, opts))
+                    .sum()
+            })
+            .collect::<Vec<usize>>()
+    });
+    assert_eq!(
+        naive, counts,
+        "indexed embedding counts diverged from naive"
+    );
+    (naive_ms, indexed_ms)
+}
+
+fn section_mcs_fold() -> (f64, f64) {
+    // a motif pool like the ones the greedy selectors fold over: mixed
+    // shapes, sizes and label families
+    let mut pool: Vec<Graph> = Vec::new();
+    for l in 0..4u32 {
+        for n in [6usize, 8, 10] {
+            pool.push(chain(n, l, 0));
+            pool.push(cycle(n, l, 0));
+            pool.push(star(n, l, 0));
+        }
+        pool.push(clique(5, l, 0));
+    }
+    let selected: Vec<Graph> = pool.drain(..6).collect();
+
+    let (exact, naive_ms) = time_ms(|| {
+        let mut max_sim = vec![0.0f64; pool.len()];
+        for s in &selected {
+            for (m, p) in max_sim.iter_mut().zip(&pool) {
+                *m = f64::max(*m, mcs_similarity(p, s));
+            }
+        }
+        max_sim
+    });
+    let (bounded, bounded_ms) = time_ms(|| {
+        let mut max_sim = vec![0.0f64; pool.len()];
+        for s in &selected {
+            for (m, p) in max_sim.iter_mut().zip(&pool) {
+                *m = f64::max(*m, mcs_similarity_bounded(p, s, *m));
+            }
+        }
+        max_sim
+    });
+    assert_eq!(exact, bounded, "bounded fold diverged from the exact fold");
+    (naive_ms, bounded_ms)
+}
+
+fn main() {
+    enable_metrics();
+
+    let (cov_naive, cov_indexed, cov_build) = section_coverage();
+    let (iso_naive, iso_indexed) = section_iso();
+    let (mcs_naive, mcs_bounded) = section_mcs_fold();
+
+    let rows = vec![
+        vec![
+            "coverage (network)".to_string(),
+            format!("{cov_naive:.1}"),
+            format!("{cov_indexed:.1}"),
+            format!("{:.1}x", cov_naive / cov_indexed.max(1e-9)),
+        ],
+        vec![
+            "iso (collection)".to_string(),
+            format!("{iso_naive:.1}"),
+            format!("{iso_indexed:.1}"),
+            format!("{:.1}x", iso_naive / iso_indexed.max(1e-9)),
+        ],
+        vec![
+            "mcs greedy fold".to_string(),
+            format!("{mcs_naive:.1}"),
+            format!("{mcs_bounded:.1}"),
+            format!("{:.1}x", mcs_naive / mcs_bounded.max(1e-9)),
+        ],
+    ];
+    print_table(
+        "Kernels: naive vs label-indexed (answer-identical)",
+        &["section", "naive ms", "indexed ms", "speedup"],
+        &rows,
+    );
+    println!("(coverage indexed total includes {cov_build:.1} ms of index build)");
+
+    let snapshot = vqi_observe::snapshot();
+    let mut kernel_counters: Vec<(String, u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("kernel."))
+        .map(|(name, &v)| (name.clone(), v))
+        .collect();
+    kernel_counters.sort();
+    for (name, v) in &kernel_counters {
+        println!("  {name} = {v}");
+    }
+
+    // hand-rolled JSON so the offline stub toolchain can build this too
+    let counters_json: Vec<String> = kernel_counters
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"coverage\": {{\"naive_ms\": {cov_naive:.3}, \"indexed_ms\": {cov_indexed:.3}, \
+         \"index_build_ms\": {cov_build:.3}}},\n  \"iso\": {{\"naive_ms\": {iso_naive:.3}, \
+         \"indexed_ms\": {iso_indexed:.3}}},\n  \"mcs_fold\": {{\"naive_ms\": {mcs_naive:.3}, \
+         \"bounded_ms\": {mcs_bounded:.3}}},\n  \"kernel_counters\": {{\n{}\n  }}\n}}\n",
+        counters_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("(wrote {path})");
+}

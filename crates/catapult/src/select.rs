@@ -19,6 +19,11 @@
 //! surviving candidate instead of `|S|` calls. Because
 //! `max(a ∪ {b}) = max(max(a), b)` this is bit-for-bit identical to
 //! recomputing the maximum over the whole selected set every round.
+//! Each fold call passes the candidate's current `max_sim` as the
+//! `min_useful` threshold, so the MCS kernel may bound-and-skip pairs
+//! that cannot raise the maximum (see
+//! [`vqi_graph::mcs::mcs_similarity_bounded`]) — again without changing
+//! a single selection.
 
 use crate::candidates::Candidate;
 use rayon::prelude::*;
@@ -26,9 +31,10 @@ use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
 use vqi_core::repo::GraphCollection;
-use vqi_core::score::{cognitive_load, covers_cached, QualityWeights};
+use vqi_core::score::{cognitive_load, covers_cached_indexed, QualityWeights};
+use vqi_graph::cache::mcs_similarity_cached_bounded;
 use vqi_graph::canon::canonical_code;
-use vqi_graph::cache::mcs_similarity_cached;
+use vqi_graph::index::GraphIndex;
 
 /// A candidate plus its coverage bitset over the live graphs.
 #[derive(Debug, Clone)]
@@ -50,6 +56,12 @@ pub fn score_candidates(
     collection: &GraphCollection,
 ) -> (Vec<ScoredCandidate>, Vec<usize>) {
     let graph_ids = collection.ids();
+    // compile each live graph once; every candidate's matching run
+    // reuses the same index
+    let graph_indexes: Vec<GraphIndex> = graph_ids
+        .par_iter()
+        .map(|&id| GraphIndex::build(collection.get(id).expect("live id")))
+        .collect();
     let scored: Vec<ScoredCandidate> = candidates
         .into_par_iter()
         .filter_map(|c| {
@@ -57,7 +69,7 @@ pub fn score_candidates(
             for (pos, &id) in graph_ids.iter().enumerate() {
                 let g = collection.get(id).expect("live id");
                 let token = collection.token(id).expect("live id");
-                if covers_cached(&c.graph, &c.code, g, token) {
+                if covers_cached_indexed(&c.graph, &c.code, g, token, &graph_indexes[pos]) {
                     coverage.set(pos);
                 }
             }
@@ -130,14 +142,19 @@ pub fn greedy_select(
             let new_graph = chosen.candidate.graph;
             let new_code = canonical_code(&new_graph);
             vqi_observe::incr("catapult.greedy.sim_calls", candidates.len() as u64);
+            // each survivor's current max_sim is the usefulness
+            // threshold: a similarity at or below it cannot change the
+            // fold, so the kernel may bound-and-skip
             let sims: Vec<f64> = candidates
                 .par_iter()
-                .map(|c| {
-                    mcs_similarity_cached(
+                .zip(max_sim.par_iter())
+                .map(|(c, &m)| {
+                    mcs_similarity_cached_bounded(
                         &c.candidate.graph,
                         &c.candidate.code,
                         &new_graph,
                         &new_code,
+                        m,
                     )
                 })
                 .collect();
@@ -215,8 +232,8 @@ mod tests {
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .expect("candidates nonempty");
-            let best_gain = (0..n_graphs)
-                .any(|i| candidates[best_idx].coverage.get(i) && !covered[i]);
+            let best_gain =
+                (0..n_graphs).any(|i| candidates[best_idx].coverage.get(i) && !covered[i]);
             if best_score <= 0.0 && !best_gain {
                 break;
             }
@@ -331,14 +348,51 @@ mod tests {
         for count in 1..=5 {
             let (scored, ids) = score_candidates(cands.clone(), &col);
             let budget = vqi_core::PatternBudget::new(count, 3, 7);
-            let incremental =
-                greedy_select(scored.clone(), ids.len(), &budget, Default::default());
+            let incremental = greedy_select(scored.clone(), ids.len(), &budget, Default::default());
             let reference = reference_greedy(scored, ids.len(), &budget, Default::default());
             assert_eq!(incremental.len(), reference.len(), "count {count}");
             for p in reference.patterns() {
                 assert!(
                     incremental.contains_isomorphic(&p.graph),
                     "count {count}: reference pick missing from incremental set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_and_skip_changes_no_selection() {
+        let col = GraphCollection::new(vec![
+            chain(6, 1, 0),
+            chain(5, 1, 0),
+            cycle(5, 2, 0),
+            cycle(6, 2, 0),
+            star(5, 3, 0),
+            star(6, 3, 0),
+            clique(4, 2, 0),
+        ]);
+        let cands = vec![
+            cand(chain(4, 1, 0)),
+            cand(chain(5, 1, 0)),
+            cand(cycle(5, 2, 0)),
+            cand(star(4, 3, 0)),
+            cand(star(5, 3, 0)),
+            cand(clique(3, 2, 0)),
+            cand(clique(4, 2, 0)),
+        ];
+        for count in 1..=5 {
+            let budget = vqi_core::PatternBudget::new(count, 3, 7);
+            let (scored, ids) = score_candidates(cands.clone(), &col);
+            vqi_graph::mcs::set_bound_skip_enabled(true);
+            let with_skip = greedy_select(scored.clone(), ids.len(), &budget, Default::default());
+            vqi_graph::mcs::set_bound_skip_enabled(false);
+            let without = greedy_select(scored, ids.len(), &budget, Default::default());
+            vqi_graph::mcs::set_bound_skip_enabled(true);
+            assert_eq!(with_skip.len(), without.len(), "count {count}");
+            for p in without.patterns() {
+                assert!(
+                    with_skip.contains_isomorphic(&p.graph),
+                    "count {count}: bound-and-skip changed a greedy pick"
                 );
             }
         }
@@ -366,7 +420,12 @@ mod tests {
             &vqi_core::PatternBudget::new(2, 3, 6),
             weights,
         );
-        let b = greedy_select(scored, ids.len(), &vqi_core::PatternBudget::new(2, 3, 6), weights);
+        let b = greedy_select(
+            scored,
+            ids.len(),
+            &vqi_core::PatternBudget::new(2, 3, 6),
+            weights,
+        );
         assert_eq!(a.len(), b.len());
         for p in a.patterns() {
             assert!(b.contains_isomorphic(&p.graph));

@@ -11,8 +11,9 @@ use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::PatternSet;
 use vqi_core::repo::{BatchUpdate, GraphCollection};
-use vqi_core::score::{covers_cached, QualityWeights};
+use vqi_core::score::{covers_cached_indexed, QualityWeights};
 use vqi_graph::graphlet::{collection_distribution, euclidean_distance, GRAPHLET_CLASSES};
+use vqi_graph::index::GraphIndex;
 use vqi_graph::Graph;
 use vqi_mining::closure::ClusterSummaryGraph;
 use vqi_mining::fct::FctIndex;
@@ -182,6 +183,11 @@ impl Midas {
     /// cache tokens, so only (pattern, new graph) pairs cost a search.
     fn bitsets_for(patterns: &PatternSet, collection: &GraphCollection) -> Vec<BitSet> {
         let ids = collection.ids();
+        // one label index per live graph, shared across all patterns
+        let indexes: Vec<GraphIndex> = ids
+            .par_iter()
+            .map(|&id| GraphIndex::build(collection.get(id).expect("live")))
+            .collect();
         patterns
             .patterns()
             .par_iter()
@@ -190,7 +196,7 @@ impl Midas {
                 for (pos, &id) in ids.iter().enumerate() {
                     let g = collection.get(id).expect("live");
                     let token = collection.token(id).expect("live");
-                    if covers_cached(&p.graph, &p.code, g, token) {
+                    if covers_cached_indexed(&p.graph, &p.code, g, token, &indexes[pos]) {
                         bits.set(pos);
                     }
                 }
@@ -371,6 +377,10 @@ impl Midas {
         let walk_cands =
             generate_candidates(&touched_csgs, &self.budget, self.config.walks, &mut rng);
         let ids = self.collection.ids();
+        let indexes: Vec<GraphIndex> = ids
+            .par_iter()
+            .map(|&id| GraphIndex::build(collection_ref.get(id).expect("live")))
+            .collect();
         let swap_cands: Vec<SwapCandidate> = walk_cands
             .into_par_iter()
             .filter_map(|c| {
@@ -378,7 +388,7 @@ impl Midas {
                 for (pos, &id) in ids.iter().enumerate() {
                     let g = collection_ref.get(id).expect("live");
                     let token = collection_ref.token(id).expect("live");
-                    if covers_cached(&c.graph, &c.code, g, token) {
+                    if covers_cached_indexed(&c.graph, &c.code, g, token, &indexes[pos]) {
                         coverage.set(pos);
                     }
                 }

@@ -19,7 +19,7 @@
 use vqi_core::bitset::BitSet;
 use vqi_core::pattern::PatternSet;
 use vqi_core::score::{set_score_bitsets, QualityWeights};
-use vqi_graph::mcs::mcs_similarity;
+use vqi_graph::mcs::mcs_similarity_at_least;
 use vqi_graph::Graph;
 
 /// A fresh candidate with its coverage bitset over the live graphs.
@@ -139,10 +139,14 @@ pub fn multi_scan_swap(
 
 /// Similarity guard used when proposing candidates: a candidate nearly
 /// identical to an existing pattern cannot add diversity.
+///
+/// Uses the threshold-aware MCS kernel: most pairs are decided by the
+/// fingerprint upper bound or a seeded branch-and-bound without computing
+/// the exact similarity, with the same answer as the naive comparison.
 pub fn too_similar(candidate: &Graph, patterns: &PatternSet, threshold: f64) -> bool {
     patterns
         .graphs()
-        .any(|p| mcs_similarity(candidate, p) >= threshold)
+        .any(|p| mcs_similarity_at_least(candidate, p, threshold))
 }
 
 #[cfg(test)]
@@ -324,5 +328,26 @@ mod tests {
         let (set, _) = set_of(vec![chain(4, 1, 0)]);
         assert!(too_similar(&chain(4, 1, 0), &set, 0.99));
         assert!(!too_similar(&cycle(4, 3, 0), &set, 0.5));
+    }
+
+    #[test]
+    fn similarity_guard_matches_exact_path() {
+        let (set, _) = set_of(vec![chain(4, 1, 0), star(4, 2, 0)]);
+        let probes = [
+            chain(4, 1, 0),
+            chain(5, 1, 0),
+            cycle(4, 3, 0),
+            star(3, 2, 0),
+        ];
+        for threshold in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for probe in &probes {
+                vqi_graph::mcs::set_bound_skip_enabled(true);
+                let bounded = too_similar(probe, &set, threshold);
+                vqi_graph::mcs::set_bound_skip_enabled(false);
+                let exact = too_similar(probe, &set, threshold);
+                vqi_graph::mcs::set_bound_skip_enabled(true);
+                assert_eq!(bounded, exact, "threshold {threshold}");
+            }
+        }
     }
 }

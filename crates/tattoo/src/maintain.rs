@@ -29,8 +29,9 @@ use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::PatternSet;
 use vqi_core::score::{coverage_match_options, set_score_bitsets, QualityWeights};
-use vqi_graph::cache::{covered_edges_cached, mint_target_token};
+use vqi_graph::cache::{covered_edges_cached_indexed, mint_target_token};
 use vqi_graph::canon::CanonicalCode;
+use vqi_graph::index::GraphIndex;
 use vqi_graph::truss::decompose;
 use vqi_graph::{Graph, Label, NodeId};
 
@@ -125,11 +126,20 @@ pub struct NetworkMaintainer {
     /// Kernel-cache token of the current network build; reminted on
     /// every rebuild so stale cached embeddings can never be replayed.
     network_token: u64,
+    /// Label index over the current network, rebuilt alongside the token
+    /// so every coverage match goes through the indexed kernel.
+    network_index: GraphIndex,
 }
 
-fn bitset_for(p: &Graph, code: &CanonicalCode, network: &Graph, token: u64) -> BitSet {
+fn bitset_for(
+    p: &Graph,
+    code: &CanonicalCode,
+    network: &Graph,
+    token: u64,
+    idx: &GraphIndex,
+) -> BitSet {
     let mut bits = BitSet::new(network.edge_count());
-    for e in covered_edges_cached(p, code, network, token, coverage_match_options()) {
+    for e in covered_edges_cached_indexed(p, code, network, token, idx, coverage_match_options()) {
         bits.set(e.index());
     }
     bits
@@ -145,10 +155,11 @@ impl NetworkMaintainer {
         config: MaintainConfig,
     ) -> Self {
         let network_token = mint_target_token();
+        let network_index = GraphIndex::build(&network);
         let bitsets = patterns
             .patterns()
             .par_iter()
-            .map(|p| bitset_for(&p.graph, &p.code, &network, network_token))
+            .map(|p| bitset_for(&p.graph, &p.code, &network, network_token, &network_index))
             .collect();
         NetworkMaintainer {
             config,
@@ -157,6 +168,7 @@ impl NetworkMaintainer {
             patterns,
             bitsets,
             network_token,
+            network_index,
         }
     }
 
@@ -213,17 +225,19 @@ impl NetworkMaintainer {
         }
         self.network = next;
         self.network_token = mint_target_token();
+        self.network_index = GraphIndex::build(&self.network);
         touched.sort_unstable();
         touched.dedup();
 
         // 2. bitsets must reflect the new network in either case
         let token = self.network_token;
         let network_ref = &self.network;
+        let idx = &self.network_index;
         self.bitsets = self
             .patterns
             .patterns()
             .par_iter()
-            .map(|p| bitset_for(&p.graph, &p.code, network_ref, token))
+            .map(|p| bitset_for(&p.graph, &p.code, network_ref, token, idx))
             .collect();
 
         if churn < self.config.churn_threshold || touched.is_empty() {
@@ -268,7 +282,7 @@ impl NetworkMaintainer {
         let scored: Vec<(Graph, BitSet)> = cands
             .into_par_iter()
             .filter_map(|c| {
-                let bits = bitset_for(&c.graph, &c.code, network, token);
+                let bits = bitset_for(&c.graph, &c.code, network, token, idx);
                 if bits.any() {
                     Some((c.graph, bits))
                 } else {
@@ -398,10 +412,11 @@ mod tests {
         assert!(report.touched_nodes > 0);
 
         // quality guarantee: maintained >= stale on the new network
+        let idx = GraphIndex::build(&m.network);
         let stale_bits: Vec<BitSet> = stale_patterns
             .patterns()
             .iter()
-            .map(|p| super::bitset_for(&p.graph, &p.code, &m.network, m.network_token))
+            .map(|p| super::bitset_for(&p.graph, &p.code, &m.network, m.network_token, &idx))
             .collect();
         let stale_graphs: Vec<&Graph> = stale_patterns.graphs().collect();
         let stale_refs: Vec<&BitSet> = stale_bits.iter().collect();

@@ -25,11 +25,10 @@ use rayon::prelude::*;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
-use vqi_core::score::{
-    cognitive_load, coverage_match_options, set_score_bitsets, QualityWeights,
-};
-use vqi_graph::cache::mcs_similarity_cached;
-use vqi_graph::iso::covered_edges;
+use vqi_core::score::{cognitive_load, coverage_match_options, set_score_bitsets, QualityWeights};
+use vqi_graph::cache::mcs_similarity_cached_bounded;
+use vqi_graph::index::GraphIndex;
+use vqi_graph::iso::covered_edges_indexed;
 use vqi_graph::Graph;
 
 /// A candidate with its covered-edge bitset over the network.
@@ -46,10 +45,12 @@ pub struct ScoredCandidate {
 /// Computes covered-edge bitsets for all candidates in parallel and drops
 /// candidates covering nothing.
 pub fn score_candidates(candidates: Vec<Candidate>, network: &Graph) -> Vec<ScoredCandidate> {
+    // one label-indexed view of the network, shared by every candidate match
+    let idx = GraphIndex::build(network);
     candidates
         .into_par_iter()
         .filter_map(|c| {
-            let edges = covered_edges(&c.graph, network, coverage_match_options());
+            let edges = covered_edges_indexed(&c.graph, network, &idx, coverage_match_options());
             if edges.is_empty() {
                 return None;
             }
@@ -135,12 +136,14 @@ pub fn greedy_select(
             vqi_observe::incr("tattoo.greedy.sim_calls", candidates.len() as u64);
             let sims: Vec<f64> = candidates
                 .par_iter()
-                .map(|c| {
-                    mcs_similarity_cached(
+                .zip(max_sim.par_iter())
+                .map(|(c, &m)| {
+                    mcs_similarity_cached_bounded(
                         &c.candidate.graph,
                         &c.candidate.code,
                         &chosen.candidate.graph,
                         &chosen.candidate.code,
+                        m,
                     )
                 })
                 .collect();
@@ -358,14 +361,43 @@ mod tests {
             let scored = score_candidates(cands.clone(), &net);
             let budget = PatternBudget::new(count, 3, 6);
             let weights = QualityWeights::default();
-            let incremental =
-                greedy_select(scored.clone(), net.edge_count(), &budget, weights);
+            let incremental = greedy_select(scored.clone(), net.edge_count(), &budget, weights);
             let reference = reference_greedy(scored, net.edge_count(), &budget, weights);
             assert_eq!(incremental.len(), reference.len(), "count {count}");
             for p in reference.patterns() {
                 assert!(
                     incremental.contains_isomorphic(&p.graph),
                     "count {count}: reference pick missing from incremental set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_and_skip_changes_no_selection() {
+        let net = network();
+        let cands = vec![
+            cand(cycle(3, 1, 0), true),
+            cand(chain(4, 1, 0), false),
+            cand(chain(5, 1, 0), false),
+            cand(star(3, 1, 0), false),
+            cand(star(4, 1, 0), false),
+            cand(chain(3, 1, 0), false),
+        ];
+        for count in 1..=4 {
+            let scored = score_candidates(cands.clone(), &net);
+            let budget = PatternBudget::new(count, 3, 6);
+            let weights = QualityWeights::default();
+            vqi_graph::mcs::set_bound_skip_enabled(true);
+            let bounded = greedy_select(scored.clone(), net.edge_count(), &budget, weights);
+            vqi_graph::mcs::set_bound_skip_enabled(false);
+            let exact = greedy_select(scored, net.edge_count(), &budget, weights);
+            vqi_graph::mcs::set_bound_skip_enabled(true);
+            assert_eq!(bounded.len(), exact.len(), "count {count}");
+            for p in exact.patterns() {
+                assert!(
+                    bounded.contains_isomorphic(&p.graph),
+                    "count {count}: exact pick missing from bounded selection"
                 );
             }
         }
@@ -392,7 +424,12 @@ mod tests {
             &PatternBudget::new(2, 3, 6),
             weights,
         );
-        let b = greedy_select(scored, net.edge_count(), &PatternBudget::new(2, 3, 6), weights);
+        let b = greedy_select(
+            scored,
+            net.edge_count(),
+            &PatternBudget::new(2, 3, 6),
+            weights,
+        );
         assert_eq!(a.len(), b.len());
         for p in a.patterns() {
             assert!(b.contains_isomorphic(&p.graph));
@@ -422,7 +459,10 @@ mod tests {
         // network has no candidates at all, so score the empty repo with
         // an empty member list
         assert_eq!(set_score(&[], 0, QualityWeights::default()), 0.0);
-        assert_eq!(set_score(&[], net.edge_count(), QualityWeights::default()), 0.0);
+        assert_eq!(
+            set_score(&[], net.edge_count(), QualityWeights::default()),
+            0.0
+        );
         assert!(set_score(&members, net.edge_count(), QualityWeights::default()) > 0.0);
     }
 }

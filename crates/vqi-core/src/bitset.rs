@@ -206,10 +206,7 @@ mod tests {
             assert_eq!(sa.and(&sb), BitSet::from_bools(&and_expect));
             let and_not_expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x && !y).collect();
             assert_eq!(sa.and_not(&sb), BitSet::from_bools(&and_not_expect));
-            assert_eq!(
-                sa.count_and(&sb),
-                and_expect.iter().filter(|&&x| x).count()
-            );
+            assert_eq!(sa.count_and(&sb), and_expect.iter().filter(|&&x| x).count());
             assert_eq!(
                 sa.count_and_not(&sb),
                 and_not_expect.iter().filter(|&&x| x).count()

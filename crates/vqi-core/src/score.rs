@@ -26,7 +26,8 @@ use rayon::prelude::*;
 use serde::Serialize;
 use vqi_graph::cache;
 use vqi_graph::canon::{canonical_code, CanonicalCode};
-use vqi_graph::iso::{covered_edges, is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::index::GraphIndex;
+use vqi_graph::iso::{covered_edges_indexed, is_subgraph_isomorphic, MatchOptions};
 use vqi_graph::{mcs, Graph};
 
 /// Matching options used for coverage: non-induced, wildcard-aware (basic
@@ -62,7 +63,12 @@ impl Default for QualityWeights {
 /// maintainer: `coverage + w_div · diversity − w_cog · cognitive load`.
 /// This is the single definition of the formula; CATAPULT, TATTOO,
 /// MIDAS, and the modular pipeline all route through it.
-pub fn combined_score(coverage: f64, diversity: f64, cognitive_load: f64, w: QualityWeights) -> f64 {
+pub fn combined_score(
+    coverage: f64,
+    diversity: f64,
+    cognitive_load: f64,
+    w: QualityWeights,
+) -> f64 {
     coverage + w.diversity * diversity - w.cognitive * cognitive_load
 }
 
@@ -152,6 +158,19 @@ pub fn covers_cached(p: &Graph, code: &CanonicalCode, g: &Graph, token: u64) -> 
     cache::is_subgraph_isomorphic_cached(p, code, g, token, coverage_match_options())
 }
 
+/// [`covers_cached`] computing cache misses through the indexed matching
+/// kernel. `idx` must be built from this exact `g`; results and cache
+/// entries are identical to [`covers_cached`], only faster.
+pub fn covers_cached_indexed(
+    p: &Graph,
+    code: &CanonicalCode,
+    g: &Graph,
+    token: u64,
+    idx: &GraphIndex,
+) -> bool {
+    cache::is_subgraph_isomorphic_cached_indexed(p, code, g, token, idx, coverage_match_options())
+}
+
 /// Fraction of live collection graphs containing `p`.
 pub fn pattern_coverage(p: &Graph, collection: &GraphCollection) -> f64 {
     let ids = collection.ids();
@@ -195,9 +214,11 @@ pub fn set_coverage_network(patterns: &[&Graph], network: &Graph) -> f64 {
     if network.edge_count() == 0 || patterns.is_empty() {
         return 0.0;
     }
+    // one compiled index serves every pattern's enumeration
+    let idx = GraphIndex::build(network);
     let per_pattern: Vec<Vec<vqi_graph::EdgeId>> = patterns
         .par_iter()
-        .map(|p| covered_edges(p, network, coverage_match_options()))
+        .map(|p| covered_edges_indexed(p, network, &idx, coverage_match_options()))
         .collect();
     let mut covered = vec![false; network.edge_count()];
     for edges in per_pattern {
@@ -280,10 +301,15 @@ pub struct CoverageIndex {
 
 impl CoverageIndex {
     /// Builds the index for `patterns` over the live graphs of
-    /// `collection`, through the kernel cache.
+    /// `collection`, through the kernel cache (misses run the indexed
+    /// matcher against per-graph [`GraphIndex`]es built once up front).
     pub fn build(patterns: &[&Graph], collection: &GraphCollection) -> Self {
         let graph_ids = collection.ids();
         let codes: Vec<CanonicalCode> = patterns.par_iter().map(|p| canonical_code(p)).collect();
+        let graph_indexes: Vec<GraphIndex> = graph_ids
+            .par_iter()
+            .map(|&id| GraphIndex::build(collection.get(id).expect("live id")))
+            .collect();
         let bitsets: Vec<BitSet> = patterns
             .par_iter()
             .zip(codes.par_iter())
@@ -291,7 +317,8 @@ impl CoverageIndex {
                 let mut bits = BitSet::new(graph_ids.len());
                 for (pos, &id) in graph_ids.iter().enumerate() {
                     let g = collection.get(id).expect("live id");
-                    if covers_cached(p, code, g, collection.token(id).expect("live id")) {
+                    let token = collection.token(id).expect("live id");
+                    if covers_cached_indexed(p, code, g, token, &graph_indexes[pos]) {
                         bits.set(pos);
                     }
                 }

@@ -82,19 +82,27 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// Returns the memoized value for `key`, computing and storing it on
-    /// a miss. `compute` runs outside the shard lock.
-    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        let shard = self.shard_of(&key);
-        {
-            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(v) = guard.map.get(&key) {
+    /// Returns the memoized value for `key`, if any, counting a hit or a
+    /// miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = self.shard_of(key);
+        let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.map.get(key) {
+            Some(v) => {
                 vqi_observe::incr(&self.hit_name, 1);
-                return v.clone();
+                Some(v.clone())
+            }
+            None => {
+                vqi_observe::incr(&self.miss_name, 1);
+                None
             }
         }
-        vqi_observe::incr(&self.miss_name, 1);
-        let value = compute();
+    }
+
+    /// Stores `value` under `key` (first writer wins), evicting the
+    /// oldest entry of a full shard.
+    pub fn insert(&self, key: K, value: V) {
+        let shard = self.shard_of(&key);
         let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
         if !guard.map.contains_key(&key) {
             if guard.map.len() >= self.shard_capacity {
@@ -104,8 +112,18 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
                 }
             }
             guard.order.push_back(key.clone());
-            guard.map.insert(key, value.clone());
+            guard.map.insert(key, value);
         }
+    }
+
+    /// Returns the memoized value for `key`, computing and storing it on
+    /// a miss. `compute` runs outside the shard lock.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let value = compute();
+        self.insert(key, value.clone());
         value
     }
 
@@ -213,6 +231,42 @@ pub fn mcs_similarity_cached(
         .get_or_insert_with(key, || mcs::mcs_similarity(a, b))
 }
 
+/// [`mcs_similarity_cached`] with a [`mcs::mcs_similarity_bounded`]
+/// usefulness threshold. A cache hit returns the memoized **exact**
+/// value (which may legitimately be below `min_useful` — the fold
+/// `max(m, ·)` is unaffected). On a miss the bounded kernel runs, and
+/// the result is stored **only when it is exact**: a bound-skipped value
+/// never poisons the memo, so every cached entry stays an exact
+/// similarity. Bound-skips are tracked separately by the
+/// `kernel.mcs.skip_fingerprint` / `kernel.mcs.pruned` counters.
+pub fn mcs_similarity_cached_bounded(
+    a: &Graph,
+    code_a: &CanonicalCode,
+    b: &Graph,
+    code_b: &CanonicalCode,
+    min_useful: f64,
+) -> f64 {
+    if !enabled() {
+        return mcs::mcs_similarity_bounded(a, b, min_useful);
+    }
+    if !mcs::bound_skip_enabled() {
+        return mcs_similarity_cached(a, code_a, b, code_b);
+    }
+    let key = if code_a <= code_b {
+        (code_a.clone(), code_b.clone())
+    } else {
+        (code_b.clone(), code_a.clone())
+    };
+    if let Some(v) = global().mcs.get(&key) {
+        return v;
+    }
+    let (value, exact) = mcs::mcs_similarity_bounded_detail(a, b, min_useful);
+    if exact {
+        global().mcs.insert(key, value);
+    }
+    value
+}
+
 /// Memoized [`iso::is_subgraph_isomorphic`] for a pattern against one
 /// tokenized target graph.
 pub fn is_subgraph_isomorphic_cached(
@@ -232,6 +286,28 @@ pub fn is_subgraph_isomorphic_cached(
         })
 }
 
+/// [`is_subgraph_isomorphic_cached`] computing misses through the
+/// indexed kernel. Shares the key space with the non-indexed entry point
+/// — sound because the indexed search is answer-identical (`idx` must be
+/// built from this exact `target`).
+pub fn is_subgraph_isomorphic_cached_indexed(
+    pattern: &Graph,
+    code: &CanonicalCode,
+    target: &Graph,
+    target_token: u64,
+    idx: &crate::index::GraphIndex,
+    opts: MatchOptions,
+) -> bool {
+    if !enabled() {
+        return iso::is_subgraph_isomorphic_indexed(pattern, target, idx, opts);
+    }
+    global()
+        .covers
+        .get_or_insert_with((code.clone(), target_token, opts_key(opts)), || {
+            iso::is_subgraph_isomorphic_indexed(pattern, target, idx, opts)
+        })
+}
+
 /// Memoized [`iso::covered_edges`] for a pattern against one tokenized
 /// target graph.
 pub fn covered_edges_cached(
@@ -248,6 +324,26 @@ pub fn covered_edges_cached(
         .covered_edges
         .get_or_insert_with((code.clone(), target_token, opts_key(opts)), || {
             iso::covered_edges(pattern, target, opts)
+        })
+}
+
+/// [`covered_edges_cached`] computing misses through the indexed kernel
+/// (same key space; `idx` must be built from this exact `target`).
+pub fn covered_edges_cached_indexed(
+    pattern: &Graph,
+    code: &CanonicalCode,
+    target: &Graph,
+    target_token: u64,
+    idx: &crate::index::GraphIndex,
+    opts: MatchOptions,
+) -> Vec<EdgeId> {
+    if !enabled() {
+        return iso::covered_edges_indexed(pattern, target, idx, opts);
+    }
+    global()
+        .covered_edges
+        .get_or_insert_with((code.clone(), target_token, opts_key(opts)), || {
+            iso::covered_edges_indexed(pattern, target, idx, opts)
         })
 }
 
@@ -308,7 +404,12 @@ mod tests {
     fn memoized_mcs_equals_direct() {
         let graphs: Vec<Graph> = (0..6u64)
             .map(|i| random_graph(4 + (i as usize) % 3, 0.5, 2, 1, 99 + i))
-            .chain([chain(4, 1, 0), cycle(5, 2, 0), star(4, 3, 0), clique(4, 1, 0)])
+            .chain([
+                chain(4, 1, 0),
+                cycle(5, 2, 0),
+                star(4, 3, 0),
+                clique(4, 1, 0),
+            ])
             .collect();
         let codes: Vec<CanonicalCode> = graphs.iter().map(canonical_code).collect();
         for i in 0..graphs.len() {
@@ -330,7 +431,12 @@ mod tests {
         let targets: Vec<(Graph, u64)> = (0..4u64)
             .map(|i| (random_graph(8, 0.35, 3, 2, 500 + i), mint_target_token()))
             .collect();
-        let patterns = [chain(3, 1, 0), cycle(3, 2, 1), star(3, 0, 0), chain(2, 2, 2)];
+        let patterns = [
+            chain(3, 1, 0),
+            cycle(3, 2, 1),
+            star(3, 0, 0),
+            chain(2, 2, 2),
+        ];
         for p in &patterns {
             let code = canonical_code(p);
             for (t, token) in &targets {
@@ -341,8 +447,98 @@ mod tests {
                         is_subgraph_isomorphic_cached(p, &code, t, *token, opts),
                         direct
                     );
-                    assert_eq!(covered_edges_cached(p, &code, t, *token, opts), direct_edges);
+                    assert_eq!(
+                        covered_edges_cached(p, &code, t, *token, opts),
+                        direct_edges
+                    );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cached_folds_identically_and_keeps_entries_exact() {
+        let _guard = crate::kernel_test_lock();
+        crate::mcs::set_bound_skip_enabled(true);
+        // a pair (unique labels: untouched by other tests) where the
+        // bound-skipped return value (0.6) differs from the exact
+        // similarity (0.4): a poisoned memo entry would be visible
+        let a = star(4, 23, 0); // 4 edges
+        let b = cycle(5, 23, 0); // 5 edges; MCS = 2-edge path
+        let (ca, cb) = (canonical_code(&a), canonical_code(&b));
+        let exact_ab = mcs::mcs_similarity(&a, &b);
+        let skipped = mcs_similarity_cached_bounded(&a, &ca, &b, &cb, 0.6);
+        assert!(skipped <= 0.6);
+        assert_ne!(
+            skipped, exact_ab,
+            "pair no longer distinguishes skip from exact"
+        );
+        assert_eq!(
+            mcs_similarity_cached(&a, &ca, &b, &cb),
+            exact_ab,
+            "bound-skipped value leaked into the memo"
+        );
+        let graphs: Vec<Graph> = (0..6u64)
+            .map(|i| random_graph(5 + (i as usize) % 3, 0.5, 2, 1, 700 + i))
+            .chain([chain(4, 1, 0), cycle(5, 2, 0), star(4, 3, 0)])
+            .collect();
+        let codes: Vec<CanonicalCode> = graphs.iter().map(canonical_code).collect();
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                let exact = mcs::mcs_similarity(&graphs[i], &graphs[j]);
+                for m in [0.0, 0.3, exact, 0.95] {
+                    let bounded = mcs_similarity_cached_bounded(
+                        &graphs[i], &codes[i], &graphs[j], &codes[j], m,
+                    );
+                    assert_eq!(f64::max(m, bounded), f64::max(m, exact), "({i},{j}) m={m}");
+                }
+                // whatever the bounded calls did above, the exact entry
+                // point must still see the exact value: a bound-skip
+                // never poisons the memo
+                assert_eq!(
+                    mcs_similarity_cached(&graphs[i], &codes[i], &graphs[j], &codes[j]),
+                    exact,
+                    "cache poisoned for pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_cached_covers_equal_direct() {
+        use crate::index::GraphIndex;
+        let opts = MatchOptions::with_wildcards();
+        let targets: Vec<(Graph, u64)> = (0..4u64)
+            .map(|i| (random_graph(9, 0.35, 3, 2, 900 + i), mint_target_token()))
+            .collect();
+        let patterns = [
+            chain(3, 1, 0),
+            cycle(3, 2, 1),
+            star(3, 0, 0),
+            chain(2, 2, 2),
+        ];
+        for p in &patterns {
+            let code = canonical_code(p);
+            for (t, token) in &targets {
+                let idx = GraphIndex::build(t);
+                let direct = iso::is_subgraph_isomorphic(p, t, opts);
+                let direct_edges = iso::covered_edges(p, t, opts);
+                for _ in 0..2 {
+                    assert_eq!(
+                        is_subgraph_isomorphic_cached_indexed(p, &code, t, *token, &idx, opts),
+                        direct
+                    );
+                    assert_eq!(
+                        covered_edges_cached_indexed(p, &code, t, *token, &idx, opts),
+                        direct_edges
+                    );
+                }
+                // the non-indexed entry point shares the key space and
+                // must agree on a hit
+                assert_eq!(
+                    is_subgraph_isomorphic_cached(p, &code, t, *token, opts),
+                    direct
+                );
             }
         }
     }

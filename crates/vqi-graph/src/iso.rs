@@ -13,8 +13,30 @@
 //! most-constrained-first ordering of pattern nodes, label/degree
 //! filtering, and an optional work budget so that adversarial inputs
 //! degrade to "truncated" rather than "hung".
+//!
+//! ## Indexed matching
+//!
+//! Every entry point has an `_indexed` twin taking a pre-built
+//! [`GraphIndex`] of the target. The indexed search (1) rejects the
+//! whole pattern in constant time when the target's
+//! [fingerprint](crate::index::Fingerprint) cannot host it (counted as
+//! `kernel.iso.skip_fingerprint`), (2) enumerates unanchored candidates
+//! from the target's label buckets instead of scanning every node,
+//! (3) walks CSR neighbor slices instead of nested `Vec`s, and
+//! (4) prunes candidates whose invariant signature cannot dominate the
+//! pattern node's before attempting a map (counted as
+//! `kernel.iso.pruned`). All four are necessary-condition filters, so
+//! the indexed search reports **exactly the same embeddings in the same
+//! order** as the naive one whenever the search runs to completion; a
+//! `max_states`-truncated indexed search can only get *further* than
+//! the naive one because pruned candidates don't spend budget.
+//! Signature pruning switches itself off when wildcard matching is on
+//! and either graph carries wildcard labels (bloom containment is not a
+//! necessary condition under wildcards); the other three filters are
+//! wildcard-safe.
 
 use crate::graph::{EdgeId, Graph, Label, NodeId, WILDCARD_LABEL};
+use crate::index::{node_sig, subgraph_feasible, Fingerprint, GraphIndex, NodeSig};
 
 /// Options controlling a matching run.
 #[derive(Debug, Clone, Copy)]
@@ -79,17 +101,31 @@ pub struct SearchOutcome {
 struct Vf2<'a, F: FnMut(&[NodeId]) -> bool> {
     pattern: &'a Graph,
     target: &'a Graph,
+    /// compiled target index; `None` = naive scans
+    idx: Option<&'a GraphIndex>,
     opts: MatchOptions,
     /// pattern-node visit order
     order: Vec<NodeId>,
+    /// pattern-side invariant signatures (empty unless `use_sigs`)
+    psigs: Vec<NodeSig>,
+    /// signature pruning is sound (index present, wildcards can't fire)
+    use_sigs: bool,
     /// mapping pattern -> target (u32::MAX = unmapped)
     core_p: Vec<u32>,
     /// reverse mapping target -> pattern
     core_t: Vec<u32>,
     states: u64,
     found: usize,
+    /// candidates rejected by signature pruning (batched into the
+    /// `kernel.iso.pruned` counter when the search returns)
+    pruned: u64,
     /// visitor; returns false to stop the whole search
     visit: F,
+}
+
+fn has_wildcard_labels(g: &Graph) -> bool {
+    g.nodes().any(|v| g.node_label(v) == WILDCARD_LABEL)
+        || g.edges().any(|e| g.edge_label(e) == WILDCARD_LABEL)
 }
 
 /// Computes a matching order for pattern nodes: start from the
@@ -140,17 +176,47 @@ fn matching_order(pattern: &Graph) -> Vec<NodeId> {
 }
 
 impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
-    fn new(pattern: &'a Graph, target: &'a Graph, opts: MatchOptions, visit: F) -> Self {
+    fn new(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        idx: Option<&'a GraphIndex>,
+        opts: MatchOptions,
+        visit: F,
+    ) -> Self {
+        let use_sigs = match idx {
+            Some(ix) => {
+                !opts.wildcard
+                    || (!ix.fingerprint().has_wildcard() && !has_wildcard_labels(pattern))
+            }
+            None => false,
+        };
+        let psigs = if use_sigs {
+            pattern.nodes().map(|v| node_sig(pattern, v)).collect()
+        } else {
+            Vec::new()
+        };
         Vf2 {
             pattern,
             target,
+            idx,
             opts,
             order: matching_order(pattern),
+            psigs,
+            use_sigs,
             core_p: vec![u32::MAX; pattern.node_count()],
             core_t: vec![u32::MAX; target.node_count()],
             states: 0,
             found: 0,
+            pruned: 0,
             visit,
+        }
+    }
+
+    #[inline]
+    fn target_edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        match self.idx {
+            Some(ix) => ix.edge_between(u, v),
+            None => self.target.edge_between(u, v),
         }
     }
 
@@ -172,7 +238,7 @@ impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
             if tq == u32::MAX {
                 continue;
             }
-            match self.target.edge_between(t, NodeId(tq)) {
+            match self.target_edge_between(t, NodeId(tq)) {
                 Some(te) => {
                     if !labels_compatible(
                         self.pattern.edge_label(pe),
@@ -188,14 +254,34 @@ impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
         if self.opts.induced {
             // mapped pattern nodes NOT adjacent to p must map to targets
             // not adjacent to t
-            for (tn, _) in self.target.neighbors(t) {
-                let pq = self.core_t[tn.index()];
-                if pq != u32::MAX && !self.pattern.has_edge(p, NodeId(pq)) {
-                    return false;
+            match self.idx {
+                Some(ix) => {
+                    for &(tn, _) in ix.neighbors(t) {
+                        let pq = self.core_t[tn.index()];
+                        if pq != u32::MAX && !self.pattern.has_edge(p, NodeId(pq)) {
+                            return false;
+                        }
+                    }
+                }
+                None => {
+                    for (tn, _) in self.target.neighbors(t) {
+                        let pq = self.core_t[tn.index()];
+                        if pq != u32::MAX && !self.pattern.has_edge(p, NodeId(pq)) {
+                            return false;
+                        }
+                    }
                 }
             }
         }
         true
+    }
+
+    /// Signature check: `false` means mapping `p -> t` cannot be part of
+    /// any full embedding (only invoked when `use_sigs` is sound).
+    #[inline]
+    fn sig_admits(&self, p: NodeId, ts: NodeSig) -> bool {
+        let ps = self.psigs[p.index()];
+        ps.label == ts.label && ps.degree <= ts.degree && ps.nbr_bits & ts.nbr_bits == ps.nbr_bits
     }
 
     /// Returns false if the search should stop entirely.
@@ -216,20 +302,43 @@ impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
             .neighbors(p)
             .find(|(q, _)| self.core_p[q.index()] != u32::MAX)
             .map(|(q, _)| NodeId(self.core_p[q.index()]));
-        let candidates: Vec<NodeId> = match anchor {
-            Some(a) => self
+        let candidates: Vec<NodeId> = match (anchor, self.idx) {
+            (Some(a), Some(ix)) => ix
+                .neighbors(a)
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|t| self.core_t[t.index()] == u32::MAX)
+                .collect(),
+            (Some(a), None) => self
                 .target
                 .neighbors(a)
                 .map(|(t, _)| t)
                 .filter(|t| self.core_t[t.index()] == u32::MAX)
                 .collect(),
-            None => self
+            // label buckets: same nodes the naive scan keeps after its
+            // label check, in the same id order
+            (None, Some(ix)) => ix
+                .candidate_nodes(self.pattern.node_label(p), self.opts.wildcard)
+                .into_iter()
+                .filter(|t| self.core_t[t.index()] == u32::MAX)
+                .collect(),
+            (None, None) => self
                 .target
                 .nodes()
                 .filter(|t| self.core_t[t.index()] == u32::MAX)
                 .collect(),
         };
         for t in candidates {
+            if self.use_sigs {
+                if let Some(ix) = self.idx {
+                    if !self.sig_admits(p, ix.sig(t)) {
+                        // cannot complete any embedding: skip without
+                        // spending search budget
+                        self.pruned += 1;
+                        continue;
+                    }
+                }
+            }
             self.states += 1;
             if self.states > self.opts.max_states {
                 return false;
@@ -249,6 +358,42 @@ impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
     }
 }
 
+fn enumerate_embeddings_impl<F: FnMut(&[NodeId]) -> bool>(
+    pattern: &Graph,
+    target: &Graph,
+    idx: Option<&GraphIndex>,
+    opts: MatchOptions,
+    visit: F,
+) -> SearchOutcome {
+    let trivially_empty = SearchOutcome {
+        complete: true,
+        embeddings: 0,
+    };
+    if pattern.node_count() == 0 {
+        return trivially_empty;
+    }
+    if pattern.node_count() > target.node_count() || pattern.edge_count() > target.edge_count() {
+        return trivially_empty;
+    }
+    if let Some(ix) = idx {
+        // constant-time infeasibility: no embedding can exist, so the
+        // (empty, complete) outcome is exact
+        if !subgraph_feasible(&Fingerprint::of(pattern), ix.fingerprint(), opts.wildcard) {
+            vqi_observe::incr("kernel.iso.skip_fingerprint", 1);
+            return trivially_empty;
+        }
+    }
+    let mut vf2 = Vf2::new(pattern, target, idx, opts, visit);
+    let complete = vf2.search(0);
+    if vf2.pruned > 0 {
+        vqi_observe::incr("kernel.iso.pruned", vf2.pruned);
+    }
+    SearchOutcome {
+        complete,
+        embeddings: vf2.found,
+    }
+}
+
 /// Enumerates embeddings of `pattern` into `target`, invoking `visit` with
 /// each mapping (`mapping[p.index()]` = target node). The visitor returns
 /// `false` to stop early.
@@ -258,24 +403,20 @@ pub fn enumerate_embeddings<F: FnMut(&[NodeId]) -> bool>(
     opts: MatchOptions,
     visit: F,
 ) -> SearchOutcome {
-    if pattern.node_count() == 0 {
-        return SearchOutcome {
-            complete: true,
-            embeddings: 0,
-        };
-    }
-    if pattern.node_count() > target.node_count() || pattern.edge_count() > target.edge_count() {
-        return SearchOutcome {
-            complete: true,
-            embeddings: 0,
-        };
-    }
-    let mut vf2 = Vf2::new(pattern, target, opts, visit);
-    let complete = vf2.search(0);
-    SearchOutcome {
-        complete,
-        embeddings: vf2.found,
-    }
+    enumerate_embeddings_impl(pattern, target, None, opts, visit)
+}
+
+/// [`enumerate_embeddings`] against a pre-built index of `target`: same
+/// embeddings in the same order (see the module docs), reached faster.
+/// `idx` must have been built from this exact `target`.
+pub fn enumerate_embeddings_indexed<F: FnMut(&[NodeId]) -> bool>(
+    pattern: &Graph,
+    target: &Graph,
+    idx: &GraphIndex,
+    opts: MatchOptions,
+    visit: F,
+) -> SearchOutcome {
+    enumerate_embeddings_impl(pattern, target, Some(idx), opts, visit)
 }
 
 /// Collects up to `opts.max_embeddings` embeddings as mapping vectors.
@@ -313,9 +454,34 @@ pub fn is_subgraph_isomorphic(pattern: &Graph, target: &Graph, opts: MatchOption
     find_embedding(pattern, target, opts).is_some()
 }
 
+/// [`is_subgraph_isomorphic`] against a pre-built index of `target`.
+pub fn is_subgraph_isomorphic_indexed(
+    pattern: &Graph,
+    target: &Graph,
+    idx: &GraphIndex,
+    opts: MatchOptions,
+) -> bool {
+    let mut found = false;
+    enumerate_embeddings_indexed(pattern, target, idx, opts, |_| {
+        found = true;
+        false
+    });
+    found
+}
+
 /// Counts embeddings (up to `opts.max_embeddings`).
 pub fn count_embeddings(pattern: &Graph, target: &Graph, opts: MatchOptions) -> usize {
     enumerate_embeddings(pattern, target, opts, |_| true).embeddings
+}
+
+/// [`count_embeddings`] against a pre-built index of `target`.
+pub fn count_embeddings_indexed(
+    pattern: &Graph,
+    target: &Graph,
+    idx: &GraphIndex,
+    opts: MatchOptions,
+) -> usize {
+    enumerate_embeddings_indexed(pattern, target, idx, opts, |_| true).embeddings
 }
 
 /// True if `a` and `b` are isomorphic as labeled graphs.
@@ -339,6 +505,31 @@ pub fn covered_edges(pattern: &Graph, target: &Graph, opts: MatchOptions) -> Vec
         for e in pattern.edges() {
             let (u, v) = pattern.endpoints(e);
             if let Some(te) = target.edge_between(mapping[u.index()], mapping[v.index()]) {
+                covered[te.index()] = true;
+            }
+        }
+        true
+    });
+    covered
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| EdgeId(i as u32))
+        .collect()
+}
+
+/// [`covered_edges`] against a pre-built index of `target`.
+pub fn covered_edges_indexed(
+    pattern: &Graph,
+    target: &Graph,
+    idx: &GraphIndex,
+    opts: MatchOptions,
+) -> Vec<EdgeId> {
+    let mut covered = vec![false; target.edge_count()];
+    enumerate_embeddings_indexed(pattern, target, idx, opts, |mapping| {
+        for e in pattern.edges() {
+            let (u, v) = pattern.endpoints(e);
+            if let Some(te) = idx.edge_between(mapping[u.index()], mapping[v.index()]) {
                 covered[te.index()] = true;
             }
         }
@@ -499,6 +690,86 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(count_embeddings(&t, &t, opts), 2);
+    }
+
+    #[test]
+    fn indexed_matching_is_answer_identical_to_naive() {
+        use crate::generate::{assign_labels, erdos_renyi};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for seed in 0..12u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut target = erdos_renyi(14, 0.3, 0, &mut rng);
+            assign_labels(&mut target, 3, 2, &mut rng);
+            let mut pattern = erdos_renyi(4, 0.6, 0, &mut rng);
+            assign_labels(&mut pattern, 3, 2, &mut rng);
+            if seed % 3 == 0 {
+                // exercise the wildcard paths (sig pruning must bow out)
+                target.set_node_label(NodeId(0), WILDCARD_LABEL);
+                pattern.set_node_label(NodeId(1), WILDCARD_LABEL);
+            }
+            let idx = GraphIndex::build(&target);
+            for opts in [
+                MatchOptions::default(),
+                MatchOptions::induced(),
+                MatchOptions::with_wildcards(),
+            ] {
+                let naive = find_embeddings(&pattern, &target, opts);
+                let mut indexed = Vec::new();
+                enumerate_embeddings_indexed(&pattern, &target, &idx, opts, |m| {
+                    indexed.push(m.to_vec());
+                    true
+                });
+                assert_eq!(naive, indexed, "seed {seed}: embeddings (order included)");
+                assert_eq!(
+                    count_embeddings(&pattern, &target, opts),
+                    count_embeddings_indexed(&pattern, &target, &idx, opts),
+                    "seed {seed}: counts"
+                );
+                assert_eq!(
+                    is_subgraph_isomorphic(&pattern, &target, opts),
+                    is_subgraph_isomorphic_indexed(&pattern, &target, &idx, opts),
+                    "seed {seed}: existence"
+                );
+                assert_eq!(
+                    covered_edges(&pattern, &target, opts),
+                    covered_edges_indexed(&pattern, &target, &idx, opts),
+                    "seed {seed}: covered edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matching_handles_disconnected_patterns() {
+        // disconnected patterns re-seed the matching order, exercising
+        // the unanchored label-bucket path at depth > 0
+        let mut p = Graph::new();
+        p.add_node(1);
+        p.add_node(2);
+        let mut t = Graph::new();
+        let a = t.add_node(1);
+        let b = t.add_node(2);
+        t.add_edge(a, b, 0);
+        let idx = GraphIndex::build(&t);
+        for opts in [MatchOptions::default(), MatchOptions::induced()] {
+            assert_eq!(
+                is_subgraph_isomorphic(&p, &t, opts),
+                is_subgraph_isomorphic_indexed(&p, &t, &idx, opts)
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_skip_reports_complete_empty_outcome() {
+        // label histograms disjoint: the fingerprint rejects before any
+        // search happens, and the outcome is exact
+        let p = path(3, 1);
+        let t = path(8, 2);
+        let idx = GraphIndex::build(&t);
+        let out = enumerate_embeddings_indexed(&p, &t, &idx, MatchOptions::default(), |_| true);
+        assert!(out.complete);
+        assert_eq!(out.embeddings, 0);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   topologies;
 //! * [`mcs`] — maximum-common-edge-subgraph search (exact with a node
 //!   budget, plus a greedy fallback) for diversity measures;
+//! * [`index`] — compiled per-graph matching indexes (CSR adjacency,
+//!   label-partitioned candidate buckets, invariant signatures) and
+//!   graph fingerprints for constant-time infeasibility checks and MCS
+//!   upper bounds;
 //! * [`cache`] — sharded, capacity-bounded memoization of the expensive
 //!   kernels (MCS similarity, coverage) keyed by canonical codes;
 //! * [`io`] — a line-oriented text format compatible with the classic
@@ -34,6 +38,7 @@ pub mod canon;
 pub mod generate;
 pub mod graph;
 pub mod graphlet;
+pub mod index;
 pub mod io;
 pub mod iso;
 pub mod mcs;
@@ -42,3 +47,14 @@ pub mod traversal;
 pub mod truss;
 
 pub use graph::{EdgeId, Graph, Label, NodeId, WILDCARD_LABEL};
+
+/// Serializes tests that flip crate-global switches (the kernel cache
+/// and the MCS bound-and-skip toggle): value-level assertions about
+/// skipped searches are only meaningful while no other test races the
+/// switch.
+#[cfg(test)]
+pub(crate) fn kernel_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -11,13 +11,50 @@
 //! MCS), which keeps the measure well-defined and fast on adversarial
 //! inputs. Patterns in practice have ≤ 15 nodes, where the search is
 //! exact.
+//!
+//! ## Bound-and-skip
+//!
+//! The greedy selection loops only ever ask "is `sim(a, b)` larger than
+//! the running maximum `m` I already have?" — the exact value below `m`
+//! is irrelevant because it disappears into `max(m, sim)`.
+//! [`mcs_similarity_bounded`] exploits that: it first compares the
+//! fingerprint upper bound ([`mcs_edge_upper_bound`]) against the
+//! threshold (skipping the search entirely when the bound cannot beat
+//! it), and otherwise seeds the branch-and-bound with the threshold as
+//! initial incumbent so every branch that cannot beat the threshold is
+//! cut. The returned value is **exact whenever it exceeds the
+//! threshold**, and otherwise some value `<= min_useful` — which makes
+//! `max(m, mcs_similarity_bounded(a, b, m))` bit-identical to
+//! `max(m, mcs_similarity(a, b))`. [`set_bound_skip_enabled`] turns the
+//! optimization off globally for A/B testing.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, Label, NodeId};
+use crate::index::{mcs_edge_upper_bound, Fingerprint};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static BOUND_SKIP_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// True while [`mcs_similarity_bounded`] and [`mcs_similarity_at_least`]
+/// may skip or cut searches (default). When disabled they fall back to
+/// the exact [`mcs_similarity`]; selection results are identical either
+/// way.
+pub fn bound_skip_enabled() -> bool {
+    BOUND_SKIP_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns bound-and-skip on or off globally.
+pub fn set_bound_skip_enabled(on: bool) {
+    BOUND_SKIP_ENABLED.store(on, Ordering::Relaxed);
+}
 
 struct McsSearch<'a> {
     a: &'a Graph,
     b: &'a Graph,
     order: Vec<NodeId>,
+    /// b-side node ids grouped by label (ids ascending within a label) —
+    /// candidate enumeration touches only label-compatible nodes, in the
+    /// same relative order as the naive all-nodes scan.
+    b_buckets: &'a [(Label, Vec<NodeId>)],
     map: Vec<u32>,
     used_b: Vec<bool>,
     best: usize,
@@ -27,7 +64,7 @@ struct McsSearch<'a> {
 impl<'a> McsSearch<'a> {
     /// Number of a-edges from `v` into the already-mapped prefix that are
     /// preserved under mapping `v -> t`.
-    fn gained(&self, v: NodeId, t: NodeId) -> Option<usize> {
+    fn gained(&self, v: NodeId, t: NodeId) -> usize {
         let mut gain = 0;
         for (q, ae) in self.a.neighbors(v) {
             let tq = self.map[q.index()];
@@ -40,7 +77,7 @@ impl<'a> McsSearch<'a> {
                 }
             }
         }
-        Some(gain)
+        gain
     }
 
     fn search(&mut self, depth: usize, common: usize, remaining_possible: usize) {
@@ -64,12 +101,15 @@ impl<'a> McsSearch<'a> {
             .filter(|(q, _)| self.map[q.index()] != u32::MAX)
             .count();
         let next_remaining = remaining_possible - v_prefix_edges;
-        // try mapping v to each compatible unused b-node
-        for t in self.b.nodes() {
-            if self.used_b[t.index()] || self.a.node_label(v) != self.b.node_label(t) {
-                continue;
-            }
-            if let Some(gain) = self.gained(v, t) {
+        // try mapping v to each unused b-node of the same label
+        let buckets = self.b_buckets;
+        let bucket_idx = buckets.binary_search_by_key(&self.a.node_label(v), |&(bl, _)| bl);
+        if let Ok(bi) = bucket_idx {
+            for &t in &buckets[bi].1 {
+                if self.used_b[t.index()] {
+                    continue;
+                }
+                let gain = self.gained(v, t);
                 self.map[v.index()] = t.0;
                 self.used_b[t.index()] = true;
                 self.search(depth + 1, common + gain, next_remaining);
@@ -82,9 +122,10 @@ impl<'a> McsSearch<'a> {
     }
 }
 
-/// Size (in edges) of the maximum common edge subgraph of `a` and `b`
-/// under exact label matching, searched with the given state budget.
-pub fn mcs_edge_count_budgeted(a: &Graph, b: &Graph, budget: u64) -> usize {
+/// Core search shared by the exact and seeded entry points. `seed` is an
+/// initial incumbent: branches that cannot strictly beat it are cut, and
+/// the returned value is `max(seed, best mapping found)`.
+fn mcs_edge_count_seeded(a: &Graph, b: &Graph, budget: u64, seed: usize) -> usize {
     // search from the smaller graph for a shallower tree
     let (a, b) = if a.node_count() <= b.node_count() {
         (a, b)
@@ -92,28 +133,48 @@ pub fn mcs_edge_count_budgeted(a: &Graph, b: &Graph, budget: u64) -> usize {
         (b, a)
     };
     if a.edge_count() == 0 || b.edge_count() == 0 {
-        return 0;
+        return seed;
     }
     // order a's nodes by degree descending: high-impact decisions first
     let mut order: Vec<NodeId> = a.nodes().collect();
     order.sort_by_key(|&v| std::cmp::Reverse(a.degree(v)));
+    // b-side label buckets, sorted by label, ids ascending within each
+    let mut pairs: Vec<(Label, NodeId)> = b.nodes().map(|v| (b.node_label(v), v)).collect();
+    pairs.sort_unstable_by_key(|&(l, v)| (l, v.0));
+    let mut b_buckets: Vec<(Label, Vec<NodeId>)> = Vec::new();
+    for (l, v) in pairs {
+        match b_buckets.last_mut() {
+            Some((last, bucket)) if *last == l => bucket.push(v),
+            _ => b_buckets.push((l, vec![v])),
+        }
+    }
     let mut s = McsSearch {
         a,
         b,
         order,
+        b_buckets: &b_buckets,
         map: vec![u32::MAX; a.node_count()],
         used_b: vec![false; b.node_count()],
-        best: 0,
+        best: seed,
         budget,
     };
     s.search(0, 0, a.edge_count());
     s.best
 }
 
+/// Size (in edges) of the maximum common edge subgraph of `a` and `b`
+/// under exact label matching, searched with the given state budget.
+pub fn mcs_edge_count_budgeted(a: &Graph, b: &Graph, budget: u64) -> usize {
+    mcs_edge_count_seeded(a, b, budget, 0)
+}
+
+/// The default branch-and-bound budget (exact for pattern-sized graphs).
+pub const DEFAULT_MCS_BUDGET: u64 = 2_000_000;
+
 /// [`mcs_edge_count_budgeted`] with the default budget (exact for
 /// pattern-sized graphs).
 pub fn mcs_edge_count(a: &Graph, b: &Graph) -> usize {
-    mcs_edge_count_budgeted(a, b, 2_000_000)
+    mcs_edge_count_budgeted(a, b, DEFAULT_MCS_BUDGET)
 }
 
 /// MCS-based similarity in `[0, 1]`:
@@ -126,11 +187,119 @@ pub fn mcs_similarity(a: &Graph, b: &Graph) -> f64 {
     mcs_edge_count(a, b) as f64 / denom as f64
 }
 
+/// Largest common-edge count `k` with `k/denom <= min_useful` under f64
+/// division — the safe branch-and-bound seed for threshold `min_useful`.
+fn seed_for(min_useful: f64, denom: usize) -> usize {
+    let mut seed = ((min_useful * denom as f64).floor().max(0.0) as usize).min(denom);
+    while seed > 0 && seed as f64 / denom as f64 > min_useful {
+        seed -= 1;
+    }
+    while seed < denom && (seed + 1) as f64 / denom as f64 <= min_useful {
+        seed += 1;
+    }
+    seed
+}
+
+/// [`mcs_similarity`] with a usefulness threshold, plus whether the
+/// returned value is exact. See [`mcs_similarity_bounded`].
+pub(crate) fn mcs_similarity_bounded_detail(a: &Graph, b: &Graph, min_useful: f64) -> (f64, bool) {
+    if !bound_skip_enabled() || !min_useful.is_finite() || min_useful <= 0.0 {
+        return (mcs_similarity(a, b), true);
+    }
+    let denom = a.edge_count().max(b.edge_count());
+    if denom == 0 {
+        return (0.0, true);
+    }
+    let seed = seed_for(min_useful, denom);
+    if seed >= denom {
+        // nothing can beat the threshold: sim <= 1 <= min_useful
+        vqi_observe::incr("kernel.mcs.skip_fingerprint", 1);
+        return (min_useful.min(1.0), false);
+    }
+    let ub = mcs_edge_upper_bound(&Fingerprint::of(a), &Fingerprint::of(b));
+    if ub <= seed {
+        // the common edge count cannot exceed the seed: no search at all
+        vqi_observe::incr("kernel.mcs.skip_fingerprint", 1);
+        return ((ub as f64 / denom as f64).min(min_useful), false);
+    }
+    let best = mcs_edge_count_seeded(a, b, DEFAULT_MCS_BUDGET, seed);
+    if best > seed {
+        (best as f64 / denom as f64, true)
+    } else {
+        // the seeded search concluded the true value is <= the threshold
+        vqi_observe::incr("kernel.mcs.pruned", 1);
+        ((seed as f64 / denom as f64).min(min_useful), false)
+    }
+}
+
+/// [`mcs_similarity`] for callers that only care about values above a
+/// threshold: the result is **exact whenever it is `> min_useful`** and
+/// otherwise some value `<= min_useful`, so
+/// `max(m, mcs_similarity_bounded(a, b, m)) == max(m, mcs_similarity(a, b))`
+/// bit-for-bit. Skipped searches are counted as
+/// `kernel.mcs.skip_fingerprint` (fingerprint bound decided without
+/// searching) and `kernel.mcs.pruned` (seeded search concluded below the
+/// threshold).
+pub fn mcs_similarity_bounded(a: &Graph, b: &Graph, min_useful: f64) -> f64 {
+    mcs_similarity_bounded_detail(a, b, min_useful).0
+}
+
+/// True iff `mcs_similarity(a, b) >= threshold`, decided without
+/// computing the exact value: the fingerprint bound rejects cheap cases
+/// and a seeded branch-and-bound (incumbent = required edge count − 1)
+/// decides the rest. Agrees with the naive comparison on every input.
+pub fn mcs_similarity_at_least(a: &Graph, b: &Graph, threshold: f64) -> bool {
+    if !bound_skip_enabled() {
+        return mcs_similarity(a, b) >= threshold;
+    }
+    if threshold <= 0.0 {
+        // naive: any similarity (including 0.0) passes
+        return true;
+    }
+    let denom = a.edge_count().max(b.edge_count());
+    if denom == 0 {
+        return false; // naive compares 0.0 >= threshold with threshold > 0
+    }
+    // smallest k with k/denom >= threshold under f64 division
+    let mut required = (threshold * denom as f64).ceil() as usize;
+    while required > 0 && (required - 1) as f64 / denom as f64 >= threshold {
+        required -= 1;
+    }
+    while required <= denom && (required as f64 / denom as f64) < threshold {
+        required += 1;
+    }
+    if required == 0 {
+        return true;
+    }
+    if required > denom {
+        return false; // threshold above 1.0: unreachable
+    }
+    let ub = mcs_edge_upper_bound(&Fingerprint::of(a), &Fingerprint::of(b));
+    if ub < required {
+        vqi_observe::incr("kernel.mcs.skip_fingerprint", 1);
+        return false;
+    }
+    let best = mcs_edge_count_seeded(a, b, DEFAULT_MCS_BUDGET, required - 1);
+    if best < required {
+        vqi_observe::incr("kernel.mcs.pruned", 1);
+    }
+    best >= required
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generate::{chain, clique, cycle, star};
+    use crate::generate::{assign_labels, chain, clique, cycle, erdos_renyi, star};
     use crate::graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn random_graph(n: usize, p: f64, nl: u32, el: u32, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = erdos_renyi(n, p, 0, &mut rng);
+        assign_labels(&mut g, nl, el, &mut rng);
+        g
+    }
 
     #[test]
     fn identical_graphs_share_everything() {
@@ -200,5 +369,92 @@ mod tests {
         let t = clique(3, 0, 0);
         let k = clique(5, 0, 0);
         assert_eq!(mcs_edge_count(&t, &k), 3);
+    }
+
+    #[test]
+    fn seeded_search_returns_max_of_seed_and_truth() {
+        let a = chain(4, 0, 0); // true MCS with b is 3
+        let b = cycle(6, 0, 0);
+        assert_eq!(mcs_edge_count_seeded(&a, &b, 2_000_000, 0), 3);
+        assert_eq!(mcs_edge_count_seeded(&a, &b, 2_000_000, 2), 3);
+        // a seed at/above the truth is returned unchanged
+        assert_eq!(mcs_edge_count_seeded(&a, &b, 2_000_000, 3), 3);
+        assert_eq!(mcs_edge_count_seeded(&a, &b, 2_000_000, 5), 5);
+    }
+
+    #[test]
+    fn bounded_fold_is_bit_identical_to_exact_fold() {
+        let _guard = crate::kernel_test_lock();
+        set_bound_skip_enabled(true);
+        let graphs: Vec<Graph> = (0..8u64)
+            .map(|i| random_graph(5 + (i as usize) % 3, 0.5, 2, 2, 40 + i))
+            .chain([chain(4, 1, 0), cycle(5, 1, 0), star(4, 1, 0)])
+            .collect();
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                let exact = mcs_similarity(&graphs[i], &graphs[j]);
+                for m in [0.0, 0.1, 0.25, 0.5, exact, 0.9, 1.0] {
+                    let bounded = mcs_similarity_bounded(&graphs[i], &graphs[j], m);
+                    assert_eq!(
+                        f64::max(m, bounded),
+                        f64::max(m, exact),
+                        "pair ({i},{j}) threshold {m}"
+                    );
+                    if exact > m {
+                        assert_eq!(bounded, exact, "exact-above-threshold pair ({i},{j})");
+                    } else {
+                        assert!(bounded <= m, "skip must stay below threshold ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_matches_naive_comparison() {
+        let _guard = crate::kernel_test_lock();
+        set_bound_skip_enabled(true);
+        let graphs: Vec<Graph> = (0..8u64)
+            .map(|i| random_graph(5 + (i as usize) % 3, 0.5, 2, 2, 70 + i))
+            .chain([chain(3, 0, 0), cycle(4, 0, 0), Graph::new()])
+            .collect();
+        for a in &graphs {
+            for b in &graphs {
+                let exact = mcs_similarity(a, b);
+                for t in [-0.5, 0.0, 0.2, exact, exact + 1e-9, 0.75, 1.0, 1.5] {
+                    assert_eq!(
+                        mcs_similarity_at_least(a, b, t),
+                        exact >= t,
+                        "threshold {t} exact {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_bound_skip_falls_back_to_exact() {
+        let _guard = crate::kernel_test_lock();
+        let a = chain(4, 0, 0);
+        let b = cycle(6, 0, 0);
+        set_bound_skip_enabled(false);
+        let off = mcs_similarity_bounded(&a, &b, 0.9);
+        let off_cmp = mcs_similarity_at_least(&a, &b, 0.4);
+        set_bound_skip_enabled(true);
+        assert_eq!(off, mcs_similarity(&a, &b));
+        assert_eq!(off_cmp, mcs_similarity(&a, &b) >= 0.4);
+    }
+
+    #[test]
+    fn seed_for_is_the_largest_useless_count() {
+        for denom in [1usize, 3, 7, 10, 97] {
+            for t in [0.0, 0.1, 1.0 / 3.0, 0.5, 0.999, 1.0] {
+                let s = seed_for(t, denom);
+                assert!(s as f64 / denom as f64 <= t);
+                if s < denom {
+                    assert!((s + 1) as f64 / denom as f64 > t);
+                }
+            }
+        }
     }
 }

@@ -2,14 +2,15 @@
 
 use crate::stages::{ClusteringStage, ExtractStage, MergeStage};
 use rayon::prelude::*;
+use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
 use vqi_core::repo::{GraphCollection, GraphRepository};
-use vqi_core::bitset::BitSet;
-use vqi_core::score::{cognitive_load, covers_cached, QualityWeights};
+use vqi_core::score::{cognitive_load, covers_cached_indexed, QualityWeights};
 use vqi_core::selector::PatternSelector;
-use vqi_graph::cache::mcs_similarity_cached;
+use vqi_graph::cache::mcs_similarity_cached_bounded;
 use vqi_graph::canon::{canonical_code, CanonicalCode};
+use vqi_graph::index::GraphIndex;
 use vqi_graph::Graph;
 use vqi_mining::cluster::DistanceMatrix;
 use vqi_mining::similarity::SimilarityMeasure;
@@ -115,6 +116,11 @@ impl ModularPipeline {
 
         // common final selection: greedy coverage/diversity/cognitive-load
         let _select = vqi_observe::span("modular.select");
+        // one label index per live graph, shared across all candidates
+        let indexes: Vec<GraphIndex> = ids
+            .par_iter()
+            .map(|&id| GraphIndex::build(collection.get(id).expect("live")))
+            .collect();
         let bitsets: Vec<(Graph, CanonicalCode, BitSet, f64)> = candidates
             .into_par_iter()
             .filter_map(|(c, code)| {
@@ -122,7 +128,7 @@ impl ModularPipeline {
                 for (pos, &id) in ids.iter().enumerate() {
                     let g = collection.get(id).expect("live");
                     let token = collection.token(id).expect("live");
-                    if covers_cached(&c, &code, g, token) {
+                    if covers_cached_indexed(&c, &code, g, token, &indexes[pos]) {
                         cov.set(pos);
                     }
                 }
@@ -169,7 +175,10 @@ impl ModularPipeline {
                 vqi_observe::incr("modular.greedy.sim_calls", pool.len() as u64);
                 let sims: Vec<f64> = pool
                     .par_iter()
-                    .map(|(pg, pcode, _, _)| mcs_similarity_cached(pg, pcode, &g, &code))
+                    .zip(max_sim.par_iter())
+                    .map(|((pg, pcode, _, _), &m)| {
+                        mcs_similarity_cached_bounded(pg, pcode, &g, &code, m)
+                    })
                     .collect();
                 for (ms, s) in max_sim.iter_mut().zip(sims) {
                     *ms = f64::max(*ms, s);
@@ -267,6 +276,26 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_and_skip_changes_no_selection() {
+        let col = collection();
+        for count in [2, 4] {
+            let budget = PatternBudget::new(count, 4, 6);
+            vqi_graph::mcs::set_bound_skip_enabled(true);
+            let bounded = ModularPipeline::standard().run(&col, &budget);
+            vqi_graph::mcs::set_bound_skip_enabled(false);
+            let exact = ModularPipeline::standard().run(&col, &budget);
+            vqi_graph::mcs::set_bound_skip_enabled(true);
+            assert_eq!(bounded.len(), exact.len(), "count {count}");
+            for p in exact.patterns() {
+                assert!(
+                    bounded.contains_isomorphic(&p.graph),
+                    "count {count}: exact pick missing from bounded selection"
+                );
             }
         }
     }

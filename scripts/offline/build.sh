@@ -106,7 +106,7 @@ build midas
 build vqi-modular
 build bench "json timed_ms_records_a_span"
 
-binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned
+binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned exp_kernels
 
 say "vqi-cli (check)"
 # shellcheck disable=SC2086
