@@ -42,4 +42,19 @@ cargo test -q -p tattoo bound_and_skip_changes_no_selection
 cargo test -q -p vqi-modular bound_and_skip_changes_no_selection
 cargo test -q -p midas similarity_guard_matches_exact_path
 
+echo "== thread-count invariance (parallel kernels vs sequential references) =="
+# the whole suite must produce bit-identical selections at any worker
+# count, so run the consistency tests twice with pinned defaults
+for threads in 1 4; do
+    echo "-- RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph parallel_counts_match_reference_across_thread_counts
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph parallel_supports_and_trussness_match_reference_across_thread_counts
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph seeded_sampling_is_thread_count_invariant
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph batch_canonicalization_matches_sequential_across_thread_counts
+    RAYON_NUM_THREADS=$threads cargo test -q -p catapult selection_is_identical_across_thread_counts
+    RAYON_NUM_THREADS=$threads cargo test -q -p tattoo selection_is_identical_across_thread_counts
+    RAYON_NUM_THREADS=$threads cargo test -q -p midas maintenance_is_identical_across_thread_counts
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-modular selection_is_identical_across_thread_counts
+done
+
 echo "CI OK"

@@ -1,0 +1,251 @@
+//! End-to-end pipeline benchmark under the deterministic parallel
+//! substrate.
+//!
+//! Two layers of evidence, both equality-asserted before any timing is
+//! reported:
+//!
+//! 1. **Kernel stages** — the two substrate kernels this refactor
+//!    rewrote, timed as shipped-baseline vs optimized path on a dense
+//!    scale-free network:
+//!    * truss peel: [`trussness_baseline`] (linear `edge_between` scans
+//!      per removal) vs [`trussness`] (precomputed per-edge triangle
+//!      lists + parallel support counting) — trussness vectors asserted
+//!      bit-identical;
+//!    * graphlet census: [`count_graphlets`] (generic ESU recursion with
+//!      per-branch extension-set clones) vs [`count_graphlets_par`]
+//!      (arena-backed ESU with leaf short-circuit, fanned over roots) —
+//!      counts asserted bit-identical.
+//! 2. **Pipelines** — CATAPULT, TATTOO, MIDAS, and the modular pipeline
+//!    run end-to-end with the thread cap pinned to 1 and again at all
+//!    available cores; each pipeline's selected pattern set (canonical
+//!    codes) is asserted identical across the two runs. A warm-up pass
+//!    runs first so both measured runs see the same kernel-cache state.
+//!
+//! Writes `BENCH_pipelines.json` at the repository root. The JSON is
+//! hand-rolled (as in `exp_kernels`) so the binary also builds under the
+//! offline stub toolchain, whose `serde_json` cannot serialize.
+
+use bench::{enable_metrics, print_table, time_ms};
+use catapult::pipeline::Catapult;
+use midas::{Midas, MidasConfig, Modification};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tattoo::pipeline::Tattoo;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::PatternSet;
+use vqi_core::repo::{BatchUpdate, GraphCollection};
+use vqi_graph::canon::CanonicalCode;
+use vqi_graph::generate::{barabasi_albert, chain, clique, cycle, star};
+use vqi_graph::graphlet::{count_graphlets, count_graphlets_par};
+use vqi_graph::par;
+use vqi_graph::truss::{trussness, trussness_baseline};
+use vqi_graph::Graph;
+use vqi_modular::pipeline::ModularPipeline;
+
+/// Sorted canonical codes of a pattern set — the comparison key for the
+/// cross-thread-count equality asserts.
+fn selection_codes(set: &PatternSet) -> Vec<CanonicalCode> {
+    let mut codes: Vec<CanonicalCode> = set.patterns().iter().map(|p| p.code.clone()).collect();
+    codes.sort();
+    codes
+}
+
+/// Times `run` with the thread cap pinned to 1, then at all available
+/// cores, asserting both selections are identical. Returns
+/// `(ms_1thread, ms_all)`.
+fn pipeline_times(name: &str, run: impl Fn() -> PatternSet) -> (f64, f64) {
+    // warm-up: fills the kernel caches so the two measured runs start
+    // from the same cache state
+    run();
+    par::set_thread_cap(1);
+    let (one, one_ms) = time_ms(&run);
+    par::set_thread_cap(0);
+    let (all, all_ms) = time_ms(&run);
+    assert_eq!(
+        selection_codes(&one),
+        selection_codes(&all),
+        "{name}: selection differs between 1 thread and {} threads",
+        par::num_threads()
+    );
+    assert!(!one.is_empty(), "{name}: selected nothing");
+    (one_ms, all_ms)
+}
+
+fn section_truss() -> (f64, f64) {
+    // dense scale-free network: hubs make the O(degree) edge_between
+    // scans of the baseline peel expensive
+    let mut rng = SmallRng::seed_from_u64(41);
+    let net = barabasi_albert(500, 25, 1, &mut rng);
+    let reps = 5;
+    // warm-up both paths
+    let warm_base = trussness_baseline(&net);
+    let warm_new = trussness(&net);
+    assert_eq!(warm_base, warm_new, "triangle-list peel diverged");
+    let (base, base_ms) = time_ms(|| {
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = trussness_baseline(&net);
+        }
+        last
+    });
+    let (new, new_ms) = time_ms(|| {
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = trussness(&net);
+        }
+        last
+    });
+    assert_eq!(base, new, "triangle-list peel diverged from baseline");
+    (base_ms, new_ms)
+}
+
+fn section_graphlet() -> (f64, f64) {
+    // moderately dense graph: the generic ESU recursion clones an
+    // extension set per branch, which the arena enumerator avoids
+    let mut rng = SmallRng::seed_from_u64(43);
+    let g = barabasi_albert(220, 10, 1, &mut rng);
+    let warm_base = count_graphlets(&g);
+    let warm_new = count_graphlets_par(&g);
+    assert_eq!(
+        warm_base.counts, warm_new.counts,
+        "graphlet counts diverged"
+    );
+    let (base, base_ms) = time_ms(|| count_graphlets(&g));
+    let (new, new_ms) = time_ms(|| count_graphlets_par(&g));
+    assert_eq!(
+        base.counts, new.counts,
+        "parallel graphlet census diverged from reference"
+    );
+    (base_ms, new_ms)
+}
+
+fn collection_graphs() -> Vec<Graph> {
+    let mut graphs = Vec::new();
+    for i in 0..6 {
+        graphs.push(chain(5 + i % 3, 1, 0));
+        graphs.push(cycle(5 + i % 2, 2, 0));
+        graphs.push(star(4 + i % 3, 3, 0));
+    }
+    graphs
+}
+
+fn main() {
+    enable_metrics();
+
+    let (truss_base, truss_new) = section_truss();
+    let (glet_base, glet_new) = section_graphlet();
+
+    let budget = PatternBudget::new(5, 4, 6);
+    let (cat_one, cat_all) = pipeline_times("catapult", || {
+        let col = GraphCollection::new(collection_graphs());
+        let (set, _) = Catapult::default().run_with_state(&col, &budget);
+        set
+    });
+    let mut rng = SmallRng::seed_from_u64(47);
+    let net = barabasi_albert(300, 3, 1, &mut rng);
+    let (tat_one, tat_all) = pipeline_times("tattoo", || Tattoo::default().run(&net, &budget));
+    let (mid_one, mid_all) = pipeline_times("midas", || {
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(collection_graphs()),
+            budget,
+            MidasConfig::default(),
+        );
+        let mut batch = Vec::new();
+        for _ in 0..8 {
+            batch.push(clique(5, 3, 0));
+            batch.push(star(6, 4, 0));
+        }
+        let report = m.apply_update(BatchUpdate::adding(batch));
+        assert_eq!(report.modification, Modification::Major);
+        m.patterns
+    });
+    let (mod_one, mod_all) = pipeline_times("modular", || {
+        let col = GraphCollection::new(collection_graphs());
+        ModularPipeline::standard().run(&col, &budget)
+    });
+    let threads = par::num_threads();
+
+    let kernel_rows = vec![
+        vec![
+            "truss (peel)".to_string(),
+            format!("{truss_base:.1}"),
+            format!("{truss_new:.1}"),
+            format!("{:.1}x", truss_base / truss_new.max(1e-9)),
+        ],
+        vec![
+            "graphlet (census)".to_string(),
+            format!("{glet_base:.1}"),
+            format!("{glet_new:.1}"),
+            format!("{:.1}x", glet_base / glet_new.max(1e-9)),
+        ],
+    ];
+    print_table(
+        "Kernel stages: baseline vs optimized (answer-identical)",
+        &["stage", "baseline ms", "optimized ms", "speedup"],
+        &kernel_rows,
+    );
+
+    let pipe_rows = vec![
+        vec![
+            "catapult".to_string(),
+            format!("{cat_one:.1}"),
+            format!("{cat_all:.1}"),
+        ],
+        vec![
+            "tattoo".to_string(),
+            format!("{tat_one:.1}"),
+            format!("{tat_all:.1}"),
+        ],
+        vec![
+            "midas".to_string(),
+            format!("{mid_one:.1}"),
+            format!("{mid_all:.1}"),
+        ],
+        vec![
+            "modular".to_string(),
+            format!("{mod_one:.1}"),
+            format!("{mod_all:.1}"),
+        ],
+    ];
+    print_table(
+        &format!("Pipelines end-to-end: 1 thread vs {threads} (identical selections)"),
+        &["pipeline", "1 thread ms", "all cores ms"],
+        &pipe_rows,
+    );
+
+    let snapshot = vqi_observe::snapshot();
+    let mut kernel_counters: Vec<(String, u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("kernel."))
+        .map(|(name, &v)| (name.clone(), v))
+        .collect();
+    kernel_counters.sort();
+    for (name, v) in &kernel_counters {
+        println!("  {name} = {v}");
+    }
+
+    // hand-rolled JSON so the offline stub toolchain can build this too
+    let counters_json: Vec<String> = kernel_counters
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"kernels\": {{\n    \"truss\": {{\"baseline_ms\": \
+         {truss_base:.3}, \"optimized_ms\": {truss_new:.3}, \"speedup\": {:.3}}},\n    \
+         \"graphlet\": {{\"baseline_ms\": {glet_base:.3}, \"optimized_ms\": {glet_new:.3}, \
+         \"speedup\": {:.3}}}\n  }},\n  \"pipelines\": {{\n    \"catapult\": {{\"ms_1thread\": \
+         {cat_one:.3}, \"ms_all_cores\": {cat_all:.3}, \"identical_selection\": true}},\n    \
+         \"tattoo\": {{\"ms_1thread\": {tat_one:.3}, \"ms_all_cores\": {tat_all:.3}, \
+         \"identical_selection\": true}},\n    \"midas\": {{\"ms_1thread\": {mid_one:.3}, \
+         \"ms_all_cores\": {mid_all:.3}, \"identical_selection\": true}},\n    \"modular\": \
+         {{\"ms_1thread\": {mod_one:.3}, \"ms_all_cores\": {mod_all:.3}, \
+         \"identical_selection\": true}}\n  }},\n  \"kernel_counters\": {{\n{}\n  }}\n}}\n",
+        truss_base / truss_new.max(1e-9),
+        glet_base / glet_new.max(1e-9),
+        counters_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipelines.json");
+    std::fs::write(path, json).expect("write BENCH_pipelines.json");
+    println!("(wrote {path})");
+}

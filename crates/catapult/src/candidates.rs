@@ -3,7 +3,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 use vqi_core::budget::PatternBudget;
-use vqi_graph::canon::{canonical_code, CanonicalCode};
+use vqi_graph::canon::{canonical_codes, CanonicalCode};
 use vqi_graph::traversal::is_connected;
 use vqi_graph::{Graph, NodeId};
 use vqi_mining::closure::ClusterSummaryGraph;
@@ -101,30 +101,42 @@ fn walk_candidate<R: Rng>(
 }
 
 /// Generates deduplicated candidates from all CSGs.
+///
+/// The walks themselves stay sequential — they consume the caller's RNG
+/// stream, and that stream is part of the deterministic contract. The
+/// expensive step, canonicalization, is batched over the whole accepted
+/// walk set via [`canonical_codes`] (parallel, order-stable), and the
+/// dedup then runs in generation order — so the output is identical to
+/// canonicalizing-and-deduplicating after each walk.
 pub fn generate_candidates<R: Rng>(
     csgs: &[ClusterSummaryGraph],
     budget: &PatternBudget,
     params: WalkParams,
     rng: &mut R,
 ) -> Vec<Candidate> {
-    let mut seen = std::collections::HashSet::new();
-    let mut out = Vec::new();
+    let mut subs: Vec<Graph> = Vec::new();
+    let mut origins: Vec<usize> = Vec::new();
     for (ci, csg) in csgs.iter().enumerate() {
         for _ in 0..params.walks_per_csg {
             let target = rng.gen_range(budget.min_size..=budget.max_size);
             if let Some(sub) = walk_candidate(csg, target, params.max_steps, rng) {
-                if !budget.admits(&sub) {
-                    continue;
-                }
-                let code = canonical_code(&sub);
-                if seen.insert(code.clone()) {
-                    out.push(Candidate {
-                        graph: sub,
-                        code,
-                        csg_index: ci,
-                    });
+                if budget.admits(&sub) {
+                    subs.push(sub);
+                    origins.push(ci);
                 }
             }
+        }
+    }
+    let codes = canonical_codes(&subs);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for ((sub, code), ci) in subs.into_iter().zip(codes).zip(origins) {
+        if seen.insert(code.clone()) {
+            out.push(Candidate {
+                graph: sub,
+                code,
+                csg_index: ci,
+            });
         }
     }
     out

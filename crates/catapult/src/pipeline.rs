@@ -300,4 +300,32 @@ mod tests {
         assert!(set.is_empty());
         assert!(state.csgs.is_empty());
     }
+
+    #[test]
+    fn selection_is_identical_across_thread_counts() {
+        use vqi_graph::canon::CanonicalCode;
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        let codes_at = |cap: usize| -> Vec<CanonicalCode> {
+            vqi_graph::par::set_thread_cap(cap);
+            let (set, _) = Catapult::default().run_with_state(&col, &budget);
+            vqi_graph::par::set_thread_cap(0);
+            let mut codes: Vec<CanonicalCode> =
+                set.patterns().iter().map(|p| p.code.clone()).collect();
+            codes.sort();
+            codes
+        };
+        let one = codes_at(1);
+        assert!(!one.is_empty());
+        assert_eq!(one, codes_at(2), "cap 2 changed the selection");
+        assert_eq!(one, codes_at(4), "cap 4 changed the selection");
+        // the sequential toggle is the same code path as cap 1
+        vqi_graph::par::set_parallel_enabled(false);
+        let (seq, _) = Catapult::default().run_with_state(&col, &budget);
+        vqi_graph::par::set_parallel_enabled(true);
+        let mut seq_codes: Vec<CanonicalCode> =
+            seq.patterns().iter().map(|p| p.code.clone()).collect();
+        seq_codes.sort();
+        assert_eq!(one, seq_codes, "sequential toggle changed the selection");
+    }
 }

@@ -26,7 +26,6 @@
 //! a single selection.
 
 use crate::candidates::Candidate;
-use rayon::prelude::*;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
@@ -35,6 +34,7 @@ use vqi_core::score::{cognitive_load, covers_cached_indexed, QualityWeights};
 use vqi_graph::cache::mcs_similarity_cached_bounded;
 use vqi_graph::canon::canonical_code;
 use vqi_graph::index::GraphIndex;
+use vqi_graph::par;
 
 /// A candidate plus its coverage bitset over the live graphs.
 #[derive(Debug, Clone)]
@@ -58,24 +58,27 @@ pub fn score_candidates(
     let graph_ids = collection.ids();
     // compile each live graph once; every candidate's matching run
     // reuses the same index
-    let graph_indexes: Vec<GraphIndex> = graph_ids
-        .par_iter()
-        .map(|&id| GraphIndex::build(collection.get(id).expect("live id")))
+    let graphs: Vec<&vqi_graph::Graph> = graph_ids
+        .iter()
+        .map(|&id| collection.get(id).expect("live id"))
         .collect();
+    let graph_indexes = GraphIndex::build_many(&graphs);
+    let coverages: Vec<Option<BitSet>> = par::map(&candidates, |c| {
+        let mut coverage = BitSet::new(graph_ids.len());
+        for (pos, &id) in graph_ids.iter().enumerate() {
+            let g = collection.get(id).expect("live id");
+            let token = collection.token(id).expect("live id");
+            if covers_cached_indexed(&c.graph, &c.code, g, token, &graph_indexes[pos]) {
+                coverage.set(pos);
+            }
+        }
+        coverage.any().then_some(coverage)
+    });
     let scored: Vec<ScoredCandidate> = candidates
-        .into_par_iter()
-        .filter_map(|c| {
-            let mut coverage = BitSet::new(graph_ids.len());
-            for (pos, &id) in graph_ids.iter().enumerate() {
-                let g = collection.get(id).expect("live id");
-                let token = collection.token(id).expect("live id");
-                if covers_cached_indexed(&c.graph, &c.code, g, token, &graph_indexes[pos]) {
-                    coverage.set(pos);
-                }
-            }
-            if !coverage.any() {
-                return None;
-            }
+        .into_iter()
+        .zip(coverages)
+        .filter_map(|(c, coverage)| {
+            let coverage = coverage?;
             let cl = cognitive_load(&c.graph);
             Some(ScoredCandidate {
                 candidate: c,
@@ -105,15 +108,12 @@ pub fn greedy_select(
     // full-diversity score of the first round
     let mut max_sim: Vec<f64> = vec![0.0; candidates.len()];
     while set.len() < budget.count && !candidates.is_empty() {
-        let scores: Vec<f64> = (0..candidates.len())
-            .into_par_iter()
-            .map(|i| {
-                let c = &candidates[i];
-                let gain = c.coverage.count_and_not(&covered) as f64 / n_graphs as f64;
-                let div = 1.0 - max_sim[i];
-                gain + weights.diversity * div - weights.cognitive * c.cognitive_load
-            })
-            .collect();
+        let scores: Vec<f64> = par::map_range(candidates.len(), |i| {
+            let c = &candidates[i];
+            let gain = c.coverage.count_and_not(&covered) as f64 / n_graphs as f64;
+            let div = 1.0 - max_sim[i];
+            gain + weights.diversity * div - weights.cognitive * c.cognitive_load
+        });
         let (best_idx, &best_score) = scores
             .iter()
             .enumerate()
@@ -145,19 +145,16 @@ pub fn greedy_select(
             // each survivor's current max_sim is the usefulness
             // threshold: a similarity at or below it cannot change the
             // fold, so the kernel may bound-and-skip
-            let sims: Vec<f64> = candidates
-                .par_iter()
-                .zip(max_sim.par_iter())
-                .map(|(c, &m)| {
-                    mcs_similarity_cached_bounded(
-                        &c.candidate.graph,
-                        &c.candidate.code,
-                        &new_graph,
-                        &new_code,
-                        m,
-                    )
-                })
-                .collect();
+            let sims: Vec<f64> = par::map_range(candidates.len(), |i| {
+                let c = &candidates[i];
+                mcs_similarity_cached_bounded(
+                    &c.candidate.graph,
+                    &c.candidate.code,
+                    &new_graph,
+                    &new_code,
+                    max_sim[i],
+                )
+            });
             for (m, s) in max_sim.iter_mut().zip(sims) {
                 *m = f64::max(*m, s);
             }

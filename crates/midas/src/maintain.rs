@@ -5,15 +5,15 @@ use catapult::candidates::{generate_candidates, WalkParams};
 use catapult::pipeline::{Catapult, CatapultConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::Serialize;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::PatternSet;
 use vqi_core::repo::{BatchUpdate, GraphCollection};
 use vqi_core::score::{covers_cached_indexed, QualityWeights};
-use vqi_graph::graphlet::{collection_distribution, euclidean_distance, GRAPHLET_CLASSES};
+use vqi_graph::graphlet::{collection_distribution_sampled, euclidean_distance, GRAPHLET_CLASSES};
 use vqi_graph::index::GraphIndex;
+use vqi_graph::par;
 use vqi_graph::Graph;
 use vqi_mining::closure::ClusterSummaryGraph;
 use vqi_mining::fct::FctIndex;
@@ -26,6 +26,14 @@ pub struct MidasConfig {
     /// GFD Euclidean-distance threshold separating minor from major
     /// modifications.
     pub drift_threshold: f64,
+    /// RAND-ESU retention for GFD drift detection: per-depth descent
+    /// probability of the seeded graphlet sampler. At the default `1.0`
+    /// the sampler never consults its RNG and the GFD is bit-identical
+    /// to the exact distribution; values below 1.0 trade drift accuracy
+    /// for faster maintenance on large collections. The sample is a pure
+    /// function of `(collection, gfd_retention, seed)` at any thread
+    /// count.
+    pub gfd_retention: f64,
     /// Maximum feature distance at which a new graph joins an existing
     /// cluster; farther graphs found new clusters.
     pub assign_threshold: f64,
@@ -45,6 +53,7 @@ impl Default for MidasConfig {
     fn default() -> Self {
         MidasConfig {
             drift_threshold: 0.05,
+            gfd_retention: 1.0,
             assign_threshold: 0.4,
             mine: MineParams {
                 min_support: 2,
@@ -161,7 +170,7 @@ impl Midas {
             .map(|c| ClusterSummaryGraph::build(&c.members, |id| collection.get(id).expect("live")))
             .collect();
 
-        let gfd = collection_distribution(collection.iter().map(|(_, g)| g));
+        let gfd = Self::collection_gfd(&collection, &config);
         let pattern_bitsets = Self::bitsets_for(&patterns, &collection);
 
         Midas {
@@ -184,25 +193,33 @@ impl Midas {
     fn bitsets_for(patterns: &PatternSet, collection: &GraphCollection) -> Vec<BitSet> {
         let ids = collection.ids();
         // one label index per live graph, shared across all patterns
-        let indexes: Vec<GraphIndex> = ids
-            .par_iter()
-            .map(|&id| GraphIndex::build(collection.get(id).expect("live")))
+        let graphs: Vec<&Graph> = ids
+            .iter()
+            .map(|&id| collection.get(id).expect("live"))
             .collect();
-        patterns
-            .patterns()
-            .par_iter()
-            .map(|p| {
-                let mut bits = BitSet::new(ids.len());
-                for (pos, &id) in ids.iter().enumerate() {
-                    let g = collection.get(id).expect("live");
-                    let token = collection.token(id).expect("live");
-                    if covers_cached_indexed(&p.graph, &p.code, g, token, &indexes[pos]) {
-                        bits.set(pos);
-                    }
+        let indexes = GraphIndex::build_many(&graphs);
+        par::map(patterns.patterns(), |p| {
+            let mut bits = BitSet::new(ids.len());
+            for (pos, &id) in ids.iter().enumerate() {
+                let g = collection.get(id).expect("live");
+                let token = collection.token(id).expect("live");
+                if covers_cached_indexed(&p.graph, &p.code, g, token, &indexes[pos]) {
+                    bits.set(pos);
                 }
-                bits
-            })
-            .collect()
+            }
+            bits
+        })
+    }
+
+    /// The collection's GFD via the seeded parallel sampler — exact (and
+    /// bit-identical to the unsampled distribution) at the default
+    /// `gfd_retention` of 1.0.
+    fn collection_gfd(
+        collection: &GraphCollection,
+        config: &MidasConfig,
+    ) -> [f64; GRAPHLET_CLASSES] {
+        let graphs: Vec<&Graph> = collection.iter().map(|(_, g)| g).collect();
+        collection_distribution_sampled(&graphs, config.gfd_retention, config.seed)
     }
 
     /// The current graphlet frequency distribution.
@@ -344,7 +361,7 @@ impl Midas {
 
         // 4. GFD drift decides minor vs major
         let gfd_span = vqi_observe::span("midas.gfd_drift");
-        let new_gfd = collection_distribution(self.collection.iter().map(|(_, g)| g));
+        let new_gfd = Self::collection_gfd(&self.collection, &self.config);
         let gfd_distance = euclidean_distance(&self.gfd, &new_gfd);
         self.gfd = new_gfd;
         drop(gfd_span);
@@ -377,29 +394,30 @@ impl Midas {
         let walk_cands =
             generate_candidates(&touched_csgs, &self.budget, self.config.walks, &mut rng);
         let ids = self.collection.ids();
-        let indexes: Vec<GraphIndex> = ids
-            .par_iter()
-            .map(|&id| GraphIndex::build(collection_ref.get(id).expect("live")))
+        let live_graphs: Vec<&Graph> = ids
+            .iter()
+            .map(|&id| collection_ref.get(id).expect("live"))
             .collect();
+        let indexes = GraphIndex::build_many(&live_graphs);
+        let coverages: Vec<Option<BitSet>> = par::map(&walk_cands, |c| {
+            let mut coverage = BitSet::new(ids.len());
+            for (pos, &id) in ids.iter().enumerate() {
+                let g = collection_ref.get(id).expect("live");
+                let token = collection_ref.token(id).expect("live");
+                if covers_cached_indexed(&c.graph, &c.code, g, token, &indexes[pos]) {
+                    coverage.set(pos);
+                }
+            }
+            coverage.any().then_some(coverage)
+        });
         let swap_cands: Vec<SwapCandidate> = walk_cands
-            .into_par_iter()
-            .filter_map(|c| {
-                let mut coverage = BitSet::new(ids.len());
-                for (pos, &id) in ids.iter().enumerate() {
-                    let g = collection_ref.get(id).expect("live");
-                    let token = collection_ref.token(id).expect("live");
-                    if covers_cached_indexed(&c.graph, &c.code, g, token, &indexes[pos]) {
-                        coverage.set(pos);
-                    }
-                }
-                if coverage.any() {
-                    Some(SwapCandidate {
-                        graph: c.graph,
-                        coverage,
-                    })
-                } else {
-                    None
-                }
+            .into_iter()
+            .zip(coverages)
+            .filter_map(|(c, coverage)| {
+                Some(SwapCandidate {
+                    graph: c.graph,
+                    coverage: coverage?,
+                })
             })
             .collect();
         drop(cand_span);
@@ -553,6 +571,39 @@ mod tests {
         let report = m.apply_update(BatchUpdate::removing(vec![0, 2]));
         assert_eq!(m.collection.len(), before - 2);
         assert!(report.clusters_touched > 0);
+    }
+
+    #[test]
+    fn maintenance_is_identical_across_thread_counts() {
+        use vqi_graph::canon::CanonicalCode;
+        let run_at = |cap: usize| -> (Vec<CanonicalCode>, [f64; GRAPHLET_CLASSES]) {
+            par::set_thread_cap(cap);
+            let mut m = Midas::bootstrap(
+                GraphCollection::new(initial_graphs()),
+                budget(),
+                MidasConfig::default(),
+            );
+            let mut batch = Vec::new();
+            for _ in 0..10 {
+                batch.push(clique(5, 3, 0));
+                batch.push(star(6, 4, 0));
+            }
+            let report = m.apply_update(BatchUpdate::adding(batch));
+            assert_eq!(report.modification, Modification::Major);
+            par::set_thread_cap(0);
+            let mut codes: Vec<CanonicalCode> = m
+                .patterns
+                .patterns()
+                .iter()
+                .map(|p| p.code.clone())
+                .collect();
+            codes.sort();
+            (codes, m.gfd())
+        };
+        let one = run_at(1);
+        assert!(!one.0.is_empty());
+        assert_eq!(one, run_at(2), "cap 2 changed maintenance results");
+        assert_eq!(one, run_at(4), "cap 4 changed maintenance results");
     }
 
     #[test]

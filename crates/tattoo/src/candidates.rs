@@ -12,7 +12,7 @@ use crate::topology::{classify, TopologyClass};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use vqi_core::budget::PatternBudget;
-use vqi_graph::canon::{canonical_code, CanonicalCode};
+use vqi_graph::canon::{canonical_codes, CanonicalCode};
 use vqi_graph::traversal::{is_connected, sample_connected_nodes, weighted_random_walk};
 use vqi_graph::{Graph, NodeId};
 
@@ -125,6 +125,12 @@ fn connected_samples<R: Rng>(
 }
 
 /// Extracts deduplicated, shape-typed candidates from one region.
+///
+/// Sampling is sequential (it consumes the caller's RNG stream);
+/// canonicalization — the dominant cost — is batched over the admitted
+/// samples via [`canonical_codes`] (parallel, order-stable), and the
+/// dedup then runs in sampling order, so the result is identical to the
+/// one-code-at-a-time loop it replaces.
 pub fn extract_from_region<R: Rng>(
     region: &Graph,
     from_truss_region: bool,
@@ -136,13 +142,11 @@ pub fn extract_from_region<R: Rng>(
     chains(region, budget, params.samples_per_size, rng, &mut raw);
     stars(region, budget, params.samples_per_size / 2, rng, &mut raw);
     connected_samples(region, budget, params.samples_per_size, rng, &mut raw);
+    raw.retain(|g| budget.admits(g) && is_connected(g));
+    let codes = canonical_codes(&raw);
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
-    for g in raw {
-        if !budget.admits(&g) || !is_connected(&g) {
-            continue;
-        }
-        let code = canonical_code(&g);
+    for (g, code) in raw.into_iter().zip(codes) {
         if seen.insert(code.clone()) {
             out.push(Candidate {
                 class: classify(&g),

@@ -23,7 +23,6 @@ use crate::candidates::{extract_from_region, ExtractParams};
 use crate::pipeline::TattooConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::Serialize;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
@@ -32,6 +31,7 @@ use vqi_core::score::{coverage_match_options, set_score_bitsets, QualityWeights}
 use vqi_graph::cache::{covered_edges_cached_indexed, mint_target_token};
 use vqi_graph::canon::CanonicalCode;
 use vqi_graph::index::GraphIndex;
+use vqi_graph::par;
 use vqi_graph::truss::decompose;
 use vqi_graph::{Graph, Label, NodeId};
 
@@ -156,11 +156,9 @@ impl NetworkMaintainer {
     ) -> Self {
         let network_token = mint_target_token();
         let network_index = GraphIndex::build(&network);
-        let bitsets = patterns
-            .patterns()
-            .par_iter()
-            .map(|p| bitset_for(&p.graph, &p.code, &network, network_token, &network_index))
-            .collect();
+        let bitsets = par::map(patterns.patterns(), |p| {
+            bitset_for(&p.graph, &p.code, &network, network_token, &network_index)
+        });
         NetworkMaintainer {
             config,
             budget,
@@ -233,12 +231,9 @@ impl NetworkMaintainer {
         let token = self.network_token;
         let network_ref = &self.network;
         let idx = &self.network_index;
-        self.bitsets = self
-            .patterns
-            .patterns()
-            .par_iter()
-            .map(|p| bitset_for(&p.graph, &p.code, network_ref, token, idx))
-            .collect();
+        self.bitsets = par::map(self.patterns.patterns(), |p| {
+            bitset_for(&p.graph, &p.code, network_ref, token, idx)
+        });
 
         if churn < self.config.churn_threshold || touched.is_empty() {
             return NetworkMaintenanceReport {
@@ -279,16 +274,13 @@ impl NetworkMaintainer {
 
         // 5. coverage of candidates over the WHOLE network, then swaps
         let network = &self.network;
+        let bits_per_cand: Vec<BitSet> = par::map(&cands, |c| {
+            bitset_for(&c.graph, &c.code, network, token, idx)
+        });
         let scored: Vec<(Graph, BitSet)> = cands
-            .into_par_iter()
-            .filter_map(|c| {
-                let bits = bitset_for(&c.graph, &c.code, network, token, idx);
-                if bits.any() {
-                    Some((c.graph, bits))
-                } else {
-                    None
-                }
-            })
+            .into_iter()
+            .zip(bits_per_cand)
+            .filter_map(|(c, bits)| bits.any().then(|| (c.graph, bits)))
             .collect();
 
         let m = self.network.edge_count();

@@ -30,7 +30,6 @@ use crate::select::ScoredCandidate;
 use crate::select::{greedy_select, score_candidates};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::PatternSet;
 use vqi_graph::traversal::bfs_order;
@@ -82,32 +81,29 @@ impl PartitionedTattoo {
         let per_part_extract = ExtractParams {
             samples_per_size: (self.config.extract.samples_per_size / parts.len().max(1)).max(4),
         };
-        let per_part: Vec<Vec<Candidate>> = parts
-            .par_iter()
-            .enumerate()
-            .map(|(pi, nodes)| {
-                // per-shard wall time lands in the `tattoo.map.shard`
-                // histogram; the gauge tracks shards currently running
-                vqi_observe::gauge_add("tattoo.map.in_flight", 1);
-                let _shard = vqi_observe::span("tattoo.map.shard");
-                let (sub, _) = network.induced_subgraph(nodes);
-                let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
-                let d = decompose(&sub, self.config.truss_k);
-                let (gt, _) = d.infested_graph(&sub);
-                let (go, _) = d.oblivious_graph(&sub);
-                let mut cands = extract_from_region(&gt, true, budget, per_part_extract, &mut rng);
-                cands.extend(extract_from_region(
-                    &go,
-                    false,
-                    budget,
-                    per_part_extract,
-                    &mut rng,
-                ));
-                vqi_observe::incr("tattoo.map.candidates", cands.len() as u64);
-                vqi_observe::gauge_add("tattoo.map.in_flight", -1);
-                cands
-            })
-            .collect();
+        let per_part: Vec<Vec<Candidate>> = vqi_graph::par::map_range(parts.len(), |pi| {
+            let nodes = &parts[pi];
+            // per-shard wall time lands in the `tattoo.map.shard`
+            // histogram; the gauge tracks shards currently running
+            vqi_observe::gauge_add("tattoo.map.in_flight", 1);
+            let _shard = vqi_observe::span("tattoo.map.shard");
+            let (sub, _) = network.induced_subgraph(nodes);
+            let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
+            let d = decompose(&sub, self.config.truss_k);
+            let (gt, _) = d.infested_graph(&sub);
+            let (go, _) = d.oblivious_graph(&sub);
+            let mut cands = extract_from_region(&gt, true, budget, per_part_extract, &mut rng);
+            cands.extend(extract_from_region(
+                &go,
+                false,
+                budget,
+                per_part_extract,
+                &mut rng,
+            ));
+            vqi_observe::incr("tattoo.map.candidates", cands.len() as u64);
+            vqi_observe::gauge_add("tattoo.map.in_flight", -1);
+            cands
+        });
         let mut seen = std::collections::HashSet::new();
         let mut all: Vec<Candidate> = Vec::new();
         for cands in per_part {

@@ -212,4 +212,32 @@ mod tests {
             assert_eq!(pa.code, pb.code);
         }
     }
+
+    #[test]
+    fn selection_is_identical_across_thread_counts() {
+        use vqi_graph::canon::CanonicalCode;
+        let mut rng = SmallRng::seed_from_u64(13);
+        let net = barabasi_albert(200, 3, 1, &mut rng);
+        let budget = PatternBudget::new(5, 4, 6);
+        let codes_at = |cap: usize| -> Vec<CanonicalCode> {
+            vqi_graph::par::set_thread_cap(cap);
+            let set = Tattoo::default().run(&net, &budget);
+            vqi_graph::par::set_thread_cap(0);
+            let mut codes: Vec<CanonicalCode> =
+                set.patterns().iter().map(|p| p.code.clone()).collect();
+            codes.sort();
+            codes
+        };
+        let one = codes_at(1);
+        assert!(!one.is_empty());
+        assert_eq!(one, codes_at(2), "cap 2 changed the selection");
+        assert_eq!(one, codes_at(4), "cap 4 changed the selection");
+        vqi_graph::par::set_parallel_enabled(false);
+        let seq = Tattoo::default().run(&net, &budget);
+        vqi_graph::par::set_parallel_enabled(true);
+        let mut seq_codes: Vec<CanonicalCode> =
+            seq.patterns().iter().map(|p| p.code.clone()).collect();
+        seq_codes.sort();
+        assert_eq!(one, seq_codes, "sequential toggle changed the selection");
+    }
 }

@@ -21,7 +21,6 @@
 //! equal to recomputing the maximum from scratch each round.
 
 use crate::candidates::Candidate;
-use rayon::prelude::*;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
@@ -29,6 +28,7 @@ use vqi_core::score::{cognitive_load, coverage_match_options, set_score_bitsets,
 use vqi_graph::cache::mcs_similarity_cached_bounded;
 use vqi_graph::index::GraphIndex;
 use vqi_graph::iso::covered_edges_indexed;
+use vqi_graph::par;
 use vqi_graph::Graph;
 
 /// A candidate with its covered-edge bitset over the network.
@@ -47,21 +47,25 @@ pub struct ScoredCandidate {
 pub fn score_candidates(candidates: Vec<Candidate>, network: &Graph) -> Vec<ScoredCandidate> {
     // one label-indexed view of the network, shared by every candidate match
     let idx = GraphIndex::build(network);
+    let coverages: Vec<Option<BitSet>> = par::map(&candidates, |c| {
+        let edges = covered_edges_indexed(&c.graph, network, &idx, coverage_match_options());
+        if edges.is_empty() {
+            return None;
+        }
+        let mut covered = BitSet::new(network.edge_count());
+        for e in edges {
+            covered.set(e.index());
+        }
+        Some(covered)
+    });
     candidates
-        .into_par_iter()
-        .filter_map(|c| {
-            let edges = covered_edges_indexed(&c.graph, network, &idx, coverage_match_options());
-            if edges.is_empty() {
-                return None;
-            }
-            let mut covered = BitSet::new(network.edge_count());
-            for e in edges {
-                covered.set(e.index());
-            }
+        .into_iter()
+        .zip(coverages)
+        .filter_map(|(c, covered)| {
             Some(ScoredCandidate {
                 cognitive_load: cognitive_load(&c.graph),
                 candidate: c,
-                covered,
+                covered: covered?,
             })
         })
         .collect()
@@ -95,15 +99,12 @@ pub fn greedy_select(
     let mut max_sim: Vec<f64> = vec![0.0; candidates.len()];
     while set.len() < budget.count && !candidates.is_empty() {
         vqi_observe::incr("tattoo.greedy.iterations", 1);
-        let gains: Vec<f64> = (0..candidates.len())
-            .into_par_iter()
-            .map(|i| {
-                let c = &candidates[i];
-                let gain = c.covered.count_and_not(&covered) as f64 / total_edges as f64;
-                let div = 1.0 - max_sim[i];
-                gain + weights.diversity * div - weights.cognitive * c.cognitive_load
-            })
-            .collect();
+        let gains: Vec<f64> = par::map_range(candidates.len(), |i| {
+            let c = &candidates[i];
+            let gain = c.covered.count_and_not(&covered) as f64 / total_edges as f64;
+            let div = 1.0 - max_sim[i];
+            gain + weights.diversity * div - weights.cognitive * c.cognitive_load
+        });
         let (best_idx, &best) = gains
             .iter()
             .enumerate()
@@ -134,19 +135,16 @@ pub fn greedy_select(
             .is_ok()
         {
             vqi_observe::incr("tattoo.greedy.sim_calls", candidates.len() as u64);
-            let sims: Vec<f64> = candidates
-                .par_iter()
-                .zip(max_sim.par_iter())
-                .map(|(c, &m)| {
-                    mcs_similarity_cached_bounded(
-                        &c.candidate.graph,
-                        &c.candidate.code,
-                        &chosen.candidate.graph,
-                        &chosen.candidate.code,
-                        m,
-                    )
-                })
-                .collect();
+            let sims: Vec<f64> = par::map_range(candidates.len(), |i| {
+                let c = &candidates[i];
+                mcs_similarity_cached_bounded(
+                    &c.candidate.graph,
+                    &c.candidate.code,
+                    &chosen.candidate.graph,
+                    &chosen.candidate.code,
+                    max_sim[i],
+                )
+            });
             for (m, s) in max_sim.iter_mut().zip(sims) {
                 *m = f64::max(*m, s);
             }

@@ -22,12 +22,12 @@
 use crate::bitset::BitSet;
 use crate::pattern::PatternSet;
 use crate::repo::{GraphCollection, GraphRepository};
-use rayon::prelude::*;
 use serde::Serialize;
 use vqi_graph::cache;
 use vqi_graph::canon::{canonical_code, CanonicalCode};
 use vqi_graph::index::GraphIndex;
 use vqi_graph::iso::{covered_edges_indexed, is_subgraph_isomorphic, MatchOptions};
+use vqi_graph::par;
 use vqi_graph::{mcs, Graph};
 
 /// Matching options used for coverage: non-induced, wildcard-aware (basic
@@ -127,23 +127,21 @@ pub fn diversity(patterns: &[&Graph]) -> f64 {
     let pairs: Vec<(usize, usize)> = (0..k)
         .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
         .collect();
-    let total: f64 = if cache::enabled() {
+    let sims: Vec<f64> = if cache::enabled() {
         // canonical codes are cheap for pattern-sized graphs and turn the
         // quadratic MCS bill into cache hits across repeated evaluations
-        let codes: Vec<CanonicalCode> = patterns.par_iter().map(|g| canonical_code(g)).collect();
-        pairs
-            .par_iter()
-            .map(|&(i, j)| {
-                cache::mcs_similarity_cached(patterns[i], &codes[i], patterns[j], &codes[j])
-            })
-            .sum()
+        let codes: Vec<CanonicalCode> = par::map(patterns, |g| canonical_code(g));
+        par::map(&pairs, |&(i, j)| {
+            cache::mcs_similarity_cached(patterns[i], &codes[i], patterns[j], &codes[j])
+        })
     } else {
-        pairs
-            .par_iter()
-            .map(|&(i, j)| mcs::mcs_similarity(patterns[i], patterns[j]))
-            .sum()
+        par::map(&pairs, |&(i, j)| {
+            mcs::mcs_similarity(patterns[i], patterns[j])
+        })
     };
-    1.0 - total / pairs.len() as f64
+    // summed in pair order, not reduction-tree order, so the f64 result
+    // is identical at any thread count
+    1.0 - sims.iter().sum::<f64>() / pairs.len() as f64
 }
 
 /// True if pattern `p` covers data graph `g`.
@@ -178,13 +176,11 @@ pub fn pattern_coverage(p: &Graph, collection: &GraphCollection) -> f64 {
         return 0.0;
     }
     let code = canonical_code(p);
-    let hits: usize = ids
-        .par_iter()
-        .filter(|&&id| {
-            let g = collection.get(id).expect("live id");
-            covers_cached(p, &code, g, collection.token(id).expect("live id"))
-        })
-        .count();
+    let covered = par::map(&ids, |&id| {
+        let g = collection.get(id).expect("live id");
+        covers_cached(p, &code, g, collection.token(id).expect("live id"))
+    });
+    let hits = covered.iter().filter(|&&c| c).count();
     hits as f64 / ids.len() as f64
 }
 
@@ -194,18 +190,16 @@ pub fn set_coverage_collection(patterns: &[&Graph], collection: &GraphCollection
     if ids.is_empty() || patterns.is_empty() {
         return 0.0;
     }
-    let codes: Vec<CanonicalCode> = patterns.par_iter().map(|p| canonical_code(p)).collect();
-    let hits: usize = ids
-        .par_iter()
-        .filter(|&&id| {
-            let g = collection.get(id).expect("live id");
-            let token = collection.token(id).expect("live id");
-            patterns
-                .iter()
-                .zip(codes.iter())
-                .any(|(p, code)| covers_cached(p, code, g, token))
-        })
-        .count();
+    let codes: Vec<CanonicalCode> = par::map(patterns, |p| canonical_code(p));
+    let covered = par::map(&ids, |&id| {
+        let g = collection.get(id).expect("live id");
+        let token = collection.token(id).expect("live id");
+        patterns
+            .iter()
+            .zip(codes.iter())
+            .any(|(p, code)| covers_cached(p, code, g, token))
+    });
+    let hits = covered.iter().filter(|&&c| c).count();
     hits as f64 / ids.len() as f64
 }
 
@@ -216,10 +210,9 @@ pub fn set_coverage_network(patterns: &[&Graph], network: &Graph) -> f64 {
     }
     // one compiled index serves every pattern's enumeration
     let idx = GraphIndex::build(network);
-    let per_pattern: Vec<Vec<vqi_graph::EdgeId>> = patterns
-        .par_iter()
-        .map(|p| covered_edges_indexed(p, network, &idx, coverage_match_options()))
-        .collect();
+    let per_pattern: Vec<Vec<vqi_graph::EdgeId>> = par::map(patterns, |p| {
+        covered_edges_indexed(p, network, &idx, coverage_match_options())
+    });
     let mut covered = vec![false; network.edge_count()];
     for edges in per_pattern {
         for e in edges {
@@ -305,26 +298,24 @@ impl CoverageIndex {
     /// matcher against per-graph [`GraphIndex`]es built once up front).
     pub fn build(patterns: &[&Graph], collection: &GraphCollection) -> Self {
         let graph_ids = collection.ids();
-        let codes: Vec<CanonicalCode> = patterns.par_iter().map(|p| canonical_code(p)).collect();
-        let graph_indexes: Vec<GraphIndex> = graph_ids
-            .par_iter()
-            .map(|&id| GraphIndex::build(collection.get(id).expect("live id")))
+        let codes: Vec<CanonicalCode> = par::map(patterns, |p| canonical_code(p));
+        let graphs: Vec<&Graph> = graph_ids
+            .iter()
+            .map(|&id| collection.get(id).expect("live id"))
             .collect();
-        let bitsets: Vec<BitSet> = patterns
-            .par_iter()
-            .zip(codes.par_iter())
-            .map(|(p, code)| {
-                let mut bits = BitSet::new(graph_ids.len());
-                for (pos, &id) in graph_ids.iter().enumerate() {
-                    let g = collection.get(id).expect("live id");
-                    let token = collection.token(id).expect("live id");
-                    if covers_cached_indexed(p, code, g, token, &graph_indexes[pos]) {
-                        bits.set(pos);
-                    }
+        let graph_indexes = GraphIndex::build_many(&graphs);
+        let bitsets: Vec<BitSet> = par::map_range(patterns.len(), |pi| {
+            let (p, code) = (patterns[pi], &codes[pi]);
+            let mut bits = BitSet::new(graph_ids.len());
+            for (pos, &id) in graph_ids.iter().enumerate() {
+                let g = collection.get(id).expect("live id");
+                let token = collection.token(id).expect("live id");
+                if covers_cached_indexed(p, code, g, token, &graph_indexes[pos]) {
+                    bits.set(pos);
                 }
-                bits
-            })
-            .collect();
+            }
+            bits
+        });
         CoverageIndex { bitsets, graph_ids }
     }
 

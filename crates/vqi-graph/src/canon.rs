@@ -247,6 +247,18 @@ pub fn canonical_code(g: &Graph) -> CanonicalCode {
     canonical_code_budgeted(g, 2_000_000)
 }
 
+/// Canonicalizes a batch of graphs, fanning out over [`crate::par`].
+///
+/// Each graph's code is computed independently and the results are
+/// collected in input order, so the output is identical to mapping
+/// [`canonical_code`] sequentially — the contract candidate pipelines
+/// rely on when they canonicalize-then-dedup in generation order.
+pub fn canonical_codes(graphs: &[Graph]) -> Vec<CanonicalCode> {
+    let _s = vqi_observe::span("kernel.canon.batch");
+    vqi_observe::incr("kernel.canon.batch.graphs", graphs.len() as u64);
+    crate::par::map(graphs, canonical_code)
+}
+
 /// Computes the canonical code with an explicit branch-and-bound budget.
 pub fn canonical_code_budgeted(g: &Graph, budget: u64) -> CanonicalCode {
     if g.node_count() == 0 {
@@ -387,6 +399,31 @@ mod tests {
         assert_eq!(canonical_code(&a), canonical_code(&b));
         assert_ne!(canonical_code(&a), canonical_code(&c));
         assert_ne!(canonical_code(&e), canonical_code(&a));
+    }
+
+    #[test]
+    fn batch_canonicalization_matches_sequential_across_thread_counts() {
+        use crate::generate::{assign_labels, erdos_renyi};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let _guard = crate::kernel_test_lock();
+        let prev = crate::par::thread_cap();
+        for seed in 0..12u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let graphs: Vec<Graph> = (0..9)
+                .map(|i| {
+                    let mut g = erdos_renyi(5 + (i % 4), 0.5, 0, &mut rng);
+                    assign_labels(&mut g, 3, 2, &mut rng);
+                    g
+                })
+                .collect();
+            let expect: Vec<CanonicalCode> = graphs.iter().map(canonical_code).collect();
+            for cap in [1usize, 2, 4] {
+                crate::par::set_thread_cap(cap);
+                assert_eq!(canonical_codes(&graphs), expect, "seed {seed} cap {cap}");
+            }
+            crate::par::set_thread_cap(prev);
+        }
     }
 
     #[test]

@@ -21,8 +21,33 @@
 //! Enumeration uses the ESU algorithm (Wernicke's FANMOD); sampling uses
 //! RAND-ESU, which descends each branch with a per-depth probability and
 //! reweights counts by the inverse product, giving unbiased estimates.
+//!
+//! **Parallelism & determinism.** ESU's per-root recursions are
+//! independent, so [`count_graphlets_par`] and [`sample_graphlets_seeded`]
+//! fan out over root nodes with [`par`]. Determinism is by construction:
+//! every root's counts are computed in full on one worker, collected into
+//! a per-root vector, and folded **in root index order** — since f64
+//! addition is order-sensitive, fixing the fold order (not just the set
+//! of addends) is what makes even sampled, fractional counts
+//! bit-identical at any thread count. The sampler is re-seeded *per
+//! root* with a self-contained splitmix64 stream
+//! (`mix64(seed ⊕ φ·root)`), so the sample is a pure function of
+//! `(graph, retention, seed)` — independent of thread count, of
+//! scheduling, and of the `rand` crate's stream layout. The legacy
+//! [`sample_graphlets`] keeps the caller-supplied-RNG stream for
+//! backward compatibility.
+//!
+//! Exact counting additionally uses an arena-backed recursion with a
+//! leaf short-circuit ([`count_root_exact`]): extension sets are ranges
+//! of one scratch vector instead of per-branch `Vec` clones, and the
+//! final extension level classifies directly instead of building
+//! extension sets it will never descend into — the single-thread win
+//! over the reference [`count_graphlets`], since almost every call of
+//! the generic recursion is such a leaf.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, NodeId, SortedAdjacency};
+use crate::index::mix64;
+use crate::par;
 use rand::Rng;
 
 /// Number of tracked graphlet classes.
@@ -71,14 +96,15 @@ pub fn euclidean_distance(a: &[f64; GRAPHLET_CLASSES], b: &[f64; GRAPHLET_CLASSE
 }
 
 /// Classifies a connected induced subgraph on `nodes` (3 or 4 nodes) into
-/// its graphlet class index.
-fn classify(g: &Graph, nodes: &[NodeId]) -> usize {
+/// its graphlet class index, given any edge predicate that answers like
+/// [`Graph::has_edge`].
+fn classify_by(has_edge: impl Fn(NodeId, NodeId) -> bool, nodes: &[NodeId]) -> usize {
     let k = nodes.len();
     let mut edges = 0usize;
     let mut degs = [0usize; 4];
     for i in 0..k {
         for j in (i + 1)..k {
-            if g.has_edge(nodes[i], nodes[j]) {
+            if has_edge(nodes[i], nodes[j]) {
                 edges += 1;
                 degs[i] += 1;
                 degs[j] += 1;
@@ -99,14 +125,103 @@ fn classify(g: &Graph, nodes: &[NodeId]) -> usize {
     }
 }
 
+/// [`classify_by`] over the graph's linear-scan adjacency.
+fn classify(g: &Graph, nodes: &[NodeId]) -> usize {
+    classify_by(|a, b| g.has_edge(a, b), nodes)
+}
+
+/// The branch-descent decision source of RAND-ESU, abstracted so exact
+/// enumeration, the legacy `rand`-driven sampler, and the seeded
+/// splitmix64 sampler share one recursion.
+trait Descend {
+    /// Whether to descend a branch retained with probability `pd < 1`.
+    fn descend(&mut self, pd: f64) -> bool;
+}
+
+/// Exact enumeration: every branch is taken.
+struct Always;
+
+impl Descend for Always {
+    fn descend(&mut self, _pd: f64) -> bool {
+        true
+    }
+}
+
+/// Adapter over a caller-supplied RNG — stream-compatible with the
+/// pre-parallel sampler (same `gen_bool` calls in the same order).
+struct RandDescend<'a, R: Rng>(&'a mut R);
+
+impl<R: Rng> Descend for RandDescend<'_, R> {
+    fn descend(&mut self, pd: f64) -> bool {
+        self.0.gen_bool(pd.clamp(0.0, 1.0))
+    }
+}
+
+/// Self-contained splitmix64 stream. Deliberately independent of the
+/// `rand` crate so seeded samples are identical under every build of
+/// this workspace.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+}
+
+impl Descend for SplitMix64 {
+    fn descend(&mut self, pd: f64) -> bool {
+        // 53-bit uniform draw in [0, 1)
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < pd.clamp(0.0, 1.0)
+    }
+}
+
+/// The per-root RNG seed: splitmix64 finalizer over the run seed xored
+/// with the golden-ratio multiple of the root id.
+fn root_seed(seed: u64, root: NodeId) -> u64 {
+    mix64(seed ^ (root.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Runs the (RAND-)ESU recursion for one root node. `blocked` must be
+/// all-false on entry and is restored before returning, so callers can
+/// reuse one buffer across roots.
+fn esu_root<F: FnMut(&[NodeId], f64), D: Descend>(
+    g: &Graph,
+    v: NodeId,
+    k: usize,
+    probs: Option<&[f64]>,
+    d: &mut D,
+    blocked: &mut Vec<bool>,
+    visit: &mut F,
+) {
+    let mut sub = vec![v];
+    let ext: Vec<NodeId> = g.neighbors(v).map(|(u, _)| u).filter(|&u| u > v).collect();
+    blocked[v.index()] = true;
+    for &u in &ext {
+        blocked[u.index()] = true;
+    }
+    extend(g, v, &mut sub, ext, k, blocked, visit, 1.0, probs, d);
+    blocked[v.index()] = false;
+    for u in g.neighbors(v).map(|(u, _)| u) {
+        blocked[u.index()] = false;
+    }
+}
+
 /// Runs the (RAND-)ESU recursion for every root node. When `probs` is
 /// `Some`, each branch at depth `d` descends with probability `probs[d]`
 /// and visited subgraphs carry the inverse probability product as weight.
-fn esu<F: FnMut(&[NodeId], f64), R: Rng>(
+fn esu<F: FnMut(&[NodeId], f64), D: Descend>(
     g: &Graph,
     k: usize,
     probs: Option<&[f64]>,
-    rng: &mut R,
+    d: &mut D,
     mut visit: F,
 ) {
     if k == 0 || g.node_count() < k {
@@ -115,33 +230,12 @@ fn esu<F: FnMut(&[NodeId], f64), R: Rng>(
     // blocked[u]: u is in the subgraph or already in some extension set
     let mut blocked = vec![false; g.node_count()];
     for v in g.nodes() {
-        let mut sub = vec![v];
-        let ext: Vec<NodeId> = g.neighbors(v).map(|(u, _)| u).filter(|&u| u > v).collect();
-        blocked[v.index()] = true;
-        for &u in &ext {
-            blocked[u.index()] = true;
-        }
-        extend(
-            g,
-            v,
-            &mut sub,
-            ext,
-            k,
-            &mut blocked,
-            &mut visit,
-            1.0,
-            probs,
-            rng,
-        );
-        blocked[v.index()] = false;
-        for u in g.neighbors(v).map(|(u, _)| u) {
-            blocked[u.index()] = false;
-        }
+        esu_root(g, v, k, probs, d, &mut blocked, &mut visit);
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn extend<F: FnMut(&[NodeId], f64), R: Rng>(
+fn extend<F: FnMut(&[NodeId], f64), D: Descend>(
     g: &Graph,
     root: NodeId,
     sub: &mut Vec<NodeId>,
@@ -151,7 +245,7 @@ fn extend<F: FnMut(&[NodeId], f64), R: Rng>(
     visit: &mut F,
     weight: f64,
     probs: Option<&[f64]>,
-    rng: &mut R,
+    d: &mut D,
 ) {
     if sub.len() == k {
         visit(sub, weight);
@@ -164,7 +258,7 @@ fn extend<F: FnMut(&[NodeId], f64), R: Rng>(
         if let Some(p) = probs {
             let pd = p.get(depth).copied().unwrap_or(1.0);
             if pd < 1.0 {
-                if !rng.gen_bool(pd.clamp(0.0, 1.0)) {
+                if !d.descend(pd) {
                     continue;
                 }
                 branch_weight /= pd;
@@ -192,7 +286,7 @@ fn extend<F: FnMut(&[NodeId], f64), R: Rng>(
             visit,
             branch_weight,
             probs,
-            rng,
+            d,
         );
         for &u in &newly {
             blocked[u.index()] = false;
@@ -204,11 +298,107 @@ fn extend<F: FnMut(&[NodeId], f64), R: Rng>(
 /// ESU enumeration of all connected induced subgraphs with exactly `k`
 /// nodes; `visit` receives each node set once.
 pub fn enumerate_connected_subgraphs<F: FnMut(&[NodeId])>(g: &Graph, k: usize, mut visit: F) {
-    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
-    esu(g, k, None, &mut rng, |nodes, _| visit(nodes));
+    esu(g, k, None, &mut Always, |nodes, _| visit(nodes));
 }
 
-/// Exact graphlet counts of `g` (sizes 3 and 4).
+/// Exact ESU for one root over a [`SortedAdjacency`] freeze, optimized
+/// for counting: extension sets live in one shared `arena` (ranges
+/// instead of per-branch `Vec` clones), and the last level
+/// short-circuits — when one node completes the subgraph there is no
+/// point building its extension set, which in the generic recursion is
+/// the dominant cost since almost every `extend` call is a leaf.
+/// Enumerates the same subgraph sets as [`esu_root`] with `Always`
+/// (extension *order* differs, which counting is insensitive to).
+fn count_root_exact(
+    v: NodeId,
+    k: usize,
+    sorted: &SortedAdjacency,
+    blocked: &mut [bool],
+    arena: &mut Vec<NodeId>,
+    sub: &mut Vec<NodeId>,
+    counts: &mut GraphletCounts,
+) {
+    sub.clear();
+    sub.push(v);
+    let base = arena.len();
+    for &(u, _) in sorted.neighbors(v) {
+        if u > v {
+            arena.push(u);
+        }
+    }
+    blocked[v.index()] = true;
+    for i in base..arena.len() {
+        blocked[arena[i].index()] = true;
+    }
+    let end = arena.len();
+    extend_exact(v, base, end, k, sorted, blocked, arena, sub, counts);
+    blocked[v.index()] = false;
+    for &(u, _) in sorted.neighbors(v) {
+        blocked[u.index()] = false;
+    }
+    arena.truncate(base);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_exact(
+    root: NodeId,
+    ext_start: usize,
+    ext_end: usize,
+    k: usize,
+    sorted: &SortedAdjacency,
+    blocked: &mut [bool],
+    arena: &mut Vec<NodeId>,
+    sub: &mut Vec<NodeId>,
+    counts: &mut GraphletCounts,
+) {
+    if sub.len() + 1 == k {
+        // leaf level: every extension node completes one subgraph
+        for i in ext_start..ext_end {
+            sub.push(arena[i]);
+            counts.counts[classify_by(|a, b| sorted.has_edge(a, b), sub)] += 1.0;
+            sub.pop();
+        }
+        return;
+    }
+    let mut end = ext_end;
+    while end > ext_start {
+        end -= 1;
+        let w = arena[end];
+        // child extension = remaining siblings ∪ exclusive neighbors of w
+        let child_start = arena.len();
+        arena.extend_from_within(ext_start..end);
+        let newly_start = arena.len();
+        for &(u, _) in sorted.neighbors(w) {
+            if u > root && !blocked[u.index()] {
+                arena.push(u);
+            }
+        }
+        let child_end = arena.len();
+        for i in newly_start..child_end {
+            blocked[arena[i].index()] = true;
+        }
+        sub.push(w);
+        extend_exact(
+            root,
+            child_start,
+            child_end,
+            k,
+            sorted,
+            blocked,
+            arena,
+            sub,
+            counts,
+        );
+        sub.pop();
+        for i in newly_start..child_end {
+            blocked[arena[i].index()] = false;
+        }
+        arena.truncate(child_start);
+    }
+}
+
+/// Exact graphlet counts of `g` (sizes 3 and 4) — single-threaded
+/// reference implementation.
 pub fn count_graphlets(g: &Graph) -> GraphletCounts {
     let mut counts = GraphletCounts::default();
     enumerate_connected_subgraphs(g, 3, |nodes| {
@@ -220,18 +410,158 @@ pub fn count_graphlets(g: &Graph) -> GraphletCounts {
     counts
 }
 
+/// Exact graphlet counts of `g`, fanned out over ESU root nodes.
+///
+/// Each worker enumerates a contiguous range of roots (reusing one
+/// `blocked` buffer and one extension arena) and produces per-root
+/// counts; the per-root counts are folded in root index order. Exact
+/// counts are integer-valued, so the result equals [`count_graphlets`]
+/// bit for bit at any thread count. The per-root enumeration is
+/// [`count_root_exact`] — arena-backed extension sets with a leaf
+/// short-circuit instead of per-branch `Vec` clones — which is also the
+/// single-thread speedup over the reference.
+pub fn count_graphlets_par(g: &Graph) -> GraphletCounts {
+    if g.node_count() < 3 {
+        return GraphletCounts::default();
+    }
+    let _s = vqi_observe::span("kernel.graphlet.count");
+    vqi_observe::incr("kernel.graphlet.count.roots", g.node_count() as u64);
+    let sorted = g.sorted_adjacency();
+    let per_root: Vec<GraphletCounts> = par::map_chunks(g.node_count(), |roots| {
+        let mut blocked = vec![false; g.node_count()];
+        let mut arena = Vec::new();
+        let mut sub = Vec::with_capacity(4);
+        let mut out = Vec::with_capacity(roots.len());
+        for u in roots {
+            let v = NodeId(u as u32);
+            let mut counts = GraphletCounts::default();
+            count_root_exact(
+                v,
+                3,
+                &sorted,
+                &mut blocked,
+                &mut arena,
+                &mut sub,
+                &mut counts,
+            );
+            count_root_exact(
+                v,
+                4,
+                &sorted,
+                &mut blocked,
+                &mut arena,
+                &mut sub,
+                &mut counts,
+            );
+            out.push(counts);
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut total = GraphletCounts::default();
+    for c in &per_root {
+        total.add(c);
+    }
+    total
+}
+
 /// RAND-ESU estimate of graphlet counts. `retention` in `(0, 1]` is the
 /// per-depth descent probability (1.0 reproduces exact counts); smaller
-/// values trade accuracy for speed on large networks.
+/// values trade accuracy for speed on large networks. Legacy entry
+/// point: consumes the caller's RNG stream and is therefore tied to its
+/// state — prefer [`sample_graphlets_seeded`] for reproducible runs.
 pub fn sample_graphlets<R: Rng>(g: &Graph, retention: f64, rng: &mut R) -> GraphletCounts {
     let mut counts = GraphletCounts::default();
+    let mut d = RandDescend(rng);
     for k in [3usize, 4] {
         let probs = vec![retention; k];
-        esu(g, k, Some(&probs), rng, |nodes, weight| {
+        esu(g, k, Some(&probs), &mut d, |nodes, weight| {
             counts.counts[classify(g, nodes)] += weight;
         });
     }
     counts
+}
+
+/// Deterministic RAND-ESU estimate, fanned out over root nodes: a pure
+/// function of `(g, retention, seed)`.
+///
+/// Every root descends with its own splitmix64 stream seeded by
+/// [`root_seed`], and per-root weighted counts are folded in root index
+/// order — so the estimate is bit-identical at any thread count, and
+/// identical whether roots are processed forwards, chunked, or spread
+/// across machines. `retention = 1.0` never consults the RNG and
+/// reproduces [`count_graphlets`] exactly (and takes the
+/// [`count_root_exact`] fast path, since per-root exact integer counts
+/// are identical however they are enumerated).
+pub fn sample_graphlets_seeded(g: &Graph, retention: f64, seed: u64) -> GraphletCounts {
+    if g.node_count() < 3 {
+        return GraphletCounts::default();
+    }
+    let _s = vqi_observe::span("kernel.graphlet.sample");
+    vqi_observe::incr("kernel.graphlet.sample.roots", g.node_count() as u64);
+    let exact = retention >= 1.0;
+    let sorted = g.sorted_adjacency();
+    let per_root: Vec<GraphletCounts> = par::map_chunks(g.node_count(), |roots| {
+        let mut blocked = vec![false; g.node_count()];
+        let mut arena = Vec::new();
+        let mut sub = Vec::with_capacity(4);
+        let mut out = Vec::with_capacity(roots.len());
+        for u in roots {
+            let v = NodeId(u as u32);
+            let mut counts = GraphletCounts::default();
+            if exact {
+                count_root_exact(
+                    v,
+                    3,
+                    &sorted,
+                    &mut blocked,
+                    &mut arena,
+                    &mut sub,
+                    &mut counts,
+                );
+                count_root_exact(
+                    v,
+                    4,
+                    &sorted,
+                    &mut blocked,
+                    &mut arena,
+                    &mut sub,
+                    &mut counts,
+                );
+            } else {
+                let mut rng = SplitMix64::new(root_seed(seed, v));
+                for k in [3usize, 4] {
+                    let probs = [retention; 4];
+                    let mut tally = |nodes: &[NodeId], w: f64| {
+                        counts.counts[classify_by(|a, b| sorted.has_edge(a, b), nodes)] += w;
+                    };
+                    esu_root(
+                        g,
+                        v,
+                        k,
+                        Some(&probs[..k]),
+                        &mut rng,
+                        &mut blocked,
+                        &mut tally,
+                    );
+                }
+            }
+            out.push(counts);
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    // root-index-order fold: the fixed order is what makes the
+    // fractional (f64) sums thread-count invariant
+    let mut total = GraphletCounts::default();
+    for c in &per_root {
+        total.add(c);
+    }
+    total
 }
 
 /// Exact graphlet frequency distribution of a single graph.
@@ -247,6 +577,27 @@ pub fn collection_distribution<'a, I: IntoIterator<Item = &'a Graph>>(
     let mut total = GraphletCounts::default();
     for g in graphs {
         total.add(&count_graphlets(g));
+    }
+    total.distribution()
+}
+
+/// Aggregate GFD by per-graph seeded RAND-ESU, parallel across graphs
+/// with per-graph counts summed in collection order. This is what MIDAS
+/// drift detection runs: a pure function of `(graphs, retention, seed)`
+/// at any thread count. `retention = 1.0` (the MIDAS default) equals
+/// [`collection_distribution`] exactly.
+pub fn collection_distribution_sampled(
+    graphs: &[&Graph],
+    retention: f64,
+    seed: u64,
+) -> [f64; GRAPHLET_CLASSES] {
+    let _s = vqi_observe::span("kernel.graphlet.collection");
+    vqi_observe::incr("kernel.graphlet.collection.graphs", graphs.len() as u64);
+    let per_graph: Vec<GraphletCounts> =
+        par::map(graphs, |g| sample_graphlets_seeded(g, retention, seed));
+    let mut total = GraphletCounts::default();
+    for c in &per_graph {
+        total.add(c);
     }
     total.distribution()
 }
@@ -404,6 +755,8 @@ mod tests {
         let exact = count_graphlets(&g);
         let sampled = sample_graphlets(&g, 1.0, &mut rng);
         assert_eq!(exact.counts, sampled.counts);
+        // the seeded sampler at full retention never consults the RNG
+        assert_eq!(exact.counts, sample_graphlets_seeded(&g, 1.0, 42).counts);
     }
 
     #[test]
@@ -433,6 +786,29 @@ mod tests {
     }
 
     #[test]
+    fn seeded_sampling_is_roughly_unbiased() {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..30).map(|_| g.add_node(0)).collect();
+        let mut rng = SmallRng::seed_from_u64(5);
+        use rand::Rng;
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                if rng.gen_bool(0.2) {
+                    g.add_edge(nodes[i], nodes[j], 0);
+                }
+            }
+        }
+        let exact = count_graphlets(&g).total();
+        let runs = 30u64;
+        let est_sum: f64 = (0..runs)
+            .map(|s| sample_graphlets_seeded(&g, 0.7, 1000 + s).total())
+            .sum();
+        let est = est_sum / runs as f64;
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.15, "estimate {est} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
     fn euclidean_distance_properties() {
         let a = [0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let b = [0.0, 0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0];
@@ -447,5 +823,60 @@ mod tests {
         // one triangle + one P3 -> 50/50
         assert!((d[0] - 0.5).abs() < 1e-12);
         assert!((d[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_counts_match_reference_across_thread_counts() {
+        use crate::generate::{assign_labels, erdos_renyi};
+        let _guard = crate::kernel_test_lock();
+        let prev = par::thread_cap();
+        for seed in 0..12u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut g = erdos_renyi(24, 0.2, 0, &mut rng);
+            assign_labels(&mut g, 3, 2, &mut rng);
+            let expect = count_graphlets(&g);
+            for cap in [1usize, 2, 4] {
+                par::set_thread_cap(cap);
+                assert_eq!(
+                    count_graphlets_par(&g).counts,
+                    expect.counts,
+                    "seed {seed} cap {cap}"
+                );
+            }
+            par::set_thread_cap(prev);
+        }
+    }
+
+    #[test]
+    fn seeded_sampling_is_thread_count_invariant() {
+        use crate::generate::erdos_renyi;
+        let _guard = crate::kernel_test_lock();
+        let prev = par::thread_cap();
+        for seed in 0..12u64 {
+            let mut rng = SmallRng::seed_from_u64(100 + seed);
+            let g = erdos_renyi(24, 0.2, 0, &mut rng);
+            par::set_thread_cap(1);
+            let one = sample_graphlets_seeded(&g, 0.6, seed);
+            for cap in [2usize, 3, 4, 8] {
+                par::set_thread_cap(cap);
+                let many = sample_graphlets_seeded(&g, 0.6, seed);
+                assert_eq!(one.counts, many.counts, "seed {seed} cap {cap}");
+            }
+            // the sequential toggle is the same code path as cap 1
+            par::set_thread_cap(prev);
+            par::set_parallel_enabled(false);
+            let seq = sample_graphlets_seeded(&g, 0.6, seed);
+            par::set_parallel_enabled(true);
+            assert_eq!(one.counts, seq.counts, "seed {seed} sequential toggle");
+        }
+    }
+
+    #[test]
+    fn sampled_collection_distribution_with_full_retention_is_exact() {
+        let graphs = [clique(4), path(5), clique(3)];
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let exact = collection_distribution(graphs.iter());
+        let sampled = collection_distribution_sampled(&refs, 1.0, 7);
+        assert_eq!(exact, sampled);
     }
 }

@@ -188,9 +188,10 @@ pub struct NodeSig {
     pub nbr_bits: u64,
 }
 
+/// The splitmix64 finalizer — shared with the graphlet sampler's
+/// per-root seeding scheme.
 #[inline]
-fn mix64(mut x: u64) -> u64 {
-    // splitmix64 finalizer
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
@@ -276,6 +277,15 @@ impl GraphIndex {
             sigs,
             fingerprint: Fingerprint::of(g),
         }
+    }
+
+    /// Compiles many graphs in parallel, order-stably: `out[i]` indexes
+    /// `graphs[i]`. Index construction is per-graph deterministic, so
+    /// the batch is identical to a sequential loop of [`Self::build`].
+    pub fn build_many(graphs: &[&Graph]) -> Vec<GraphIndex> {
+        let _s = vqi_observe::span("kernel.index.batch");
+        vqi_observe::incr("kernel.index.batch.graphs", graphs.len() as u64);
+        crate::par::map(graphs, |g| GraphIndex::build(g))
     }
 
     /// Number of indexed nodes.

@@ -24,6 +24,9 @@
 //!   label-partitioned candidate buckets, invariant signatures) and
 //!   graph fingerprints for constant-time infeasibility checks and MCS
 //!   upper bounds;
+//! * [`par`] — deterministic fork-join helpers (order-stable chunked
+//!   maps over scoped threads) used by every parallel kernel path, with
+//!   a global sequential toggle and thread-count controls;
 //! * [`cache`] — sharded, capacity-bounded memoization of the expensive
 //!   kernels (MCS similarity, coverage) keyed by canonical codes;
 //! * [`io`] — a line-oriented text format compatible with the classic
@@ -43,6 +46,7 @@ pub mod io;
 pub mod iso;
 pub mod mcs;
 pub mod metrics;
+pub mod par;
 pub mod traversal;
 pub mod truss;
 

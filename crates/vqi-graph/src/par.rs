@@ -1,0 +1,229 @@
+//! Deterministic fork-join parallelism for the substrate kernels.
+//!
+//! Every helper here guarantees a **thread-count-invariant** result: work
+//! is split into contiguous index ranges, each worker produces the
+//! results for its own range, and the partial outputs are concatenated
+//! (or folded by the caller) in range order. Changing the number of
+//! threads changes only *where* each item is computed, never the order
+//! in which results are combined, so a kernel built on these helpers
+//! returns bit-identical output at 1 thread and at N.
+//!
+//! The thread count is resolved, in priority order, from:
+//!
+//! 1. the global sequential toggle ([`set_parallel_enabled`]) — the
+//!    escape hatch that keeps single-threaded reference paths testable,
+//!    mirroring the MCS bound-and-skip switch;
+//! 2. the in-process cap ([`set_thread_cap`]) — used by benchmarks and
+//!    tests that compare thread counts without re-launching the process;
+//! 3. the `VQI_NUM_THREADS` / `RAYON_NUM_THREADS` environment variables
+//!    (read once), so CI can pin the count per run;
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Workers are spawned per call with [`std::thread::scope`] — closures
+//! may borrow from the caller's stack, no worker pool is kept alive, and
+//! a call made from inside another `par` worker runs sequentially
+//! instead of oversubscribing (the result is identical either way).
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Global parallelism toggle; `true` by default.
+static PARALLEL_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// In-process thread cap; 0 means "no cap".
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside worker closures so nested calls degrade to sequential.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the parallel paths are enabled (the default). When disabled,
+/// every helper runs on the calling thread — the sequential reference
+/// behavior, bit-identical to the parallel one.
+pub fn parallel_enabled() -> bool {
+    PARALLEL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables the parallel paths globally.
+pub fn set_parallel_enabled(on: bool) {
+    PARALLEL_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Caps the number of worker threads in-process (benchmarks comparing
+/// thread counts use this instead of re-launching with a different
+/// environment). `0` removes the cap.
+pub fn set_thread_cap(cap: usize) {
+    THREAD_CAP.store(cap, Ordering::Relaxed);
+}
+
+/// The current in-process thread cap (`0` = no cap).
+pub fn thread_cap() -> usize {
+    THREAD_CAP.load(Ordering::Relaxed)
+}
+
+/// Thread count requested via environment, read once per process.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        for key in ["VQI_NUM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(key) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n > 0 {
+                        return Some(n);
+                    }
+                }
+            }
+        }
+        None
+    })
+}
+
+/// The number of worker threads a helper call would use right now.
+pub fn num_threads() -> usize {
+    if !parallel_enabled() || IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    let cap = thread_cap();
+    if cap > 0 {
+        return cap;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most [`num_threads`] contiguous ranges, applies
+/// `f` to each range on its own worker, and returns the per-range
+/// results **in range order**. The caller owns the merge, which is where
+/// the determinism contract lives: fold the returned partials left to
+/// right and the result cannot depend on the thread count.
+pub fn map_chunks<A, F>(n: usize, f: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(Range<usize>) -> A + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(n))
+        .collect();
+    vqi_observe::incr("kernel.par.jobs", 1);
+    vqi_observe::incr("kernel.par.workers", ranges.len() as u64);
+    let mut parts: Vec<A> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    f(r)
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+    });
+    parts
+}
+
+/// Order-stable parallel map over an index range: `out[i] == f(i)`
+/// exactly as the sequential loop would produce, for any thread count.
+pub fn map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    map_chunks(n, |r| r.map(&f).collect::<Vec<U>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Order-stable parallel map over a slice: `out[i] == f(&items[i])`.
+pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_range(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `body` under an explicit thread cap, restoring the previous
+    /// cap afterwards. Serialized via the kernel test lock because the
+    /// cap is crate-global.
+    fn with_cap<T>(cap: usize, body: impl FnOnce() -> T) -> T {
+        let prev = thread_cap();
+        set_thread_cap(cap);
+        let out = body();
+        set_thread_cap(prev);
+        out
+    }
+
+    #[test]
+    fn map_is_identical_across_thread_counts() {
+        let _guard = crate::kernel_test_lock();
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for cap in [1, 2, 3, 4, 7, 64] {
+            let got = with_cap(cap, || map(&items, |x| x * x + 1));
+            assert_eq!(got, expect, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn map_range_handles_edges() {
+        let _guard = crate::kernel_test_lock();
+        for cap in [1, 4] {
+            with_cap(cap, || {
+                assert!(map_range(0, |i| i).is_empty());
+                assert_eq!(map_range(1, |i| i), vec![0]);
+                assert_eq!(map_range(3, |i| i * 2), vec![0, 2, 4]);
+            });
+        }
+    }
+
+    #[test]
+    fn map_chunks_partitions_in_order() {
+        let _guard = crate::kernel_test_lock();
+        let parts = with_cap(4, || map_chunks(10, |r| r.collect::<Vec<usize>>()));
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn sequential_toggle_forces_one_thread() {
+        let _guard = crate::kernel_test_lock();
+        set_parallel_enabled(false);
+        assert_eq!(num_threads(), 1);
+        let got = map_range(100, |i| i + 1);
+        set_parallel_enabled(true);
+        assert_eq!(got, (1..=100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_and_agree() {
+        let _guard = crate::kernel_test_lock();
+        let expect: Vec<Vec<usize>> = (0..6)
+            .map(|i| (0..4).map(|j| i * 4 + j).collect())
+            .collect();
+        let got = with_cap(3, || map_range(6, |i| map_range(4, |j| i * 4 + j)));
+        assert_eq!(got, expect);
+    }
+}

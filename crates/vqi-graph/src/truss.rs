@@ -12,16 +12,40 @@
 //! Implemented with the standard peeling algorithm: compute edge supports
 //! (triangle counts), then repeatedly remove the edge of minimum support,
 //! decrementing the supports of the edges it formed triangles with.
+//!
+//! **Parallelism.** [`edge_supports`] counts triangles in parallel:
+//! root nodes are split into contiguous chunks, each worker accumulates a
+//! private `Vec<u32>` of per-edge counts, and the partials are summed in
+//! chunk index order. Every triangle `u < v < w` is attributed to its
+//! minimum node `u` exactly once, so the per-chunk counts partition the
+//! total and the `u32` sums are exactly associative — the result is
+//! bit-identical to [`edge_supports_seq`] at any thread count. The peel
+//! itself is inherently sequential, but [`trussness`] materializes every
+//! triangle once up front (a second mark-trick pass, laid out as a
+//! per-edge CSR of partner-edge pairs) so each removal just walks its
+//! edge's triangle list — no adjacency lookups at all, instead of the
+//! baseline's linear `edge_between` scan per neighbor of the removed
+//! edge (`O(deg a · deg)` per removal). [`trussness_baseline`] keeps the
+//! pre-optimization path for regression tests and benchmarks. Trussness
+//! values are unique whatever the peel's tie-breaking, so both paths
+//! agree exactly.
 
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::par;
 
-/// Per-edge triangle counts ("support").
-pub fn edge_supports(g: &Graph) -> Vec<u32> {
+/// Per-edge triangle counts ("support") — single-threaded reference.
+pub fn edge_supports_seq(g: &Graph) -> Vec<u32> {
+    supports_of_roots(g, 0..g.node_count())
+}
+
+/// Triangle counts attributed to root nodes in `roots` only: the
+/// mark[] trick per root `u`, counting triangles `u < v < w`. With the
+/// full range this is the classic sequential algorithm; with a subrange
+/// it is one parallel worker's partial.
+fn supports_of_roots(g: &Graph, roots: std::ops::Range<usize>) -> Vec<u32> {
     let mut support = vec![0u32; g.edge_count()];
-    // mark[] trick: for each node u, mark neighbors, then for each
-    // neighbor v > u, count common neighbors w with v
     let mut mark = vec![u32::MAX; g.node_count()];
-    for u in g.nodes() {
+    for u in roots.map(|i| NodeId(i as u32)) {
         for (v, e) in g.neighbors(u) {
             mark[v.index()] = e.0;
         }
@@ -48,11 +72,40 @@ pub fn edge_supports(g: &Graph) -> Vec<u32> {
     support
 }
 
-/// The trussness of every edge: the largest `k` such that the edge belongs
-/// to the k-truss. Edges in no triangle have trussness 2.
-pub fn trussness(g: &Graph) -> Vec<u32> {
+/// Per-edge triangle counts ("support").
+///
+/// Runs the parallel chunked count when the [`par`] executor has more
+/// than one thread available, and the sequential reference otherwise —
+/// the outputs are bit-identical either way (exact `u32` sums merged in
+/// chunk index order).
+pub fn edge_supports(g: &Graph) -> Vec<u32> {
+    if par::num_threads() <= 1 || g.node_count() < 2 {
+        return edge_supports_seq(g);
+    }
+    let _s = vqi_observe::span("kernel.truss.supports");
+    let partials = par::map_chunks(g.node_count(), |roots| supports_of_roots(g, roots));
+    vqi_observe::incr("kernel.truss.supports.chunks", partials.len() as u64);
+    let mut support = vec![0u32; g.edge_count()];
+    // merge per-worker accumulators in chunk index order
+    for part in partials {
+        for (s, p) in support.iter_mut().zip(part) {
+            *s += p;
+        }
+    }
+    support
+}
+
+/// The bucket-queue peel, generic over the triangle-partner enumeration
+/// so the optimized and baseline paths share every other instruction.
+/// `partners(e, a, b, removed, f)` must call `f(aw, bw)` once for every
+/// live pair of edges `a--w`, `b--w` completing a triangle with
+/// `e = a--b` (`a` is the lower-degree endpoint).
+fn peel(
+    g: &Graph,
+    mut support: Vec<u32>,
+    partners: impl Fn(EdgeId, NodeId, NodeId, &[bool], &mut dyn FnMut(EdgeId, EdgeId)),
+) -> Vec<u32> {
     let m = g.edge_count();
-    let mut support = edge_supports(g);
     let mut truss = vec![0u32; m];
     let mut removed = vec![false; m];
 
@@ -101,28 +154,122 @@ pub fn trussness(g: &Graph) -> Vec<u32> {
         } else {
             (v, u)
         };
+        partners(e, a, b, &removed, &mut |aw, bw| {
+            for &f in &[aw, bw] {
+                if support[f.index()] > 0 {
+                    support[f.index()] -= 1;
+                    let s = support[f.index()] as usize;
+                    buckets[s].push(f);
+                    if s < cursor {
+                        cursor = s;
+                    }
+                }
+            }
+        });
+    }
+    truss
+}
+
+/// The trussness of every edge: the largest `k` such that the edge belongs
+/// to the k-truss. Edges in no triangle have trussness 2.
+///
+/// Per-edge triangle lists in CSR layout: `pairs[offsets[e]..offsets[e+1]]`
+/// are the `(f1, f2)` partner-edge pairs of every triangle containing
+/// edge `e`. Sized exactly by the supports (each triangle contributes
+/// one entry to each of its three edges).
+struct TriangleLists {
+    offsets: Vec<usize>,
+    pairs: Vec<(EdgeId, EdgeId)>,
+}
+
+impl TriangleLists {
+    fn build(g: &Graph, support: &[u32]) -> TriangleLists {
+        let m = g.edge_count();
+        let mut offsets = vec![0usize; m + 1];
+        for e in 0..m {
+            offsets[e + 1] = offsets[e] + support[e] as usize;
+        }
+        let mut pairs = vec![(EdgeId(0), EdgeId(0)); offsets[m]];
+        let mut cursor = offsets.clone();
+        let mut push = |e: EdgeId, f1: EdgeId, f2: EdgeId| {
+            pairs[cursor[e.index()]] = (f1, f2);
+            cursor[e.index()] += 1;
+        };
+        // the same mark-trick enumeration as supports_of_roots, recording
+        // each triangle u < v < w on all three of its edges
+        let mut mark = vec![u32::MAX; g.node_count()];
+        for u in g.nodes() {
+            for (v, e) in g.neighbors(u) {
+                mark[v.index()] = e.0;
+            }
+            for (v, uv) in g.neighbors(u) {
+                if v <= u {
+                    continue;
+                }
+                for (w, vw) in g.neighbors(v) {
+                    if w <= v {
+                        continue;
+                    }
+                    let uw = mark[w.index()];
+                    if uw != u32::MAX && w != u {
+                        let uw = EdgeId(uw);
+                        push(uv, vw, uw);
+                        push(vw, uv, uw);
+                        push(uw, uv, vw);
+                    }
+                }
+            }
+            for (v, _) in g.neighbors(u) {
+                mark[v.index()] = u32::MAX;
+            }
+        }
+        TriangleLists { offsets, pairs }
+    }
+
+    #[inline]
+    fn of(&self, e: EdgeId) -> &[(EdgeId, EdgeId)] {
+        &self.pairs[self.offsets[e.index()]..self.offsets[e.index() + 1]]
+    }
+}
+
+/// Supports come from the (parallel) [`edge_supports`]; the peel walks
+/// precomputed per-edge [`TriangleLists`] instead of probing adjacency.
+/// Output is identical to [`trussness_baseline`]: both enumerate exactly
+/// the live triangles of the removed edge, supports reach the same
+/// values whatever the decrement order, and trussness is unique
+/// regardless of tie-breaks among equal-support edges.
+pub fn trussness(g: &Graph) -> Vec<u32> {
+    let _s = vqi_observe::span("kernel.truss.peel");
+    vqi_observe::incr("kernel.truss.peel.edges", g.edge_count() as u64);
+    let support = edge_supports(g);
+    let tri = TriangleLists::build(g, &support);
+    vqi_observe::incr("kernel.truss.triangles", (tri.pairs.len() / 3) as u64);
+    peel(g, support, |e, _a, _b, removed, f| {
+        for &(f1, f2) in tri.of(e) {
+            if !removed[f1.index()] && !removed[f2.index()] {
+                f(f1, f2);
+            }
+        }
+    })
+}
+
+/// The pre-optimization trussness path: sequential supports and linear
+/// `edge_between` scans in the peel. Kept as the reference for the
+/// regression tests and the `exp_pipelines` benchmark baseline.
+pub fn trussness_baseline(g: &Graph) -> Vec<u32> {
+    let support = edge_supports_seq(g);
+    peel(g, support, |_e, a, b, removed, f| {
         for (w, aw) in g.neighbors(a) {
             if removed[aw.index()] || w == b {
                 continue;
             }
             if let Some(bw) = g.edge_between(b, w) {
-                if removed[bw.index()] {
-                    continue;
-                }
-                for &f in &[aw, bw] {
-                    if support[f.index()] > 0 {
-                        support[f.index()] -= 1;
-                        let s = support[f.index()] as usize;
-                        buckets[s].push(f);
-                        if s < cursor {
-                            cursor = s;
-                        }
-                    }
+                if !removed[bw.index()] {
+                    f(aw, bw);
                 }
             }
         }
-    }
-    truss
+    })
 }
 
 /// The decomposition TATTOO operates on.
@@ -305,5 +452,60 @@ mod tests {
         assert_eq!(s[1], 2);
         let t = trussness(&g);
         assert!(t.iter().all(|&x| x == 3), "diamond is a 3-truss: {t:?}");
+    }
+
+    #[test]
+    fn triangle_list_peel_matches_baseline_on_fixtures() {
+        // the clique/tree/mixed fixtures of this module, plus the diamond
+        let tree = GraphBuilder::new()
+            .nodes(&[0; 5])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(1, 3, 0)
+            .edge(3, 4, 0)
+            .build();
+        let mut mixed = clique(4);
+        let n4 = mixed.add_node(0);
+        let n5 = mixed.add_node(0);
+        mixed.add_edge(NodeId(3), n4, 0);
+        mixed.add_edge(n4, n5, 0);
+        let diamond = GraphBuilder::new()
+            .nodes(&[0; 4])
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(0, 2, 0)
+            .edge(1, 3, 0)
+            .edge(2, 3, 0)
+            .build();
+        for (name, g) in [
+            ("K5", &clique(5)),
+            ("tree", &tree),
+            ("mixed", &mixed),
+            ("diamond", &diamond),
+        ] {
+            assert_eq!(trussness(g), trussness_baseline(g), "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_supports_and_trussness_match_reference_across_thread_counts() {
+        use crate::generate::{assign_labels, erdos_renyi};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let _guard = crate::kernel_test_lock();
+        let prev = par::thread_cap();
+        for seed in 0..12u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut g = erdos_renyi(60, 0.12, 0, &mut rng);
+            assign_labels(&mut g, 3, 2, &mut rng);
+            let expect_sup = edge_supports_seq(&g);
+            let expect_truss = trussness_baseline(&g);
+            for cap in [1usize, 2, 4] {
+                par::set_thread_cap(cap);
+                assert_eq!(edge_supports(&g), expect_sup, "seed {seed} cap {cap}");
+                assert_eq!(trussness(&g), expect_truss, "seed {seed} cap {cap}");
+            }
+            par::set_thread_cap(prev);
+        }
     }
 }

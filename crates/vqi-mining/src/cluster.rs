@@ -12,7 +12,6 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rayon::prelude::*;
 
 /// Dense symmetric distance matrix.
 #[derive(Debug, Clone)]
@@ -28,7 +27,7 @@ impl DistanceMatrix {
         let pairs: Vec<(usize, usize)> = (0..n)
             .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
             .collect();
-        let vals: Vec<f64> = pairs.par_iter().map(|&(i, j)| f(i, j)).collect();
+        let vals: Vec<f64> = vqi_graph::par::map(&pairs, |&(i, j)| f(i, j));
         let mut d = vec![0.0; n * n];
         for (&(i, j), &v) in pairs.iter().zip(vals.iter()) {
             d[i * n + j] = v;

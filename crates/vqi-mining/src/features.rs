@@ -75,8 +75,7 @@ impl FeatureSpace {
 
     /// Feature vectors for a whole collection (parallelized).
     pub fn vectors(&self, graphs: &[Graph]) -> Vec<Vec<f64>> {
-        use rayon::prelude::*;
-        graphs.par_iter().map(|g| self.vector(g)).collect()
+        vqi_graph::par::map(graphs, |g| self.vector(g))
     }
 }
 

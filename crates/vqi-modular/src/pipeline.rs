@@ -1,7 +1,6 @@
 //! Composition of the four stages into a [`PatternSelector`].
 
 use crate::stages::{ClusteringStage, ExtractStage, MergeStage};
-use rayon::prelude::*;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
 use vqi_core::pattern::{PatternKind, PatternSet};
@@ -9,8 +8,9 @@ use vqi_core::repo::{GraphCollection, GraphRepository};
 use vqi_core::score::{cognitive_load, covers_cached_indexed, QualityWeights};
 use vqi_core::selector::PatternSelector;
 use vqi_graph::cache::mcs_similarity_cached_bounded;
-use vqi_graph::canon::{canonical_code, CanonicalCode};
+use vqi_graph::canon::{canonical_codes, CanonicalCode};
 use vqi_graph::index::GraphIndex;
+use vqi_graph::par;
 use vqi_graph::Graph;
 use vqi_mining::cluster::DistanceMatrix;
 use vqi_mining::similarity::SimilarityMeasure;
@@ -99,16 +99,20 @@ impl ModularPipeline {
             .collect();
         drop(merge_span);
 
-        // stage 4: extract candidates
+        // stage 4: extract candidates (sequential sampling preserves the
+        // extractor's RNG stream), then batch-canonicalize and dedup in
+        // extraction order — identical output, parallel canonicalization
         let extract_span = vqi_observe::span!("modular.extract.{}", self.extractor.name());
+        let mut raw: Vec<Graph> = Vec::new();
+        for (cg, weights) in &merged {
+            raw.extend(self.extractor.extract(cg, weights, budget));
+        }
+        let codes = canonical_codes(&raw);
         let mut candidates: Vec<(Graph, CanonicalCode)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        for (cg, weights) in &merged {
-            for cand in self.extractor.extract(cg, weights, budget) {
-                let code = canonical_code(&cand);
-                if seen.insert(code.clone()) {
-                    candidates.push((cand, code));
-                }
+        for (cand, code) in raw.into_iter().zip(codes) {
+            if seen.insert(code.clone()) {
+                candidates.push((cand, code));
             }
         }
         drop(extract_span);
@@ -117,27 +121,25 @@ impl ModularPipeline {
         // common final selection: greedy coverage/diversity/cognitive-load
         let _select = vqi_observe::span("modular.select");
         // one label index per live graph, shared across all candidates
-        let indexes: Vec<GraphIndex> = ids
-            .par_iter()
-            .map(|&id| GraphIndex::build(collection.get(id).expect("live")))
-            .collect();
+        let indexes = GraphIndex::build_many(&graphs);
+        let coverages: Vec<Option<BitSet>> = par::map(&candidates, |(c, code)| {
+            let mut cov = BitSet::new(ids.len());
+            for (pos, &id) in ids.iter().enumerate() {
+                let g = collection.get(id).expect("live");
+                let token = collection.token(id).expect("live");
+                if covers_cached_indexed(c, code, g, token, &indexes[pos]) {
+                    cov.set(pos);
+                }
+            }
+            cov.any().then_some(cov)
+        });
         let bitsets: Vec<(Graph, CanonicalCode, BitSet, f64)> = candidates
-            .into_par_iter()
-            .filter_map(|(c, code)| {
-                let mut cov = BitSet::new(ids.len());
-                for (pos, &id) in ids.iter().enumerate() {
-                    let g = collection.get(id).expect("live");
-                    let token = collection.token(id).expect("live");
-                    if covers_cached_indexed(&c, &code, g, token, &indexes[pos]) {
-                        cov.set(pos);
-                    }
-                }
-                if cov.any() {
-                    let cl = cognitive_load(&c);
-                    Some((c, code, cov, cl))
-                } else {
-                    None
-                }
+            .into_iter()
+            .zip(coverages)
+            .filter_map(|((c, code), cov)| {
+                let cov = cov?;
+                let cl = cognitive_load(&c);
+                Some((c, code, cov, cl))
             })
             .collect();
 
@@ -149,15 +151,12 @@ impl ModularPipeline {
         // per-round recomputation of the maximum)
         let mut max_sim: Vec<f64> = vec![0.0; pool.len()];
         while set.len() < budget.count && !pool.is_empty() {
-            let scores: Vec<f64> = (0..pool.len())
-                .into_par_iter()
-                .map(|i| {
-                    let (_, _, cov, cl) = &pool[i];
-                    let gain = cov.count_and_not(&covered) as f64 / n as f64;
-                    let div = 1.0 - max_sim[i];
-                    gain + self.weights.diversity * div - self.weights.cognitive * cl
-                })
-                .collect();
+            let scores: Vec<f64> = par::map_range(pool.len(), |i| {
+                let (_, _, cov, cl) = &pool[i];
+                let gain = cov.count_and_not(&covered) as f64 / n as f64;
+                let div = 1.0 - max_sim[i];
+                gain + self.weights.diversity * div - self.weights.cognitive * cl
+            });
             let (bi, &best) = scores
                 .iter()
                 .enumerate()
@@ -173,13 +172,10 @@ impl ModularPipeline {
             let prov = format!("modular:{}", self.describe());
             if set.insert(g.clone(), PatternKind::Canned, prov).is_ok() {
                 vqi_observe::incr("modular.greedy.sim_calls", pool.len() as u64);
-                let sims: Vec<f64> = pool
-                    .par_iter()
-                    .zip(max_sim.par_iter())
-                    .map(|((pg, pcode, _, _), &m)| {
-                        mcs_similarity_cached_bounded(pg, pcode, &g, &code, m)
-                    })
-                    .collect();
+                let sims: Vec<f64> = par::map_range(pool.len(), |i| {
+                    let (pg, pcode, _, _) = &pool[i];
+                    mcs_similarity_cached_bounded(pg, pcode, &g, &code, max_sim[i])
+                });
                 for (ms, s) in max_sim.iter_mut().zip(sims) {
                     *ms = f64::max(*ms, s);
                 }
@@ -311,5 +307,31 @@ mod tests {
         let set = ModularPipeline::standard()
             .run(&GraphCollection::new(vec![]), &PatternBudget::default());
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn selection_is_identical_across_thread_counts() {
+        let col = collection();
+        let budget = PatternBudget::new(4, 4, 6);
+        let codes_at = |cap: usize| -> Vec<CanonicalCode> {
+            vqi_graph::par::set_thread_cap(cap);
+            let set = ModularPipeline::standard().run(&col, &budget);
+            vqi_graph::par::set_thread_cap(0);
+            let mut codes: Vec<CanonicalCode> =
+                set.patterns().iter().map(|p| p.code.clone()).collect();
+            codes.sort();
+            codes
+        };
+        let one = codes_at(1);
+        assert!(!one.is_empty());
+        assert_eq!(one, codes_at(2), "cap 2 changed the selection");
+        assert_eq!(one, codes_at(4), "cap 4 changed the selection");
+        vqi_graph::par::set_parallel_enabled(false);
+        let seq = ModularPipeline::standard().run(&col, &budget);
+        vqi_graph::par::set_parallel_enabled(true);
+        let mut seq_codes: Vec<CanonicalCode> =
+            seq.patterns().iter().map(|p| p.code.clone()).collect();
+        seq_codes.sort();
+        assert_eq!(one, seq_codes, "sequential toggle changed the selection");
     }
 }

@@ -106,7 +106,7 @@ build midas
 build vqi-modular
 build bench "json timed_ms_records_a_span"
 
-binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned exp_kernels
+binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned exp_kernels exp_pipelines
 
 say "vqi-cli (check)"
 # shellcheck disable=SC2086
