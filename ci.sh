@@ -23,6 +23,14 @@ for crate in vqi-graph vqi-core catapult tattoo midas vqi-modular bench; do
     cargo clippy -p "$crate" --all-targets -- -D warnings
 done
 
+echo "== clippy unwrap/expect audit (pipeline crates; advisory warnings) =="
+# the robustness layer routes stage failures through VqiError instead of
+# unwinding, so new unwrap()/expect() in pipeline code deserves a look —
+# advisory (-W) because the kernels legitimately expect() on invariants
+for crate in catapult tattoo midas vqi-modular; do
+    cargo clippy -p "$crate" -- -W clippy::unwrap_used -W clippy::expect_used
+done
+
 echo "== cargo test =="
 cargo test --workspace -q
 
@@ -55,6 +63,19 @@ for threads in 1 4; do
     RAYON_NUM_THREADS=$threads cargo test -q -p tattoo selection_is_identical_across_thread_counts
     RAYON_NUM_THREADS=$threads cargo test -q -p midas maintenance_is_identical_across_thread_counts
     RAYON_NUM_THREADS=$threads cargo test -q -p vqi-modular selection_is_identical_across_thread_counts
+done
+
+echo "== fault-injection suite (each test sweeps seeds 1 and 2 internally) =="
+# every pipeline must end Complete or Degraded — never panic — with
+# identical outcomes at any worker count, so run the suite pinned to
+# one worker and to four
+for threads in 1 4; do
+    echo "-- RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q -p catapult -p tattoo -p midas -p vqi-modular injected_
+    RAYON_NUM_THREADS=$threads cargo test -q -p catapult -p tattoo -p midas -p vqi-modular fail_fast
+    RAYON_NUM_THREADS=$threads cargo test -q -p tattoo crashed_shards_are_retried_to_a_complete_result
+    RAYON_NUM_THREADS=$threads cargo test -q -p tattoo exhausted_retries_drop_shards_deterministically
+    RAYON_NUM_THREADS=$threads cargo test -q -p midas failed_census_keeps_previous_gfd_and_skips_maintenance
 done
 
 echo "CI OK"

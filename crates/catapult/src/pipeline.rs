@@ -1,10 +1,11 @@
 //! The end-to-end CATAPULT pipeline.
 
 use crate::candidates::{generate_candidates, WalkParams};
-use crate::select::{greedy_select, score_candidates};
+use crate::select::{greedy_select_ctrl, score_candidates};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{run_stage, Budget, Degradation, PipelineOutcome};
 use vqi_core::pattern::PatternSet;
 use vqi_core::repo::{GraphCollection, GraphRepository};
 use vqi_core::score::QualityWeights;
@@ -13,6 +14,7 @@ use vqi_mining::closure::ClusterSummaryGraph;
 use vqi_mining::cluster::{k_medoids, Clustering, DistanceMatrix};
 use vqi_mining::features::{cosine_distance, FeatureSpace};
 use vqi_mining::fst::{mine_frequent_subtrees, MineParams};
+use vqi_runtime::{error::panic_reason, fault, VqiError};
 
 /// CATAPULT configuration.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +85,71 @@ impl Catapult {
         collection: &GraphCollection,
         budget: &PatternBudget,
     ) -> (PatternSet, CatapultState) {
+        // an unlimited budget cannot trip a stage, so the shared body
+        // degenerates to the historical plain pipeline bit for bit
+        let mut deg = Degradation::new();
+        match self.run_impl(collection, budget, &Budget::unlimited(), &mut deg) {
+            Ok(v) => v,
+            // unreachable without fail-fast; keep a benign fallback
+            Err(_) => (PatternSet::new(), Self::empty_state(collection.ids())),
+        }
+    }
+
+    /// Budget-aware pipeline: same stages as [`Catapult::run_with_state`],
+    /// but every stage honors `ctrl` (deadline, cancel flag, tick
+    /// quotas) and is panic-isolated. When nothing trips, the outcome is
+    /// `Complete` and bit-identical to the plain entry point; when a
+    /// stage is cut, the pipeline keeps everything selected so far
+    /// (anytime semantics) and reports the cut stages. `Err` is returned
+    /// only under a fail-fast budget.
+    pub fn run_with_state_ctrl(
+        &self,
+        collection: &GraphCollection,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<(PatternSet, CatapultState)>, VqiError> {
+        let mut deg = Degradation::new();
+        let value = self.run_impl(collection, budget, ctrl, &mut deg)?;
+        Ok(deg.finish(value))
+    }
+
+    /// Budget-aware selection without the intermediate state.
+    pub fn run_ctrl(
+        &self,
+        collection: &GraphCollection,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        let out = self.run_with_state_ctrl(collection, budget, ctrl)?;
+        Ok(PipelineOutcome {
+            value: out.value.0,
+            completeness: out.completeness,
+        })
+    }
+
+    /// The state a degraded run reports when it had to stop before the
+    /// clustering existed.
+    fn empty_state(graph_ids: Vec<usize>) -> CatapultState {
+        CatapultState {
+            feature_space: FeatureSpace::with_idf(Vec::new(), &[], 1),
+            feature_vectors: Vec::new(),
+            graph_ids,
+            clustering: Clustering {
+                assignments: Vec::new(),
+                representatives: Vec::new(),
+            },
+            csgs: Vec::new(),
+        }
+    }
+
+    /// Shared stage body of the plain and budget-aware pipelines.
+    fn run_impl(
+        &self,
+        collection: &GraphCollection,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+        deg: &mut Degradation,
+    ) -> Result<(PatternSet, CatapultState), VqiError> {
         let _run = vqi_observe::span("catapult.run");
         let cfg = &self.config;
         let graph_ids = collection.ids();
@@ -94,8 +161,9 @@ impl Catapult {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
         // step 0: mine features
-        let (feature_space, feature_vectors) = {
+        let mined = run_stage(ctrl, "catapult.mine", || {
             let _s = vqi_observe::span("catapult.mine");
+            fault::maybe_panic("catapult.mine", 0);
             let min_support = ((cfg.min_support_frac * n as f64).ceil() as usize).max(1);
             let mined = mine_frequent_subtrees(
                 &graphs,
@@ -110,11 +178,19 @@ impl Catapult {
             let feature_space = FeatureSpace::with_idf(trees, &dfs, n.max(1));
             let feature_vectors = feature_space.vectors(&graphs);
             (feature_space, feature_vectors)
+        });
+        let (feature_space, feature_vectors) = match mined {
+            Ok(v) => v,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                return Ok((PatternSet::new(), Self::empty_state(graph_ids)));
+            }
         };
 
         // step 1: cluster by feature distance
-        let clustering = {
+        let clustered = run_stage(ctrl, "catapult.cluster", || {
             let _s = vqi_observe::span("catapult.cluster");
+            fault::maybe_panic("catapult.cluster", 0);
             let k = cfg
                 .clusters
                 .unwrap_or_else(|| ((n as f64 / 2.0).sqrt().ceil() as usize).max(1));
@@ -131,21 +207,48 @@ impl Catapult {
                     .count() as u64,
             );
             clustering
+        });
+        let clustering = match clustered {
+            Ok(c) => c,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                let mut state = Self::empty_state(graph_ids);
+                state.feature_space = feature_space;
+                state.feature_vectors = feature_vectors;
+                return Ok((PatternSet::new(), state));
+            }
         };
 
-        // step 2: summarize clusters into CSGs
+        // step 2: summarize clusters into CSGs — isolated per cluster,
+        // so one poisoned cluster costs its own summary, not the run
         let csgs = {
             let _s = vqi_observe::span("catapult.csg_closure");
             let mut csgs = Vec::new();
-            for members in clustering.clusters() {
+            for (ci, members) in clustering.clusters().iter().enumerate() {
                 if members.is_empty() {
                     continue;
                 }
+                if let Err(e) = ctrl.check("catapult.csg") {
+                    deg.absorb(ctrl, e)?;
+                    break;
+                }
                 let member_ids: Vec<usize> = members.iter().map(|&pos| graph_ids[pos]).collect();
-                if let Some(csg) = ClusterSummaryGraph::build(&member_ids, |id| {
-                    collection.get(id).expect("live id")
-                }) {
-                    csgs.push(csg);
+                let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    fault::maybe_panic("catapult.csg", ci as u64);
+                    ClusterSummaryGraph::build(&member_ids, |id| {
+                        collection.get(id).expect("live id")
+                    })
+                }));
+                match built {
+                    Ok(Some(csg)) => csgs.push(csg),
+                    Ok(None) => {}
+                    Err(payload) => deg.absorb(
+                        ctrl,
+                        VqiError::Panic {
+                            stage: "catapult.csg".into(),
+                            reason: panic_reason(payload.as_ref()),
+                        },
+                    )?,
                 }
             }
             vqi_observe::incr("catapult.csg.built", csgs.len() as u64);
@@ -153,22 +256,30 @@ impl Catapult {
         };
 
         // step 3: walk candidates, then greedy selection by pattern score
-        let (scored, ids) = {
+        let walked = run_stage(ctrl, "catapult.walk", || {
             let _s = vqi_observe::span("catapult.walk");
+            fault::maybe_panic("catapult.walk", 0);
             let cands = generate_candidates(&csgs, budget, cfg.walks, &mut rng);
             vqi_observe::incr("catapult.walk.candidates", cands.len() as u64);
             let (scored, ids) = score_candidates(cands, collection);
             vqi_observe::incr("catapult.walk.scored", scored.len() as u64);
             (scored, ids)
+        });
+        let (scored, ids) = match walked {
+            Ok(v) => v,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                (Vec::new(), Vec::new())
+            }
         };
         let patterns = {
             let _s = vqi_observe::span("catapult.greedy");
-            let patterns = greedy_select(scored, ids.len(), budget, cfg.weights);
+            let patterns = greedy_select_ctrl(scored, ids.len(), budget, cfg.weights, ctrl, deg)?;
             vqi_observe::incr("catapult.greedy.selected", patterns.len() as u64);
             patterns
         };
 
-        (
+        Ok((
             patterns,
             CatapultState {
                 feature_space,
@@ -177,7 +288,7 @@ impl Catapult {
                 clustering,
                 csgs,
             },
-        )
+        ))
     }
 }
 
@@ -215,6 +326,29 @@ impl PatternSelector for Catapult {
             GraphRepository::Network(g) => self.run_on_network(g, budget),
         }
     }
+
+    fn select_ctrl(
+        &self,
+        repo: &GraphRepository,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        match repo {
+            GraphRepository::Collection(c) => self.run_ctrl(c, budget, ctrl),
+            // the ego-decomposition fallback has no native stages; run
+            // it as one panic-isolated unit
+            GraphRepository::Network(g) => {
+                match run_stage(ctrl, "catapult.network", || self.run_on_network(g, budget)) {
+                    Ok(set) => Ok(PipelineOutcome::complete(set)),
+                    Err(e) => {
+                        let mut deg = Degradation::new();
+                        deg.absorb(ctrl, e)?;
+                        Ok(deg.finish(PatternSet::new()))
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +371,7 @@ mod tests {
 
     #[test]
     fn pipeline_fills_budget_with_valid_patterns() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(molecule_like());
         let budget = PatternBudget::new(5, 4, 6);
         let (set, state) = Catapult::default().run_with_state(&col, &budget);
@@ -253,6 +388,7 @@ mod tests {
 
     #[test]
     fn every_selected_pattern_covers_something() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(molecule_like());
         let budget = PatternBudget::new(5, 4, 6);
         let (set, _) = Catapult::default().run_with_state(&col, &budget);
@@ -264,6 +400,7 @@ mod tests {
 
     #[test]
     fn beats_random_selection_on_quality() {
+        let _guard = crate::fault_test_lock();
         use vqi_core::selector::{PatternSelector, RandomSelector};
         let graphs = molecule_like();
         let repo = GraphRepository::collection(graphs);
@@ -283,6 +420,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(molecule_like());
         let budget = PatternBudget::new(4, 4, 6);
         let (a, _) = Catapult::default().run_with_state(&col, &budget);
@@ -295,6 +433,7 @@ mod tests {
 
     #[test]
     fn empty_collection_yields_empty_set() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(vec![]);
         let (set, state) = Catapult::default().run_with_state(&col, &PatternBudget::default());
         assert!(set.is_empty());
@@ -303,6 +442,7 @@ mod tests {
 
     #[test]
     fn selection_is_identical_across_thread_counts() {
+        let _guard = crate::fault_test_lock();
         use vqi_graph::canon::CanonicalCode;
         let col = GraphCollection::new(molecule_like());
         let budget = PatternBudget::new(4, 4, 6);
@@ -327,5 +467,162 @@ mod tests {
             seq.patterns().iter().map(|p| p.code.clone()).collect();
         seq_codes.sort();
         assert_eq!(one, seq_codes, "sequential toggle changed the selection");
+    }
+
+    /// Installs a fault plan and removes it on drop, so a failing
+    /// assertion cannot leak the plan into other tests.
+    struct PlanGuard;
+    fn with_plan(plan: vqi_runtime::fault::FaultPlan) -> PlanGuard {
+        vqi_runtime::fault::set_plan(plan);
+        PlanGuard
+    }
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            vqi_runtime::fault::reset();
+        }
+    }
+
+    fn codes_in_order(set: &PatternSet) -> Vec<vqi_graph::canon::CanonicalCode> {
+        set.patterns().iter().map(|p| p.code.clone()).collect()
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        let _guard = crate::fault_test_lock();
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        let (plain, plain_state) = Catapult::default().run_with_state(&col, &budget);
+        let out = Catapult::default()
+            .run_with_state_ctrl(&col, &budget, &vqi_core::Budget::unlimited())
+            .expect("unlimited budget cannot fail");
+        assert!(out.completeness.is_complete());
+        let (set, state) = out.value;
+        // bit-identical selection, in selection order
+        assert_eq!(codes_in_order(&plain), codes_in_order(&set));
+        assert_eq!(plain_state.csgs.len(), state.csgs.len());
+    }
+
+    #[test]
+    fn greedy_quota_cancels_mid_selection_deterministically() {
+        let _guard = crate::fault_test_lock();
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        let (full, _) = Catapult::default().run_with_state(&col, &budget);
+        assert!(full.len() >= 3, "need enough rounds to cut");
+        // the greedy meter ticks once per round: a 2-tick quota keeps
+        // exactly the first two picks, at any thread count
+        let ctrl = vqi_core::Budget::unlimited().with_kernel_ticks(2);
+        let mut per_cap = Vec::new();
+        for cap in [1usize, 2, 4] {
+            vqi_graph::par::set_thread_cap(cap);
+            let out = Catapult::default()
+                .run_with_state_ctrl(&col, &budget, &ctrl)
+                .expect("not fail-fast");
+            vqi_graph::par::set_thread_cap(0);
+            assert!(!out.completeness.is_complete(), "cap {cap} should degrade");
+            per_cap.push(codes_in_order(&out.value.0));
+        }
+        assert_eq!(per_cap[0], per_cap[1]);
+        assert_eq!(per_cap[0], per_cap[2]);
+        assert_eq!(per_cap[0].len(), 2);
+        // the degraded set is a prefix of the full selection
+        assert_eq!(&per_cap[0][..], &codes_in_order(&full)[..2]);
+    }
+
+    #[test]
+    fn injected_stage_timeouts_degrade_without_panicking() {
+        let _guard = crate::fault_test_lock();
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        for seed in [1u64, 2] {
+            let mut per_cap = Vec::new();
+            for cap in [1usize, 2, 4] {
+                let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+                    seed,
+                    timeout_rate: 1.0,
+                    ..Default::default()
+                });
+                vqi_graph::par::set_thread_cap(cap);
+                let out = Catapult::default()
+                    .run_with_state_ctrl(&col, &budget, &vqi_core::Budget::unlimited())
+                    .expect("not fail-fast");
+                vqi_graph::par::set_thread_cap(0);
+                assert!(
+                    !out.completeness.is_complete(),
+                    "seed {seed} cap {cap}: a total timeout plan must degrade"
+                );
+                per_cap.push((codes_in_order(&out.value.0), out.completeness));
+            }
+            assert_eq!(per_cap[0], per_cap[1], "seed {seed}");
+            assert_eq!(per_cap[0], per_cap[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_deterministic() {
+        let _guard = crate::fault_test_lock();
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        for seed in [1u64, 2] {
+            let mut runs = Vec::new();
+            for cap in [1usize, 2, 4] {
+                let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+                    seed,
+                    panic_rate: 1.0,
+                    ..Default::default()
+                });
+                vqi_graph::par::set_thread_cap(cap);
+                let out = Catapult::default()
+                    .run_with_state_ctrl(&col, &budget, &vqi_core::Budget::unlimited())
+                    .expect("panics must be absorbed, not propagated");
+                vqi_graph::par::set_thread_cap(0);
+                assert!(!out.completeness.is_complete(), "seed {seed} cap {cap}");
+                runs.push((codes_in_order(&out.value.0), out.completeness));
+            }
+            assert_eq!(runs[0], runs[1], "seed {seed}");
+            assert_eq!(runs[0], runs[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_nan_scores_are_sanitized() {
+        let _guard = crate::fault_test_lock();
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(3, 4, 6);
+        // reinstall the plan per run: the fired-once registry models
+        // transient faults, so a fresh plan is what makes two runs see
+        // the same injections
+        let plan = vqi_runtime::fault::FaultPlan {
+            seed: 9,
+            nan_rate: 1.0,
+            ..Default::default()
+        };
+        let _p1 = with_plan(plan);
+        let a = Catapult::default()
+            .run_with_state_ctrl(&col, &budget, &vqi_core::Budget::unlimited())
+            .expect("not fail-fast");
+        let _p2 = with_plan(plan);
+        let b = Catapult::default()
+            .run_with_state_ctrl(&col, &budget, &vqi_core::Budget::unlimited())
+            .expect("not fail-fast");
+        // NaN scores are sanitized (degraded), never crash the argmax,
+        // and the outcome is reproducible
+        assert_eq!(codes_in_order(&a.value.0), codes_in_order(&b.value.0));
+        assert_eq!(a.completeness, b.completeness);
+    }
+
+    #[test]
+    fn fail_fast_propagates_the_first_fault() {
+        let _guard = crate::fault_test_lock();
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+            seed: 3,
+            timeout_rate: 1.0,
+            ..Default::default()
+        });
+        let ctrl = vqi_core::Budget::unlimited().with_fail_fast(true);
+        let out = Catapult::default().run_with_state_ctrl(&col, &budget, &ctrl);
+        assert!(out.is_err(), "fail-fast must propagate the stage fault");
     }
 }

@@ -28,6 +28,7 @@
 use crate::candidates::Candidate;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{Budget, Degradation};
 use vqi_core::pattern::{PatternKind, PatternSet};
 use vqi_core::repo::GraphCollection;
 use vqi_core::score::{cognitive_load, covers_cached_indexed, QualityWeights};
@@ -35,6 +36,7 @@ use vqi_graph::cache::mcs_similarity_cached_bounded;
 use vqi_graph::canon::canonical_code;
 use vqi_graph::index::GraphIndex;
 use vqi_graph::par;
+use vqi_runtime::{fault, VqiError};
 
 /// A candidate plus its coverage bitset over the live graphs.
 #[derive(Debug, Clone)]
@@ -93,27 +95,89 @@ pub fn score_candidates(
 /// Greedy selection of up to `budget.count` patterns from scored
 /// candidates.
 pub fn greedy_select(
-    mut candidates: Vec<ScoredCandidate>,
+    candidates: Vec<ScoredCandidate>,
     n_graphs: usize,
     budget: &PatternBudget,
     weights: QualityWeights,
 ) -> PatternSet {
+    // an unlimited budget cannot trip and absorbed notes are dropped,
+    // so the ctrl body degenerates to the plain greedy loop
+    let mut deg = Degradation::new();
+    greedy_select_ctrl(
+        candidates,
+        n_graphs,
+        budget,
+        weights,
+        &Budget::unlimited(),
+        &mut deg,
+    )
+    .unwrap_or_default()
+}
+
+/// Budget-aware greedy selection — the **anytime** loop.
+///
+/// Each round first checks `ctrl`; a tripped deadline/cancel keeps the
+/// patterns selected so far (recorded in `deg`) instead of discarding
+/// the run. Non-finite candidate scores (injected by the fault harness
+/// or produced by pathological weights) are sanitized to `-∞` so a NaN
+/// loses every comparison rather than winning the argmax under
+/// `total_cmp`, and the sanitization is noted in `deg`. Under an
+/// unlimited budget with no fault plan this is bit-identical to the
+/// historical greedy loop.
+pub fn greedy_select_ctrl(
+    mut candidates: Vec<ScoredCandidate>,
+    n_graphs: usize,
+    budget: &PatternBudget,
+    weights: QualityWeights,
+    ctrl: &Budget,
+    deg: &mut Degradation,
+) -> Result<PatternSet, VqiError> {
     let mut set = PatternSet::new();
     if n_graphs == 0 {
-        return set;
+        return Ok(set);
     }
     let mut covered = BitSet::new(n_graphs);
     // running max similarity of candidate i to the selected set; 0.0
     // while the set is empty so `1.0 - max_sim` reproduces the
     // full-diversity score of the first round
     let mut max_sim: Vec<f64> = vec![0.0; candidates.len()];
+    // one meter for the whole selection: with a tick quota of N the
+    // loop degrades after exactly N rounds, at any thread count
+    let mut meter = ctrl.meter("catapult.greedy");
     while set.len() < budget.count && !candidates.is_empty() {
-        let scores: Vec<f64> = par::map_range(candidates.len(), |i| {
+        let round = set.len() as u64;
+        if let Err(e) = ctrl.check("catapult.greedy").and_then(|()| meter.tick()) {
+            // anytime: keep what is already selected
+            deg.absorb(ctrl, e)?;
+            break;
+        }
+        if fault::maybe_timeout("catapult.greedy", round) {
+            deg.absorb(
+                ctrl,
+                VqiError::DeadlineExceeded {
+                    stage: "catapult.greedy".into(),
+                },
+            )?;
+            break;
+        }
+        let mut scores: Vec<f64> = par::map_range(candidates.len(), |i| {
             let c = &candidates[i];
             let gain = c.coverage.count_and_not(&covered) as f64 / n_graphs as f64;
             let div = 1.0 - max_sim[i];
             gain + weights.diversity * div - weights.cognitive * c.cognitive_load
         });
+        for (i, s) in scores.iter_mut().enumerate() {
+            // fault site keyed by (round, position) — both are pure
+            // functions of the input, never of the thread count
+            *s = fault::nan_score("catapult.greedy.score", (round << 32) | i as u64, *s);
+            if !s.is_finite() {
+                deg.note(
+                    "catapult.greedy",
+                    format!("non-finite score sanitized in round {round}"),
+                );
+                *s = f64::NEG_INFINITY;
+            }
+        }
         let (best_idx, &best_score) = scores
             .iter()
             .enumerate()
@@ -160,7 +224,7 @@ pub fn greedy_select(
             }
         }
     }
-    set
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -255,6 +319,7 @@ mod tests {
 
     #[test]
     fn greedy_prefers_coverage() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         // candidate A covers the two chains; candidate B covers nothing
         let a = cand(chain(4, 1, 0));
@@ -272,6 +337,7 @@ mod tests {
 
     #[test]
     fn greedy_builds_diverse_sets() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         let cands = vec![
             cand(chain(4, 1, 0)), // covers chains
@@ -293,6 +359,7 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(vec![]);
         let (scored, ids) = score_candidates(vec![], &col);
         let set = greedy_select(
@@ -306,6 +373,7 @@ mod tests {
 
     #[test]
     fn budget_count_limits_selection() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         let cands = vec![
             cand(chain(4, 1, 0)),
@@ -324,6 +392,7 @@ mod tests {
 
     #[test]
     fn incremental_greedy_matches_reference() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(vec![
             chain(6, 1, 0),
             chain(5, 1, 0),
@@ -359,6 +428,7 @@ mod tests {
 
     #[test]
     fn bound_and_skip_changes_no_selection() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(vec![
             chain(6, 1, 0),
             chain(5, 1, 0),
@@ -397,6 +467,7 @@ mod tests {
 
     #[test]
     fn non_finite_scores_do_not_panic_and_pick_deterministically() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         let cands = vec![
             cand(chain(4, 1, 0)),
@@ -431,6 +502,7 @@ mod tests {
 
     #[test]
     fn tied_scores_pick_deterministically() {
+        let _guard = crate::fault_test_lock();
         let col = GraphCollection::new(vec![chain(5, 1, 0), chain(6, 1, 0)]);
         // two isomorphic-score candidates: identical coverage, identical
         // cognitive load — the tie must break the same way every run

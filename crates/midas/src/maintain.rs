@@ -6,12 +6,17 @@ use catapult::pipeline::{Catapult, CatapultConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{run_stage, Budget, Degradation, PipelineOutcome};
 use vqi_core::pattern::PatternSet;
 use vqi_core::repo::{BatchUpdate, GraphCollection};
 use vqi_core::score::{covers_cached_indexed, QualityWeights};
-use vqi_graph::graphlet::{collection_distribution_sampled, euclidean_distance, GRAPHLET_CLASSES};
+use vqi_graph::graphlet::{
+    collection_distribution_sampled, collection_distribution_sampled_ctrl, euclidean_distance,
+    GRAPHLET_CLASSES,
+};
 use vqi_graph::index::GraphIndex;
 use vqi_graph::par;
 use vqi_graph::Graph;
@@ -19,6 +24,8 @@ use vqi_mining::closure::ClusterSummaryGraph;
 use vqi_mining::fct::FctIndex;
 use vqi_mining::features::{cosine_distance, FeatureSpace};
 use vqi_mining::fst::MineParams;
+use vqi_runtime::error::panic_reason;
+use vqi_runtime::{fault, VqiError};
 
 /// MIDAS configuration.
 #[derive(Debug, Clone, Copy)]
@@ -222,6 +229,18 @@ impl Midas {
         collection_distribution_sampled(&graphs, config.gfd_retention, config.seed)
     }
 
+    /// Budget-aware GFD census: identical to [`Self::collection_gfd`]
+    /// when the budget never trips, `Err` when the graphlet kernel runs
+    /// out of deadline, ticks, or is canceled mid-census.
+    fn collection_gfd_ctrl(
+        collection: &GraphCollection,
+        config: &MidasConfig,
+        ctrl: &Budget,
+    ) -> Result<[f64; GRAPHLET_CLASSES], VqiError> {
+        let graphs: Vec<&Graph> = collection.iter().map(|(_, g)| g).collect();
+        collection_distribution_sampled_ctrl(&graphs, config.gfd_retention, config.seed, ctrl)
+    }
+
     /// The current graphlet frequency distribution.
     pub fn gfd(&self) -> [f64; GRAPHLET_CLASSES] {
         self.gfd
@@ -235,6 +254,46 @@ impl Midas {
     /// Applies a batch update to the repository and maintains the pattern
     /// set per the MIDAS procedure.
     pub fn apply_update(&mut self, update: BatchUpdate) -> MaintenanceReport {
+        let mut deg = Degradation::new();
+        self.apply_update_impl(update, &Budget::unlimited(), &mut deg)
+            // unreachable with an unlimited, non-fail-fast budget; a
+            // zeroed minor report keeps the fallback panic-free
+            .unwrap_or(MaintenanceReport {
+                modification: Modification::Minor,
+                gfd_distance: 0.0,
+                swaps: 0,
+                candidates_considered: 0,
+                candidates_pruned: 0,
+                clusters_touched: 0,
+            })
+    }
+
+    /// Budget-aware maintenance: identical to [`Self::apply_update`]
+    /// when nothing trips, an anytime outcome otherwise. Stages that
+    /// fail (deadline, tick quota, cancellation, injected or real
+    /// panics) are skipped with the previous state retained — in
+    /// particular a failed GFD census keeps the old distribution, so
+    /// the accumulated drift is seen by the next successful census —
+    /// and the outcome reports which stages were cut. The collection
+    /// itself always reflects the batch, and `patterns` /
+    /// `pattern_bitsets` always stay mutually consistent. `Err` is
+    /// returned only under [`Budget::with_fail_fast`].
+    pub fn apply_update_ctrl(
+        &mut self,
+        update: BatchUpdate,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<MaintenanceReport>, VqiError> {
+        let mut deg = Degradation::new();
+        let report = self.apply_update_impl(update, ctrl, &mut deg)?;
+        Ok(deg.finish(report))
+    }
+
+    fn apply_update_impl(
+        &mut self,
+        update: BatchUpdate,
+        ctrl: &Budget,
+        deg: &mut Degradation,
+    ) -> Result<MaintenanceReport, VqiError> {
         let _run = vqi_observe::span("midas.apply_update");
         let removed = update.removals.clone();
         let added_graphs = update.additions.clone();
@@ -242,24 +301,30 @@ impl Midas {
         vqi_observe::incr("midas.update.added", new_ids.len() as u64);
         vqi_observe::incr("midas.update.removed", removed.len() as u64);
 
-        // 1. FCT maintenance
-        let fct_span = vqi_observe::span("midas.fct_maintain");
-        let added_pairs: Vec<(usize, &Graph)> = new_ids
-            .iter()
-            .map(|&id| (id, self.collection.get(id).expect("just added")))
-            .collect();
-        let collection_ref = &self.collection;
-        self.fct.apply_batch(&added_pairs, &removed, |id| {
-            collection_ref.get(id).expect("live id")
-        });
-        self.feature_space = FeatureSpace::new(
-            self.fct
-                .closed_trees()
+        // 1. FCT maintenance. On failure the pre-batch feature space is
+        // kept: addition assignment below still works, just against
+        // stale features.
+        if let Err(e) = run_stage(ctrl, "midas.fct", || {
+            fault::maybe_panic("midas.fct", 0);
+            let _s = vqi_observe::span("midas.fct_maintain");
+            let added_pairs: Vec<(usize, &Graph)> = new_ids
                 .iter()
-                .map(|t| t.tree.tree.clone())
-                .collect(),
-        );
-        drop(fct_span);
+                .map(|&id| (id, self.collection.get(id).expect("just added")))
+                .collect();
+            let collection_ref = &self.collection;
+            self.fct.apply_batch(&added_pairs, &removed, |id| {
+                collection_ref.get(id).expect("live id")
+            });
+            self.feature_space = FeatureSpace::new(
+                self.fct
+                    .closed_trees()
+                    .iter()
+                    .map(|t| t.tree.tree.clone())
+                    .collect(),
+            );
+        }) {
+            deg.absorb(ctrl, e)?;
+        }
 
         // 2. cluster maintenance: drop removed members, assign additions
         let cluster_span = vqi_observe::span("midas.cluster_maintain");
@@ -337,33 +402,90 @@ impl Midas {
         drop(cluster_span);
         vqi_observe::incr("midas.clusters.touched", touched.len() as u64);
 
-        // 3. rebuild CSGs of touched clusters (and resize the csg list)
+        // 3. rebuild CSGs of touched clusters (and resize the csg list).
+        // Each build is panic-isolated per cluster: a lost build leaves
+        // `None`, which the sync pass below retries once; a cluster
+        // whose CSG stays `None` simply contributes no candidates.
         let csg_span = vqi_observe::span("midas.csg_rebuild");
         self.csgs.resize(self.clusters.len(), None);
         self.csgs.truncate(self.clusters.len());
         let collection_ref = &self.collection;
+        let mut csg_cut = false;
         for &ci in &touched {
-            if ci < self.clusters.len() {
-                self.csgs[ci] = ClusterSummaryGraph::build(&self.clusters[ci].members, |id| {
-                    collection_ref.get(id).expect("live id")
-                });
+            if ci >= self.clusters.len() {
+                continue;
+            }
+            if let Err(e) = ctrl.check("midas.csg") {
+                deg.absorb(ctrl, e)?;
+                csg_cut = true;
+                break;
+            }
+            let members = &self.clusters[ci].members;
+            match catch_unwind(AssertUnwindSafe(|| {
+                fault::maybe_panic("midas.csg", ci as u64);
+                ClusterSummaryGraph::build(members, |id| collection_ref.get(id).expect("live id"))
+            })) {
+                Ok(csg) => self.csgs[ci] = csg,
+                Err(payload) => {
+                    self.csgs[ci] = None;
+                    deg.absorb(
+                        ctrl,
+                        VqiError::Panic {
+                            stage: "midas.csg".into(),
+                            reason: panic_reason(payload.as_ref()),
+                        },
+                    )?;
+                }
             }
         }
         // clusters may have shrunk: rebuild any CSG now out of sync
-        for (ci, c) in self.clusters.iter().enumerate() {
-            if self.csgs[ci].is_none() {
-                self.csgs[ci] = ClusterSummaryGraph::build(&c.members, |id| {
-                    collection_ref.get(id).expect("live id")
-                });
+        // (this pass also retries builds the loop above lost to a panic)
+        if !csg_cut {
+            for (ci, c) in self.clusters.iter().enumerate() {
+                if self.csgs.get(ci).is_some_and(|csg| csg.is_none()) {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        fault::maybe_panic("midas.csg", ci as u64);
+                        ClusterSummaryGraph::build(&c.members, |id| {
+                            collection_ref.get(id).expect("live id")
+                        })
+                    })) {
+                        Ok(csg) => self.csgs[ci] = csg,
+                        Err(payload) => {
+                            deg.absorb(
+                                ctrl,
+                                VqiError::Panic {
+                                    stage: "midas.csg".into(),
+                                    reason: panic_reason(payload.as_ref()),
+                                },
+                            )?;
+                        }
+                    }
+                }
             }
         }
         drop(csg_span);
 
-        // 4. GFD drift decides minor vs major
+        // 4. GFD drift decides minor vs major. A failed census keeps
+        // the previous distribution and reports no measured drift:
+        // pattern maintenance is skipped for this batch, and the next
+        // successful census sees the accumulated drift instead.
         let gfd_span = vqi_observe::span("midas.gfd_drift");
-        let new_gfd = Self::collection_gfd(&self.collection, &self.config);
-        let gfd_distance = euclidean_distance(&self.gfd, &new_gfd);
-        self.gfd = new_gfd;
+        let census = run_stage(ctrl, "midas.gfd", || {
+            fault::maybe_panic("midas.gfd", 0);
+            Self::collection_gfd_ctrl(&self.collection, &self.config, ctrl)
+        })
+        .and_then(|r| r);
+        let gfd_distance = match census {
+            Ok(new_gfd) => {
+                let d = euclidean_distance(&self.gfd, &new_gfd);
+                self.gfd = new_gfd;
+                d
+            }
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                0.0
+            }
+        };
         drop(gfd_span);
         vqi_observe::gauge_set("midas.gfd_distance_e6", (gfd_distance * 1e6) as i64);
 
@@ -372,80 +494,110 @@ impl Midas {
 
         if gfd_distance < self.config.drift_threshold {
             vqi_observe::incr("midas.drift.minor", 1);
-            return MaintenanceReport {
+            return Ok(MaintenanceReport {
                 modification: Modification::Minor,
                 gfd_distance,
                 swaps: 0,
                 candidates_considered: 0,
                 candidates_pruned: 0,
                 clusters_touched: touched.len(),
-            };
+            });
         }
 
         vqi_observe::incr("midas.drift.major", 1);
 
-        // 5. major: candidates from touched CSGs, then multi-scan swapping
-        let cand_span = vqi_observe::span("midas.candidates");
-        let touched_csgs: Vec<ClusterSummaryGraph> = touched
-            .iter()
-            .filter_map(|&ci| self.csgs.get(ci).and_then(|c| c.clone()))
-            .collect();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x5A5A);
-        let walk_cands =
-            generate_candidates(&touched_csgs, &self.budget, self.config.walks, &mut rng);
+        // 5. major: candidates from touched CSGs, then multi-scan
+        // swapping. A lost candidate stage degrades to an empty swap
+        // pool, so the swap below becomes a no-op and the stale
+        // patterns are kept.
         let ids = self.collection.ids();
-        let live_graphs: Vec<&Graph> = ids
-            .iter()
-            .map(|&id| collection_ref.get(id).expect("live"))
-            .collect();
-        let indexes = GraphIndex::build_many(&live_graphs);
-        let coverages: Vec<Option<BitSet>> = par::map(&walk_cands, |c| {
-            let mut coverage = BitSet::new(ids.len());
-            for (pos, &id) in ids.iter().enumerate() {
-                let g = collection_ref.get(id).expect("live");
-                let token = collection_ref.token(id).expect("live");
-                if covers_cached_indexed(&c.graph, &c.code, g, token, &indexes[pos]) {
-                    coverage.set(pos);
+        let swap_cands = match run_stage(ctrl, "midas.candidates", || {
+            fault::maybe_panic("midas.candidates", 0);
+            let _s = vqi_observe::span("midas.candidates");
+            let touched_csgs: Vec<ClusterSummaryGraph> = touched
+                .iter()
+                .filter_map(|&ci| self.csgs.get(ci).and_then(|c| c.clone()))
+                .collect();
+            let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x5A5A);
+            let walk_cands =
+                generate_candidates(&touched_csgs, &self.budget, self.config.walks, &mut rng);
+            let live_graphs: Vec<&Graph> = ids
+                .iter()
+                .map(|&id| collection_ref.get(id).expect("live"))
+                .collect();
+            let indexes = GraphIndex::build_many(&live_graphs);
+            let coverages: Vec<Option<BitSet>> = par::map(&walk_cands, |c| {
+                let mut coverage = BitSet::new(ids.len());
+                for (pos, &id) in ids.iter().enumerate() {
+                    let g = collection_ref.get(id).expect("live");
+                    let token = collection_ref.token(id).expect("live");
+                    if covers_cached_indexed(&c.graph, &c.code, g, token, &indexes[pos]) {
+                        coverage.set(pos);
+                    }
                 }
-            }
-            coverage.any().then_some(coverage)
-        });
-        let swap_cands: Vec<SwapCandidate> = walk_cands
-            .into_iter()
-            .zip(coverages)
-            .filter_map(|(c, coverage)| {
-                Some(SwapCandidate {
-                    graph: c.graph,
-                    coverage: coverage?,
+                coverage.any().then_some(coverage)
+            });
+            walk_cands
+                .into_iter()
+                .zip(coverages)
+                .filter_map(|(c, coverage)| {
+                    Some(SwapCandidate {
+                        graph: c.graph,
+                        coverage: coverage?,
+                    })
                 })
-            })
-            .collect();
-        drop(cand_span);
+                .collect::<Vec<SwapCandidate>>()
+        }) {
+            Ok(cands) => cands,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                Vec::new()
+            }
+        };
         vqi_observe::incr("midas.candidates.viable", swap_cands.len() as u64);
 
-        let swap_span = vqi_observe::span("midas.swap");
-        let stats: SwapStats = multi_scan_swap(
-            &mut self.patterns,
-            &mut self.pattern_bitsets,
-            swap_cands,
-            ids.len(),
-            self.config.swap_scans,
-            self.config.weights,
-        );
-        drop(swap_span);
+        // The swap mutates `patterns` / `pattern_bitsets` in place and
+        // is not re-entrant, so the budget gates it up front instead of
+        // unwinding it mid-flight.
+        let gate = ctrl.check("midas.swap").and_then(|()| {
+            if fault::maybe_timeout("midas.swap", 0) {
+                Err(VqiError::DeadlineExceeded {
+                    stage: "midas.swap".into(),
+                })
+            } else {
+                Ok(())
+            }
+        });
+        let stats: SwapStats = match gate {
+            Ok(()) => {
+                let _s = vqi_observe::span("midas.swap");
+                multi_scan_swap(
+                    &mut self.patterns,
+                    &mut self.pattern_bitsets,
+                    swap_cands,
+                    ids.len(),
+                    self.config.swap_scans,
+                    self.config.weights,
+                )
+            }
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                SwapStats::default()
+            }
+        };
         vqi_observe::incr("midas.swap.accepted", stats.swaps as u64);
         vqi_observe::incr("midas.swap.considered", stats.considered as u64);
         vqi_observe::incr("midas.swap.pruned", stats.pruned as u64);
         vqi_observe::incr("midas.swap.scans", stats.scans as u64);
 
-        MaintenanceReport {
+        Ok(MaintenanceReport {
             modification: Modification::Major,
             gfd_distance,
             swaps: stats.swaps,
             candidates_considered: stats.considered,
             candidates_pruned: stats.pruned,
             clusters_touched: touched.len(),
-        }
+        })
     }
 }
 
@@ -471,6 +623,7 @@ mod tests {
 
     #[test]
     fn bootstrap_builds_state() {
+        let _guard = crate::fault_test_lock();
         let m = Midas::bootstrap(
             GraphCollection::new(initial_graphs()),
             budget(),
@@ -485,6 +638,7 @@ mod tests {
 
     #[test]
     fn small_batch_is_minor() {
+        let _guard = crate::fault_test_lock();
         let mut m = Midas::bootstrap(
             GraphCollection::new(initial_graphs()),
             budget(),
@@ -498,6 +652,7 @@ mod tests {
 
     #[test]
     fn structural_shift_is_major() {
+        let _guard = crate::fault_test_lock();
         let mut m = Midas::bootstrap(
             GraphCollection::new(initial_graphs()),
             budget(),
@@ -515,6 +670,7 @@ mod tests {
 
     #[test]
     fn quality_never_decreases_on_major_update() {
+        let _guard = crate::fault_test_lock();
         let mut m = Midas::bootstrap(
             GraphCollection::new(initial_graphs()),
             budget(),
@@ -542,6 +698,7 @@ mod tests {
 
     #[test]
     fn bootstrap_empty_then_grow() {
+        let _guard = crate::fault_test_lock();
         let mut m = Midas::bootstrap(
             GraphCollection::new(vec![]),
             budget(),
@@ -562,6 +719,7 @@ mod tests {
 
     #[test]
     fn removals_update_clusters() {
+        let _guard = crate::fault_test_lock();
         let mut m = Midas::bootstrap(
             GraphCollection::new(initial_graphs()),
             budget(),
@@ -575,6 +733,7 @@ mod tests {
 
     #[test]
     fn maintenance_is_identical_across_thread_counts() {
+        let _guard = crate::fault_test_lock();
         use vqi_graph::canon::CanonicalCode;
         let run_at = |cap: usize| -> (Vec<CanonicalCode>, [f64; GRAPHLET_CLASSES]) {
             par::set_thread_cap(cap);
@@ -608,6 +767,7 @@ mod tests {
 
     #[test]
     fn maintained_patterns_still_occur() {
+        let _guard = crate::fault_test_lock();
         let mut m = Midas::bootstrap(
             GraphCollection::new(initial_graphs()),
             budget(),
@@ -622,5 +782,144 @@ mod tests {
             let cov = vqi_core::score::pattern_coverage(&p.graph, &m.collection);
             assert!(cov > 0.0, "pattern {} no longer occurs", p.id.0);
         }
+    }
+
+    /// Installs a fault plan and removes it on drop, so a failing
+    /// assertion cannot leak the plan into other tests.
+    struct PlanGuard;
+    fn with_plan(plan: vqi_runtime::fault::FaultPlan) -> PlanGuard {
+        vqi_runtime::fault::set_plan(plan);
+        PlanGuard
+    }
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            vqi_runtime::fault::reset();
+        }
+    }
+
+    fn sorted_codes(set: &PatternSet) -> Vec<vqi_graph::canon::CanonicalCode> {
+        let mut codes: Vec<_> = set.patterns().iter().map(|p| p.code.clone()).collect();
+        codes.sort();
+        codes
+    }
+
+    fn major_batch() -> Vec<Graph> {
+        let mut batch = Vec::new();
+        for _ in 0..10 {
+            batch.push(clique(5, 3, 0));
+            batch.push(star(6, 4, 0));
+        }
+        batch
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        let _guard = crate::fault_test_lock();
+        let mut plain = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let mut ctrl = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let want = plain.apply_update(BatchUpdate::adding(major_batch()));
+        let got = ctrl
+            .apply_update_ctrl(BatchUpdate::adding(major_batch()), &Budget::unlimited())
+            .expect("non-fail-fast never errors");
+        assert!(got.completeness.is_complete());
+        assert_eq!(got.value.modification, want.modification);
+        assert_eq!(got.value.gfd_distance, want.gfd_distance);
+        assert_eq!(got.value.swaps, want.swaps);
+        assert_eq!(got.value.clusters_touched, want.clusters_touched);
+        assert_eq!(sorted_codes(&ctrl.patterns), sorted_codes(&plain.patterns));
+        assert_eq!(ctrl.gfd(), plain.gfd());
+    }
+
+    #[test]
+    fn failed_census_keeps_previous_gfd_and_skips_maintenance() {
+        let _guard = crate::fault_test_lock();
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let gfd_before = m.gfd();
+        let stale = sorted_codes(&m.patterns);
+        // a tiny tick quota trips the graphlet kernel mid-census
+        let tight = Budget::unlimited().with_kernel_ticks(2);
+        let out = m
+            .apply_update_ctrl(BatchUpdate::adding(major_batch()), &tight)
+            .expect("non-fail-fast never errors");
+        assert!(!out.completeness.is_complete());
+        assert_eq!(out.value.modification, Modification::Minor);
+        assert_eq!(out.value.swaps, 0);
+        assert_eq!(m.gfd(), gfd_before, "failed census must keep the old GFD");
+        assert_eq!(sorted_codes(&m.patterns), stale, "patterns must be kept");
+        // the collection itself still reflects the batch
+        assert_eq!(
+            m.collection.len(),
+            initial_graphs().len() + major_batch().len()
+        );
+    }
+
+    #[test]
+    fn injected_faults_degrade_deterministically() {
+        let _guard = crate::fault_test_lock();
+        use vqi_runtime::fault::FaultPlan;
+        for (panic_rate, timeout_rate) in [(1.0, 0.0), (0.0, 1.0)] {
+            for seed in [1u64, 2] {
+                let mut per_cap = Vec::new();
+                for cap in [1usize, 2, 4] {
+                    par::set_thread_cap(cap);
+                    // bootstrap runs fault-free; only maintenance is attacked
+                    let mut m = Midas::bootstrap(
+                        GraphCollection::new(initial_graphs()),
+                        budget(),
+                        MidasConfig::default(),
+                    );
+                    let _p = with_plan(FaultPlan {
+                        seed,
+                        panic_rate,
+                        timeout_rate,
+                        ..Default::default()
+                    });
+                    let out = m
+                        .apply_update_ctrl(BatchUpdate::adding(major_batch()), &Budget::unlimited())
+                        .expect("non-fail-fast never errors");
+                    par::set_thread_cap(0);
+                    per_cap.push((
+                        out.value.modification,
+                        out.completeness,
+                        sorted_codes(&m.patterns),
+                        m.gfd(),
+                    ));
+                }
+                assert_eq!(per_cap[0], per_cap[1], "seed {seed} differs at cap 2");
+                assert_eq!(per_cap[0], per_cap[2], "seed {seed} differs at cap 4");
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_propagates_the_first_fault() {
+        let _guard = crate::fault_test_lock();
+        use vqi_runtime::fault::FaultPlan;
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let _p = with_plan(FaultPlan {
+            seed: 7,
+            panic_rate: 1.0,
+            ..Default::default()
+        });
+        let strict = Budget::unlimited().with_fail_fast(true);
+        assert!(m
+            .apply_update_ctrl(BatchUpdate::adding(major_batch()), &strict)
+            .is_err());
     }
 }

@@ -372,6 +372,7 @@ mod tests {
 
     #[test]
     fn small_batch_is_minor() {
+        let _guard = crate::fault_test_lock();
         let mut m = bootstrap(300, 1);
         let base = m.network.node_count() as u32;
         let batch = EdgeBatch {
@@ -386,6 +387,7 @@ mod tests {
 
     #[test]
     fn large_batch_is_major_and_quality_holds() {
+        let _guard = crate::fault_test_lock();
         let mut m = bootstrap(250, 2);
         let stale_patterns = m.patterns.clone();
         // big structural injection: several stars worth ~10% churn
@@ -428,6 +430,7 @@ mod tests {
 
     #[test]
     fn removals_rebuild_the_network() {
+        let _guard = crate::fault_test_lock();
         let mut m = bootstrap(200, 3);
         let edges_before = m.network.edge_count();
         // remove the first 5 edges
@@ -449,6 +452,7 @@ mod tests {
 
     #[test]
     fn maintained_patterns_still_cover() {
+        let _guard = crate::fault_test_lock();
         let mut m = bootstrap(250, 4);
         let batch = star_batch(&m, 7, 40);
         m.apply_batch(batch);
@@ -458,6 +462,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_noop_minor() {
+        let _guard = crate::fault_test_lock();
         let mut m = bootstrap(150, 5);
         let score = m.score();
         let report = m.apply_batch(EdgeBatch::default());

@@ -27,14 +27,16 @@
 use crate::candidates::{extract_from_region, Candidate, ExtractParams};
 use crate::pipeline::TattooConfig;
 use crate::select::ScoredCandidate;
-use crate::select::{greedy_select, score_candidates};
+use crate::select::{greedy_select_ctrl, score_candidates};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{Budget, Degradation, PipelineOutcome};
 use vqi_core::pattern::PatternSet;
 use vqi_graph::traversal::bfs_order;
 use vqi_graph::truss::decompose;
 use vqi_graph::{Graph, NodeId};
+use vqi_runtime::{error::panic_reason, fault, VqiError};
 
 /// Partitioned TATTOO.
 #[derive(Debug, Clone, Copy)]
@@ -43,13 +45,56 @@ pub struct PartitionedTattoo {
     pub config: TattooConfig,
     /// Number of partitions ("workers").
     pub parts: usize,
+    /// How many times a panicked shard (or the reduce scoring) is
+    /// re-executed before it is dropped from the run. A transient
+    /// worker failure therefore costs one retry, not the result.
+    pub retries: u32,
+    /// Base backoff before a retry; attempt `n` waits `2^(n−1)` times
+    /// this. Zero disables the wait (retries stay immediate).
+    pub retry_backoff_ms: u64,
 }
 
 impl PartitionedTattoo {
-    /// A partitioned selector with `parts` workers.
+    /// A partitioned selector with `parts` workers and the default
+    /// retry policy (one retry, 5 ms base backoff).
     pub fn new(config: TattooConfig, parts: usize) -> Self {
         assert!(parts >= 1, "need at least one partition");
-        PartitionedTattoo { config, parts }
+        PartitionedTattoo {
+            config,
+            parts,
+            retries: 1,
+            retry_backoff_ms: 5,
+        }
+    }
+
+    /// Runs `f` under panic isolation, re-executing it up to
+    /// `self.retries` times with exponential backoff. The closure must
+    /// be pure (all shard and reduce bodies are), so a retried
+    /// execution returns the identical value and determinism is
+    /// preserved at any thread count.
+    fn with_retry<T>(&self, stage: &'static str, f: impl Fn() -> T) -> Result<T, VqiError> {
+        let mut attempt = 0u32;
+        loop {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f)) {
+                Ok(v) => return Ok(v),
+                Err(payload) => {
+                    attempt += 1;
+                    if attempt > self.retries {
+                        return Err(VqiError::Panic {
+                            stage: stage.to_string(),
+                            reason: panic_reason(payload.as_ref()),
+                        });
+                    }
+                    vqi_observe::incr("fault.retried", 1);
+                    vqi_observe::incr("tattoo.map.retries", 1);
+                    if self.retry_backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            self.retry_backoff_ms << (attempt - 1),
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     /// Splits node ids into `parts` contiguous chunks of a BFS order
@@ -75,46 +120,101 @@ impl PartitionedTattoo {
     /// budget is divided across partitions so the aggregate extraction
     /// work matches whole-graph TATTOO's regardless of `parts`.
     pub fn map_candidates(&self, network: &Graph, budget: &PatternBudget) -> Vec<Candidate> {
+        let mut deg = Degradation::new();
+        self.map_candidates_impl(network, budget, &Budget::unlimited(), &mut deg)
+            .unwrap_or_default()
+    }
+
+    /// One shard of the map phase: induced subgraph → truss split →
+    /// shape-typed extraction. Pure in `(network, nodes, pi)`, so a
+    /// panicked execution can be retried (or an injected straggler
+    /// speculatively re-executed) with an identical result.
+    fn map_one_part(
+        &self,
+        network: &Graph,
+        nodes: &[NodeId],
+        budget: &PatternBudget,
+        extract: ExtractParams,
+        pi: usize,
+    ) -> Result<Vec<Candidate>, VqiError> {
+        loop {
+            // per-shard wall time lands in the `tattoo.map.shard`
+            // histogram; the gauge tracks shards currently running
+            vqi_observe::gauge_add("tattoo.map.in_flight", 1);
+            let run = self.with_retry("tattoo.map", || {
+                let _shard = vqi_observe::span("tattoo.map.shard");
+                // injected worker crash, keyed by the part index — a
+                // stable identity, independent of scheduling order
+                fault::maybe_panic("tattoo.map.shard", pi as u64);
+                let (sub, _) = network.induced_subgraph(nodes);
+                let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
+                let d = decompose(&sub, self.config.truss_k);
+                let (gt, _) = d.infested_graph(&sub);
+                let (go, _) = d.oblivious_graph(&sub);
+                let mut cands = extract_from_region(&gt, true, budget, extract, &mut rng);
+                cands.extend(extract_from_region(&go, false, budget, extract, &mut rng));
+                vqi_observe::incr("tattoo.map.candidates", cands.len() as u64);
+                cands
+            });
+            vqi_observe::gauge_add("tattoo.map.in_flight", -1);
+            let cands = run?;
+            // an injected straggler signal models a shard too slow to
+            // wait for: re-execute it speculatively, exactly once (the
+            // fired-once registry clears the signal), and take the
+            // re-execution's — identical — result
+            if fault::maybe_timeout("tattoo.map.straggler", pi as u64) {
+                vqi_observe::incr("tattoo.map.stragglers", 1);
+                vqi_observe::incr("fault.retried", 1);
+                continue;
+            }
+            return Ok(cands);
+        }
+    }
+
+    /// Shared body of the plain and budget-aware map phases. Shards
+    /// that exhaust their retries are dropped deterministically — the
+    /// drop decision depends only on the part index, never on thread
+    /// scheduling — and recorded in `deg`.
+    fn map_candidates_impl(
+        &self,
+        network: &Graph,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+        deg: &mut Degradation,
+    ) -> Result<Vec<Candidate>, VqiError> {
         let _map = vqi_observe::span("tattoo.map");
+        if let Err(e) = ctrl.check("tattoo.map") {
+            deg.absorb(ctrl, e)?;
+            return Ok(Vec::new());
+        }
         let parts = self.partition_nodes(network);
         vqi_observe::incr("tattoo.map.shards", parts.len() as u64);
         let per_part_extract = ExtractParams {
             samples_per_size: (self.config.extract.samples_per_size / parts.len().max(1)).max(4),
         };
-        let per_part: Vec<Vec<Candidate>> = vqi_graph::par::map_range(parts.len(), |pi| {
-            let nodes = &parts[pi];
-            // per-shard wall time lands in the `tattoo.map.shard`
-            // histogram; the gauge tracks shards currently running
-            vqi_observe::gauge_add("tattoo.map.in_flight", 1);
-            let _shard = vqi_observe::span("tattoo.map.shard");
-            let (sub, _) = network.induced_subgraph(nodes);
-            let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
-            let d = decompose(&sub, self.config.truss_k);
-            let (gt, _) = d.infested_graph(&sub);
-            let (go, _) = d.oblivious_graph(&sub);
-            let mut cands = extract_from_region(&gt, true, budget, per_part_extract, &mut rng);
-            cands.extend(extract_from_region(
-                &go,
-                false,
-                budget,
-                per_part_extract,
-                &mut rng,
-            ));
-            vqi_observe::incr("tattoo.map.candidates", cands.len() as u64);
-            vqi_observe::gauge_add("tattoo.map.in_flight", -1);
-            cands
-        });
+        let per_part: Vec<Result<Vec<Candidate>, VqiError>> =
+            vqi_graph::par::map_range(parts.len(), |pi| {
+                self.map_one_part(network, &parts[pi], budget, per_part_extract, pi)
+            });
         let mut seen = std::collections::HashSet::new();
         let mut all: Vec<Candidate> = Vec::new();
-        for cands in per_part {
-            for c in cands {
-                if seen.insert(c.code.clone()) {
-                    all.push(c);
+        for shard in per_part {
+            match shard {
+                Ok(cands) => {
+                    for c in cands {
+                        if seen.insert(c.code.clone()) {
+                            all.push(c);
+                        }
+                    }
+                }
+                Err(e) => {
+                    vqi_observe::incr("tattoo.map.shards_dropped", 1);
+                    deg.absorb(ctrl, e)?;
                 }
             }
         }
         vqi_observe::incr("tattoo.map.deduped", all.len() as u64);
-        all
+        Ok(all)
     }
 
     /// The reduce phase: exact coverage scoring over the full network
@@ -125,15 +225,65 @@ impl PartitionedTattoo {
         network: &Graph,
         budget: &PatternBudget,
     ) -> PatternSet {
+        let mut deg = Degradation::new();
+        self.reduce_impl(candidates, network, budget, &Budget::unlimited(), &mut deg)
+            .unwrap_or_default()
+    }
+
+    /// Shared body of the plain and budget-aware reduce phases. The
+    /// scoring pass gets the same bounded retry as a map shard; the
+    /// greedy selection is anytime on its own.
+    fn reduce_impl(
+        &self,
+        candidates: Vec<Candidate>,
+        network: &Graph,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+        deg: &mut Degradation,
+    ) -> Result<PatternSet, VqiError> {
         let _s = vqi_observe::span("tattoo.reduce");
-        let scored: Vec<ScoredCandidate> = score_candidates(candidates, network);
-        greedy_select(scored, network.edge_count(), budget, self.config.weights)
+        let scored = match ctrl.check("tattoo.reduce").and_then(|()| {
+            self.with_retry("tattoo.reduce", || {
+                fault::maybe_panic("tattoo.reduce", 0);
+                score_candidates(candidates.clone(), network)
+            })
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                Vec::<ScoredCandidate>::new()
+            }
+        };
+        greedy_select_ctrl(
+            scored,
+            network.edge_count(),
+            budget,
+            self.config.weights,
+            ctrl,
+            deg,
+        )
     }
 
     /// Runs the partitioned pipeline (map + reduce).
     pub fn run(&self, network: &Graph, budget: &PatternBudget) -> PatternSet {
         let candidates = self.map_candidates(network, budget);
         self.reduce_select(candidates, network, budget)
+    }
+
+    /// Budget-aware partitioned pipeline: map shards are panic-isolated
+    /// with bounded retry (dropped deterministically when retries are
+    /// exhausted), the reduce is retried the same way, and the greedy
+    /// is anytime. `Err` is returned only under a fail-fast budget.
+    pub fn run_ctrl(
+        &self,
+        network: &Graph,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        let mut deg = Degradation::new();
+        let candidates = self.map_candidates_impl(network, budget, ctrl, &mut deg)?;
+        let set = self.reduce_impl(candidates, network, budget, ctrl, &mut deg)?;
+        Ok(deg.finish(set))
     }
 }
 
@@ -148,6 +298,7 @@ mod tests {
 
     #[test]
     fn partitions_cover_all_nodes_disjointly() {
+        let _guard = crate::fault_test_lock();
         let net = dblp_like(300, 1);
         let p = PartitionedTattoo::new(TattooConfig::default(), 4);
         let parts = p.partition_nodes(&net);
@@ -160,6 +311,7 @@ mod tests {
 
     #[test]
     fn selection_contract_holds() {
+        let _guard = crate::fault_test_lock();
         let net = dblp_like(400, 2);
         let budget = PatternBudget::new(5, 4, 6);
         let set = PartitionedTattoo::new(TattooConfig::default(), 4).run(&net, &budget);
@@ -172,6 +324,7 @@ mod tests {
 
     #[test]
     fn quality_is_close_to_whole_graph_tattoo() {
+        let _guard = crate::fault_test_lock();
         let net = dblp_like(500, 3);
         let budget = PatternBudget::new(6, 4, 6);
         let whole = Tattoo::default().run(&net, &budget);
@@ -194,9 +347,159 @@ mod tests {
 
     #[test]
     fn single_partition_matches_structure_of_tattoo() {
+        let _guard = crate::fault_test_lock();
         let net = dblp_like(200, 4);
         let budget = PatternBudget::new(4, 4, 5);
         let set = PartitionedTattoo::new(TattooConfig::default(), 1).run(&net, &budget);
         assert!(!set.is_empty());
+    }
+
+    /// Installs a fault plan and removes it on drop, so a failing
+    /// assertion cannot leak the plan into other tests.
+    struct PlanGuard;
+    fn with_plan(plan: vqi_runtime::fault::FaultPlan) -> PlanGuard {
+        vqi_runtime::fault::set_plan(plan);
+        PlanGuard
+    }
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            vqi_runtime::fault::reset();
+        }
+    }
+
+    fn codes_in_order(set: &PatternSet) -> Vec<vqi_graph::canon::CanonicalCode> {
+        set.patterns().iter().map(|p| p.code.clone()).collect()
+    }
+
+    fn fast_selector() -> PartitionedTattoo {
+        let mut p = PartitionedTattoo::new(TattooConfig::default(), 4);
+        p.retry_backoff_ms = 0; // keep the fault tests instant
+        p
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        let _guard = crate::fault_test_lock();
+        let net = dblp_like(300, 5);
+        let budget = PatternBudget::new(5, 4, 6);
+        let sel = PartitionedTattoo::new(TattooConfig::default(), 4);
+        let plain = sel.run(&net, &budget);
+        let out = sel
+            .run_ctrl(&net, &budget, &Budget::unlimited())
+            .expect("unlimited budget cannot fail");
+        assert!(out.completeness.is_complete());
+        assert_eq!(codes_in_order(&plain), codes_in_order(&out.value));
+    }
+
+    #[test]
+    fn crashed_shards_are_retried_to_a_complete_result() {
+        let _guard = crate::fault_test_lock();
+        let net = dblp_like(300, 5);
+        let budget = PatternBudget::new(5, 4, 6);
+        let sel = fast_selector();
+        let plain = sel.run(&net, &budget);
+        // every shard (and the reduce) crashes exactly once; one retry
+        // each recovers the full, bit-identical result at any cap
+        for seed in [1u64, 2] {
+            for cap in [1usize, 2, 4] {
+                let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+                    seed,
+                    panic_rate: 1.0,
+                    ..Default::default()
+                });
+                vqi_graph::par::set_thread_cap(cap);
+                let out = sel
+                    .run_ctrl(&net, &budget, &Budget::unlimited())
+                    .expect("not fail-fast");
+                vqi_graph::par::set_thread_cap(0);
+                assert!(
+                    out.completeness.is_complete(),
+                    "seed {seed} cap {cap}: one retry must recover every shard"
+                );
+                assert_eq!(
+                    codes_in_order(&plain),
+                    codes_in_order(&out.value),
+                    "seed {seed} cap {cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_stragglers_are_reexecuted_identically() {
+        let _guard = crate::fault_test_lock();
+        let net = dblp_like(300, 5);
+        let budget = PatternBudget::new(5, 4, 6);
+        let sel = fast_selector();
+        let plain = sel.run(&net, &budget);
+        // a straggler signal on every shard forces speculative
+        // re-execution; the shard closures are pure, so the result is
+        // unchanged and the run stays Complete
+        let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+            seed: 7,
+            timeout_rate: 1.0,
+            ..Default::default()
+        });
+        let out = sel
+            .run_ctrl(&net, &budget, &Budget::unlimited())
+            .expect("not fail-fast");
+        // the timeout plan also fires on the greedy rounds, so the tail
+        // of the selection may be cut — but whatever was selected must
+        // be a prefix of the plain selection
+        let got = codes_in_order(&out.value);
+        let want = codes_in_order(&plain);
+        assert_eq!(
+            &want[..got.len()],
+            &got[..],
+            "degraded set must be a prefix"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_drop_shards_deterministically() {
+        let _guard = crate::fault_test_lock();
+        let net = dblp_like(300, 5);
+        let budget = PatternBudget::new(5, 4, 6);
+        let mut sel = fast_selector();
+        sel.retries = 0; // permanent worker failure: first crash drops the shard
+        for seed in [1u64, 2] {
+            let mut runs = Vec::new();
+            for cap in [1usize, 2, 4] {
+                let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+                    seed,
+                    panic_rate: 1.0,
+                    ..Default::default()
+                });
+                vqi_graph::par::set_thread_cap(cap);
+                let out = sel
+                    .run_ctrl(&net, &budget, &Budget::unlimited())
+                    .expect("not fail-fast");
+                vqi_graph::par::set_thread_cap(0);
+                assert!(
+                    !out.completeness.is_complete(),
+                    "seed {seed} cap {cap}: dropped shards must degrade the run"
+                );
+                runs.push((codes_in_order(&out.value), out.completeness));
+            }
+            assert_eq!(runs[0], runs[1], "seed {seed}");
+            assert_eq!(runs[0], runs[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fail_fast_propagates_a_dropped_shard() {
+        let _guard = crate::fault_test_lock();
+        let net = dblp_like(200, 4);
+        let budget = PatternBudget::new(4, 4, 5);
+        let mut sel = fast_selector();
+        sel.retries = 0;
+        let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+            seed: 3,
+            panic_rate: 1.0,
+            ..Default::default()
+        });
+        let ctrl = Budget::unlimited().with_fail_fast(true);
+        let out = sel.run_ctrl(&net, &budget, &ctrl);
+        assert!(out.is_err(), "fail-fast must propagate the shard failure");
     }
 }

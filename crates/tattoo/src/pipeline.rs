@@ -1,16 +1,18 @@
 //! The end-to-end TATTOO pipeline.
 
 use crate::candidates::{extract_from_region, ExtractParams};
-use crate::select::{greedy_select, score_candidates};
+use crate::select::{greedy_select_ctrl, score_candidates};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{run_stage, Budget, Degradation, PipelineOutcome};
 use vqi_core::pattern::PatternSet;
 use vqi_core::repo::{GraphCollection, GraphRepository};
 use vqi_core::score::QualityWeights;
 use vqi_core::selector::PatternSelector;
-use vqi_graph::truss::decompose;
+use vqi_graph::truss::decompose_ctrl;
 use vqi_graph::Graph;
+use vqi_runtime::{fault, VqiError};
 
 /// TATTOO configuration.
 #[derive(Debug, Clone, Copy)]
@@ -51,20 +53,67 @@ impl Tattoo {
 
     /// Runs the pipeline on a single network.
     pub fn run(&self, network: &Graph, budget: &PatternBudget) -> PatternSet {
+        // an unlimited budget cannot trip a stage, so the shared body
+        // degenerates to the historical plain pipeline bit for bit
+        let mut deg = Degradation::new();
+        self.run_impl(network, budget, &Budget::unlimited(), &mut deg)
+            .unwrap_or_default()
+    }
+
+    /// Budget-aware pipeline: same stages as [`Tattoo::run`], but every
+    /// stage honors `ctrl` (deadline, cancel flag, tick quotas) and is
+    /// panic-isolated. When nothing trips, the outcome is `Complete`
+    /// and bit-identical to the plain entry point; when a stage is cut,
+    /// the pipeline keeps everything selected so far (anytime
+    /// semantics) and reports the cut stages. `Err` is returned only
+    /// under a fail-fast budget.
+    pub fn run_ctrl(
+        &self,
+        network: &Graph,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        let mut deg = Degradation::new();
+        let value = self.run_impl(network, budget, ctrl, &mut deg)?;
+        Ok(deg.finish(value))
+    }
+
+    /// Shared stage body of the plain and budget-aware pipelines.
+    fn run_impl(
+        &self,
+        network: &Graph,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+        deg: &mut Degradation,
+    ) -> Result<PatternSet, VqiError> {
         let _run = vqi_observe::span("tattoo.run");
         let cfg = &self.config;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let (gt, go) = {
+        // the truss split runs on the metered kernel, so a tick quota
+        // can interrupt the peel itself, not just stage boundaries
+        let split = run_stage(ctrl, "tattoo.truss", || {
             let _s = vqi_observe::span("tattoo.truss_decompose");
-            let d = decompose(network, cfg.truss_k);
-            let (gt, _) = d.infested_graph(network);
-            let (go, _) = d.oblivious_graph(network);
-            vqi_observe::incr("tattoo.truss.infested_edges", gt.edge_count() as u64);
-            vqi_observe::incr("tattoo.truss.oblivious_edges", go.edge_count() as u64);
-            (gt, go)
+            fault::maybe_panic("tattoo.truss", 0);
+            decompose_ctrl(network, cfg.truss_k, ctrl).map(|d| {
+                let (gt, _) = d.infested_graph(network);
+                let (go, _) = d.oblivious_graph(network);
+                vqi_observe::incr("tattoo.truss.infested_edges", gt.edge_count() as u64);
+                vqi_observe::incr("tattoo.truss.oblivious_edges", go.edge_count() as u64);
+                (gt, go)
+            })
+        })
+        .and_then(|r| r);
+        let (gt, go) = match split {
+            Ok(v) => v,
+            Err(e) => {
+                // without the region split there is nothing to extract
+                deg.absorb(ctrl, e)?;
+                return Ok(PatternSet::new());
+            }
         };
-        let cands = {
+        let extracted = run_stage(ctrl, "tattoo.candidates", || {
             let _s = vqi_observe::span("tattoo.candidates");
+            fault::maybe_panic("tattoo.candidates", 0);
             let mut cands = extract_from_region(&gt, true, budget, cfg.extract, &mut rng);
             cands.extend(extract_from_region(
                 &go,
@@ -84,13 +133,27 @@ impl Tattoo {
                 }
             }
             cands
+        });
+        let cands = match extracted {
+            Ok(c) => c,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                Vec::new()
+            }
         };
-        let scored = {
+        let scored = match run_stage(ctrl, "tattoo.score", || {
             let _s = vqi_observe::span("tattoo.score");
+            fault::maybe_panic("tattoo.score", 0);
             score_candidates(cands, network)
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                Vec::new()
+            }
         };
         let _s = vqi_observe::span("tattoo.greedy");
-        greedy_select(scored, network.edge_count(), budget, cfg.weights)
+        greedy_select_ctrl(scored, network.edge_count(), budget, cfg.weights, ctrl, deg)
     }
 }
 
@@ -107,6 +170,21 @@ impl PatternSelector for Tattoo {
             GraphRepository::Collection(c) => {
                 let union = disjoint_union(c);
                 self.run(&union, budget)
+            }
+        }
+    }
+
+    fn select_ctrl(
+        &self,
+        repo: &GraphRepository,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        match repo {
+            GraphRepository::Network(g) => self.run_ctrl(g, budget, ctrl),
+            GraphRepository::Collection(c) => {
+                let union = disjoint_union(c);
+                self.run_ctrl(&union, budget, ctrl)
             }
         }
     }
@@ -141,6 +219,7 @@ mod tests {
 
     #[test]
     fn selects_valid_patterns_from_ba_network() {
+        let _guard = crate::fault_test_lock();
         let mut rng = SmallRng::seed_from_u64(9);
         let net = barabasi_albert(300, 3, 1, &mut rng);
         let budget = PatternBudget::new(6, 4, 6);
@@ -159,6 +238,7 @@ mod tests {
 
     #[test]
     fn provenance_records_both_regions() {
+        let _guard = crate::fault_test_lock();
         let mut rng = SmallRng::seed_from_u64(10);
         // BA with m=3 has a dense core and tree-ish periphery
         let net = barabasi_albert(400, 3, 1, &mut rng);
@@ -177,6 +257,7 @@ mod tests {
 
     #[test]
     fn beats_random_on_quality() {
+        let _guard = crate::fault_test_lock();
         use vqi_core::selector::RandomSelector;
         let mut rng = SmallRng::seed_from_u64(11);
         let net = barabasi_albert(250, 3, 1, &mut rng);
@@ -195,6 +276,7 @@ mod tests {
 
     #[test]
     fn collection_fallback_works() {
+        let _guard = crate::fault_test_lock();
         let repo = GraphRepository::collection(vec![chain(8, 1, 0), cycle(6, 1, 0)]);
         let set = Tattoo::default().select(&repo, &PatternBudget::new(3, 4, 5));
         assert!(!set.is_empty());
@@ -202,6 +284,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
+        let _guard = crate::fault_test_lock();
         let mut rng = SmallRng::seed_from_u64(12);
         let net = barabasi_albert(150, 2, 1, &mut rng);
         let budget = PatternBudget::new(4, 4, 5);
@@ -215,6 +298,7 @@ mod tests {
 
     #[test]
     fn selection_is_identical_across_thread_counts() {
+        let _guard = crate::fault_test_lock();
         use vqi_graph::canon::CanonicalCode;
         let mut rng = SmallRng::seed_from_u64(13);
         let net = barabasi_albert(200, 3, 1, &mut rng);
@@ -239,5 +323,181 @@ mod tests {
             seq.patterns().iter().map(|p| p.code.clone()).collect();
         seq_codes.sort();
         assert_eq!(one, seq_codes, "sequential toggle changed the selection");
+    }
+
+    /// Installs a fault plan and removes it on drop, so a failing
+    /// assertion cannot leak the plan into other tests.
+    struct PlanGuard;
+    fn with_plan(plan: vqi_runtime::fault::FaultPlan) -> PlanGuard {
+        vqi_runtime::fault::set_plan(plan);
+        PlanGuard
+    }
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            vqi_runtime::fault::reset();
+        }
+    }
+
+    fn codes_in_order(set: &PatternSet) -> Vec<vqi_graph::canon::CanonicalCode> {
+        set.patterns().iter().map(|p| p.code.clone()).collect()
+    }
+
+    fn test_network() -> Graph {
+        let mut rng = SmallRng::seed_from_u64(9);
+        barabasi_albert(200, 3, 1, &mut rng)
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        let _guard = crate::fault_test_lock();
+        let net = test_network();
+        let budget = PatternBudget::new(5, 4, 6);
+        let plain = Tattoo::default().run(&net, &budget);
+        let out = Tattoo::default()
+            .run_ctrl(&net, &budget, &vqi_core::Budget::unlimited())
+            .expect("unlimited budget cannot fail");
+        assert!(out.completeness.is_complete());
+        assert_eq!(codes_in_order(&plain), codes_in_order(&out.value));
+        // a roomy tick quota must not change a single selection either
+        let roomy = vqi_core::Budget::unlimited().with_kernel_ticks(1 << 24);
+        let out = Tattoo::default()
+            .run_ctrl(&net, &budget, &roomy)
+            .expect("roomy budget cannot fail");
+        assert!(out.completeness.is_complete());
+        assert_eq!(codes_in_order(&plain), codes_in_order(&out.value));
+    }
+
+    #[test]
+    fn tick_quota_degrades_identically_across_thread_counts() {
+        let _guard = crate::fault_test_lock();
+        let net = test_network();
+        let budget = PatternBudget::new(5, 4, 6);
+        // a tiny quota trips inside the truss peel itself; the anytime
+        // result (empty, with the cut stage recorded) must not depend
+        // on the thread cap
+        let ctrl = vqi_core::Budget::unlimited().with_kernel_ticks(3);
+        let mut runs = Vec::new();
+        for cap in [1usize, 2, 4] {
+            vqi_graph::par::set_thread_cap(cap);
+            let out = Tattoo::default()
+                .run_ctrl(&net, &budget, &ctrl)
+                .expect("not fail-fast");
+            vqi_graph::par::set_thread_cap(0);
+            assert!(!out.completeness.is_complete(), "cap {cap} should degrade");
+            runs.push((codes_in_order(&out.value), out.completeness));
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn canceled_token_stops_the_pipeline_deterministically() {
+        let _guard = crate::fault_test_lock();
+        let net = test_network();
+        let budget = PatternBudget::new(5, 4, 6);
+        let token = vqi_core::CancelToken::new();
+        token.cancel();
+        let ctrl = vqi_core::Budget::unlimited().with_cancel(token);
+        let out = Tattoo::default()
+            .run_ctrl(&net, &budget, &ctrl)
+            .expect("not fail-fast");
+        assert!(!out.completeness.is_complete());
+        assert!(out.value.is_empty(), "pre-canceled run selects nothing");
+    }
+
+    #[test]
+    fn injected_stage_timeouts_degrade_without_panicking() {
+        let _guard = crate::fault_test_lock();
+        let net = test_network();
+        let budget = PatternBudget::new(5, 4, 6);
+        for seed in [1u64, 2] {
+            let mut runs = Vec::new();
+            for cap in [1usize, 2, 4] {
+                let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+                    seed,
+                    timeout_rate: 1.0,
+                    ..Default::default()
+                });
+                vqi_graph::par::set_thread_cap(cap);
+                let out = Tattoo::default()
+                    .run_ctrl(&net, &budget, &vqi_core::Budget::unlimited())
+                    .expect("not fail-fast");
+                vqi_graph::par::set_thread_cap(0);
+                assert!(
+                    !out.completeness.is_complete(),
+                    "seed {seed} cap {cap}: a total timeout plan must degrade"
+                );
+                runs.push((codes_in_order(&out.value), out.completeness));
+            }
+            assert_eq!(runs[0], runs[1], "seed {seed}");
+            assert_eq!(runs[0], runs[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_deterministic() {
+        let _guard = crate::fault_test_lock();
+        let net = test_network();
+        let budget = PatternBudget::new(5, 4, 6);
+        for seed in [1u64, 2] {
+            let mut runs = Vec::new();
+            for cap in [1usize, 2, 4] {
+                let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+                    seed,
+                    panic_rate: 1.0,
+                    ..Default::default()
+                });
+                vqi_graph::par::set_thread_cap(cap);
+                let out = Tattoo::default()
+                    .run_ctrl(&net, &budget, &vqi_core::Budget::unlimited())
+                    .expect("panics must be absorbed, not propagated");
+                vqi_graph::par::set_thread_cap(0);
+                assert!(!out.completeness.is_complete(), "seed {seed} cap {cap}");
+                runs.push((codes_in_order(&out.value), out.completeness));
+            }
+            assert_eq!(runs[0], runs[1], "seed {seed}");
+            assert_eq!(runs[0], runs[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_nan_scores_are_sanitized() {
+        let _guard = crate::fault_test_lock();
+        let net = test_network();
+        let budget = PatternBudget::new(4, 4, 6);
+        // reinstall the plan per run: the fired-once registry models
+        // transient faults, so a fresh plan is what makes two runs see
+        // the same injections
+        let plan = vqi_runtime::fault::FaultPlan {
+            seed: 9,
+            nan_rate: 1.0,
+            ..Default::default()
+        };
+        let _p1 = with_plan(plan);
+        let a = Tattoo::default()
+            .run_ctrl(&net, &budget, &vqi_core::Budget::unlimited())
+            .expect("not fail-fast");
+        drop(_p1);
+        let _p2 = with_plan(plan);
+        let b = Tattoo::default()
+            .run_ctrl(&net, &budget, &vqi_core::Budget::unlimited())
+            .expect("not fail-fast");
+        assert_eq!(codes_in_order(&a.value), codes_in_order(&b.value));
+        assert_eq!(a.completeness, b.completeness);
+    }
+
+    #[test]
+    fn fail_fast_propagates_the_first_fault() {
+        let _guard = crate::fault_test_lock();
+        let net = test_network();
+        let budget = PatternBudget::new(5, 4, 6);
+        let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+            seed: 3,
+            timeout_rate: 1.0,
+            ..Default::default()
+        });
+        let ctrl = vqi_core::Budget::unlimited().with_fail_fast(true);
+        let out = Tattoo::default().run_ctrl(&net, &budget, &ctrl);
+        assert!(out.is_err(), "fail-fast must propagate the stage fault");
     }
 }

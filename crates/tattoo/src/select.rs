@@ -23,6 +23,7 @@
 use crate::candidates::Candidate;
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{Budget, Degradation};
 use vqi_core::pattern::{PatternKind, PatternSet};
 use vqi_core::score::{cognitive_load, coverage_match_options, set_score_bitsets, QualityWeights};
 use vqi_graph::cache::mcs_similarity_cached_bounded;
@@ -30,6 +31,7 @@ use vqi_graph::index::GraphIndex;
 use vqi_graph::iso::covered_edges_indexed;
 use vqi_graph::par;
 use vqi_graph::Graph;
+use vqi_runtime::{fault, VqiError};
 
 /// A candidate with its covered-edge bitset over the network.
 #[derive(Debug, Clone)]
@@ -84,27 +86,87 @@ pub fn set_score(members: &[&ScoredCandidate], total_edges: usize, weights: Qual
 /// Greedy selection of up to `budget.count` candidates maximizing the
 /// marginal pattern-set score.
 pub fn greedy_select(
-    mut candidates: Vec<ScoredCandidate>,
+    candidates: Vec<ScoredCandidate>,
     total_edges: usize,
     budget: &PatternBudget,
     weights: QualityWeights,
 ) -> PatternSet {
+    // an unlimited budget cannot trip and absorbed notes are dropped,
+    // so the ctrl body degenerates to the plain greedy loop
+    let mut deg = Degradation::new();
+    greedy_select_ctrl(
+        candidates,
+        total_edges,
+        budget,
+        weights,
+        &Budget::unlimited(),
+        &mut deg,
+    )
+    .unwrap_or_default()
+}
+
+/// Budget-aware greedy selection — the **anytime** loop.
+///
+/// Each round first checks `ctrl`; a tripped deadline/cancel/quota
+/// keeps the patterns selected so far (recorded in `deg`) instead of
+/// discarding the run. Non-finite candidate scores are sanitized to
+/// `-∞` so a NaN loses every comparison instead of winning the argmax
+/// under `total_cmp`. Under an unlimited budget with no fault plan the
+/// selection is bit-identical to the historical greedy loop.
+pub fn greedy_select_ctrl(
+    mut candidates: Vec<ScoredCandidate>,
+    total_edges: usize,
+    budget: &PatternBudget,
+    weights: QualityWeights,
+    ctrl: &Budget,
+    deg: &mut Degradation,
+) -> Result<PatternSet, VqiError> {
     let mut set = PatternSet::new();
     if total_edges == 0 {
-        return set;
+        return Ok(set);
     }
     let mut covered = BitSet::new(total_edges);
     // running max similarity of candidate i to the selected set (0.0
     // while empty, reproducing the full-diversity first round)
     let mut max_sim: Vec<f64> = vec![0.0; candidates.len()];
+    // one meter for the whole selection: with a tick quota of N the
+    // loop degrades after exactly N rounds, at any thread count
+    let mut meter = ctrl.meter("tattoo.greedy");
     while set.len() < budget.count && !candidates.is_empty() {
+        let round = set.len() as u64;
+        if let Err(e) = ctrl.check("tattoo.greedy").and_then(|()| meter.tick()) {
+            // anytime: keep what is already selected
+            deg.absorb(ctrl, e)?;
+            break;
+        }
+        if fault::maybe_timeout("tattoo.greedy", round) {
+            deg.absorb(
+                ctrl,
+                VqiError::DeadlineExceeded {
+                    stage: "tattoo.greedy".into(),
+                },
+            )?;
+            break;
+        }
         vqi_observe::incr("tattoo.greedy.iterations", 1);
-        let gains: Vec<f64> = par::map_range(candidates.len(), |i| {
+        let mut gains: Vec<f64> = par::map_range(candidates.len(), |i| {
             let c = &candidates[i];
             let gain = c.covered.count_and_not(&covered) as f64 / total_edges as f64;
             let div = 1.0 - max_sim[i];
             gain + weights.diversity * div - weights.cognitive * c.cognitive_load
         });
+        for (i, s) in gains.iter_mut().enumerate() {
+            // fault site keyed by (round, position) — both are pure
+            // functions of the input, never of the thread count
+            *s = fault::nan_score("tattoo.greedy.score", (round << 32) | i as u64, *s);
+            if !s.is_finite() {
+                deg.note(
+                    "tattoo.greedy",
+                    format!("non-finite score sanitized in round {round}"),
+                );
+                *s = f64::NEG_INFINITY;
+            }
+        }
         let (best_idx, &best) = gains
             .iter()
             .enumerate()
@@ -151,7 +213,7 @@ pub fn greedy_select(
         }
     }
     vqi_observe::incr("tattoo.greedy.selected", set.len() as u64);
-    set
+    Ok(set)
 }
 
 /// Brute-force optimum over all `C(n, k)` candidate subsets of size at
@@ -290,6 +352,7 @@ mod tests {
 
     #[test]
     fn greedy_covers_both_regions() {
+        let _guard = crate::fault_test_lock();
         let net = network();
         let cands = vec![
             cand(cycle(3, 1, 0), true),  // covers the K4 edges
@@ -307,6 +370,7 @@ mod tests {
 
     #[test]
     fn greedy_matches_or_approaches_exhaustive() {
+        let _guard = crate::fault_test_lock();
         let net = network();
         let cands = vec![
             cand(cycle(3, 1, 0), true),
@@ -346,6 +410,7 @@ mod tests {
 
     #[test]
     fn incremental_greedy_matches_reference() {
+        let _guard = crate::fault_test_lock();
         let net = network();
         let cands = vec![
             cand(cycle(3, 1, 0), true),
@@ -373,6 +438,7 @@ mod tests {
 
     #[test]
     fn bound_and_skip_changes_no_selection() {
+        let _guard = crate::fault_test_lock();
         let net = network();
         let cands = vec![
             cand(cycle(3, 1, 0), true),
@@ -403,6 +469,7 @@ mod tests {
 
     #[test]
     fn non_finite_scores_do_not_panic() {
+        let _guard = crate::fault_test_lock();
         let net = network();
         let cands = vec![
             cand(cycle(3, 1, 0), true),
@@ -436,6 +503,7 @@ mod tests {
 
     #[test]
     fn empty_network_selects_nothing() {
+        let _guard = crate::fault_test_lock();
         let set = greedy_select(
             vec![],
             0,

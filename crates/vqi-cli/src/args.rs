@@ -1,6 +1,7 @@
 //! Minimal flag parser (no external dependency): `--key value` or
-//! `--key=value` pairs and one positional subcommand. `--metrics` is
-//! the one valueless flag (shorthand for `--metrics=table`).
+//! `--key=value` pairs and one positional subcommand. `--metrics`
+//! (shorthand for `--metrics=table`) and `--fail-fast` (shorthand for
+//! `--fail-fast=true`) are the valueless flags.
 
 use std::collections::BTreeMap;
 
@@ -38,6 +39,10 @@ impl Args {
                     // bare `--metrics` is shorthand for `--metrics=table`
                     args.options
                         .insert("metrics".to_string(), "table".to_string());
+                } else if key == "fail-fast" {
+                    // bare `--fail-fast` is shorthand for `--fail-fast=true`
+                    args.options
+                        .insert("fail-fast".to_string(), "true".to_string());
                 } else {
                     let value = iter
                         .next()
@@ -117,6 +122,18 @@ mod tests {
         let mixed = parse(&["evaluate", "--metrics", "--count", "3"]).unwrap();
         assert_eq!(mixed.get_or("metrics", "off"), "table");
         assert_eq!(mixed.parse_or::<usize>("count", 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn fail_fast_flag_forms() {
+        let bare = parse(&["construct", "--fail-fast"]).unwrap();
+        assert!(bare.parse_or::<bool>("fail-fast", false).unwrap());
+        let explicit = parse(&["construct", "--fail-fast=false"]).unwrap();
+        assert!(!explicit.parse_or::<bool>("fail-fast", true).unwrap());
+        // bare --fail-fast must not swallow a following option pair
+        let mixed = parse(&["construct", "--fail-fast", "--deadline-ms", "250"]).unwrap();
+        assert!(mixed.parse_or::<bool>("fail-fast", false).unwrap());
+        assert_eq!(mixed.parse_or::<u64>("deadline-ms", 0).unwrap(), 250);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::args::{ArgError, Args};
 use catapult::Catapult;
 use tattoo::Tattoo;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{Budget, Completeness};
 use vqi_core::render::{ascii_summary, svg_graph, svg_interface};
 use vqi_core::repo::GraphRepository;
 use vqi_core::score::{evaluate, QualityWeights};
@@ -47,7 +48,16 @@ USAGE:
 Any command also accepts --metrics[=table|json]: pipeline spans,
 counters, and gauges are recorded while the command runs and a
 snapshot is printed to stderr afterwards (stdout stays clean).
-Options may be written --key value or --key=value.
+
+construct and evaluate also accept a run budget:
+  --deadline-ms N   wall-clock budget for selection; when it trips the
+                    best-so-far (anytime) pattern set is kept and a
+                    degradation warning goes to stderr (0 = unlimited)
+  --fail-fast       abort on the first stage failure instead of
+                    degrading
+Both are recorded in the --metrics snapshot (cli.deadline_ms,
+cli.fail_fast gauges). Options may be written --key value or
+--key=value.
 
 Input files use the classic graph-transaction text format
 (t # / v <id> <label> / e <u> <v> <label>). With --network true the
@@ -84,6 +94,32 @@ fn budget(args: &Args) -> Result<PatternBudget, ArgError> {
     Ok(PatternBudget::new(count, min_size, max_size))
 }
 
+/// The run budget from `--deadline-ms` (0 = unlimited) and
+/// `--fail-fast`. Both are surfaced as gauges so a `--metrics` snapshot
+/// records the budget the command ran under.
+fn ctrl_budget(args: &Args) -> Result<Budget, ArgError> {
+    let deadline_ms = args.parse_or("deadline-ms", 0u64)?;
+    let fail_fast = args.parse_or("fail-fast", false)?;
+    vqi_observe::gauge_set("cli.deadline_ms", deadline_ms as i64);
+    vqi_observe::gauge_set("cli.fail_fast", i64::from(fail_fast));
+    let mut ctrl = Budget::unlimited().with_fail_fast(fail_fast);
+    if deadline_ms > 0 {
+        ctrl = ctrl.with_deadline_ms(deadline_ms);
+    }
+    Ok(ctrl)
+}
+
+/// Reports an anytime result on stderr so stdout stays clean.
+fn warn_if_degraded(completeness: &Completeness) {
+    if let Completeness::Degraded { stages_cut, faults } = completeness {
+        eprintln!(
+            "warning: result is degraded (stages cut: {}; {} fault(s))",
+            stages_cut.join(", "),
+            faults.len()
+        );
+    }
+}
+
 fn selector(args: &Args) -> Result<Box<dyn PatternSelector>, ArgError> {
     Ok(match args.get_or("selector", "catapult") {
         "catapult" => Box::new(Catapult::default()),
@@ -99,7 +135,11 @@ fn construct(args: &Args) -> Result<String, ArgError> {
     let repo = load_repo(args)?;
     let budget = budget(args)?;
     let sel = selector(args)?;
-    let vqi = VisualQueryInterface::data_driven(&repo, sel.as_ref(), &budget);
+    let ctrl = ctrl_budget(args)?;
+    let outcome = VisualQueryInterface::data_driven_ctrl(&repo, sel.as_ref(), &budget, &ctrl)
+        .map_err(|e| ArgError(format!("selection failed: {e}")))?;
+    warn_if_degraded(&outcome.completeness);
+    let vqi = outcome.value;
     if let Some(path) = args.options.get("svg") {
         std::fs::write(path, svg_interface(&vqi))
             .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
@@ -115,8 +155,12 @@ fn evaluate_cmd(args: &Args) -> Result<String, ArgError> {
     let repo = load_repo(args)?;
     let budget = budget(args)?;
     let sel = selector(args)?;
-    let set = sel.select(&repo, &budget);
-    let q = evaluate(&set, &repo, QualityWeights::default());
+    let ctrl = ctrl_budget(args)?;
+    let outcome = sel
+        .select_ctrl(&repo, &budget, &ctrl)
+        .map_err(|e| ArgError(format!("selection failed: {e}")))?;
+    warn_if_degraded(&outcome.completeness);
+    let q = evaluate(&outcome.value, &repo, QualityWeights::default());
     serde_json::to_string_pretty(&q).map_err(|e| ArgError(format!("serialize: {e}")))
 }
 
@@ -229,6 +273,14 @@ mod tests {
             .join(format!("vqi_cli_test_{name}"))
             .to_string_lossy()
             .into_owned()
+    }
+
+    /// Serializes tests that reset or snapshot the process-global
+    /// metrics registry.
+    fn observe_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -368,6 +420,7 @@ mod tests {
 
     #[test]
     fn metrics_capture_every_pipeline() {
+        let _observe = observe_lock();
         let col = tmp("metrics_col.txt");
         run(&args(&[
             "dataset", "--kind", "aids", "--out", &col, "--size", "20",
@@ -462,6 +515,94 @@ mod tests {
         assert!(json.contains("\"spans\""));
         assert!(!s.render_table().is_empty());
         vqi_observe::reset();
+    }
+
+    #[test]
+    fn deadline_and_fail_fast_flags_drive_the_run_budget() {
+        let _observe = observe_lock();
+        let file = tmp("budget_col.txt");
+        run(&args(&[
+            "dataset", "--kind", "aids", "--out", &file, "--size", "20", "--seed", "5",
+        ]))
+        .unwrap();
+        // a roomy deadline changes nothing: same selection as no flag
+        let plain = run(&args(&[
+            "evaluate",
+            "--input",
+            &file,
+            "--selector",
+            "catapult",
+            "--count",
+            "3",
+        ]))
+        .unwrap();
+        let budgeted = run(&args(&[
+            "evaluate",
+            "--input",
+            &file,
+            "--selector",
+            "catapult",
+            "--count",
+            "3",
+            "--deadline-ms",
+            "600000",
+            "--fail-fast",
+        ]))
+        .unwrap();
+        assert_eq!(plain, budgeted);
+        // metrics gauges record the budget the command ran under
+        vqi_observe::reset();
+        vqi_observe::set_enabled(true);
+        run(&args(&[
+            "evaluate",
+            "--input",
+            &file,
+            "--selector",
+            "random",
+            "--count",
+            "3",
+            "--deadline-ms",
+            "600000",
+        ]))
+        .unwrap();
+        vqi_observe::set_enabled(false);
+        let s = vqi_observe::snapshot();
+        assert_eq!(s.gauges.get("cli.deadline_ms").copied(), Some(600000));
+        assert_eq!(s.gauges.get("cli.fail_fast").copied(), Some(0));
+        vqi_observe::reset();
+        // a bad value is a one-line error, not a panic
+        let bad = Args::parse(
+            ["evaluate", "--input", &file, "--deadline-ms", "soon"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(run(&bad).is_err());
+    }
+
+    #[test]
+    fn an_expired_deadline_degrades_instead_of_crashing() {
+        let file = tmp("deadline_col.txt");
+        run(&args(&[
+            "dataset", "--kind", "aids", "--out", &file, "--size", "20", "--seed", "6",
+        ]))
+        .unwrap();
+        // deadline of 1 ms: selection is cut, but the command still
+        // succeeds with an (empty or partial) anytime result
+        let out = run(&args(&[
+            "evaluate",
+            "--input",
+            &file,
+            "--selector",
+            "catapult",
+            "--count",
+            "3",
+            "--deadline-ms",
+            "1",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("coverage").is_some());
     }
 
     #[test]

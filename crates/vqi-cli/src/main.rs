@@ -38,6 +38,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
             std::process::exit(1);
         }
     }

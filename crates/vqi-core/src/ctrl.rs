@@ -1,0 +1,216 @@
+//! Pipeline robustness vocabulary: budgets, anytime outcomes, and the
+//! degradation ledger.
+//!
+//! Every pipeline exposes a budget-aware entry point that returns a
+//! [`PipelineOutcome`]: the payload (pattern set, snapshot, …) plus a
+//! [`Completeness`] verdict. When no stage fails the outcome is
+//! [`Completeness::Complete`] and the payload is **bit-identical** to
+//! the plain entry point's result — the budget-aware path adds checks,
+//! never different arithmetic. When a stage trips its budget, panics,
+//! or produces a non-finite score, the pipeline keeps whatever it has
+//! already selected (anytime semantics) and the outcome records which
+//! stages were cut and why.
+//!
+//! The split between this module and [`vqi_runtime`] is deliberate:
+//! `vqi-runtime` owns the mechanism (budgets, meters, errors, fault
+//! injection) and depends on nothing but observability; this module
+//! owns the pipeline-facing policy (how failures aggregate into an
+//! outcome) and needs the core vocabulary crate's visibility.
+
+use vqi_runtime::VqiError;
+
+pub use vqi_runtime::{run_stage, Budget, CancelToken, Meter};
+
+/// Whether a pipeline run produced its full result or an anytime
+/// subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every stage ran to completion; the payload equals the plain
+    /// (budget-free) pipeline's output bit for bit.
+    Complete,
+    /// At least one stage was cut short; the payload is the best
+    /// result assembled from the stages that did finish.
+    Degraded {
+        /// Sorted, deduplicated names of the stages that were cut.
+        stages_cut: Vec<String>,
+        /// Sorted, rendered descriptions of every absorbed fault.
+        faults: Vec<String>,
+    },
+}
+
+impl Completeness {
+    /// `true` when no stage was cut.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
+/// A pipeline payload paired with its [`Completeness`] verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome<T> {
+    /// The (possibly partial) pipeline result — selected patterns, an
+    /// updated snapshot, whatever the pipeline produces.
+    pub value: T,
+    /// Whether `value` is the full result or an anytime subset.
+    pub completeness: Completeness,
+}
+
+impl<T> PipelineOutcome<T> {
+    /// Wraps a payload produced with no absorbed faults.
+    pub fn complete(value: T) -> Self {
+        PipelineOutcome {
+            value,
+            completeness: Completeness::Complete,
+        }
+    }
+}
+
+/// The per-run ledger of absorbed stage failures.
+///
+/// Pipelines thread one `Degradation` through their stages; each stage
+/// error is either **absorbed** (recorded, run continues with whatever
+/// the stage produced so far — the anytime path) or **propagated**
+/// when the budget demands fail-fast. Absorption order does not affect
+/// the final [`Completeness`]: stage names and fault descriptions are
+/// sorted and deduplicated, so two runs that absorb the same faults in
+/// a different order report the same outcome.
+#[derive(Debug, Default)]
+pub struct Degradation {
+    stages_cut: Vec<String>,
+    faults: Vec<String>,
+}
+
+impl Degradation {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no fault has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages_cut.is_empty() && self.faults.is_empty()
+    }
+
+    /// Records a stage failure. Under a fail-fast budget the error is
+    /// handed back for propagation; otherwise it is absorbed and the
+    /// run continues. Every call counts toward `fault.degraded`.
+    pub fn absorb(&mut self, budget: &Budget, err: VqiError) -> Result<(), VqiError> {
+        vqi_observe::incr("fault.degraded", 1);
+        if budget.fail_fast() {
+            return Err(err);
+        }
+        self.record(&err);
+        Ok(())
+    }
+
+    /// Records a failure unconditionally (used where fail-fast has
+    /// already been honored by an outer layer).
+    pub fn record(&mut self, err: &VqiError) {
+        let stage = err.stage().unwrap_or("parse").to_string();
+        if !self.stages_cut.contains(&stage) {
+            self.stages_cut.push(stage);
+        }
+        let rendered = err.to_string();
+        if !self.faults.contains(&rendered) {
+            self.faults.push(rendered);
+        }
+    }
+
+    /// Records a non-error anomaly (e.g. a non-finite score that was
+    /// sanitized) against a stage.
+    pub fn note(&mut self, stage: &str, detail: impl Into<String>) {
+        vqi_observe::incr("fault.degraded", 1);
+        if !self.stages_cut.contains(&stage.to_string()) {
+            self.stages_cut.push(stage.to_string());
+        }
+        let detail = detail.into();
+        if !self.faults.contains(&detail) {
+            self.faults.push(detail);
+        }
+    }
+
+    /// Folds the ledger into a [`Completeness`] verdict, sorting for
+    /// order independence.
+    pub fn into_completeness(self) -> Completeness {
+        if self.is_empty() {
+            return Completeness::Complete;
+        }
+        let mut stages_cut = self.stages_cut;
+        stages_cut.sort();
+        stages_cut.dedup();
+        let mut faults = self.faults;
+        faults.sort();
+        faults.dedup();
+        Completeness::Degraded { stages_cut, faults }
+    }
+
+    /// Convenience: pairs a payload with this ledger's verdict.
+    pub fn finish<T>(self, value: T) -> PipelineOutcome<T> {
+        PipelineOutcome {
+            value,
+            completeness: self.into_completeness(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_complete() {
+        let d = Degradation::new();
+        assert!(d.is_empty());
+        let out = d.finish(7u32);
+        assert_eq!(out.value, 7);
+        assert!(out.completeness.is_complete());
+        assert_eq!(out, PipelineOutcome::complete(7u32));
+    }
+
+    #[test]
+    fn absorb_respects_fail_fast() {
+        let relaxed = Budget::unlimited();
+        let strict = Budget::unlimited().with_fail_fast(true);
+        let err = VqiError::QuotaExceeded {
+            stage: "catapult.greedy".into(),
+        };
+        let mut d = Degradation::new();
+        assert!(d.absorb(&relaxed, err.clone()).is_ok());
+        assert!(!d.is_empty());
+        let mut d2 = Degradation::new();
+        assert_eq!(d2.absorb(&strict, err.clone()), Err(err));
+        assert!(d2.is_empty(), "fail-fast must not record");
+    }
+
+    #[test]
+    fn completeness_is_order_independent() {
+        let a = VqiError::DeadlineExceeded {
+            stage: "tattoo.map".into(),
+        };
+        let b = VqiError::Panic {
+            stage: "tattoo.reduce".into(),
+            reason: "boom".into(),
+        };
+        let mut fwd = Degradation::new();
+        fwd.record(&a);
+        fwd.record(&b);
+        let mut rev = Degradation::new();
+        rev.record(&b);
+        rev.record(&a);
+        rev.record(&a); // duplicates collapse
+        assert_eq!(fwd.into_completeness(), rev.into_completeness());
+    }
+
+    #[test]
+    fn notes_mark_the_stage_degraded() {
+        let mut d = Degradation::new();
+        d.note("catapult.greedy", "non-finite gain for candidate 3");
+        match d.into_completeness() {
+            Completeness::Degraded { stages_cut, faults } => {
+                assert_eq!(stages_cut, vec!["catapult.greedy".to_string()]);
+                assert_eq!(faults.len(), 1);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+}

@@ -27,6 +27,7 @@
 pub mod aesthetics;
 pub mod bitset;
 pub mod budget;
+pub mod ctrl;
 pub mod explore;
 pub mod layout;
 pub mod optimize;
@@ -44,6 +45,7 @@ pub mod vqi;
 
 pub use bitset::BitSet;
 pub use budget::PatternBudget;
+pub use ctrl::{Budget, CancelToken, Completeness, Degradation, PipelineOutcome};
 pub use pattern::{Pattern, PatternId, PatternKind, PatternSet};
 pub use repo::{BatchUpdate, GraphRepository};
 pub use selector::PatternSelector;

@@ -7,6 +7,7 @@
 //! comparison points the quality experiments (E3) report against.
 
 use crate::budget::PatternBudget;
+use crate::ctrl::{run_stage, Budget, Degradation, PipelineOutcome};
 use crate::pattern::{PatternKind, PatternSet};
 use crate::repo::GraphRepository;
 use rand::rngs::SmallRng;
@@ -14,6 +15,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use vqi_graph::traversal::sample_connected_subgraph;
 use vqi_graph::Graph;
+use vqi_runtime::VqiError;
 
 /// A strategy for populating the Pattern Panel from a repository.
 pub trait PatternSelector {
@@ -23,6 +25,28 @@ pub trait PatternSelector {
     /// Selects at most `budget.count` canned patterns, each within the
     /// budget's size range, from `repo`.
     fn select(&self, repo: &GraphRepository, budget: &PatternBudget) -> PatternSet;
+
+    /// Budget-aware selection: an anytime [`PipelineOutcome`] instead
+    /// of a bare set. The default implementation runs [`Self::select`]
+    /// as one panic-isolated stage under `ctrl`, so every selector is
+    /// at least crash-safe and deadline-checked at entry; pipelines
+    /// with native per-stage budgets override this. `Err` is returned
+    /// only under [`Budget::with_fail_fast`].
+    fn select_ctrl(
+        &self,
+        repo: &GraphRepository,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        match run_stage(ctrl, self.name(), || self.select(repo, budget)) {
+            Ok(set) => Ok(PipelineOutcome::complete(set)),
+            Err(e) => {
+                let mut deg = Degradation::new();
+                deg.absorb(ctrl, e)?;
+                Ok(deg.finish(PatternSet::new()))
+            }
+        }
+    }
 }
 
 /// Baseline: uniformly random connected subgraphs sampled from the

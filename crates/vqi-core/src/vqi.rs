@@ -70,6 +70,36 @@ impl VisualQueryInterface {
         }
     }
 
+    /// Budget-aware construction: the canned-pattern selection runs
+    /// under `ctrl` and the interface is assembled from whatever it
+    /// produced (anytime semantics — basic patterns and attributes are
+    /// always present). The outcome's completeness mirrors the
+    /// selection's; `Err` only under [`crate::ctrl::Budget::with_fail_fast`].
+    pub fn data_driven_ctrl(
+        repo: &GraphRepository,
+        selector: &dyn PatternSelector,
+        budget: &PatternBudget,
+        ctrl: &crate::ctrl::Budget,
+    ) -> Result<crate::ctrl::PipelineOutcome<Self>, vqi_runtime::VqiError> {
+        let outcome = selector.select_ctrl(repo, budget, ctrl)?;
+        let mut patterns = default_basic_patterns();
+        for p in outcome.value.patterns() {
+            let _ = patterns.insert(p.graph.clone(), PatternKind::Canned, p.provenance.clone());
+        }
+        let vqi = VisualQueryInterface {
+            mode: ConstructionMode::DataDriven,
+            selector_name: selector.name().to_string(),
+            attributes: AttributePanel::from_repository(repo),
+            patterns: PatternPanel { patterns },
+            query: QueryPanel::default(),
+            results: ResultsPanel::default(),
+        };
+        Ok(crate::ctrl::PipelineOutcome {
+            value: vqi,
+            completeness: outcome.completeness,
+        })
+    }
+
     /// Constructs a manual VQI: hard-coded attribute labels, basic
     /// patterns only (plus any developer-supplied canned patterns).
     pub fn manual(

@@ -49,6 +49,7 @@ use crate::graph::{Graph, NodeId, SortedAdjacency};
 use crate::index::mix64;
 use crate::par;
 use rand::Rng;
+use vqi_runtime::{Budget, Meter, VqiError};
 
 /// Number of tracked graphlet classes.
 pub const GRAPHLET_CLASSES: usize = 8;
@@ -317,7 +318,8 @@ fn count_root_exact(
     arena: &mut Vec<NodeId>,
     sub: &mut Vec<NodeId>,
     counts: &mut GraphletCounts,
-) {
+    meter: &mut Option<Meter>,
+) -> Result<(), VqiError> {
     sub.clear();
     sub.push(v);
     let base = arena.len();
@@ -331,12 +333,13 @@ fn count_root_exact(
         blocked[arena[i].index()] = true;
     }
     let end = arena.len();
-    extend_exact(v, base, end, k, sorted, blocked, arena, sub, counts);
+    let r = extend_exact(v, base, end, k, sorted, blocked, arena, sub, counts, meter);
     blocked[v.index()] = false;
     for &(u, _) in sorted.neighbors(v) {
         blocked[u.index()] = false;
     }
     arena.truncate(base);
+    r
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -350,18 +353,25 @@ fn extend_exact(
     arena: &mut Vec<NodeId>,
     sub: &mut Vec<NodeId>,
     counts: &mut GraphletCounts,
-) {
+    meter: &mut Option<Meter>,
+) -> Result<(), VqiError> {
     if sub.len() + 1 == k {
         // leaf level: every extension node completes one subgraph
         for i in ext_start..ext_end {
+            if let Some(m) = meter.as_mut() {
+                m.tick()?;
+            }
             sub.push(arena[i]);
             counts.counts[classify_by(|a, b| sorted.has_edge(a, b), sub)] += 1.0;
             sub.pop();
         }
-        return;
+        return Ok(());
     }
     let mut end = ext_end;
     while end > ext_start {
+        if let Some(m) = meter.as_mut() {
+            m.tick()?;
+        }
         end -= 1;
         let w = arena[end];
         // child extension = remaining siblings ∪ exclusive neighbors of w
@@ -378,7 +388,7 @@ fn extend_exact(
             blocked[arena[i].index()] = true;
         }
         sub.push(w);
-        extend_exact(
+        let r = extend_exact(
             root,
             child_start,
             child_end,
@@ -388,13 +398,31 @@ fn extend_exact(
             arena,
             sub,
             counts,
+            meter,
         );
         sub.pop();
         for i in newly_start..child_end {
             blocked[arena[i].index()] = false;
         }
         arena.truncate(child_start);
+        r?;
     }
+    Ok(())
+}
+
+/// Meterless wrapper over [`count_root_exact`] for the plain (budget-
+/// free) paths: with no meter armed the enumeration cannot trip a
+/// quota, so the `Result` is vacuously `Ok` and is dropped here.
+fn count_root_plain(
+    v: NodeId,
+    k: usize,
+    sorted: &SortedAdjacency,
+    blocked: &mut [bool],
+    arena: &mut Vec<NodeId>,
+    sub: &mut Vec<NodeId>,
+    counts: &mut GraphletCounts,
+) {
+    let _ = count_root_exact(v, k, sorted, blocked, arena, sub, counts, &mut None);
 }
 
 /// Exact graphlet counts of `g` (sizes 3 and 4) — single-threaded
@@ -435,7 +463,7 @@ pub fn count_graphlets_par(g: &Graph) -> GraphletCounts {
         for u in roots {
             let v = NodeId(u as u32);
             let mut counts = GraphletCounts::default();
-            count_root_exact(
+            count_root_plain(
                 v,
                 3,
                 &sorted,
@@ -444,7 +472,7 @@ pub fn count_graphlets_par(g: &Graph) -> GraphletCounts {
                 &mut sub,
                 &mut counts,
             );
-            count_root_exact(
+            count_root_plain(
                 v,
                 4,
                 &sorted,
@@ -496,72 +524,130 @@ pub fn sample_graphlets<R: Rng>(g: &Graph, retention: f64, rng: &mut R) -> Graph
 /// [`count_root_exact`] fast path, since per-root exact integer counts
 /// are identical however they are enumerated).
 pub fn sample_graphlets_seeded(g: &Graph, retention: f64, seed: u64) -> GraphletCounts {
+    // no meter is armed, so the metered variant cannot fail
+    sample_graphlets_seeded_full(g, retention, seed, None).unwrap_or_default()
+}
+
+/// Budget-aware [`sample_graphlets_seeded`]: the census honors
+/// `ctrl`'s cancel flag, deadline, and per-stage tick quota.
+///
+/// Every root gets a **fresh meter** from the budget, so whether a
+/// given root trips its quota is a pure function of `(g, retention,
+/// seed, quota)` — independent of the thread count — and the first
+/// error in root index order is the one returned. With an unlimited
+/// budget the result is bit-identical to the plain entry point.
+pub fn sample_graphlets_seeded_ctrl(
+    g: &Graph,
+    retention: f64,
+    seed: u64,
+    ctrl: &Budget,
+) -> Result<GraphletCounts, VqiError> {
+    ctrl.check("kernel.graphlet")?;
+    sample_graphlets_seeded_full(g, retention, seed, Some(ctrl))
+}
+
+/// Budget-aware exact census (sizes 3 and 4): [`count_graphlets_par`]
+/// with per-root quota metering. Equals [`count_graphlets`] bit for bit
+/// under an unlimited budget.
+pub fn count_graphlets_ctrl(g: &Graph, ctrl: &Budget) -> Result<GraphletCounts, VqiError> {
+    // retention 1.0 takes the exact fast path and never consults the RNG
+    sample_graphlets_seeded_ctrl(g, 1.0, 0, ctrl)
+}
+
+/// Shared body of the seeded census. `ctrl: None` is the plain
+/// (infallible) path; `Some` arms one fresh [`Meter`] per root.
+fn sample_graphlets_seeded_full(
+    g: &Graph,
+    retention: f64,
+    seed: u64,
+    ctrl: Option<&Budget>,
+) -> Result<GraphletCounts, VqiError> {
     if g.node_count() < 3 {
-        return GraphletCounts::default();
+        return Ok(GraphletCounts::default());
     }
     let _s = vqi_observe::span("kernel.graphlet.sample");
     vqi_observe::incr("kernel.graphlet.sample.roots", g.node_count() as u64);
     let exact = retention >= 1.0;
     let sorted = g.sorted_adjacency();
-    let per_root: Vec<GraphletCounts> = par::map_chunks(g.node_count(), |roots| {
-        let mut blocked = vec![false; g.node_count()];
-        let mut arena = Vec::new();
-        let mut sub = Vec::with_capacity(4);
-        let mut out = Vec::with_capacity(roots.len());
-        for u in roots {
-            let v = NodeId(u as u32);
-            let mut counts = GraphletCounts::default();
-            if exact {
-                count_root_exact(
-                    v,
-                    3,
-                    &sorted,
-                    &mut blocked,
-                    &mut arena,
-                    &mut sub,
-                    &mut counts,
-                );
-                count_root_exact(
-                    v,
-                    4,
-                    &sorted,
-                    &mut blocked,
-                    &mut arena,
-                    &mut sub,
-                    &mut counts,
-                );
-            } else {
-                let mut rng = SplitMix64::new(root_seed(seed, v));
-                for k in [3usize, 4] {
-                    let probs = [retention; 4];
-                    let mut tally = |nodes: &[NodeId], w: f64| {
-                        counts.counts[classify_by(|a, b| sorted.has_edge(a, b), nodes)] += w;
-                    };
-                    esu_root(
-                        g,
+    let chunks: Vec<Result<Vec<GraphletCounts>, VqiError>> =
+        par::map_chunks(g.node_count(), |roots| {
+            let mut blocked = vec![false; g.node_count()];
+            let mut arena = Vec::new();
+            let mut sub = Vec::with_capacity(4);
+            let mut out = Vec::with_capacity(roots.len());
+            for u in roots {
+                let v = NodeId(u as u32);
+                let mut counts = GraphletCounts::default();
+                let mut meter = ctrl.map(|c| c.meter("kernel.graphlet"));
+                if exact {
+                    count_root_exact(
                         v,
-                        k,
-                        Some(&probs[..k]),
-                        &mut rng,
+                        3,
+                        &sorted,
                         &mut blocked,
-                        &mut tally,
-                    );
+                        &mut arena,
+                        &mut sub,
+                        &mut counts,
+                        &mut meter,
+                    )?;
+                    count_root_exact(
+                        v,
+                        4,
+                        &sorted,
+                        &mut blocked,
+                        &mut arena,
+                        &mut sub,
+                        &mut counts,
+                        &mut meter,
+                    )?;
+                } else {
+                    let mut rng = SplitMix64::new(root_seed(seed, v));
+                    let mut aborted: Option<VqiError> = None;
+                    for k in [3usize, 4] {
+                        let probs = [retention; 4];
+                        let mut tally = |nodes: &[NodeId], w: f64| {
+                            if aborted.is_some() {
+                                return;
+                            }
+                            if let Some(m) = meter.as_mut() {
+                                if let Err(e) = m.tick() {
+                                    aborted = Some(e);
+                                    return;
+                                }
+                            }
+                            counts.counts[classify_by(|a, b| sorted.has_edge(a, b), nodes)] += w;
+                        };
+                        esu_root(
+                            g,
+                            v,
+                            k,
+                            Some(&probs[..k]),
+                            &mut rng,
+                            &mut blocked,
+                            &mut tally,
+                        );
+                        if aborted.is_some() {
+                            break;
+                        }
+                    }
+                    if let Some(e) = aborted {
+                        return Err(e);
+                    }
                 }
+                out.push(counts);
             }
-            out.push(counts);
-        }
-        out
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+            Ok(out)
+        });
     // root-index-order fold: the fixed order is what makes the
-    // fractional (f64) sums thread-count invariant
+    // fractional (f64) sums thread-count invariant, and makes the
+    // first-erring root's error the one reported at any thread count
     let mut total = GraphletCounts::default();
-    for c in &per_root {
-        total.add(c);
+    for chunk in chunks {
+        for c in chunk? {
+            total.add(&c);
+        }
     }
-    total
+    Ok(total)
 }
 
 /// Exact graphlet frequency distribution of a single graph.
@@ -600,6 +686,30 @@ pub fn collection_distribution_sampled(
         total.add(c);
     }
     total.distribution()
+}
+
+/// Budget-aware [`collection_distribution_sampled`]: each graph's
+/// census runs under `ctrl` (fresh per-root meters), per-graph results
+/// are folded in collection order, and the first failing graph's error
+/// wins — deterministically, at any thread count. Unlimited budgets
+/// reproduce the plain entry point bit for bit.
+pub fn collection_distribution_sampled_ctrl(
+    graphs: &[&Graph],
+    retention: f64,
+    seed: u64,
+    ctrl: &Budget,
+) -> Result<[f64; GRAPHLET_CLASSES], VqiError> {
+    ctrl.check("kernel.graphlet")?;
+    let _s = vqi_observe::span("kernel.graphlet.collection");
+    vqi_observe::incr("kernel.graphlet.collection.graphs", graphs.len() as u64);
+    let per_graph: Vec<Result<GraphletCounts, VqiError>> = par::map(graphs, |g| {
+        sample_graphlets_seeded_full(g, retention, seed, Some(ctrl))
+    });
+    let mut total = GraphletCounts::default();
+    for c in per_graph {
+        total.add(&c?);
+    }
+    Ok(total.distribution())
 }
 
 #[cfg(test)]
@@ -878,5 +988,85 @@ mod tests {
         let exact = collection_distribution(graphs.iter());
         let sampled = collection_distribution_sampled(&refs, 1.0, 7);
         assert_eq!(exact, sampled);
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        use crate::generate::erdos_renyi;
+        use vqi_runtime::Budget;
+        let _guard = crate::kernel_test_lock();
+        let mut rng = SmallRng::seed_from_u64(77);
+        let g = erdos_renyi(24, 0.2, 0, &mut rng);
+        let b = Budget::unlimited();
+        assert_eq!(
+            count_graphlets_ctrl(&g, &b).expect("unlimited").counts,
+            count_graphlets_par(&g).counts
+        );
+        assert_eq!(
+            sample_graphlets_seeded_ctrl(&g, 0.6, 5, &b)
+                .expect("unlimited")
+                .counts,
+            sample_graphlets_seeded(&g, 0.6, 5).counts
+        );
+        let graphs = [clique(4), path(5), clique(3)];
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        assert_eq!(
+            collection_distribution_sampled_ctrl(&refs, 1.0, 7, &b).expect("unlimited"),
+            collection_distribution_sampled(&refs, 1.0, 7)
+        );
+    }
+
+    #[test]
+    fn graphlet_tick_quota_trips_identically_across_thread_counts() {
+        use vqi_runtime::{Budget, VqiError};
+        let _guard = crate::kernel_test_lock();
+        let g = clique(8);
+        let b = Budget::unlimited().with_kernel_ticks(10);
+        // every root gets a fresh 10-tick meter, so which root trips —
+        // and therefore the returned error — cannot depend on how the
+        // roots were chunked across workers
+        let prev = par::thread_cap();
+        let mut outcomes = Vec::new();
+        for cap in [1usize, 2, 4] {
+            par::set_thread_cap(cap);
+            outcomes.push(count_graphlets_ctrl(&g, &b));
+        }
+        par::set_thread_cap(prev);
+        for o in &outcomes {
+            assert_eq!(
+                *o,
+                Err(VqiError::QuotaExceeded {
+                    stage: "kernel.graphlet".into()
+                })
+            );
+        }
+        // a generous quota restores the exact result
+        let roomy = Budget::unlimited().with_kernel_ticks(1_000_000);
+        assert_eq!(
+            count_graphlets_ctrl(&g, &roomy).expect("roomy").counts,
+            count_graphlets(&g).counts
+        );
+    }
+
+    #[test]
+    fn sampled_census_honors_quota_and_cancel() {
+        use vqi_runtime::{Budget, CancelToken, VqiError};
+        let _guard = crate::kernel_test_lock();
+        let g = clique(8);
+        // fractional retention takes the RAND-ESU path; a tiny quota
+        // must still trip deterministically there
+        let b = Budget::unlimited().with_kernel_ticks(3);
+        let first = sample_graphlets_seeded_ctrl(&g, 0.9, 3, &b);
+        let second = sample_graphlets_seeded_ctrl(&g, 0.9, 3, &b);
+        assert_eq!(first, second);
+        assert!(matches!(first, Err(VqiError::QuotaExceeded { .. })));
+        // a pre-canceled token rejects the call up front
+        let token = CancelToken::new();
+        token.cancel();
+        let canceled = Budget::unlimited().with_cancel(token);
+        assert!(matches!(
+            sample_graphlets_seeded_ctrl(&g, 1.0, 0, &canceled),
+            Err(VqiError::Canceled { .. })
+        ));
     }
 }

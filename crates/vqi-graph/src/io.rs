@@ -37,6 +37,28 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for vqi_runtime::VqiError {
+    fn from(e: ParseError) -> Self {
+        vqi_runtime::VqiError::Parse {
+            line: e.line,
+            reason: e.message,
+        }
+    }
+}
+
+/// Reads and parses a transaction file from disk, folding both I/O
+/// failures and malformed content into [`vqi_runtime::VqiError::Parse`]
+/// (unreadable files report line 0). This is the entry point pipelines
+/// and the CLI use so a corrupt dataset degrades a run instead of
+/// aborting the process.
+pub fn load_transactions(path: &std::path::Path) -> Result<Vec<Graph>, vqi_runtime::VqiError> {
+    let text = std::fs::read_to_string(path).map_err(|e| vqi_runtime::VqiError::Parse {
+        line: 0,
+        reason: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_transactions(&text).map_err(Into::into)
+}
+
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
@@ -217,5 +239,75 @@ mod tests {
     #[test]
     fn empty_input_gives_no_graphs() {
         assert_eq!(parse_transactions("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn corrupt_fixtures_report_line_and_reason() {
+        // each fixture is a realistic truncation/corruption of the
+        // reference snippet; the parser must name the offending line
+        let cases: &[(&str, usize, &str)] = &[
+            ("t # 0\nv 0 3\nv x 5\n", 3, "invalid node id"),
+            ("t # 0\nv 0 3\nv 1\n", 3, "missing node label"),
+            ("t # 0\nv 0 3\nv 1 5\ne 0\n", 4, "missing edge target"),
+            ("t # 0\nv 0 3\nv 1 5\ne 0 1 1e3\n", 4, "invalid edge label"),
+            ("t # 0\nv 0 3\nv 1 5\ne 0 one 2\n", 4, "invalid edge target"),
+            ("e 0 1 2\n", 1, "'e' before any 't' header"),
+            ("t # 0\nw 0 3\n", 2, "unknown record type 'w'"),
+            ("t # 0\nv 0 3\nv 3 5\n", 3, "node id 3 out of order"),
+            ("t # 0\nv 0 3\ne 0 0 1\n", 3, "invalid or duplicate edge"),
+        ];
+        for (text, line, reason) in cases {
+            let e = parse_transactions(text).expect_err(text);
+            assert_eq!(e.line, *line, "fixture {text:?}");
+            assert!(
+                e.message.contains(reason),
+                "fixture {text:?}: got {:?}, want substring {reason:?}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn parse_error_converts_to_vqi_error() {
+        let e = parse_transactions("t # 0\nv 0\n").unwrap_err();
+        let v: vqi_runtime::VqiError = e.clone().into();
+        assert_eq!(
+            v,
+            vqi_runtime::VqiError::Parse {
+                line: 2,
+                reason: e.message,
+            }
+        );
+        assert_eq!(v.tag(), "parse");
+    }
+
+    #[test]
+    fn load_transactions_surfaces_io_and_parse_failures() {
+        let dir = std::env::temp_dir().join("vqi_io_corrupt_fixtures");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("does_not_exist.txt");
+        let e = load_transactions(&missing).unwrap_err();
+        match &e {
+            vqi_runtime::VqiError::Parse { line, reason } => {
+                assert_eq!(*line, 0);
+                assert!(reason.contains("cannot read"), "{reason}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+
+        let corrupt = dir.join("corrupt.txt");
+        std::fs::write(&corrupt, "t # 0\nv 0 3\ne 0 1 2\n").unwrap();
+        let e = load_transactions(&corrupt).unwrap_err();
+        match &e {
+            vqi_runtime::VqiError::Parse { line, .. } => assert_eq!(*line, 3),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+
+        let good = dir.join("good.txt");
+        std::fs::write(&good, "t # 0\nv 0 3\nv 1 5\ne 0 1 2\n").unwrap();
+        let graphs = load_transactions(&good).unwrap();
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].node_count(), 2);
     }
 }

@@ -37,6 +37,7 @@
 
 use crate::graph::{EdgeId, Graph, Label, NodeId, WILDCARD_LABEL};
 use crate::index::{node_sig, subgraph_feasible, Fingerprint, GraphIndex, NodeSig};
+use vqi_runtime::{Budget, Meter, VqiError};
 
 /// Options controlling a matching run.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +120,10 @@ struct Vf2<'a, F: FnMut(&[NodeId]) -> bool> {
     /// candidates rejected by signature pruning (batched into the
     /// `kernel.iso.pruned` counter when the search returns)
     pruned: u64,
+    /// optional budget meter, ticked once per examined candidate pair
+    meter: Option<Meter>,
+    /// set when the meter trips; the search stops and reports the error
+    abort: Option<VqiError>,
     /// visitor; returns false to stop the whole search
     visit: F,
 }
@@ -208,6 +213,8 @@ impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
             states: 0,
             found: 0,
             pruned: 0,
+            meter: None,
+            abort: None,
             visit,
         }
     }
@@ -343,6 +350,12 @@ impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
             if self.states > self.opts.max_states {
                 return false;
             }
+            if let Some(m) = &mut self.meter {
+                if let Err(e) = m.tick() {
+                    self.abort = Some(e);
+                    return false;
+                }
+            }
             if self.feasible(p, t) {
                 self.core_p[p.index()] = t.0;
                 self.core_t[t.index()] = p.0;
@@ -358,6 +371,47 @@ impl<'a, F: FnMut(&[NodeId]) -> bool> Vf2<'a, F> {
     }
 }
 
+fn enumerate_embeddings_full<F: FnMut(&[NodeId]) -> bool>(
+    pattern: &Graph,
+    target: &Graph,
+    idx: Option<&GraphIndex>,
+    opts: MatchOptions,
+    meter: Option<Meter>,
+    visit: F,
+) -> Result<SearchOutcome, VqiError> {
+    let trivially_empty = SearchOutcome {
+        complete: true,
+        embeddings: 0,
+    };
+    if pattern.node_count() == 0 {
+        return Ok(trivially_empty);
+    }
+    if pattern.node_count() > target.node_count() || pattern.edge_count() > target.edge_count() {
+        return Ok(trivially_empty);
+    }
+    if let Some(ix) = idx {
+        // constant-time infeasibility: no embedding can exist, so the
+        // (empty, complete) outcome is exact
+        if !subgraph_feasible(&Fingerprint::of(pattern), ix.fingerprint(), opts.wildcard) {
+            vqi_observe::incr("kernel.iso.skip_fingerprint", 1);
+            return Ok(trivially_empty);
+        }
+    }
+    let mut vf2 = Vf2::new(pattern, target, idx, opts, visit);
+    vf2.meter = meter;
+    let complete = vf2.search(0);
+    if vf2.pruned > 0 {
+        vqi_observe::incr("kernel.iso.pruned", vf2.pruned);
+    }
+    if let Some(e) = vf2.abort {
+        return Err(e);
+    }
+    Ok(SearchOutcome {
+        complete,
+        embeddings: vf2.found,
+    })
+}
+
 fn enumerate_embeddings_impl<F: FnMut(&[NodeId]) -> bool>(
     pattern: &Graph,
     target: &Graph,
@@ -365,33 +419,102 @@ fn enumerate_embeddings_impl<F: FnMut(&[NodeId]) -> bool>(
     opts: MatchOptions,
     visit: F,
 ) -> SearchOutcome {
-    let trivially_empty = SearchOutcome {
-        complete: true,
-        embeddings: 0,
-    };
-    if pattern.node_count() == 0 {
-        return trivially_empty;
+    match enumerate_embeddings_full(pattern, target, idx, opts, None, visit) {
+        Ok(out) => out,
+        // unreachable: without a meter the search cannot abort
+        Err(_) => SearchOutcome {
+            complete: false,
+            embeddings: 0,
+        },
     }
-    if pattern.node_count() > target.node_count() || pattern.edge_count() > target.edge_count() {
-        return trivially_empty;
+}
+
+/// Budget-aware embedding enumeration: a [`Meter`] from `budget` is
+/// ticked once per examined candidate pair, so a tick quota trips at
+/// the same state at any thread count, while a wall-clock deadline or
+/// cancellation is observed within [`vqi_runtime::ctrl::POLL_INTERVAL`]
+/// states. On a trip the error is returned and the embeddings visited
+/// so far stand (the visitor has already seen them). With an unlimited
+/// budget this is exactly [`enumerate_embeddings`] /
+/// [`enumerate_embeddings_indexed`].
+pub fn enumerate_embeddings_ctrl<F: FnMut(&[NodeId]) -> bool>(
+    pattern: &Graph,
+    target: &Graph,
+    idx: Option<&GraphIndex>,
+    opts: MatchOptions,
+    budget: &Budget,
+    visit: F,
+) -> Result<SearchOutcome, VqiError> {
+    enumerate_embeddings_full(
+        pattern,
+        target,
+        idx,
+        opts,
+        Some(budget.meter("kernel.vf2")),
+        visit,
+    )
+}
+
+/// Budget-aware [`is_subgraph_isomorphic`]; `Err` when the budget
+/// tripped before an embedding was found or the space was exhausted.
+pub fn is_subgraph_isomorphic_ctrl(
+    pattern: &Graph,
+    target: &Graph,
+    idx: Option<&GraphIndex>,
+    opts: MatchOptions,
+    budget: &Budget,
+) -> Result<bool, VqiError> {
+    let mut found = false;
+    match enumerate_embeddings_ctrl(pattern, target, idx, opts, budget, |_| {
+        found = true;
+        false
+    }) {
+        Ok(_) => Ok(found),
+        // an embedding seen before the trip still answers the question
+        Err(_) if found => Ok(true),
+        Err(e) => Err(e),
     }
-    if let Some(ix) = idx {
-        // constant-time infeasibility: no embedding can exist, so the
-        // (empty, complete) outcome is exact
-        if !subgraph_feasible(&Fingerprint::of(pattern), ix.fingerprint(), opts.wildcard) {
-            vqi_observe::incr("kernel.iso.skip_fingerprint", 1);
-            return trivially_empty;
+}
+
+/// Budget-aware [`count_embeddings`] / [`count_embeddings_indexed`].
+pub fn count_embeddings_ctrl(
+    pattern: &Graph,
+    target: &Graph,
+    idx: Option<&GraphIndex>,
+    opts: MatchOptions,
+    budget: &Budget,
+) -> Result<usize, VqiError> {
+    enumerate_embeddings_ctrl(pattern, target, idx, opts, budget, |_| true).map(|o| o.embeddings)
+}
+
+/// Budget-aware [`covered_edges`] / [`covered_edges_indexed`].
+pub fn covered_edges_ctrl(
+    pattern: &Graph,
+    target: &Graph,
+    idx: Option<&GraphIndex>,
+    opts: MatchOptions,
+    budget: &Budget,
+) -> Result<Vec<EdgeId>, VqiError> {
+    let mut covered = vec![false; target.edge_count()];
+    enumerate_embeddings_ctrl(pattern, target, idx, opts, budget, |mapping| {
+        for e in pattern.edges() {
+            let (u, v) = pattern.endpoints(e);
+            let te = match idx {
+                Some(ix) => ix.edge_between(mapping[u.index()], mapping[v.index()]),
+                None => target.edge_between(mapping[u.index()], mapping[v.index()]),
+            };
+            if let Some(te) = te {
+                covered[te.index()] = true;
+            }
         }
-    }
-    let mut vf2 = Vf2::new(pattern, target, idx, opts, visit);
-    let complete = vf2.search(0);
-    if vf2.pruned > 0 {
-        vqi_observe::incr("kernel.iso.pruned", vf2.pruned);
-    }
-    SearchOutcome {
-        complete,
-        embeddings: vf2.found,
-    }
+        true
+    })?;
+    Ok(covered
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| EdgeId(i as u32))
+        .collect())
 }
 
 /// Enumerates embeddings of `pattern` into `target`, invoking `visit` with
@@ -770,6 +893,81 @@ mod tests {
         let out = enumerate_embeddings_indexed(&p, &t, &idx, MatchOptions::default(), |_| true);
         assert!(out.complete);
         assert_eq!(out.embeddings, 0);
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        use crate::generate::{assign_labels, erdos_renyi};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let b = Budget::unlimited();
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut target = erdos_renyi(12, 0.3, 0, &mut rng);
+            assign_labels(&mut target, 3, 2, &mut rng);
+            let mut pattern = erdos_renyi(4, 0.6, 0, &mut rng);
+            assign_labels(&mut pattern, 3, 2, &mut rng);
+            let idx = GraphIndex::build(&target);
+            let opts = MatchOptions::default();
+            assert_eq!(
+                count_embeddings(&pattern, &target, opts),
+                count_embeddings_ctrl(&pattern, &target, None, opts, &b).unwrap()
+            );
+            assert_eq!(
+                covered_edges_indexed(&pattern, &target, &idx, opts),
+                covered_edges_ctrl(&pattern, &target, Some(&idx), opts, &b).unwrap()
+            );
+            assert_eq!(
+                is_subgraph_isomorphic(&pattern, &target, opts),
+                is_subgraph_isomorphic_ctrl(&pattern, &target, None, opts, &b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn tick_quota_trips_deterministically_mid_search() {
+        let t = triangle(0);
+        // enumerate the 6 automorphisms with a quota that trips midway;
+        // the prefix of embeddings seen before the trip must be stable
+        let run = |ticks: u64| -> (Vec<Vec<NodeId>>, Result<SearchOutcome, VqiError>) {
+            let b = Budget::unlimited().with_kernel_ticks(ticks);
+            let mut seen = Vec::new();
+            let r = enumerate_embeddings_ctrl(&t, &t, None, MatchOptions::default(), &b, |m| {
+                seen.push(m.to_vec());
+                true
+            });
+            (seen, r)
+        };
+        let full = find_embeddings(&t, &t, MatchOptions::default());
+        let (seen_a, ra) = run(5);
+        let (seen_b, rb) = run(5);
+        assert_eq!(seen_a, seen_b, "same quota, same prefix");
+        assert_eq!(ra, rb);
+        assert!(matches!(ra, Err(VqiError::QuotaExceeded { .. })));
+        assert!(seen_a.len() < full.len());
+        assert_eq!(seen_a[..], full[..seen_a.len()], "prefix of full order");
+        // a generous quota completes with the plain result
+        let (seen_full, r_full) = run(1_000);
+        assert_eq!(seen_full, full);
+        assert!(r_full.unwrap().complete);
+    }
+
+    #[test]
+    fn canceled_budget_stops_the_search() {
+        let token = vqi_runtime::CancelToken::new();
+        token.cancel();
+        let b = Budget::unlimited().with_cancel(token);
+        // large search so the poll interval is reached
+        let mut t = Graph::new();
+        let nodes: Vec<NodeId> = (0..18).map(|_| t.add_node(0)).collect();
+        for i in 0..18 {
+            for j in (i + 1)..18 {
+                t.add_edge(nodes[i], nodes[j], 0);
+            }
+        }
+        let p = path(6, 0);
+        let r = count_embeddings_ctrl(&p, &t, None, MatchOptions::default(), &b);
+        assert!(matches!(r, Err(VqiError::Canceled { .. })));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use crate::graph::{Graph, Label, NodeId};
 use crate::index::{mcs_edge_upper_bound, Fingerprint};
 use std::sync::atomic::{AtomicBool, Ordering};
+use vqi_runtime::{Budget, Meter, VqiError};
 
 static BOUND_SKIP_ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -59,6 +60,10 @@ struct McsSearch<'a> {
     used_b: Vec<bool>,
     best: usize,
     budget: u64,
+    /// optional budget meter, ticked once per search node
+    meter: Option<Meter>,
+    /// set when the meter trips; the search unwinds via `budget = 0`
+    abort: Option<VqiError>,
 }
 
 impl<'a> McsSearch<'a> {
@@ -85,6 +90,14 @@ impl<'a> McsSearch<'a> {
             return;
         }
         self.budget -= 1;
+        if let Some(m) = &mut self.meter {
+            if let Err(e) = m.tick() {
+                self.abort = Some(e);
+                // zeroing the budget short-circuits the rest of the tree
+                self.budget = 0;
+                return;
+            }
+        }
         if common > self.best {
             self.best = common;
         }
@@ -122,10 +135,18 @@ impl<'a> McsSearch<'a> {
     }
 }
 
-/// Core search shared by the exact and seeded entry points. `seed` is an
-/// initial incumbent: branches that cannot strictly beat it are cut, and
-/// the returned value is `max(seed, best mapping found)`.
-fn mcs_edge_count_seeded(a: &Graph, b: &Graph, budget: u64, seed: usize) -> usize {
+/// Core search shared by the exact, seeded, and budget-aware entry
+/// points. `seed` is an initial incumbent: branches that cannot
+/// strictly beat it are cut, and the returned value is
+/// `max(seed, best mapping found)`. A tripped `meter` aborts with the
+/// error instead.
+fn mcs_edge_count_full(
+    a: &Graph,
+    b: &Graph,
+    budget: u64,
+    seed: usize,
+    meter: Option<Meter>,
+) -> Result<usize, VqiError> {
     // search from the smaller graph for a shallower tree
     let (a, b) = if a.node_count() <= b.node_count() {
         (a, b)
@@ -133,7 +154,7 @@ fn mcs_edge_count_seeded(a: &Graph, b: &Graph, budget: u64, seed: usize) -> usiz
         (b, a)
     };
     if a.edge_count() == 0 || b.edge_count() == 0 {
-        return seed;
+        return Ok(seed);
     }
     // order a's nodes by degree descending: high-impact decisions first
     let mut order: Vec<NodeId> = a.nodes().collect();
@@ -157,9 +178,37 @@ fn mcs_edge_count_seeded(a: &Graph, b: &Graph, budget: u64, seed: usize) -> usiz
         used_b: vec![false; b.node_count()],
         best: seed,
         budget,
+        meter,
+        abort: None,
     };
     s.search(0, 0, a.edge_count());
-    s.best
+    match s.abort {
+        Some(e) => Err(e),
+        None => Ok(s.best),
+    }
+}
+
+/// See [`mcs_edge_count_full`]; without a meter the search cannot abort.
+fn mcs_edge_count_seeded(a: &Graph, b: &Graph, budget: u64, seed: usize) -> usize {
+    mcs_edge_count_full(a, b, budget, seed, None).unwrap_or(seed)
+}
+
+/// Budget-aware [`mcs_edge_count`]: a [`Meter`] from `ctrl` is ticked
+/// once per branch-and-bound node. A deterministic tick quota trips at
+/// the same node on every run; a deadline or cancellation is observed
+/// within [`vqi_runtime::ctrl::POLL_INTERVAL`] nodes. With an
+/// unlimited budget the result equals [`mcs_edge_count`] exactly.
+pub fn mcs_edge_count_ctrl(a: &Graph, b: &Graph, ctrl: &Budget) -> Result<usize, VqiError> {
+    mcs_edge_count_full(a, b, DEFAULT_MCS_BUDGET, 0, Some(ctrl.meter("kernel.mcs")))
+}
+
+/// Budget-aware [`mcs_similarity`]; see [`mcs_edge_count_ctrl`].
+pub fn mcs_similarity_ctrl(a: &Graph, b: &Graph, ctrl: &Budget) -> Result<f64, VqiError> {
+    let denom = a.edge_count().max(b.edge_count());
+    if denom == 0 {
+        return Ok(0.0);
+    }
+    Ok(mcs_edge_count_ctrl(a, b, ctrl)? as f64 / denom as f64)
 }
 
 /// Size (in edges) of the maximum common edge subgraph of `a` and `b`
@@ -443,6 +492,37 @@ mod tests {
         set_bound_skip_enabled(true);
         assert_eq!(off, mcs_similarity(&a, &b));
         assert_eq!(off_cmp, mcs_similarity(&a, &b) >= 0.4);
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        let b = Budget::unlimited();
+        for i in 0..6u64 {
+            let g = random_graph(6, 0.5, 2, 2, 100 + i);
+            let h = random_graph(7, 0.4, 2, 2, 200 + i);
+            assert_eq!(
+                mcs_edge_count(&g, &h),
+                mcs_edge_count_ctrl(&g, &h, &b).unwrap()
+            );
+            assert_eq!(
+                mcs_similarity(&g, &h),
+                mcs_similarity_ctrl(&g, &h, &b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn mcs_tick_quota_trips_deterministically() {
+        let g = random_graph(8, 0.6, 1, 1, 5);
+        let h = random_graph(8, 0.6, 1, 1, 6);
+        let run = || {
+            let b = Budget::unlimited().with_kernel_ticks(50);
+            mcs_edge_count_ctrl(&g, &h, &b)
+        };
+        let a = run();
+        let b2 = run();
+        assert_eq!(a, b2, "same quota must trip identically");
+        assert!(matches!(a, Err(VqiError::QuotaExceeded { .. })));
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub fn num_threads() -> usize {
 /// results **in range order**. The caller owns the merge, which is where
 /// the determinism contract lives: fold the returned partials left to
 /// right and the result cannot depend on the thread count.
+///
+/// Panic isolation: a chunk whose worker panics does not poison the
+/// whole call. The failed range — and only that range — is retried
+/// once, sequentially, on the calling thread (`fault.retried` /
+/// `kernel.par.chunk_panics` count it); because `f` is pure over its
+/// range, the retried partial is identical to what the worker would
+/// have produced, so the result stays bit-identical at any thread
+/// count. Only a second, back-to-back failure of the same range
+/// propagates — pipeline stages catch it via `run_stage`.
 pub fn map_chunks<A, F>(n: usize, f: F) -> Vec<A>
 where
     A: Send,
@@ -123,16 +132,36 @@ where
     std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = ranges
-            .into_iter()
+            .iter()
             .map(|r| {
+                let r = r.clone();
                 s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
-                    f(r)
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(r)))
                 })
             })
             .collect();
-        for h in handles {
-            parts.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        for (h, r) in handles.into_iter().zip(ranges.iter()) {
+            // a panic between spawn and catch_unwind is impossible, so
+            // join() itself only fails if the closure result was Err
+            let outcome = h.join().unwrap_or_else(Err);
+            match outcome {
+                Ok(part) => parts.push(part),
+                Err(_payload) => {
+                    vqi_observe::incr("kernel.par.chunk_panics", 1);
+                    vqi_observe::incr("fault.retried", 1);
+                    // retry just the failed range on this thread, in the
+                    // same nested-call context a worker would have had
+                    let prev = IN_WORKER.with(|w| w.replace(true));
+                    let retried =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(r.clone())));
+                    IN_WORKER.with(|w| w.set(prev));
+                    match retried {
+                        Ok(part) => parts.push(part),
+                        Err(e) => std::panic::resume_unwind(e),
+                    }
+                }
+            }
         }
     });
     parts
@@ -215,6 +244,45 @@ mod tests {
         let got = map_range(100, |i| i + 1);
         set_parallel_enabled(true);
         assert_eq!(got, (1..=100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn injected_chunk_panic_is_isolated_and_retried() {
+        let _guard = crate::kernel_test_lock();
+        vqi_runtime::fault::set_plan(vqi_runtime::fault::FaultPlan {
+            seed: 11,
+            panic_rate: 1.0,
+            ..Default::default()
+        });
+        // every chunk's first attempt panics; the fired-once registry
+        // lets each sequential retry pass, so the call still returns
+        // the exact sequential result
+        let got = with_cap(4, || {
+            map_chunks(100, |r| {
+                vqi_runtime::fault::maybe_panic("par.test_chunk", r.start as u64);
+                r.map(|i| i * 3).sum::<usize>()
+            })
+        });
+        vqi_runtime::fault::reset();
+        let total: usize = got.into_iter().sum();
+        assert_eq!(total, (0..100).map(|i| i * 3).sum::<usize>());
+    }
+
+    #[test]
+    fn repeated_chunk_panic_propagates() {
+        let _guard = crate::kernel_test_lock();
+        // catch inside with_cap so the cap is restored even on unwind
+        let r = with_cap(2, || {
+            std::panic::catch_unwind(|| {
+                map_chunks(10, |r| {
+                    if r.contains(&7) {
+                        panic!("permanent failure");
+                    }
+                    r.len()
+                })
+            })
+        });
+        assert!(r.is_err(), "a twice-failing chunk must propagate");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use crate::graph::{EdgeId, Graph, NodeId};
 use crate::par;
+use vqi_runtime::{Budget, Meter, VqiError};
 
 /// Per-edge triangle counts ("support") — single-threaded reference.
 pub fn edge_supports_seq(g: &Graph) -> Vec<u32> {
@@ -104,7 +105,8 @@ fn peel(
     g: &Graph,
     mut support: Vec<u32>,
     partners: impl Fn(EdgeId, NodeId, NodeId, &[bool], &mut dyn FnMut(EdgeId, EdgeId)),
-) -> Vec<u32> {
+    mut meter: Option<Meter>,
+) -> Result<Vec<u32>, VqiError> {
     let m = g.edge_count();
     let mut truss = vec![0u32; m];
     let mut removed = vec![false; m];
@@ -119,6 +121,10 @@ fn peel(
     let mut processed = 0usize;
     let mut cursor = 0usize;
     while processed < m {
+        // one budget tick per peeled edge
+        if let Some(mt) = &mut meter {
+            mt.tick()?;
+        }
         // find the lowest non-empty bucket at or below the current level
         let mut e_opt = None;
         while cursor < buckets.len() {
@@ -167,7 +173,7 @@ fn peel(
             }
         });
     }
-    truss
+    Ok(truss)
 }
 
 /// The trussness of every edge: the largest `k` such that the edge belongs
@@ -239,18 +245,41 @@ impl TriangleLists {
 /// values whatever the decrement order, and trussness is unique
 /// regardless of tie-breaks among equal-support edges.
 pub fn trussness(g: &Graph) -> Vec<u32> {
+    match trussness_full(g, None) {
+        Ok(t) => t,
+        // unreachable: without a meter the peel cannot abort
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Budget-aware [`trussness`]: one [`Meter`] tick per peeled edge. A
+/// deterministic tick quota trips at the same edge regardless of
+/// thread count; deadlines and cancellation are observed within
+/// [`vqi_runtime::ctrl::POLL_INTERVAL`] peels. With an unlimited
+/// budget the result equals [`trussness`] exactly.
+pub fn trussness_ctrl(g: &Graph, ctrl: &Budget) -> Result<Vec<u32>, VqiError> {
+    ctrl.check("kernel.truss")?;
+    trussness_full(g, Some(ctrl.meter("kernel.truss")))
+}
+
+fn trussness_full(g: &Graph, meter: Option<Meter>) -> Result<Vec<u32>, VqiError> {
     let _s = vqi_observe::span("kernel.truss.peel");
     vqi_observe::incr("kernel.truss.peel.edges", g.edge_count() as u64);
     let support = edge_supports(g);
     let tri = TriangleLists::build(g, &support);
     vqi_observe::incr("kernel.truss.triangles", (tri.pairs.len() / 3) as u64);
-    peel(g, support, |e, _a, _b, removed, f| {
-        for &(f1, f2) in tri.of(e) {
-            if !removed[f1.index()] && !removed[f2.index()] {
-                f(f1, f2);
+    peel(
+        g,
+        support,
+        |e, _a, _b, removed, f| {
+            for &(f1, f2) in tri.of(e) {
+                if !removed[f1.index()] && !removed[f2.index()] {
+                    f(f1, f2);
+                }
             }
-        }
-    })
+        },
+        meter,
+    )
 }
 
 /// The pre-optimization trussness path: sequential supports and linear
@@ -258,18 +287,25 @@ pub fn trussness(g: &Graph) -> Vec<u32> {
 /// regression tests and the `exp_pipelines` benchmark baseline.
 pub fn trussness_baseline(g: &Graph) -> Vec<u32> {
     let support = edge_supports_seq(g);
-    peel(g, support, |_e, a, b, removed, f| {
-        for (w, aw) in g.neighbors(a) {
-            if removed[aw.index()] || w == b {
-                continue;
-            }
-            if let Some(bw) = g.edge_between(b, w) {
-                if !removed[bw.index()] {
-                    f(aw, bw);
+    let peeled = peel(
+        g,
+        support,
+        |_e, a, b, removed, f| {
+            for (w, aw) in g.neighbors(a) {
+                if removed[aw.index()] || w == b {
+                    continue;
+                }
+                if let Some(bw) = g.edge_between(b, w) {
+                    if !removed[bw.index()] {
+                        f(aw, bw);
+                    }
                 }
             }
-        }
-    })
+        },
+        None,
+    );
+    // unreachable Err: without a meter the peel cannot abort
+    peeled.unwrap_or_default()
 }
 
 /// The decomposition TATTOO operates on.
@@ -316,7 +352,17 @@ impl TrussDecomposition {
 /// assert_eq!(d.oblivious_edges.len(), 1);
 /// ```
 pub fn decompose(g: &Graph, k: u32) -> TrussDecomposition {
-    let t = trussness(g);
+    split(g, k, trussness(g))
+}
+
+/// Budget-aware [`decompose`]; see [`trussness_ctrl`] for the budget
+/// semantics. With an unlimited budget the result equals
+/// [`decompose`] exactly.
+pub fn decompose_ctrl(g: &Graph, k: u32, ctrl: &Budget) -> Result<TrussDecomposition, VqiError> {
+    Ok(split(g, k, trussness_ctrl(g, ctrl)?))
+}
+
+fn split(g: &Graph, k: u32, t: Vec<u32>) -> TrussDecomposition {
     let mut infested = Vec::new();
     let mut oblivious = Vec::new();
     for e in g.edges() {
@@ -485,6 +531,35 @@ mod tests {
         ] {
             assert_eq!(trussness(g), trussness_baseline(g), "{name}");
         }
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        use crate::generate::{assign_labels, erdos_renyi};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let b = Budget::unlimited();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut g = erdos_renyi(40, 0.15, 0, &mut rng);
+        assign_labels(&mut g, 3, 2, &mut rng);
+        assert_eq!(trussness(&g), trussness_ctrl(&g, &b).unwrap());
+        let plain = decompose(&g, 3);
+        let ctrl = decompose_ctrl(&g, 3, &b).unwrap();
+        assert_eq!(plain.trussness, ctrl.trussness);
+        assert_eq!(plain.infested_edges, ctrl.infested_edges);
+        assert_eq!(plain.oblivious_edges, ctrl.oblivious_edges);
+    }
+
+    #[test]
+    fn truss_tick_quota_trips_deterministically() {
+        let g = clique(8); // 28 edges to peel
+        let run = || {
+            let b = Budget::unlimited().with_kernel_ticks(10);
+            trussness_ctrl(&g, &b)
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(matches!(a, Err(VqiError::QuotaExceeded { .. })));
     }
 
     #[test]

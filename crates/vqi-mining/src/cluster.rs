@@ -116,7 +116,7 @@ pub fn k_medoids<R: Rng>(
             *slot = medoids
                 .iter()
                 .enumerate()
-                .min_by(|(_, &a), (_, &b)| dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap())
+                .min_by(|(_, &a), (_, &b)| dist.get(i, a).total_cmp(&dist.get(i, b)))
                 .map(|(ci, _)| ci)
                 .unwrap();
         }
@@ -133,7 +133,7 @@ pub fn k_medoids<R: Rng>(
                 .min_by(|&a, &b| {
                     let ca: f64 = members.iter().map(|&m| dist.get(m, a)).sum();
                     let cb: f64 = members.iter().map(|&m| dist.get(m, b)).sum();
-                    ca.partial_cmp(&cb).unwrap()
+                    ca.total_cmp(&cb)
                 })
                 .unwrap();
             if best != *medoid {
@@ -150,7 +150,7 @@ pub fn k_medoids<R: Rng>(
         *slot = medoids
             .iter()
             .enumerate()
-            .min_by(|(_, &a), (_, &b)| dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap())
+            .min_by(|(_, &a), (_, &b)| dist.get(i, a).total_cmp(&dist.get(i, b)))
             .map(|(ci, _)| ci)
             .unwrap();
     }
@@ -194,7 +194,7 @@ pub fn assign_incremental<F: Fn(usize) -> f64>(
         .iter()
         .enumerate()
         .map(|(ci, _)| (ci, dist_to_rep(ci)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .filter(|&(_, d)| d <= threshold)
         .map(|(ci, _)| ci)
 }
@@ -283,5 +283,29 @@ mod tests {
         assert_eq!(none, None);
         let empty: Option<usize> = assign_incremental(&[], |_| 0.0, 1.0);
         assert_eq!(empty, None);
+    }
+
+    #[test]
+    fn k_medoids_survives_non_finite_distances() {
+        // a degenerate distance function (NaN off-diagonal) used to
+        // panic in the partial_cmp argmax; total_cmp ranks NaN above
+        // every finite distance, so the run completes with a valid
+        // (if arbitrary) clustering
+        let d = DistanceMatrix::from_fn(4, |i, j| if (i + j) % 2 == 0 { f64::NAN } else { 1.0 });
+        let mut rng = SmallRng::seed_from_u64(3);
+        let c = k_medoids(&d, 2, 10, &mut rng);
+        assert_eq!(c.assignments.len(), 4);
+        assert!(c.assignments.iter().all(|&a| a < c.cluster_count()));
+    }
+
+    #[test]
+    fn incremental_assignment_prefers_finite_distances() {
+        let reps = [0usize, 1, 2];
+        // NaN sorts above +inf under total_cmp, so the finite rep wins
+        let assigned = assign_incremental(&reps, |ci| if ci == 1 { 0.5 } else { f64::NAN }, 1.0);
+        assert_eq!(assigned, Some(1));
+        // all-NaN distances never pass the threshold filter
+        let none = assign_incremental(&reps, |_| f64::NAN, 1.0);
+        assert_eq!(none, None);
     }
 }

@@ -29,3 +29,13 @@ pub use stages::{
     ClosureMerge, ClusteringStage, ExtractStage, KMedoidsStage, LeaderStage, MergeStage,
     SampleExtract, UnionMerge, WalkExtract,
 };
+
+/// Serializes tests against the process-global fault-injection plan:
+/// any test that runs a pipeline (whose stage bodies contain fault
+/// sites) must not race a test that installs a plan.
+#[cfg(test)]
+pub(crate) fn fault_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

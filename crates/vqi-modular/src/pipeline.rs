@@ -3,6 +3,7 @@
 use crate::stages::{ClusteringStage, ExtractStage, MergeStage};
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
+use vqi_core::ctrl::{run_stage, Budget, Degradation, PipelineOutcome};
 use vqi_core::pattern::{PatternKind, PatternSet};
 use vqi_core::repo::{GraphCollection, GraphRepository};
 use vqi_core::score::{cognitive_load, covers_cached_indexed, QualityWeights};
@@ -14,6 +15,7 @@ use vqi_graph::par;
 use vqi_graph::Graph;
 use vqi_mining::cluster::DistanceMatrix;
 use vqi_mining::similarity::SimilarityMeasure;
+use vqi_runtime::{fault, VqiError};
 
 /// A fully assembled modular pipeline.
 pub struct ModularPipeline {
@@ -55,11 +57,44 @@ impl ModularPipeline {
 
     /// Runs the pipeline on a collection.
     pub fn run(&self, collection: &GraphCollection, budget: &PatternBudget) -> PatternSet {
+        // an unlimited budget cannot trip a stage, so the shared body
+        // degenerates to the historical plain pipeline bit for bit
+        let mut deg = Degradation::new();
+        self.run_impl(collection, budget, &Budget::unlimited(), &mut deg)
+            .unwrap_or_default()
+    }
+
+    /// Budget-aware pipeline: same stages as [`ModularPipeline::run`],
+    /// but every stage honors `ctrl` (deadline, cancel flag, tick
+    /// quotas) and is panic-isolated. When nothing trips, the outcome
+    /// is `Complete` and bit-identical to the plain entry point; when a
+    /// stage is cut, the pipeline keeps everything selected so far
+    /// (anytime semantics) and reports the cut stages. `Err` is
+    /// returned only under a fail-fast budget.
+    pub fn run_ctrl(
+        &self,
+        collection: &GraphCollection,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        let mut deg = Degradation::new();
+        let value = self.run_impl(collection, budget, ctrl, &mut deg)?;
+        Ok(deg.finish(value))
+    }
+
+    /// Shared stage body of the plain and budget-aware pipelines.
+    fn run_impl(
+        &self,
+        collection: &GraphCollection,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+        deg: &mut Degradation,
+    ) -> Result<PatternSet, VqiError> {
         let _run = vqi_observe::span("modular.run");
         let ids = collection.ids();
         let n = ids.len();
         if n == 0 {
-            return PatternSet::new();
+            return Ok(PatternSet::new());
         }
         let graphs: Vec<&Graph> = ids
             .iter()
@@ -67,15 +102,24 @@ impl ModularPipeline {
             .collect();
 
         // stage 1 + 2: similarity -> distance -> clustering
-        let dist = {
-            let _s = vqi_observe::span!("modular.similarity.{}", self.similarity.name());
-            DistanceMatrix::from_fn(n, |i, j| {
-                1.0 - self.similarity.similarity(graphs[i], graphs[j])
-            })
-        };
-        let clustering = {
+        let clustered = run_stage(ctrl, "modular.cluster", || {
+            fault::maybe_panic("modular.cluster", 0);
+            let dist = {
+                let _s = vqi_observe::span!("modular.similarity.{}", self.similarity.name());
+                DistanceMatrix::from_fn(n, |i, j| {
+                    1.0 - self.similarity.similarity(graphs[i], graphs[j])
+                })
+            };
             let _s = vqi_observe::span!("modular.cluster.{}", self.clustering.name());
             self.clustering.cluster(&dist)
+        });
+        let clustering = match clustered {
+            Ok(c) => c,
+            Err(e) => {
+                // without a clustering there is nothing to merge
+                deg.absorb(ctrl, e)?;
+                return Ok(PatternSet::new());
+            }
         };
         vqi_observe::incr(
             "modular.clusters",
@@ -87,35 +131,55 @@ impl ModularPipeline {
         );
 
         // stage 3: merge each cluster into a continuous graph
-        let merge_span = vqi_observe::span!("modular.merge.{}", self.merger.name());
-        let merged: Vec<(Graph, Vec<f64>)> = clustering
-            .clusters()
-            .into_iter()
-            .filter(|m| !m.is_empty())
-            .map(|members| {
-                let cluster_graphs: Vec<&Graph> = members.iter().map(|&pos| graphs[pos]).collect();
-                self.merger.merge(&cluster_graphs)
-            })
-            .collect();
-        drop(merge_span);
+        let merged = run_stage(ctrl, "modular.merge", || {
+            let _s = vqi_observe::span!("modular.merge.{}", self.merger.name());
+            fault::maybe_panic("modular.merge", 0);
+            clustering
+                .clusters()
+                .into_iter()
+                .filter(|m| !m.is_empty())
+                .map(|members| {
+                    let cluster_graphs: Vec<&Graph> =
+                        members.iter().map(|&pos| graphs[pos]).collect();
+                    self.merger.merge(&cluster_graphs)
+                })
+                .collect::<Vec<(Graph, Vec<f64>)>>()
+        });
+        let merged = match merged {
+            Ok(m) => m,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                Vec::new()
+            }
+        };
 
         // stage 4: extract candidates (sequential sampling preserves the
         // extractor's RNG stream), then batch-canonicalize and dedup in
         // extraction order — identical output, parallel canonicalization
-        let extract_span = vqi_observe::span!("modular.extract.{}", self.extractor.name());
-        let mut raw: Vec<Graph> = Vec::new();
-        for (cg, weights) in &merged {
-            raw.extend(self.extractor.extract(cg, weights, budget));
-        }
-        let codes = canonical_codes(&raw);
-        let mut candidates: Vec<(Graph, CanonicalCode)> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for (cand, code) in raw.into_iter().zip(codes) {
-            if seen.insert(code.clone()) {
-                candidates.push((cand, code));
+        let extracted = run_stage(ctrl, "modular.extract", || {
+            let _s = vqi_observe::span!("modular.extract.{}", self.extractor.name());
+            fault::maybe_panic("modular.extract", 0);
+            let mut raw: Vec<Graph> = Vec::new();
+            for (cg, weights) in &merged {
+                raw.extend(self.extractor.extract(cg, weights, budget));
             }
-        }
-        drop(extract_span);
+            let codes = canonical_codes(&raw);
+            let mut candidates: Vec<(Graph, CanonicalCode)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (cand, code) in raw.into_iter().zip(codes) {
+                if seen.insert(code.clone()) {
+                    candidates.push((cand, code));
+                }
+            }
+            candidates
+        });
+        let candidates = match extracted {
+            Ok(c) => c,
+            Err(e) => {
+                deg.absorb(ctrl, e)?;
+                Vec::new()
+            }
+        };
         vqi_observe::incr("modular.candidates", candidates.len() as u64);
 
         // common final selection: greedy coverage/diversity/cognitive-load
@@ -150,13 +214,43 @@ impl ModularPipeline {
         // folded forward one selection at a time (identical to a full
         // per-round recomputation of the maximum)
         let mut max_sim: Vec<f64> = vec![0.0; pool.len()];
+        // one meter for the whole selection: with a tick quota of N the
+        // loop degrades after exactly N rounds, at any thread count
+        let mut meter = ctrl.meter("modular.select");
         while set.len() < budget.count && !pool.is_empty() {
-            let scores: Vec<f64> = par::map_range(pool.len(), |i| {
+            let round = set.len() as u64;
+            if let Err(e) = ctrl.check("modular.select").and_then(|()| meter.tick()) {
+                // anytime: keep what is already selected
+                deg.absorb(ctrl, e)?;
+                break;
+            }
+            if fault::maybe_timeout("modular.select", round) {
+                deg.absorb(
+                    ctrl,
+                    VqiError::DeadlineExceeded {
+                        stage: "modular.select".into(),
+                    },
+                )?;
+                break;
+            }
+            let mut scores: Vec<f64> = par::map_range(pool.len(), |i| {
                 let (_, _, cov, cl) = &pool[i];
                 let gain = cov.count_and_not(&covered) as f64 / n as f64;
                 let div = 1.0 - max_sim[i];
                 gain + self.weights.diversity * div - self.weights.cognitive * cl
             });
+            for (i, s) in scores.iter_mut().enumerate() {
+                // fault site keyed by (round, position) — both are pure
+                // functions of the input, never of the thread count
+                *s = fault::nan_score("modular.select.score", (round << 32) | i as u64, *s);
+                if !s.is_finite() {
+                    deg.note(
+                        "modular.select",
+                        format!("non-finite score sanitized in round {round}"),
+                    );
+                    *s = f64::NEG_INFINITY;
+                }
+            }
             let (bi, &best) = scores
                 .iter()
                 .enumerate()
@@ -182,7 +276,7 @@ impl ModularPipeline {
             }
         }
         vqi_observe::incr("modular.selected", set.len() as u64);
-        set
+        Ok(set)
     }
 }
 
@@ -197,6 +291,21 @@ impl PatternSelector for ModularPipeline {
             GraphRepository::Network(g) => {
                 let col = GraphCollection::new(vec![g.clone()]);
                 self.run(&col, budget)
+            }
+        }
+    }
+
+    fn select_ctrl(
+        &self,
+        repo: &GraphRepository,
+        budget: &PatternBudget,
+        ctrl: &Budget,
+    ) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+        match repo {
+            GraphRepository::Collection(c) => self.run_ctrl(c, budget, ctrl),
+            GraphRepository::Network(g) => {
+                let col = GraphCollection::new(vec![g.clone()]);
+                self.run_ctrl(&col, budget, ctrl)
             }
         }
     }
@@ -221,6 +330,7 @@ mod tests {
 
     #[test]
     fn standard_pipeline_selects_valid_patterns() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         let budget = PatternBudget::new(5, 4, 6);
         let set = ModularPipeline::standard().run(&col, &budget);
@@ -234,6 +344,7 @@ mod tests {
 
     #[test]
     fn every_assembly_combination_runs() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         let budget = PatternBudget::new(3, 4, 5);
         let sims: Vec<Box<dyn SimilarityMeasure>> =
@@ -278,6 +389,7 @@ mod tests {
 
     #[test]
     fn bound_and_skip_changes_no_selection() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         for count in [2, 4] {
             let budget = PatternBudget::new(count, 4, 6);
@@ -304,6 +416,7 @@ mod tests {
 
     #[test]
     fn empty_collection() {
+        let _guard = crate::fault_test_lock();
         let set = ModularPipeline::standard()
             .run(&GraphCollection::new(vec![]), &PatternBudget::default());
         assert!(set.is_empty());
@@ -311,6 +424,7 @@ mod tests {
 
     #[test]
     fn selection_is_identical_across_thread_counts() {
+        let _guard = crate::fault_test_lock();
         let col = collection();
         let budget = PatternBudget::new(4, 4, 6);
         let codes_at = |cap: usize| -> Vec<CanonicalCode> {
@@ -333,5 +447,109 @@ mod tests {
             seq.patterns().iter().map(|p| p.code.clone()).collect();
         seq_codes.sort();
         assert_eq!(one, seq_codes, "sequential toggle changed the selection");
+    }
+
+    /// Installs a fault plan and removes it on drop, so a failing
+    /// assertion cannot leak the plan into other tests.
+    struct PlanGuard;
+    fn with_plan(plan: vqi_runtime::fault::FaultPlan) -> PlanGuard {
+        vqi_runtime::fault::set_plan(plan);
+        PlanGuard
+    }
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            vqi_runtime::fault::reset();
+        }
+    }
+
+    fn codes_in_order(set: &PatternSet) -> Vec<CanonicalCode> {
+        set.patterns().iter().map(|p| p.code.clone()).collect()
+    }
+
+    #[test]
+    fn ctrl_with_unlimited_budget_matches_plain() {
+        let _guard = crate::fault_test_lock();
+        let col = collection();
+        let budget = PatternBudget::new(4, 4, 6);
+        let plain = ModularPipeline::standard().run(&col, &budget);
+        let out = ModularPipeline::standard()
+            .run_ctrl(&col, &budget, &Budget::unlimited())
+            .expect("unlimited budget cannot fail");
+        assert!(out.completeness.is_complete());
+        assert_eq!(codes_in_order(&plain), codes_in_order(&out.value));
+    }
+
+    #[test]
+    fn select_quota_cancels_mid_selection_deterministically() {
+        let _guard = crate::fault_test_lock();
+        let col = collection();
+        let budget = PatternBudget::new(4, 4, 6);
+        let full = ModularPipeline::standard().run(&col, &budget);
+        assert!(full.len() >= 3, "need enough rounds to cut");
+        // the selection meter ticks once per round: a 2-tick quota
+        // keeps exactly the first two picks, at any thread count
+        let ctrl = Budget::unlimited().with_kernel_ticks(2);
+        let mut per_cap = Vec::new();
+        for cap in [1usize, 2, 4] {
+            vqi_graph::par::set_thread_cap(cap);
+            let out = ModularPipeline::standard()
+                .run_ctrl(&col, &budget, &ctrl)
+                .expect("not fail-fast");
+            vqi_graph::par::set_thread_cap(0);
+            assert!(!out.completeness.is_complete(), "cap {cap} should degrade");
+            per_cap.push(codes_in_order(&out.value));
+        }
+        assert_eq!(per_cap[0], per_cap[1]);
+        assert_eq!(per_cap[0], per_cap[2]);
+        assert_eq!(per_cap[0].len(), 2);
+        // the degraded set is a prefix of the full selection
+        assert_eq!(&per_cap[0][..], &codes_in_order(&full)[..2]);
+    }
+
+    #[test]
+    fn injected_faults_degrade_deterministically() {
+        let _guard = crate::fault_test_lock();
+        let col = collection();
+        let budget = PatternBudget::new(4, 4, 6);
+        for (panic_rate, timeout_rate) in [(1.0, 0.0), (0.0, 1.0)] {
+            for seed in [1u64, 2] {
+                let mut runs = Vec::new();
+                for cap in [1usize, 2, 4] {
+                    let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+                        seed,
+                        panic_rate,
+                        timeout_rate,
+                        ..Default::default()
+                    });
+                    vqi_graph::par::set_thread_cap(cap);
+                    let out = ModularPipeline::standard()
+                        .run_ctrl(&col, &budget, &Budget::unlimited())
+                        .expect("faults must be absorbed, not propagated");
+                    vqi_graph::par::set_thread_cap(0);
+                    assert!(
+                        !out.completeness.is_complete(),
+                        "seed {seed} cap {cap}: total fault plan must degrade"
+                    );
+                    runs.push((codes_in_order(&out.value), out.completeness));
+                }
+                assert_eq!(runs[0], runs[1], "seed {seed}");
+                assert_eq!(runs[0], runs[2], "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_propagates_the_first_fault() {
+        let _guard = crate::fault_test_lock();
+        let col = collection();
+        let budget = PatternBudget::new(4, 4, 6);
+        let _plan = with_plan(vqi_runtime::fault::FaultPlan {
+            seed: 3,
+            panic_rate: 1.0,
+            ..Default::default()
+        });
+        let ctrl = Budget::unlimited().with_fail_fast(true);
+        let out = ModularPipeline::standard().run_ctrl(&col, &budget, &ctrl);
+        assert!(out.is_err(), "fail-fast must propagate the stage fault");
     }
 }

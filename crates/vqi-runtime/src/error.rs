@@ -1,0 +1,132 @@
+//! The error vocabulary shared by every pipeline stage and kernel.
+
+/// Why a stage or kernel could not run to completion.
+///
+/// Every pipeline stage returns `Result<_, VqiError>` on its
+/// budget-aware path; the pipeline converts stage errors into a
+/// `Degraded` outcome (or propagates them under `fail_fast`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VqiError {
+    /// Malformed input text: the offending 1-based line and a reason.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// The wall-clock deadline of the [`crate::Budget`] passed.
+    DeadlineExceeded {
+        /// The stage or kernel that observed the deadline.
+        stage: String,
+    },
+    /// The [`crate::CancelToken`] was triggered.
+    Canceled {
+        /// The stage or kernel that observed the cancellation.
+        stage: String,
+    },
+    /// A deterministic per-invocation tick/node quota ran out.
+    QuotaExceeded {
+        /// The stage or kernel whose quota tripped.
+        stage: String,
+    },
+    /// A stage or chunk panicked and the panic was isolated.
+    Panic {
+        /// The stage or kernel that panicked.
+        stage: String,
+        /// The panic payload, rendered best-effort.
+        reason: String,
+    },
+}
+
+impl VqiError {
+    /// The stage name the error is attributed to (`None` for parse
+    /// errors, which carry a line instead).
+    pub fn stage(&self) -> Option<&str> {
+        match self {
+            VqiError::Parse { .. } => None,
+            VqiError::DeadlineExceeded { stage }
+            | VqiError::Canceled { stage }
+            | VqiError::QuotaExceeded { stage }
+            | VqiError::Panic { stage, .. } => Some(stage),
+        }
+    }
+
+    /// A short stable tag (`deadline`, `canceled`, ...) used in fault
+    /// lists and metrics names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            VqiError::Parse { .. } => "parse",
+            VqiError::DeadlineExceeded { .. } => "deadline",
+            VqiError::Canceled { .. } => "canceled",
+            VqiError::QuotaExceeded { .. } => "quota",
+            VqiError::Panic { .. } => "panic",
+        }
+    }
+}
+
+impl std::fmt::Display for VqiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VqiError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            VqiError::DeadlineExceeded { stage } => write!(f, "deadline exceeded in {stage}"),
+            VqiError::Canceled { stage } => write!(f, "canceled in {stage}"),
+            VqiError::QuotaExceeded { stage } => write!(f, "work quota exceeded in {stage}"),
+            VqiError::Panic { stage, reason } => write!(f, "panic in {stage}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VqiError {}
+
+/// Renders a panic payload from `catch_unwind` best-effort: `&str` and
+/// `String` payloads (the overwhelmingly common cases) are shown
+/// verbatim, anything else as a placeholder.
+pub fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_stage_and_line() {
+        let e = VqiError::Parse {
+            line: 7,
+            reason: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 7: bad token");
+        assert_eq!(e.stage(), None);
+        assert_eq!(e.tag(), "parse");
+
+        let e = VqiError::DeadlineExceeded {
+            stage: "catapult.greedy".into(),
+        };
+        assert!(e.to_string().contains("catapult.greedy"));
+        assert_eq!(e.stage(), Some("catapult.greedy"));
+        assert_eq!(e.tag(), "deadline");
+
+        let e = VqiError::Panic {
+            stage: "tattoo.map".into(),
+            reason: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert_eq!(e.tag(), "panic");
+    }
+
+    #[test]
+    fn panic_reason_renders_common_payloads() {
+        let r = std::panic::catch_unwind(|| panic!("plain message")).unwrap_err();
+        assert_eq!(panic_reason(r.as_ref()), "plain message");
+        let r = std::panic::catch_unwind(|| panic!("{} {}", "formatted", 3)).unwrap_err();
+        assert_eq!(panic_reason(r.as_ref()), "formatted 3");
+        let r = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(panic_reason(r.as_ref()), "opaque panic payload");
+    }
+}

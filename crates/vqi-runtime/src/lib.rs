@@ -1,0 +1,39 @@
+//! `vqi-runtime` — the runtime-robustness layer shared by every
+//! selection pipeline.
+//!
+//! The paper's systems sit behind an *interactive* GUI: a slow or
+//! failed kernel must degrade the canned-pattern set, never hang or
+//! crash the interface. This crate provides the three mechanisms the
+//! pipelines thread through their stages and hot kernels:
+//!
+//! * [`ctrl`] — a shared [`Budget`] combining a wall-clock deadline, a
+//!   cooperative [`CancelToken`], and a deterministic per-invocation
+//!   kernel-tick quota, consulted via cheap periodic [`Meter::tick`]
+//!   checks inside VF2 / MCS / truss / ESU recursions and via
+//!   [`Budget::check`] at stage and candidate granularity;
+//! * [`error`] — the [`VqiError`] type every stage returns instead of
+//!   panicking;
+//! * [`fault`] — a seeded, *deterministic* fault-injection harness
+//!   (kernel panics, stage timeouts, NaN scores) used by tests and the
+//!   `exp_faults` bench to prove every pipeline ends `Complete` or
+//!   `Degraded`, never panics, with identical outcomes at any thread
+//!   count.
+//!
+//! Determinism contract: tick quotas and fault decisions are keyed by
+//! *stable data* (per-invocation counters, site names, item indices) —
+//! never by wall-clock or call order across threads — so a tripped
+//! budget or injected fault produces the same degraded output at
+//! thread caps 1, 2, and 4. The wall-clock deadline and the cancel
+//! flag are best-effort by nature: they only decide *whether* a run
+//! degrades, while the tick-quota path keeps *what* a degraded run
+//! returns reproducible in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctrl;
+pub mod error;
+pub mod fault;
+
+pub use ctrl::{run_stage, Budget, CancelToken, Meter};
+pub use error::VqiError;

@@ -92,6 +92,7 @@ binaries() {
 # Skip lists name unit tests that require real rand streams or real
 # serde_json and therefore cannot run against the stubs.
 build vqi-observe
+build vqi-runtime
 build vqi-graph
 build vqi-mining
 build vqi-core "persist_roundtrip persist:: annealing_reduces_crossings_of_bad_layout"
@@ -106,7 +107,7 @@ build midas
 build vqi-modular
 build bench "json timed_ms_records_a_span"
 
-binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned exp_kernels exp_pipelines
+binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned exp_kernels exp_pipelines exp_faults
 
 say "vqi-cli (check)"
 # shellcheck disable=SC2086
