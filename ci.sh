@@ -78,4 +78,23 @@ for threads in 1 4; do
     RAYON_NUM_THREADS=$threads cargo test -q -p midas failed_census_keeps_previous_gfd_and_skips_maintenance
 done
 
+echo "== trace validation (journal exporters + runtime-event integration) =="
+# the checker tests run one pipeline with --trace-out and validate the
+# emitted Chrome trace (balanced begin/end per thread, monotone
+# timestamps, every parent_id resolving) plus the fault/degradation
+# instants and per-run metric deltas
+cargo test -q -p vqi-observe journal
+cargo test -q -p vqi-cli trace_out
+# end-to-end: a real CLI run must emit a parseable trace and a metrics
+# snapshot carrying the kernel.* and fault.* counter families
+cargo build -q -p vqi-cli
+trace_dir=$(mktemp -d)
+target/debug/vqi dataset --kind dblp --out "$trace_dir/net.json" --size 120 --seed 7 >/dev/null
+target/debug/vqi construct --input "$trace_dir/net.json" --selector tattoo \
+    --trace-out "$trace_dir/trace.json" --metrics=json >/dev/null 2>"$trace_dir/metrics.json"
+grep -q '"ph":"B"' "$trace_dir/trace.json"
+grep -q '"ph":"E"' "$trace_dir/trace.json"
+grep -q '"kernel\.' "$trace_dir/metrics.json"
+rm -rf "$trace_dir"
+
 echo "CI OK"

@@ -338,6 +338,42 @@ fn main() {
         &matrix_rows,
     );
 
+    // -- trace artifact: one exemplar degraded run ---------------------
+    // a tattoo run under a full-rate timeout plan, journal armed: the
+    // emitted Chrome trace shows fault.injected / budget.trip /
+    // run.degraded instants inside the spans that absorbed them
+    vqi_observe::set_journal_enabled(true);
+    vqi_observe::journal_reset();
+    fault::set_plan(FaultPlan {
+        seed: 1,
+        timeout_rate: 1.0,
+        ..Default::default()
+    });
+    let traced = Tattoo::default()
+        .run_ctrl(&network(), &PatternBudget::new(5, 4, 6), &relaxed)
+        .expect("relaxed budget never errors");
+    fault::reset();
+    let trace_events = vqi_observe::journal_events();
+    vqi_observe::set_journal_enabled(false);
+    assert!(
+        !traced.completeness.is_complete(),
+        "full-rate timeouts must degrade the run"
+    );
+    let chrome = vqi_observe::chrome_trace(&trace_events);
+    let stats = vqi_observe::validate_chrome_trace(&chrome).expect("emitted trace must validate");
+    assert!(
+        stats.instants > 0,
+        "a degraded run must leave instant markers in the trace"
+    );
+    let trace_path = bench::experiments_dir().join("trace_faults.json");
+    std::fs::write(&trace_path, chrome).expect("write fault trace");
+    println!(
+        "(wrote {}: {} spans, {} fault/budget/degradation instants)",
+        trace_path.display(),
+        stats.spans,
+        stats.instants
+    );
+
     let snapshot = vqi_observe::snapshot();
     let mut fault_counters: Vec<(String, u64)> = snapshot
         .counters

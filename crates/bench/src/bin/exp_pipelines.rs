@@ -165,6 +165,60 @@ fn main() {
     });
     let threads = par::num_threads();
 
+    // --- trace-journal overhead: the same workload under three
+    // observability modes, selections asserted identical. The ratios
+    // land in BENCH_pipelines.json so the ≤2% (journal disabled) and
+    // ≤5% (journal enabled) budgets are tracked across PRs; they are
+    // recorded, not asserted, because ms-scale wall times are noisy.
+    let journal_workload = || {
+        let mut last = None;
+        for _ in 0..3 {
+            last = Some(Tattoo::default().run(&net, &budget));
+        }
+        last.expect("workload ran")
+    };
+    journal_workload(); // warm-up
+    vqi_observe::set_enabled(false);
+    let (off_set, off_ms) = time_ms(&journal_workload);
+    vqi_observe::set_enabled(true);
+    let (jdis_set, journal_off_ms) = time_ms(&journal_workload);
+    vqi_observe::set_journal_enabled(true);
+    vqi_observe::journal_reset();
+    let (jon_set, journal_on_ms) = time_ms(&journal_workload);
+    let trace_events = vqi_observe::journal_events();
+    vqi_observe::set_journal_enabled(false);
+    assert_eq!(
+        selection_codes(&off_set),
+        selection_codes(&jdis_set),
+        "metrics recording changed the selection"
+    );
+    assert_eq!(
+        selection_codes(&off_set),
+        selection_codes(&jon_set),
+        "journal recording changed the selection"
+    );
+    let overhead_disabled = journal_off_ms / off_ms.max(1e-9);
+    let overhead_enabled = journal_on_ms / journal_off_ms.max(1e-9);
+
+    // trace artifacts for one exemplar (three-run) tattoo workload:
+    // a Chrome trace_event file and flamegraph collapsed stacks
+    let chrome = vqi_observe::chrome_trace(&trace_events);
+    let stats = vqi_observe::validate_chrome_trace(&chrome).expect("emitted trace must validate");
+    assert!(stats.spans > 0, "trace must contain spans");
+    let dir = bench::experiments_dir();
+    std::fs::write(dir.join("trace_pipelines.json"), chrome).expect("write chrome trace");
+    std::fs::write(
+        dir.join("trace_pipelines.folded"),
+        vqi_observe::folded_stacks(&trace_events),
+    )
+    .expect("write folded stacks");
+    println!(
+        "(wrote {} and trace_pipelines.folded: {} spans, {} instants)",
+        dir.join("trace_pipelines.json").display(),
+        stats.spans,
+        stats.instants
+    );
+
     let kernel_rows = vec![
         vec![
             "truss (peel)".to_string(),
@@ -213,6 +267,29 @@ fn main() {
         &pipe_rows,
     );
 
+    let journal_rows = vec![
+        vec![
+            "observability off".to_string(),
+            format!("{off_ms:.1}"),
+            "1.000".to_string(),
+        ],
+        vec![
+            "metrics on, journal off".to_string(),
+            format!("{journal_off_ms:.1}"),
+            format!("{overhead_disabled:.3}"),
+        ],
+        vec![
+            "metrics + journal on".to_string(),
+            format!("{journal_on_ms:.1}"),
+            format!("{overhead_enabled:.3}"),
+        ],
+    ];
+    print_table(
+        "Trace-journal overhead (tattoo x3; budgets: <=1.02 disabled, <=1.05 enabled)",
+        &["mode", "ms", "ratio vs previous row"],
+        &journal_rows,
+    );
+
     let snapshot = vqi_observe::snapshot();
     let mut kernel_counters: Vec<(String, u64)> = snapshot
         .counters
@@ -240,7 +317,11 @@ fn main() {
          \"identical_selection\": true}},\n    \"midas\": {{\"ms_1thread\": {mid_one:.3}, \
          \"ms_all_cores\": {mid_all:.3}, \"identical_selection\": true}},\n    \"modular\": \
          {{\"ms_1thread\": {mod_one:.3}, \"ms_all_cores\": {mod_all:.3}, \
-         \"identical_selection\": true}}\n  }},\n  \"kernel_counters\": {{\n{}\n  }}\n}}\n",
+         \"identical_selection\": true}}\n  }},\n  \"journal\": {{\n    \"off_ms\": {off_ms:.3}, \
+         \"journal_off_ms\": {journal_off_ms:.3}, \"journal_on_ms\": {journal_on_ms:.3},\n    \
+         \"overhead_disabled\": {overhead_disabled:.4}, \"overhead_enabled\": \
+         {overhead_enabled:.4},\n    \"budget_disabled\": 1.02, \"budget_enabled\": 1.05\n  \
+         }},\n  \"kernel_counters\": {{\n{}\n  }}\n}}\n",
         truss_base / truss_new.max(1e-9),
         glet_base / glet_new.max(1e-9),
         counters_json.join(",\n")

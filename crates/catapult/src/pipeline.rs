@@ -150,7 +150,7 @@ impl Catapult {
         ctrl: &Budget,
         deg: &mut Degradation,
     ) -> Result<(PatternSet, CatapultState), VqiError> {
-        let _run = vqi_observe::span("catapult.run");
+        let _run = vqi_observe::run("catapult.run");
         let cfg = &self.config;
         let graph_ids = collection.ids();
         let n = graph_ids.len();
@@ -467,6 +467,79 @@ mod tests {
             seq.patterns().iter().map(|p| p.code.clone()).collect();
         seq_codes.sort();
         assert_eq!(one, seq_codes, "sequential toggle changed the selection");
+    }
+
+    #[test]
+    fn observability_is_identical_across_thread_counts() {
+        let _guard = crate::fault_test_lock();
+        let col = GraphCollection::new(molecule_like());
+        let budget = PatternBudget::new(4, 4, 6);
+        // warm-up fills the kernel caches so every measured run sees
+        // the same cache-hit pattern
+        Catapult::default().run_with_state(&col, &budget);
+        let run = || drop(Catapult::default().run_with_state(&col, &budget));
+        let one = observed_aggregates(1, false, run);
+        assert!(!one.0.is_empty(), "no spans recorded");
+        assert!(one.1.values().sum::<u64>() > 0, "no journal events");
+        assert_eq!(
+            one,
+            observed_aggregates(2, false, run),
+            "cap 2 changed the observability output"
+        );
+        assert_eq!(
+            one,
+            observed_aggregates(4, false, run),
+            "cap 4 changed the observability output"
+        );
+        assert_eq!(
+            one,
+            observed_aggregates(0, true, run),
+            "sequential toggle changed the observability output"
+        );
+    }
+
+    /// Runs `work` with metrics and the trace journal armed under the
+    /// given thread cap (or the sequential toggle) and returns the
+    /// order-normalized aggregates that must be thread-count invariant:
+    /// per-name span invocation counts and the journal event multiset.
+    /// Durations and `kernel.par.*` dispatch counters legitimately vary
+    /// with the worker count and are deliberately excluded.
+    fn observed_aggregates(
+        cap: usize,
+        sequential: bool,
+        work: impl Fn(),
+    ) -> (
+        Vec<(String, u64)>,
+        std::collections::BTreeMap<String, u64>,
+    ) {
+        if sequential {
+            vqi_graph::par::set_parallel_enabled(false);
+        } else {
+            vqi_graph::par::set_thread_cap(cap);
+        }
+        vqi_observe::reset();
+        vqi_observe::set_enabled(true);
+        vqi_observe::set_journal_enabled(true);
+        vqi_observe::journal_reset();
+        work();
+        let events = vqi_observe::journal_events();
+        let multiset = vqi_observe::event_multiset(&events);
+        let mut span_counts: Vec<(String, u64)> = vqi_observe::snapshot()
+            .spans
+            .iter()
+            .map(|(name, h)| (name.clone(), h.count))
+            .collect();
+        span_counts.sort();
+        vqi_observe::set_journal_enabled(false);
+        vqi_observe::set_enabled(false);
+        vqi_observe::journal_reset();
+        vqi_observe::reset();
+        if sequential {
+            vqi_graph::par::set_parallel_enabled(true);
+        } else {
+            vqi_graph::par::set_thread_cap(0);
+        }
+        (span_counts, multiset)
     }
 
     /// Installs a fault plan and removes it on drop, so a failing

@@ -294,7 +294,7 @@ impl Midas {
         ctrl: &Budget,
         deg: &mut Degradation,
     ) -> Result<MaintenanceReport, VqiError> {
-        let _run = vqi_observe::span("midas.apply_update");
+        let _run = vqi_observe::run("midas.apply_update");
         let removed = update.removals.clone();
         let added_graphs = update.additions.clone();
         let new_ids = self.collection.apply(update);
@@ -763,6 +763,89 @@ mod tests {
         assert!(!one.0.is_empty());
         assert_eq!(one, run_at(2), "cap 2 changed maintenance results");
         assert_eq!(one, run_at(4), "cap 4 changed maintenance results");
+    }
+
+    #[test]
+    fn observability_is_identical_across_thread_counts() {
+        let _guard = crate::fault_test_lock();
+        let maintain = || {
+            let mut m = Midas::bootstrap(
+                GraphCollection::new(initial_graphs()),
+                budget(),
+                MidasConfig::default(),
+            );
+            let mut batch = Vec::new();
+            for _ in 0..10 {
+                batch.push(clique(5, 3, 0));
+                batch.push(star(6, 4, 0));
+            }
+            m.apply_update(BatchUpdate::adding(batch));
+        };
+        // warm-up fills the kernel caches so every measured run sees
+        // the same cache-hit pattern
+        maintain();
+        let one = observed_aggregates(1, false, &maintain);
+        assert!(!one.0.is_empty(), "no spans recorded");
+        assert!(one.1.values().sum::<u64>() > 0, "no journal events");
+        assert_eq!(
+            one,
+            observed_aggregates(2, false, &maintain),
+            "cap 2 changed the observability output"
+        );
+        assert_eq!(
+            one,
+            observed_aggregates(4, false, &maintain),
+            "cap 4 changed the observability output"
+        );
+        assert_eq!(
+            one,
+            observed_aggregates(0, true, &maintain),
+            "sequential toggle changed the observability output"
+        );
+    }
+
+    /// Runs `work` with metrics and the trace journal armed under the
+    /// given thread cap (or the sequential toggle) and returns the
+    /// order-normalized aggregates that must be thread-count invariant:
+    /// per-name span invocation counts and the journal event multiset.
+    /// Durations and `kernel.par.*` dispatch counters legitimately vary
+    /// with the worker count and are deliberately excluded.
+    fn observed_aggregates(
+        cap: usize,
+        sequential: bool,
+        work: impl Fn(),
+    ) -> (
+        Vec<(String, u64)>,
+        std::collections::BTreeMap<String, u64>,
+    ) {
+        if sequential {
+            par::set_parallel_enabled(false);
+        } else {
+            par::set_thread_cap(cap);
+        }
+        vqi_observe::reset();
+        vqi_observe::set_enabled(true);
+        vqi_observe::set_journal_enabled(true);
+        vqi_observe::journal_reset();
+        work();
+        let events = vqi_observe::journal_events();
+        let multiset = vqi_observe::event_multiset(&events);
+        let mut span_counts: Vec<(String, u64)> = vqi_observe::snapshot()
+            .spans
+            .iter()
+            .map(|(name, h)| (name.clone(), h.count))
+            .collect();
+        span_counts.sort();
+        vqi_observe::set_journal_enabled(false);
+        vqi_observe::set_enabled(false);
+        vqi_observe::journal_reset();
+        vqi_observe::reset();
+        if sequential {
+            par::set_parallel_enabled(true);
+        } else {
+            par::set_thread_cap(0);
+        }
+        (span_counts, multiset)
     }
 
     #[test]

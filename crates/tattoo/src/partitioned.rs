@@ -87,6 +87,9 @@ impl PartitionedTattoo {
                     }
                     vqi_observe::incr("fault.retried", 1);
                     vqi_observe::incr("tattoo.map.retries", 1);
+                    if vqi_observe::journal_recording() {
+                        vqi_observe::instant(&format!("stage.retry:{stage}#{attempt}"));
+                    }
                     if self.retry_backoff_ms > 0 {
                         std::thread::sleep(std::time::Duration::from_millis(
                             self.retry_backoff_ms << (attempt - 1),
@@ -165,6 +168,9 @@ impl PartitionedTattoo {
             if fault::maybe_timeout("tattoo.map.straggler", pi as u64) {
                 vqi_observe::incr("tattoo.map.stragglers", 1);
                 vqi_observe::incr("fault.retried", 1);
+                if vqi_observe::journal_recording() {
+                    vqi_observe::instant(&format!("stage.retry:tattoo.map.straggler#{pi}"));
+                }
                 continue;
             }
             return Ok(cands);

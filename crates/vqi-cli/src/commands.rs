@@ -46,8 +46,17 @@ USAGE:
   vqi search    --input FILE --query QFILE [--index none|triple|ctree]
 
 Any command also accepts --metrics[=table|json]: pipeline spans,
-counters, and gauges are recorded while the command runs and a
-snapshot is printed to stderr afterwards (stdout stays clean).
+counters, and gauges are recorded while the command runs and the
+*per-run* delta (this command only, not process lifetime) is printed
+to stderr afterwards (stdout stays clean).
+
+Any command also accepts --trace-out=FILE: the run is recorded into
+the structured trace journal and exported when the command finishes —
+as flamegraph collapsed stacks when FILE ends in .folded or .txt, as
+Chrome trace_event JSON (load in chrome://tracing or Perfetto)
+otherwise. Combined with --metrics, a total/self-time profile of the
+run is printed to stderr as well. Injected faults, budget trips, and
+degraded stages appear as instant events in the trace.
 
 construct and evaluate also accept a run budget:
   --deadline-ms N   wall-clock budget for selection; when it trips the
@@ -65,6 +74,20 @@ first graph of the file is treated as one large network; otherwise the
 file is a collection of data graphs.
 "
     .to_string()
+}
+
+/// Writes the recorded trace journal to `path`, choosing the format by
+/// extension: `.folded` / `.txt` → flamegraph collapsed stacks,
+/// anything else (canonically `.json`) → Chrome `trace_event` JSON.
+pub fn write_trace(path: &str) -> Result<(), ArgError> {
+    let events = vqi_observe::journal_events();
+    let folded = path.ends_with(".folded") || path.ends_with(".txt");
+    let body = if folded {
+        vqi_observe::folded_stacks(&events)
+    } else {
+        vqi_observe::chrome_trace(&events)
+    };
+    std::fs::write(path, body).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
 }
 
 fn load_repo(args: &Args) -> Result<GraphRepository, ArgError> {
@@ -603,6 +626,155 @@ mod tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(v.get("coverage").is_some());
+    }
+
+    /// Arms the metrics registry + trace journal for one test and
+    /// disarms both (and clears the journal) on drop, even on panic.
+    struct JournalGuard;
+    fn arm_journal() -> JournalGuard {
+        vqi_observe::reset();
+        vqi_observe::journal_reset();
+        vqi_observe::set_enabled(true);
+        vqi_observe::set_journal_enabled(true);
+        JournalGuard
+    }
+    impl Drop for JournalGuard {
+        fn drop(&mut self) {
+            vqi_observe::set_journal_enabled(false);
+            vqi_observe::set_enabled(false);
+            vqi_observe::journal_reset();
+            vqi_observe::reset();
+        }
+    }
+
+    #[test]
+    fn trace_out_chrome_is_valid_and_parented() {
+        let _observe = observe_lock();
+        let net = tmp("trace_net.txt");
+        run(&args(&[
+            "dataset", "--kind", "dblp", "--out", &net, "--size", "150", "--seed", "9",
+        ]))
+        .unwrap();
+        let _journal = arm_journal();
+        run(&args(&[
+            "construct",
+            "--input",
+            &net,
+            "--selector",
+            "tattoo",
+            "--network",
+            "true",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
+        ]))
+        .unwrap();
+        let out = tmp("trace.json");
+        write_trace(&out).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        let stats = vqi_observe::validate_chrome_trace(&json)
+            .expect("emitted chrome trace must validate");
+        assert!(stats.spans > 0, "run must record spans");
+        assert!(json.contains("\"tattoo.run\""), "run root span present");
+        // every span below the root has a resolvable, non-zero parent:
+        // the run root is the only parentless Begin event
+        let roots = json
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"B\"") && l.contains("\"parent\":0}"))
+            .count();
+        assert_eq!(roots, 1, "exactly one root span (the run): {roots}");
+        // the profile built from the same journal attributes the run
+        let events = vqi_observe::journal_events();
+        let profile = vqi_observe::profile(&events, None);
+        assert!(profile.nodes.contains_key("tattoo.run"));
+        assert!(profile
+            .critical_path
+            .first()
+            .is_some_and(|(p, _)| p == "tattoo.run"));
+    }
+
+    #[test]
+    fn trace_out_folded_extension_selects_collapsed_stacks() {
+        let _observe = observe_lock();
+        let col = tmp("trace_fold_col.txt");
+        run(&args(&[
+            "dataset", "--kind", "aids", "--out", &col, "--size", "20", "--seed", "4",
+        ]))
+        .unwrap();
+        let _journal = arm_journal();
+        run(&args(&[
+            "construct",
+            "--input",
+            &col,
+            "--selector",
+            "catapult",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
+        ]))
+        .unwrap();
+        let out = tmp("trace.folded");
+        write_trace(&out).unwrap();
+        let folded = std::fs::read_to_string(&out).unwrap();
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (path, weight) = line.rsplit_once(' ').expect("'<stack> <weight>' lines");
+            assert!(!path.is_empty());
+            weight.parse::<u64>().expect("integer self-time weight");
+        }
+        assert!(
+            folded.lines().any(|l| l.starts_with("catapult.run")),
+            "stacks rooted at the run:\n{folded}"
+        );
+    }
+
+    #[test]
+    fn trace_out_shows_faults_and_degradations() {
+        let _observe = observe_lock();
+        let col = tmp("trace_fault_col.txt");
+        run(&args(&[
+            "dataset", "--kind", "aids", "--out", &col, "--size", "20", "--seed", "8",
+        ]))
+        .unwrap();
+        let _journal = arm_journal();
+        // every stage times out once: the run degrades but completes
+        vqi_runtime::fault::set_plan(vqi_runtime::fault::FaultPlan {
+            seed: 5,
+            timeout_rate: 1.0,
+            ..Default::default()
+        });
+        let res = run(&args(&[
+            "construct",
+            "--input",
+            &col,
+            "--selector",
+            "catapult",
+            "--count",
+            "3",
+            "--min-size",
+            "4",
+            "--max-size",
+            "5",
+        ]));
+        vqi_runtime::fault::reset();
+        res.unwrap();
+        let out = tmp("trace_faults.json");
+        write_trace(&out).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        let stats = vqi_observe::validate_chrome_trace(&json).expect("trace must validate");
+        assert!(stats.instants > 0, "fault instants must be recorded");
+        assert!(json.contains("fault.injected:"), "injected-fault instants");
+        assert!(json.contains("run.degraded:"), "degradation instants");
+        // the aggregate counters tell the same story
+        let s = vqi_observe::snapshot();
+        assert!(s.counters.get("fault.injected").copied().unwrap_or(0) > 0);
+        assert!(s.counters.get("fault.degraded").copied().unwrap_or(0) > 0);
     }
 
     #[test]

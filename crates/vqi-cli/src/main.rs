@@ -22,17 +22,41 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if metrics_mode.is_some() {
+    let trace_out = parsed.options.get("trace-out").cloned();
+    if metrics_mode.is_some() || trace_out.is_some() {
         vqi_observe::set_enabled(true);
     }
+    if trace_out.is_some() {
+        vqi_observe::set_journal_enabled(true);
+        vqi_observe::journal_reset();
+    }
+    // metrics accumulate for the process lifetime; subtracting this
+    // baseline afterwards turns the snapshot into per-run numbers
+    // (a fresh process has an empty baseline, so the delta is total)
+    let baseline = vqi_observe::snapshot();
     match commands::run(&parsed) {
         Ok(out) => {
             print!("{out}");
+            if let Some(path) = &trace_out {
+                if let Err(e) = commands::write_trace(path) {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("trace written to {path}");
+            }
             // metrics go to stderr so stdout stays machine-parseable
             // (e.g. `vqi evaluate` prints JSON on stdout)
             match metrics_mode.as_deref() {
-                Some("json") => eprintln!("{}", vqi_observe::snapshot().to_json()),
-                Some(_) => eprint!("{}", vqi_observe::snapshot().render_table()),
+                Some("json") => {
+                    eprintln!("{}", vqi_observe::snapshot().delta(&baseline).to_json());
+                }
+                Some(_) => {
+                    eprint!("{}", vqi_observe::snapshot().delta(&baseline).render_table());
+                    if vqi_observe::journal_enabled() {
+                        let events = vqi_observe::journal_events();
+                        eprint!("{}", vqi_observe::profile(&events, None).render());
+                    }
+                }
                 None => {}
             }
         }

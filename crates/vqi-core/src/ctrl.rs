@@ -96,6 +96,12 @@ impl Degradation {
     /// run continues. Every call counts toward `fault.degraded`.
     pub fn absorb(&mut self, budget: &Budget, err: VqiError) -> Result<(), VqiError> {
         vqi_observe::incr("fault.degraded", 1);
+        if vqi_observe::journal_recording() {
+            vqi_observe::instant(&format!(
+                "run.degraded:{}",
+                err.stage().unwrap_or("parse")
+            ));
+        }
         if budget.fail_fast() {
             return Err(err);
         }
@@ -120,6 +126,9 @@ impl Degradation {
     /// sanitized) against a stage.
     pub fn note(&mut self, stage: &str, detail: impl Into<String>) {
         vqi_observe::incr("fault.degraded", 1);
+        if vqi_observe::journal_recording() {
+            vqi_observe::instant(&format!("run.degraded:{stage}"));
+        }
         if !self.stages_cut.contains(&stage.to_string()) {
             self.stages_cut.push(stage.to_string());
         }

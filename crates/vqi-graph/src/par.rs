@@ -128,6 +128,10 @@ where
         .collect();
     vqi_observe::incr("kernel.par.jobs", 1);
     vqi_observe::incr("kernel.par.workers", ranges.len() as u64);
+    // capture the forking thread's trace context so spans opened inside
+    // worker closures parent under the span that forked them; the
+    // default (all-zero) context makes ctx_scope a no-op
+    let ctx = vqi_observe::current_ctx();
     let mut parts: Vec<A> = Vec::with_capacity(ranges.len());
     std::thread::scope(|s| {
         let f = &f;
@@ -137,6 +141,7 @@ where
                 let r = r.clone();
                 s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    let _trace = vqi_observe::ctx_scope(ctx);
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(r)))
                 })
             })

@@ -80,10 +80,12 @@ fn supports_of_roots(g: &Graph, roots: std::ops::Range<usize>) -> Vec<u32> {
 /// the outputs are bit-identical either way (exact `u32` sums merged in
 /// chunk index order).
 pub fn edge_supports(g: &Graph) -> Vec<u32> {
+    // the span covers both paths so span counts stay thread-count
+    // invariant; only the .chunks counter is parallel-path specific
+    let _s = vqi_observe::span("kernel.truss.supports");
     if par::num_threads() <= 1 || g.node_count() < 2 {
         return edge_supports_seq(g);
     }
-    let _s = vqi_observe::span("kernel.truss.supports");
     let partials = par::map_chunks(g.node_count(), |roots| supports_of_roots(g, roots));
     vqi_observe::incr("kernel.truss.supports.chunks", partials.len() as u64);
     let mut support = vec![0u32; g.edge_count()];

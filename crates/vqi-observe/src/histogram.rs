@@ -170,6 +170,42 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Subtracts an earlier snapshot of the *same* histogram, giving
+    /// the observations recorded since `baseline` was taken. Counts,
+    /// sums, and buckets subtract (saturating, so a reset between the
+    /// two snapshots degrades to "everything is new" instead of
+    /// wrapping); `min`/`max` cannot be recovered exactly from
+    /// aggregates, so they are re-derived from the bounds of the first
+    /// and last non-empty delta buckets.
+    pub fn delta(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(baseline.count);
+        if count == 0 {
+            return HistogramSnapshot::empty();
+        }
+        if baseline.count == 0 {
+            // nothing to subtract: keep the exact min/max
+            return self.clone();
+        }
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(baseline.buckets.iter())
+            .map(|(&a, &b)| a.saturating_sub(b))
+            .collect();
+        let first = buckets.iter().position(|&n| n > 0);
+        let last = buckets.iter().rposition(|&n| n > 0);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.wrapping_sub(baseline.sum),
+            min: match first {
+                Some(0) | None => 0,
+                Some(b) => bucket_upper_bound(b - 1) + 1,
+            },
+            max: last.map(bucket_upper_bound).unwrap_or(0),
+            buckets,
+        }
+    }
+
     /// Merges two snapshots into their union. The operation is
     /// associative and commutative with [`HistogramSnapshot::empty`] as
     /// identity, so shard-local histograms can be reduced in any order.
@@ -284,6 +320,27 @@ mod tests {
             assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
             assert_eq!(a.merge(&b), b.merge(&a));
         }
+    }
+
+    #[test]
+    fn delta_isolates_the_new_observations() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(500);
+        let baseline = h.snapshot();
+        h.record(100_000);
+        h.record(200_000);
+        let d = h.snapshot().delta(&baseline);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 300_000);
+        assert_eq!(d.buckets.iter().sum::<u64>(), 2);
+        // min/max are bucket-bound approximations around the new values
+        assert!(d.min <= 100_000 && d.min > 500, "min bound {}", d.min);
+        assert!(d.max >= 200_000, "max bound {}", d.max);
+        // no new observations → empty delta
+        assert_eq!(h.snapshot().delta(&h.snapshot()), HistogramSnapshot::empty());
+        // delta against empty is the identity
+        assert_eq!(h.snapshot().delta(&HistogramSnapshot::empty()), h.snapshot());
     }
 
     #[test]

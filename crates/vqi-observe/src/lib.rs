@@ -38,6 +38,7 @@
 
 mod counter;
 mod histogram;
+pub mod journal;
 pub mod json;
 mod registry;
 mod report;
@@ -45,6 +46,12 @@ mod span;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use journal::{
+    chrome_trace, ctx_scope, current_ctx, event_multiset, folded_stacks, instant, journal_dropped,
+    journal_enabled, journal_events, journal_recording, journal_reset, profile, run,
+    set_journal_capacity, set_journal_enabled, validate_chrome_trace, CtxScope, Event, EventKind,
+    Profile, ProfileNode, RunGuard, TraceCtx, TraceStats,
+};
 pub use registry::Registry;
 pub use report::{fmt_ns, MetricsReport, TraceNode};
 pub use span::SpanGuard;
@@ -72,13 +79,18 @@ pub fn span(name: &str) -> SpanGuard {
 }
 
 /// [`span`] taking deferred format arguments: the name is only
-/// materialized when recording is enabled. Prefer the [`span!`] macro.
+/// materialized when recording is enabled, and a literal with no
+/// interpolations (`span!("kernel.canon")`) borrows the static string
+/// instead of allocating. Prefer the [`span!`] macro.
 #[inline]
 pub fn span_fmt(args: std::fmt::Arguments<'_>) -> SpanGuard {
     if !enabled() {
         return SpanGuard::noop();
     }
-    SpanGuard::enter(&args.to_string())
+    match args.as_str() {
+        Some(name) => SpanGuard::enter(name),
+        None => SpanGuard::enter(&args.to_string()),
+    }
 }
 
 /// Adds `by` to the counter named `name` (no-op while disabled).

@@ -11,7 +11,7 @@ use crate::histogram::Histogram;
 use crate::report::{MetricsReport, TraceNode};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// Aggregated statistics of one trace-tree path.
 #[derive(Debug, Default)]
@@ -36,11 +36,24 @@ pub struct Registry {
     tree: RwLock<HashMap<String, Arc<TreeStat>>>,
 }
 
+/// Takes a read guard, recovering from poisoning: the maps only ever
+/// hold fully-inserted `Arc` handles, so a panic while a guard was
+/// held (e.g. inside a `catch_unwind`-isolated pipeline stage) leaves
+/// them structurally intact and safe to keep using. Without this, one
+/// poisoned lock would cascade a metrics panic into every later run.
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn lookup<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    if let Some(v) = map.read().expect("registry lock").get(name) {
+    if let Some(v) = read(map).get(name) {
         return Arc::clone(v);
     }
-    let mut w = map.write().expect("registry lock");
+    let mut w = write(map);
     Arc::clone(w.entry(name.to_string()).or_default())
 }
 
@@ -99,23 +112,23 @@ impl Registry {
     /// A point-in-time report of everything recorded so far.
     pub fn snapshot(&self) -> MetricsReport {
         let mut report = MetricsReport::default();
-        for (k, v) in self.counters.read().expect("registry lock").iter() {
+        for (k, v) in read(&self.counters).iter() {
             report.counters.insert(k.clone(), v.get());
         }
-        for (k, v) in self.gauges.read().expect("registry lock").iter() {
+        for (k, v) in read(&self.gauges).iter() {
             report.gauges.insert(k.clone(), v.get());
         }
-        for (k, v) in self.histograms.read().expect("registry lock").iter() {
+        for (k, v) in read(&self.histograms).iter() {
             if v.count() > 0 {
                 report.values.insert(k.clone(), v.snapshot());
             }
         }
-        for (k, v) in self.spans.read().expect("registry lock").iter() {
+        for (k, v) in read(&self.spans).iter() {
             if v.count() > 0 {
                 report.spans.insert(k.clone(), v.snapshot());
             }
         }
-        for (k, v) in self.tree.read().expect("registry lock").iter() {
+        for (k, v) in read(&self.tree).iter() {
             report.trace.insert(
                 k.clone(),
                 TraceNode {
@@ -129,19 +142,19 @@ impl Registry {
 
     /// Clears every registered metric (the names stay registered).
     pub fn reset(&self) {
-        for v in self.counters.read().expect("registry lock").values() {
+        for v in read(&self.counters).values() {
             v.reset();
         }
-        for v in self.gauges.read().expect("registry lock").values() {
+        for v in read(&self.gauges).values() {
             v.reset();
         }
-        for v in self.histograms.read().expect("registry lock").values() {
+        for v in read(&self.histograms).values() {
             v.reset();
         }
-        for v in self.spans.read().expect("registry lock").values() {
+        for v in read(&self.spans).values() {
             v.reset();
         }
-        for v in self.tree.read().expect("registry lock").values() {
+        for v in read(&self.tree).values() {
             v.count.store(0, Ordering::Relaxed);
             v.total_ns.store(0, Ordering::Relaxed);
         }
@@ -203,6 +216,40 @@ mod tests {
         assert!(r.is_enabled());
         r.set_enabled(false);
         assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn recording_survives_a_poisoned_lock() {
+        let r = Arc::new(Registry::new());
+        r.counter("poison.before").add(1);
+        // poison every map by panicking while holding its write guard,
+        // as a panicking instrumented stage under catch_unwind would
+        let rc = Arc::clone(&r);
+        let _ = std::thread::spawn(move || {
+            let _c = rc.counters.write().unwrap();
+            let _g = rc.gauges.write().unwrap();
+            let _h = rc.histograms.write().unwrap();
+            let _s = rc.spans.write().unwrap();
+            let _t = rc.tree.write().unwrap();
+            panic!("poison the registry");
+        })
+        .join();
+        assert!(r.counters.is_poisoned(), "setup must actually poison");
+        // every operation still works on the poisoned registry
+        r.counter("poison.before").add(2);
+        r.counter("poison.after").inc();
+        r.gauge("poison.gauge").set(5);
+        r.histogram("poison.hist").record(7);
+        r.span_histogram("poison.span").record(1_000);
+        r.record_tree("poison.span", 1_000);
+        let s = r.snapshot();
+        assert_eq!(s.counters["poison.before"], 3);
+        assert_eq!(s.counters["poison.after"], 1);
+        assert_eq!(s.gauges["poison.gauge"], 5);
+        assert_eq!(s.values["poison.hist"].count, 1);
+        assert_eq!(s.trace["poison.span"].total_ns, 1_000);
+        r.reset();
+        assert_eq!(r.counter("poison.before").get(), 0);
     }
 
     #[test]

@@ -59,6 +59,51 @@ impl MetricsReport {
             && self.trace.is_empty()
     }
 
+    /// Subtracts an earlier snapshot of the *same* registry, leaving
+    /// only what was recorded in between — this is how the CLI turns
+    /// process-lifetime aggregates into per-run metrics. Counters,
+    /// histograms, and trace nodes subtract (entries with a zero count
+    /// delta are omitted); gauges are *levels*, not totals, so the
+    /// current value is kept as-is for any gauge that changed.
+    pub fn delta(&self, baseline: &MetricsReport) -> MetricsReport {
+        let mut d = MetricsReport::default();
+        for (k, &v) in &self.counters {
+            let dv = v.saturating_sub(baseline.counters.get(k).copied().unwrap_or(0));
+            if dv > 0 {
+                d.counters.insert(k.clone(), dv);
+            }
+        }
+        for (k, &v) in &self.gauges {
+            if baseline.gauges.get(k) != Some(&v) {
+                d.gauges.insert(k.clone(), v);
+            }
+        }
+        let empty = HistogramSnapshot::empty();
+        for (k, h) in &self.values {
+            let dh = h.delta(baseline.values.get(k).unwrap_or(&empty));
+            if dh.count > 0 {
+                d.values.insert(k.clone(), dh);
+            }
+        }
+        for (k, h) in &self.spans {
+            let dh = h.delta(baseline.spans.get(k).unwrap_or(&empty));
+            if dh.count > 0 {
+                d.spans.insert(k.clone(), dh);
+            }
+        }
+        for (k, &node) in &self.trace {
+            let base = baseline.trace.get(k).copied().unwrap_or_default();
+            let dn = TraceNode {
+                count: node.count.saturating_sub(base.count),
+                total_ns: node.total_ns.saturating_sub(base.total_ns),
+            };
+            if dn.count > 0 {
+                d.trace.insert(k.clone(), dn);
+            }
+        }
+        d
+    }
+
     /// Renders the report as an aligned text table.
     pub fn render_table(&self) -> String {
         let mut out = String::from("== metrics ==\n");
@@ -279,6 +324,34 @@ mod tests {
         assert!(j.contains("\"total_ns\": 9000000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn delta_reports_only_what_changed() {
+        let before = sample_report();
+        let mut after = before.clone();
+        *after.counters.get_mut("catapult.walk.candidates").unwrap() += 30;
+        after.counters.insert("fault.injected".into(), 2);
+        after.gauges.insert("tattoo.map.in_flight".into(), 4);
+        let h = Histogram::new();
+        for v in [1_000_000u64, 2_000_000, 4_000_000, 8_000_000] {
+            h.record(v);
+        }
+        after.spans.insert("catapult.mine".into(), h.snapshot());
+        after.trace.get_mut("catapult.run").unwrap().count += 1;
+        after.trace.get_mut("catapult.run").unwrap().total_ns += 5_000_000;
+
+        let d = after.delta(&before);
+        assert_eq!(d.counters["catapult.walk.candidates"], 30);
+        assert_eq!(d.counters["fault.injected"], 2);
+        assert_eq!(d.gauges["tattoo.map.in_flight"], 4, "gauges keep level");
+        assert_eq!(d.spans["catapult.mine"].count, 1, "one new span");
+        assert_eq!(d.trace["catapult.run"].count, 1);
+        assert_eq!(d.trace["catapult.run"].total_ns, 5_000_000);
+        // the unchanged trace path is omitted entirely
+        assert!(!d.trace.contains_key("catapult.run/catapult.mine"));
+        // a no-op delta is empty
+        assert!(before.delta(&before).is_empty());
     }
 
     #[test]

@@ -28,6 +28,8 @@ struct SpanInner {
     name: String,
     path: String,
     start: Instant,
+    /// Journal bookkeeping when the trace journal is recording.
+    journal: Option<crate::journal::JournalSpan>,
 }
 
 impl SpanGuard {
@@ -48,11 +50,13 @@ impl SpanGuard {
             stack.push(path.clone());
             path
         });
+        let journal = crate::journal::begin_span(name);
         SpanGuard {
             inner: Some(SpanInner {
                 name: name.to_string(),
                 path,
                 start: Instant::now(),
+                journal,
             }),
         }
     }
@@ -68,10 +72,13 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(inner) = self.inner.take() else {
+        let Some(mut inner) = self.inner.take() else {
             return;
         };
         let ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(journal) = inner.journal.take() {
+            crate::journal::end_span(journal, &inner.name);
+        }
         let registry = Registry::global();
         registry.span_histogram(&inner.name).record(ns);
         registry.record_tree(&inner.path, ns);

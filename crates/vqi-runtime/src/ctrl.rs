@@ -25,6 +25,16 @@ use std::time::{Duration, Instant};
 /// How many [`Meter::tick`]s pass between wall-clock/cancel polls.
 pub const POLL_INTERVAL: u32 = 1024;
 
+/// Marks a budget trip in the trace journal so a trace shows *why* a
+/// run degraded. Only error paths reach this, so the hot tick/check
+/// paths stay free of it; the disabled cost is one relaxed load.
+#[inline]
+fn trip_instant(kind: &str, stage: &str) {
+    if vqi_observe::journal_recording() {
+        vqi_observe::instant(&format!("budget.trip:{kind}:{stage}"));
+    }
+}
+
 /// A shared cooperative cancellation flag.
 ///
 /// Clones share the flag: a GUI (or test) holds one clone and calls
@@ -120,12 +130,14 @@ impl Budget {
     #[inline]
     pub fn check(&self, stage: &str) -> Result<(), VqiError> {
         if self.cancel.is_canceled() {
+            trip_instant("canceled", stage);
             return Err(VqiError::Canceled {
                 stage: stage.to_string(),
             });
         }
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
+                trip_instant("deadline", stage);
                 return Err(VqiError::DeadlineExceeded {
                     stage: stage.to_string(),
                 });
@@ -178,6 +190,7 @@ impl Meter {
     pub fn tick(&mut self) -> Result<(), VqiError> {
         if let Some(left) = &mut self.quota {
             if *left == 0 {
+                trip_instant("quota", self.stage);
                 return Err(VqiError::QuotaExceeded {
                     stage: self.stage.to_string(),
                 });
@@ -188,12 +201,14 @@ impl Meter {
         if self.since_poll >= POLL_INTERVAL {
             self.since_poll = 0;
             if self.cancel.is_canceled() {
+                trip_instant("canceled", self.stage);
                 return Err(VqiError::Canceled {
                     stage: self.stage.to_string(),
                 });
             }
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
+                    trip_instant("deadline", self.stage);
                     return Err(VqiError::DeadlineExceeded {
                         stage: self.stage.to_string(),
                     });
@@ -213,16 +228,24 @@ impl Meter {
 pub fn run_stage<T>(budget: &Budget, stage: &str, f: impl FnOnce() -> T) -> Result<T, VqiError> {
     budget.check(stage)?;
     if crate::fault::maybe_timeout(stage, 0) {
+        if vqi_observe::journal_recording() {
+            vqi_observe::instant(&format!("fault.timeout:{stage}"));
+        }
         return Err(VqiError::DeadlineExceeded {
             stage: stage.to_string(),
         });
     }
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(v) => Ok(v),
-        Err(payload) => Err(VqiError::Panic {
-            stage: stage.to_string(),
-            reason: crate::error::panic_reason(payload.as_ref()),
-        }),
+        Err(payload) => {
+            if vqi_observe::journal_recording() {
+                vqi_observe::instant(&format!("stage.panic:{stage}"));
+            }
+            Err(VqiError::Panic {
+                stage: stage.to_string(),
+                reason: crate::error::panic_reason(payload.as_ref()),
+            })
+        }
     }
 }
 

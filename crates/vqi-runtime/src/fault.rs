@@ -143,6 +143,9 @@ fn decide(kind: u64, site: &str, key: u64, rate: impl Fn(&FaultPlan) -> f64) -> 
     }
     drop(st);
     vqi_observe::incr("fault.injected", 1);
+    if vqi_observe::journal_recording() {
+        vqi_observe::instant(&format!("fault.injected:{site}#{key}"));
+    }
     true
 }
 
