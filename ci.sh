@@ -97,4 +97,21 @@ grep -q '"ph":"E"' "$trace_dir/trace.json"
 grep -q '"kernel\.' "$trace_dir/metrics.json"
 rm -rf "$trace_dir"
 
+echo "== serve smoke (loopback session mix, snapshot-isolation verified) =="
+# boot the multi-tenant service core and drive a mixed burst at one and
+# four kernel workers: zero panics, every completed selection verified
+# bit-identical on its pinned snapshot, and the recorded trace journal
+# balanced (the serve command exits nonzero on imbalance)
+cargo test -q -p vqi-serve
+serve_dir=$(mktemp -d)
+for threads in 1 4; do
+    echo "-- RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads target/debug/vqi serve --graphs 14 --sessions 4 \
+        --requests 6 --count 3 --min-size 3 --max-size 5 \
+        --trace-out "$serve_dir/serve_trace_$threads.json" >"$serve_dir/out_$threads.txt"
+    grep -q 'balanced: yes' "$serve_dir/out_$threads.txt"
+    grep -q 'isolation:' "$serve_dir/out_$threads.txt"
+done
+rm -rf "$serve_dir"
+
 echo "CI OK"

@@ -120,10 +120,14 @@ impl Aurora {
                         - self.config.weights.cognitive * loads[ci]
                 })
                 .collect();
+            // total_cmp instead of partial_cmp().expect("finite"): with
+            // non-finite weights the score arithmetic can produce NaN
+            // (inf - inf), which must pick a deterministic argmax rather
+            // than panic the selection
             let (best_pos, &best) = scores
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .expect("nonempty");
             let ci = available[best_pos];
             let gains = candidates[ci].support_set.iter().any(|&pos| !covered[pos]);
@@ -203,6 +207,29 @@ mod tests {
             assert!(is_connected(&p.graph));
             assert!(pattern_coverage(&p.graph, &col) > 0.0);
             assert!(p.provenance.starts_with("aurora:sup"));
+        }
+    }
+
+    #[test]
+    fn non_finite_weights_never_panic_selection() {
+        // infinite weights make every score after the first pick
+        // inf - inf = NaN; total_cmp picks a deterministic argmax where
+        // the old partial_cmp().expect("finite") panicked
+        let col = collection();
+        let budget = PatternBudget::new(4, 4, 6);
+        let aurora = Aurora::new(AuroraConfig {
+            weights: QualityWeights {
+                diversity: f64::INFINITY,
+                cognitive: f64::INFINITY,
+            },
+            ..Default::default()
+        });
+        let a = aurora.run(&col, &budget);
+        let b = aurora.run(&col, &budget);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len(), "NaN argmax must stay deterministic");
+        for (pa, pb) in a.patterns().iter().zip(b.patterns()) {
+            assert_eq!(pa.code, pb.code);
         }
     }
 

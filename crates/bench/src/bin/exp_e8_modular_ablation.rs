@@ -93,7 +93,9 @@ fn main() {
             }
         }
     }
-    rows.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    // total_cmp: a NaN score from a degenerate assembly must not panic
+    // the report; it sorts deterministically instead
+    rows.sort_by(|a, b| b.score.total_cmp(&a.score));
 
     let table: Vec<Vec<String>> = rows
         .iter()

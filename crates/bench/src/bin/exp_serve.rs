@@ -1,0 +1,233 @@
+//! SERVE — the multi-tenant service under mixed load (DESIGN §10).
+//!
+//! Three measurements on one molecule repository:
+//!
+//! 1. **Mixed sessions at several concurrency levels** — every session
+//!    interleaves `select` and `query` while session 0 applies update
+//!    batches; p50/p99 latency per endpoint and the pattern-cache hit
+//!    rate at 1 / 2 / 4 / 8 sessions.
+//! 2. **Snapshot-isolation race** — readers race the updater at kernel
+//!    thread caps 1 / 2 / 4 with every completed selection re-derived
+//!    from scratch on its pinned snapshot and asserted bit-identical.
+//! 3. **Cache economics** — cold vs warm selection latency on a static
+//!    dataset.
+//!
+//! Writes `BENCH_serve.json` at the repository root. The JSON is
+//! hand-rolled so the binary also builds under the offline stub
+//! toolchain, whose `serde_json` cannot serialize.
+
+use bench::{enable_metrics, print_table, time_ms};
+use vqi_core::budget::PatternBudget;
+use vqi_core::repo::{BatchUpdate, GraphCollection, GraphRepository};
+use vqi_datasets::{aids_like, MoleculeParams};
+use vqi_serve::{
+    run_load, LoadParams, LoadReport, MaintenanceMode, SelectorKind, ServeConfig, VqiService,
+};
+use vqi_sim::workload::{sample_queries, WorkloadParams};
+
+const SESSIONS: [usize; 4] = [1, 2, 4, 8];
+const REQUESTS_PER_SESSION: usize = 12;
+
+fn molecules(count: usize, seed: u64) -> Vec<vqi_graph::Graph> {
+    aids_like(MoleculeParams {
+        count,
+        seed,
+        max_rings: 1,
+        max_chains: 2,
+        max_chain_len: 2,
+    })
+}
+
+fn service(maintenance: MaintenanceMode) -> VqiService {
+    VqiService::new(
+        GraphCollection::new(molecules(24, 5)),
+        ServeConfig {
+            cache_capacity: 16,
+            maintenance,
+            ..Default::default()
+        },
+    )
+}
+
+fn load_params(sessions: usize, queries: Vec<vqi_graph::Graph>) -> LoadParams {
+    LoadParams {
+        sessions,
+        requests_per_session: REQUESTS_PER_SESSION,
+        update_every: 4, // session 0: every 4th request is a batch
+        selector: SelectorKind::Catapult,
+        select_budget: PatternBudget::new(4, 3, 6),
+        queries,
+        batches: update_batches(),
+        seed: 0xC0FFEE,
+        ..Default::default()
+    }
+}
+
+fn update_batches() -> Vec<BatchUpdate> {
+    let extra = molecules(12, 77);
+    (0..4)
+        .map(|i| BatchUpdate {
+            additions: vec![extra[3 * i].clone(), extra[3 * i + 1].clone()],
+            removals: vec![i],
+        })
+        .collect()
+}
+
+struct ConcurrencyRow {
+    sessions: usize,
+    report: LoadReport,
+    wall_ms: f64,
+}
+
+fn main() {
+    enable_metrics();
+    let queries = sample_queries(
+        &GraphRepository::Collection(GraphCollection::new(molecules(24, 5))),
+        &WorkloadParams {
+            count: 10,
+            sizes: vec![3, 4],
+            seed: 0x4031,
+        },
+    );
+    assert!(!queries.is_empty(), "workload sampling produced no queries");
+
+    // ---- 1. mixed load at several concurrency levels -------------------
+    let mut rows: Vec<ConcurrencyRow> = Vec::new();
+    for &sessions in &SESSIONS {
+        let svc = service(MaintenanceMode::ApplyOnly);
+        let params = load_params(sessions, queries.clone());
+        let (report, wall_ms) = time_ms(|| run_load(&svc, &params));
+        assert!(
+            report.total_requests() > 0,
+            "{sessions} sessions answered nothing"
+        );
+        rows.push(ConcurrencyRow {
+            sessions,
+            report,
+            wall_ms,
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sessions.to_string(),
+                r.report.total_requests().to_string(),
+                r.report.select.p50_us().to_string(),
+                r.report.select.p99_us().to_string(),
+                r.report.query.p50_us().to_string(),
+                r.report.query.p99_us().to_string(),
+                r.report.update.p50_us().to_string(),
+                format!("{:.2}", r.report.cache_hit_rate()),
+                r.report.final_epoch.to_string(),
+                format!("{:.0}", r.wall_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "SERVE: mixed select/query/update sessions",
+        &[
+            "sessions",
+            "reqs",
+            "sel_p50us",
+            "sel_p99us",
+            "qry_p50us",
+            "qry_p99us",
+            "upd_p50us",
+            "hit_rate",
+            "epoch",
+            "wall_ms",
+        ],
+        &table,
+    );
+
+    // ---- 2. snapshot-isolation race at thread caps 1/2/4 ----------------
+    let mut race_rows: Vec<(usize, usize, u64)> = Vec::new();
+    for cap in [1usize, 2, 4] {
+        vqi_graph::par::set_thread_cap(cap);
+        let svc = service(MaintenanceMode::ApplyOnly);
+        let mut params = load_params(4, queries.clone());
+        params.requests_per_session = 8;
+        params.verify_isolation = true;
+        let report = run_load(&svc, &params);
+        assert!(
+            report.isolation_checks > 0,
+            "cap {cap}: no selection was verified"
+        );
+        assert!(
+            report.final_epoch >= 1,
+            "cap {cap}: updater never published"
+        );
+        race_rows.push((cap, report.isolation_checks, report.final_epoch));
+    }
+    vqi_graph::par::set_thread_cap(0);
+    print_table(
+        "SERVE: snapshot-isolation race (equality asserts passed)",
+        &["thread_cap", "checks", "final_epoch"],
+        &race_rows
+            .iter()
+            .map(|(c, n, e)| vec![c.to_string(), n.to_string(), e.to_string()])
+            .collect::<Vec<_>>(),
+    );
+
+    // ---- 3. cache economics: cold vs warm selection ---------------------
+    let svc = service(MaintenanceMode::ApplyOnly);
+    let budget = PatternBudget::new(4, 3, 6);
+    let (cold, cold_ms) = time_ms(|| {
+        svc.select(1, &SelectorKind::Catapult, &budget, None)
+            .expect("cold select")
+    });
+    let (warm, warm_ms) = time_ms(|| {
+        svc.select(2, &SelectorKind::Catapult, &budget, None)
+            .expect("warm select")
+    });
+    assert!(!cold.cached && warm.cached, "warmup must hit");
+    println!(
+        "cache: cold {cold_ms:.2} ms -> warm {warm_ms:.3} ms ({}x)",
+        if warm_ms > 0.0 {
+            format!("{:.0}", cold_ms / warm_ms.max(0.001))
+        } else {
+            "inf".into()
+        }
+    );
+
+    // ---- JSON -----------------------------------------------------------
+    let levels_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"sessions\": {}, \"requests\": {}, \"select_p50_us\": {}, \
+                 \"select_p99_us\": {}, \"query_p50_us\": {}, \"query_p99_us\": {}, \
+                 \"update_p50_us\": {}, \"update_p99_us\": {}, \"cache_hit_rate\": {:.4}, \
+                 \"rejected\": {}, \"final_epoch\": {}, \"wall_ms\": {:.1}}}",
+                r.sessions,
+                r.report.total_requests(),
+                r.report.select.p50_us(),
+                r.report.select.p99_us(),
+                r.report.query.p50_us(),
+                r.report.query.p99_us(),
+                r.report.update.p50_us(),
+                r.report.update.p99_us(),
+                r.report.cache_hit_rate(),
+                r.report.select.rejected + r.report.query.rejected + r.report.update.rejected,
+                r.report.final_epoch,
+                r.wall_ms,
+            )
+        })
+        .collect();
+    let race_json: Vec<String> = race_rows
+        .iter()
+        .map(|(c, n, e)| {
+            format!("    {{\"thread_cap\": {c}, \"isolation_checks\": {n}, \"final_epoch\": {e}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"concurrency_levels\": [\n{}\n  ],\n  \"isolation_race\": [\n{}\n  ],\n  \
+         \"cache\": {{\"cold_ms\": {cold_ms:.3}, \"warm_ms\": {warm_ms:.3}}}\n}}\n",
+        levels_json.join(",\n"),
+        race_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    println!("(wrote {path})");
+}

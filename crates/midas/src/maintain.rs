@@ -814,10 +814,7 @@ mod tests {
         cap: usize,
         sequential: bool,
         work: impl Fn(),
-    ) -> (
-        Vec<(String, u64)>,
-        std::collections::BTreeMap<String, u64>,
-    ) {
+    ) -> (Vec<(String, u64)>, std::collections::BTreeMap<String, u64>) {
         if sequential {
             par::set_parallel_enabled(false);
         } else {

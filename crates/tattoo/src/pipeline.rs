@@ -342,7 +342,10 @@ mod tests {
         let four = observed_aggregates(4, false, || drop(Tattoo::default().run(&net, &budget)));
         assert_eq!(one, four, "cap 4 changed the observability output");
         let seq = observed_aggregates(0, true, || drop(Tattoo::default().run(&net, &budget)));
-        assert_eq!(one, seq, "sequential toggle changed the observability output");
+        assert_eq!(
+            one, seq,
+            "sequential toggle changed the observability output"
+        );
     }
 
     /// Runs `work` with metrics and the trace journal armed under the
@@ -355,10 +358,7 @@ mod tests {
         cap: usize,
         sequential: bool,
         work: impl FnOnce(),
-    ) -> (
-        Vec<(String, u64)>,
-        std::collections::BTreeMap<String, u64>,
-    ) {
+    ) -> (Vec<(String, u64)>, std::collections::BTreeMap<String, u64>) {
         if sequential {
             vqi_graph::par::set_parallel_enabled(false);
         } else {

@@ -23,6 +23,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         Some("render") => render(args),
         Some("show") => show(args),
         Some("search") => search(args),
+        Some("serve") => serve(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(ArgError(format!(
             "unknown command '{other}'; try 'vqi help'"
@@ -44,6 +45,20 @@ USAGE:
   vqi render    --input FILE --out OUT.svg
   vqi show      --load FILE.vqi [--svg OUT.svg]
   vqi search    --input FILE --query QFILE [--index none|triple|ctree]
+  vqi serve     [--input FILE] [--graphs N] [--seed S] [--sessions N]
+                [--requests N] [--update-every K] [--selector ...]
+                [--count K] [--min-size N] [--max-size M]
+                [--deadline-ms N] [--midas true] [--verify false]
+
+serve boots the multi-tenant service core on FILE (or on N generated
+molecule graphs) and drives it with a loopback session mix: every
+session interleaves pattern selection and subgraph queries while
+session 0 applies update batches. Reads are snapshot-isolated
+(epoch-swapped collection snapshots) and, with --verify (the
+default), every completed selection is re-derived from scratch on its
+pinned snapshot and asserted bit-identical. Prints per-endpoint
+p50/p99 latency, the pattern-cache hit rate, and — when tracing is on
+— a begin/end balance check of the recorded journal.
 
 Any command also accepts --metrics[=table|json]: pipeline spans,
 counters, and gauges are recorded while the command runs and the
@@ -283,6 +298,153 @@ fn search(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
+/// Boots the multi-tenant service core and drives it with a loopback
+/// session mix — the deployment smoke test (no network involved).
+fn serve(args: &Args) -> Result<String, ArgError> {
+    use vqi_serve::{run_load, LoadParams, MaintenanceMode, SelectorKind, ServeConfig, VqiService};
+
+    let select_budget = budget(args)?;
+    let sessions = args.parse_or("sessions", 4usize)?;
+    let requests = args.parse_or("requests", 8usize)?;
+    let update_every = args.parse_or("update-every", 4usize)?;
+    let deadline_ms = args.parse_or("deadline-ms", 0u64)?;
+    let verify = args.parse_or("verify", true)?;
+    let midas = args.parse_or("midas", false)?;
+    let seed = args.parse_or("seed", 7u64)?;
+
+    let graphs: Vec<Graph> = if args.options.contains_key("input") {
+        match load_repo(args)? {
+            GraphRepository::Collection(c) => c.iter().map(|(_, g)| g.clone()).collect(),
+            GraphRepository::Network(_) => {
+                return Err(ArgError("serve needs a collection, not a network".into()))
+            }
+        }
+    } else {
+        vqi_datasets_aids(args.parse_or("graphs", 18usize)?, seed)
+    };
+
+    // the session mix: queries are small graphs of the collection itself
+    // (guaranteed satisfiable); batches cycle fresh molecules in and old
+    // slots out
+    let mut queries: Vec<Graph> = graphs
+        .iter()
+        .filter(|g| g.node_count() <= 8)
+        .take(4)
+        .cloned()
+        .collect();
+    if queries.is_empty() {
+        queries.push(graphs[0].clone());
+    }
+    let extra = vqi_datasets_aids(8, seed ^ 0xBA7C4);
+    let batches: Vec<vqi_core::repo::BatchUpdate> = (0..4)
+        .map(|i| vqi_core::repo::BatchUpdate {
+            additions: vec![extra[2 * i].clone(), extra[2 * i + 1].clone()],
+            removals: if i < graphs.len() { vec![i] } else { vec![] },
+        })
+        .collect();
+
+    let maintenance = if midas {
+        MaintenanceMode::Midas {
+            budget: select_budget,
+            config: midas::MidasConfig::default(),
+        }
+    } else {
+        MaintenanceMode::ApplyOnly
+    };
+    let service = VqiService::new(
+        vqi_core::repo::GraphCollection::new(graphs),
+        ServeConfig {
+            maintenance,
+            ..Default::default()
+        },
+    );
+    let selector = match args.get_or("selector", "catapult") {
+        "catapult" => SelectorKind::Catapult,
+        "modular" => SelectorKind::Modular,
+        "random" => SelectorKind::Random { seed },
+        other => return Err(ArgError(format!("serve cannot use selector '{other}'"))),
+    };
+    let report = run_load(
+        &service,
+        &LoadParams {
+            sessions,
+            requests_per_session: requests,
+            update_every,
+            selector,
+            select_budget,
+            deadline_ms: if deadline_ms == 0 {
+                None
+            } else {
+                Some(deadline_ms)
+            },
+            seed,
+            queries,
+            batches,
+            verify_isolation: verify,
+            ..Default::default()
+        },
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "served {} request(s) from {} session(s)\n",
+        report.total_requests(),
+        sessions
+    ));
+    out.push_str(&format!(
+        "  select: {} answered ({} degraded, {} rejected), p50 {} us, p99 {} us\n",
+        report.select.count,
+        report.select.degraded,
+        report.select.rejected,
+        report.select.p50_us(),
+        report.select.p99_us()
+    ));
+    out.push_str(&format!(
+        "  query:  {} answered ({} degraded, {} rejected), p50 {} us, p99 {} us\n",
+        report.query.count,
+        report.query.degraded,
+        report.query.rejected,
+        report.query.p50_us(),
+        report.query.p99_us()
+    ));
+    out.push_str(&format!(
+        "  update: {} applied, final epoch {}\n",
+        report.update.count, report.final_epoch
+    ));
+    out.push_str(&format!(
+        "  cache:  {} hit(s) / {} miss(es) (hit rate {:.2})\n",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_rate()
+    ));
+    if verify {
+        out.push_str(&format!(
+            "  isolation: {} selection(s) verified bit-identical on their pinned snapshots\n",
+            report.isolation_checks
+        ));
+    }
+    if vqi_observe::journal_recording() {
+        let events = vqi_observe::journal_events();
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e.kind, vqi_observe::EventKind::Begin))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e.kind, vqi_observe::EventKind::End))
+            .count();
+        if begins != ends {
+            return Err(ArgError(format!(
+                "trace imbalance: {begins} begin vs {ends} end events"
+            )));
+        }
+        out.push_str(&format!(
+            "  trace:  {begins} spans, begin/end balanced: yes\n"
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +473,29 @@ mod tests {
         assert!(run(&args(&[])).unwrap().contains("USAGE"));
         assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
         assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn serve_smoke_runs_a_verified_session_mix() {
+        let out = run(&args(&[
+            "serve",
+            "--graphs",
+            "10",
+            "--sessions",
+            "2",
+            "--requests",
+            "4",
+            "--count",
+            "3",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("served"), "{out}");
+        assert!(out.contains("isolation:"), "{out}");
+        assert!(out.contains("cache:"), "{out}");
     }
 
     #[test]
@@ -675,8 +860,8 @@ mod tests {
         let out = tmp("trace.json");
         write_trace(&out).unwrap();
         let json = std::fs::read_to_string(&out).unwrap();
-        let stats = vqi_observe::validate_chrome_trace(&json)
-            .expect("emitted chrome trace must validate");
+        let stats =
+            vqi_observe::validate_chrome_trace(&json).expect("emitted chrome trace must validate");
         assert!(stats.spans > 0, "run must record spans");
         assert!(json.contains("\"tattoo.run\""), "run root span present");
         // every span below the root has a resolvable, non-zero parent:

@@ -51,7 +51,10 @@ fn main() {
                     eprintln!("{}", vqi_observe::snapshot().delta(&baseline).to_json());
                 }
                 Some(_) => {
-                    eprint!("{}", vqi_observe::snapshot().delta(&baseline).render_table());
+                    eprint!(
+                        "{}",
+                        vqi_observe::snapshot().delta(&baseline).render_table()
+                    );
                     if vqi_observe::journal_enabled() {
                         let events = vqi_observe::journal_events();
                         eprint!("{}", vqi_observe::profile(&events, None).render());

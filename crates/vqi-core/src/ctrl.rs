@@ -97,10 +97,7 @@ impl Degradation {
     pub fn absorb(&mut self, budget: &Budget, err: VqiError) -> Result<(), VqiError> {
         vqi_observe::incr("fault.degraded", 1);
         if vqi_observe::journal_recording() {
-            vqi_observe::instant(&format!(
-                "run.degraded:{}",
-                err.stage().unwrap_or("parse")
-            ));
+            vqi_observe::instant(&format!("run.degraded:{}", err.stage().unwrap_or("parse")));
         }
         if budget.fail_fast() {
             return Err(err);

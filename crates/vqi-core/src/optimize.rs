@@ -147,7 +147,6 @@ pub fn anneal_layout(
 /// low-cognitive-load patterns. Returns the permutation (positions into
 /// `set.patterns()`).
 pub fn arrange_panel(set: &PatternSet) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..set.len()).collect();
     let complexity: Vec<f64> = set
         .patterns()
         .iter()
@@ -157,11 +156,22 @@ pub fn arrange_panel(set: &PatternSet) -> Vec<usize> {
             crate::aesthetics::visual_complexity(&p.graph, &layout).complexity
         })
         .collect();
+    let sizes: Vec<usize> = set.patterns().iter().map(|p| p.size()).collect();
+    order_by_complexity(&complexity, &sizes)
+}
+
+/// The arrangement order underlying [`arrange_panel`]: indices sorted by
+/// ascending complexity (ties by size). Uses `total_cmp`, so a NaN
+/// complexity (a degenerate layout) sorts after every finite value
+/// instead of panicking the arrangement like the old
+/// `partial_cmp().unwrap()` did.
+pub fn order_by_complexity(complexity: &[f64], sizes: &[usize]) -> Vec<usize> {
+    assert_eq!(complexity.len(), sizes.len());
+    let mut order: Vec<usize> = (0..complexity.len()).collect();
     order.sort_by(|&a, &b| {
         complexity[a]
-            .partial_cmp(&complexity[b])
-            .unwrap()
-            .then(set.patterns()[a].size().cmp(&set.patterns()[b].size()))
+            .total_cmp(&complexity[b])
+            .then(sizes[a].cmp(&sizes[b]))
     });
     order
 }
@@ -187,6 +197,19 @@ mod tests {
     use crate::layout::{circular, force_directed, LayoutParams};
     use crate::pattern::{PatternKind, PatternSet};
     use vqi_graph::generate::{chain, clique, cycle};
+
+    #[test]
+    fn non_finite_complexity_never_panics_arrangement() {
+        // a NaN complexity (degenerate layout) used to panic the
+        // partial_cmp().unwrap() sort; total_cmp ranks it last
+        let complexity = [1.5, f64::NAN, 0.5, f64::INFINITY, 0.5];
+        let sizes = [3, 4, 9, 5, 2];
+        let order = order_by_complexity(&complexity, &sizes);
+        // finite ascending first (ties by size), then +inf, then NaN
+        assert_eq!(order, vec![4, 2, 0, 3, 1]);
+        // deterministic on repeat
+        assert_eq!(order, order_by_complexity(&complexity, &sizes));
+    }
 
     #[test]
     fn annealing_never_worsens() {

@@ -119,6 +119,34 @@ impl Fingerprint {
     pub fn has_wildcard(&self) -> bool {
         self.has_wildcard
     }
+
+    /// A stable 64-bit digest of the fingerprint's contents.
+    ///
+    /// Deterministic across processes and platforms (pure splitmix64
+    /// folding over the summarized data, no address- or seed-dependent
+    /// state), so it can key persistent or cross-session memo tables —
+    /// the per-dataset pattern-set cache in `vqi-serve` sorts and hashes
+    /// collection members by this digest. Equal fingerprints always have
+    /// equal digests; collisions are possible, so exact-match callers
+    /// must still compare fingerprints with `==` after a digest hit.
+    pub fn digest(&self) -> u64 {
+        let mut h = mix64(0x5e59_13f1 ^ (((self.nodes as u64) << 32) | self.edges as u64));
+        let mut fold = |v: u64| h = mix64(h ^ v);
+        for &(l, c) in &self.node_hist {
+            fold(0x01 ^ ((l as u64) << 32) ^ c as u64);
+        }
+        for &(l, c) in &self.edge_hist {
+            fold(0x02 ^ ((l as u64) << 32) ^ c as u64);
+        }
+        for &d in &self.degrees_desc {
+            fold(0x03 ^ ((d as u64) << 8));
+        }
+        for &((e, a, b), c) in &self.edge_types {
+            fold(0x04 ^ ((e as u64) << 48) ^ ((a as u64) << 32) ^ ((b as u64) << 16) ^ c as u64);
+        }
+        fold(0x05 ^ self.has_wildcard as u64);
+        h
+    }
 }
 
 /// Necessary condition for a (non-induced or induced) subgraph embedding
@@ -390,6 +418,25 @@ mod tests {
         let mut g = erdos_renyi(n, p, 0, &mut rng);
         assign_labels(&mut g, nl, el, &mut rng);
         g
+    }
+
+    #[test]
+    fn fingerprint_digest_is_stable_and_permutation_invariant() {
+        for seed in 0..6u64 {
+            let g = random_graph(14, 0.3, 3, 2, seed);
+            let fp = Fingerprint::of(&g);
+            // deterministic: same fingerprint, same digest
+            assert_eq!(fp.digest(), Fingerprint::of(&g).digest());
+            // node-relabeling invariant (fingerprints are order-free summaries)
+            let perm: Vec<usize> = (0..g.node_count()).rev().collect();
+            let gp = g.permuted(&perm);
+            assert_eq!(Fingerprint::of(&gp), fp);
+            assert_eq!(Fingerprint::of(&gp).digest(), fp.digest());
+            // a changed graph changes the digest (no collision among these)
+            let mut g2 = g.clone();
+            g2.add_node(9);
+            assert_ne!(Fingerprint::of(&g2).digest(), fp.digest());
+        }
     }
 
     #[test]

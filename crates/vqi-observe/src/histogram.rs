@@ -338,9 +338,15 @@ mod tests {
         assert!(d.min <= 100_000 && d.min > 500, "min bound {}", d.min);
         assert!(d.max >= 200_000, "max bound {}", d.max);
         // no new observations → empty delta
-        assert_eq!(h.snapshot().delta(&h.snapshot()), HistogramSnapshot::empty());
+        assert_eq!(
+            h.snapshot().delta(&h.snapshot()),
+            HistogramSnapshot::empty()
+        );
         // delta against empty is the identity
-        assert_eq!(h.snapshot().delta(&HistogramSnapshot::empty()), h.snapshot());
+        assert_eq!(
+            h.snapshot().delta(&HistogramSnapshot::empty()),
+            h.snapshot()
+        );
     }
 
     #[test]

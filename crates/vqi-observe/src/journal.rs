@@ -35,7 +35,7 @@
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
@@ -284,7 +284,13 @@ pub(crate) fn begin_span(name: &str) -> Option<JournalSpan> {
         parent_id: prev.span_id,
     };
     CURRENT.with(|c| c.set(ctx));
-    record(EventKind::Begin, ctx.run_id, ctx.span_id, ctx.parent_id, name);
+    record(
+        EventKind::Begin,
+        ctx.run_id,
+        ctx.span_id,
+        ctx.parent_id,
+        name,
+    );
     Some(JournalSpan { ctx, prev })
 }
 
@@ -585,7 +591,11 @@ impl Profile {
                 .critical_path
                 .iter()
                 .map(|(p, t)| {
-                    format!("{} ({})", p.rsplit('/').next().unwrap_or(p), fmt_ns(*t as f64))
+                    format!(
+                        "{} ({})",
+                        p.rsplit('/').next().unwrap_or(p),
+                        fmt_ns(*t as f64)
+                    )
                 })
                 .collect();
             out.push_str(&format!("critical path: {}\n", chain.join(" -> ")));

@@ -114,6 +114,21 @@ impl Budget {
         &self.cancel
     }
 
+    /// The wall-clock deadline, if one is set. Blocking layers in front
+    /// of a pipeline (e.g. `vqi-serve` admission queues) bound their
+    /// waits by this instant so a queued request cannot outlive its own
+    /// budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is
+    /// set, zero when it has already passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Whether stage errors should propagate instead of degrade.
     pub fn fail_fast(&self) -> bool {
         self.fail_fast
@@ -282,6 +297,21 @@ mod tests {
         // each invocation gets a fresh meter: the quota is per-call
         let mut m2 = b.meter("kernel.test");
         assert!(m2.tick().is_ok());
+    }
+
+    #[test]
+    fn deadline_accessors_report_the_budget() {
+        let b = Budget::unlimited();
+        assert!(b.deadline().is_none());
+        assert!(b.remaining().is_none());
+        let b = Budget::unlimited().with_deadline_ms(60_000);
+        let d = b.deadline().expect("deadline set");
+        assert!(d > Instant::now());
+        let left = b.remaining().expect("remaining set");
+        assert!(left > Duration::from_secs(1) && left <= Duration::from_secs(60));
+        let expired = Budget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Content-addressed pattern-set cache.
+//!
+//! Selection is by far the most expensive endpoint, and its input is
+//! fully determined by `(collection contents, selector, budget)` — the
+//! selectors in this workspace are deterministic at any thread count.
+//! The cache therefore keys on the *content* of the pinned collection:
+//! the multiset of per-graph [`Fingerprint`]s, ordered by their stable
+//! digests so that insertion order and tombstoned slot ids do not
+//! matter. Two tenants serving the same dataset share one entry;
+//! applying any update perturbs a fingerprint and misses naturally.
+//!
+//! Digests only shard the comparison: a lookup that matches on the
+//! 64-bit digest still compares the full fingerprint vectors with `==`,
+//! so a digest collision costs a miss, never a wrong answer. (Distinct
+//! collections with *identical fingerprint multisets* do collide — the
+//! fingerprint is a summary, not a canonical form — which is the usual
+//! summary-keyed-memo tradeoff and documented in DESIGN §10.)
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::PatternSet;
+use vqi_core::repo::GraphCollection;
+use vqi_graph::index::Fingerprint;
+
+/// Order-free content summary of a whole collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionFingerprint {
+    /// Per-live-graph fingerprints, sorted by digest (ties keep the
+    /// digest-equal group together; `==` compares full contents).
+    members: Vec<Fingerprint>,
+    digest: u64,
+}
+
+impl CollectionFingerprint {
+    /// Summarizes the live graphs of `c`, insensitive to slot ids,
+    /// insertion order, and node relabelings within each graph.
+    pub fn of(c: &GraphCollection) -> Self {
+        let mut members: Vec<Fingerprint> = c.iter().map(|(_, g)| Fingerprint::of(g)).collect();
+        members.sort_by_key(Fingerprint::digest);
+        let mut h = DefaultHasher::new();
+        members.len().hash(&mut h);
+        for m in &members {
+            m.digest().hash(&mut h);
+        }
+        CollectionFingerprint {
+            members,
+            digest: h.finish(),
+        }
+    }
+
+    /// The combined 64-bit digest (used for hashing; equality always
+    /// compares the full member list).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Number of live graphs summarized.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the summarized collection was empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Hash for CollectionFingerprint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.digest.hash(state);
+    }
+}
+
+/// Full cache key: what the selection is a pure function of.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SelectKey {
+    /// Content summary of the pinned collection.
+    pub collection: CollectionFingerprint,
+    /// Selector identity tag (name plus any seed/config discriminator).
+    pub selector: String,
+    /// Requested number of patterns.
+    pub count: usize,
+    /// Minimum pattern size.
+    pub min_size: usize,
+    /// Maximum pattern size.
+    pub max_size: usize,
+}
+
+impl SelectKey {
+    /// The key for selecting with `selector_tag` under `budget` on a
+    /// collection summarized by `fp`.
+    pub fn new(fp: CollectionFingerprint, selector_tag: String, budget: &PatternBudget) -> Self {
+        SelectKey {
+            collection: fp,
+            selector: selector_tag,
+            count: budget.count,
+            min_size: budget.min_size,
+            max_size: budget.max_size,
+        }
+    }
+}
+
+/// Bounded FIFO memo of completed selections.
+///
+/// Only `Complete` outcomes are inserted (a degraded set is an artifact
+/// of one request's deadline, not of the dataset), so a hit is always
+/// bit-identical to what a fresh unconstrained run would select.
+#[derive(Debug)]
+pub struct PatternSetCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<SelectKey, Arc<PatternSet>>,
+    fifo: VecDeque<SelectKey>,
+}
+
+impl PatternSetCache {
+    /// A cache holding at most `capacity` pattern sets (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        PatternSetCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, counting `cache.serve_select.{hit,miss}`.
+    pub fn get(&self, key: &SelectKey) -> Option<Arc<PatternSet>> {
+        let inner = self.inner.lock().expect("cache lock");
+        let found = inner.map.get(key).cloned();
+        match found {
+            Some(set) => {
+                vqi_observe::incr("cache.serve_select.hit", 1);
+                Some(set)
+            }
+            None => {
+                vqi_observe::incr("cache.serve_select.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed selection, evicting the oldest entry when
+    /// full. Re-inserting an existing key refreshes nothing (first
+    /// writer wins — both writers computed the same bits).
+    pub fn insert(&self, key: SelectKey, set: Arc<PatternSet>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        while inner.fifo.len() >= self.capacity {
+            if let Some(old) = inner.fifo.pop_front() {
+                inner.map.remove(&old);
+                vqi_observe::incr("cache.serve_select.evict", 1);
+            }
+        }
+        inner.fifo.push_back(key.clone());
+        inner.map.insert(key, set);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_core::pattern::PatternKind;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    fn set_of(g: vqi_graph::Graph) -> Arc<PatternSet> {
+        let mut s = PatternSet::new();
+        s.insert(g, PatternKind::Canned, "test").unwrap();
+        Arc::new(s)
+    }
+
+    #[test]
+    fn fingerprint_ignores_insertion_order_and_slot_ids() {
+        let a = GraphCollection::new(vec![chain(3, 0, 0), cycle(4, 1, 0), star(5, 2, 0)]);
+        let b = GraphCollection::new(vec![star(5, 2, 0), chain(3, 0, 0), cycle(4, 1, 0)]);
+        assert_eq!(CollectionFingerprint::of(&a), CollectionFingerprint::of(&b));
+        assert_eq!(
+            CollectionFingerprint::of(&a).digest(),
+            CollectionFingerprint::of(&b).digest()
+        );
+
+        // tombstones shift ids but not content
+        let mut c = GraphCollection::new(vec![chain(9, 7, 0), star(5, 2, 0)]);
+        c.apply(vqi_core::repo::BatchUpdate {
+            additions: vec![chain(3, 0, 0), cycle(4, 1, 0)],
+            removals: vec![0],
+        });
+        assert_eq!(CollectionFingerprint::of(&a), CollectionFingerprint::of(&c));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let a = GraphCollection::new(vec![chain(3, 0, 0)]);
+        let b = GraphCollection::new(vec![chain(4, 0, 0)]);
+        assert_ne!(CollectionFingerprint::of(&a), CollectionFingerprint::of(&b));
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bits_and_budget_discriminates() {
+        let col = GraphCollection::new(vec![chain(3, 0, 0), cycle(4, 0, 0)]);
+        let fp = CollectionFingerprint::of(&col);
+        let budget = PatternBudget::new(3, 2, 5);
+        let cache = PatternSetCache::new(4);
+        let key = SelectKey::new(fp.clone(), "catapult".into(), &budget);
+        assert!(cache.get(&key).is_none());
+
+        let stored = set_of(chain(2, 0, 0));
+        cache.insert(key.clone(), Arc::clone(&stored));
+        let hit = cache.get(&key).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &stored), "hit must be the same bits");
+
+        // a different budget is a different key
+        let other = SelectKey::new(fp, "catapult".into(), &PatternBudget::new(4, 2, 5));
+        assert!(cache.get(&other).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded() {
+        let budget = PatternBudget::new(1, 2, 4);
+        let cache = PatternSetCache::new(2);
+        for i in 0..5 {
+            let col = GraphCollection::new(vec![chain(3 + i, 0, 0)]);
+            let key = SelectKey::new(CollectionFingerprint::of(&col), "t".into(), &budget);
+            cache.insert(key, set_of(chain(2, 0, 0)));
+        }
+        assert_eq!(cache.len(), 2);
+        // oldest entries are gone, newest survive
+        let newest = GraphCollection::new(vec![chain(7, 0, 0)]);
+        let key = SelectKey::new(CollectionFingerprint::of(&newest), "t".into(), &budget);
+        assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = PatternSetCache::new(0);
+        let col = GraphCollection::new(vec![chain(3, 0, 0)]);
+        let key = SelectKey::new(
+            CollectionFingerprint::of(&col),
+            "t".into(),
+            &PatternBudget::default(),
+        );
+        cache.insert(key.clone(), set_of(chain(2, 0, 0)));
+        assert!(cache.get(&key).is_none());
+        assert!(cache.is_empty());
+    }
+}

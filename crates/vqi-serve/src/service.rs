@@ -1,0 +1,661 @@
+//! The service: endpoints, maintainer, and the snapshot-isolation
+//! contract tying them together.
+//!
+//! Request lifecycle (DESIGN §10):
+//!
+//! 1. a run-scoped trace journal run opens (`serve.<endpoint>`), so the
+//!    request's spans — queueing included — share one run id;
+//! 2. admission: acquire an execution slot or wait, bounded by the
+//!    request's [`Budget`] deadline;
+//! 3. pin: clone the current snapshot `Arc`. Everything after this
+//!    point reads only the pinned collection;
+//! 4. work: selector pipeline / per-graph embedding counts / update
+//!    application, all budget-aware and anytime;
+//! 5. respond: `PipelineOutcome` (`Complete` or `Degraded`), the pinned
+//!    snapshot (so callers can verify against exactly what was read),
+//!    and a latency histogram observation.
+//!
+//! Updates never touch a published collection: the maintainer owns a
+//! private copy (or the MIDAS state), applies the batch there under its
+//! own lock, and publishes a clone as the next epoch. Readers racing an
+//! update therefore see either the old or the new epoch in full.
+
+use crate::admission::{Admission, AdmissionConfig, Admitted};
+use crate::cache::{CollectionFingerprint, PatternSetCache, SelectKey};
+use crate::snapshot::{Snapshot, SnapshotStore};
+use catapult::Catapult;
+use midas::{Midas, MidasConfig};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::PatternSet;
+use vqi_core::repo::{BatchUpdate, GraphCollection, GraphRepository};
+use vqi_core::selector::{PatternSelector, RandomSelector};
+use vqi_core::{Budget, Completeness, Degradation, PipelineOutcome};
+use vqi_graph::iso::{count_embeddings_ctrl, MatchOptions};
+use vqi_graph::Graph;
+use vqi_modular::ModularPipeline;
+use vqi_runtime::VqiError;
+
+/// Which selector a `select` request runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// CATAPULT with its default configuration.
+    Catapult,
+    /// The standard modular assembly.
+    Modular,
+    /// The random baseline with the given seed.
+    Random {
+        /// RNG seed (part of the cache key).
+        seed: u64,
+    },
+}
+
+impl SelectorKind {
+    /// Cache-key discriminator.
+    pub fn tag(&self) -> String {
+        match self {
+            SelectorKind::Catapult => "catapult".into(),
+            SelectorKind::Modular => "modular".into(),
+            SelectorKind::Random { seed } => format!("random:{seed}"),
+        }
+    }
+}
+
+/// How `update` maintains derived state.
+#[derive(Debug, Clone)]
+pub enum MaintenanceMode {
+    /// Apply batches to the collection only; selections always recompute
+    /// (or hit the cache) on the current snapshot.
+    ApplyOnly,
+    /// Run MIDAS incremental maintenance alongside each batch, keeping a
+    /// canned pattern set warm.
+    Midas {
+        /// Budget of the maintained pattern set.
+        budget: PatternBudget,
+        /// MIDAS tuning.
+        config: MidasConfig,
+    },
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission limits.
+    pub admission: AdmissionConfig,
+    /// Pattern-set cache capacity (entries; 0 disables).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// (`0` = unlimited).
+    pub default_deadline_ms: u64,
+    /// Maintainer flavor.
+    pub maintenance: MaintenanceMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            admission: AdmissionConfig::default(),
+            cache_capacity: 32,
+            default_deadline_ms: 0,
+            maintenance: MaintenanceMode::ApplyOnly,
+        }
+    }
+}
+
+/// Hard request failures. Budget trips are *not* errors — they surface
+/// as `Degraded` outcomes; this enum is overload and fail-fast only.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The admission queue was full.
+    Overloaded {
+        /// Requests executing at rejection time.
+        in_flight: usize,
+        /// Requests queued at rejection time.
+        queued: usize,
+    },
+    /// A fail-fast budget propagated a pipeline error.
+    Failed(VqiError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { in_flight, queued } => {
+                write!(f, "overloaded: {in_flight} in flight, {queued} queued")
+            }
+            ServeError::Failed(e) => write!(f, "request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Response of `select`.
+#[derive(Debug)]
+pub struct SelectResponse {
+    /// The snapshot the selection read (pinned for the whole request).
+    pub snapshot: Arc<Snapshot>,
+    /// Whether the set came from the content-addressed cache.
+    pub cached: bool,
+    /// The selected patterns, possibly an anytime subset.
+    pub outcome: PipelineOutcome<Arc<PatternSet>>,
+}
+
+impl SelectResponse {
+    /// Epoch the request executed against.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+}
+
+/// One matched graph of a `query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHit {
+    /// Collection slot id.
+    pub graph_id: usize,
+    /// Embeddings found (capped by the request's per-graph limit).
+    pub embeddings: usize,
+}
+
+/// Payload of a `query` response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryMatches {
+    /// Graphs with at least one embedding, in slot-id order.
+    pub hits: Vec<QueryHit>,
+    /// Graphs fully examined before any budget trip.
+    pub graphs_examined: usize,
+    /// Sum of embeddings over `hits`.
+    pub total_embeddings: usize,
+}
+
+/// Response of `query`.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// The snapshot the scan read.
+    pub snapshot: Arc<Snapshot>,
+    /// The matches, possibly a prefix (anytime) under a tight deadline.
+    pub outcome: PipelineOutcome<QueryMatches>,
+}
+
+impl QueryResponse {
+    /// Epoch the request executed against.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+}
+
+/// Payload of an `update` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Graphs added by the batch.
+    pub added: usize,
+    /// Graphs removed by the batch.
+    pub removed: usize,
+    /// Epoch the batch was published as.
+    pub epoch: u64,
+    /// Live collection size after the batch.
+    pub collection_len: usize,
+    /// Size of the MIDAS-maintained pattern set, when maintaining.
+    pub maintained_patterns: Option<usize>,
+}
+
+/// Response of `update`.
+#[derive(Debug)]
+pub struct UpdateResponse {
+    /// The report, `Degraded` when MIDAS cut maintenance stages (the
+    /// collection itself always reflects the whole batch).
+    pub outcome: PipelineOutcome<UpdateReport>,
+}
+
+enum Maintainer {
+    ApplyOnly { next: GraphCollection },
+    Midas { midas: Box<Midas> },
+}
+
+/// The multi-tenant service core.
+pub struct VqiService {
+    store: SnapshotStore,
+    cache: PatternSetCache,
+    admission: Admission,
+    maintainer: Mutex<Maintainer>,
+    sessions: Mutex<BTreeSet<u64>>,
+    default_deadline_ms: u64,
+}
+
+impl VqiService {
+    /// Boots the service on `initial` (published as epoch 0).
+    pub fn new(initial: GraphCollection, config: ServeConfig) -> Self {
+        let maintainer = match &config.maintenance {
+            MaintenanceMode::ApplyOnly => Maintainer::ApplyOnly {
+                next: initial.clone(),
+            },
+            MaintenanceMode::Midas { budget, config: mc } => Maintainer::Midas {
+                midas: Box::new(Midas::bootstrap(initial.clone(), *budget, *mc)),
+            },
+        };
+        VqiService {
+            store: SnapshotStore::new(initial),
+            cache: PatternSetCache::new(config.cache_capacity),
+            admission: Admission::new(config.admission),
+            maintainer: Mutex::new(maintainer),
+            sessions: Mutex::new(BTreeSet::new()),
+            default_deadline_ms: config.default_deadline_ms,
+        }
+    }
+
+    /// The snapshot store (exposed for tests and the harness).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Cached pattern-set entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Distinct session ids seen so far.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session lock").len()
+    }
+
+    fn budget_for(&self, deadline_ms: Option<u64>) -> Budget {
+        let ms = deadline_ms.unwrap_or(self.default_deadline_ms);
+        if ms == 0 {
+            Budget::unlimited()
+        } else {
+            Budget::unlimited().with_deadline_ms(ms)
+        }
+    }
+
+    fn touch_session(&self, session: u64) {
+        let mut s = self.sessions.lock().expect("session lock");
+        if s.insert(session) {
+            vqi_observe::gauge_set("serve.sessions", s.len() as i64);
+        }
+    }
+
+    /// A `Degraded` verdict for a request that spent its whole deadline
+    /// queued: the empty payload is the correct anytime answer.
+    fn queue_expired<T>(value: T) -> PipelineOutcome<T> {
+        let mut deg = Degradation::new();
+        deg.record(&VqiError::DeadlineExceeded {
+            stage: "serve.queue".into(),
+        });
+        deg.finish(value)
+    }
+
+    /// Selects a pattern set on the current snapshot.
+    pub fn select(
+        &self,
+        session: u64,
+        selector: &SelectorKind,
+        budget: &PatternBudget,
+        deadline_ms: Option<u64>,
+    ) -> Result<SelectResponse, ServeError> {
+        let _run = vqi_observe::run("serve.select");
+        let start = Instant::now();
+        vqi_observe::incr("serve.select.requests", 1);
+        self.touch_session(session);
+        let ctrl = self.budget_for(deadline_ms);
+
+        let _permit = match self.admission.admit(&ctrl) {
+            Admitted::Permit(p) => p,
+            Admitted::DeadlineExpired => {
+                return Ok(SelectResponse {
+                    snapshot: self.store.pin(),
+                    cached: false,
+                    outcome: Self::queue_expired(Arc::new(PatternSet::new())),
+                });
+            }
+            Admitted::Overloaded { in_flight, queued } => {
+                return Err(ServeError::Overloaded { in_flight, queued });
+            }
+        };
+
+        let snapshot = self.store.pin();
+        let key = SelectKey::new(
+            CollectionFingerprint::of(snapshot.collection()),
+            selector.tag(),
+            budget,
+        );
+        if let Some(set) = self.cache.get(&key) {
+            vqi_observe::observe(
+                "serve.select.latency_us",
+                start.elapsed().as_micros() as u64,
+            );
+            return Ok(SelectResponse {
+                snapshot,
+                cached: true,
+                outcome: PipelineOutcome::complete(set),
+            });
+        }
+
+        let outcome = run_selector(snapshot.collection(), selector, budget, &ctrl)
+            .map_err(ServeError::Failed)?;
+        let outcome = PipelineOutcome {
+            value: Arc::new(outcome.value),
+            completeness: outcome.completeness,
+        };
+        if outcome.completeness.is_complete() {
+            self.cache.insert(key, Arc::clone(&outcome.value));
+        }
+        vqi_observe::observe(
+            "serve.select.latency_us",
+            start.elapsed().as_micros() as u64,
+        );
+        Ok(SelectResponse {
+            snapshot,
+            cached: false,
+            outcome,
+        })
+    }
+
+    /// Counts embeddings of `query` in every graph of the current
+    /// snapshot (non-induced, at most `max_embeddings_per_graph` each).
+    /// Under a tight deadline the scan stops early and reports the
+    /// prefix it finished as `Degraded`.
+    pub fn query(
+        &self,
+        session: u64,
+        query: &Graph,
+        max_embeddings_per_graph: usize,
+        deadline_ms: Option<u64>,
+    ) -> Result<QueryResponse, ServeError> {
+        let _run = vqi_observe::run("serve.query");
+        let start = Instant::now();
+        vqi_observe::incr("serve.query.requests", 1);
+        self.touch_session(session);
+        let ctrl = self.budget_for(deadline_ms);
+
+        let _permit = match self.admission.admit(&ctrl) {
+            Admitted::Permit(p) => p,
+            Admitted::DeadlineExpired => {
+                return Ok(QueryResponse {
+                    snapshot: self.store.pin(),
+                    outcome: Self::queue_expired(QueryMatches::default()),
+                });
+            }
+            Admitted::Overloaded { in_flight, queued } => {
+                return Err(ServeError::Overloaded { in_flight, queued });
+            }
+        };
+
+        let snapshot = self.store.pin();
+        let opts = MatchOptions {
+            max_embeddings: max_embeddings_per_graph,
+            ..Default::default()
+        };
+        let mut deg = Degradation::new();
+        let mut matches = QueryMatches::default();
+        for (id, g) in snapshot.collection().iter() {
+            match count_embeddings_ctrl(query, g, None, opts, &ctrl) {
+                Ok(n) => {
+                    matches.graphs_examined += 1;
+                    if n > 0 {
+                        matches.total_embeddings += n;
+                        matches.hits.push(QueryHit {
+                            graph_id: id,
+                            embeddings: n,
+                        });
+                    }
+                }
+                Err(e) => {
+                    deg.absorb(&ctrl, e).map_err(ServeError::Failed)?;
+                    break;
+                }
+            }
+        }
+        vqi_observe::observe("serve.query.latency_us", start.elapsed().as_micros() as u64);
+        Ok(QueryResponse {
+            snapshot,
+            outcome: deg.finish(matches),
+        })
+    }
+
+    /// Applies a batch update and publishes the result as a new epoch.
+    /// Updates serialize on the maintainer lock; readers are never
+    /// blocked and keep their pinned epochs.
+    pub fn update(
+        &self,
+        session: u64,
+        batch: BatchUpdate,
+        deadline_ms: Option<u64>,
+    ) -> Result<UpdateResponse, ServeError> {
+        let _run = vqi_observe::run("serve.update");
+        let start = Instant::now();
+        vqi_observe::incr("serve.update.requests", 1);
+        self.touch_session(session);
+        let ctrl = self.budget_for(deadline_ms);
+
+        let _permit = match self.admission.admit(&ctrl) {
+            Admitted::Permit(p) => p,
+            Admitted::DeadlineExpired => {
+                // the batch was NOT applied; the report says so
+                return Ok(UpdateResponse {
+                    outcome: Self::queue_expired(UpdateReport {
+                        added: 0,
+                        removed: 0,
+                        epoch: self.store.epoch(),
+                        collection_len: self.store.pin().collection().len(),
+                        maintained_patterns: None,
+                    }),
+                });
+            }
+            Admitted::Overloaded { in_flight, queued } => {
+                return Err(ServeError::Overloaded { in_flight, queued });
+            }
+        };
+
+        let added = batch.additions.len();
+        let removed = batch.removals.len();
+        let mut maintainer = self.maintainer.lock().expect("maintainer lock");
+        let (completeness, collection_len, maintained, next) = match &mut *maintainer {
+            Maintainer::ApplyOnly { next } => {
+                next.apply(batch);
+                (Completeness::Complete, next.len(), None, next.clone())
+            }
+            Maintainer::Midas { midas } => {
+                let out = midas
+                    .apply_update_ctrl(batch, &ctrl)
+                    .map_err(ServeError::Failed)?;
+                (
+                    out.completeness,
+                    midas.collection.len(),
+                    Some(midas.patterns.len()),
+                    midas.collection.clone(),
+                )
+            }
+        };
+        // publish while still holding the maintainer lock: epochs are
+        // published in the same order batches were applied
+        let epoch = self.store.publish(next);
+        drop(maintainer);
+
+        vqi_observe::observe(
+            "serve.update.latency_us",
+            start.elapsed().as_micros() as u64,
+        );
+        Ok(UpdateResponse {
+            outcome: PipelineOutcome {
+                value: UpdateReport {
+                    added,
+                    removed,
+                    epoch,
+                    collection_len,
+                    maintained_patterns: maintained,
+                },
+                completeness,
+            },
+        })
+    }
+}
+
+fn run_selector(
+    collection: &GraphCollection,
+    selector: &SelectorKind,
+    budget: &PatternBudget,
+    ctrl: &Budget,
+) -> Result<PipelineOutcome<PatternSet>, VqiError> {
+    match selector {
+        SelectorKind::Catapult => Catapult::default().run_ctrl(collection, budget, ctrl),
+        SelectorKind::Modular => ModularPipeline::standard().run_ctrl(collection, budget, ctrl),
+        SelectorKind::Random { seed } => {
+            // the baseline has no budget-aware path; it is cheap enough
+            // to run to completion
+            let repo = GraphRepository::Collection(collection.clone());
+            Ok(PipelineOutcome::complete(
+                RandomSelector::new(*seed).select(&repo, budget),
+            ))
+        }
+    }
+}
+
+/// A from-scratch, unconstrained selection on `collection` — the ground
+/// truth the snapshot-isolation and cache bit-identity asserts compare
+/// against. Deterministic at any thread count, like every selector in
+/// this workspace.
+pub fn reference_select(
+    collection: &GraphCollection,
+    selector: &SelectorKind,
+    budget: &PatternBudget,
+) -> PatternSet {
+    run_selector(collection, selector, budget, &Budget::unlimited())
+        .expect("unlimited budget cannot fail")
+        .value
+}
+
+/// Canonical codes of a pattern set, for bit-identity comparisons.
+pub fn pattern_codes(set: &PatternSet) -> Vec<String> {
+    set.patterns()
+        .iter()
+        .map(|p| format!("{:?}", p.code))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_datasets::{aids_like, MoleculeParams};
+
+    fn molecules(count: usize, seed: u64) -> Vec<Graph> {
+        aids_like(MoleculeParams {
+            count,
+            seed,
+            max_rings: 1,
+            max_chains: 2,
+            max_chain_len: 2,
+        })
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_to_cold_computes() {
+        let service = VqiService::new(
+            GraphCollection::new(molecules(10, 11)),
+            ServeConfig::default(),
+        );
+        let budget = PatternBudget::new(4, 3, 6);
+        for kind in [
+            SelectorKind::Catapult,
+            SelectorKind::Modular,
+            SelectorKind::Random { seed: 7 },
+        ] {
+            let cold = service.select(1, &kind, &budget, None).unwrap();
+            assert!(!cold.cached, "{kind:?}: first select computes");
+            assert!(cold.outcome.completeness.is_complete());
+            let hit = service.select(2, &kind, &budget, None).unwrap();
+            assert!(hit.cached, "{kind:?}: second select hits");
+            // the hit shares the very allocation — bit-identity for free
+            assert!(Arc::ptr_eq(&cold.outcome.value, &hit.outcome.value));
+            let reference = reference_select(cold.snapshot.collection(), &kind, &budget);
+            assert_eq!(
+                pattern_codes(&cold.outcome.value),
+                pattern_codes(&reference),
+                "{kind:?}: served set must equal the from-scratch run"
+            );
+        }
+        assert_eq!(service.cache_len(), 3);
+        assert_eq!(service.session_count(), 2);
+    }
+
+    #[test]
+    fn query_scans_the_pinned_snapshot() {
+        let graphs = molecules(8, 23);
+        let probe = graphs[0].clone();
+        let service = VqiService::new(GraphCollection::new(graphs), ServeConfig::default());
+        let resp = service.query(5, &probe, 50, None).unwrap();
+        assert!(resp.outcome.completeness.is_complete());
+        let m = &resp.outcome.value;
+        assert_eq!(m.graphs_examined, 8);
+        // a graph always embeds in itself
+        assert!(m.hits.iter().any(|h| h.graph_id == 0 && h.embeddings >= 1));
+        assert_eq!(
+            m.total_embeddings,
+            m.hits.iter().map(|h| h.embeddings).sum::<usize>()
+        );
+        // hits come in slot-id order
+        assert!(m.hits.windows(2).all(|w| w[0].graph_id < w[1].graph_id));
+    }
+
+    #[test]
+    fn tight_deadline_degrades_instead_of_failing() {
+        let service = VqiService::new(
+            GraphCollection::new(molecules(120, 31)),
+            ServeConfig::default(),
+        );
+        let budget = PatternBudget::new(5, 3, 6);
+        let resp = service
+            .select(1, &SelectorKind::Catapult, &budget, Some(1))
+            .unwrap();
+        match &resp.outcome.completeness {
+            Completeness::Degraded { stages_cut, .. } => {
+                assert!(!stages_cut.is_empty());
+                // degraded artifacts of one request's deadline are not
+                // shared through the cache
+                assert_eq!(service.cache_len(), 0);
+            }
+            Completeness::Complete => {
+                panic!("a 1 ms deadline cannot fit a 120-graph selection")
+            }
+        }
+        // the same request without the deadline completes and caches
+        let full = service
+            .select(1, &SelectorKind::Catapult, &budget, None)
+            .unwrap();
+        assert!(full.outcome.completeness.is_complete());
+        assert!(!full.outcome.value.is_empty());
+        assert_eq!(service.cache_len(), 1);
+    }
+
+    #[test]
+    fn midas_mode_maintains_patterns_and_readers_keep_pinned_epochs() {
+        let budget = PatternBudget::new(4, 3, 6);
+        let service = VqiService::new(
+            GraphCollection::new(molecules(10, 47)),
+            ServeConfig {
+                maintenance: MaintenanceMode::Midas {
+                    budget,
+                    config: MidasConfig::default(),
+                },
+                ..Default::default()
+            },
+        );
+        let before = service.store().pin();
+        assert_eq!(before.epoch(), 0);
+        let len_before = before.collection().len();
+
+        let extra = molecules(2, 99);
+        let resp = service.update(1, BatchUpdate::adding(extra), None).unwrap();
+        let report = &resp.outcome.value;
+        assert_eq!(report.added, 2);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.collection_len, len_before + 2);
+        assert!(report.maintained_patterns.unwrap_or(0) > 0);
+
+        // the pre-update pin still reads the old world
+        assert_eq!(before.collection().len(), len_before);
+        assert_eq!(service.store().epoch(), 1);
+        assert_eq!(service.store().pin().collection().len(), len_before + 2);
+    }
+}

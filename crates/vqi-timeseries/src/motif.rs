@@ -83,7 +83,7 @@ pub fn top_motifs(series: &TimeSeries, w: usize, k: usize) -> Vec<Motif> {
     while motifs.len() < k {
         let best = (0..n)
             .filter(|&i| !blocked[i] && profile[i].is_finite() && !blocked[index[i]])
-            .min_by(|&a, &b| profile[a].partial_cmp(&profile[b]).expect("finite"));
+            .min_by(|&a, &b| profile[a].total_cmp(&profile[b]));
         let Some(i) = best else { break };
         let j = index[i];
         motifs.push(Motif {
@@ -135,6 +135,28 @@ mod tests {
             m.b,
             offsets
         );
+    }
+
+    #[test]
+    fn non_finite_profile_entries_never_panic_motif_extraction() {
+        // NaN samples poison the matrix profile around them; extraction
+        // must skip those entries (not panic in the argmin comparator)
+        // and still report motifs from the finite remainder
+        let params = SyntheticParams {
+            len: 600,
+            motif_occurrences: 3,
+            motif_width: 30,
+            noise: 0.05,
+            seed: 9,
+        };
+        let (series, _) = synthetic_with_motifs(params);
+        let mut values = series.values().to_vec();
+        values[300] = f64::NAN;
+        values[301] = f64::INFINITY;
+        let poisoned = TimeSeries::new(values);
+        let motifs = top_motifs(&poisoned, params.motif_width, 2);
+        assert!(!motifs.is_empty());
+        assert!(motifs.iter().all(|m| m.distance.is_finite()));
     }
 
     #[test]

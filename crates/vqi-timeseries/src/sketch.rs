@@ -34,7 +34,16 @@ pub fn match_sketch(series: &TimeSeries, sketch: &[f64], k: usize) -> Vec<Sketch
             distance: window_distance(series, i, sketch),
         })
         .collect();
-    all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+    // total_cmp instead of partial_cmp().expect("finite"): a NaN
+    // distance (e.g. a constant window whose z-normalization divides by
+    // zero) must never panic the match — it sorts after every finite
+    // distance. The offset tiebreak makes equal-distance output
+    // deterministic regardless of the sort algorithm or platform.
+    all.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.offset.cmp(&b.offset))
+    });
     // non-maximum suppression: drop overlapping windows
     let mut out: Vec<SketchMatch> = Vec::new();
     for m in all {
@@ -240,6 +249,49 @@ mod tests {
         let freehand = sketch_cost(&ramp, None, &costs);
         let assisted = sketch_cost(&ramp, Some(&panel), &costs);
         assert!(assisted <= freehand + 1e-9);
+    }
+
+    #[test]
+    fn non_finite_windows_never_panic_and_rank_last() {
+        // a NaN sample poisons every window covering it; the old
+        // partial_cmp().expect("finite") sort panicked here
+        let mut values: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        values[10] = f64::NAN;
+        let series = TimeSeries::new(values);
+        let sketch = znormalize(series.window(20, 6).unwrap());
+        let matches = match_sketch(&series, &sketch, 4);
+        assert!(!matches.is_empty());
+        // finite distances come first; NaN windows sort after all of them
+        let first_nan = matches.iter().position(|m| m.distance.is_nan());
+        if let Some(i) = first_nan {
+            assert!(matches[i..].iter().all(|m| m.distance.is_nan()));
+        }
+        assert!(matches[0].distance.is_finite());
+    }
+
+    #[test]
+    fn equal_distances_tie_break_by_offset() {
+        // a strictly periodic series: every window at the same phase has
+        // distance exactly 0 to the sketch, so ordering among ties is
+        // decided solely by the (distance, offset) comparator
+        let values: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let series = TimeSeries::new(values);
+        let sketch = znormalize(series.window(0, 8).unwrap());
+        let matches = match_sketch(&series, &sketch, 5);
+        assert_eq!(matches.len(), 5);
+        // all-zero distances picked in ascending offset order, spaced by
+        // the w/2 = 4 non-overlap suppression
+        let offsets: Vec<usize> = matches.iter().map(|m| m.offset).collect();
+        assert_eq!(offsets, vec![0, 4, 8, 12, 16]);
+        assert!(matches.iter().all(|m| m.distance.abs() < 1e-9));
+        // byte-for-byte repeatable
+        let again: Vec<usize> = match_sketch(&series, &sketch, 5)
+            .iter()
+            .map(|m| m.offset)
+            .collect();
+        assert_eq!(offsets, again);
     }
 
     #[test]
