@@ -65,6 +65,22 @@ for threads in 1 4; do
     RAYON_NUM_THREADS=$threads cargo test -q -p vqi-modular selection_is_identical_across_thread_counts
 done
 
+echo "== incremental consistency suite (delta kernels vs from-scratch) =="
+# the incremental maintainers must be bit-identical to a fresh peel /
+# census after every batch, at any worker count: property tests sweep
+# 12 seeds x insert/delete/mixed batches internally and pin caps 1/2/4,
+# and the consumers (tattoo network maintainer, MIDAS cached census)
+# re-verify against their own from-scratch paths
+for threads in 1 4; do
+    echo "-- RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph maintainer_matches_fresh_peel_across_batches
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph census_maintainer_matches_fresh_count_across_batches
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph deletion_edge_cases_match_fresh_peel
+    RAYON_NUM_THREADS=$threads cargo test -q -p tattoo incremental_kernels_and_caches_track_mutations
+    RAYON_NUM_THREADS=$threads cargo test -q -p midas cached_census_matches_full_recompute
+    RAYON_NUM_THREADS=$threads cargo test -q -p midas windowed_drift_escalates_sub_threshold_batches
+done
+
 echo "== fault-injection suite (each test sweeps seeds 1 and 2 internally) =="
 # every pipeline must end Complete or Degraded — never panic — with
 # identical outcomes at any worker count, so run the suite pinned to

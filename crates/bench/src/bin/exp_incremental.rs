@@ -1,0 +1,284 @@
+//! Incremental-maintenance benchmark — delta kernels vs from-scratch.
+//!
+//! Sweeps edge-churn levels from 0.1% to 10% over a sparse random
+//! network (uniform pairs plus planted cliques, so the k-truss has
+//! non-trivial classes and the census sees every graphlet family) and
+//! compares, per level:
+//!
+//! * **full** — `trussness` + `count_graphlets_par` on the updated
+//!   graph, i.e. what a maintainer without delta kernels would pay on
+//!   every batch;
+//! * **incremental** — `TrussMaintainer::apply` +
+//!   `CensusMaintainer::apply` of the same delta against maintainers
+//!   seeded from the base graph.
+//!
+//! Before timing is reported, every level asserts the incremental
+//! results are **bit-identical** to the from-scratch kernels at thread
+//! caps 1, 2, and 4 — the equality contract of the maintainers, checked
+//! in-bench on every batch size, not just in unit tests.
+//!
+//! Writes `BENCH_incremental.json` at the repository root (hand-rolled
+//! JSON so the offline stub toolchain can build and run this too).
+
+use bench::{enable_metrics, print_table, time_ms};
+use vqi_graph::graphlet::{count_graphlets_par, CensusMaintainer};
+use vqi_graph::par;
+use vqi_graph::truss::{trussness, TrussMaintainer};
+use vqi_graph::{EdgeDelta, Graph, NodeId};
+
+const NODES: usize = 60_000;
+const TARGET_EDGES: usize = 45_000;
+const PLANTED_CLIQUES: usize = 150;
+const CHURN_LEVELS: [f64; 5] = [0.001, 0.005, 0.01, 0.05, 0.10];
+
+/// SplitMix64 step: a tiny deterministic stream without the rand crate.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A sparse uniform random network with a few planted 5-cliques: the
+/// uniform part keeps the degree low (incremental locality is the point
+/// of the benchmark), the cliques give the truss decomposition classes
+/// above 2 and the census all eight graphlet families.
+fn random_network(seed: u64) -> Graph {
+    let mut g = Graph::with_capacity(NODES, TARGET_EDGES);
+    for _ in 0..NODES {
+        g.add_node(0);
+    }
+    let mut state = seed;
+    let mut edges = 0;
+    for c in 0..PLANTED_CLIQUES {
+        let base = (mix(&mut state) as usize) % (NODES - 5);
+        let members: Vec<u32> = (0..5).map(|i| (base + i * (c % 3 + 1)) as u32).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                if g.add_edge(NodeId(members[i]), NodeId(members[j]), 0).is_some() {
+                    edges += 1;
+                }
+            }
+        }
+    }
+    while edges < TARGET_EDGES {
+        let u = (mix(&mut state) as usize % NODES) as u32;
+        let v = (mix(&mut state) as usize % NODES) as u32;
+        if g.add_edge(NodeId(u), NodeId(v), 0).is_some() {
+            edges += 1;
+        }
+    }
+    g
+}
+
+/// A mixed delta at the given churn level: half deletions (a stride
+/// over the live edge list) and half insertions (fresh uniform pairs).
+fn churn_delta(g: &Graph, churn: f64, seed: u64) -> EdgeDelta {
+    let m = g.edge_count();
+    let changed = ((churn * m as f64).round() as usize).max(2);
+    let deletes = changed / 2;
+    let inserts = changed - deletes;
+    let mut delta = EdgeDelta::new();
+    let stride = (m / deletes).max(1);
+    for e in g.edges().step_by(stride).take(deletes) {
+        let (u, v) = g.endpoints(e);
+        delta.deletes.push((u.0, v.0));
+    }
+    let mut state = seed;
+    while delta.inserts.len() < inserts {
+        let u = (mix(&mut state) as usize % NODES) as u32;
+        let v = (mix(&mut state) as usize % NODES) as u32;
+        if u == v || g.has_edge(NodeId(u), NodeId(v)) {
+            continue;
+        }
+        if delta.inserts.contains(&(u, v)) || delta.inserts.contains(&(v, u)) {
+            continue;
+        }
+        delta.inserts.push((u, v));
+    }
+    delta
+}
+
+/// The updated graph, built from scratch: base edges minus the deletes
+/// plus the inserts. This is the reference world both sides must match.
+fn apply_to_graph(g: &Graph, delta: &EdgeDelta) -> Graph {
+    let dead: std::collections::HashSet<(u32, u32)> = delta
+        .deletes
+        .iter()
+        .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    let mut next = Graph::with_capacity(g.node_count(), g.edge_count() + delta.inserts.len());
+    for v in g.nodes() {
+        next.add_node(g.node_label(v));
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let key = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        if !dead.contains(&key) {
+            next.add_edge(u, v, g.edge_label(e));
+        }
+    }
+    for &(u, v) in &delta.inserts {
+        next.add_edge(NodeId(u), NodeId(v), 0);
+    }
+    next
+}
+
+struct Level {
+    churn: f64,
+    deletes: usize,
+    inserts: usize,
+    full_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+    region_edges: usize,
+    recounted_roots: usize,
+}
+
+fn main() {
+    enable_metrics();
+    let g = random_network(0x1DE17A);
+    println!(
+        "network: {} nodes, {} edges ({} planted 5-cliques)",
+        g.node_count(),
+        g.edge_count(),
+        PLANTED_CLIQUES
+    );
+
+    // seeded once, untimed: the maintainers amortize this over every
+    // subsequent batch, which is the whole point
+    let truss_base = TrussMaintainer::new(&g);
+    let census_base = CensusMaintainer::new(&g);
+
+    let mut levels: Vec<Level> = Vec::new();
+    for (i, &churn) in CHURN_LEVELS.iter().enumerate() {
+        let delta = churn_delta(&g, churn, 0xD117A + i as u64);
+        let updated = apply_to_graph(&g, &delta);
+
+        // equality contract first: at caps 1, 2, and 4 the incremental
+        // results must be bit-identical to the from-scratch kernels
+        let mut across_caps: Option<(Vec<u32>, [u64; 8])> = None;
+        for cap in [1usize, 2, 4] {
+            par::set_thread_cap(cap);
+            let mut tm = truss_base.clone();
+            let mut cm = census_base.clone();
+            tm.apply(&delta);
+            cm.apply(&delta);
+            let tvals = tm
+                .trussness_for(&updated)
+                .expect("maintainer lost an edge of the updated graph");
+            let cbits = cm.counts().counts.map(f64::to_bits);
+            assert_eq!(
+                tvals,
+                trussness(&updated),
+                "cap {cap}, churn {churn}: incremental trussness != fresh peel"
+            );
+            assert_eq!(
+                cbits,
+                count_graphlets_par(&updated).counts.map(f64::to_bits),
+                "cap {cap}, churn {churn}: incremental census != fresh count"
+            );
+            match &across_caps {
+                None => across_caps = Some((tvals, cbits)),
+                Some((t1, c1)) => {
+                    assert_eq!(t1, &tvals, "cap {cap} changed the truss result");
+                    assert_eq!(c1, &cbits, "cap {cap} changed the census result");
+                }
+            }
+        }
+        par::set_thread_cap(0);
+
+        // timings at the default thread pool
+        let (_, full_truss_ms) = time_ms(|| trussness(&updated));
+        let (_, full_census_ms) = time_ms(|| count_graphlets_par(&updated));
+        let mut tm = truss_base.clone();
+        let mut cm = census_base.clone();
+        let (tstats, inc_truss_ms) = time_ms(|| tm.apply(&delta));
+        let (cstats, inc_census_ms) = time_ms(|| cm.apply(&delta));
+
+        let full_ms = full_truss_ms + full_census_ms;
+        let incremental_ms = inc_truss_ms + inc_census_ms;
+        levels.push(Level {
+            churn,
+            deletes: delta.deletes.len(),
+            inserts: delta.inserts.len(),
+            full_ms,
+            incremental_ms,
+            speedup: full_ms / incremental_ms.max(1e-9),
+            region_edges: tstats.region_edges,
+            recounted_roots: cstats.recounted_roots,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = levels
+        .iter()
+        .map(|l| {
+            vec![
+                format!("{:.1}%", l.churn * 100.0),
+                format!("{}+{}", l.deletes, l.inserts),
+                format!("{:.2}", l.full_ms),
+                format!("{:.2}", l.incremental_ms),
+                format!("{:.1}x", l.speedup),
+                l.region_edges.to_string(),
+                l.recounted_roots.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Incremental maintenance: full recompute vs delta kernels (bit-identical at caps 1/2/4)",
+        &[
+            "churn", "del+ins", "full ms", "incr ms", "speedup", "truss region", "census roots",
+        ],
+        &rows,
+    );
+
+    let snapshot = vqi_observe::snapshot();
+    let mut delta_counters: Vec<(String, u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| {
+            name.starts_with("kernel.truss.delta.") || name.starts_with("kernel.census.delta.")
+        })
+        .map(|(name, &v)| (name.clone(), v))
+        .collect();
+    delta_counters.sort();
+    for (name, v) in &delta_counters {
+        println!("  {name} = {v}");
+    }
+
+    let level_json: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"churn\": {:.4}, \"deletes\": {}, \"inserts\": {}, \"full_ms\": {:.3}, \
+                 \"incremental_ms\": {:.3}, \"speedup\": {:.2}, \"truss_region_edges\": {}, \
+                 \"census_recounted_roots\": {}}}",
+                l.churn,
+                l.deletes,
+                l.inserts,
+                l.full_ms,
+                l.incremental_ms,
+                l.speedup,
+                l.region_edges,
+                l.recounted_roots
+            )
+        })
+        .collect();
+    let counters_json: Vec<String> = delta_counters
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"network\": {{\"nodes\": {}, \"edges\": {}, \"planted_cliques\": {}}},\n  \
+         \"levels\": [\n{}\n  ],\n  \"delta_counters\": {{\n{}\n  }}\n}}\n",
+        NODES,
+        TARGET_EDGES,
+        PLANTED_CLIQUES,
+        level_json.join(",\n"),
+        counters_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, json).expect("write BENCH_incremental.json");
+    println!("(wrote {path})");
+}

@@ -34,7 +34,7 @@
 pub mod maintain;
 pub mod swap;
 
-pub use maintain::{MaintenanceReport, Midas, MidasConfig, Modification};
+pub use maintain::{CensusMode, MaintenanceReport, Midas, MidasConfig, Modification};
 
 /// Serializes tests against the process-global fault-injection plan:
 /// any test that runs a pipeline (whose stage bodies contain fault

@@ -6,6 +6,7 @@ use catapult::pipeline::{Catapult, CatapultConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use vqi_core::bitset::BitSet;
 use vqi_core::budget::PatternBudget;
@@ -14,8 +15,7 @@ use vqi_core::pattern::PatternSet;
 use vqi_core::repo::{BatchUpdate, GraphCollection};
 use vqi_core::score::{covers_cached_indexed, QualityWeights};
 use vqi_graph::graphlet::{
-    collection_distribution_sampled, collection_distribution_sampled_ctrl, euclidean_distance,
-    GRAPHLET_CLASSES,
+    euclidean_distance, sample_graphlets_seeded_ctrl, GraphletCounts, GRAPHLET_CLASSES,
 };
 use vqi_graph::index::GraphIndex;
 use vqi_graph::par;
@@ -26,6 +26,7 @@ use vqi_mining::features::{cosine_distance, FeatureSpace};
 use vqi_mining::fst::MineParams;
 use vqi_runtime::error::panic_reason;
 use vqi_runtime::{fault, VqiError};
+use vqi_timeseries::TimeSeries;
 
 /// MIDAS configuration.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +55,16 @@ pub struct MidasConfig {
     pub weights: QualityWeights,
     /// RNG seed.
     pub seed: u64,
+    /// Number of recent batches whose per-batch GFD drifts are summed
+    /// into the sliding-window drift signal that decides minor vs
+    /// major. At the default `1` the decision depends on the current
+    /// batch alone (the classic MIDAS rule); larger windows let slow
+    /// structural shifts — each batch individually below
+    /// `drift_threshold` — still escalate to a major modification once
+    /// their accumulated drift crosses the threshold. The window is
+    /// cleared after every major modification (maintenance re-baselines
+    /// the stream) and failed censuses contribute nothing.
+    pub drift_window: usize,
 }
 
 impl Default for MidasConfig {
@@ -70,6 +81,7 @@ impl Default for MidasConfig {
             swap_scans: 8,
             weights: QualityWeights::default(),
             seed: 0x314DA5,
+            drift_window: 1,
         }
     }
 }
@@ -81,6 +93,21 @@ pub enum Modification {
     Minor,
     /// GFD drift at/above threshold: pattern maintenance ran.
     Major,
+}
+
+/// How the GFD census of a maintenance pass was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CensusMode {
+    /// Per-graph counts of surviving graphs were reused from the cache;
+    /// only graphs added by the batch were counted — O(delta) work.
+    Delta,
+    /// Every live graph was counted from scratch (cold cache, e.g. the
+    /// first census after growing from an empty collection).
+    Full,
+    /// The census failed (deadline, tick quota, cancellation, or an
+    /// injected panic); the previous GFD was kept and no drift was
+    /// measured for this batch.
+    Skipped,
 }
 
 /// Report of one maintenance pass.
@@ -98,6 +125,17 @@ pub struct MaintenanceReport {
     pub candidates_pruned: usize,
     /// Clusters whose membership changed (CSG rebuilt).
     pub clusters_touched: usize,
+    /// Sliding-window drift signal: the sum of the last
+    /// [`MidasConfig::drift_window`] per-batch GFD drifts (this batch
+    /// included). This, not `gfd_distance`, is what the minor/major
+    /// decision compares against `drift_threshold`.
+    pub windowed_drift: f64,
+    /// How the census behind `gfd_distance` was obtained.
+    pub census_mode: CensusMode,
+    /// Graphs whose graphlet counts were computed fresh this pass.
+    pub census_computed: usize,
+    /// Graphs whose cached graphlet counts were reused.
+    pub census_reused: usize,
 }
 
 /// One maintained cluster.
@@ -124,6 +162,14 @@ pub struct Midas {
     pub patterns: PatternSet,
     pattern_bitsets: Vec<BitSet>,
     gfd: [f64; GRAPHLET_CLASSES],
+    /// Per-graph graphlet counts keyed by collection id. Graph ids are
+    /// never recycled by [`GraphCollection::apply`], so an entry stays
+    /// valid for as long as its graph lives; dead entries are pruned on
+    /// every successful census.
+    census_cache: HashMap<usize, GraphletCounts>,
+    /// Per-batch GFD drifts of recent successful censuses, oldest
+    /// first; the sliding-window signal sums its `drift_window` tail.
+    drift_series: Vec<f64>,
 }
 
 impl Midas {
@@ -177,7 +223,10 @@ impl Midas {
             .map(|c| ClusterSummaryGraph::build(&c.members, |id| collection.get(id).expect("live")))
             .collect();
 
-        let gfd = Self::collection_gfd(&collection, &config);
+        let mut census_cache = HashMap::new();
+        let (gfd, _, _) =
+            Self::collection_gfd_cached(&mut census_cache, &collection, &config, &Budget::unlimited())
+                .expect("unlimited-budget census cannot fail");
         let pattern_bitsets = Self::bitsets_for(&patterns, &collection);
 
         Midas {
@@ -191,6 +240,8 @@ impl Midas {
             patterns,
             pattern_bitsets,
             gfd,
+            census_cache,
+            drift_series: Vec::new(),
         }
     }
 
@@ -218,27 +269,58 @@ impl Midas {
         })
     }
 
-    /// The collection's GFD via the seeded parallel sampler — exact (and
-    /// bit-identical to the unsampled distribution) at the default
-    /// `gfd_retention` of 1.0.
-    fn collection_gfd(
-        collection: &GraphCollection,
-        config: &MidasConfig,
-    ) -> [f64; GRAPHLET_CLASSES] {
-        let graphs: Vec<&Graph> = collection.iter().map(|(_, g)| g).collect();
-        collection_distribution_sampled(&graphs, config.gfd_retention, config.seed)
-    }
-
-    /// Budget-aware GFD census: identical to [`Self::collection_gfd`]
-    /// when the budget never trips, `Err` when the graphlet kernel runs
-    /// out of deadline, ticks, or is canceled mid-census.
-    fn collection_gfd_ctrl(
+    /// The collection's GFD via the per-graph census cache: only graphs
+    /// with no cached counts (the batch's additions, or everything on a
+    /// cold cache) are counted, in parallel, and live per-graph counts
+    /// are folded in ascending id order — the same order
+    /// `collection_distribution_sampled` folds in, and each graph's
+    /// census is the same pure function of `(graph, gfd_retention,
+    /// seed)`, so the cached distribution is bit-identical to a full
+    /// recompute at any thread count and any retention.
+    ///
+    /// Returns `(distribution, computed, reused)`. On error (budget
+    /// trip inside the graphlet kernel — first failing id wins,
+    /// deterministically) the cache is left exactly as it was: entries
+    /// are inserted only when every missing graph counted successfully,
+    /// so a failed census can never leak partial state into the next
+    /// pass. Dead ids are pruned on success; ids are never recycled by
+    /// [`GraphCollection::apply`], so stale survivors of a failed pass
+    /// are a memory concern only, never a correctness one.
+    fn collection_gfd_cached(
+        cache: &mut HashMap<usize, GraphletCounts>,
         collection: &GraphCollection,
         config: &MidasConfig,
         ctrl: &Budget,
-    ) -> Result<[f64; GRAPHLET_CLASSES], VqiError> {
-        let graphs: Vec<&Graph> = collection.iter().map(|(_, g)| g).collect();
-        collection_distribution_sampled_ctrl(&graphs, config.gfd_retention, config.seed, ctrl)
+    ) -> Result<([f64; GRAPHLET_CLASSES], usize, usize), VqiError> {
+        ctrl.check("kernel.graphlet")?;
+        let _s = vqi_observe::span("midas.census");
+        let ids = collection.ids();
+        let missing: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|id| !cache.contains_key(id))
+            .collect();
+        let computed = missing.len();
+        let reused = ids.len() - computed;
+        vqi_observe::incr("midas.census.computed", computed as u64);
+        vqi_observe::incr("midas.census.reused", reused as u64);
+        let fresh: Vec<Result<GraphletCounts, VqiError>> = par::map(&missing, |&id| {
+            let g = collection.get(id).expect("live id");
+            sample_graphlets_seeded_ctrl(g, config.gfd_retention, config.seed, ctrl)
+        });
+        let mut counted = Vec::with_capacity(computed);
+        for r in fresh {
+            counted.push(r?);
+        }
+        cache.retain(|id, _| ids.binary_search(id).is_ok());
+        for (id, c) in missing.into_iter().zip(counted) {
+            cache.insert(id, c);
+        }
+        let mut total = GraphletCounts::default();
+        for id in &ids {
+            total.add(&cache[id]);
+        }
+        Ok((total.distribution(), computed, reused))
     }
 
     /// The current graphlet frequency distribution.
@@ -265,6 +347,10 @@ impl Midas {
                 candidates_considered: 0,
                 candidates_pruned: 0,
                 clusters_touched: 0,
+                windowed_drift: 0.0,
+                census_mode: CensusMode::Skipped,
+                census_computed: 0,
+                census_reused: 0,
             })
     }
 
@@ -465,34 +551,54 @@ impl Midas {
         }
         drop(csg_span);
 
-        // 4. GFD drift decides minor vs major. A failed census keeps
-        // the previous distribution and reports no measured drift:
-        // pattern maintenance is skipped for this batch, and the next
-        // successful census sees the accumulated drift instead.
+        // 4. GFD drift decides minor vs major. The census runs through
+        // the per-graph cache (O(delta): only the batch's additions are
+        // counted) and a failed census keeps the previous distribution
+        // and reports no measured drift: pattern maintenance is skipped
+        // for this batch, and the next successful census sees the
+        // accumulated drift instead. The decision compares the
+        // *windowed* drift — the sum of the last `drift_window`
+        // per-batch drifts — so slow shifts spread across batches still
+        // escalate instead of being re-baselined away each pass.
         let gfd_span = vqi_observe::span("midas.gfd_drift");
+        let (cache, collection, config) = (&mut self.census_cache, &self.collection, &self.config);
         let census = run_stage(ctrl, "midas.gfd", || {
             fault::maybe_panic("midas.gfd", 0);
-            Self::collection_gfd_ctrl(&self.collection, &self.config, ctrl)
+            Self::collection_gfd_cached(cache, collection, config, ctrl)
         })
         .and_then(|r| r);
-        let gfd_distance = match census {
-            Ok(new_gfd) => {
-                let d = euclidean_distance(&self.gfd, &new_gfd);
-                self.gfd = new_gfd;
-                d
-            }
-            Err(e) => {
-                deg.absorb(ctrl, e)?;
-                0.0
-            }
-        };
+        let (gfd_distance, windowed_drift, census_mode, census_computed, census_reused) =
+            match census {
+                Ok((new_gfd, computed, reused)) => {
+                    let d = euclidean_distance(&self.gfd, &new_gfd);
+                    self.gfd = new_gfd;
+                    let w = self.config.drift_window.max(1);
+                    self.drift_series.push(d);
+                    if self.drift_series.len() > 4 * w {
+                        let cut = self.drift_series.len() - w;
+                        self.drift_series.drain(..cut);
+                    }
+                    let windowed = TimeSeries::new(self.drift_series.clone()).tail_sum(w);
+                    let mode = if reused > 0 {
+                        CensusMode::Delta
+                    } else {
+                        CensusMode::Full
+                    };
+                    (d, windowed, mode, computed, reused)
+                }
+                Err(e) => {
+                    deg.absorb(ctrl, e)?;
+                    (0.0, 0.0, CensusMode::Skipped, 0, 0)
+                }
+            };
         drop(gfd_span);
         vqi_observe::gauge_set("midas.gfd_distance_e6", (gfd_distance * 1e6) as i64);
+        vqi_observe::gauge_set("midas.windowed_drift_e6", (windowed_drift * 1e6) as i64);
 
         // bitsets must reflect the updated collection in either case
         self.pattern_bitsets = Self::bitsets_for(&self.patterns, &self.collection);
 
-        if gfd_distance < self.config.drift_threshold {
+        if windowed_drift < self.config.drift_threshold {
             vqi_observe::incr("midas.drift.minor", 1);
             return Ok(MaintenanceReport {
                 modification: Modification::Minor,
@@ -501,10 +607,17 @@ impl Midas {
                 candidates_considered: 0,
                 candidates_pruned: 0,
                 clusters_touched: touched.len(),
+                windowed_drift,
+                census_mode,
+                census_computed,
+                census_reused,
             });
         }
 
         vqi_observe::incr("midas.drift.major", 1);
+        // maintenance acts on the accumulated drift: re-baseline the
+        // sliding window so the next batches measure fresh drift
+        self.drift_series.clear();
 
         // 5. major: candidates from touched CSGs, then multi-scan
         // swapping. A lost candidate stage degrades to an empty swap
@@ -597,6 +710,10 @@ impl Midas {
             candidates_considered: stats.considered,
             candidates_pruned: stats.pruned,
             clusters_touched: touched.len(),
+            windowed_drift,
+            census_mode,
+            census_computed,
+            census_reused,
         })
     }
 }
@@ -916,6 +1033,99 @@ mod tests {
         assert_eq!(got.value.clusters_touched, want.clusters_touched);
         assert_eq!(sorted_codes(&ctrl.patterns), sorted_codes(&plain.patterns));
         assert_eq!(ctrl.gfd(), plain.gfd());
+    }
+
+    #[test]
+    fn cached_census_matches_full_recompute() {
+        let _guard = crate::fault_test_lock();
+        use vqi_graph::graphlet::collection_distribution_sampled;
+        let mut m = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig::default(),
+        );
+        let live = m.collection.len();
+        // mixed batch: two removals, two additions — only the additions
+        // may be counted fresh
+        let r1 = m.apply_update(BatchUpdate {
+            additions: vec![clique(5, 3, 0), chain(7, 1, 0)],
+            removals: vec![1, 4],
+        });
+        assert_eq!(r1.census_mode, CensusMode::Delta);
+        assert_eq!(r1.census_computed, 2);
+        assert_eq!(r1.census_reused, live - 2);
+        let fresh = |m: &Midas| {
+            let graphs: Vec<&Graph> = m.collection.iter().map(|(_, g)| g).collect();
+            collection_distribution_sampled(&graphs, m.config.gfd_retention, m.config.seed)
+        };
+        assert_eq!(
+            m.gfd().map(f64::to_bits),
+            fresh(&m).map(f64::to_bits),
+            "cached GFD must be bit-identical to a full recompute"
+        );
+        // removal-only batch: nothing is counted at all
+        let r2 = m.apply_update(BatchUpdate::removing(vec![0]));
+        assert_eq!(r2.census_mode, CensusMode::Delta);
+        assert_eq!(r2.census_computed, 0);
+        assert_eq!(r2.census_reused, m.collection.len());
+        assert_eq!(m.gfd().map(f64::to_bits), fresh(&m).map(f64::to_bits));
+    }
+
+    #[test]
+    fn windowed_drift_escalates_sub_threshold_batches() {
+        let _guard = crate::fault_test_lock();
+        let batch_a = || vec![clique(5, 3, 0), clique(5, 3, 0)];
+        let batch_b = || vec![star(6, 4, 0), star(6, 4, 0)];
+        // probe pass: measure each batch's individual drift with the
+        // threshold out of reach, so both land as minor
+        let probe_cfg = MidasConfig {
+            drift_threshold: f64::INFINITY,
+            ..Default::default()
+        };
+        let mut probe = Midas::bootstrap(GraphCollection::new(initial_graphs()), budget(), probe_cfg);
+        let d1 = probe.apply_update(BatchUpdate::adding(batch_a())).gfd_distance;
+        let d2 = probe.apply_update(BatchUpdate::adding(batch_b())).gfd_distance;
+        assert!(d1 > 0.0 && d2 > 0.0, "probe batches must drift ({d1}, {d2})");
+        // a threshold no single batch reaches but the two-batch window does
+        let threshold = d1.max(d2) + d1.min(d2) / 2.0;
+
+        // window 1 (the classic rule): both batches stay minor
+        let mut classic = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig {
+                drift_threshold: threshold,
+                ..Default::default()
+            },
+        );
+        let r1 = classic.apply_update(BatchUpdate::adding(batch_a()));
+        let r2 = classic.apply_update(BatchUpdate::adding(batch_b()));
+        assert_eq!(r1.modification, Modification::Minor);
+        assert_eq!(r2.modification, Modification::Minor);
+
+        // window 2: the same stream escalates on the second batch
+        let mut windowed = Midas::bootstrap(
+            GraphCollection::new(initial_graphs()),
+            budget(),
+            MidasConfig {
+                drift_threshold: threshold,
+                drift_window: 2,
+                ..Default::default()
+            },
+        );
+        let r1 = windowed.apply_update(BatchUpdate::adding(batch_a()));
+        assert_eq!(r1.modification, Modification::Minor);
+        assert_eq!(r1.gfd_distance, d1, "same stream must measure the same drift");
+        assert_eq!(r1.windowed_drift, d1);
+        let r2 = windowed.apply_update(BatchUpdate::adding(batch_b()));
+        assert_eq!(r2.modification, Modification::Major);
+        assert_eq!(r2.gfd_distance, d2);
+        assert_eq!(r2.windowed_drift, d1 + d2);
+        // the major pass re-baselined the window: an empty batch drifts
+        // nothing and stays minor
+        let r3 = windowed.apply_update(BatchUpdate::adding(vec![]));
+        assert_eq!(r3.modification, Modification::Minor);
+        assert_eq!(r3.windowed_drift, 0.0);
     }
 
     #[test]

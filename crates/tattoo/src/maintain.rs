@@ -30,10 +30,11 @@ use vqi_core::pattern::PatternSet;
 use vqi_core::score::{coverage_match_options, set_score_bitsets, QualityWeights};
 use vqi_graph::cache::{covered_edges_cached_indexed, mint_target_token};
 use vqi_graph::canon::CanonicalCode;
+use vqi_graph::graphlet::{euclidean_distance, CensusMaintainer, GRAPHLET_CLASSES};
 use vqi_graph::index::GraphIndex;
 use vqi_graph::par;
-use vqi_graph::truss::decompose;
-use vqi_graph::{Graph, Label, NodeId};
+use vqi_graph::truss::{TrussDecomposition, TrussMaintainer};
+use vqi_graph::{EdgeDelta, Graph, Label, NodeId};
 
 /// A batch of edge-level changes to the network.
 #[derive(Debug, Clone, Default)]
@@ -77,6 +78,12 @@ pub struct NetworkMaintenanceReport {
     pub candidates: usize,
     /// Nodes in the touched region.
     pub touched_nodes: usize,
+    /// Euclidean distance between the network's graphlet distributions
+    /// before and after the batch (incrementally maintained census).
+    pub graphlet_drift: f64,
+    /// Edges the incremental k-truss maintainer re-peeled for this
+    /// batch — the affected region, not the whole network.
+    pub truss_region_edges: usize,
 }
 
 /// Maintainer configuration.
@@ -129,6 +136,13 @@ pub struct NetworkMaintainer {
     /// Label index over the current network, rebuilt alongside the token
     /// so every coverage match goes through the indexed kernel.
     network_index: GraphIndex,
+    /// Incrementally maintained k-truss of the current network: batch
+    /// updates re-peel only the affected region, and the major-path
+    /// region split reads maintained trussness instead of re-peeling.
+    truss: TrussMaintainer,
+    /// Incrementally maintained graphlet census of the current network,
+    /// used to report per-batch structural drift.
+    census: CensusMaintainer,
 }
 
 fn bitset_for(
@@ -159,6 +173,8 @@ impl NetworkMaintainer {
         let bitsets = par::map(patterns.patterns(), |p| {
             bitset_for(&p.graph, &p.code, &network, network_token, &network_index)
         });
+        let truss = TrussMaintainer::new(&network);
+        let census = CensusMaintainer::new(&network);
         NetworkMaintainer {
             config,
             budget,
@@ -167,7 +183,22 @@ impl NetworkMaintainer {
             bitsets,
             network_token,
             network_index,
+            truss,
+            census,
         }
+    }
+
+    /// Kernel-cache token of the current network build. Reminted on
+    /// every [`Self::apply_batch`], so cached match results from before
+    /// a mutation can never be replayed against the mutated network.
+    pub fn network_token(&self) -> u64 {
+        self.network_token
+    }
+
+    /// The incrementally maintained graphlet frequency distribution of
+    /// the current network.
+    pub fn graphlet_distribution(&self) -> [f64; GRAPHLET_CLASSES] {
+        self.census.distribution()
     }
 
     /// Current pattern-set score on the current network.
@@ -187,14 +218,18 @@ impl NetworkMaintainer {
         let pre_edges = self.network.edge_count().max(1);
         let changed = batch.edge_additions.len() + batch.edge_removals.len();
         let churn = changed as f64 / pre_edges as f64;
+        let gfd_before = self.census.distribution();
 
-        // 1. rebuild the network with the batch applied
+        // 1. rebuild the network with the batch applied, recording the
+        // effective mutations (removals that hit a live edge, additions
+        // the graph accepted) as the delta the incremental kernels see
         let removals: std::collections::HashSet<(u32, u32)> = batch
             .edge_removals
             .iter()
             .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
             .collect();
         let mut touched: Vec<NodeId> = Vec::new();
+        let mut delta = EdgeDelta::new();
         let mut next = Graph::with_capacity(
             self.network.node_count() + batch.node_additions.len(),
             self.network.edge_count() + batch.edge_additions.len(),
@@ -211,6 +246,7 @@ impl NetworkMaintainer {
             if removals.contains(&key) {
                 touched.push(u);
                 touched.push(v);
+                delta.deletes.push(key);
             } else {
                 next.add_edge(u, v, self.network.edge_label(e));
             }
@@ -219,6 +255,7 @@ impl NetworkMaintainer {
             if next.add_edge(NodeId(u), NodeId(v), l).is_some() {
                 touched.push(NodeId(u));
                 touched.push(NodeId(v));
+                delta.inserts.push((u, v));
             }
         }
         self.network = next;
@@ -226,6 +263,15 @@ impl NetworkMaintainer {
         self.network_index = GraphIndex::build(&self.network);
         touched.sort_unstable();
         touched.dedup();
+
+        // incremental kernels: grow to the appended node space, then
+        // re-peel / re-count only what the delta touched
+        let n = self.network.node_count();
+        self.truss.grow_nodes(n);
+        self.census.grow_nodes(n);
+        let truss_stats = self.truss.apply(&delta);
+        self.census.apply(&delta);
+        let graphlet_drift = euclidean_distance(&gfd_before, &self.census.distribution());
 
         // 2. bitsets must reflect the new network in either case
         let token = self.network_token;
@@ -242,6 +288,8 @@ impl NetworkMaintainer {
                 swaps: 0,
                 candidates: 0,
                 touched_nodes: touched.len(),
+                graphlet_drift,
+                truss_region_edges: truss_stats.region_edges,
             };
         }
 
@@ -252,11 +300,36 @@ impl NetworkMaintainer {
         }
         region_nodes.sort_unstable();
         region_nodes.dedup();
-        let (region, _) = self.network.induced_subgraph(&region_nodes);
+        let (region, node_map) = self.network.induced_subgraph(&region_nodes);
 
-        // 4. shape-typed candidates from the region, split by trussness
+        // 4. shape-typed candidates from the region, split by the
+        // *maintained* trussness: the incremental maintainer already
+        // knows every edge's trussness in the full network, so the
+        // split costs one lookup per region edge instead of a re-peel
+        // (and classifies by global trussness, not the region-local
+        // values a standalone peel of the small region would produce)
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let d = decompose(&region, self.config.truss_k);
+        let mut region_truss = vec![0u32; region.edge_count()];
+        let (mut infested_edges, mut oblivious_edges) = (Vec::new(), Vec::new());
+        for e in region.edges() {
+            let (ru, rv) = region.endpoints(e);
+            let t = self
+                .truss
+                .trussness_of(node_map[ru.index()], node_map[rv.index()])
+                .unwrap_or(0);
+            region_truss[e.index()] = t;
+            if t >= self.config.truss_k {
+                infested_edges.push(e);
+            } else {
+                oblivious_edges.push(e);
+            }
+        }
+        let d = TrussDecomposition {
+            trussness: region_truss,
+            k: self.config.truss_k,
+            infested_edges,
+            oblivious_edges,
+        };
         let (gt, _) = d.infested_graph(&region);
         let (go, _) = d.oblivious_graph(&region);
         let mut cands = extract_from_region(&gt, true, &self.budget, self.config.extract, &mut rng);
@@ -340,6 +413,8 @@ impl NetworkMaintainer {
             swaps,
             candidates: n_cands,
             touched_nodes: region_nodes.len(),
+            graphlet_drift,
+            truss_region_edges: truss_stats.region_edges,
         }
     }
 }
@@ -458,6 +533,65 @@ mod tests {
         m.apply_batch(batch);
         let graphs: Vec<&Graph> = m.patterns.graphs().collect();
         assert!(set_coverage_network(&graphs, &m.network) > 0.0);
+    }
+
+    #[test]
+    fn incremental_kernels_and_caches_track_mutations() {
+        let _guard = crate::fault_test_lock();
+        use vqi_graph::graphlet::count_graphlets_par;
+        use vqi_graph::truss::trussness;
+        let mut m = bootstrap(200, 6);
+        let t0 = m.network_token();
+        // additions first (grows the node space), then removals, so
+        // both delta sides of the incremental kernels are exercised
+        let add = star_batch(&m, 3, 8);
+        let r1 = m.apply_batch(add);
+        let t1 = m.network_token();
+        assert_ne!(t1, t0, "mutation must remint the cache token");
+        assert!(r1.graphlet_drift > 0.0, "a new star must shift the GFD");
+        let removals: Vec<(u32, u32)> = m
+            .network
+            .edges()
+            .take(4)
+            .map(|e| {
+                let (u, v) = m.network.endpoints(e);
+                (u.0, v.0)
+            })
+            .collect();
+        m.apply_batch(EdgeBatch {
+            edge_removals: removals,
+            ..Default::default()
+        });
+        assert_ne!(m.network_token(), t1, "every batch remints the token");
+
+        // the maintained kernels must equal a from-scratch run on the
+        // current network
+        assert_eq!(
+            m.truss.trussness_for(&m.network).expect("maintainer in sync"),
+            trussness(&m.network),
+            "incremental trussness diverged from a fresh peel"
+        );
+        let fresh_census = count_graphlets_par(&m.network);
+        assert_eq!(
+            m.census.counts().counts.map(f64::to_bits),
+            fresh_census.counts.map(f64::to_bits),
+            "incremental census diverged from a fresh count"
+        );
+
+        // stale-cache regression: the coverage bitsets kept by the
+        // maintainer must equal a recompute under a brand-new token,
+        // which by construction cannot hit any cached (iso / covered
+        // edges) entry from before the mutations
+        let fresh_token = mint_target_token();
+        let idx = GraphIndex::build(&m.network);
+        for (p, bits) in m.patterns.patterns().iter().zip(&m.bitsets) {
+            let fresh_bits = bitset_for(&p.graph, &p.code, &m.network, fresh_token, &idx);
+            assert_eq!(
+                &fresh_bits, bits,
+                "cached coverage of pattern {} was reused across a mutation",
+                p.id.0
+            );
+        }
     }
 
     #[test]

@@ -375,6 +375,51 @@ impl SortedAdjacency {
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.edge_between(u, v).is_some()
     }
+
+    /// Number of rows (nodes) in the view.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    // The mutation hooks below exist for `delta::DynamicAdjacency`, which
+    // keeps a SortedAdjacency live across edge insert/delete batches. They
+    // are crate-private: the public contract of SortedAdjacency stays "a
+    // frozen snapshot" everywhere else.
+
+    /// Grows the view to `n` rows (new rows empty).
+    pub(crate) fn grow_rows(&mut self, n: usize) {
+        if n > self.rows.len() {
+            self.rows.resize(n, Vec::new());
+        }
+    }
+
+    /// Inserts edge `e` between `u` and `v`, keeping both rows sorted.
+    /// Returns false (and changes nothing) if the edge already exists.
+    pub(crate) fn insert_sorted(&mut self, u: NodeId, v: NodeId, e: EdgeId) -> bool {
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let row = &mut self.rows[a.index()];
+            let at = row.partition_point(|&(n, _)| n < b);
+            row.insert(at, (b, e));
+        }
+        true
+    }
+
+    /// Removes the edge between `u` and `v`, keeping both rows sorted.
+    /// Returns the removed edge id, or None if no such edge exists.
+    pub(crate) fn remove_sorted(&mut self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let e = self.edge_between(u, v)?;
+        for (a, b) in [(u, v), (v, u)] {
+            let row = &mut self.rows[a.index()];
+            if let Ok(at) = row.binary_search_by_key(&b, |&(n, _)| n) {
+                row.remove(at);
+            }
+        }
+        Some(e)
+    }
 }
 
 /// Convenience builder for small graphs in tests and examples.

@@ -712,6 +712,209 @@ pub fn collection_distribution_sampled_ctrl(
     Ok(total.distribution())
 }
 
+// ---------------------------------------------------------------------------
+// Incremental maintenance
+// ---------------------------------------------------------------------------
+
+/// Per-batch statistics of a [`CensusMaintainer::apply`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CensusDeltaStats {
+    /// Edge inserts actually applied.
+    pub inserts: usize,
+    /// Edge deletes actually applied.
+    pub deletes: usize,
+    /// Mutations skipped as no-ops.
+    pub skipped: usize,
+    /// ESU roots recounted (the delta working set).
+    pub recounted_roots: usize,
+}
+
+/// Incremental exact graphlet census: keeps the per-root ESU counts of
+/// [`count_graphlets_par`] alive across edge-churn batches and recounts
+/// only the *affected roots*.
+///
+/// **Affected roots.** Every size-3/4 connected subgraph is enumerated
+/// exactly once, rooted at its minimum node id. A subgraph gained or
+/// lost by mutating edge `u -- v` contains that edge, so its root lies
+/// within two hops of `u` or `v` and is `≤ min(u, v)`. Gathering that
+/// ball per mutation against the evolving adjacency (deletes before
+/// removal, inserts after insertion) therefore covers every root whose
+/// local count can change; each affected root is recounted once against
+/// the final adjacency and the stored-vs-fresh difference is folded into
+/// the running total.
+///
+/// **Determinism.** Recounts run through [`par::map_chunks`] over the
+/// sorted affected-root list, and exact counts are integer-valued `f64`s
+/// — every subtraction and re-add is exact, so the maintained totals are
+/// bit-identical to a from-scratch [`count_graphlets_par`] at any thread
+/// count (property-tested across insert/delete/mixed batches).
+#[derive(Debug, Clone)]
+pub struct CensusMaintainer {
+    adj: crate::delta::DynamicAdjacency,
+    per_root: Vec<GraphletCounts>,
+    total: GraphletCounts,
+}
+
+impl CensusMaintainer {
+    /// Seeds the maintainer from `g` with a full parallel census.
+    pub fn new(g: &Graph) -> Self {
+        let adj = crate::delta::DynamicAdjacency::from_graph(g);
+        let n = adj.node_count();
+        let per_root: Vec<GraphletCounts> = {
+            let view = adj.view();
+            par::map_chunks(n, |roots| {
+                let mut blocked = vec![false; n];
+                let mut arena = Vec::new();
+                let mut sub = Vec::with_capacity(4);
+                let mut out = Vec::with_capacity(roots.len());
+                for u in roots {
+                    let v = NodeId(u as u32);
+                    let mut counts = GraphletCounts::default();
+                    count_root_plain(v, 3, view, &mut blocked, &mut arena, &mut sub, &mut counts);
+                    count_root_plain(v, 4, view, &mut blocked, &mut arena, &mut sub, &mut counts);
+                    out.push(counts);
+                }
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        let mut total = GraphletCounts::default();
+        for c in &per_root {
+            total.add(c);
+        }
+        Self {
+            adj,
+            per_root,
+            total,
+        }
+    }
+
+    /// Nodes in the maintained universe.
+    pub fn node_count(&self) -> usize {
+        self.adj.node_count()
+    }
+
+    /// The maintained total counts (equal to [`count_graphlets_par`] of
+    /// the current graph, bit for bit).
+    pub fn counts(&self) -> &GraphletCounts {
+        &self.total
+    }
+
+    /// The maintained graphlet frequency distribution.
+    pub fn distribution(&self) -> [f64; GRAPHLET_CLASSES] {
+        self.total.distribution()
+    }
+
+    /// Grows the node universe to at least `n` nodes (new roots count 0
+    /// until edges arrive).
+    pub fn grow_nodes(&mut self, n: usize) {
+        self.adj.grow(n);
+        if n > self.per_root.len() {
+            self.per_root.resize(n, GraphletCounts::default());
+        }
+    }
+
+    /// Nodes within two hops of `u` or `v` that can root a subgraph
+    /// containing edge `u -- v`, deduplicated through `flags`.
+    fn gather_roots(&self, u: NodeId, v: NodeId, flags: &mut [bool], out: &mut Vec<u32>) {
+        let cap = u.0.min(v.0);
+        let consider = |x: NodeId, out: &mut Vec<u32>, flags: &mut [bool]| {
+            if x.0 <= cap && !flags[x.index()] {
+                flags[x.index()] = true;
+                out.push(x.0);
+            }
+        };
+        for s in [u, v] {
+            consider(s, out, flags);
+            for &(a, _) in self.adj.neighbors(s) {
+                consider(a, out, flags);
+                for &(b, _) in self.adj.neighbors(a) {
+                    consider(b, out, flags);
+                }
+            }
+        }
+    }
+
+    /// Applies one edge-churn batch (deletes first, then inserts) and
+    /// restores exact totals by recounting only the affected roots.
+    pub fn apply(&mut self, delta: &crate::delta::EdgeDelta) -> CensusDeltaStats {
+        let _s = vqi_observe::span("kernel.census.delta");
+        vqi_observe::incr("kernel.census.delta.batches", 1);
+        if let Some(mx) = delta.max_node() {
+            self.grow_nodes(mx as usize + 1);
+        }
+        let n = self.node_count();
+        let mut stats = CensusDeltaStats::default();
+        let mut flags = vec![false; n];
+        let mut roots: Vec<u32> = Vec::new();
+
+        // deletes gather against the pre-removal adjacency: a vanished
+        // subgraph still holds the dying edge when its ball is walked
+        for &(a, b) in &delta.deletes {
+            let (u, v) = (NodeId(a), NodeId(b));
+            if a == b || !self.adj.has_edge(u, v) {
+                stats.skipped += 1;
+                continue;
+            }
+            self.gather_roots(u, v, &mut flags, &mut roots);
+            self.adj.remove(u, v);
+            stats.deletes += 1;
+        }
+        // inserts gather after insertion, so new paths through the fresh
+        // edge are part of the ball
+        for &(a, b) in &delta.inserts {
+            let (u, v) = (NodeId(a), NodeId(b));
+            if a == b || self.adj.has_edge(u, v) {
+                stats.skipped += 1;
+                continue;
+            }
+            self.adj.insert(u, v, crate::graph::EdgeId(0));
+            self.gather_roots(u, v, &mut flags, &mut roots);
+            stats.inserts += 1;
+        }
+        vqi_observe::incr("kernel.census.delta.inserts", stats.inserts as u64);
+        vqi_observe::incr("kernel.census.delta.deletes", stats.deletes as u64);
+        if roots.is_empty() {
+            return stats;
+        }
+
+        roots.sort_unstable();
+        let view = self.adj.view();
+        let fresh: Vec<GraphletCounts> = par::map_chunks(roots.len(), |range| {
+            let mut blocked = vec![false; n];
+            let mut arena = Vec::new();
+            let mut sub = Vec::with_capacity(4);
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                let v = NodeId(roots[i]);
+                let mut counts = GraphletCounts::default();
+                count_root_plain(v, 3, view, &mut blocked, &mut arena, &mut sub, &mut counts);
+                count_root_plain(v, 4, view, &mut blocked, &mut arena, &mut sub, &mut counts);
+                out.push(counts);
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        for (i, &x) in roots.iter().enumerate() {
+            let old = &mut self.per_root[x as usize];
+            for c in 0..GRAPHLET_CLASSES {
+                // exact integer-valued f64s: the subtract/re-add cancels
+                // without rounding, keeping totals bit-identical to a
+                // from-scratch census
+                self.total.counts[c] += fresh[i].counts[c] - old.counts[c];
+            }
+            *old = fresh[i];
+        }
+        stats.recounted_roots = roots.len();
+        vqi_observe::incr("kernel.census.delta.roots", roots.len() as u64);
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1068,5 +1271,123 @@ mod tests {
             sample_graphlets_seeded_ctrl(&g, 1.0, 0, &canceled),
             Err(VqiError::Canceled { .. })
         ));
+    }
+
+    fn graph_of(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            g.add_node(0);
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v), 0)
+                .expect("test edge list must be simple");
+        }
+        g
+    }
+
+    #[track_caller]
+    fn assert_census_matches(m: &CensusMaintainer, edges: &[(u32, u32)], ctx: &str) {
+        let g = graph_of(m.node_count(), edges);
+        let expect = count_graphlets_par(&g);
+        let got = m.counts();
+        // bit-identity, not just numeric equality
+        assert_eq!(
+            got.counts.map(f64::to_bits),
+            expect.counts.map(f64::to_bits),
+            "{ctx}: maintained {:?} != fresh {:?}",
+            got.counts,
+            expect.counts
+        );
+    }
+
+    #[test]
+    fn census_maintainer_matches_fresh_count_across_batches() {
+        use crate::delta::EdgeDelta;
+        use crate::generate::erdos_renyi;
+        use rand::Rng;
+        use std::collections::BTreeSet;
+        let _guard = crate::kernel_test_lock();
+        let prev = par::thread_cap();
+        for cap in [1usize, 2, 4] {
+            par::set_thread_cap(cap);
+            for seed in 0..12u64 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let n = 24;
+                let g = erdos_renyi(n, 0.2, 0, &mut rng);
+                let mut set: BTreeSet<(u32, u32)> = g
+                    .edges()
+                    .map(|e| {
+                        let (u, v) = g.endpoints(e);
+                        (u.0.min(v.0), u.0.max(v.0))
+                    })
+                    .collect();
+                let mut m = CensusMaintainer::new(&g);
+                // round 0: delete-only, round 1: insert-only, 2-3: mixed
+                for round in 0..4 {
+                    let mut delta = EdgeDelta::new();
+                    if round != 1 {
+                        let pool: Vec<(u32, u32)> = set.iter().copied().collect();
+                        for _ in 0..4 {
+                            if pool.is_empty() {
+                                break;
+                            }
+                            let (u, v) = pool[rng.gen_range(0..pool.len())];
+                            delta.deletes.push((u, v));
+                            set.remove(&(u, v));
+                        }
+                    }
+                    if round != 0 {
+                        let span = n as u32 + 2; // exercise node growth
+                        for _ in 0..4 {
+                            let u = rng.gen_range(0..span);
+                            let v = rng.gen_range(0..span);
+                            delta.inserts.push((u, v));
+                            if u != v {
+                                set.insert((u.min(v), u.max(v)));
+                            }
+                        }
+                    }
+                    m.apply(&delta);
+                    let edges: Vec<(u32, u32)> = set.iter().copied().collect();
+                    assert_census_matches(&m, &edges, &format!("seed {seed} cap {cap} round {round}"));
+                }
+            }
+        }
+        par::set_thread_cap(prev);
+    }
+
+    #[test]
+    fn census_maintainer_fixture_deltas() {
+        use crate::delta::EdgeDelta;
+        // a triangle: one K3 (class 1), no P3
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let mut m = CensusMaintainer::new(&graph_of(3, &edges));
+        assert_eq!(m.counts().counts[1], 1.0);
+        assert_eq!(m.counts().counts[0], 0.0);
+
+        // close it into a K4 via a new node: 1 four-clique, 4 triangles...
+        let stats = m.apply(&EdgeDelta::inserting(vec![(0, 3), (1, 3), (2, 3)]));
+        assert_eq!(stats.inserts, 3);
+        assert!(stats.recounted_roots > 0);
+        let k4 = [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)];
+        assert_census_matches(&m, &k4, "K4 completion");
+
+        // duplicate insert and missing delete are skipped
+        let stats = m.apply(&EdgeDelta {
+            inserts: vec![(0, 1), (2, 2)],
+            deletes: vec![(0, 9)],
+        });
+        assert_eq!(stats.skipped, 3);
+        assert_census_matches(&m, &k4, "no-op batch");
+
+        // delete an edge back out
+        m.apply(&EdgeDelta::deleting(vec![(1, 2)]));
+        let diamond = [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)];
+        assert_census_matches(&m, &diamond, "deletion");
+
+        // empty batch is a no-op
+        let stats = m.apply(&EdgeDelta::new());
+        assert_eq!(stats.recounted_roots, 0);
+        assert_census_matches(&m, &diamond, "empty batch");
     }
 }

@@ -11,6 +11,8 @@
 //! * [`canon`] — canonical codes for small graphs (pattern deduplication);
 //! * [`truss`] — k-truss decomposition and the truss-infested /
 //!   truss-oblivious split used by TATTOO;
+//! * [`delta`] — edge-churn batches ([`delta::EdgeDelta`]) consumed by the
+//!   incremental maintainers in [`truss`] and [`graphlet`];
 //! * [`graphlet`] — exact and sampled connected-graphlet counting (ESU /
 //!   RAND-ESU) and graphlet frequency distributions used by MIDAS;
 //! * [`traversal`] — BFS/DFS, components, weighted random walks, and
@@ -38,6 +40,7 @@
 
 pub mod cache;
 pub mod canon;
+pub mod delta;
 pub mod generate;
 pub mod graph;
 pub mod graphlet;
@@ -50,6 +53,7 @@ pub mod par;
 pub mod traversal;
 pub mod truss;
 
+pub use delta::EdgeDelta;
 pub use graph::{EdgeId, Graph, Label, NodeId, WILDCARD_LABEL};
 
 /// Serializes tests that flip crate-global switches (the kernel cache

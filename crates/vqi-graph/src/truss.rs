@@ -382,6 +382,472 @@ fn split(g: &Graph, k: u32, t: Vec<u32>) -> TrussDecomposition {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental maintenance
+// ---------------------------------------------------------------------------
+
+/// Per-batch statistics of a [`TrussMaintainer::apply`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrussDeltaStats {
+    /// Edge inserts actually applied (duplicates/self-loops skipped).
+    pub inserts: usize,
+    /// Edge deletes actually applied (missing edges skipped).
+    pub deletes: usize,
+    /// Mutations skipped as no-ops.
+    pub skipped: usize,
+    /// Edges in the affected region at fixpoint (the repeel working set).
+    pub region_edges: usize,
+    /// Local peel rounds until the cascade frontier closed.
+    pub peel_rounds: usize,
+    /// Edges whose trussness changed (including fresh inserts).
+    pub changed: usize,
+}
+
+/// Incremental k-truss maintenance: owns supports and trussness across
+/// edge insert/delete batches and repeels only the *affected region*
+/// instead of the whole graph.
+///
+/// **Affected region.** Deletes and inserts first touch the edges whose
+/// support changed (the triangle partners of every mutated edge) — the
+/// seeds. Insert batches additionally pull in every edge whose trussness
+/// could *rise*: trussness grows by at most 1 per inserted edge, and a
+/// rise propagates only along triangle-connected chains, so a
+/// breadth-first closure adds any exterior edge `y` sharing a triangle
+/// `(x, y, z)` with a region edge `x` when `truss(y) < ub(x)` and
+/// `truss(z) + I ≥ truss(y) + 1` (with `I` the batch's insert count and
+/// `ub(x) = min(truss(x) + I, support(x) + 2)` the rise ceiling).
+///
+/// **Local repeel.** The region is peeled with the same bucket-queue
+/// discipline as [`trussness`], with exterior triangle members *frozen*
+/// at their old trussness: a triangle with exterior members dies when
+/// the peel level reaches the minimum exterior trussness. Deletions only
+/// lower trussness, so the frozen exterior is exact unless a region
+/// edge's value actually changes — in which case the cascade frontier
+/// (exterior triangle partners of changed edges) is folded into the
+/// region and the peel reruns until no frontier remains. At fixpoint the
+/// old values form a valid truss certificate outside the region, so the
+/// committed result equals a from-scratch peel exactly (property-tested
+/// against [`trussness`] across insert/delete/mixed batches).
+#[derive(Debug, Clone)]
+pub struct TrussMaintainer {
+    adj: crate::delta::DynamicAdjacency,
+    /// Endpoints per edge slot (slots are recycled through `free`).
+    endpoints: Vec<(NodeId, NodeId)>,
+    alive: Vec<bool>,
+    free: Vec<u32>,
+    support: Vec<u32>,
+    truss: Vec<u32>,
+    live_edges: usize,
+}
+
+impl TrussMaintainer {
+    /// Seeds the maintainer from `g` with a full (parallel) support count
+    /// and peel.
+    pub fn new(g: &Graph) -> Self {
+        let m = g.edge_count();
+        Self {
+            adj: crate::delta::DynamicAdjacency::from_graph(g),
+            endpoints: g.edges().map(|e| g.endpoints(e)).collect(),
+            alive: vec![true; m],
+            free: Vec::new(),
+            support: edge_supports(g),
+            truss: trussness(g),
+            live_edges: m,
+        }
+    }
+
+    /// Nodes in the maintained universe.
+    pub fn node_count(&self) -> usize {
+        self.adj.node_count()
+    }
+
+    /// Live (non-deleted) edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Grows the node universe to at least `n` nodes.
+    pub fn grow_nodes(&mut self, n: usize) {
+        self.adj.grow(n);
+    }
+
+    /// The maintained trussness of edge `u -- v`, if present.
+    pub fn trussness_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return None;
+        }
+        self.adj
+            .edge_between(u, v)
+            .map(|e| self.truss[e.index()])
+    }
+
+    /// The maintained support (triangle count) of edge `u -- v`.
+    pub fn support_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return None;
+        }
+        self.adj
+            .edge_between(u, v)
+            .map(|e| self.support[e.index()])
+    }
+
+    /// Maintained trussness re-indexed by `g`'s edge ids (matched on
+    /// endpoints). Returns `None` if some edge of `g` is unknown to the
+    /// maintainer — the caller's graph has drifted out of sync.
+    pub fn trussness_for(&self, g: &Graph) -> Option<Vec<u32>> {
+        if g.node_count() > self.node_count() {
+            return None;
+        }
+        g.edges()
+            .map(|e| {
+                let (u, v) = g.endpoints(e);
+                self.trussness_of(u, v)
+            })
+            .collect()
+    }
+
+    /// Live edges as `(u, v, trussness)` triples in slot order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.endpoints
+            .iter()
+            .zip(self.alive.iter())
+            .zip(self.truss.iter())
+            .filter(|((_, &alive), _)| alive)
+            .map(|((&(u, v), _), &t)| (u, v, t))
+    }
+
+    /// Applies one edge-churn batch (deletes first, then inserts) and
+    /// restores exact trussness by repeeling only the affected region.
+    pub fn apply(&mut self, delta: &crate::delta::EdgeDelta) -> TrussDeltaStats {
+        let _s = vqi_observe::span("kernel.truss.delta");
+        vqi_observe::incr("kernel.truss.delta.batches", 1);
+        if let Some(mx) = delta.max_node() {
+            self.grow_nodes(mx as usize + 1);
+        }
+
+        let mut stats = TrussDeltaStats::default();
+        let mut seeded = vec![false; self.endpoints.len()];
+        let mut seeds: Vec<u32> = Vec::new();
+        fn seed(seeded: &mut [bool], seeds: &mut Vec<u32>, s: u32) {
+            if !seeded[s as usize] {
+                seeded[s as usize] = true;
+                seeds.push(s);
+            }
+        }
+
+        // deletes first: enumerate the dying triangles while the edge is
+        // still present, decrement partner supports, then drop the edge
+        for &(a, b) in &delta.deletes {
+            let (u, v) = (NodeId(a), NodeId(b));
+            if a == b || self.adj.edge_between(u, v).is_none() {
+                stats.skipped += 1;
+                continue;
+            }
+            let Self { adj, support, .. } = self;
+            adj.common_neighbors(u, v, |_w, uw, vw| {
+                for f in [uw, vw] {
+                    support[f.index()] -= 1;
+                    seed(&mut seeded, &mut seeds, f.0);
+                }
+            });
+            let slot = self.adj.remove(u, v).expect("checked present").0;
+            self.alive[slot as usize] = false;
+            self.support[slot as usize] = 0;
+            self.truss[slot as usize] = 0;
+            self.free.push(slot);
+            self.live_edges -= 1;
+            stats.deletes += 1;
+        }
+
+        // inserts: count the new edge's support against the current
+        // adjacency (the edge itself is added after), increment partners
+        for &(a, b) in &delta.inserts {
+            let (u, v) = (NodeId(a), NodeId(b));
+            if a == b || self.adj.has_edge(u, v) {
+                stats.skipped += 1;
+                continue;
+            }
+            let slot = match self.free.pop() {
+                Some(s) => s,
+                None => {
+                    let s = self.endpoints.len() as u32;
+                    self.endpoints.push((u, v));
+                    self.alive.push(false);
+                    self.support.push(0);
+                    self.truss.push(0);
+                    seeded.push(false);
+                    s
+                }
+            };
+            let mut sup = 0u32;
+            let Self { adj, support, .. } = self;
+            adj.common_neighbors(u, v, |_w, uw, vw| {
+                sup += 1;
+                for f in [uw, vw] {
+                    support[f.index()] += 1;
+                    seed(&mut seeded, &mut seeds, f.0);
+                }
+            });
+            self.adj.insert(u, v, EdgeId(slot));
+            self.endpoints[slot as usize] = (u, v);
+            self.alive[slot as usize] = true;
+            self.support[slot as usize] = sup;
+            // trussness 0 marks "fresh insert, not yet peeled"
+            self.truss[slot as usize] = 0;
+            seed(&mut seeded, &mut seeds, slot);
+            self.live_edges += 1;
+            stats.inserts += 1;
+        }
+        vqi_observe::incr("kernel.truss.delta.inserts", stats.inserts as u64);
+        vqi_observe::incr("kernel.truss.delta.deletes", stats.deletes as u64);
+
+        // the affected region starts from the surviving seeds
+        let mut region: Vec<u32> = seeds
+            .into_iter()
+            .filter(|&s| self.alive[s as usize])
+            .collect();
+        if region.is_empty() {
+            return stats;
+        }
+        let mut in_region = vec![false; self.endpoints.len()];
+        for &s in &region {
+            in_region[s as usize] = true;
+        }
+
+        // insert batches can raise trussness along triangle-connected
+        // chains; pull in every edge that could co-rise (see type docs)
+        let rises = stats.inserts as u32;
+        if rises > 0 {
+            let ub = |m: &Self, x: u32| -> u32 {
+                let s2 = m.support[x as usize] + 2;
+                if m.truss[x as usize] == 0 {
+                    s2 // fresh insert: support bound only
+                } else {
+                    s2.min(m.truss[x as usize] + rises)
+                }
+            };
+            let mut queue: Vec<(u32, u32)> = region.iter().map(|&x| (x, ub(self, x))).collect();
+            while let Some((x, ubx)) = queue.pop() {
+                let (u, v) = self.endpoints[x as usize];
+                let mut pulled: Vec<u32> = Vec::new();
+                let Self { adj, truss, .. } = self;
+                adj.common_neighbors(u, v, |_w, uw, vw| {
+                    for (f, z) in [(uw, vw), (vw, uw)] {
+                        let (f, z) = (f.0, z.0);
+                        if !in_region[f as usize]
+                            && truss[f as usize] < ubx
+                            && truss[z as usize] + rises > truss[f as usize]
+                        {
+                            in_region[f as usize] = true;
+                            pulled.push(f);
+                        }
+                    }
+                });
+                for f in pulled {
+                    region.push(f);
+                    queue.push((f, ub(self, f)));
+                }
+            }
+        }
+
+        // repeel the region until the cascade frontier closes
+        let final_vals = loop {
+            stats.peel_rounds += 1;
+            let vals = self.local_peel(&region, &in_region);
+            let mut frontier: Vec<u32> = Vec::new();
+            for (i, &x) in region.iter().enumerate() {
+                if vals[i] == self.truss[x as usize] {
+                    continue;
+                }
+                let (u, v) = self.endpoints[x as usize];
+                self.adj.common_neighbors(u, v, |_w, uw, vw| {
+                    for f in [uw.0, vw.0] {
+                        if !in_region[f as usize] {
+                            in_region[f as usize] = true;
+                            frontier.push(f);
+                        }
+                    }
+                });
+            }
+            if frontier.is_empty() {
+                break vals;
+            }
+            region.extend(frontier);
+        };
+        for (i, &x) in region.iter().enumerate() {
+            if self.truss[x as usize] != final_vals[i] {
+                stats.changed += 1;
+                self.truss[x as usize] = final_vals[i];
+            }
+        }
+        stats.region_edges = region.len();
+        vqi_observe::incr("kernel.truss.delta.region", region.len() as u64);
+        vqi_observe::incr("kernel.truss.delta.rounds", stats.peel_rounds as u64);
+        vqi_observe::incr("kernel.truss.delta.changed", stats.changed as u64);
+        stats
+    }
+
+    /// Bucket-queue peel restricted to `region`, with exterior triangle
+    /// members frozen at their old trussness: a triangle holding exterior
+    /// edges dies when the peel level reaches their minimum trussness.
+    /// Returns the new trussness per region position.
+    fn local_peel(&self, region: &[u32], in_region: &[bool]) -> Vec<u32> {
+        let r = region.len();
+        let mut pos = vec![u32::MAX; self.endpoints.len()];
+        for (i, &x) in region.iter().enumerate() {
+            pos[x as usize] = i as u32;
+        }
+
+        // enumerate each triangle touching the region exactly once,
+        // anchored at its minimum interior edge slot
+        let mut tri_members: Vec<[u32; 3]> = Vec::new(); // positions, u32::MAX pad
+        let mut tri_dead: Vec<bool> = Vec::new();
+        let mut events: Vec<(u32, u32)> = Vec::new(); // (death level, tri)
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); r];
+        for (i, &x) in region.iter().enumerate() {
+            let (u, v) = self.endpoints[x as usize];
+            self.adj.common_neighbors(u, v, |_w, uw, vw| {
+                let (a, b) = (uw.0, vw.0);
+                // anchored elsewhere if a smaller interior slot exists
+                if (in_region[a as usize] && a < x) || (in_region[b as usize] && b < x) {
+                    return;
+                }
+                let t = tri_members.len() as u32;
+                let mut members = [i as u32, u32::MAX, u32::MAX];
+                let mut n = 1;
+                let mut ext_level = u32::MAX;
+                for f in [a, b] {
+                    if in_region[f as usize] {
+                        members[n] = pos[f as usize];
+                        n += 1;
+                    } else {
+                        ext_level = ext_level.min(self.truss[f as usize]);
+                    }
+                }
+                for &p in &members[..n] {
+                    lists[p as usize].push(t);
+                }
+                tri_members.push(members);
+                tri_dead.push(false);
+                if ext_level != u32::MAX {
+                    events.push((ext_level, t));
+                }
+            });
+        }
+        events.sort_unstable();
+
+        let mut eff: Vec<u32> = region.iter().map(|&x| self.support[x as usize]).collect();
+        debug_assert!(eff
+            .iter()
+            .zip(lists.iter())
+            .all(|(&s, l)| s as usize == l.len()));
+        let mut vals = vec![0u32; r];
+        let mut removed = vec![false; r];
+        let max_eff = eff.iter().copied().max().unwrap_or(0) as usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_eff + 1];
+        for (i, &s) in eff.iter().enumerate() {
+            buckets[s as usize].push(i as u32);
+        }
+
+        // kills triangle `t` (first member death wins) and rebuckets the
+        // surviving interior members
+        fn kill(
+            t: u32,
+            tri_members: &[[u32; 3]],
+            tri_dead: &mut [bool],
+            removed: &[bool],
+            eff: &mut [u32],
+            buckets: &mut [Vec<u32>],
+            cursor: &mut usize,
+        ) {
+            if tri_dead[t as usize] {
+                return;
+            }
+            tri_dead[t as usize] = true;
+            for &p in &tri_members[t as usize] {
+                if p == u32::MAX || removed[p as usize] {
+                    continue;
+                }
+                let s = &mut eff[p as usize];
+                if *s > 0 {
+                    *s -= 1;
+                    buckets[*s as usize].push(p);
+                    if (*s as usize) < *cursor {
+                        *cursor = *s as usize;
+                    }
+                }
+            }
+        }
+
+        let mut k = 2u32;
+        let mut cursor = 0usize;
+        let mut done = 0usize;
+        let mut ev = 0usize;
+        while done < r {
+            // peek the minimum-support live entry (lazy stale skipping)
+            let mut s_min = None;
+            while cursor < buckets.len() {
+                while let Some(&j) = buckets[cursor].last() {
+                    if removed[j as usize] || eff[j as usize] as usize != cursor {
+                        buckets[cursor].pop();
+                    } else {
+                        break;
+                    }
+                }
+                if buckets[cursor].is_empty() {
+                    cursor += 1;
+                } else {
+                    s_min = Some(cursor as u32);
+                    break;
+                }
+            }
+            let target = match s_min {
+                Some(s) => k.max(s + 2),
+                None => u32::MAX,
+            };
+            // frozen exterior deaths scheduled at or below the next level
+            // fire first: removing a level-k casualty early within level k
+            // never drags a higher-truss edge down
+            if ev < events.len() && events[ev].0 <= target {
+                k = k.max(events[ev].0);
+                while ev < events.len() && events[ev].0 <= k {
+                    kill(
+                        events[ev].1,
+                        &tri_members,
+                        &mut tri_dead,
+                        &removed,
+                        &mut eff,
+                        &mut buckets,
+                        &mut cursor,
+                    );
+                    ev += 1;
+                }
+                continue;
+            }
+            let j = match s_min {
+                Some(_) => buckets[cursor].pop().expect("peeked entry"),
+                None => break,
+            };
+            k = target;
+            vals[j as usize] = k;
+            removed[j as usize] = true;
+            done += 1;
+            for t in std::mem::take(&mut lists[j as usize]) {
+                kill(
+                    t,
+                    &tri_members,
+                    &mut tri_dead,
+                    &removed,
+                    &mut eff,
+                    &mut buckets,
+                    &mut cursor,
+                );
+            }
+        }
+        vals
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +1028,168 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(matches!(a, Err(VqiError::QuotaExceeded { .. })));
+    }
+
+    fn graph_of(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            g.add_node(0);
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v), 0)
+                .expect("test edge list must be simple");
+        }
+        g
+    }
+
+    #[track_caller]
+    fn assert_matches_fresh(m: &TrussMaintainer, edges: &[(u32, u32)], ctx: &str) {
+        let g = graph_of(m.node_count(), edges);
+        let expect = trussness(&g);
+        assert_eq!(m.edge_count(), g.edge_count(), "{ctx}: edge count");
+        assert_eq!(
+            m.trussness_for(&g),
+            Some(expect),
+            "{ctx}: maintained trussness != fresh peel"
+        );
+    }
+
+    #[test]
+    fn maintainer_matches_fresh_peel_across_batches() {
+        use crate::delta::EdgeDelta;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeSet;
+        let _guard = crate::kernel_test_lock();
+        let prev = par::thread_cap();
+        for cap in [1usize, 2, 4] {
+            par::set_thread_cap(cap);
+            for seed in 0..12u64 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let n = 40;
+                let g = crate::generate::erdos_renyi(n, 0.12, 0, &mut rng);
+                let mut set: BTreeSet<(u32, u32)> = g
+                    .edges()
+                    .map(|e| {
+                        let (u, v) = g.endpoints(e);
+                        (u.0.min(v.0), u.0.max(v.0))
+                    })
+                    .collect();
+                let mut m = TrussMaintainer::new(&g);
+                // round 0: delete-only, round 1: insert-only, 2-3: mixed
+                for round in 0..4 {
+                    let mut delta = EdgeDelta::new();
+                    if round != 1 {
+                        let pool: Vec<(u32, u32)> = set.iter().copied().collect();
+                        for _ in 0..4 {
+                            if pool.is_empty() {
+                                break;
+                            }
+                            let (u, v) = pool[rng.gen_range(0..pool.len())];
+                            delta.deletes.push((u, v));
+                            set.remove(&(u, v));
+                        }
+                    }
+                    if round != 0 {
+                        // a couple of node indices beyond the current
+                        // universe exercise node growth
+                        let span = n as u32 + 2;
+                        for _ in 0..4 {
+                            let u = rng.gen_range(0..span);
+                            let v = rng.gen_range(0..span);
+                            delta.inserts.push((u, v));
+                            if u != v {
+                                set.insert((u.min(v), u.max(v)));
+                            }
+                        }
+                    }
+                    m.apply(&delta);
+                    let edges: Vec<(u32, u32)> = set.iter().copied().collect();
+                    assert_matches_fresh(&m, &edges, &format!("seed {seed} cap {cap} round {round}"));
+                }
+            }
+        }
+        par::set_thread_cap(prev);
+    }
+
+    #[test]
+    fn insert_raises_a_whole_truss_class() {
+        use crate::delta::EdgeDelta;
+        // diamond (K4 minus a chord): every edge is 3-truss; inserting the
+        // missing chord must raise the *entire* class to 4 even though the
+        // old edges' supports along the far side never change — the
+        // regression case for the co-rise closure
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let g = graph_of(4, &edges);
+        let mut m = TrussMaintainer::new(&g);
+        assert_eq!(m.trussness_of(NodeId(0), NodeId(1)), Some(3));
+        let stats = m.apply(&EdgeDelta::inserting(vec![(1, 3)]));
+        assert_eq!(stats.inserts, 1);
+        let all = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)];
+        assert_matches_fresh(&m, &all, "K4 completion");
+        for &(u, v) in &all {
+            assert_eq!(m.trussness_of(NodeId(u), NodeId(v)), Some(4), "{u}-{v}");
+        }
+    }
+
+    #[test]
+    fn deletion_edge_cases_match_fresh_peel() {
+        use crate::delta::EdgeDelta;
+        // two triangles joined by a bridge edge 2-3
+        let start = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        let g = graph_of(6, &start);
+        let mut m = TrussMaintainer::new(&g);
+        let before: Vec<u32> = trussness(&g);
+        assert_eq!(before.iter().filter(|&&t| t == 3).count(), 6);
+
+        // removing the bridge leaves both triangles intact
+        let stats = m.apply(&EdgeDelta::deleting(vec![(2, 3)]));
+        assert_eq!((stats.deletes, stats.inserts), (1, 0));
+        let no_bridge = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        assert_matches_fresh(&m, &no_bridge, "bridge removal");
+        assert_eq!(m.trussness_of(NodeId(0), NodeId(1)), Some(3));
+
+        // removing one edge of a triangle kills the class's last triangle:
+        // the two survivors drop from 3-truss to 2-truss
+        m.apply(&EdgeDelta::deleting(vec![(0, 1)]));
+        let last_tri = [(1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        assert_matches_fresh(&m, &last_tri, "last triangle of a class");
+        assert_eq!(m.trussness_of(NodeId(1), NodeId(2)), Some(2));
+        assert_eq!(m.trussness_of(NodeId(3), NodeId(4)), Some(3));
+
+        // duplicate inserts and self-loops are skipped, not double-counted
+        let stats = m.apply(&EdgeDelta::inserting(vec![(0, 1), (0, 1), (1, 1), (1, 2)]));
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.skipped, 3);
+        assert_matches_fresh(&m, &start[..6], "duplicate inserts");
+
+        // delete-then-reinsert round-trips back to the fresh peel
+        let snapshot: Vec<Option<u32>> = start
+            .iter()
+            .map(|&(u, v)| m.trussness_of(NodeId(u), NodeId(v)))
+            .collect();
+        m.apply(&EdgeDelta::deleting(vec![(0, 2), (4, 5)]));
+        m.apply(&EdgeDelta::inserting(vec![(0, 2), (4, 5)]));
+        assert_matches_fresh(&m, &start[..6], "delete-then-reinsert");
+        let after: Vec<Option<u32>> = start
+            .iter()
+            .map(|&(u, v)| m.trussness_of(NodeId(u), NodeId(v)))
+            .collect();
+        assert_eq!(snapshot, after, "round trip restores every value");
+    }
+
+    #[test]
+    fn maintainer_empty_batch_is_noop() {
+        use crate::delta::EdgeDelta;
+        let g = clique(4);
+        let mut m = TrussMaintainer::new(&g);
+        let stats = m.apply(&EdgeDelta::new());
+        assert_eq!(stats.region_edges, 0);
+        assert_eq!(stats.changed, 0);
+        let edges: Vec<(u32, u32)> = (0..4)
+            .flat_map(|i| ((i + 1)..4).map(move |j| (i as u32, j as u32)))
+            .collect();
+        assert_matches_fresh(&m, &edges, "empty batch");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod snapshot;
 pub use admission::{Admission, AdmissionConfig, Permit};
 pub use cache::{CollectionFingerprint, PatternSetCache, SelectKey};
 pub use harness::{run_load, EndpointStats, LoadParams, LoadReport};
+pub use midas::CensusMode;
 pub use service::{
     pattern_codes, reference_select, MaintenanceMode, QueryHit, QueryMatches, QueryResponse,
     SelectResponse, SelectorKind, ServeConfig, ServeError, UpdateReport, UpdateResponse,

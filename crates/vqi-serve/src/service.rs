@@ -24,7 +24,7 @@ use crate::admission::{Admission, AdmissionConfig, Admitted};
 use crate::cache::{CollectionFingerprint, PatternSetCache, SelectKey};
 use crate::snapshot::{Snapshot, SnapshotStore};
 use catapult::Catapult;
-use midas::{Midas, MidasConfig};
+use midas::{CensusMode, Midas, MidasConfig};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -199,6 +199,10 @@ pub struct UpdateReport {
     pub collection_len: usize,
     /// Size of the MIDAS-maintained pattern set, when maintaining.
     pub maintained_patterns: Option<usize>,
+    /// Whether maintenance took the incremental (delta) path, fell
+    /// back to a full recompute, or was skipped entirely (census
+    /// failure, apply-only mode, or a batch that never applied).
+    pub census_mode: CensusMode,
 }
 
 /// Response of `update`.
@@ -440,6 +444,7 @@ impl VqiService {
                         epoch: self.store.epoch(),
                         collection_len: self.store.pin().collection().len(),
                         maintained_patterns: None,
+                        census_mode: CensusMode::Skipped,
                     }),
                 });
             }
@@ -451,10 +456,17 @@ impl VqiService {
         let added = batch.additions.len();
         let removed = batch.removals.len();
         let mut maintainer = self.maintainer.lock().expect("maintainer lock");
-        let (completeness, collection_len, maintained, next) = match &mut *maintainer {
+        let (completeness, collection_len, maintained, census_mode, next) = match &mut *maintainer {
             Maintainer::ApplyOnly { next } => {
                 next.apply(batch);
-                (Completeness::Complete, next.len(), None, next.clone())
+                (
+                    Completeness::Complete,
+                    next.len(),
+                    None,
+                    // no maintenance kernels run in apply-only mode
+                    CensusMode::Skipped,
+                    next.clone(),
+                )
             }
             Maintainer::Midas { midas } => {
                 let out = midas
@@ -464,6 +476,7 @@ impl VqiService {
                     out.completeness,
                     midas.collection.len(),
                     Some(midas.patterns.len()),
+                    out.value.census_mode,
                     midas.collection.clone(),
                 )
             }
@@ -473,6 +486,13 @@ impl VqiService {
         let epoch = self.store.publish(next);
         drop(maintainer);
 
+        // applied updates count as delta when the maintainer reused
+        // cached per-graph state, full otherwise (fresh recompute, a
+        // failed census, or apply-only mode)
+        match census_mode {
+            CensusMode::Delta => vqi_observe::incr("serve.update.delta", 1),
+            CensusMode::Full | CensusMode::Skipped => vqi_observe::incr("serve.update.full", 1),
+        }
         vqi_observe::observe(
             "serve.update.latency_us",
             start.elapsed().as_micros() as u64,
@@ -485,6 +505,7 @@ impl VqiService {
                     epoch,
                     collection_len,
                     maintained_patterns: maintained,
+                    census_mode,
                 },
                 completeness,
             },
@@ -652,10 +673,59 @@ mod tests {
         assert_eq!(report.epoch, 1);
         assert_eq!(report.collection_len, len_before + 2);
         assert!(report.maintained_patterns.unwrap_or(0) > 0);
+        // the bootstrap filled the per-graph census cache, so the first
+        // update already takes the incremental path
+        assert_eq!(report.census_mode, CensusMode::Delta);
 
         // the pre-update pin still reads the old world
         assert_eq!(before.collection().len(), len_before);
         assert_eq!(service.store().epoch(), 1);
         assert_eq!(service.store().pin().collection().len(), len_before + 2);
+    }
+
+    #[test]
+    fn update_reports_delta_vs_full_and_bumps_mode_counters() {
+        vqi_observe::set_enabled(true);
+        let counter = |name: &str| {
+            vqi_observe::snapshot()
+                .counters
+                .get(name)
+                .copied()
+                .unwrap_or(0)
+        };
+
+        // apply-only mode runs no maintenance kernels: the report says
+        // so and the update lands on the non-delta counter
+        let plain = VqiService::new(
+            GraphCollection::new(molecules(6, 11)),
+            ServeConfig::default(),
+        );
+        let (full_before, delta_before) =
+            (counter("serve.update.full"), counter("serve.update.delta"));
+        let r = plain
+            .update(1, BatchUpdate::adding(molecules(1, 12)), None)
+            .unwrap();
+        assert_eq!(r.outcome.value.census_mode, CensusMode::Skipped);
+        assert_eq!(r.outcome.value.epoch, 1);
+        assert!(counter("serve.update.full") > full_before);
+
+        // midas mode reuses the bootstrap-filled census cache: delta
+        let midas_service = VqiService::new(
+            GraphCollection::new(molecules(8, 21)),
+            ServeConfig {
+                maintenance: MaintenanceMode::Midas {
+                    budget: PatternBudget::new(4, 3, 6),
+                    config: MidasConfig::default(),
+                },
+                ..Default::default()
+            },
+        );
+        let r2 = midas_service
+            .update(1, BatchUpdate::adding(molecules(2, 22)), None)
+            .unwrap();
+        assert_eq!(r2.outcome.value.census_mode, CensusMode::Delta);
+        assert_eq!(r2.outcome.value.epoch, 1);
+        assert!(counter("serve.update.delta") > delta_before);
+        vqi_observe::set_enabled(false);
     }
 }

@@ -44,6 +44,16 @@ impl TimeSeries {
             self.values.len() - w + 1
         }
     }
+
+    /// Sum of the trailing window of width `w` (the whole series when
+    /// shorter than `w`). Left-to-right fold, so the result is
+    /// deterministic for a given series. This is the sliding-window
+    /// aggregate used by streaming drift signals: callers push one
+    /// observation per batch and read the current window total.
+    pub fn tail_sum(&self, w: usize) -> f64 {
+        let start = self.values.len().saturating_sub(w);
+        self.values[start..].iter().sum()
+    }
 }
 
 /// Z-normalizes a window: zero mean, unit variance. Flat windows (zero
@@ -150,6 +160,16 @@ pub fn synthetic_with_motifs(params: SyntheticParams) -> (TimeSeries, Vec<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tail_sum_covers_short_and_long_series() {
+        let s = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.tail_sum(2), 5.0);
+        assert_eq!(s.tail_sum(3), 6.0);
+        assert_eq!(s.tail_sum(10), 6.0, "short series sums entirely");
+        assert_eq!(s.tail_sum(0), 0.0);
+        assert_eq!(TimeSeries::new(vec![]).tail_sum(4), 0.0);
+    }
 
     #[test]
     fn znormalize_properties() {
