@@ -81,6 +81,18 @@ for threads in 1 4; do
     RAYON_NUM_THREADS=$threads cargo test -q -p midas windowed_drift_escalates_sub_threshold_batches
 done
 
+echo "== storage-equivalence suite (heap vs CSR backends, bit-identical) =="
+# every large-network kernel must produce the same bits on the heap
+# Graph and the packed CsrGraph: the vqi-graph property tests sweep 12
+# seeds at caps 1/2/4 (trussness + census), the tattoo test does the
+# same for the sharded selection, and the image round trip must
+# preserve the digest — run the suite at one and four workers
+for threads in 1 4; do
+    echo "-- RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-graph storage_
+    RAYON_NUM_THREADS=$threads cargo test -q -p tattoo sharded_selection_matches_heap_backend
+done
+
 echo "== fault-injection suite (each test sweeps seeds 1 and 2 internally) =="
 # every pipeline must end Complete or Degraded — never panic — with
 # identical outcomes at any worker count, so run the suite pinned to

@@ -56,7 +56,9 @@ fn random_network(seed: u64) -> Graph {
         let members: Vec<u32> = (0..5).map(|i| (base + i * (c % 3 + 1)) as u32).collect();
         for i in 0..5 {
             for j in (i + 1)..5 {
-                if g.add_edge(NodeId(members[i]), NodeId(members[j]), 0).is_some() {
+                if g.add_edge(NodeId(members[i]), NodeId(members[j]), 0)
+                    .is_some()
+                {
                     edges += 1;
                 }
             }
@@ -228,7 +230,13 @@ fn main() {
     print_table(
         "Incremental maintenance: full recompute vs delta kernels (bit-identical at caps 1/2/4)",
         &[
-            "churn", "del+ins", "full ms", "incr ms", "speedup", "truss region", "census roots",
+            "churn",
+            "del+ins",
+            "full ms",
+            "incr ms",
+            "speedup",
+            "truss region",
+            "census roots",
         ],
         &rows,
     );

@@ -224,9 +224,13 @@ impl Midas {
             .collect();
 
         let mut census_cache = HashMap::new();
-        let (gfd, _, _) =
-            Self::collection_gfd_cached(&mut census_cache, &collection, &config, &Budget::unlimited())
-                .expect("unlimited-budget census cannot fail");
+        let (gfd, _, _) = Self::collection_gfd_cached(
+            &mut census_cache,
+            &collection,
+            &config,
+            &Budget::unlimited(),
+        )
+        .expect("unlimited-budget census cannot fail");
         let pattern_bitsets = Self::bitsets_for(&patterns, &collection);
 
         Midas {
@@ -1082,10 +1086,18 @@ mod tests {
             drift_threshold: f64::INFINITY,
             ..Default::default()
         };
-        let mut probe = Midas::bootstrap(GraphCollection::new(initial_graphs()), budget(), probe_cfg);
-        let d1 = probe.apply_update(BatchUpdate::adding(batch_a())).gfd_distance;
-        let d2 = probe.apply_update(BatchUpdate::adding(batch_b())).gfd_distance;
-        assert!(d1 > 0.0 && d2 > 0.0, "probe batches must drift ({d1}, {d2})");
+        let mut probe =
+            Midas::bootstrap(GraphCollection::new(initial_graphs()), budget(), probe_cfg);
+        let d1 = probe
+            .apply_update(BatchUpdate::adding(batch_a()))
+            .gfd_distance;
+        let d2 = probe
+            .apply_update(BatchUpdate::adding(batch_b()))
+            .gfd_distance;
+        assert!(
+            d1 > 0.0 && d2 > 0.0,
+            "probe batches must drift ({d1}, {d2})"
+        );
         // a threshold no single batch reaches but the two-batch window does
         let threshold = d1.max(d2) + d1.min(d2) / 2.0;
 
@@ -1115,7 +1127,10 @@ mod tests {
         );
         let r1 = windowed.apply_update(BatchUpdate::adding(batch_a()));
         assert_eq!(r1.modification, Modification::Minor);
-        assert_eq!(r1.gfd_distance, d1, "same stream must measure the same drift");
+        assert_eq!(
+            r1.gfd_distance, d1,
+            "same stream must measure the same drift"
+        );
         assert_eq!(r1.windowed_drift, d1);
         let r2 = windowed.apply_update(BatchUpdate::adding(batch_b()));
         assert_eq!(r2.modification, Modification::Major);

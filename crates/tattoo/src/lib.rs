@@ -29,11 +29,13 @@ pub mod maintain;
 pub mod partitioned;
 pub mod pipeline;
 pub mod select;
+pub mod shard;
 pub mod topology;
 
 pub use maintain::{EdgeBatch, MaintainConfig, NetworkMaintainer};
 pub use partitioned::PartitionedTattoo;
 pub use pipeline::{Tattoo, TattooConfig};
+pub use shard::ShardedTattoo;
 pub use topology::TopologyClass;
 
 /// Serializes tests against the process-global fault-injection plan:

@@ -567,7 +567,9 @@ mod tests {
         // the maintained kernels must equal a from-scratch run on the
         // current network
         assert_eq!(
-            m.truss.trussness_for(&m.network).expect("maintainer in sync"),
+            m.truss
+                .trussness_for(&m.network)
+                .expect("maintainer in sync"),
             trussness(&m.network),
             "incremental trussness diverged from a fresh peel"
         );

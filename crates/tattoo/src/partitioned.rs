@@ -33,10 +33,11 @@ use rand::SeedableRng;
 use vqi_core::budget::PatternBudget;
 use vqi_core::ctrl::{Budget, Degradation, PipelineOutcome};
 use vqi_core::pattern::PatternSet;
+use vqi_graph::par::ShardExecutor;
 use vqi_graph::traversal::bfs_order;
 use vqi_graph::truss::decompose;
 use vqi_graph::{Graph, NodeId};
-use vqi_runtime::{error::panic_reason, fault, VqiError};
+use vqi_runtime::{fault, VqiError};
 
 /// Partitioned TATTOO.
 #[derive(Debug, Clone, Copy)]
@@ -67,37 +68,12 @@ impl PartitionedTattoo {
         }
     }
 
-    /// Runs `f` under panic isolation, re-executing it up to
-    /// `self.retries` times with exponential backoff. The closure must
-    /// be pure (all shard and reduce bodies are), so a retried
-    /// execution returns the identical value and determinism is
-    /// preserved at any thread count.
-    fn with_retry<T>(&self, stage: &'static str, f: impl Fn() -> T) -> Result<T, VqiError> {
-        let mut attempt = 0u32;
-        loop {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f)) {
-                Ok(v) => return Ok(v),
-                Err(payload) => {
-                    attempt += 1;
-                    if attempt > self.retries {
-                        return Err(VqiError::Panic {
-                            stage: stage.to_string(),
-                            reason: panic_reason(payload.as_ref()),
-                        });
-                    }
-                    vqi_observe::incr("fault.retried", 1);
-                    vqi_observe::incr("tattoo.map.retries", 1);
-                    if vqi_observe::journal_recording() {
-                        vqi_observe::instant(&format!("stage.retry:{stage}#{attempt}"));
-                    }
-                    if self.retry_backoff_ms > 0 {
-                        std::thread::sleep(std::time::Duration::from_millis(
-                            self.retry_backoff_ms << (attempt - 1),
-                        ));
-                    }
-                }
-            }
-        }
+    /// The shard harness this selector runs on: publishes under the
+    /// `tattoo.map` prefix (so all retry accounting — including the
+    /// reduce stage's — lands on `tattoo.map.retries`, as it always
+    /// has) with this selector's retry policy.
+    fn executor(&self) -> ShardExecutor {
+        ShardExecutor::new("tattoo.map", self.retries, self.retry_backoff_ms)
     }
 
     /// Splits node ids into `parts` contiguous chunks of a BFS order
@@ -129,52 +105,27 @@ impl PartitionedTattoo {
     }
 
     /// One shard of the map phase: induced subgraph → truss split →
-    /// shape-typed extraction. Pure in `(network, nodes, pi)`, so a
-    /// panicked execution can be retried (or an injected straggler
-    /// speculatively re-executed) with an identical result.
-    fn map_one_part(
+    /// shape-typed extraction. Pure in `(network, nodes, pi)`, so the
+    /// [`ShardExecutor`] can retry a panicked execution (or
+    /// speculatively re-execute an injected straggler) with an
+    /// identical result.
+    fn map_part_body(
         &self,
         network: &Graph,
         nodes: &[NodeId],
         budget: &PatternBudget,
         extract: ExtractParams,
         pi: usize,
-    ) -> Result<Vec<Candidate>, VqiError> {
-        loop {
-            // per-shard wall time lands in the `tattoo.map.shard`
-            // histogram; the gauge tracks shards currently running
-            vqi_observe::gauge_add("tattoo.map.in_flight", 1);
-            let run = self.with_retry("tattoo.map", || {
-                let _shard = vqi_observe::span("tattoo.map.shard");
-                // injected worker crash, keyed by the part index — a
-                // stable identity, independent of scheduling order
-                fault::maybe_panic("tattoo.map.shard", pi as u64);
-                let (sub, _) = network.induced_subgraph(nodes);
-                let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
-                let d = decompose(&sub, self.config.truss_k);
-                let (gt, _) = d.infested_graph(&sub);
-                let (go, _) = d.oblivious_graph(&sub);
-                let mut cands = extract_from_region(&gt, true, budget, extract, &mut rng);
-                cands.extend(extract_from_region(&go, false, budget, extract, &mut rng));
-                vqi_observe::incr("tattoo.map.candidates", cands.len() as u64);
-                cands
-            });
-            vqi_observe::gauge_add("tattoo.map.in_flight", -1);
-            let cands = run?;
-            // an injected straggler signal models a shard too slow to
-            // wait for: re-execute it speculatively, exactly once (the
-            // fired-once registry clears the signal), and take the
-            // re-execution's — identical — result
-            if fault::maybe_timeout("tattoo.map.straggler", pi as u64) {
-                vqi_observe::incr("tattoo.map.stragglers", 1);
-                vqi_observe::incr("fault.retried", 1);
-                if vqi_observe::journal_recording() {
-                    vqi_observe::instant(&format!("stage.retry:tattoo.map.straggler#{pi}"));
-                }
-                continue;
-            }
-            return Ok(cands);
-        }
+    ) -> Vec<Candidate> {
+        let (sub, _) = network.induced_subgraph(nodes);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
+        let d = decompose(&sub, self.config.truss_k);
+        let (gt, _) = d.infested_graph(&sub);
+        let (go, _) = d.oblivious_graph(&sub);
+        let mut cands = extract_from_region(&gt, true, budget, extract, &mut rng);
+        cands.extend(extract_from_region(&go, false, budget, extract, &mut rng));
+        vqi_observe::incr("tattoo.map.candidates", cands.len() as u64);
+        cands
     }
 
     /// Shared body of the plain and budget-aware map phases. Shards
@@ -194,13 +145,12 @@ impl PartitionedTattoo {
             return Ok(Vec::new());
         }
         let parts = self.partition_nodes(network);
-        vqi_observe::incr("tattoo.map.shards", parts.len() as u64);
         let per_part_extract = ExtractParams {
             samples_per_size: (self.config.extract.samples_per_size / parts.len().max(1)).max(4),
         };
         let per_part: Vec<Result<Vec<Candidate>, VqiError>> =
-            vqi_graph::par::map_range(parts.len(), |pi| {
-                self.map_one_part(network, &parts[pi], budget, per_part_extract, pi)
+            self.executor().run_shards(parts.len(), |pi| {
+                self.map_part_body(network, &parts[pi], budget, per_part_extract, pi)
             });
         let mut seen = std::collections::HashSet::new();
         let mut all: Vec<Candidate> = Vec::new();
@@ -249,7 +199,7 @@ impl PartitionedTattoo {
     ) -> Result<PatternSet, VqiError> {
         let _s = vqi_observe::span("tattoo.reduce");
         let scored = match ctrl.check("tattoo.reduce").and_then(|()| {
-            self.with_retry("tattoo.reduce", || {
+            self.executor().retrying("tattoo.reduce", || {
                 fault::maybe_panic("tattoo.reduce", 0);
                 score_candidates(candidates.clone(), network)
             })

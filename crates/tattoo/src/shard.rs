@@ -1,0 +1,320 @@
+//! Storage-backed sharded TATTOO: candidate generation and selection
+//! over CSR shards (§2.5 at the 100M-edge scale).
+//!
+//! [`PartitionedTattoo`](crate::partitioned) assumes the network is a
+//! heap [`Graph`] and partitions it by chunking a BFS order — both of
+//! which stop working at 10⁸ edges: the adjacency list alone outgrows
+//! comfortable memory, and a full BFS ordering pass costs as much as a
+//! kernel. `ShardedTattoo` is the large-network variant:
+//!
+//! * the network is any [`GraphStorage`] (heap `Graph` or the compact
+//!   [`CsrGraph`](vqi_graph::storage::CsrGraph), possibly loaded from a
+//!   disk image), accessed only through the trait;
+//! * shards are **contiguous node-id ranges** — free to compute, and on
+//!   generator-built networks (where clique blocks occupy consecutive
+//!   ids) about as locality-preserving as the BFS chunking;
+//! * the map phase (induced subgraph → truss split → shape-typed
+//!   extraction) runs on the reusable [`ShardExecutor`] under the
+//!   `tattoo.shard` prefix: deterministic shard order, per-shard panic
+//!   isolation and bounded retry, in-flight gauges;
+//! * coverage scoring — the one phase that touches every network edge —
+//!   runs over the first `score_shards` shards only, each materialized
+//!   with its local→global edge map so per-shard match results land in
+//!   one global bitset per candidate. The greedy objective still
+//!   normalizes by the *full* edge count, so scores are conservative
+//!   (un-scored shards count as uncovered), and with
+//!   `score_shards == parts` the coverage is exact.
+//!
+//! Every phase consumes shard results in shard order, so the selection
+//! is bit-identical across storage backends and thread caps — the same
+//! contract the truss and graphlet kernels keep.
+
+use crate::candidates::{extract_from_region, Candidate, ExtractParams};
+use crate::pipeline::TattooConfig;
+use crate::select::{greedy_select, ScoredCandidate};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vqi_core::bitset::BitSet;
+use vqi_core::budget::PatternBudget;
+use vqi_core::pattern::PatternSet;
+use vqi_core::score::{cognitive_load, coverage_match_options};
+use vqi_graph::index::GraphIndex;
+use vqi_graph::iso::covered_edges_indexed;
+use vqi_graph::par::ShardExecutor;
+use vqi_graph::storage::{induced_subgraph_of, induced_subgraph_with_edges, GraphStorage};
+use vqi_graph::truss::decompose;
+use vqi_graph::{EdgeId, NodeId};
+
+/// Sharded TATTOO over any storage backend.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedTattoo {
+    /// Base configuration (truss threshold, weights, seed).
+    pub config: TattooConfig,
+    /// Number of node-range shards for the map phase.
+    pub parts: usize,
+    /// How many leading shards the coverage scoring materializes. Equal
+    /// to `parts` for exact coverage; smaller for a conservative
+    /// approximation that bounds scoring cost on huge networks.
+    pub score_shards: usize,
+    /// Retries per panicked shard before it is dropped from the run.
+    pub retries: u32,
+    /// Base backoff before a retry; attempt `n` waits `2^(n−1)` times
+    /// this. Zero disables the wait.
+    pub retry_backoff_ms: u64,
+}
+
+impl ShardedTattoo {
+    /// A sharded selector with `parts` shards, exact coverage
+    /// (`score_shards == parts`), and the default retry policy.
+    pub fn new(config: TattooConfig, parts: usize) -> Self {
+        assert!(parts >= 1, "need at least one shard");
+        ShardedTattoo {
+            config,
+            parts,
+            score_shards: parts,
+            retries: 1,
+            retry_backoff_ms: 5,
+        }
+    }
+
+    /// Caps coverage scoring to the first `n` shards (clamped to ≥ 1).
+    pub fn with_score_shards(mut self, n: usize) -> Self {
+        self.score_shards = n.max(1);
+        self
+    }
+
+    /// The shard harness: `tattoo.shard.*` metrics with this selector's
+    /// retry policy.
+    fn executor(&self) -> ShardExecutor {
+        ShardExecutor::new("tattoo.shard", self.retries, self.retry_backoff_ms)
+    }
+
+    /// Splits node ids into at most `parts` contiguous ranges of equal
+    /// size (the last may be short). Pure arithmetic — no traversal, no
+    /// per-node state — so sharding a 100M-edge network is free.
+    pub fn shard_ranges<S: GraphStorage + ?Sized>(&self, g: &S) -> Vec<std::ops::Range<u32>> {
+        let n = g.node_count() as u32;
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = (n as usize).div_ceil(self.parts).max(1) as u32;
+        let mut ranges = Vec::with_capacity(self.parts);
+        let mut start = 0u32;
+        while start < n {
+            let end = start.saturating_add(chunk).min(n);
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// The map phase: per-shard induced subgraph → truss split →
+    /// shape-typed extraction, then global dedup by canonical code in
+    /// shard order. Shards that exhaust their retries are dropped
+    /// deterministically (`tattoo.shard.dropped`): the candidate pool
+    /// shrinks, the run carries on — matching the partitioned
+    /// pipeline's degrade-don't-die policy.
+    pub fn map_candidates<S: GraphStorage + ?Sized>(
+        &self,
+        g: &S,
+        budget: &PatternBudget,
+    ) -> Vec<Candidate> {
+        let _s = vqi_observe::span("tattoo.shard.map");
+        let ranges = self.shard_ranges(g);
+        let per_part = ExtractParams {
+            samples_per_size: (self.config.extract.samples_per_size / ranges.len().max(1)).max(4),
+        };
+        let per_shard: Vec<Result<Vec<Candidate>, _>> =
+            self.executor().run_shards(ranges.len(), |pi| {
+                let nodes: Vec<NodeId> = ranges[pi].clone().map(NodeId).collect();
+                let (sub, _) = induced_subgraph_of(g, &nodes);
+                let mut rng = SmallRng::seed_from_u64(self.config.seed ^ (pi as u64));
+                let d = decompose(&sub, self.config.truss_k);
+                let (gt, _) = d.infested_graph(&sub);
+                let (go, _) = d.oblivious_graph(&sub);
+                let mut cands = extract_from_region(&gt, true, budget, per_part, &mut rng);
+                cands.extend(extract_from_region(&go, false, budget, per_part, &mut rng));
+                vqi_observe::incr("tattoo.shard.candidates", cands.len() as u64);
+                cands
+            });
+        let mut seen = std::collections::HashSet::new();
+        let mut all: Vec<Candidate> = Vec::new();
+        for shard in per_shard {
+            match shard {
+                Ok(cands) => {
+                    for c in cands {
+                        if seen.insert(c.code.clone()) {
+                            all.push(c);
+                        }
+                    }
+                }
+                Err(_) => vqi_observe::incr("tattoo.shard.dropped", 1),
+            }
+        }
+        vqi_observe::incr("tattoo.shard.deduped", all.len() as u64);
+        all
+    }
+
+    /// The scoring phase: materializes the first `score_shards` shards
+    /// (with local→global edge maps), matches every candidate against
+    /// each shard through a per-shard [`GraphIndex`], and ORs the
+    /// global-edge results into one bitset per candidate — merged in
+    /// shard order. Candidates covering nothing in the scored shards
+    /// are dropped, exactly as whole-network scoring drops
+    /// zero-coverage candidates.
+    pub fn score_over_shards<S: GraphStorage + ?Sized>(
+        &self,
+        g: &S,
+        candidates: Vec<Candidate>,
+    ) -> Vec<ScoredCandidate> {
+        let _s = vqi_observe::span("tattoo.shard.score");
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let ranges = self.shard_ranges(g);
+        let n_score = self.score_shards.min(ranges.len());
+        // per scored shard: for each candidate, the covered edges in
+        // *global* edge ids — sparse, so a dropped shard loses only its
+        // own slice of coverage
+        let per_shard: Vec<Result<Vec<Vec<EdgeId>>, _>> =
+            self.executor().run_shards(n_score, |pi| {
+                let nodes: Vec<NodeId> = ranges[pi].clone().map(NodeId).collect();
+                let (sub, _, edge_map) = induced_subgraph_with_edges(g, &nodes);
+                let idx = GraphIndex::build(&sub);
+                candidates
+                    .iter()
+                    .map(|c| {
+                        covered_edges_indexed(&c.graph, &sub, &idx, coverage_match_options())
+                            .into_iter()
+                            .map(|e| edge_map[e.index()])
+                            .collect()
+                    })
+                    .collect()
+            });
+        let mut covered: Vec<Vec<EdgeId>> = vec![Vec::new(); candidates.len()];
+        for shard in per_shard {
+            match shard {
+                Ok(per_cand) => {
+                    for (acc, edges) in covered.iter_mut().zip(per_cand) {
+                        acc.extend(edges);
+                    }
+                }
+                Err(_) => vqi_observe::incr("tattoo.shard.dropped", 1),
+            }
+        }
+        let total = g.edge_count();
+        candidates
+            .into_iter()
+            .zip(covered)
+            .filter(|(_, edges)| !edges.is_empty())
+            .map(|(c, edges)| {
+                let mut bits = BitSet::new(total);
+                for e in edges {
+                    bits.set(e.index());
+                }
+                ScoredCandidate {
+                    cognitive_load: cognitive_load(&c.graph),
+                    candidate: c,
+                    covered: bits,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the sharded pipeline: map over all shards, score over the
+    /// leading `score_shards`, then the standard greedy selection
+    /// normalized by the full network's edge count.
+    pub fn run<S: GraphStorage + ?Sized>(&self, g: &S, budget: &PatternBudget) -> PatternSet {
+        let candidates = self.map_candidates(g, budget);
+        let scored = self.score_over_shards(g, candidates);
+        greedy_select(scored, g.edge_count(), budget, self.config.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_datasets::dblp_like;
+    use vqi_graph::storage::CsrGraph;
+    use vqi_graph::traversal::is_connected;
+
+    fn codes_in_order(set: &PatternSet) -> Vec<vqi_graph::canon::CanonicalCode> {
+        set.patterns().iter().map(|p| p.code.clone()).collect()
+    }
+
+    #[test]
+    fn shard_ranges_cover_all_nodes_disjointly() {
+        let net = dblp_like(157, 1);
+        for parts in [1usize, 3, 8, 200] {
+            let sel = ShardedTattoo::new(TattooConfig::default(), parts);
+            let ranges = sel.shard_ranges(&net);
+            let mut all: Vec<u32> = ranges.iter().flat_map(|r| r.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all.len(), net.node_count(), "parts {parts}");
+            assert!(all.windows(2).all(|w| w[1] == w[0] + 1), "parts {parts}");
+        }
+    }
+
+    #[test]
+    fn sharded_selection_matches_heap_backend() {
+        let _guard = crate::fault_test_lock();
+        for seed in 0..12u64 {
+            let net = dblp_like(120, seed);
+            let csr = CsrGraph::from_graph(&net);
+            let budget = PatternBudget::new(4, 4, 6);
+            let sel = ShardedTattoo::new(TattooConfig::default(), 3).with_score_shards(2);
+            let reference = codes_in_order(&sel.run(&net, &budget));
+            for cap in [1usize, 2, 4] {
+                vqi_graph::par::set_thread_cap(cap);
+                let heap = codes_in_order(&sel.run(&net, &budget));
+                let packed = codes_in_order(&sel.run(&csr, &budget));
+                vqi_graph::par::set_thread_cap(0);
+                assert_eq!(
+                    reference, heap,
+                    "seed {seed} cap {cap}: heap backend drifted"
+                );
+                assert_eq!(
+                    reference, packed,
+                    "seed {seed} cap {cap}: CSR backend drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_selection_contract_holds() {
+        let _guard = crate::fault_test_lock();
+        let net = dblp_like(400, 2);
+        let csr = CsrGraph::from_graph(&net);
+        let budget = PatternBudget::new(5, 4, 6);
+        let set = ShardedTattoo::new(TattooConfig::default(), 4).run(&csr, &budget);
+        assert!(!set.is_empty());
+        for p in set.patterns() {
+            assert!(budget.admits(&p.graph));
+            assert!(is_connected(&p.graph));
+        }
+    }
+
+    #[test]
+    fn crashed_shards_are_retried_to_an_identical_result() {
+        let _guard = crate::fault_test_lock();
+        let net = dblp_like(200, 7);
+        let csr = CsrGraph::from_graph(&net);
+        let budget = PatternBudget::new(4, 4, 6);
+        let mut sel = ShardedTattoo::new(TattooConfig::default(), 4);
+        sel.retry_backoff_ms = 0;
+        let plain = codes_in_order(&sel.run(&csr, &budget));
+        for cap in [1usize, 2, 4] {
+            vqi_runtime::fault::set_plan(vqi_runtime::fault::FaultPlan {
+                seed: 5,
+                panic_rate: 1.0,
+                ..Default::default()
+            });
+            vqi_graph::par::set_thread_cap(cap);
+            let out = codes_in_order(&sel.run(&csr, &budget));
+            vqi_graph::par::set_thread_cap(0);
+            vqi_runtime::fault::reset();
+            assert_eq!(plain, out, "cap {cap}: one retry must recover every shard");
+        }
+    }
+}

@@ -217,6 +217,176 @@ pub fn tailed_triangle(tail: usize, node_label: Label, edge_label: Label) -> Gra
     g
 }
 
+// ---------------------------------------------------------------------------
+// Streamed synthetic networks (10⁷–10⁸ edges)
+// ---------------------------------------------------------------------------
+
+/// A seeded synthetic large network: `cliques` planted 5-cliques on
+/// disjoint node blocks (so the truss decomposition has classes above 2
+/// and the census sees every graphlet family) plus `uniform_edges`
+/// uniform random pairs over the remaining nodes.
+///
+/// The whole network streams: [`SyntheticSpec::stream_edges`] emits the
+/// edge list in a deterministic seeded order, twice identically, with
+/// **O(1)** state — no `Vec` of the edge list, no adjacency
+/// intermediate, no rejection bookkeeping. Duplicate-freedom is by
+/// construction, not by hashing what was emitted: clique edges live on
+/// disjoint blocks in the node-range *tail*, and uniform pairs are the
+/// first `uniform_edges` values of a seeded Feistel permutation of the
+/// pair-index space over the *head* nodes — injective, so no pair
+/// repeats, and disjoint from every clique block. That is what lets
+/// [`crate::storage::CsrGraph::from_synthetic`] build a 10⁸-edge CSR
+/// with two passes over the stream, while [`synthetic_network`] builds
+/// the bit-identical heap twin at sizes where both fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Total node count. The last `5 * cliques` nodes host the planted
+    /// cliques; uniform pairs are drawn from the rest.
+    pub nodes: usize,
+    /// Number of uniform random edges over the non-clique nodes.
+    pub uniform_edges: usize,
+    /// Number of planted 5-cliques (10 edges each) on disjoint blocks.
+    pub cliques: usize,
+    /// Number of distinct node labels (≥ 1), assigned per node by hash.
+    pub node_labels: u32,
+    /// Number of distinct edge labels (≥ 1), assigned per edge by hash.
+    pub edge_labels: u32,
+    /// Seed for labels and the uniform-pair permutation.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Total edges the stream emits: `10 * cliques + uniform_edges`.
+    pub fn edge_count(&self) -> usize {
+        10 * self.cliques + self.uniform_edges
+    }
+
+    /// Head-node count: nodes eligible for uniform pairs.
+    fn head(&self) -> usize {
+        self.nodes - 5 * self.cliques
+    }
+
+    /// The label of node `v` — a pure hash of `(seed, v)`.
+    pub fn node_label(&self, v: NodeId) -> Label {
+        let h = crate::index::mix64(
+            self.seed ^ 0x4E4F_4445 ^ (v.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        (h % self.node_labels.max(1) as u64) as Label
+    }
+
+    /// The label of the `k`-th emitted edge — a pure hash of `(seed, k)`.
+    fn edge_label(&self, k: usize) -> Label {
+        let h = crate::index::mix64(
+            self.seed ^ 0x4544_4745 ^ (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        (h % self.edge_labels.max(1) as u64) as Label
+    }
+
+    /// One Feistel pass over a `2^bits` domain (`bits` even): a seeded
+    /// bijection, the standard way to permute an index space without
+    /// materializing it. The round function is an arbitrary hash — any
+    /// `F` yields a permutation; the network structure only needs
+    /// injectivity.
+    fn feistel(&self, x: u64, bits: u32) -> u64 {
+        let half = bits / 2;
+        let mask = (1u64 << half) - 1;
+        let mut l = x >> half;
+        let mut r = x & mask;
+        for round in 0..4u64 {
+            let f = crate::index::mix64(self.seed ^ (round << 56) ^ r) & mask;
+            let next_r = l ^ f;
+            l = r;
+            r = next_r;
+        }
+        (l << half) | r
+    }
+
+    /// The `t`-th uniform pair `(i, j)` with `i < j < head`: cycle-walk
+    /// the Feistel permutation until it lands inside the pair-index
+    /// space `[0, head·(head−1)/2)`, then unrank colexicographically.
+    /// Injective in `t`, so the emitted pairs are distinct.
+    fn uniform_pair(&self, t: u64) -> (u32, u32) {
+        let n = self.head() as u64;
+        let pair_space = n * (n - 1) / 2;
+        // even bit width covering the space; the walk re-applies the
+        // permutation on out-of-range values (< 4 expected steps)
+        let bits = (64 - (pair_space - 1).leading_zeros()).max(2).div_ceil(2) * 2;
+        let mut x = t;
+        loop {
+            x = self.feistel(x, bits);
+            if x < pair_space {
+                break;
+            }
+        }
+        // colexicographic unrank: x = j(j-1)/2 + i with i < j
+        let mut j = ((1.0 + (1.0 + 8.0 * x as f64).sqrt()) / 2.0) as u64;
+        // f64 rounding can land a step off near 2^53; correct exactly
+        while j * (j - 1) / 2 > x {
+            j -= 1;
+        }
+        while (j + 1) * j / 2 <= x {
+            j += 1;
+        }
+        let i = x - j * (j - 1) / 2;
+        (i as u32, j as u32)
+    }
+
+    /// Streams the edge list as `(u, v, label)` in the canonical order:
+    /// the 10 edges of each planted clique (blocks ascending, pairs in
+    /// `i < j` order), then the uniform pairs in permutation order. A
+    /// pure function of the spec — every call emits the identical
+    /// sequence, which is the two-pass contract of
+    /// [`crate::storage::CsrGraph::from_edge_stream`].
+    pub fn stream_edges(&self, f: &mut dyn FnMut(u32, u32, Label)) {
+        assert!(
+            self.nodes >= 5 * self.cliques + 2,
+            "spec needs {} clique nodes plus at least 2 head nodes",
+            5 * self.cliques
+        );
+        assert!(
+            (self.uniform_edges as u128) <= {
+                let n = self.head() as u128;
+                n * (n - 1) / 2
+            },
+            "more uniform edges than head pairs"
+        );
+        let mut k = 0usize;
+        let head = self.head() as u32;
+        for c in 0..self.cliques {
+            let base = head + 5 * c as u32;
+            for i in 0..5u32 {
+                for j in (i + 1)..5 {
+                    f(base + i, base + j, self.edge_label(k));
+                    k += 1;
+                }
+            }
+        }
+        for t in 0..self.uniform_edges as u64 {
+            let (i, j) = self.uniform_pair(t);
+            f(i, j, self.edge_label(k));
+            k += 1;
+        }
+    }
+}
+
+/// The heap-[`Graph`] twin of a [`SyntheticSpec`]: same nodes, labels,
+/// and edge stream, materialized through [`Graph::add_edge`]. At sizes
+/// where it fits, `CsrGraph::from_graph(&synthetic_network(spec))`
+/// equals `CsrGraph::from_synthetic(&spec)` field for field — the
+/// equality the `exp_scale` bench asserts before trusting the streamed
+/// build at sizes where only the CSR fits.
+pub fn synthetic_network(spec: &SyntheticSpec) -> Graph {
+    let mut g = Graph::with_capacity(spec.nodes, spec.edge_count());
+    for v in 0..spec.nodes {
+        g.add_node(spec.node_label(NodeId(v as u32)));
+    }
+    spec.stream_edges(&mut |u, v, l| {
+        let added = g.add_edge(NodeId(u), NodeId(v), l);
+        debug_assert!(added.is_some(), "synthetic stream emitted a duplicate");
+    });
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -175,6 +175,14 @@ impl Graph {
         self.adj[n.index()].iter().copied()
     }
 
+    /// The contiguous `(neighbor, edge id)` row of `n` in insertion
+    /// order — the zero-copy slice twin of [`Graph::neighbors`], and the
+    /// access path the [`crate::storage::GraphStorage`] trait abstracts.
+    #[inline]
+    pub fn neighbor_slice(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[n.index()]
+    }
+
     /// Degree of `n`.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {

@@ -45,9 +45,10 @@
 //! over the reference [`count_graphlets`], since almost every call of
 //! the generic recursion is such a leaf.
 
-use crate::graph::{Graph, NodeId, SortedAdjacency};
+use crate::graph::{Graph, NodeId};
 use crate::index::mix64;
 use crate::par;
+use crate::storage::{GraphStorage, NeighborView, SortedCsr};
 use rand::Rng;
 use vqi_runtime::{Budget, Meter, VqiError};
 
@@ -302,18 +303,20 @@ pub fn enumerate_connected_subgraphs<F: FnMut(&[NodeId])>(g: &Graph, k: usize, m
     esu(g, k, None, &mut Always, |nodes, _| visit(nodes));
 }
 
-/// Exact ESU for one root over a [`SortedAdjacency`] freeze, optimized
-/// for counting: extension sets live in one shared `arena` (ranges
-/// instead of per-branch `Vec` clones), and the last level
-/// short-circuits — when one node completes the subgraph there is no
-/// point building its extension set, which in the generic recursion is
-/// the dominant cost since almost every `extend` call is a leaf.
-/// Enumerates the same subgraph sets as [`esu_root`] with `Always`
-/// (extension *order* differs, which counting is insensitive to).
-fn count_root_exact(
+/// Exact ESU for one root over an id-sorted neighbor freeze (any
+/// [`NeighborView`] — a heap [`crate::graph::SortedAdjacency`] or a
+/// packed [`SortedCsr`]), optimized for counting: extension sets live
+/// in one shared `arena` (ranges instead of per-branch `Vec` clones),
+/// and the last level short-circuits — when one node completes the
+/// subgraph there is no point building its extension set, which in the
+/// generic recursion is the dominant cost since almost every `extend`
+/// call is a leaf. Enumerates the same subgraph sets as [`esu_root`]
+/// with `Always` (extension *order* differs, which counting is
+/// insensitive to).
+fn count_root_exact<V: NeighborView + ?Sized>(
     v: NodeId,
     k: usize,
-    sorted: &SortedAdjacency,
+    sorted: &V,
     blocked: &mut [bool],
     arena: &mut Vec<NodeId>,
     sub: &mut Vec<NodeId>,
@@ -343,12 +346,12 @@ fn count_root_exact(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn extend_exact(
+fn extend_exact<V: NeighborView + ?Sized>(
     root: NodeId,
     ext_start: usize,
     ext_end: usize,
     k: usize,
-    sorted: &SortedAdjacency,
+    sorted: &V,
     blocked: &mut [bool],
     arena: &mut Vec<NodeId>,
     sub: &mut Vec<NodeId>,
@@ -413,10 +416,10 @@ fn extend_exact(
 /// Meterless wrapper over [`count_root_exact`] for the plain (budget-
 /// free) paths: with no meter armed the enumeration cannot trip a
 /// quota, so the `Result` is vacuously `Ok` and is dropped here.
-fn count_root_plain(
+fn count_root_plain<V: NeighborView + ?Sized>(
     v: NodeId,
     k: usize,
-    sorted: &SortedAdjacency,
+    sorted: &V,
     blocked: &mut [bool],
     arena: &mut Vec<NodeId>,
     sub: &mut Vec<NodeId>,
@@ -455,8 +458,30 @@ pub fn count_graphlets_par(g: &Graph) -> GraphletCounts {
     let _s = vqi_observe::span("kernel.graphlet.count");
     vqi_observe::incr("kernel.graphlet.count.roots", g.node_count() as u64);
     let sorted = g.sorted_adjacency();
-    let per_root: Vec<GraphletCounts> = par::map_chunks(g.node_count(), |roots| {
-        let mut blocked = vec![false; g.node_count()];
+    census_over(g.node_count(), &sorted)
+}
+
+/// Exact graphlet counts over any [`GraphStorage`] backend: freezes a
+/// packed [`SortedCsr`] view and runs the same root-chunked census as
+/// [`count_graphlets_par`]. Per-root exact counts are integers, so the
+/// result equals [`count_graphlets`] — and the heap-backed
+/// [`count_graphlets_par`] — bit for bit on any backend, at any thread
+/// count.
+pub fn count_graphlets_storage<S: GraphStorage + ?Sized>(g: &S) -> GraphletCounts {
+    if g.node_count() < 3 {
+        return GraphletCounts::default();
+    }
+    let _s = vqi_observe::span("kernel.graphlet.count");
+    vqi_observe::incr("kernel.graphlet.count.roots", g.node_count() as u64);
+    let sorted = SortedCsr::from_storage(g);
+    census_over(g.node_count(), &sorted)
+}
+
+/// Shared body of the exact parallel census: chunked roots, per-worker
+/// scratch, per-root counts folded in root index order.
+fn census_over<V: NeighborView>(n: usize, sorted: &V) -> GraphletCounts {
+    let per_root: Vec<GraphletCounts> = par::map_chunks(n, |roots| {
+        let mut blocked = vec![false; n];
         let mut arena = Vec::new();
         let mut sub = Vec::with_capacity(4);
         let mut out = Vec::with_capacity(roots.len());
@@ -466,7 +491,7 @@ pub fn count_graphlets_par(g: &Graph) -> GraphletCounts {
             count_root_plain(
                 v,
                 3,
-                &sorted,
+                sorted,
                 &mut blocked,
                 &mut arena,
                 &mut sub,
@@ -475,7 +500,7 @@ pub fn count_graphlets_par(g: &Graph) -> GraphletCounts {
             count_root_plain(
                 v,
                 4,
-                &sorted,
+                sorted,
                 &mut blocked,
                 &mut arena,
                 &mut sub,
@@ -1349,7 +1374,11 @@ mod tests {
                     }
                     m.apply(&delta);
                     let edges: Vec<(u32, u32)> = set.iter().copied().collect();
-                    assert_census_matches(&m, &edges, &format!("seed {seed} cap {cap} round {round}"));
+                    assert_census_matches(
+                        &m,
+                        &edges,
+                        &format!("seed {seed} cap {cap} round {round}"),
+                    );
                 }
             }
         }

@@ -268,33 +268,15 @@ pub struct GraphIndex {
 }
 
 impl GraphIndex {
-    /// Compiles `g` into an index.
+    /// Compiles `g` into an index. The CSR adjacency and label buckets
+    /// come from the shared packers in [`crate::storage`]
+    /// (`pack_adjacency` / `label_buckets`) — the same code that builds
+    /// a [`crate::storage::CsrGraph`] — so there is exactly one CSR
+    /// packing in the crate and the two layouts cannot drift apart.
     pub fn build(g: &Graph) -> GraphIndex {
-        let n = g.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut nbr = Vec::with_capacity(2 * g.edge_count());
-        offsets.push(0u32);
-        for v in g.nodes() {
-            nbr.extend(g.neighbors(v));
-            offsets.push(nbr.len() as u32);
-        }
-        // label buckets: sort (label, id) pairs; ids stay ascending
-        // within a label because the sort key breaks ties by id
-        let mut pairs: Vec<(Label, NodeId)> = g.nodes().map(|v| (g.node_label(v), v)).collect();
-        pairs.sort_unstable_by_key(|&(l, v)| (l, v.0));
-        let mut labels = Vec::new();
-        let mut bucket_offsets = vec![0u32];
-        let mut by_label = Vec::with_capacity(n);
-        for (l, v) in pairs {
-            if labels.last() != Some(&l) {
-                if !labels.is_empty() {
-                    bucket_offsets.push(by_label.len() as u32);
-                }
-                labels.push(l);
-            }
-            by_label.push(v);
-        }
-        bucket_offsets.push(by_label.len() as u32);
+        let (offsets, nbr) = crate::storage::pack_adjacency(g);
+        let node_labels: Vec<Label> = g.nodes().map(|v| g.node_label(v)).collect();
+        let (labels, bucket_offsets, by_label) = crate::storage::label_buckets(&node_labels);
         let sigs = g.nodes().map(|v| node_sig(g, v)).collect();
         GraphIndex {
             offsets,
@@ -412,6 +394,76 @@ mod tests {
     use crate::mcs::mcs_edge_count;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    /// The adjacency/bucket packing `build` inlined before it moved to
+    /// the shared `crate::storage` packers — byte-for-byte the old
+    /// code, kept as the reference the dedup must not drift from.
+    fn legacy_packing(
+        g: &Graph,
+    ) -> (
+        Vec<u32>,
+        Vec<(NodeId, EdgeId)>,
+        Vec<Label>,
+        Vec<u32>,
+        Vec<NodeId>,
+    ) {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nbr = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0u32);
+        for v in g.nodes() {
+            nbr.extend(g.neighbors(v));
+            offsets.push(nbr.len() as u32);
+        }
+        let mut pairs: Vec<(Label, NodeId)> = g.nodes().map(|v| (g.node_label(v), v)).collect();
+        pairs.sort_unstable_by_key(|&(l, v)| (l, v.0));
+        let mut labels = Vec::new();
+        let mut bucket_offsets = vec![0u32];
+        let mut by_label = Vec::with_capacity(n);
+        for (l, v) in pairs {
+            if labels.last() != Some(&l) {
+                if !labels.is_empty() {
+                    bucket_offsets.push(by_label.len() as u32);
+                }
+                labels.push(l);
+            }
+            by_label.push(v);
+        }
+        bucket_offsets.push(by_label.len() as u32);
+        (offsets, nbr, labels, bucket_offsets, by_label)
+    }
+
+    #[test]
+    fn shared_packers_reproduce_the_legacy_packing_and_candidate_order() {
+        // the empty graph exercises the historical [0] + [0,0] shape
+        for g in [Graph::new(), random_graph(80, 0.1, 3, 2, 41)] {
+            let (offsets, nbr, labels, bucket_offsets, by_label) = legacy_packing(&g);
+            let idx = GraphIndex::build(&g);
+            assert_eq!(idx.offsets, offsets);
+            assert_eq!(idx.nbr, nbr);
+            assert_eq!(idx.labels, labels);
+            assert_eq!(idx.bucket_offsets, bucket_offsets);
+            assert_eq!(idx.by_label, by_label);
+            // VF2 candidate order is a pure function of the buckets:
+            // equal buckets ⇒ identical candidate enumeration order
+            for l in labels.iter().copied().chain([WILDCARD_LABEL]) {
+                for wildcard in [false, true] {
+                    let got = idx.candidate_nodes(l, wildcard);
+                    let want: Vec<NodeId> = if wildcard {
+                        g.nodes()
+                            .filter(|&v| {
+                                let nl = g.node_label(v);
+                                nl == l || l == WILDCARD_LABEL || nl == WILDCARD_LABEL
+                            })
+                            .collect()
+                    } else {
+                        g.nodes().filter(|&v| g.node_label(v) == l).collect()
+                    };
+                    assert_eq!(got, want, "label {l} wildcard {wildcard}");
+                }
+            }
+        }
+    }
 
     fn random_graph(n: usize, p: f64, nl: u32, el: u32, seed: u64) -> Graph {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -28,7 +28,11 @@
 //!   upper bounds;
 //! * [`par`] — deterministic fork-join helpers (order-stable chunked
 //!   maps over scoped threads) used by every parallel kernel path, with
-//!   a global sequential toggle and thread-count controls;
+//!   a global sequential toggle, thread-count controls, and the
+//!   [`par::ShardExecutor`] shard/retry harness;
+//! * [`storage`] — the [`storage::GraphStorage`] backend trait with the
+//!   compact u32-packed [`storage::CsrGraph`] (streamed construction,
+//!   little-endian on-disk images) behind the large-network kernels;
 //! * [`cache`] — sharded, capacity-bounded memoization of the expensive
 //!   kernels (MCS similarity, coverage) keyed by canonical codes;
 //! * [`io`] — a line-oriented text format compatible with the classic
@@ -50,6 +54,7 @@ pub mod iso;
 pub mod mcs;
 pub mod metrics;
 pub mod par;
+pub mod storage;
 pub mod traversal;
 pub mod truss;
 

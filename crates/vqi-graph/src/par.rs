@@ -28,6 +28,7 @@ use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use vqi_runtime::{error::panic_reason, fault, VqiError};
 
 /// Global parallelism toggle; `true` by default.
 static PARALLEL_ENABLED: AtomicBool = AtomicBool::new(true);
@@ -195,6 +196,139 @@ where
     map_range(items.len(), |i| f(&items[i]))
 }
 
+// ---------------------------------------------------------------------------
+// Shard execution
+// ---------------------------------------------------------------------------
+
+/// A reusable shard/map/retry harness: deterministic shard order
+/// (shards run via [`map_range`], results in shard index order),
+/// per-shard panic isolation with bounded retry and exponential
+/// backoff, speculative re-execution of injected stragglers, and
+/// in-flight gauges — the machinery partitioned TATTOO grew in PR 5,
+/// extracted so any sharded kernel can reuse it.
+///
+/// Every metric, span, and fault-injection site derives from `prefix`:
+///
+/// | name | kind |
+/// |---|---|
+/// | `{prefix}.shards` | counter: shards submitted per [`Self::run_shards`] |
+/// | `{prefix}.in_flight` | gauge: shards currently executing |
+/// | `{prefix}.retries` | counter: retried executions (any stage) |
+/// | `{prefix}.stragglers` | counter: speculative re-executions |
+/// | `{prefix}.shard` | span per execution; also the `maybe_panic` site |
+/// | `{prefix}.straggler` | the `maybe_timeout` site |
+///
+/// Shard closures must be **pure** in their shard index: a retried or
+/// speculatively re-executed shard then returns the identical value, so
+/// fault handling never perturbs the result — the same argument that
+/// makes [`map_chunks`]'s chunk retry invisible.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardExecutor {
+    /// Metric-name prefix (e.g. `"tattoo.map"`); see the table above.
+    pub prefix: &'static str,
+    /// How many times a panicked execution is retried before the error
+    /// is returned. A transient failure therefore costs one retry, not
+    /// the result.
+    pub retries: u32,
+    /// Base backoff before a retry; attempt `n` waits `2^(n−1)` times
+    /// this. Zero disables the wait (retries stay immediate).
+    pub backoff_ms: u64,
+}
+
+impl ShardExecutor {
+    /// An executor publishing under `prefix` with the given retry policy.
+    pub fn new(prefix: &'static str, retries: u32, backoff_ms: u64) -> ShardExecutor {
+        ShardExecutor {
+            prefix,
+            retries,
+            backoff_ms,
+        }
+    }
+
+    /// Runs `f` under panic isolation, re-executing it up to
+    /// `self.retries` times with exponential backoff; exhaustion
+    /// returns [`VqiError::Panic`] naming `stage`. The closure must be
+    /// pure, so a retried execution returns the identical value and
+    /// determinism is preserved at any thread count. Retries count
+    /// against `{prefix}.retries` whatever the stage, so one counter
+    /// covers a whole sharded pipeline.
+    pub fn retrying<T>(&self, stage: &str, f: impl Fn() -> T) -> Result<T, VqiError> {
+        let mut attempt = 0u32;
+        loop {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f)) {
+                Ok(v) => return Ok(v),
+                Err(payload) => {
+                    attempt += 1;
+                    if attempt > self.retries {
+                        return Err(VqiError::Panic {
+                            stage: stage.to_string(),
+                            reason: panic_reason(payload.as_ref()),
+                        });
+                    }
+                    vqi_observe::incr("fault.retried", 1);
+                    vqi_observe::incr(&format!("{}.retries", self.prefix), 1);
+                    if vqi_observe::journal_recording() {
+                        vqi_observe::instant(&format!("stage.retry:{stage}#{attempt}"));
+                    }
+                    if self.backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            self.backoff_ms << (attempt - 1),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one shard body: in-flight gauge up, `{prefix}.shard`
+    /// span and fault site around the (retried) body, then an injected
+    /// straggler check — a straggler signal models a shard too slow to
+    /// wait for, and is answered by speculative re-execution, taking
+    /// the re-execution's (identical) result. `pi` keys the injection
+    /// sites: a stable identity, independent of scheduling order.
+    pub fn run_shard<T>(&self, pi: usize, f: impl Fn() -> T) -> Result<T, VqiError> {
+        let in_flight = format!("{}.in_flight", self.prefix);
+        let span_name = format!("{}.shard", self.prefix);
+        let straggler_site = format!("{}.straggler", self.prefix);
+        loop {
+            // per-shard wall time lands in the `{prefix}.shard`
+            // histogram; the gauge tracks shards currently running
+            vqi_observe::gauge_add(&in_flight, 1);
+            let run = self.retrying(self.prefix, || {
+                let _shard = vqi_observe::span(&span_name);
+                fault::maybe_panic(&span_name, pi as u64);
+                f()
+            });
+            vqi_observe::gauge_add(&in_flight, -1);
+            let v = run?;
+            if fault::maybe_timeout(&straggler_site, pi as u64) {
+                vqi_observe::incr(&format!("{}.stragglers", self.prefix), 1);
+                vqi_observe::incr("fault.retried", 1);
+                if vqi_observe::journal_recording() {
+                    vqi_observe::instant(&format!("stage.retry:{straggler_site}#{pi}"));
+                }
+                continue;
+            }
+            return Ok(v);
+        }
+    }
+
+    /// Runs `n` shard bodies across the [`par`](crate::par) pool,
+    /// returning per-shard results **in shard index order** — each
+    /// either the body's value or the [`VqiError::Panic`] that
+    /// exhausted its retries, so callers decide drop-vs-propagate per
+    /// shard. Determinism: which shards fail depends only on the fault
+    /// plan and shard indices, never on scheduling.
+    pub fn run_shards<T, F>(&self, n: usize, f: F) -> Vec<Result<T, VqiError>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        vqi_observe::incr(&format!("{}.shards", self.prefix), n as u64);
+        map_range(n, |pi| self.run_shard(pi, || f(pi)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +422,47 @@ mod tests {
             })
         });
         assert!(r.is_err(), "a twice-failing chunk must propagate");
+    }
+
+    #[test]
+    fn shard_executor_preserves_order_and_retries_crashes() {
+        let _guard = crate::kernel_test_lock();
+        let exec = ShardExecutor::new("par.test_exec", 1, 0);
+        // clean run: results in shard index order at every cap
+        for cap in [1usize, 2, 4] {
+            let got = with_cap(cap, || exec.run_shards(9, |pi| pi * pi));
+            let vals: Vec<usize> = got.into_iter().map(|r| r.expect("no faults")).collect();
+            assert_eq!(vals, (0..9).map(|i| i * i).collect::<Vec<_>>(), "cap {cap}");
+        }
+        // every shard crashes once; one retry recovers the full result
+        vqi_runtime::fault::set_plan(vqi_runtime::fault::FaultPlan {
+            seed: 5,
+            panic_rate: 1.0,
+            ..Default::default()
+        });
+        let got = with_cap(4, || exec.run_shards(6, |pi| pi + 100));
+        vqi_runtime::fault::reset();
+        let vals: Vec<usize> = got.into_iter().map(|r| r.expect("retried")).collect();
+        assert_eq!(vals, (100..106).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_executor_exhausted_retries_name_the_stage() {
+        let _guard = crate::kernel_test_lock();
+        let exec = ShardExecutor::new("par.test_exec", 0, 0);
+        vqi_runtime::fault::set_plan(vqi_runtime::fault::FaultPlan {
+            seed: 9,
+            panic_rate: 1.0,
+            ..Default::default()
+        });
+        let got = with_cap(2, || exec.run_shards(3, |pi| pi));
+        vqi_runtime::fault::reset();
+        for r in got {
+            match r {
+                Err(VqiError::Panic { stage, .. }) => assert_eq!(stage, "par.test_exec"),
+                other => panic!("expected exhausted retries, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -29,13 +29,21 @@
 //! pre-optimization path for regression tests and benchmarks. Trussness
 //! values are unique whatever the peel's tie-breaking, so both paths
 //! agree exactly.
+//!
+//! **Storage.** Every kernel here is generic over
+//! [`crate::storage::GraphStorage`], so the same code peels a heap
+//! [`Graph`] or a packed [`crate::storage::CsrGraph`]. Both backends
+//! present adjacency rows in identical (insertion) order, and the
+//! kernels only ever walk rows in that order — so outputs are
+//! bit-identical across backends, at any thread cap.
 
 use crate::graph::{EdgeId, Graph, NodeId};
 use crate::par;
+use crate::storage::GraphStorage;
 use vqi_runtime::{Budget, Meter, VqiError};
 
 /// Per-edge triangle counts ("support") — single-threaded reference.
-pub fn edge_supports_seq(g: &Graph) -> Vec<u32> {
+pub fn edge_supports_seq<S: GraphStorage + ?Sized>(g: &S) -> Vec<u32> {
     supports_of_roots(g, 0..g.node_count())
 }
 
@@ -43,18 +51,18 @@ pub fn edge_supports_seq(g: &Graph) -> Vec<u32> {
 /// mark[] trick per root `u`, counting triangles `u < v < w`. With the
 /// full range this is the classic sequential algorithm; with a subrange
 /// it is one parallel worker's partial.
-fn supports_of_roots(g: &Graph, roots: std::ops::Range<usize>) -> Vec<u32> {
+fn supports_of_roots<S: GraphStorage + ?Sized>(g: &S, roots: std::ops::Range<usize>) -> Vec<u32> {
     let mut support = vec![0u32; g.edge_count()];
     let mut mark = vec![u32::MAX; g.node_count()];
     for u in roots.map(|i| NodeId(i as u32)) {
-        for (v, e) in g.neighbors(u) {
+        for &(v, e) in g.neighbor_slice(u) {
             mark[v.index()] = e.0;
         }
-        for (v, uv) in g.neighbors(u) {
+        for &(v, uv) in g.neighbor_slice(u) {
             if v <= u {
                 continue;
             }
-            for (w, vw) in g.neighbors(v) {
+            for &(w, vw) in g.neighbor_slice(v) {
                 if w <= v {
                     continue;
                 }
@@ -66,7 +74,7 @@ fn supports_of_roots(g: &Graph, roots: std::ops::Range<usize>) -> Vec<u32> {
                 }
             }
         }
-        for (v, _) in g.neighbors(u) {
+        for &(v, _) in g.neighbor_slice(u) {
             mark[v.index()] = u32::MAX;
         }
     }
@@ -79,7 +87,7 @@ fn supports_of_roots(g: &Graph, roots: std::ops::Range<usize>) -> Vec<u32> {
 /// than one thread available, and the sequential reference otherwise —
 /// the outputs are bit-identical either way (exact `u32` sums merged in
 /// chunk index order).
-pub fn edge_supports(g: &Graph) -> Vec<u32> {
+pub fn edge_supports<S: GraphStorage + ?Sized>(g: &S) -> Vec<u32> {
     // the span covers both paths so span counts stay thread-count
     // invariant; only the .chunks counter is parallel-path specific
     let _s = vqi_observe::span("kernel.truss.supports");
@@ -103,8 +111,8 @@ pub fn edge_supports(g: &Graph) -> Vec<u32> {
 /// `partners(e, a, b, removed, f)` must call `f(aw, bw)` once for every
 /// live pair of edges `a--w`, `b--w` completing a triangle with
 /// `e = a--b` (`a` is the lower-degree endpoint).
-fn peel(
-    g: &Graph,
+fn peel<S: GraphStorage + ?Sized>(
+    g: &S,
     mut support: Vec<u32>,
     partners: impl Fn(EdgeId, NodeId, NodeId, &[bool], &mut dyn FnMut(EdgeId, EdgeId)),
     mut meter: Option<Meter>,
@@ -116,7 +124,7 @@ fn peel(
     // bucket queue over supports
     let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<EdgeId>> = vec![Vec::new(); max_sup + 1];
-    for e in g.edges() {
+    for e in (0..m).map(|i| EdgeId(i as u32)) {
         buckets[support[e.index()] as usize].push(e);
     }
     let mut k = 2u32;
@@ -191,7 +199,7 @@ struct TriangleLists {
 }
 
 impl TriangleLists {
-    fn build(g: &Graph, support: &[u32]) -> TriangleLists {
+    fn build<S: GraphStorage + ?Sized>(g: &S, support: &[u32]) -> TriangleLists {
         let m = g.edge_count();
         let mut offsets = vec![0usize; m + 1];
         for e in 0..m {
@@ -206,15 +214,15 @@ impl TriangleLists {
         // the same mark-trick enumeration as supports_of_roots, recording
         // each triangle u < v < w on all three of its edges
         let mut mark = vec![u32::MAX; g.node_count()];
-        for u in g.nodes() {
-            for (v, e) in g.neighbors(u) {
+        for u in (0..g.node_count()).map(|i| NodeId(i as u32)) {
+            for &(v, e) in g.neighbor_slice(u) {
                 mark[v.index()] = e.0;
             }
-            for (v, uv) in g.neighbors(u) {
+            for &(v, uv) in g.neighbor_slice(u) {
                 if v <= u {
                     continue;
                 }
-                for (w, vw) in g.neighbors(v) {
+                for &(w, vw) in g.neighbor_slice(v) {
                     if w <= v {
                         continue;
                     }
@@ -227,7 +235,7 @@ impl TriangleLists {
                     }
                 }
             }
-            for (v, _) in g.neighbors(u) {
+            for &(v, _) in g.neighbor_slice(u) {
                 mark[v.index()] = u32::MAX;
             }
         }
@@ -246,7 +254,7 @@ impl TriangleLists {
 /// the live triangles of the removed edge, supports reach the same
 /// values whatever the decrement order, and trussness is unique
 /// regardless of tie-breaks among equal-support edges.
-pub fn trussness(g: &Graph) -> Vec<u32> {
+pub fn trussness<S: GraphStorage + ?Sized>(g: &S) -> Vec<u32> {
     match trussness_full(g, None) {
         Ok(t) => t,
         // unreachable: without a meter the peel cannot abort
@@ -259,12 +267,18 @@ pub fn trussness(g: &Graph) -> Vec<u32> {
 /// thread count; deadlines and cancellation are observed within
 /// [`vqi_runtime::ctrl::POLL_INTERVAL`] peels. With an unlimited
 /// budget the result equals [`trussness`] exactly.
-pub fn trussness_ctrl(g: &Graph, ctrl: &Budget) -> Result<Vec<u32>, VqiError> {
+pub fn trussness_ctrl<S: GraphStorage + ?Sized>(
+    g: &S,
+    ctrl: &Budget,
+) -> Result<Vec<u32>, VqiError> {
     ctrl.check("kernel.truss")?;
     trussness_full(g, Some(ctrl.meter("kernel.truss")))
 }
 
-fn trussness_full(g: &Graph, meter: Option<Meter>) -> Result<Vec<u32>, VqiError> {
+fn trussness_full<S: GraphStorage + ?Sized>(
+    g: &S,
+    meter: Option<Meter>,
+) -> Result<Vec<u32>, VqiError> {
     let _s = vqi_observe::span("kernel.truss.peel");
     vqi_observe::incr("kernel.truss.peel.edges", g.edge_count() as u64);
     let support = edge_supports(g);
@@ -353,21 +367,25 @@ impl TrussDecomposition {
 /// assert_eq!(d.infested_edges.len(), 6);
 /// assert_eq!(d.oblivious_edges.len(), 1);
 /// ```
-pub fn decompose(g: &Graph, k: u32) -> TrussDecomposition {
+pub fn decompose<S: GraphStorage + ?Sized>(g: &S, k: u32) -> TrussDecomposition {
     split(g, k, trussness(g))
 }
 
 /// Budget-aware [`decompose`]; see [`trussness_ctrl`] for the budget
 /// semantics. With an unlimited budget the result equals
 /// [`decompose`] exactly.
-pub fn decompose_ctrl(g: &Graph, k: u32, ctrl: &Budget) -> Result<TrussDecomposition, VqiError> {
+pub fn decompose_ctrl<S: GraphStorage + ?Sized>(
+    g: &S,
+    k: u32,
+    ctrl: &Budget,
+) -> Result<TrussDecomposition, VqiError> {
     Ok(split(g, k, trussness_ctrl(g, ctrl)?))
 }
 
-fn split(g: &Graph, k: u32, t: Vec<u32>) -> TrussDecomposition {
+fn split<S: GraphStorage + ?Sized>(g: &S, k: u32, t: Vec<u32>) -> TrussDecomposition {
     let mut infested = Vec::new();
     let mut oblivious = Vec::new();
-    for e in g.edges() {
+    for e in (0..g.edge_count()).map(|i| EdgeId(i as u32)) {
         if t[e.index()] >= k {
             infested.push(e);
         } else {
@@ -476,9 +494,7 @@ impl TrussMaintainer {
         if u.index() >= self.node_count() || v.index() >= self.node_count() {
             return None;
         }
-        self.adj
-            .edge_between(u, v)
-            .map(|e| self.truss[e.index()])
+        self.adj.edge_between(u, v).map(|e| self.truss[e.index()])
     }
 
     /// The maintained support (triangle count) of edge `u -- v`.
@@ -486,9 +502,7 @@ impl TrussMaintainer {
         if u.index() >= self.node_count() || v.index() >= self.node_count() {
             return None;
         }
-        self.adj
-            .edge_between(u, v)
-            .map(|e| self.support[e.index()])
+        self.adj.edge_between(u, v).map(|e| self.support[e.index()])
     }
 
     /// Maintained trussness re-indexed by `g`'s edge ids (matched on
@@ -1105,7 +1119,11 @@ mod tests {
                     }
                     m.apply(&delta);
                     let edges: Vec<(u32, u32)> = set.iter().copied().collect();
-                    assert_matches_fresh(&m, &edges, &format!("seed {seed} cap {cap} round {round}"));
+                    assert_matches_fresh(
+                        &m,
+                        &edges,
+                        &format!("seed {seed} cap {cap} round {round}"),
+                    );
                 }
             }
         }

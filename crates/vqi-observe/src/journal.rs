@@ -837,10 +837,10 @@ mod tests {
     use super::*;
     use std::sync::MutexGuard;
 
-    /// The journal is process-global; serialize the tests that arm it.
+    /// The journal is process-global; serialize the tests that arm it
+    /// (shared with every other test that toggles the enabled flag).
     fn lock() -> MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+        crate::test_lock()
     }
 
     fn arm() {

@@ -15,7 +15,9 @@
 //!
 //! Metric names follow `<system>.<phase>.<metric>` — e.g.
 //! `tattoo.truss_decompose` (a span), `catapult.walk.candidates` (a
-//! counter), `tattoo.map.in_flight` (a gauge).
+//! counter), `tattoo.map.in_flight` (a gauge). The [`mem`] module adds
+//! the `mem.*` gauge family: per-structure byte counts and process RSS
+//! sampled from `/proc/self/status`.
 //!
 //! ```
 //! vqi_observe::set_enabled(true);
@@ -40,6 +42,7 @@ mod counter;
 mod histogram;
 pub mod journal;
 pub mod json;
+pub mod mem;
 mod registry;
 mod report;
 mod span;
@@ -177,10 +180,22 @@ macro_rules! count {
     };
 }
 
+/// Serializes tests that toggle the global enabled flag or arm the
+/// process-global journal: the registry is one per process, so a test
+/// flipping `set_enabled` mid-flight would silently drop another
+/// test's spans.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn disabled_instruments_record_nothing() {
+        let _l = super::test_lock();
         super::set_enabled(false);
         super::incr("libtest.disabled.counter", 7);
         super::observe("libtest.disabled.hist", 7);
@@ -193,6 +208,7 @@ mod tests {
 
     #[test]
     fn time_returns_duration_even_when_disabled() {
+        let _l = super::test_lock();
         super::set_enabled(false);
         let (v, d) = super::time("libtest.timed", || 41 + 1);
         assert_eq!(v, 42);
@@ -202,6 +218,7 @@ mod tests {
 
     #[test]
     fn count_macro_defers_name_construction() {
+        let _l = super::test_lock();
         super::set_enabled(true);
         super::count!(format!("libtest.class.{}", 2), 2);
         super::count!("libtest.plain", 1);

@@ -1,0 +1,122 @@
+//! Memory gauges (`mem.*`): per-structure byte accounting and process
+//! RSS sampled from `/proc/self/status`.
+//!
+//! Two kinds of measurements, both landing in the global registry as
+//! gauges so benches and `vqi serve` report them alongside everything
+//! else:
+//!
+//! * [`record_struct_bytes`] — exact byte counts a storage structure
+//!   reports about itself (e.g. `CsrGraph::heap_bytes()`), published as
+//!   `mem.<name>.bytes`;
+//! * [`sample_rss`] / [`record_rss`] — the kernel's view of the whole
+//!   process (`VmRSS`, and `VmHWM` — the peak-RSS high-water mark),
+//!   published as `mem.rss_kb` / `mem.peak_rss_kb`. This is the
+//!   peak-memory ceiling the `exp_scale` bench reports for the
+//!   100M-edge runs.
+//!
+//! On platforms without `/proc` (or inside restricted sandboxes) the
+//! sampler returns `None` and records nothing — callers never need to
+//! gate on the platform.
+
+/// A point-in-time memory sample from `/proc/self/status`, in kibibytes
+/// as the kernel reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssSample {
+    /// Resident set size (`VmRSS`), kB.
+    pub rss_kb: u64,
+    /// Peak resident set size (`VmHWM`), kB.
+    pub peak_rss_kb: u64,
+}
+
+/// Parses `VmRSS` / `VmHWM` out of one `/proc/self/status` image.
+/// Split from the I/O so the parser is testable on a fixture.
+fn parse_status(status: &str) -> Option<RssSample> {
+    let mut rss = None;
+    let mut peak = None;
+    for line in status.lines() {
+        let field = if line.starts_with("VmRSS:") {
+            &mut rss
+        } else if line.starts_with("VmHWM:") {
+            &mut peak
+        } else {
+            continue;
+        };
+        // value lines look like "VmRSS:     123456 kB"
+        let rest = line.split(':').nth(1)?;
+        let kb = rest
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse::<u64>()
+            .ok()?;
+        *field = Some(kb);
+    }
+    Some(RssSample {
+        rss_kb: rss?,
+        peak_rss_kb: peak?,
+    })
+}
+
+/// Reads the current process RSS and peak RSS from
+/// `/proc/self/status`; `None` where the file is absent or unparsable.
+pub fn sample_rss() -> Option<RssSample> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status(&status)
+}
+
+/// Samples the process RSS and publishes it as the `mem.rss_kb` and
+/// `mem.peak_rss_kb` gauges. Returns the sample so callers can also
+/// report it inline. A no-op (returning the sample's absence) off
+/// Linux or while recording is disabled — gauges just stay unset.
+pub fn record_rss() -> Option<RssSample> {
+    let s = sample_rss()?;
+    crate::gauge_set("mem.rss_kb", s.rss_kb as i64);
+    crate::gauge_set("mem.peak_rss_kb", s.peak_rss_kb as i64);
+    Some(s)
+}
+
+/// Publishes an exact per-structure byte count as the gauge
+/// `mem.<name>.bytes` — the convention storage backends report under
+/// (e.g. `mem.csr.bytes`, `mem.graph.bytes`, `mem.index.bytes`).
+pub fn record_struct_bytes(name: &str, bytes: usize) {
+    crate::gauge_set(&format!("mem.{name}.bytes"), bytes as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_status_fixture() {
+        let fixture =
+            "Name:\tvqi\nVmPeak:\t  999 kB\nVmHWM:\t   4200 kB\nVmRSS:\t   1234 kB\nThreads:\t1\n";
+        assert_eq!(
+            parse_status(fixture),
+            Some(RssSample {
+                rss_kb: 1234,
+                peak_rss_kb: 4200
+            })
+        );
+        assert_eq!(parse_status("Name:\tvqi\n"), None);
+    }
+
+    #[test]
+    fn struct_bytes_land_on_the_gauge() {
+        let _l = crate::test_lock();
+        crate::set_enabled(true);
+        record_struct_bytes("test_struct", 4096);
+        let snap = crate::snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.gauges["mem.test_struct.bytes"], 4096);
+    }
+
+    #[test]
+    fn rss_sampling_is_safe_everywhere() {
+        // on Linux this exercises the real /proc parse; elsewhere the
+        // sampler must simply decline
+        if let Some(s) = sample_rss() {
+            assert!(s.rss_kb > 0);
+            assert!(s.peak_rss_kb >= s.rss_kb);
+        }
+    }
+}

@@ -96,15 +96,11 @@ impl Drop for SpanGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, OnceLock};
 
-    /// Tests toggle the global enabled flag; serialize them.
+    /// Tests toggle the global enabled flag; serialize them (shared
+    /// with every other test that does).
     fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        match LOCK.get_or_init(|| Mutex::new(())).lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        crate::test_lock()
     }
 
     #[test]
