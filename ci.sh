@@ -142,4 +142,43 @@ for threads in 1 4; do
 done
 rm -rf "$serve_dir"
 
+echo "== crash-recovery suite (WAL + checkpoints, bit-identical restarts) =="
+# the durable log property tests (torn tails, corrupt checkpoints,
+# rotation/pruning) plus the crash matrix: a sacrificial child process
+# is killed at every injection site in the update path and recovery
+# must restore a collection whose digest and select/query outputs are
+# bit-identical to an uncrashed run — at one and four kernel workers
+for threads in 1 4; do
+    echo "-- RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-serve durable_
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-serve crash_matrix_recovers_bit_identical_state
+    RAYON_NUM_THREADS=$threads cargo test -q -p vqi-serve concurrent_updates_publish_contiguous_epochs_in_lock_order
+done
+
+echo "== corrupt-input suite (WAL segments + VQICSR01 images) =="
+# every byte-truncation and bit-flip of a WAL segment or a CSR image
+# must yield a clean truncation/Parse error — never a panic or an
+# OOM-sized allocation
+cargo test -q -p vqi-graph wal
+cargo test -q -p vqi-graph storage_image_truncation_and_bitflip_sweeps_yield_parse_errors
+cargo test -q -p vqi-serve durable_corrupt_checkpoints_are_rejected
+
+echo "== durable serve smoke (bootstrap, restart, recover report) =="
+# boot a durable service, drive load, then restart from the WAL dir:
+# the second run must recover (not re-bootstrap), and the recover
+# subcommand must report the directory as intact
+wal_dir=$(mktemp -d)/wal
+target/debug/vqi serve --graphs 10 --sessions 2 --requests 4 --update-every 2 \
+    --count 3 --min-size 3 --max-size 5 --checkpoint-every 2 \
+    --wal-dir "$wal_dir" >"$wal_dir.out1.txt"
+grep -q 'bootstrapped durable log' "$wal_dir.out1.txt"
+target/debug/vqi recover --wal-dir "$wal_dir" >"$wal_dir.report.txt"
+grep -q 'recovered' "$wal_dir.report.txt"
+grep -q 'digest' "$wal_dir.report.txt"
+target/debug/vqi serve --graphs 10 --sessions 2 --requests 4 --update-every 2 \
+    --count 3 --min-size 3 --max-size 5 --checkpoint-every 2 \
+    --wal-dir "$wal_dir" >"$wal_dir.out2.txt"
+grep -q 'recovered' "$wal_dir.out2.txt"
+rm -rf "$(dirname "$wal_dir")"
+
 echo "CI OK"

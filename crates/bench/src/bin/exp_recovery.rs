@@ -1,0 +1,362 @@
+//! RECOVERY — durability cost and crash recovery (DESIGN §13).
+//!
+//! Three measurements on one molecule repository:
+//!
+//! 1. **WAL overhead** — wall time of an identical update sequence
+//!    without durability, with a buffered WAL, and with a fsync'd WAL,
+//!    run as interleaved rounds and summarized by the median of paired
+//!    per-round ratios. The buffered ratio is asserted ≤ 1.10: the log
+//!    append itself must stay within 10% of the plain update path.
+//! 2. **Recovery time vs replay length** — bootstrap with
+//!    checkpoints disabled, apply 10 / 50 / 200 batches, then time
+//!    `VqiService::recover` (checkpoint load + full WAL replay).
+//! 3. **Crash matrix** — re-runs this binary as a sacrificial child
+//!    (`VQI_RECOVERY_ROLE=child`) with a crash plan armed at each
+//!    injection site, then recovers in the parent and asserts the
+//!    collection digest is bit-identical to an uncrashed run over the
+//!    same durable prefix.
+//!
+//! Writes `BENCH_recovery.json` at the repository root. The JSON is
+//! hand-rolled so the binary also builds under the offline stub
+//! toolchain, whose `serde_json` cannot serialize.
+
+use bench::{print_table, time_ms};
+use std::path::{Path, PathBuf};
+use vqi_core::repo::{BatchUpdate, GraphCollection};
+use vqi_datasets::{aids_like, MoleculeParams};
+use vqi_serve::{collection_digest, DurabilityConfig, ServeConfig, VqiService};
+
+const OVERHEAD_UPDATES: u64 = 30;
+const OVERHEAD_RUNS: usize = 7;
+const REPLAY_LENGTHS: [u64; 3] = [10, 50, 200];
+const CRASH_SEEDS: u64 = 4;
+const CRASH_SITES: [&str; 4] = [
+    "wal.append.mid",
+    "wal.append.torn",
+    "serve.update.pre_publish",
+    "wal.checkpoint.mid",
+];
+
+fn molecules(count: usize, seed: u64) -> Vec<vqi_graph::Graph> {
+    aids_like(MoleculeParams {
+        count,
+        seed,
+        max_rings: 1,
+        max_chains: 2,
+        max_chain_len: 2,
+    })
+}
+
+/// The serving-sized repository the overhead and replay measurements
+/// run on: the per-update apply/clone/publish cost must dominate, as
+/// it does in a real deployment, for the append-overhead ratio to be
+/// meaningful (against a toy collection the fixed ~µs append cost
+/// reads as a large percentage of almost nothing).
+fn initial(seed: u64) -> GraphCollection {
+    GraphCollection::new(molecules(256, seed))
+}
+
+fn batch_for(seed: u64, i: u64) -> BatchUpdate {
+    BatchUpdate::adding(molecules(1, seed.wrapping_mul(1000) + i))
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vqi_exp_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One timed run of the fixed update sequence; `durable` chooses the
+/// plain, buffered-WAL, or fsync'd-WAL service.
+fn run_updates(durable: Option<(&Path, bool)>) -> f64 {
+    let config = ServeConfig::default();
+    let service = match durable {
+        None => VqiService::new(initial(9), config),
+        Some((dir, fsync)) => VqiService::with_durability(
+            initial(9),
+            config,
+            dir,
+            DurabilityConfig {
+                checkpoint_every: 0, // isolate append cost from checkpoint cost
+                fsync,
+                keep_checkpoints: 2,
+            },
+        )
+        .expect("bootstrap"),
+    };
+    let (_, ms) = time_ms(|| {
+        for i in 1..=OVERHEAD_UPDATES {
+            service.update(0, batch_for(9, i), None).expect("update");
+        }
+    });
+    ms
+}
+
+/// One interleaved overhead round: plain, buffered-WAL, and fsync'd-WAL
+/// back to back, so clock-frequency and allocator drift between rounds
+/// lands on every mode equally instead of biasing whichever mode ran
+/// last (runs are ~3 ms each; consecutive same-mode runs were observed
+/// to drift by more than the true append cost).
+fn overhead_round(round: usize) -> (f64, f64, f64) {
+    let plain = run_updates(None);
+    let buffered = {
+        let dir = fresh_dir(&format!("buffered_{round}"));
+        let ms = run_updates(Some((&dir, false)));
+        std::fs::remove_dir_all(&dir).ok();
+        ms
+    };
+    let fsync = {
+        let dir = fresh_dir(&format!("fsync_{round}"));
+        let ms = run_updates(Some((&dir, true)));
+        std::fs::remove_dir_all(&dir).ok();
+        ms
+    };
+    (plain, buffered, fsync)
+}
+
+/// Median of a sample — the overhead statistic. A min across unpaired
+/// runs lets one lucky outlier on either side swing the ratio by more
+/// than the true append cost; the median of *paired* per-round ratios
+/// is stable.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in timings"));
+    xs[xs.len() / 2]
+}
+
+/// Child role of the crash matrix: apply batches with a crash plan
+/// armed; either survives all batches or dies at an injected site.
+fn crash_child(dir: &Path, seed: u64, site: &str) {
+    let service = VqiService::with_durability(
+        GraphCollection::new(molecules(4, seed)),
+        ServeConfig::default(),
+        dir,
+        DurabilityConfig {
+            checkpoint_every: 2,
+            fsync: true,
+            keep_checkpoints: 2,
+        },
+    )
+    .expect("child bootstrap");
+    vqi_runtime::fault::set_plan(vqi_runtime::fault::FaultPlan {
+        seed,
+        crash_rate: 0.6,
+        ..Default::default()
+    });
+    vqi_runtime::fault::set_crash_site(Some(site));
+    for i in 1..=5u64 {
+        service.update(0, batch_for(seed, i), None).expect("update");
+    }
+    vqi_runtime::fault::reset();
+}
+
+struct CrashCell {
+    seed: u64,
+    site: &'static str,
+    crashed: bool,
+    final_epoch: u64,
+}
+
+fn crash_matrix() -> Vec<CrashCell> {
+    let exe = std::env::current_exe().expect("bench binary path");
+    let mut cells = Vec::new();
+    for seed in 0..CRASH_SEEDS {
+        for site in CRASH_SITES {
+            let dir = fresh_dir(&format!("crash_{seed}_{}", site.replace('.', "_")));
+            std::fs::create_dir_all(&dir).expect("crash dir");
+            let out = std::process::Command::new(&exe)
+                .env("VQI_RECOVERY_ROLE", "child")
+                .env("VQI_CRASH_DIR", &dir)
+                .env("VQI_CRASH_SEED", seed.to_string())
+                .env("VQI_CRASH_SITE", site)
+                .output()
+                .expect("spawn crash child");
+            #[cfg(unix)]
+            let aborted = {
+                use std::os::unix::process::ExitStatusExt;
+                out.status.signal() == Some(6)
+            };
+            #[cfg(not(unix))]
+            let aborted = String::from_utf8_lossy(&out.stderr).contains("injected crash");
+            assert!(
+                out.status.success() || aborted,
+                "crash child (seed {seed}, site {site}) failed unexpectedly: {}\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let (service, report) = VqiService::recover(
+                &dir,
+                ServeConfig::default(),
+                DurabilityConfig {
+                    checkpoint_every: 2,
+                    fsync: true,
+                    keep_checkpoints: 2,
+                },
+            )
+            .expect("recover after crash");
+            // the uncrashed reference over the same durable prefix
+            let mut reference = GraphCollection::new(molecules(4, seed));
+            for i in 1..=report.final_epoch {
+                reference.apply(batch_for(seed, i));
+            }
+            assert_eq!(
+                collection_digest(service.store().pin().collection()),
+                collection_digest(&reference),
+                "seed {seed} site {site}: recovered state diverged"
+            );
+            cells.push(CrashCell {
+                seed,
+                site,
+                crashed: aborted,
+                final_epoch: report.final_epoch,
+            });
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    cells
+}
+
+fn main() {
+    // child role: crash (or survive) inside a sacrificial process
+    if std::env::var("VQI_RECOVERY_ROLE").as_deref() == Ok("child") {
+        let dir = std::env::var("VQI_CRASH_DIR").expect("VQI_CRASH_DIR");
+        let seed: u64 = std::env::var("VQI_CRASH_SEED")
+            .expect("VQI_CRASH_SEED")
+            .parse()
+            .expect("seed");
+        let site = std::env::var("VQI_CRASH_SITE").expect("VQI_CRASH_SITE");
+        crash_child(Path::new(&dir), seed, &site);
+        return;
+    }
+
+    // ---- 1. WAL overhead on the update path -----------------------------
+    overhead_round(usize::MAX); // warm-up: page cache, allocator, clocks
+    let rounds: Vec<(f64, f64, f64)> = (0..OVERHEAD_RUNS).map(overhead_round).collect();
+    let plain_ms = median(rounds.iter().map(|r| r.0).collect());
+    let buffered_ms = median(rounds.iter().map(|r| r.1).collect());
+    let fsync_ms = median(rounds.iter().map(|r| r.2).collect());
+    let buffered_ratio = median(rounds.iter().map(|r| r.1 / r.0.max(1e-9)).collect());
+    let fsync_ratio = median(rounds.iter().map(|r| r.2 / r.0.max(1e-9)).collect());
+    print_table(
+        &format!(
+            "RECOVERY: WAL overhead ({OVERHEAD_UPDATES} updates, \
+             median of {OVERHEAD_RUNS} paired rounds)"
+        ),
+        &["mode", "wall_ms", "vs plain"],
+        &[
+            vec!["plain".into(), format!("{plain_ms:.2}"), "1.00x".into()],
+            vec![
+                "wal (buffered)".into(),
+                format!("{buffered_ms:.2}"),
+                format!("{buffered_ratio:.2}x"),
+            ],
+            vec![
+                "wal (fsync)".into(),
+                format!("{fsync_ms:.2}"),
+                format!("{fsync_ratio:.2}x"),
+            ],
+        ],
+    );
+    assert!(
+        buffered_ratio <= 1.10,
+        "WAL append overhead {buffered_ratio:.3}x exceeds the 10% budget"
+    );
+
+    // ---- 2. recovery time vs replay length ------------------------------
+    let mut replay_rows: Vec<(u64, f64, u64)> = Vec::new();
+    for &len in &REPLAY_LENGTHS {
+        let dir = fresh_dir(&format!("replay_{len}"));
+        let durability = DurabilityConfig {
+            checkpoint_every: 0, // bootstrap checkpoint only: replay everything
+            fsync: false,
+            keep_checkpoints: 2,
+        };
+        let service = VqiService::with_durability(
+            initial(3),
+            ServeConfig::default(),
+            &dir,
+            durability.clone(),
+        )
+        .expect("bootstrap");
+        for i in 1..=len {
+            service.update(0, batch_for(3, i), None).expect("update");
+        }
+        let want = collection_digest(service.store().pin().collection());
+        drop(service);
+        let ((recovered, report), ms) = time_ms(|| {
+            VqiService::recover(&dir, ServeConfig::default(), durability).expect("recover")
+        });
+        assert_eq!(report.final_epoch, len);
+        assert_eq!(report.replayed, len);
+        assert_eq!(
+            collection_digest(recovered.store().pin().collection()),
+            want,
+            "replay of {len} records diverged"
+        );
+        replay_rows.push((len, ms, report.replayed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    print_table(
+        "RECOVERY: recovery time vs WAL replay length",
+        &["records", "recover_ms", "replayed"],
+        &replay_rows
+            .iter()
+            .map(|(n, ms, r)| vec![n.to_string(), format!("{ms:.2}"), r.to_string()])
+            .collect::<Vec<_>>(),
+    );
+
+    // ---- 3. crash matrix -------------------------------------------------
+    let cells = crash_matrix();
+    let crashed = cells.iter().filter(|c| c.crashed).count();
+    assert!(
+        crashed > 0,
+        "no crash point fired across the matrix — the harness is not injecting"
+    );
+    print_table(
+        "RECOVERY: crash matrix (digest equality asserted per cell)",
+        &["seed", "site", "crashed", "final_epoch"],
+        &cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.seed.to_string(),
+                    c.site.to_string(),
+                    c.crashed.to_string(),
+                    c.final_epoch.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "crash matrix: {crashed}/{} cells crashed and recovered bit-identical",
+        cells.len()
+    );
+
+    // ---- JSON -----------------------------------------------------------
+    let replay_json: Vec<String> = replay_rows
+        .iter()
+        .map(|(n, ms, r)| {
+            format!("    {{\"records\": {n}, \"recover_ms\": {ms:.3}, \"replayed\": {r}}}")
+        })
+        .collect();
+    let matrix_json: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"seed\": {}, \"site\": \"{}\", \"crashed\": {}, \"final_epoch\": {}}}",
+                c.seed, c.site, c.crashed, c.final_epoch
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"overhead\": {{\"updates\": {OVERHEAD_UPDATES}, \"plain_ms\": {plain_ms:.3}, \
+         \"buffered_ms\": {buffered_ms:.3}, \"fsync_ms\": {fsync_ms:.3}, \
+         \"buffered_ratio\": {buffered_ratio:.4}, \"fsync_ratio\": {fsync_ratio:.4}, \
+         \"budget_ratio\": 1.10}},\n  \"recovery_vs_length\": [\n{}\n  ],\n  \
+         \"crash_matrix\": [\n{}\n  ],\n  \"crash_cells_fired\": {crashed}\n}}\n",
+        replay_json.join(",\n"),
+        matrix_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(path, json).expect("write BENCH_recovery.json");
+    println!("(wrote {path})");
+}

@@ -24,6 +24,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         Some("show") => show(args),
         Some("search") => search(args),
         Some("serve") => serve(args),
+        Some("recover") => recover_cmd(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(ArgError(format!(
             "unknown command '{other}'; try 'vqi help'"
@@ -49,6 +50,8 @@ USAGE:
                 [--requests N] [--update-every K] [--selector ...]
                 [--count K] [--min-size N] [--max-size M]
                 [--deadline-ms N] [--midas true] [--verify false]
+                [--wal-dir DIR] [--checkpoint-every K]
+  vqi recover   --wal-dir DIR [--checkpoint-every K]
 
 serve boots the multi-tenant service core on FILE (or on N generated
 molecule graphs) and drives it with a loopback session mix: every
@@ -59,6 +62,15 @@ default), every completed selection is re-derived from scratch on its
 pinned snapshot and asserted bit-identical. Prints per-endpoint
 p50/p99 latency, the pattern-cache hit rate, and — when tracing is on
 — a begin/end balance check of the recorded journal.
+
+With --wal-dir, serve runs durably: every update batch is appended to
+a write-ahead log and fsync'd before its epoch publishes, with an
+epoch-consistent checkpoint every K updates (default 16). An empty
+DIR is bootstrapped; a DIR holding durable state is recovered first
+(newest valid checkpoint + WAL replay, torn tail truncated) and the
+run continues its epoch sequence. recover performs only that recovery
+and prints the report — checkpoint used, records replayed, torn bytes
+truncated, final epoch, collection digest — without serving load.
 
 Any command also accepts --metrics[=table|json]: pipeline spans,
 counters, and gauges are recorded while the command runs and the
@@ -300,6 +312,24 @@ fn search(args: &Args) -> Result<String, ArgError> {
 
 /// Boots the multi-tenant service core and drives it with a loopback
 /// session mix — the deployment smoke test (no network involved).
+/// True when `dir` already holds durable serve state (a checkpoint).
+fn has_durable_state(dir: &std::path::Path) -> bool {
+    std::fs::read_dir(dir).is_ok_and(|entries| {
+        entries.flatten().any(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("ckpt-") && name.ends_with(".ckpt")
+        })
+    })
+}
+
+fn durability(args: &Args) -> Result<vqi_serve::DurabilityConfig, ArgError> {
+    Ok(vqi_serve::DurabilityConfig {
+        checkpoint_every: args.parse_or("checkpoint-every", 16u64)?,
+        ..Default::default()
+    })
+}
+
 fn serve(args: &Args) -> Result<String, ArgError> {
     use vqi_serve::{run_load, LoadParams, MaintenanceMode, SelectorKind, ServeConfig, VqiService};
 
@@ -351,13 +381,29 @@ fn serve(args: &Args) -> Result<String, ArgError> {
     } else {
         MaintenanceMode::ApplyOnly
     };
-    let service = VqiService::new(
-        vqi_core::repo::GraphCollection::new(graphs),
-        ServeConfig {
-            maintenance,
-            ..Default::default()
-        },
-    );
+    let config = ServeConfig {
+        maintenance,
+        ..Default::default()
+    };
+    let initial = vqi_core::repo::GraphCollection::new(graphs);
+    // --wal-dir makes the run durable: bootstrap an empty directory,
+    // recover (and continue the epoch sequence of) a populated one
+    let (service, recovery) = match args.options.get("wal-dir") {
+        None => (VqiService::new(initial, config), None),
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let durability = durability(args)?;
+            if has_durable_state(dir) {
+                let (s, report) = VqiService::recover(dir, config, durability)
+                    .map_err(|e| ArgError(format!("recovery failed: {e}")))?;
+                (s, Some(report))
+            } else {
+                let s = VqiService::with_durability(initial, config, dir, durability)
+                    .map_err(|e| ArgError(format!("cannot bootstrap durable log: {e}")))?;
+                (s, None)
+            }
+        }
+    };
     let selector = match args.get_or("selector", "catapult") {
         "catapult" => SelectorKind::Catapult,
         "modular" => SelectorKind::Modular,
@@ -411,6 +457,16 @@ fn serve(args: &Args) -> Result<String, ArgError> {
         "  update: {} applied, final epoch {}\n",
         report.update.count, report.final_epoch
     ));
+    if let Some(dir) = args.options.get("wal-dir") {
+        match &recovery {
+            Some(r) => out.push_str(&format!(
+                "  wal:    recovered {dir} to epoch {} (checkpoint {} + {} replayed, \
+                 {} torn byte(s) truncated), now durable\n",
+                r.final_epoch, r.checkpoint_epoch, r.replayed, r.truncated_bytes
+            )),
+            None => out.push_str(&format!("  wal:    bootstrapped durable log in {dir}\n")),
+        }
+    }
     out.push_str(&format!(
         "  cache:  {} hit(s) / {} miss(es) (hit rate {:.2})\n",
         report.cache_hits,
@@ -443,6 +499,35 @@ fn serve(args: &Args) -> Result<String, ArgError> {
         ));
     }
     Ok(out)
+}
+
+/// Recovers durable serve state and prints the report, without serving
+/// any load — the operational "is this directory intact, and what would
+/// a restart see?" probe.
+fn recover_cmd(args: &Args) -> Result<String, ArgError> {
+    use vqi_serve::{collection_digest, ServeConfig, VqiService};
+    let dir = args.require("wal-dir")?.to_string();
+    let durability = durability(args)?;
+    let (service, report) =
+        VqiService::recover(std::path::Path::new(&dir), ServeConfig::default(), durability)
+            .map_err(|e| ArgError(format!("recovery failed: {e}")))?;
+    let snapshot = service.store().pin();
+    Ok(format!(
+        "recovered {dir} to epoch {}\n\
+         \x20 checkpoint: epoch {} ({} skipped as corrupt)\n\
+         \x20 replay:     {} record(s) applied, {} stale skipped, {} torn byte(s) truncated\n\
+         \x20 collection: {} live graph(s), digest {:016x}\n\
+         \x20 elapsed:    {} ms\n",
+        report.final_epoch,
+        report.checkpoint_epoch,
+        report.checkpoints_skipped,
+        report.replayed,
+        report.skipped_records,
+        report.truncated_bytes,
+        snapshot.collection().len(),
+        collection_digest(snapshot.collection()),
+        report.elapsed_ms,
+    ))
 }
 
 #[cfg(test)]
@@ -496,6 +581,51 @@ mod tests {
         assert!(out.contains("served"), "{out}");
         assert!(out.contains("isolation:"), "{out}");
         assert!(out.contains("cache:"), "{out}");
+    }
+
+    #[test]
+    fn serve_wal_dir_bootstraps_recovers_and_reports() {
+        let dir = tmp("wal_cli");
+        std::fs::remove_dir_all(&dir).ok();
+        let serve_args = [
+            "serve",
+            "--graphs",
+            "8",
+            "--sessions",
+            "2",
+            "--requests",
+            "4",
+            "--update-every",
+            "2",
+            "--count",
+            "3",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+            "--checkpoint-every",
+            "2",
+            "--wal-dir",
+            &dir,
+        ];
+        // first run bootstraps the durable log...
+        let first = run(&args(&serve_args)).unwrap();
+        assert!(first.contains("bootstrapped durable log"), "{first}");
+        // ...recover reports what a restart would see...
+        let probe = run(&args(&["recover", "--wal-dir", &dir])).unwrap();
+        assert!(probe.contains("recovered"), "{probe}");
+        assert!(probe.contains("checkpoint:"), "{probe}");
+        assert!(probe.contains("digest"), "{probe}");
+        // ...and a second serve run recovers and keeps going
+        let second = run(&args(&serve_args)).unwrap();
+        assert!(second.contains("recovered"), "{second}");
+        // recovery of a directory with no durable state is a clean error
+        let empty = tmp("wal_cli_empty");
+        std::fs::remove_dir_all(&empty).ok();
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run(&args(&["recover", "--wal-dir", &empty])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&empty).ok();
     }
 
     #[test]

@@ -102,6 +102,33 @@ impl GraphCollection {
         self.iter().map(|(i, _)| i).collect()
     }
 
+    /// Total number of id slots, live and tombstoned. Ids are assigned
+    /// densely, so this is also the id the next addition will receive.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot with id `id`: `None` past the end, `Some(None)` for a
+    /// tombstone, `Some(Some(g))` for a live graph — the distinction
+    /// checkpoint serialization needs (a tombstone occupies an id; a
+    /// missing slot does not).
+    pub fn slot(&self, id: usize) -> Option<Option<&Graph>> {
+        self.slots.get(id).map(|s| s.as_ref())
+    }
+
+    /// Rebuilds a collection from explicit slots, preserving ids and
+    /// tombstones — the checkpoint-recovery constructor. Cache tokens
+    /// are minted fresh (they are process-unique identities, not
+    /// durable state; a recovered process must not reuse a dead
+    /// process's token space).
+    pub fn from_slots(slots: Vec<Option<Graph>>) -> Self {
+        let tokens = slots
+            .iter()
+            .map(|_| vqi_graph::cache::mint_target_token())
+            .collect();
+        GraphCollection { slots, tokens }
+    }
+
     /// Applies a batch update; returns the ids assigned to the additions.
     /// Removing an unknown or dead id is a no-op.
     pub fn apply(&mut self, update: BatchUpdate) -> Vec<usize> {

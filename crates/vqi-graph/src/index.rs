@@ -429,13 +429,17 @@ mod tests {
             }
             by_label.push(v);
         }
-        bucket_offsets.push(by_label.len() as u32);
+        if !labels.is_empty() {
+            bucket_offsets.push(by_label.len() as u32);
+        }
         (offsets, nbr, labels, bucket_offsets, by_label)
     }
 
     #[test]
     fn shared_packers_reproduce_the_legacy_packing_and_candidate_order() {
-        // the empty graph exercises the historical [0] + [0,0] shape
+        // the empty graph exercises the degenerate [0] + [0] shape
+        // (bucket_offsets always has exactly labels.len() + 1 entries,
+        // the invariant the VQICSR01 image layout relies on)
         for g in [Graph::new(), random_graph(80, 0.1, 3, 2, 41)] {
             let (offsets, nbr, labels, bucket_offsets, by_label) = legacy_packing(&g);
             let idx = GraphIndex::build(&g);

@@ -57,6 +57,7 @@ pub mod par;
 pub mod storage;
 pub mod traversal;
 pub mod truss;
+pub mod wal;
 
 pub use delta::EdgeDelta;
 pub use graph::{EdgeId, Graph, Label, NodeId, WILDCARD_LABEL};

@@ -152,7 +152,12 @@ pub(crate) fn label_buckets(node_labels: &[Label]) -> (Vec<Label>, Vec<u32>, Vec
         }
         by_label.push(v);
     }
-    bucket_offsets.push(by_label.len() as u32);
+    // keep the invariant len(bucket_offsets) == len(labels) + 1 even
+    // for the empty graph (otherwise the on-disk image, whose section
+    // lengths are computed from the label-class count, cannot round-trip)
+    if !labels.is_empty() {
+        bucket_offsets.push(by_label.len() as u32);
+    }
     (labels, bucket_offsets, by_label)
 }
 
@@ -332,6 +337,43 @@ impl CsrGraph {
 
     // ---- on-disk image ---------------------------------------------------
 
+    /// Serializes the image into a byte buffer — the same `VQICSR01`
+    /// layout [`CsrGraph::save_image`] writes to disk, for embedding in
+    /// containers (the `vqi-serve` checkpoint format stores one encoded
+    /// image per collection slot). For multi-gigabyte graphs prefer the
+    /// streaming [`CsrGraph::save_image`], which never buffers the
+    /// whole image.
+    pub fn encode_image(&self) -> Vec<u8> {
+        let total_u32 = self.node_labels.len()
+            + self.offsets.len()
+            + 2 * self.nbr.len()
+            + 2 * self.endpoints.len()
+            + self.edge_labels.len()
+            + self.labels.len()
+            + self.bucket_offsets.len()
+            + self.by_label.len();
+        let mut out = Vec::with_capacity(8 + 24 + 4 * total_u32 + 8);
+        out.extend_from_slice(b"VQICSR01");
+        out.extend_from_slice(&(self.node_labels.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.endpoints.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.labels.len() as u64).to_le_bytes());
+        let mut push_u32s = |iter: &mut dyn Iterator<Item = u32>| {
+            for x in iter {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        };
+        push_u32s(&mut self.node_labels.iter().copied());
+        push_u32s(&mut self.offsets.iter().copied());
+        push_u32s(&mut self.nbr.iter().flat_map(|&(v, e)| [v.0, e.0]));
+        push_u32s(&mut self.endpoints.iter().flat_map(|&(u, v)| [u.0, v.0]));
+        push_u32s(&mut self.edge_labels.iter().copied());
+        push_u32s(&mut self.labels.iter().copied());
+        push_u32s(&mut self.bucket_offsets.iter().copied());
+        push_u32s(&mut self.by_label.iter().map(|v| v.0));
+        out.extend_from_slice(&self.digest().to_le_bytes());
+        out
+    }
+
     /// Writes the little-endian on-disk image. Layout: the 8-byte magic
     /// `VQICSR01`; `node_count`, `edge_count`, `label_class_count` as
     /// u64 LE; then the arrays as u32 LE in field order (`node_labels`,
@@ -389,11 +431,8 @@ impl CsrGraph {
         })
     }
 
-    /// Loads an image written by [`CsrGraph::save_image`], validating
-    /// the magic, section sizes, CSR invariants, bucket invariants, and
-    /// the digest trailer. Errors are reported in the style of
-    /// [`crate::io`]: `VqiError::Parse` carrying the 1-based *section*
-    /// number in `line` and a reason naming what was wrong.
+    /// Loads an image written by [`CsrGraph::save_image`]; the
+    /// path-reading twin of [`CsrGraph::decode_image`].
     pub fn load_image(path: impl AsRef<Path>) -> Result<CsrGraph, VqiError> {
         let path = path.as_ref();
         let mut bytes = Vec::new();
@@ -403,6 +442,23 @@ impl CsrGraph {
                 line: 0,
                 reason: format!("cannot read {}: {e}", path.display()),
             })?;
+        CsrGraph::decode_image(&bytes)
+    }
+
+    /// Decodes a `VQICSR01` image from bytes, validating the magic,
+    /// section sizes, CSR invariants, bucket invariants, and the digest
+    /// trailer. Errors are reported in the style of [`crate::io`]:
+    /// `VqiError::Parse` carrying the 1-based *section* number in
+    /// `line` and a reason naming what was wrong.
+    ///
+    /// Adversarial-input contract: any truncation, extension, or bit
+    /// flip of a valid image yields `Err(Parse)` — never a panic and
+    /// never an allocation sized by a corrupt length field. The header
+    /// counts are range-checked (`n`, `m` against u32 packing, `nl`
+    /// against `n`) and the implied section lengths are balanced
+    /// against the *actual* byte count with overflow-checked arithmetic
+    /// before anything is sliced or allocated.
+    pub fn decode_image(bytes: &[u8]) -> Result<CsrGraph, VqiError> {
         let err = |section: usize, reason: String| VqiError::Parse {
             line: section,
             reason,
@@ -415,12 +471,22 @@ impl CsrGraph {
             return Err(err(1, "bad magic (not a VQICSR01 image)".into()));
         }
         let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
-        let n = u64_at(8) as usize;
-        let m = u64_at(16) as usize;
-        let nl = u64_at(24) as usize;
-        if 2 * (m as u64) > u32::MAX as u64 || (n as u64) > u32::MAX as u64 {
-            return Err(err(1, format!("counts out of u32 range: n={n}, m={m}")));
+        let n64 = u64_at(8);
+        let m64 = u64_at(16);
+        let nl64 = u64_at(24);
+        if n64 > u32::MAX as u64 || m64.checked_mul(2).is_none_or(|x| x > u32::MAX as u64) {
+            return Err(err(1, format!("counts out of u32 range: n={n64}, m={m64}")));
         }
+        // a valid image has at most one label class per node (one for
+        // the empty graph); a larger nl is corruption, and rejecting it
+        // here keeps every length below overflow range
+        if nl64 > n64.max(1) {
+            return Err(err(
+                1,
+                format!("label class count {nl64} exceeds node count {n64}"),
+            ));
+        }
+        let (n, m, nl) = (n64 as usize, m64 as usize, nl64 as usize);
         let body = &bytes[32..];
         let lens = [n, n + 1, 4 * m, 2 * m, m, nl, nl + 1, n];
         let total_u32: usize = lens.iter().sum();
@@ -519,9 +585,21 @@ impl CsrGraph {
             bucket_offsets,
             by_label,
         };
-        // section 10: digest trailer
+        // section 10: digest trailer (covers node labels, offsets,
+        // nbr, endpoints, and edge labels)
         if g.digest() != stored_digest {
             return Err(err(10, "digest mismatch (image corrupted)".into()));
+        }
+        // sections 7–9 are derived data the digest does not cover;
+        // recomputing them from the (now digest-verified) node labels
+        // catches any bucket corruption the structural checks let
+        // through
+        let (want_labels, want_offsets, want_by_label) = label_buckets(&g.node_labels);
+        if g.labels != want_labels
+            || g.bucket_offsets != want_offsets
+            || g.by_label != want_by_label
+        {
+            return Err(err(7, "label buckets disagree with node labels".into()));
         }
         Ok(g)
     }
@@ -955,6 +1033,78 @@ mod tests {
     }
 
     #[test]
+    fn storage_image_truncation_and_bitflip_sweeps_yield_parse_errors() {
+        // the adversarial-input contract of decode_image: every
+        // truncation (swept at each section boundary and nearby bytes)
+        // and every single-bit flip must come back Err(Parse) — no
+        // panic, no allocation sized by a corrupt length field
+        let g = labeled_random(11);
+        let c = CsrGraph::from_graph(&g);
+        let valid = c.encode_image();
+        assert_eq!(CsrGraph::decode_image(&valid).expect("decode"), c);
+
+        let n = GraphStorage::node_count(&c);
+        let m = GraphStorage::edge_count(&c);
+        let nl = GraphStorage::label_classes(&c).len();
+        // section start offsets implied by the header
+        let mut boundaries = vec![0usize, 8, 16, 24, 32];
+        let mut off = 32usize;
+        for len in [n, n + 1, 4 * m, 2 * m, m, nl, nl + 1, n] {
+            off += 4 * len;
+            boundaries.push(off);
+        }
+        boundaries.push(valid.len()); // digest trailer end
+        for &b in &boundaries {
+            for cut in [b.saturating_sub(3), b.saturating_sub(1), b, b + 1, b + 5] {
+                if cut >= valid.len() {
+                    continue;
+                }
+                match CsrGraph::decode_image(&valid[..cut]) {
+                    Err(VqiError::Parse { .. }) => {}
+                    other => panic!("truncation at {cut}: expected Parse, got {other:?}"),
+                }
+            }
+        }
+        // bit-flip sweep: every byte, one flipped bit (rotating which)
+        let mut flipped = valid.clone();
+        for i in 0..valid.len() {
+            flipped[i] ^= 1 << (i % 8);
+            match CsrGraph::decode_image(&flipped) {
+                Err(VqiError::Parse { .. }) => {}
+                other => panic!("bit flip at byte {i}: expected Parse, got {other:?}"),
+            }
+            flipped[i] = valid[i];
+        }
+        // a header claiming absurd counts errors before any allocation
+        for (word, value) in [(8, u64::MAX), (16, u64::MAX / 2), (24, u64::MAX)] {
+            let mut huge = valid.clone();
+            huge[word..word + 8].copy_from_slice(&value.to_le_bytes());
+            match CsrGraph::decode_image(&huge) {
+                Err(VqiError::Parse { line: 1, .. }) => {}
+                other => panic!("huge count at {word}: expected Parse, got {other:?}"),
+            }
+        }
+        // trailing garbage after the digest is a size mismatch
+        let mut extended = valid.clone();
+        extended.extend_from_slice(&[0u8; 7]);
+        assert!(matches!(
+            CsrGraph::decode_image(&extended),
+            Err(VqiError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn storage_encode_image_matches_save_image_bytes() {
+        let dir = std::env::temp_dir().join(format!("vqi_csr_encode_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("twin.vqicsr");
+        let c = CsrGraph::from_graph(&labeled_random(3));
+        c.save_image(&path).expect("save");
+        assert_eq!(std::fs::read(&path).expect("read"), c.encode_image());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn storage_empty_and_tiny_graphs_are_handled() {
         let empty = Graph::new();
         let c = CsrGraph::from_graph(&empty);
@@ -968,5 +1118,12 @@ mod tests {
         assert_eq!(GraphStorage::neighbor_slice(&c1, NodeId(0)), &[]);
         assert_eq!(GraphStorage::nodes_with_label(&c1, 5), vec![NodeId(0)]);
         assert_eq!(GraphStorage::nodes_with_label(&c1, 4), Vec::<NodeId>::new());
+
+        // images of degenerate graphs round-trip too (checkpoint slots
+        // can hold empty graphs)
+        for tiny in [&c, &c1] {
+            let back = CsrGraph::decode_image(&tiny.encode_image()).expect("decode tiny");
+            assert_eq!(&back, tiny);
+        }
     }
 }

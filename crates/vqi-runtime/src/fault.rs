@@ -38,16 +38,27 @@ pub struct FaultPlan {
     pub timeout_rate: f64,
     /// Probability that [`nan_score`] poisons a score with NaN.
     pub nan_rate: f64,
+    /// Probability that a crash point ([`maybe_crash`] /
+    /// [`torn_write`]) kills the process. Unlike the other kinds a
+    /// crash is *not* transient — the process dies — so it is meant for
+    /// child-run harnesses that spawn a sacrificial process, observe
+    /// the simulated `kill -9`, and then drive recovery from the
+    /// parent.
+    pub crash_rate: f64,
 }
 
 impl FaultPlan {
-    /// A plan injecting all three kinds at `rate` with the given seed.
+    /// A plan injecting all three *transient* kinds at `rate` with the
+    /// given seed. Crash points stay disabled: a crash kills the whole
+    /// process, so it is opted into explicitly by harnesses that spawn
+    /// a sacrificial child.
     pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
         FaultPlan {
             seed,
             panic_rate: rate,
             timeout_rate: rate,
             nan_rate: rate,
+            crash_rate: 0.0,
         }
     }
 }
@@ -55,6 +66,10 @@ impl FaultPlan {
 struct State {
     plan: FaultPlan,
     fired: HashSet<u64>,
+    /// When set, crash points fire only at this exact site — how the
+    /// crash-matrix harness arms one crash mode at a time while the
+    /// other modes' sites stay live in the same code path.
+    crash_site: Option<String>,
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -65,6 +80,7 @@ fn state() -> &'static Mutex<State> {
         Mutex::new(State {
             plan: FaultPlan::default(),
             fired: HashSet::new(),
+            crash_site: None,
         })
     })
 }
@@ -75,10 +91,21 @@ pub fn set_plan(plan: FaultPlan) {
     let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
     st.plan = plan;
     st.fired.clear();
+    st.crash_site = None;
     ACTIVE.store(
-        plan.panic_rate > 0.0 || plan.timeout_rate > 0.0 || plan.nan_rate > 0.0,
+        plan.panic_rate > 0.0
+            || plan.timeout_rate > 0.0
+            || plan.nan_rate > 0.0
+            || plan.crash_rate > 0.0,
         Ordering::Relaxed,
     );
+}
+
+/// Restricts crash points to the named site (`None` lifts the
+/// restriction). Call after [`set_plan`], which clears the filter.
+pub fn set_crash_site(site: Option<&str>) {
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.crash_site = site.map(str::to_string);
 }
 
 /// Deactivates injection and clears the fired-once registry.
@@ -113,6 +140,7 @@ fn mix64(mut x: u64) -> u64 {
 const KIND_PANIC: u64 = 0x50414e49; // "PANI"
 const KIND_TIMEOUT: u64 = 0x54494d45; // "TIME"
 const KIND_NAN: u64 = 0x4e414e53; // "NANS"
+const KIND_CRASH: u64 = 0x43525348; // "CRSH"
 
 /// The keyed decision: pure in `(seed, site, key, kind)`, subject to
 /// the fired-once rule.
@@ -171,6 +199,71 @@ pub fn nan_score(site: &str, key: u64, v: f64) -> f64 {
     }
 }
 
+/// The crash decision: like [`decide`] but additionally gated on the
+/// [`set_crash_site`] filter, and returning the decision hash so torn
+/// writes can derive a seeded byte offset from it.
+fn decide_crash(site: &str, key: u64) -> Option<u64> {
+    if !active() {
+        return None;
+    }
+    let st = state().lock().unwrap_or_else(|e| e.into_inner());
+    let r = st.plan.crash_rate.clamp(0.0, 1.0);
+    if r <= 0.0 {
+        return None;
+    }
+    if let Some(filter) = &st.crash_site {
+        if filter != site {
+            return None;
+        }
+    }
+    let h = mix64(
+        st.plan
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(fnv1a(site))
+            ^ mix64(key.wrapping_add(KIND_CRASH)),
+    );
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    if u >= r {
+        return None;
+    }
+    Some(h)
+}
+
+/// Kills the process on the spot — the simulated `kill -9` the crash
+/// points resolve to. `abort` raises `SIGABRT` without unwinding or
+/// flushing buffered writers, so whatever the code under test had not
+/// pushed to the OS is genuinely lost, exactly like real process death.
+pub fn crash_now(site: &str, key: u64) -> ! {
+    // the counter is in-memory and dies with us; the stderr line is for
+    // humans debugging a harness, parents only look at the exit status
+    eprintln!("vqi-runtime: injected crash at {site}#{key}");
+    std::process::abort();
+}
+
+/// Crash point: kills the process when the plan (and the crash-site
+/// filter) says this `(site, key)` dies here. Pure per `(seed, site,
+/// key)` like every other kind, so the same plan crashes the same
+/// batch at any thread cap.
+pub fn maybe_crash(site: &str, key: u64) {
+    if decide_crash(site, key).is_some() {
+        crash_now(site, key);
+    }
+}
+
+/// Torn-write decision: when the plan crashes this `(site, key)`,
+/// returns the seeded byte offset (in `[0, len)`) at which the caller
+/// should cut its write before dying via [`crash_now`]. The offset is a
+/// pure function of `(seed, site, key, len)`, so a torn tail lands at
+/// the same byte in every run of the plan. Returns `None` (write
+/// everything, live on) when the crash does not fire or `len` is 0.
+pub fn torn_write(site: &str, key: u64, len: usize) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    decide_crash(site, key).map(|h| (mix64(h ^ 0x70524e) % len as u64) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,8 +283,48 @@ mod tests {
         reset();
         assert!(!active());
         maybe_panic("site", 1); // must not panic
+        maybe_crash("site", 1); // must not abort
         assert!(!maybe_timeout("site", 1));
         assert_eq!(nan_score("site", 1, 2.5), 2.5);
+        assert_eq!(torn_write("site", 1, 100), None);
+    }
+
+    #[test]
+    fn crash_decisions_are_pure_and_honor_the_site_filter() {
+        let _g = lock();
+        let plan = FaultPlan {
+            seed: 11,
+            crash_rate: 0.5,
+            ..Default::default()
+        };
+        set_plan(plan);
+        let offsets: Vec<Option<usize>> = (0..64).map(|k| torn_write("wal.append", k, 512)).collect();
+        assert!(offsets.iter().any(|o| o.is_some()), "rate 0.5 fired nowhere");
+        assert!(offsets.iter().any(|o| o.is_none()), "rate 0.5 fired everywhere");
+        for o in offsets.iter().flatten() {
+            assert!(*o < 512, "offset must cut inside the record");
+        }
+        // re-arming reproduces the exact offsets (pure in seed/site/key)
+        set_plan(plan);
+        let again: Vec<Option<usize>> = (0..64).map(|k| torn_write("wal.append", k, 512)).collect();
+        assert_eq!(offsets, again);
+        // repeated queries agree too: crashes bypass the fired-once
+        // registry, because a fired crash never returns to ask again
+        assert_eq!(torn_write("wal.append", 0, 512), again[0]);
+
+        // a filter on another site silences this one; matching re-arms it
+        set_plan(plan);
+        set_crash_site(Some("wal.checkpoint"));
+        assert!((0..64).all(|k| torn_write("wal.append", k, 512).is_none()));
+        assert!((0..64).all(|k| {
+            // maybe_crash must not abort while filtered out
+            maybe_crash("wal.append", k);
+            true
+        }));
+        set_crash_site(Some("wal.append"));
+        let filtered: Vec<Option<usize>> = (0..64).map(|k| torn_write("wal.append", k, 512)).collect();
+        assert_eq!(filtered, again, "the filter must not change decisions");
+        reset();
     }
 
     #[test]

@@ -44,7 +44,21 @@ pub enum Admitted<'a> {
         in_flight: usize,
         /// Requests queued at rejection time.
         queued: usize,
+        /// Deterministic backoff hint, see [`retry_after_ms`].
+        retry_after_ms: u64,
     },
+}
+
+/// The backoff hint attached to a rejection: a pure function of the
+/// queue state at rejection time, so identical load shapes produce
+/// identical hints (and tests can assert them). Models each request
+/// ahead of the caller costing ~5 ms, clamped to `[5, 2000]` so a
+/// short spike never advises a multi-second wait and the hint is never
+/// zero (a zero hint invites an immediate retry storm — the opposite
+/// of what a rejection asks for).
+pub fn retry_after_ms(in_flight: usize, queued: usize) -> u64 {
+    const PER_REQUEST_MS: u64 = 5;
+    ((in_flight + queued) as u64 * PER_REQUEST_MS).clamp(PER_REQUEST_MS, 2000)
 }
 
 #[derive(Debug, Default)]
@@ -105,6 +119,7 @@ impl Admission {
                     return Admitted::Overloaded {
                         in_flight: st.in_flight,
                         queued: st.queued,
+                        retry_after_ms: retry_after_ms(st.in_flight, st.queued),
                     };
                 }
                 st.queued += 1;
@@ -199,12 +214,33 @@ mod tests {
         };
         // queue of 0: a second arrival is rejected outright
         match gate.admit(&Budget::unlimited().with_deadline_ms(5)) {
-            Admitted::Overloaded { in_flight, queued } => {
+            Admitted::Overloaded {
+                in_flight,
+                queued,
+                retry_after_ms: hint,
+            } => {
                 assert_eq!(in_flight, 1);
                 assert_eq!(queued, 0);
+                // the hint is a pure function of the rejection state
+                assert_eq!(hint, retry_after_ms(1, 0));
             }
             other => panic!("expected overload, got {other:?}"),
         };
+    }
+
+    #[test]
+    fn retry_after_hint_is_deterministic_and_clamped() {
+        // never zero (an immediate-retry hint would amplify overload)
+        assert_eq!(retry_after_ms(0, 0), 5);
+        assert_eq!(retry_after_ms(1, 0), 5);
+        // linear in the work ahead of the caller
+        assert_eq!(retry_after_ms(4, 6), 50);
+        assert_eq!(retry_after_ms(4, 64), 340);
+        // and capped so a burst never advises a multi-second wait
+        assert_eq!(retry_after_ms(1000, 1000), 2000);
+        // same state, same hint — callers can bake it into backoff
+        // schedules without jitter appearing on the server side
+        assert_eq!(retry_after_ms(4, 64), retry_after_ms(4, 64));
     }
 
     #[test]

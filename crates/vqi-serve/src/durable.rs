@@ -1,0 +1,776 @@
+//! Durability: write-ahead logging, epoch-consistent checkpoints, and
+//! crash recovery for the service (DESIGN §13).
+//!
+//! The durable state of a service is a directory holding two kinds of
+//! files:
+//!
+//! * **WAL segments** (`wal-<start_epoch>.log`) — [`vqi_graph::wal`]
+//!   segments whose records are encoded [`BatchUpdate`]s, one per
+//!   epoch, appended and fsync'd *before* the epoch is published by the
+//!   [`crate::snapshot::SnapshotStore`]. A segment is rotated (closed,
+//!   new one started) at every checkpoint; its name is the first epoch
+//!   it can contain.
+//! * **Checkpoints** (`ckpt-<epoch>.ckpt`) — a `VQICKPT1` container
+//!   serializing the whole collection as of one published epoch: one
+//!   digest-checked `VQICSR01` image per live slot, explicit tombstone
+//!   markers for dead slots (ids are durable), a collection digest, and
+//!   a trailer digest over the entire file. Checkpoints are written to
+//!   a temp file, fsync'd, renamed into place, and the directory
+//!   fsync'd — a torn checkpoint is never visible under the final name,
+//!   and a corrupt one is detected by its trailer and skipped in favor
+//!   of the previous checkpoint.
+//!
+//! **Recovery** ([`recover`]) = newest valid checkpoint + replay of
+//! every logged batch after it, in epoch order, with two rules proven
+//! by the crash-matrix suite:
+//!
+//! 1. *torn-tail truncation* — a torn or corrupt record at the tail of
+//!    the newest segment is the batch that was being appended when the
+//!    process died; it was never acknowledged (fsync precedes publish,
+//!    publish precedes the response), so it is discarded and physically
+//!    truncated. Damage anywhere else is real corruption and fails.
+//! 2. *epoch contiguity* — replayed epochs must run `E+1, E+2, …` from
+//!    the checkpoint epoch `E` with no gap or repeat; anything else
+//!    means log files are missing and recovery refuses to guess.
+//!
+//! The recovered collection is bit-identical to the uncrashed process's
+//! collection at the same epoch: batch replay is [`GraphCollection::apply`]
+//! on bit-identical inputs (the codecs preserve graph ids, labels, and
+//! adjacency order; slot ids and tombstones survive the checkpoint).
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use vqi_core::repo::{BatchUpdate, GraphCollection};
+use vqi_graph::storage::CsrGraph;
+use vqi_graph::wal::{self, bytes_digest, SegmentScan, WalWriter};
+use vqi_runtime::VqiError;
+
+/// Magic bytes opening every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"VQICKPT1";
+
+const CKPT_SEED: u64 = 0xC8EC_4901_57A7_E000;
+const DIGEST_SEED: u64 = 0xC011_EC71_0D16_E575;
+
+/// Durability tuning for [`crate::service::VqiService`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Batches between checkpoints (and segment rotations); `0` means
+    /// checkpoint only at bootstrap, never during updates.
+    pub checkpoint_every: u64,
+    /// Whether every append is fsync'd before the epoch publishes.
+    /// Disabling trades the crash guarantee for speed (the bench's
+    /// no-durability baseline); production keeps it on.
+    pub fsync: bool,
+    /// Checkpoints retained (older ones and their segments are pruned).
+    /// Clamped to at least 1; the default 2 keeps one fallback in case
+    /// the newest checkpoint is itself damaged.
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_every: 16,
+            fsync: true,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+/// What [`recover`] did, for operators and the recovery-time histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Epoch of the checkpoint recovery started from.
+    pub checkpoint_epoch: u64,
+    /// Newer checkpoints that were present but unreadable (each one
+    /// skipped in favor of an older valid one).
+    pub checkpoints_skipped: usize,
+    /// Batches replayed from the WAL suffix.
+    pub replayed: u64,
+    /// Records skipped because their epoch was already in the
+    /// checkpoint (a crash mid-checkpoint leaves them in the segment).
+    pub skipped_records: u64,
+    /// Bytes of torn/corrupt tail truncated from the newest segment.
+    pub truncated_bytes: u64,
+    /// The epoch of the recovered snapshot.
+    pub final_epoch: u64,
+    /// Wall-clock recovery time.
+    pub elapsed_ms: f64,
+}
+
+fn parse_err(reason: String) -> VqiError {
+    VqiError::Parse { line: 0, reason }
+}
+
+fn io_err(path: &Path, what: &str, e: std::io::Error) -> VqiError {
+    parse_err(format!("{what} {}: {e}", path.display()))
+}
+
+fn segment_path(dir: &Path, start_epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{start_epoch:020}.log"))
+}
+
+fn ckpt_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("ckpt-{epoch:020}.ckpt"))
+}
+
+/// Lists `(epoch, path)` for files matching `prefix-<epoch>.<ext>`,
+/// ascending by epoch.
+fn list_numbered(dir: &Path, prefix: &str, ext: &str) -> Result<Vec<(u64, PathBuf)>, VqiError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, "cannot list", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, "cannot list", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name.strip_prefix(prefix) {
+            if let Some(num) = rest.strip_suffix(ext) {
+                if let Ok(epoch) = num.parse::<u64>() {
+                    out.push((epoch, entry.path()));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|&(e, _)| e);
+    Ok(out)
+}
+
+// ---- batch codec --------------------------------------------------------
+
+/// Serializes a [`BatchUpdate`] as a WAL record payload: removal ids,
+/// then each added graph via [`wal::encode_graph`], all little-endian.
+pub fn encode_batch(batch: &BatchUpdate) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(batch.removals.len() as u32).to_le_bytes());
+    for &id in &batch.removals {
+        out.extend_from_slice(&(id as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(batch.additions.len() as u32).to_le_bytes());
+    for g in &batch.additions {
+        let bytes = wal::encode_graph(g);
+        out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, len: usize, what: &str) -> Result<&'a [u8], VqiError> {
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| parse_err(format!("batch payload truncated reading {what}")))?;
+    let out = &bytes[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u32, VqiError> {
+    Ok(u32::from_le_bytes(
+        take(bytes, pos, 4, what)?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u64, VqiError> {
+    Ok(u64::from_le_bytes(
+        take(bytes, pos, 8, what)?.try_into().expect("8 bytes"),
+    ))
+}
+
+/// Decodes [`encode_batch`] bytes; addition order and removal order are
+/// preserved exactly, so replaying the decoded batch assigns the same
+/// slot ids the original `apply` did.
+pub fn decode_batch(bytes: &[u8]) -> Result<BatchUpdate, VqiError> {
+    let mut pos = 0usize;
+    let nr = take_u32(bytes, &mut pos, "removal count")? as usize;
+    // each removal is 8 bytes; bound the count by the remaining payload
+    // before allocating
+    if nr > (bytes.len() - pos) / 8 {
+        return Err(parse_err(format!("removal count {nr} exceeds payload")));
+    }
+    let mut removals = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        removals.push(take_u64(bytes, &mut pos, "removal id")? as usize);
+    }
+    let na = take_u32(bytes, &mut pos, "addition count")? as usize;
+    let mut additions = Vec::new();
+    for i in 0..na {
+        let len = take_u64(bytes, &mut pos, "graph length")? as usize;
+        let gbytes = take(bytes, &mut pos, len, "graph bytes")?;
+        additions.push(
+            wal::decode_graph(gbytes)
+                .map_err(|e| parse_err(format!("addition {i} corrupt: {e}")))?,
+        );
+    }
+    if pos != bytes.len() {
+        return Err(parse_err(format!(
+            "batch payload has {} trailing bytes",
+            bytes.len() - pos
+        )));
+    }
+    Ok(BatchUpdate {
+        additions,
+        removals,
+    })
+}
+
+// ---- collection digest --------------------------------------------------
+
+/// Content digest of a whole collection, tombstones included: the
+/// splitmix64 fold of per-slot [`CsrGraph::digest`]s (with an explicit
+/// marker per tombstone) plus the slot count. Equal digests ⇔ equal
+/// collections slot-for-slot — the quantity the crash-matrix suite
+/// compares between a recovered and an uncrashed service.
+pub fn collection_digest(c: &GraphCollection) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + 9 * c.slot_count());
+    bytes.extend_from_slice(&(c.slot_count() as u64).to_le_bytes());
+    for id in 0..c.slot_count() {
+        match c.slot(id).expect("id in range") {
+            None => bytes.push(0u8),
+            Some(g) => {
+                bytes.push(1u8);
+                bytes.extend_from_slice(&CsrGraph::from_graph(g).digest().to_le_bytes());
+            }
+        }
+    }
+    bytes_digest(DIGEST_SEED, &bytes)
+}
+
+// ---- checkpoints --------------------------------------------------------
+
+fn encode_checkpoint(epoch: u64, c: &GraphCollection) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(c.slot_count() as u64).to_le_bytes());
+    out.extend_from_slice(&collection_digest(c).to_le_bytes());
+    for id in 0..c.slot_count() {
+        match c.slot(id).expect("id in range") {
+            None => out.push(0u8),
+            Some(g) => {
+                out.push(1u8);
+                let img = CsrGraph::from_graph(g).encode_image();
+                out.extend_from_slice(&(img.len() as u64).to_le_bytes());
+                out.extend_from_slice(&img);
+            }
+        }
+    }
+    let trailer = bytes_digest(CKPT_SEED, &out);
+    out.extend_from_slice(&trailer.to_le_bytes());
+    out
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Result<(u64, GraphCollection), VqiError> {
+    if bytes.len() < 8 + 24 + 8 || &bytes[..8] != CKPT_MAGIC {
+        return Err(parse_err("not a VQICKPT1 checkpoint".into()));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if bytes_digest(CKPT_SEED, body) != stored {
+        return Err(parse_err("checkpoint digest mismatch".into()));
+    }
+    let mut pos = 8usize;
+    let epoch = take_u64(body, &mut pos, "epoch")?;
+    let slot_count = take_u64(body, &mut pos, "slot count")? as usize;
+    let want_digest = take_u64(body, &mut pos, "collection digest")?;
+    // each slot costs at least 1 byte; clamp before allocating
+    if slot_count > body.len() - pos {
+        return Err(parse_err(format!(
+            "slot count {slot_count} exceeds checkpoint size"
+        )));
+    }
+    let mut slots: Vec<Option<vqi_graph::Graph>> = Vec::with_capacity(slot_count);
+    for id in 0..slot_count {
+        let tag = take(body, &mut pos, 1, "slot tag")?[0];
+        match tag {
+            0 => slots.push(None),
+            1 => {
+                let len = take_u64(body, &mut pos, "image length")? as usize;
+                let img = take(body, &mut pos, len, "image bytes")?;
+                let csr = CsrGraph::decode_image(img)
+                    .map_err(|e| parse_err(format!("slot {id} image corrupt: {e}")))?;
+                slots.push(Some(csr.to_graph()));
+            }
+            t => return Err(parse_err(format!("slot {id} has invalid tag {t}"))),
+        }
+    }
+    if pos != body.len() {
+        return Err(parse_err(format!(
+            "checkpoint has {} trailing bytes",
+            body.len() - pos
+        )));
+    }
+    let collection = GraphCollection::from_slots(slots);
+    if collection_digest(&collection) != want_digest {
+        return Err(parse_err("collection digest mismatch".into()));
+    }
+    Ok((epoch, collection))
+}
+
+/// Writes an epoch-consistent checkpoint: temp file, fsync, rename,
+/// directory fsync. A crash at any instant leaves either no checkpoint
+/// under the final name or a complete one.
+pub fn write_checkpoint(
+    dir: &Path,
+    epoch: u64,
+    c: &GraphCollection,
+) -> Result<PathBuf, VqiError> {
+    let bytes = encode_checkpoint(epoch, c);
+    let tmp = dir.join(format!("ckpt-{epoch:020}.tmp"));
+    let path = ckpt_path(dir, epoch);
+    let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, "cannot create", e))?;
+    f.write_all(&bytes)
+        .map_err(|e| io_err(&tmp, "cannot write", e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, "cannot fsync", e))?;
+    drop(f);
+    // crash point: the checkpoint bytes are durable but not yet visible
+    // under the final name — recovery must fall back to the previous
+    // checkpoint plus the (unrotated) WAL suffix
+    vqi_runtime::fault::maybe_crash("wal.checkpoint.mid", epoch);
+    std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, "cannot rename into", e))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    vqi_observe::incr("wal.checkpoint", 1);
+    Ok(path)
+}
+
+/// Reads and validates one checkpoint file.
+pub fn read_checkpoint(path: &Path) -> Result<(u64, GraphCollection), VqiError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, "cannot read", e))?;
+    decode_checkpoint(&bytes)
+}
+
+// ---- the durable log ----------------------------------------------------
+
+/// The service's handle on its durability directory: the open WAL
+/// segment plus the checkpoint cadence. All methods are called under
+/// the service's maintainer lock, which serializes them with publishes.
+pub struct DurableLog {
+    dir: PathBuf,
+    cfg: DurabilityConfig,
+    writer: WalWriter,
+    since_checkpoint: u64,
+}
+
+impl DurableLog {
+    /// Bootstraps a fresh durability directory: writes the epoch-0
+    /// checkpoint (the initial collection must be recoverable even if
+    /// the process dies before its first update) and opens the first
+    /// segment. Refuses a directory that already holds a checkpoint —
+    /// that state belongs to a previous process; [`recover`] it instead
+    /// of silently shadowing it.
+    pub fn bootstrap(
+        dir: &Path,
+        cfg: DurabilityConfig,
+        initial: &GraphCollection,
+        epoch: u64,
+    ) -> Result<DurableLog, VqiError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, "cannot create", e))?;
+        if !list_numbered(dir, "ckpt-", ".ckpt")?.is_empty() {
+            return Err(parse_err(format!(
+                "{} already holds checkpoints; recover instead of bootstrapping",
+                dir.display()
+            )));
+        }
+        write_checkpoint(dir, epoch, initial)?;
+        let writer = WalWriter::create(segment_path(dir, epoch + 1))?;
+        Ok(DurableLog {
+            dir: dir.to_path_buf(),
+            cfg,
+            writer,
+            since_checkpoint: 0,
+        })
+    }
+
+    /// Reattaches to a recovered directory: reopens the newest segment
+    /// truncated to its valid prefix (physically removing any torn
+    /// tail), or starts a fresh segment when none exists.
+    fn reattach(
+        dir: &Path,
+        cfg: DurabilityConfig,
+        final_epoch: u64,
+        last_segment: Option<(PathBuf, u64)>,
+        replayed: u64,
+    ) -> Result<DurableLog, VqiError> {
+        let writer = match last_segment {
+            Some((path, valid_len)) => WalWriter::reopen(path, valid_len)?,
+            None => WalWriter::create(segment_path(dir, final_epoch + 1))?,
+        };
+        Ok(DurableLog {
+            dir: dir.to_path_buf(),
+            cfg,
+            writer,
+            since_checkpoint: replayed,
+        })
+    }
+
+    /// Appends (and, per config, fsyncs) one encoded batch as `epoch`.
+    /// Returns the segment length *before* the append, for
+    /// [`DurableLog::rollback`].
+    pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<u64, VqiError> {
+        let before = self.writer.len();
+        self.writer.append(epoch, payload)?;
+        if self.cfg.fsync {
+            self.writer.sync()?;
+        }
+        Ok(before)
+    }
+
+    /// Discards a just-appended record whose batch failed to apply
+    /// (e.g. a fail-fast maintenance error): the epoch was never
+    /// published, so the record must not survive into recovery.
+    pub fn rollback(&mut self, to_len: u64) -> Result<(), VqiError> {
+        self.writer.truncate_to(to_len)
+    }
+
+    /// Notes that `epoch` (whose record is already durable) is being
+    /// published with collection state `c`; checkpoints and rotates on
+    /// the configured cadence.
+    pub fn committed(&mut self, epoch: u64, c: &GraphCollection) -> Result<(), VqiError> {
+        self.since_checkpoint += 1;
+        if self.cfg.checkpoint_every > 0 && self.since_checkpoint >= self.cfg.checkpoint_every {
+            write_checkpoint(&self.dir, epoch, c)?;
+            self.writer = WalWriter::create(segment_path(&self.dir, epoch + 1))?;
+            self.since_checkpoint = 0;
+            self.prune()?;
+        }
+        Ok(())
+    }
+
+    /// Removes checkpoints beyond the retention count and every segment
+    /// that can only contain epochs at or before the oldest retained
+    /// checkpoint (segments rotate at checkpoints, so a segment whose
+    /// start epoch is ≤ that checkpoint's epoch ended at it).
+    fn prune(&self) -> Result<(), VqiError> {
+        let keep = self.cfg.keep_checkpoints.max(1);
+        let ckpts = list_numbered(&self.dir, "ckpt-", ".ckpt")?;
+        if ckpts.len() <= keep {
+            return Ok(());
+        }
+        let oldest_kept = ckpts[ckpts.len() - keep].0;
+        for (epoch, path) in &ckpts[..ckpts.len() - keep] {
+            let _ = epoch;
+            let _ = std::fs::remove_file(path);
+        }
+        for (start, path) in list_numbered(&self.dir, "wal-", ".log")? {
+            if start <= oldest_kept && path != self.writer.path() {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The recovered durable state: the collection, its epoch, the report,
+/// and the log handle reattached for further appends.
+pub struct Recovered {
+    /// The collection as of `report.final_epoch`.
+    pub collection: GraphCollection,
+    /// The reattached log (torn tail already truncated).
+    pub log: DurableLog,
+    /// What recovery did.
+    pub report: RecoveryReport,
+}
+
+/// Recovers the durable state of `dir`: newest valid checkpoint, then
+/// replay of the WAL suffix in epoch order, truncating a torn tail in
+/// the newest segment and refusing damage anywhere else.
+pub fn recover(dir: &Path, cfg: DurabilityConfig) -> Result<Recovered, VqiError> {
+    let start = Instant::now();
+    let ckpts = list_numbered(dir, "ckpt-", ".ckpt")?;
+    if ckpts.is_empty() {
+        return Err(parse_err(format!(
+            "{} holds no checkpoint; nothing to recover",
+            dir.display()
+        )));
+    }
+    // newest valid checkpoint wins; unreadable newer ones are skipped
+    // (their epochs are still covered by the segments that were rotated
+    // when — and only when — a checkpoint succeeded)
+    let mut checkpoints_skipped = 0usize;
+    let mut base: Option<(u64, GraphCollection)> = None;
+    let mut last_err = None;
+    for (_, path) in ckpts.iter().rev() {
+        match read_checkpoint(path) {
+            Ok(found) => {
+                base = Some(found);
+                break;
+            }
+            Err(e) => {
+                checkpoints_skipped += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    let (ckpt_epoch, mut collection) = base.ok_or_else(|| {
+        parse_err(format!(
+            "no usable checkpoint in {} (last error: {})",
+            dir.display(),
+            last_err.map(|e| e.to_string()).unwrap_or_default()
+        ))
+    })?;
+
+    let segments = list_numbered(dir, "wal-", ".log")?;
+    let mut replayed = 0u64;
+    let mut skipped_records = 0u64;
+    let mut truncated_bytes = 0u64;
+    let mut expected = ckpt_epoch + 1;
+    let mut last_segment: Option<(PathBuf, u64)> = None;
+    for (i, (seg_start, path)) in segments.iter().enumerate() {
+        let scan: SegmentScan = wal::read_segment(path)?;
+        let is_last = i + 1 == segments.len();
+        if scan.truncated() && !is_last {
+            return Err(parse_err(format!(
+                "segment {} has a torn record but is not the newest segment: \
+                 mid-log corruption",
+                path.display()
+            )));
+        }
+        for record in &scan.records {
+            if record.epoch <= ckpt_epoch {
+                skipped_records += 1;
+                continue;
+            }
+            if record.epoch != expected {
+                return Err(parse_err(format!(
+                    "segment {} (start {seg_start}) holds epoch {} where {} was \
+                     expected: log suffix is not contiguous",
+                    path.display(),
+                    record.epoch,
+                    expected
+                )));
+            }
+            let batch = decode_batch(&record.payload)?;
+            collection.apply(batch);
+            expected += 1;
+            replayed += 1;
+        }
+        if is_last {
+            truncated_bytes = scan.torn_bytes;
+            last_segment = Some((path.clone(), scan.valid_len));
+        }
+    }
+    let final_epoch = expected - 1;
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    vqi_observe::observe("serve.recovery.ms", elapsed_ms as u64);
+    let log = DurableLog::reattach(dir, cfg, final_epoch, last_segment, replayed)?;
+    Ok(Recovered {
+        collection,
+        log,
+        report: RecoveryReport {
+            checkpoint_epoch: ckpt_epoch,
+            checkpoints_skipped,
+            replayed,
+            skipped_records,
+            truncated_bytes,
+            final_epoch,
+            elapsed_ms,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqi_graph::generate::{chain, cycle, star};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vqi_durable_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
+    }
+
+    fn sample_collection() -> GraphCollection {
+        let mut c = GraphCollection::new(vec![chain(4, 1, 0), star(5, 2, 1), cycle(6, 3, 2)]);
+        c.apply(BatchUpdate::removing(vec![1])); // leave a tombstone
+        c
+    }
+
+    #[test]
+    fn durable_batch_codec_roundtrips_and_rejects_damage() {
+        let batch = BatchUpdate {
+            additions: vec![chain(5, 1, 0), cycle(4, 2, 1)],
+            removals: vec![0, 7],
+        };
+        let bytes = encode_batch(&batch);
+        let back = decode_batch(&bytes).expect("decode");
+        assert_eq!(back.removals, batch.removals);
+        assert_eq!(back.additions.len(), 2);
+        for (a, b) in back.additions.iter().zip(&batch.additions) {
+            assert_eq!(wal::encode_graph(a), wal::encode_graph(b));
+        }
+        // the empty batch is legal
+        let empty = decode_batch(&encode_batch(&BatchUpdate::default())).expect("empty");
+        assert!(empty.is_empty());
+        // truncations and count lies must error, never panic or OOM
+        for cut in [0usize, 3, 4, bytes.len() - 1] {
+            assert!(decode_batch(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut lying = bytes.clone();
+        lying[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_batch(&lying).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_batch(&trailing).is_err());
+    }
+
+    #[test]
+    fn durable_checkpoint_roundtrips_slots_and_tombstones() {
+        let dir = tmp_dir("ckpt");
+        let c = sample_collection();
+        write_checkpoint(&dir, 7, &c).expect("write");
+        let (epoch, back) = read_checkpoint(&ckpt_path(&dir, 7)).expect("read");
+        assert_eq!(epoch, 7);
+        assert_eq!(back.slot_count(), c.slot_count());
+        assert_eq!(back.ids(), c.ids());
+        assert!(back.get(1).is_none(), "tombstone must survive");
+        assert_eq!(collection_digest(&back), collection_digest(&c));
+        // and replay on top assigns the same next id
+        let mut b2 = back;
+        assert_eq!(
+            b2.apply(BatchUpdate::adding(vec![chain(2, 9, 9)])),
+            vec![c.slot_count()]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_corrupt_checkpoints_are_rejected() {
+        let dir = tmp_dir("ckpt_corrupt");
+        let c = sample_collection();
+        let path = write_checkpoint(&dir, 3, &c).expect("write");
+        let valid = std::fs::read(&path).expect("read");
+        // bit flips anywhere must yield Parse (stride keeps it fast)
+        for i in (0..valid.len()).step_by(7) {
+            let mut bad = valid.clone();
+            bad[i] ^= 1 << (i % 8);
+            std::fs::write(&path, &bad).expect("write bad");
+            assert!(
+                matches!(read_checkpoint(&path), Err(VqiError::Parse { .. })),
+                "bit flip at {i}"
+            );
+        }
+        // truncations too
+        for cut in [0usize, 7, 8, 40, valid.len() - 1] {
+            std::fs::write(&path, &valid[..cut]).expect("write cut");
+            assert!(
+                matches!(read_checkpoint(&path), Err(VqiError::Parse { .. })),
+                "cut {cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_recovery_replays_the_wal_suffix() {
+        let dir = tmp_dir("recover");
+        let initial = GraphCollection::new(vec![chain(4, 1, 0)]);
+        let cfg = DurabilityConfig {
+            checkpoint_every: 0, // no mid-run checkpoints: pure replay
+            ..Default::default()
+        };
+        let mut log = DurableLog::bootstrap(&dir, cfg.clone(), &initial, 0).expect("bootstrap");
+        // what an uncrashed process would hold
+        let mut reference = initial.clone();
+        let batches = [
+            BatchUpdate::adding(vec![star(4, 2, 1), cycle(5, 3, 2)]),
+            BatchUpdate::removing(vec![0]),
+            BatchUpdate {
+                additions: vec![chain(3, 7, 7)],
+                removals: vec![1],
+            },
+        ];
+        for (i, b) in batches.iter().enumerate() {
+            log.append(i as u64 + 1, &encode_batch(b)).expect("append");
+            reference.apply(b.clone());
+            log.committed(i as u64 + 1, &reference).expect("committed");
+        }
+        drop(log);
+
+        let rec = recover(&dir, cfg.clone()).expect("recover");
+        assert_eq!(rec.report.checkpoint_epoch, 0);
+        assert_eq!(rec.report.replayed, 3);
+        assert_eq!(rec.report.final_epoch, 3);
+        assert_eq!(rec.report.truncated_bytes, 0);
+        assert_eq!(collection_digest(&rec.collection), collection_digest(&reference));
+
+        // a second recovery is idempotent
+        drop(rec.log);
+        let again = recover(&dir, cfg).expect("recover again");
+        assert_eq!(again.report.final_epoch, 3);
+        assert_eq!(
+            collection_digest(&again.collection),
+            collection_digest(&reference)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_recovery_truncates_torn_tails_and_checkpoints_rotate() {
+        let dir = tmp_dir("torn_tail");
+        let initial = GraphCollection::new(vec![chain(4, 1, 0)]);
+        let cfg = DurabilityConfig {
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let mut log = DurableLog::bootstrap(&dir, cfg.clone(), &initial, 0).expect("bootstrap");
+        let mut reference = initial.clone();
+        for i in 1..=5u64 {
+            let b = BatchUpdate::adding(vec![chain(2 + i as usize, i as u32, 0)]);
+            log.append(i, &encode_batch(&b)).expect("append");
+            reference.apply(b.clone());
+            log.committed(i, &reference).expect("committed");
+        }
+        let seg = log.writer.path().to_path_buf();
+        drop(log);
+        // checkpoints at epochs 2 and 4 exist; epoch-0 pruned
+        let ckpts = list_numbered(&dir, "ckpt-", ".ckpt").expect("list");
+        assert_eq!(ckpts.iter().map(|&(e, _)| e).collect::<Vec<_>>(), vec![2, 4]);
+
+        // tear the live segment mid-record: epoch 5 is lost, 1–4 survive
+        let bytes = std::fs::read(&seg).expect("read seg");
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).expect("tear");
+        let rec = recover(&dir, cfg.clone()).expect("recover");
+        assert_eq!(rec.report.checkpoint_epoch, 4);
+        assert_eq!(rec.report.replayed, 0, "epoch 5's record was torn away");
+        assert_eq!(rec.report.final_epoch, 4);
+        assert!(rec.report.truncated_bytes > 0);
+        let mut want = initial;
+        for i in 1..=4u64 {
+            want.apply(BatchUpdate::adding(vec![chain(2 + i as usize, i as u32, 0)]));
+        }
+        assert_eq!(collection_digest(&rec.collection), collection_digest(&want));
+
+        // a corrupt newest checkpoint falls back to the previous one,
+        // replaying the covering segment instead
+        drop(rec.log);
+        let newest = ckpt_path(&dir, 4);
+        let mut cbytes = std::fs::read(&newest).expect("read ckpt");
+        let mid = cbytes.len() / 2;
+        cbytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &cbytes).expect("corrupt ckpt");
+        let rec2 = recover(&dir, cfg).expect("recover past bad checkpoint");
+        assert_eq!(rec2.report.checkpoint_epoch, 2);
+        assert_eq!(rec2.report.checkpoints_skipped, 1);
+        assert_eq!(rec2.report.replayed, 2, "epochs 3 and 4 replay from the log");
+        assert_eq!(rec2.report.final_epoch, 4);
+        assert_eq!(collection_digest(&rec2.collection), collection_digest(&want));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_bootstrap_refuses_existing_state_and_recover_needs_some() {
+        let dir = tmp_dir("refuse");
+        let c = GraphCollection::new(vec![chain(3, 1, 0)]);
+        // recovering an empty dir fails loudly
+        assert!(recover(&dir, DurabilityConfig::default()).is_err());
+        let log = DurableLog::bootstrap(&dir, DurabilityConfig::default(), &c, 0).expect("boot");
+        drop(log);
+        // bootstrapping over existing state fails loudly
+        assert!(DurableLog::bootstrap(&dir, DurabilityConfig::default(), &c, 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

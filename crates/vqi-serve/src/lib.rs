@@ -27,6 +27,11 @@
 //!   request that times out queueing is answered with a `Degraded`
 //!   empty outcome (anytime semantics), while queue overflow is the
 //!   only hard rejection.
+//! * [`durable`] — the write-ahead log and checkpoint layer: every
+//!   update batch is logged and fsync'd before its epoch publishes, and
+//!   recovery (newest valid checkpoint + epoch-ordered replay, torn
+//!   tails truncated) restores a bit-identical collection at the same
+//!   epoch. See DESIGN §13 for the ordering argument.
 //! * [`service`] — the endpoints (`select` / `query` / `update`), each
 //!   wrapped in a run-scoped trace journal run, with latency histograms
 //!   and in-flight/queue-depth gauges in the observe registry.
@@ -38,12 +43,16 @@
 
 pub mod admission;
 pub mod cache;
+#[cfg(test)]
+mod crash_tests;
+pub mod durable;
 pub mod harness;
 pub mod service;
 pub mod snapshot;
 
 pub use admission::{Admission, AdmissionConfig, Permit};
 pub use cache::{CollectionFingerprint, PatternSetCache, SelectKey};
+pub use durable::{collection_digest, DurabilityConfig, DurableLog, RecoveryReport};
 pub use harness::{run_load, EndpointStats, LoadParams, LoadReport};
 pub use midas::CensusMode;
 pub use service::{

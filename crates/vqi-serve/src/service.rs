@@ -22,6 +22,7 @@
 
 use crate::admission::{Admission, AdmissionConfig, Admitted};
 use crate::cache::{CollectionFingerprint, PatternSetCache, SelectKey};
+use crate::durable::{self, DurabilityConfig, DurableLog, RecoveryReport};
 use crate::snapshot::{Snapshot, SnapshotStore};
 use catapult::Catapult;
 use midas::{CensusMode, Midas, MidasConfig};
@@ -114,6 +115,9 @@ pub enum ServeError {
         in_flight: usize,
         /// Requests queued at rejection time.
         queued: usize,
+        /// Deterministic backoff hint derived from the queue state
+        /// (see [`crate::admission::retry_after_ms`]).
+        retry_after_ms: u64,
     },
     /// A fail-fast budget propagated a pipeline error.
     Failed(VqiError),
@@ -122,8 +126,16 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::Overloaded { in_flight, queued } => {
-                write!(f, "overloaded: {in_flight} in flight, {queued} queued")
+            ServeError::Overloaded {
+                in_flight,
+                queued,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "overloaded: {in_flight} in flight, {queued} queued; \
+                     retry after {retry_after_ms} ms"
+                )
             }
             ServeError::Failed(e) => write!(f, "request failed: {e}"),
         }
@@ -218,32 +230,96 @@ enum Maintainer {
     Midas { midas: Box<Midas> },
 }
 
-/// The multi-tenant service core.
-pub struct VqiService {
-    store: SnapshotStore,
-    cache: PatternSetCache,
-    admission: Admission,
-    maintainer: Mutex<Maintainer>,
-    sessions: Mutex<BTreeSet<u64>>,
-    default_deadline_ms: u64,
-}
-
-impl VqiService {
-    /// Boots the service on `initial` (published as epoch 0).
-    pub fn new(initial: GraphCollection, config: ServeConfig) -> Self {
-        let maintainer = match &config.maintenance {
+impl Maintainer {
+    fn bootstrap(initial: &GraphCollection, mode: &MaintenanceMode) -> Maintainer {
+        match mode {
             MaintenanceMode::ApplyOnly => Maintainer::ApplyOnly {
                 next: initial.clone(),
             },
             MaintenanceMode::Midas { budget, config: mc } => Maintainer::Midas {
                 midas: Box::new(Midas::bootstrap(initial.clone(), *budget, *mc)),
             },
-        };
+        }
+    }
+}
+
+/// The maintainer plus its durable log, guarded by one lock so the
+/// apply → append → fsync → publish sequence of every update is a
+/// single critical section.
+struct MaintainerState {
+    maintainer: Maintainer,
+    log: Option<DurableLog>,
+}
+
+/// The multi-tenant service core.
+pub struct VqiService {
+    store: SnapshotStore,
+    cache: PatternSetCache,
+    admission: Admission,
+    maintainer: Mutex<MaintainerState>,
+    sessions: Mutex<BTreeSet<u64>>,
+    default_deadline_ms: u64,
+}
+
+impl VqiService {
+    /// Boots the service on `initial` (published as epoch 0), with no
+    /// durability: a crash discards all applied updates.
+    pub fn new(initial: GraphCollection, config: ServeConfig) -> Self {
+        Self::build(initial, config, None, 0)
+    }
+
+    /// Boots the service on `initial` with a durable update log rooted
+    /// at `wal_dir`: the epoch-0 checkpoint is written before the
+    /// service accepts requests, and every update batch is logged (and,
+    /// per `durability.fsync`, made durable) before its epoch
+    /// publishes. Refuses a directory already holding durable state —
+    /// use [`VqiService::recover`] for that.
+    pub fn with_durability(
+        initial: GraphCollection,
+        config: ServeConfig,
+        wal_dir: &std::path::Path,
+        durability: DurabilityConfig,
+    ) -> Result<Self, VqiError> {
+        let log = DurableLog::bootstrap(wal_dir, durability, &initial, 0)?;
+        Ok(Self::build(initial, config, Some(log), 0))
+    }
+
+    /// Recovers a service from the durable state in `wal_dir`: loads
+    /// the newest valid checkpoint, replays the WAL suffix in epoch
+    /// order (truncating a torn tail record), and resumes the epoch
+    /// sequence where the previous process left it. The recovered
+    /// collection — and therefore every subsequent `select`/`query`
+    /// output — is bit-identical to the uncrashed process at the same
+    /// epoch; MIDAS-derived state is re-bootstrapped from the
+    /// collection (it is a deterministic function of it).
+    pub fn recover(
+        wal_dir: &std::path::Path,
+        config: ServeConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), VqiError> {
+        let recovered = durable::recover(wal_dir, durability)?;
+        let report = recovered.report;
+        let service = Self::build(
+            recovered.collection,
+            config,
+            Some(recovered.log),
+            report.final_epoch,
+        );
+        Ok((service, report))
+    }
+
+    fn build(
+        initial: GraphCollection,
+        config: ServeConfig,
+        log: Option<DurableLog>,
+        epoch: u64,
+    ) -> Self {
+        let maintainer = Maintainer::bootstrap(&initial, &config.maintenance);
         VqiService {
-            store: SnapshotStore::new(initial),
+            store: SnapshotStore::with_epoch(initial, epoch),
             cache: PatternSetCache::new(config.cache_capacity),
             admission: Admission::new(config.admission),
-            maintainer: Mutex::new(maintainer),
+            maintainer: Mutex::new(MaintainerState { maintainer, log }),
             sessions: Mutex::new(BTreeSet::new()),
             default_deadline_ms: config.default_deadline_ms,
         }
@@ -313,8 +389,16 @@ impl VqiService {
                     outcome: Self::queue_expired(Arc::new(PatternSet::new())),
                 });
             }
-            Admitted::Overloaded { in_flight, queued } => {
-                return Err(ServeError::Overloaded { in_flight, queued });
+            Admitted::Overloaded {
+                in_flight,
+                queued,
+                retry_after_ms,
+            } => {
+                return Err(ServeError::Overloaded {
+                    in_flight,
+                    queued,
+                    retry_after_ms,
+                });
             }
         };
 
@@ -381,8 +465,16 @@ impl VqiService {
                     outcome: Self::queue_expired(QueryMatches::default()),
                 });
             }
-            Admitted::Overloaded { in_flight, queued } => {
-                return Err(ServeError::Overloaded { in_flight, queued });
+            Admitted::Overloaded {
+                in_flight,
+                queued,
+                retry_after_ms,
+            } => {
+                return Err(ServeError::Overloaded {
+                    in_flight,
+                    queued,
+                    retry_after_ms,
+                });
             }
         };
 
@@ -448,43 +540,86 @@ impl VqiService {
                     }),
                 });
             }
-            Admitted::Overloaded { in_flight, queued } => {
-                return Err(ServeError::Overloaded { in_flight, queued });
+            Admitted::Overloaded {
+                in_flight,
+                queued,
+                retry_after_ms,
+            } => {
+                return Err(ServeError::Overloaded {
+                    in_flight,
+                    queued,
+                    retry_after_ms,
+                });
             }
         };
 
         let added = batch.additions.len();
         let removed = batch.removals.len();
-        let mut maintainer = self.maintainer.lock().expect("maintainer lock");
-        let (completeness, collection_len, maintained, census_mode, next) = match &mut *maintainer {
+        let mut state = self.maintainer.lock().expect("maintainer lock");
+        // durability, step 1 of 2: the batch is logged and fsync'd
+        // BEFORE it is applied or published. On any later failure the
+        // record is either rolled back (maintenance error below) or
+        // replayed by recovery (crash) — never silently lost after the
+        // caller saw the new epoch.
+        let epoch_next = self.store.epoch() + 1;
+        let appended_at = match state.log.as_mut() {
+            Some(log) => Some(
+                log.append(epoch_next, &durable::encode_batch(&batch))
+                    .map_err(ServeError::Failed)?,
+            ),
+            None => None,
+        };
+        let applied = match &mut state.maintainer {
             Maintainer::ApplyOnly { next } => {
                 next.apply(batch);
-                (
+                Ok((
                     Completeness::Complete,
                     next.len(),
                     None,
                     // no maintenance kernels run in apply-only mode
                     CensusMode::Skipped,
                     next.clone(),
-                )
+                ))
             }
-            Maintainer::Midas { midas } => {
-                let out = midas
-                    .apply_update_ctrl(batch, &ctrl)
-                    .map_err(ServeError::Failed)?;
-                (
-                    out.completeness,
-                    midas.collection.len(),
-                    Some(midas.patterns.len()),
-                    out.value.census_mode,
-                    midas.collection.clone(),
-                )
+            Maintainer::Midas { midas } => midas
+                .apply_update_ctrl(batch, &ctrl)
+                .map(|out| {
+                    (
+                        out.completeness,
+                        midas.collection.len(),
+                        Some(midas.patterns.len()),
+                        out.value.census_mode,
+                        midas.collection.clone(),
+                    )
+                })
+                .map_err(ServeError::Failed),
+        };
+        let (completeness, collection_len, maintained, census_mode, next) = match applied {
+            Ok(v) => v,
+            Err(e) => {
+                // the batch never took effect: its record must not
+                // survive into recovery
+                if let (Some(log), Some(at)) = (state.log.as_mut(), appended_at) {
+                    log.rollback(at).map_err(ServeError::Failed)?;
+                }
+                return Err(e);
             }
         };
+        // durability, step 2 of 2: checkpoint on cadence, then publish.
+        // The record for `epoch_next` is durable before the epoch is
+        // visible to any reader — the fsync-before-publish ordering the
+        // recovery bit-identity proof rests on (DESIGN §13).
+        if let Some(log) = state.log.as_mut() {
+            log.committed(epoch_next, &next).map_err(ServeError::Failed)?;
+            // crash point: the record is durable, the epoch is not yet
+            // published — recovery must replay it (K may exceed acks)
+            vqi_runtime::fault::maybe_crash("serve.update.pre_publish", epoch_next);
+        }
         // publish while still holding the maintainer lock: epochs are
         // published in the same order batches were applied
         let epoch = self.store.publish(next);
-        drop(maintainer);
+        debug_assert_eq!(epoch, epoch_next, "publishes serialize under the lock");
+        drop(state);
 
         // applied updates count as delta when the maintainer reused
         // cached per-graph state, full otherwise (fresh recompute, a

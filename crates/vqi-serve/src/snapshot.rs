@@ -39,9 +39,17 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// A store whose epoch-0 snapshot is `initial`.
     pub fn new(initial: GraphCollection) -> Self {
+        SnapshotStore::with_epoch(initial, 0)
+    }
+
+    /// A store bootstrapped at an arbitrary epoch — the recovery
+    /// constructor: replaying a checkpoint plus a WAL suffix must
+    /// resume the epoch sequence where the dead process left it, so
+    /// clients never observe an epoch number reused for different data.
+    pub fn with_epoch(initial: GraphCollection, epoch: u64) -> Self {
         SnapshotStore {
             current: RwLock::new(Arc::new(Snapshot {
-                epoch: 0,
+                epoch,
                 collection: Arc::new(initial),
             })),
         }

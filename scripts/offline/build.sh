@@ -108,7 +108,7 @@ build vqi-modular
 build vqi-serve
 build bench "json timed_ms_records_a_span"
 
-binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned exp_kernels exp_pipelines exp_faults exp_serve exp_incremental exp_scale
+binaries bench exp_e3_pattern_quality exp_e5_approximation exp_e6_scalability exp_e14_partitioned exp_kernels exp_pipelines exp_faults exp_serve exp_incremental exp_scale exp_recovery
 
 say "vqi-cli (check)"
 # shellcheck disable=SC2086
